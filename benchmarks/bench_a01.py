@@ -1,0 +1,8 @@
+"""Benchmark A01 — regenerates the design-choice ablation tables."""
+
+from repro.experiments.a01_ablations import run
+
+
+def test_bench_a01(record_experiment):
+    result = record_experiment(run, fast=True)
+    assert result.body

@@ -1,0 +1,41 @@
+"""Benchmarks for the dynamic repair loop and lower-bound machinery."""
+
+import random
+
+from repro.core import ColorSpace, uniform_instance
+from repro.graphs import gnp
+from repro.algorithms import solve_ldc_potential
+from repro.algorithms.dynamic import DynamicColoring
+from repro.analysis.lowerbound import neighborhood_graph_n1, one_round_color_lower_bound
+
+
+def test_bench_dynamic_churn(benchmark):
+    g = gnp(40, 0.12, seed=31)
+    delta = max(d for _, d in g.degree)
+    inst = uniform_instance(g, ColorSpace(delta + 6), range(delta + 6), 1)
+    base = solve_ldc_potential(inst)
+
+    def churn():
+        dyn = DynamicColoring(inst, base)
+        rng = random.Random(32)
+        nodes = sorted(g.nodes)
+        for _ in range(20):
+            u, v = rng.sample(nodes, 2)
+            if dyn.instance.graph.has_edge(u, v):
+                dyn.update(delete=[(u, v)])
+            else:
+                dyn.update(insert=[(u, v)])
+        assert dyn.check()
+        return dyn
+
+    benchmark.pedantic(churn, rounds=1, iterations=1)
+
+
+def test_bench_neighborhood_graph(benchmark):
+    benchmark(lambda: neighborhood_graph_n1(6))
+
+
+def test_bench_one_round_chi(benchmark):
+    benchmark.pedantic(
+        lambda: one_round_color_lower_bound(4), rounds=1, iterations=1
+    )

@@ -1,0 +1,8 @@
+"""Benchmark E01 — regenerates Lemmas A.1/A.2 existence thresholds (table)."""
+
+from repro.experiments.e01_existence import run
+
+
+def test_bench_e01(record_experiment):
+    result = record_experiment(run, fast=True)
+    assert result.body

@@ -1,0 +1,8 @@
+"""Benchmark E02 — regenerates [Lin87] Linial substrate (figure)."""
+
+from repro.experiments.e02_linial import run
+
+
+def test_bench_e02(record_experiment):
+    result = record_experiment(run, fast=True)
+    assert result.body

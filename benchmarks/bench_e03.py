@@ -1,0 +1,8 @@
+"""Benchmark E03 — regenerates [Kuh09] defective coloring substrate (figure)."""
+
+from repro.experiments.e03_defective import run
+
+
+def test_bench_e03(record_experiment):
+    result = record_experiment(run, fast=True)
+    assert result.body

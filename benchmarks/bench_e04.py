@@ -1,0 +1,8 @@
+"""Benchmark E04 — regenerates arbdefective coloring (figure)."""
+
+from repro.experiments.e04_arbdefective import run
+
+
+def test_bench_e04(record_experiment):
+    result = record_experiment(run, fast=True)
+    assert result.body

@@ -1,0 +1,8 @@
+"""Benchmark E05 — regenerates Theorem 1.1 OLDC (table)."""
+
+from repro.experiments.e05_oldc import run
+
+
+def test_bench_e05(record_experiment):
+    result = record_experiment(run, fast=True)
+    assert result.body

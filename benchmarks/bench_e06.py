@@ -1,0 +1,8 @@
+"""Benchmark E06 — regenerates Theorem 1.2 / Corollary 4.2 reduction (figure)."""
+
+from repro.experiments.e06_reduction import run
+
+
+def test_bench_e06(record_experiment):
+    result = record_experiment(run, fast=True)
+    assert result.body

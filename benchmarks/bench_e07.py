@@ -1,0 +1,8 @@
+"""Benchmark E07 — regenerates Theorem 1.1 condition threshold (figure)."""
+
+from repro.experiments.e07_threshold import run
+
+
+def test_bench_e07(record_experiment):
+    result = record_experiment(run, fast=True)
+    assert result.body

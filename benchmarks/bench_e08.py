@@ -1,0 +1,8 @@
+"""Benchmark E08 — regenerates Theorem 1.3 arbdefective scaling (figure)."""
+
+from repro.experiments.e08_arblist import run
+
+
+def test_bench_e08(record_experiment):
+    result = record_experiment(run, fast=True)
+    assert result.body

@@ -1,0 +1,8 @@
+"""Benchmark E09 — regenerates Theorem 1.4 CONGEST coloring (table)."""
+
+from repro.experiments.e09_congest import run
+
+
+def test_bench_e09(record_experiment):
+    result = record_experiment(run, fast=True)
+    assert result.body

@@ -1,0 +1,8 @@
+"""Benchmark E10 — regenerates Lemmas 3.1/3.2/3.5 P2 zero-round solvability (table)."""
+
+from repro.experiments.e10_p2 import run
+
+
+def test_bench_e10(record_experiment):
+    result = record_experiment(run, fast=True)
+    assert result.body

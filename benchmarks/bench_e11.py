@@ -1,0 +1,8 @@
+"""Benchmark E11 — regenerates Section 1.1 regime crossovers (figure)."""
+
+from repro.experiments.e11_crossover import run
+
+
+def test_bench_e11(record_experiment):
+    result = record_experiment(run, fast=True)
+    assert result.body

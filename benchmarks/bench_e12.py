@@ -1,0 +1,8 @@
+"""Benchmark E12 — regenerates Appendix C internal computation (table)."""
+
+from repro.experiments.e12_internal import run
+
+
+def test_bench_e12(record_experiment):
+    result = record_experiment(run, fast=True)
+    assert result.body

@@ -1,0 +1,8 @@
+"""Benchmark E13 — regenerates the colors/rounds frontier figure."""
+
+from repro.experiments.e13_frontier import run
+
+
+def test_bench_e13(record_experiment):
+    result = record_experiment(run, fast=True)
+    assert result.body

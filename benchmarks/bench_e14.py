@@ -1,0 +1,8 @@
+"""Benchmark E14 — regenerates the large-n log* scaling table."""
+
+from repro.experiments.e14_scale import run
+
+
+def test_bench_e14(record_experiment):
+    result = record_experiment(run, fast=True)
+    assert result.body

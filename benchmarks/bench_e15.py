@@ -1,0 +1,8 @@
+"""Benchmark E15 — regenerates the neighborhood-graph lower-bound table."""
+
+from repro.experiments.e15_lowerbound import run
+
+
+def test_bench_e15(record_experiment):
+    result = record_experiment(run, fast=True)
+    assert result.body

@@ -1,0 +1,62 @@
+"""Micro-benchmarks for the hot substrate operations.
+
+These track the costs that dominate experiment wall time, following the
+profile-first methodology of the HPC guides: the simulator round loop, the
+conflict relation, the Linial polynomial step, and the validators.
+"""
+
+import random
+
+from repro.core import ColorSpace, degree_plus_one_instance, validate_ldc
+from repro.core.conflict import conflict_weight, psi_g
+from repro.graphs import random_regular
+from repro.algorithms.linial import poly_coeffs, poly_eval, run_linial
+from repro.algorithms.mt_selection import NodeType, seeded_family
+from repro.algorithms.congest_coloring import congest_delta_plus_one
+
+
+def test_bench_simulator_linial_round(benchmark):
+    g = random_regular(400, 8, seed=1)
+    benchmark(lambda: run_linial(g))
+
+
+def test_bench_conflict_weight(benchmark):
+    rng = random.Random(0)
+    a = sorted(rng.sample(range(10_000), 500))
+    b = sorted(rng.sample(range(10_000), 500))
+    benchmark(lambda: conflict_weight(a, b, 3))
+
+
+def test_bench_psi_relation(benchmark):
+    rng = random.Random(1)
+    k1 = [tuple(sorted(rng.sample(range(200), 12))) for _ in range(24)]
+    k2 = [tuple(sorted(rng.sample(range(200), 12))) for _ in range(24)]
+    benchmark(lambda: psi_g(k1, k2, 4, 3))
+
+
+def test_bench_poly_eval(benchmark):
+    coeffs = poly_coeffs(123456, 97, 3)
+
+    def work():
+        return sum(poly_eval(coeffs, x, 97) for x in range(97))
+
+    benchmark(work)
+
+
+def test_bench_seeded_family(benchmark):
+    t = NodeType(17, tuple(range(400)))
+    benchmark(lambda: seeded_family(t, 24, 16, seed=3))
+
+
+def test_bench_validator(benchmark):
+    g = random_regular(400, 10, seed=2)
+    inst = degree_plus_one_instance(g)
+    res, _m, _rep = congest_delta_plus_one(g)
+    benchmark(lambda: validate_ldc(inst, res))
+
+
+def test_bench_congest_pipeline_small(benchmark):
+    g = random_regular(80, 10, seed=3)
+    benchmark.pedantic(
+        lambda: congest_delta_plus_one(g), rounds=1, iterations=1
+    )

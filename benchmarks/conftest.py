@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Each experiment benchmark regenerates its table/figure through the same
+``repro.experiments`` runner the documentation uses, asserts every shape
+check, and attaches the headline numbers to the benchmark record via
+``benchmark.extra_info`` so ``--benchmark-only`` output doubles as the
+paper-vs-measured record.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def record_experiment(benchmark):
+    """Run an experiment under the benchmark timer and assert its checks."""
+
+    def _run(runner, **kwargs):
+        result = benchmark.pedantic(runner, kwargs=kwargs, rounds=1, iterations=1)
+        failing = [k for k, v in result.checks.items() if not v]
+        assert not failing, f"failing checks: {failing}"
+        benchmark.extra_info["experiment"] = result.experiment
+        benchmark.extra_info["paper_claim"] = result.paper_claim
+        benchmark.extra_info["findings"] = result.findings
+        return result
+
+    return _run

@@ -1,0 +1,32 @@
+"""Every coloring algorithm in the repository, head to head.
+
+Runs all registered (Delta+1)-capable algorithms on the same graph and
+prints a uniform scorecard (colors / rounds / bits / CONGEST compliance),
+then does it again on a larger, denser graph so the asymptotics start to
+separate the field.  The same comparison is available from the CLI:
+
+    repro-cli compare --family random_regular --n 96 --degree 12
+
+Run:  python examples/algorithm_shootout.py
+"""
+
+from repro.analysis.compare import compare_algorithms, render_comparison
+from repro.graphs import random_regular
+
+
+def main() -> None:
+    for n, degree in [(48, 8), (192, 24)]:
+        graph = random_regular(n, degree, seed=99)
+        rows = compare_algorithms(graph)
+        print(render_comparison(graph, rows))
+        fastest = rows[0]
+        tightest = min(rows, key=lambda r: (r.colors, r.rounds))
+        print(
+            f"-> fastest: {fastest.algorithm} ({fastest.rounds} rounds); "
+            f"tightest palette: {tightest.algorithm} "
+            f"({tightest.colors} colors)\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

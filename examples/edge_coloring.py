@@ -1,0 +1,46 @@
+"""Distributed edge coloring via the line graph.
+
+The paper's introduction highlights edge colorings (line graphs) as the
+arena where defective/list-defective techniques produced
+polylog-Delta-round algorithms [BE11a, BKO20, BBKO22].  The reduction is
+standard: a (degree+1)-list *edge* coloring of ``G`` is a (degree+1)-list
+vertex coloring of the line graph ``L(G)`` — which this repository solves
+with the Theorem 1.4 pipeline, giving a proper edge coloring with at most
+``2 Delta(G) - 1`` colors over O(log n)-bit messages.
+
+Run:  python examples/edge_coloring.py
+"""
+
+from repro.graphs import (
+    edge_coloring_from_line,
+    edge_degree_plus_one_instance,
+    random_regular,
+    validate_edge_coloring,
+)
+from repro.algorithms import congest_degree_plus_one
+
+
+def main() -> None:
+    graph = random_regular(48, 6, seed=13)
+    delta = max(d for _, d in graph.degree)
+    instance, edge_of = edge_degree_plus_one_instance(graph)
+    print(
+        f"graph: n={graph.number_of_nodes()}, m={graph.number_of_edges()}, "
+        f"Delta={delta}; line graph Delta_L={instance.max_degree}"
+    )
+
+    result, metrics, report = congest_degree_plus_one(instance)
+    edge_colors = edge_coloring_from_line(result, edge_of)
+    check = validate_edge_coloring(graph, edge_colors)
+    used = len(set(edge_colors.values()))
+    print(f"proper edge coloring: {bool(check)}")
+    print(f"colors used: {used} (greedy bound 2*Delta-1 = {2 * delta - 1}, "
+          f"Vizing bound Delta+1 = {delta + 1})")
+    print(f"rounds: {metrics.rounds}, max message: "
+          f"{metrics.max_message_bits} bits")
+    sample = sorted(edge_colors.items())[:5]
+    print("sample:", ", ".join(f"{e}->{c}" for e, c in sample))
+
+
+if __name__ == "__main__":
+    main()

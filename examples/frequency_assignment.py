@@ -1,0 +1,42 @@
+"""Cellular frequency assignment with per-frequency interference budgets.
+
+A hub-and-fringe radio topology (a macro cell surrounded by small-cell
+clusters): cheap fringe transmitters need interference-free channels
+(defect 0) while the macro hub's beamforming tolerates several co-channel
+neighbors on its wideband frequencies — the heterogeneous-defect regime
+where *list defective* coloring beats both plain list coloring and plain
+defective coloring.
+
+The scenario logic lives in :mod:`repro.scenarios.frequency` (tested in
+tests/test_scenarios.py); this script solves the instance both
+sequentially (Lemma A.1 made executable) and distributedly (Theorem 1.3).
+
+Run:  python examples/frequency_assignment.py
+"""
+
+from repro.graphs import hub_and_fringe
+from repro.scenarios import FrequencyConfig
+from repro.scenarios.frequency import plan
+
+
+def main() -> None:
+    topology = hub_and_fringe(hub_degree=18, fringe_cliques=6, clique_size=4)
+    config = FrequencyConfig(channels=48, hub_channels=4, hub_defect=5, seed=11)
+
+    seq = plan(topology, hubs={0}, config=config, sequential=True)
+    print(f"transmitters: {topology.number_of_nodes()}, "
+          f"hub degree {topology.degree(0)}")
+    print(f"Eq.(1) holds: {seq.audit.eq1_ldc_exists}; "
+          f"Eq.(2) holds: {seq.audit.eq2_arbdefective_exists}")
+    print(f"sequential (Lemma A.1) valid: {seq.valid}")
+
+    dist = plan(topology, hubs={0}, config=config)
+    print(f"distributed (Theorem 1.3) valid: {dist.valid}")
+    print(f"rounds: {dist.metrics.rounds}, "
+          f"max message: {dist.metrics.max_message_bits} bits")
+    print(f"hub assigned channel {dist.hub_channel}; co-channel neighbors: "
+          f"{dist.hub_co_channel} (tolerates {config.hub_defect})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Direct OLDC usage: build a custom oriented list defective instance and
+solve it three ways.
+
+Shows the low-level API the other examples hide: hand-built color lists
+and per-color defect functions on a directed graph, solved with (a) the
+basic Lemma 3.6 algorithm, (b) the main Theorem 1.1 algorithm, and (c) the
+main algorithm behind Theorem 1.2's color-space reduction — with the
+per-run audit reports and an execution trace.
+
+Run:  python examples/oldc_playground.py
+"""
+
+import random
+
+from repro.core import ColorSpace, ListDefectiveInstance, validate_oldc
+from repro.graphs import gnp, random_low_outdegree_digraph
+from repro.algorithms import (
+    run_linial,
+    solve_oldc_basic,
+    solve_oldc_main,
+    solve_with_reduction,
+)
+
+
+def build_instance(seed: int):
+    """A digraph whose hubs hold few high-defect colors and whose leaves
+    hold many zero-defect colors."""
+    rng = random.Random(seed)
+    g = gnp(40, 0.18, seed=seed)
+    dg = random_low_outdegree_digraph(g, seed=seed + 1)
+    space = ColorSpace(600)
+    lists, defects = {}, {}
+    for v in dg.nodes:
+        beta = max(1, dg.out_degree(v))
+        if beta >= 4:  # hub: 2*beta colors, defect ~beta/2 each
+            colors = sorted(rng.sample(range(600), 8 * beta))
+            lists[v] = tuple(colors)
+            defects[v] = {x: beta // 2 for x in colors}
+        else:  # leaf: many clean colors
+            colors = sorted(rng.sample(range(600), 40 * beta * beta))
+            lists[v] = tuple(colors)
+            defects[v] = {x: 0 for x in colors}
+    return g, ListDefectiveInstance(dg, space, lists, defects)
+
+
+def main() -> None:
+    g, inst = build_instance(seed=21)
+    print(f"digraph: n={inst.n}, beta={inst.max_outdegree}, "
+          f"|C|={inst.space.size}, Lambda={inst.max_list_size}")
+
+    pre, _m, _p = run_linial(g)
+
+    res_b, m_b, rep_b = solve_oldc_basic(inst, pre.assignment)
+    print(f"basic (Lemma 3.6):  rounds={m_b.rounds:3d} "
+          f"bits={m_b.max_message_bits:5d} "
+          f"valid={bool(validate_oldc(inst, res_b))} "
+          f"h={rep_b.h} guarantee_met={rep_b.guarantee_met}")
+
+    res_m, m_m, rep_m = solve_oldc_main(inst, pre.assignment)
+    print(f"main (Theorem 1.1): rounds={m_m.rounds:3d} "
+          f"bits={m_m.max_message_bits:5d} "
+          f"valid={bool(validate_oldc(inst, res_m))} "
+          f"case_ii={rep_m.case_ii_nodes}/{inst.n} max_risk={rep_m.max_risk}")
+
+    def base(instance, init):
+        return solve_oldc_main(instance, init)
+
+    res_r, m_r, rep_r = solve_with_reduction(inst, pre.assignment, base, p=25)
+    print(f"main + Thm 1.2 p=25: rounds={m_r.rounds:3d} "
+          f"bits={m_r.max_message_bits:5d} "
+          f"valid={bool(validate_oldc(inst, res_r))} levels={rep_r.levels}")
+
+    # how defects were actually spent
+    worst = max(
+        (
+            sum(
+                1
+                for u in inst.graph.successors(v)
+                if res_m.assignment[u] == res_m.assignment[v]
+            ),
+            v,
+        )
+        for v in inst.graph.nodes
+    )
+    v = worst[1]
+    print(f"busiest node {v}: {worst[0]} same-colored out-neighbors, "
+          f"budget was {inst.defects[v][res_m.assignment[v]]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""TDMA slot assignment in a wireless sensor network.
+
+The classic application behind distributed coloring (and the paper's
+motivation for CONGEST algorithms): radios that share a communication link
+must not transmit in the same time slot.  Hardware duty cycles restrict
+each radio to a subset of slots (-> a *list* coloring problem) and
+capture-effect decoding tolerates a bounded number of same-slot neighbors
+(-> per-slot *defects*).
+
+The scenario logic lives in :mod:`repro.scenarios.tdma` (tested in
+tests/test_scenarios.py); this script just drives it.
+
+Run:  python examples/tdma_scheduling.py
+"""
+
+from repro.graphs import torus
+from repro.scenarios import TDMAConfig
+from repro.scenarios.tdma import schedule
+
+
+def main() -> None:
+    topology = torus(8, 8)
+    config = TDMAConfig(frame_slots=24, seed=7)
+    result = schedule(topology, config)
+
+    print(f"radios: {topology.number_of_nodes()}, "
+          f"links: {topology.number_of_edges()}, "
+          f"frame: {config.frame_slots} slots")
+    print(f"schedule valid: {result.valid} "
+          f"(max interferers seen {result.max_interferers})")
+    print(f"rounds: {result.metrics.rounds}, "
+          f"max message: {result.metrics.max_message_bits} bits, "
+          f"total traffic: {result.metrics.total_bits} bits")
+    slot, count = result.busiest_slot
+    print(f"slots used: {result.slots_used}/{config.frame_slots}, "
+          f"busiest slot {slot} carries {count} radios: "
+          f"{result.radios_in_slot(slot)[:8]}...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets `pip install -e .` work in offline environments
+that lack the `wheel` package (pip falls back to `setup.py develop`)."""
+
+from setuptools import setup
+
+setup()

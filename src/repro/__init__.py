@@ -1,0 +1,72 @@
+"""repro — reproduction of Fuchs & Kuhn, "List Defective Colorings:
+Distributed Algorithms and Applications" (SPAA 2023).
+
+Public API layout:
+
+* :mod:`repro.core` — color spaces, list defective instances (Def. 1.1),
+  coloring outputs, validators, and the paper's existence conditions;
+* :mod:`repro.graphs` — graph generators and orientations;
+* :mod:`repro.sim` — the synchronous LOCAL / CONGEST simulator with
+  per-message bit accounting;
+* :mod:`repro.algorithms` — every algorithm: sequential existence proofs
+  (Appendix A), the Linial/defective/arbdefective substrates, the OLDC
+  algorithms of Theorem 1.1, the recursive color-space reduction of
+  Theorem 1.2, the Theorem 1.3 transformation, the Theorem 1.4 CONGEST
+  coloring pipeline, and the randomized / big-message baselines;
+* :mod:`repro.analysis` — the paper's parameter formulas and bound
+  reference values, plus table/series formatting;
+* :mod:`repro.experiments` — one module per reproduced result (E01-E11).
+
+Quickstart::
+
+    import repro
+    g = repro.graphs.gnp(80, 0.15, seed=1)
+    coloring, metrics, report = repro.algorithms.congest_delta_plus_one(g)
+    print(metrics.rounds, metrics.max_message_bits, coloring.num_colors())
+"""
+
+from . import algorithms, analysis, core, graphs, io, scenarios, sim
+from .exceptions import ConditionViolation, ProtocolError, ReproError, ScheduleError
+from .core import (
+    ColorSpace,
+    ColoringResult,
+    EdgeOrientation,
+    ListDefectiveInstance,
+    ValidationReport,
+    degree_plus_one_instance,
+    delta_plus_one_instance,
+    uniform_instance,
+    validate_arbdefective,
+    validate_ldc,
+    validate_oldc,
+    validate_proper_coloring,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ColorSpace",
+    "ColoringResult",
+    "EdgeOrientation",
+    "ListDefectiveInstance",
+    "ValidationReport",
+    "__version__",
+    "ConditionViolation",
+    "ProtocolError",
+    "ReproError",
+    "ScheduleError",
+    "algorithms",
+    "analysis",
+    "core",
+    "degree_plus_one_instance",
+    "delta_plus_one_instance",
+    "graphs",
+    "io",
+    "scenarios",
+    "sim",
+    "uniform_instance",
+    "validate_arbdefective",
+    "validate_ldc",
+    "validate_oldc",
+    "validate_proper_coloring",
+]

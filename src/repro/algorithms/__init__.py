@@ -1,0 +1,135 @@
+"""All algorithms: substrates, the paper's contributions, and baselines."""
+
+from .arbdefective import arbdefective_coloring
+from .arblist import (
+    ArbListReport,
+    basic_oldc_solver,
+    default_oldc_solver,
+    solve_list_arbdefective,
+)
+from .barenboim import BarenboimReport, barenboim_coloring
+from .baselines import (
+    ListExchangeColoring,
+    RandomizedListColoring,
+    list_exchange_coloring,
+    randomized_list_coloring,
+)
+from .colorspace_reduction import (
+    ReductionReport,
+    corollary_4_1_p,
+    corollary_4_2_p,
+    solve_with_corollary_4_1,
+    solve_with_reduction,
+)
+from .congest_coloring import (
+    CongestReport,
+    congest_degree_plus_one,
+    congest_delta_plus_one,
+    reduced_oldc_solver,
+)
+from .defective import defective_class_partition, run_defective_coloring
+from .dynamic import DynamicColoring, RepairReport
+from .greedy import (
+    greedy_list_coloring,
+    sequential_color_order_by_degree,
+    solve_arbdefective_euler,
+    solve_ldc_potential,
+)
+from .ldc_undirected import solve_ldc_main, solve_ldc_with_reduction
+from .linear_in_delta import LinearReport, linear_in_delta_coloring
+from .linial import (
+    LinialColoringAlgorithm,
+    LinialStep,
+    defective_schedule,
+    linial_schedule,
+    poly_coeffs,
+    poly_eval,
+    run_linial,
+)
+from .mt_selection import (
+    FamilyOracle,
+    NodeType,
+    candidate_space,
+    exact_greedy_assignment,
+    seeded_family,
+)
+from .oldc_basic import (
+    BasicOLDC,
+    OLDCReport,
+    gamma_class,
+    single_defect_restriction,
+    solve_oldc_basic,
+)
+from .mt20 import MT20ListColoring, MT20Report, mt20_list_coloring
+from .oldc_main import MainOLDC, MainReport, solve_oldc_main
+from .oriented_defective import run_oriented_defective
+from .registry import REGISTRY, AlgorithmInfo, algorithm_names
+from .reduction import (
+    ScheduledListColoring,
+    classic_delta_plus_one,
+    reduce_to_list_coloring,
+)
+
+__all__ = [
+    "REGISTRY",
+    "AlgorithmInfo",
+    "ArbListReport",
+    "BarenboimReport",
+    "BasicOLDC",
+    "CongestReport",
+    "DynamicColoring",
+    "FamilyOracle",
+    "LinialColoringAlgorithm",
+    "LinialStep",
+    "ListExchangeColoring",
+    "MT20ListColoring",
+    "MT20Report",
+    "MainOLDC",
+    "MainReport",
+    "NodeType",
+    "OLDCReport",
+    "RandomizedListColoring",
+    "ReductionReport",
+    "RepairReport",
+    "ScheduledListColoring",
+    "algorithm_names",
+    "arbdefective_coloring",
+    "barenboim_coloring",
+    "basic_oldc_solver",
+    "candidate_space",
+    "classic_delta_plus_one",
+    "congest_degree_plus_one",
+    "congest_delta_plus_one",
+    "corollary_4_1_p",
+    "corollary_4_2_p",
+    "default_oldc_solver",
+    "defective_class_partition",
+    "defective_schedule",
+    "exact_greedy_assignment",
+    "gamma_class",
+    "greedy_list_coloring",
+    "linear_in_delta_coloring",
+    "linial_schedule",
+    "list_exchange_coloring",
+    "mt20_list_coloring",
+    "poly_coeffs",
+    "poly_eval",
+    "randomized_list_coloring",
+    "reduce_to_list_coloring",
+    "reduced_oldc_solver",
+    "run_defective_coloring",
+    "run_oriented_defective",
+    "run_linial",
+    "seeded_family",
+    "sequential_color_order_by_degree",
+    "single_defect_restriction",
+    "solve_arbdefective_euler",
+    "solve_ldc_main",
+    "solve_ldc_potential",
+    "solve_ldc_with_reduction",
+    "solve_list_arbdefective",
+    "solve_oldc_basic",
+    "solve_oldc_main",
+    "solve_with_corollary_4_1",
+    "solve_with_reduction",
+]

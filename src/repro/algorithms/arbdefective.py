@@ -1,0 +1,132 @@
+"""Arbdefective coloring via scheduled least-loaded picks.
+
+Produces a ``d``-arbdefective ``q``-coloring together with its orientation.
+Two modes (DESIGN.md §3.3 documents this as the substitution for the
+locally-iterative algorithm of [BEG18]):
+
+* ``mode="tight"`` — schedule over the classes of a *proper* Linial
+  O(Delta^2)-coloring.  Each node, in its class's round, picks the color of
+  ``[q]`` least used among already-colored neighbors; with
+  ``q = floor(Delta / (d+1)) + 1`` the pigeonhole gives at most
+  ``floor(Delta/q) <= d`` earlier-colored same-color neighbors, and edges
+  are oriented toward earlier-colored nodes — exactly the paper's
+  ``d``-arbdefective ``floor(Delta/(d+1) + 1)``-coloring.  Rounds:
+  O(Delta^2 + log* n).
+* ``mode="fast"`` — schedule over the classes of a ``floor(d/2)``-defective
+  coloring instead (O((Delta/d)^2) classes).  Same-round adjacent picks are
+  possible but number at most ``floor(d/2)`` per node and are oriented by
+  id, so the total arbdefect stays <= d at the price of roughly doubled
+  ``q``.  Rounds: O((Delta/d)^2 + log* n).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import networkx as nx
+
+from ..core.coloring import ColoringResult, EdgeOrientation
+from ..core.validate import validate_arbdefective_plain
+from ..sim.message import Message, index_bits
+from ..sim.metrics import RunMetrics
+from ..sim.network import SyncNetwork
+from ..sim.node import DistributedAlgorithm, NodeView
+from .linial import run_linial
+
+
+class ScheduledArbdefective(DistributedAlgorithm):
+    """Least-loaded color pick on a class schedule.
+
+    Inputs per node: ``schedule_color``.  Shared: ``q`` (palette size).
+    Output per node: ``(color, pick_round)`` — the orientation is derived
+    from pick rounds (later -> earlier) with id tie-breaks.
+    """
+
+    name = "scheduled-arbdefective"
+
+    def init_state(self, view: NodeView) -> dict[str, Any]:
+        return {
+            "cls": int(view.inputs["schedule_color"]),
+            "counts": {},
+            "color": None,
+            "announced": False,
+        }
+
+    def send(self, view: NodeView, state, rnd: int) -> dict[int, Message]:
+        if state["color"] is not None and not state["announced"]:
+            state["announced"] = True
+            msg = Message(state["color"], bits=index_bits(view.globals["q"]))
+            return {u: msg for u in view.neighbors}
+        return {}
+
+    def receive(self, view: NodeView, state, rnd: int, inbox) -> None:
+        for m in inbox.values():
+            state["counts"][m.payload] = state["counts"].get(m.payload, 0) + 1
+        if state["color"] is None and rnd == state["cls"]:
+            q = view.globals["q"]
+            state["color"] = min(range(q), key=lambda c: (state["counts"].get(c, 0), c))
+
+    def is_done(self, view: NodeView, state) -> bool:
+        return state["color"] is not None and state["announced"]
+
+    def output(self, view: NodeView, state) -> tuple[int, int]:
+        return (state["color"], state["cls"])
+
+
+def arbdefective_coloring(
+    graph: nx.Graph,
+    arbdefect: int,
+    colors: int | None = None,
+    mode: str = "tight",
+    model: str = "CONGEST",
+    validate: bool = True,
+) -> tuple[ColoringResult, RunMetrics, int]:
+    """Compute a ``d``-arbdefective ``q``-coloring with orientation.
+
+    Returns ``(result, metrics, q)``.  ``colors`` overrides the default
+    palette size (callers like Theorem 1.3 pass their own ``q``); it must be
+    at least the mode's pigeonhole requirement or a ``ValueError`` results.
+    """
+    if arbdefect < 0:
+        raise ValueError(f"arbdefect must be >= 0, got {arbdefect}")
+    if mode not in ("tight", "fast"):
+        raise ValueError(f"unknown mode {mode!r}")
+    delta = max((deg for _, deg in graph.degree), default=0)
+    d1 = 0 if mode == "tight" else arbdefect // 2
+    d2 = arbdefect - d1  # budget left for earlier-colored neighbors
+    q_min = math.floor(delta / (d2 + 1)) + 1
+    q = q_min if colors is None else colors
+    if q < q_min:
+        raise ValueError(
+            f"q={q} too small: mode {mode!r} needs >= {q_min} colors "
+            f"for Delta={delta}, d={arbdefect}"
+        )
+
+    if d1 == 0:
+        schedule, m1, _pal = run_linial(graph, model=model)
+    else:
+        schedule, m1, _pal = run_linial(graph, model=model, defect=d1)
+
+    net = SyncNetwork(graph, model=model)
+    inputs = {v: {"schedule_color": schedule.assignment[v]} for v in graph.nodes}
+    max_cls = max(schedule.assignment.values(), default=0)
+    outputs, m2 = net.run(
+        ScheduledArbdefective(),
+        inputs,
+        shared={"q": q},
+        max_rounds=max_cls + 3,
+    )
+
+    assignment = {v: c for v, (c, _r) in outputs.items()}
+    pick_round = {v: r for v, (_c, r) in outputs.items()}
+    ori = EdgeOrientation()
+    for u, v in graph.edges:
+        if (pick_round[u], u) > (pick_round[v], v):
+            ori.orient(u, v)
+        else:
+            ori.orient(v, u)
+    result = ColoringResult(assignment, ori)
+    if validate:
+        validate_arbdefective_plain(graph, result, arbdefect).raise_if_invalid()
+    return result, m1.merge_sequential(m2), q

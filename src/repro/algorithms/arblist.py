@@ -1,0 +1,346 @@
+"""Theorem 1.3: (degree+1)-list arbdefective coloring via OLDC algorithms.
+
+Transforms any OLDC solver into an algorithm for list arbdefective
+instances satisfying ``sum_x (d_v(x)+1) > deg(v)`` — which includes the
+standard (degree+1)-list coloring (all defects zero) and the
+``d``-arbdefective ``floor(Delta/(d+1)+1)``-coloring.
+
+Structure (Section 5 of the paper):
+
+* **Stages** halve the maximum degree of the *uncolored* subgraph: stage
+  ``s`` starts from max degree ``Delta_s`` and colors enough nodes that
+  every remaining node has fewer than ``Delta_s / 2`` uncolored neighbors.
+  O(log Delta) stages.
+* Within a stage: compute a ``delta``-arbdefective ``q``-coloring of the
+  uncolored subgraph (``delta ~ sqrt(Delta_s / kappa)``,
+  ``q ~ Delta_s/delta`` — for the Theorem 1.1 solver with nu = 1 this gives
+  the √Delta·polylog round shape of Theorem 1.4) and iterate its color
+  classes.  In iteration ``i``, the nodes of class ``i`` that still have at
+  least ``Delta_s/2`` uncolored neighbors form ``V_i'``; they carry residual
+  lists ``L'_v = {x : a_v(x) <= d_v(x)}`` with residual defects
+  ``d'_v(x) = d_v(x) - a_v(x)`` (``a_v(x)`` = already-colored neighbors
+  holding ``x``) of total weight > Delta_s / 2, and get colored by one OLDC
+  run on the class's low-outdegree digraph ``G_i'``.
+* Orientation: every edge is oriented from the later-colored endpoint to
+  the earlier one; edges inside one OLDC event inherit the stage's
+  arbdefective orientation.  A node's same-color out-neighbors therefore
+  number at most ``a_v(x) + d'_v(x) = d_v(x)``.
+
+The OLDC solver is pluggable; the default is Theorem 1.1's algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import networkx as nx
+
+from ..analysis.bounds import DEFAULT_SCALE, ParamScale
+from ..core.coloring import ColoringResult, EdgeOrientation
+from ..core.instance import ListDefectiveInstance
+from ..sim.metrics import RunMetrics
+from ..sim.message import index_bits
+from ..sim.phases import PhaseLog
+from ..exceptions import ScheduleError
+from .arbdefective import arbdefective_coloring
+from .linial import run_linial
+from .oldc_main import solve_oldc_main
+
+OLDCSolver = Callable[
+    [ListDefectiveInstance, dict[int, int]],
+    tuple[ColoringResult, RunMetrics, Any],
+]
+
+
+@dataclass
+class ArbListReport:
+    """Audit of one Theorem 1.3 run."""
+
+    stages: int = 0
+    oldc_runs: int = 0
+    announce_rounds: int = 0
+    stage_deltas: list[int] = field(default_factory=list)
+    stage_palettes: list[int] = field(default_factory=list)
+    cleanup_nodes: int = 0
+    declined: int = 0
+    sweep_rounds: int = 0
+    sweep_nodes: int = 0
+    inner_reports: list[Any] = field(default_factory=list)
+    phases: PhaseLog = field(default_factory=PhaseLog)
+
+
+def default_oldc_solver(scale: ParamScale = DEFAULT_SCALE, model: str = "CONGEST"):
+    """Theorem 1.1's algorithm packaged with a fixed scale/model."""
+
+    def solve(instance: ListDefectiveInstance, init_coloring: dict[int, int]):
+        return solve_oldc_main(instance, init_coloring, scale=scale, model=model)
+
+    return solve
+
+
+def basic_oldc_solver(scale: ParamScale = DEFAULT_SCALE, model: str = "CONGEST"):
+    """Lemma 3.6's algorithm as the inner solver.
+
+    Theorem 1.3 is stated for *any* OLDC algorithm; the basic algorithm
+    spends ~h+4 rounds per run instead of the main algorithm's aux+3h —
+    roughly 2-3x fewer at small beta — at the price of the weaker
+    requirement (a log-beta factor more list slack in theory).  A01/E08
+    use this to quantify the per-class constant.
+    """
+    from .oldc_basic import solve_oldc_basic
+
+    def solve(instance: ListDefectiveInstance, init_coloring: dict[int, int]):
+        return solve_oldc_basic(instance, init_coloring, scale=scale, model=model)
+
+    return solve
+
+
+def solve_list_arbdefective(
+    instance: ListDefectiveInstance,
+    oldc_solver: OLDCSolver | None = None,
+    scale: ParamScale = DEFAULT_SCALE,
+    kappa: float | None = None,
+    model: str = "CONGEST",
+    arb_mode: str = "fast",
+    decline_violators: bool = True,
+) -> tuple[ColoringResult, RunMetrics, ArbListReport]:
+    """Solve a (degree+1)-list arbdefective instance (Theorem 1.3).
+
+    Parameters
+    ----------
+    instance:
+        Undirected; must satisfy ``sum_x (d_v(x)+1) > deg(v)`` per node.
+    oldc_solver:
+        Any OLDC solver (defaults to Theorem 1.1's).
+    kappa:
+        The inner solver's condition threshold; shapes the stage arbdefect
+        ``delta ~ sqrt(Delta_s / (2 kappa))`` and hence ``q``.
+    arb_mode:
+        ``"fast"`` or ``"tight"`` decomposition (see
+        :func:`repro.algorithms.arbdefective.arbdefective_coloring`).
+
+    Returns ``(result-with-orientation, metrics, report)``; validate with
+    :func:`repro.core.validate.validate_arbdefective`.
+    """
+    if instance.directed:
+        raise ValueError("Theorem 1.3 expects an undirected instance")
+    if kappa is None:
+        # The inner OLDC condition needs list sizes >= ~alpha*tau*beta^2;
+        # delta = sqrt(Delta_s / (2 kappa)) with kappa ~ 2.5 tau keeps the
+        # residual lists (size >= Delta_s/2) comfortably above it.
+        kappa = 2.5 * scale.tau + 2.0
+    if oldc_solver is None:
+        oldc_solver = default_oldc_solver(scale, model)
+    graph = instance.graph
+    report = ArbListReport()
+
+    # One-time Linial precoloring of the whole graph (O(log* n) rounds),
+    # reused as the initial m-coloring of every inner OLDC run.
+    pre, metrics, _pal = run_linial(graph, model=model)
+    report.phases.add("linial", metrics)
+    init_coloring = pre.assignment
+
+    colors: dict[int, int] = {}
+    colored_seq: dict[int, int] = {}  # global coloring order (event index)
+    event = 0
+    event_ori: dict[frozenset, tuple[int, int]] = {}
+    a_count: dict[int, dict[int, int]] = {v: {} for v in graph.nodes}
+
+    def mark_colored(v: int, x: int, seq: int) -> None:
+        colors[v] = x
+        colored_seq[v] = seq
+        for u in graph.neighbors(v):
+            a_count[u][x] = a_count[u].get(x, 0) + 1
+
+    def uncolored_subgraph() -> nx.Graph:
+        return graph.subgraph([v for v in graph.nodes if v not in colors])
+
+    delta0 = max((d for _, d in graph.degree), default=0)
+    max_stages = 2 * max(1, delta0).bit_length() + 8
+    while report.stages < max_stages:
+        sub = uncolored_subgraph()
+        if sub.number_of_nodes() == 0:
+            break
+        delta_s = max((d for _, d in sub.degree), default=0)
+        if delta_s == 0:
+            # isolated uncolored nodes: any residual-feasible color works
+            event += 1
+            for v in sorted(sub.nodes):
+                x = _any_feasible(instance, a_count, v)
+                mark_colored(v, x, event)
+                report.cleanup_nodes += 1
+            report.announce_rounds += 1
+            metrics.observe_round(
+                [index_bits(instance.space.size)] * sub.number_of_nodes()
+            )
+            report.phases.add_raw(
+                "announce", 1, sub.number_of_nodes(),
+                sub.number_of_nodes() * index_bits(instance.space.size),
+            )
+            break
+
+        report.stages += 1
+        report.stage_deltas.append(delta_s)
+        threshold = delta_s / 2.0
+
+        # --- stage decomposition: delta-arbdefective q-coloring ----------
+        # Paper (proof of Thm 1.3, nu = 1): delta = (Delta_s/2) /
+        # (Lambda^{1/2} kappa^{1/2}) — Hölder turns residual weight
+        # sum (d'+1) > Delta_s/2 over <= Lambda colors into
+        # sum (d'+1)^2 >= (Delta_s/2)^2 / Lambda >= delta^2 kappa.
+        lam = max(
+            (len(instance.lists[v]) for v in sub.nodes if v not in colors),
+            default=1,
+        )
+        lam = min(lam, delta_s + 1)
+        delta = max(1, int(delta_s / (2.0 * math.sqrt(lam * kappa))))
+        arb, arb_metrics, q = arbdefective_coloring(
+            sub.copy(), arbdefect=delta, mode=arb_mode, model=model
+        )
+        report.stage_palettes.append(q)
+        report.phases.add("arbdefective-decomposition", arb_metrics)
+        metrics = metrics.merge_sequential(arb_metrics)
+
+        # --- iterate the q classes ----------------------------------------
+        for i in range(q):
+            members = [
+                v
+                for v in sub.nodes
+                if v not in colors and arb.assignment[v] == i
+            ]
+            active = [
+                v
+                for v in members
+                if sum(1 for u in graph.neighbors(v) if u not in colors)
+                >= threshold
+            ]
+            if not active:
+                continue
+            gi = _class_digraph(sub, arb.orientation, active)
+            residual = _residual_instance(instance, a_count, gi)
+            if any(len(residual.lists[v]) == 0 for v in active):
+                raise ScheduleError("residual list emptied — defect accounting bug")
+            res, m, inner = oldc_solver(
+                residual, {v: init_coloring[v] for v in active}
+            )
+            metrics = metrics.merge_sequential(m)
+            report.phases.add("inner-oldc", m)
+            report.oldc_runs += 1
+            report.inner_reports.append(inner)
+            # Self-audit: nodes whose realized out-defect in G_i' exceeds the
+            # residual budget *decline* and stay uncolored (they are finished
+            # off by the always-valid priority sweep below).  Removing the
+            # violators only lowers the counts of the nodes that stay.
+            accepted = []
+            for v in active:
+                x = res.assignment[v]
+                realized = sum(
+                    1 for u in gi.successors(v) if res.assignment[u] == x
+                )
+                if decline_violators and realized > residual.defects[v][x]:
+                    report.declined += 1
+                else:
+                    accepted.append(v)
+            event += 1
+            for a, b in gi.edges:
+                event_ori[frozenset((a, b))] = (a, b)
+            for v in sorted(accepted):
+                mark_colored(v, res.assignment[v], event)
+            # one announce round: newly colored nodes broadcast their color
+            report.announce_rounds += 1
+            metrics.observe_round(
+                [index_bits(instance.space.size)] * len(active)
+            )
+            report.phases.add_raw(
+                "announce", 1, len(active),
+                len(active) * index_bits(instance.space.size),
+            )
+
+    # --- priority sweep for leftovers (declines / stage-budget overrun) ---
+    # Always valid: colored-neighbor counts plus the sum (d+1) > deg
+    # pigeonhole guarantee a feasible color, and the coloring-order
+    # orientation means later picks never hurt earlier nodes.  Each round
+    # the id-maxima of the uncolored subgraph pick simultaneously (they are
+    # pairwise non-adjacent).
+    while True:
+        rest = [v for v in graph.nodes if v not in colors]
+        if not rest:
+            break
+        rest_set = set(rest)
+        maxima = [
+            v
+            for v in rest
+            if all(u < v for u in graph.neighbors(v) if u in rest_set)
+        ]
+        event += 1
+        for v in sorted(maxima):
+            x = _any_feasible(instance, a_count, v)
+            mark_colored(v, x, event)
+            report.sweep_nodes += 1
+        report.sweep_rounds += 1
+        metrics.observe_round([index_bits(instance.space.size)] * len(maxima))
+        report.phases.add_raw(
+            "sweep", 1, len(maxima),
+            len(maxima) * index_bits(instance.space.size),
+        )
+
+    # --- build the global orientation -------------------------------------
+    ori = EdgeOrientation()
+    for u, v in graph.edges:
+        su, sv = colored_seq[u], colored_seq[v]
+        if su == sv:
+            a, b = event_ori.get(frozenset((u, v)), (max(u, v), min(u, v)))
+            ori.orient(a, b)
+        elif su > sv:
+            ori.orient(u, v)
+        else:
+            ori.orient(v, u)
+    return ColoringResult(dict(colors), ori), metrics, report
+
+
+def _any_feasible(
+    instance: ListDefectiveInstance, a_count: dict[int, dict[int, int]], v: int
+) -> int:
+    for x in instance.lists[v]:
+        if a_count[v].get(x, 0) <= instance.defects[v][x]:
+            return x
+    raise ScheduleError(
+        f"node {v}: no residually feasible color "
+        "(input violates sum (d+1) > deg or an inner run overdrew defects)"
+    )
+
+
+def _class_digraph(
+    sub: nx.Graph, ori: EdgeOrientation, active: list[int]
+) -> nx.DiGraph:
+    """The arbdefective orientation restricted to one class's active nodes."""
+    gi = nx.DiGraph()
+    gi.add_nodes_from(active)
+    active_set = set(active)
+    for v in active:
+        for u in sub.neighbors(v):
+            if u in active_set and ori.points_from(v, u):
+                gi.add_edge(v, u)
+    return gi
+
+
+def _residual_instance(
+    instance: ListDefectiveInstance,
+    a_count: dict[int, dict[int, int]],
+    gi: nx.DiGraph,
+) -> ListDefectiveInstance:
+    lists: dict[int, tuple[int, ...]] = {}
+    defects: dict[int, dict[int, int]] = {}
+    for v in gi.nodes:
+        kept = [
+            x
+            for x in instance.lists[v]
+            if a_count[v].get(x, 0) <= instance.defects[v][x]
+        ]
+        lists[v] = tuple(kept)
+        defects[v] = {
+            x: instance.defects[v][x] - a_count[v].get(x, 0) for x in kept
+        }
+    return ListDefectiveInstance(gi, instance.space, lists, defects)

@@ -1,0 +1,149 @@
+"""Baseline algorithms the paper compares against (or builds on).
+
+* :func:`randomized_list_coloring` — the Luby-style randomized
+  (degree+1)-list coloring [Lub86, BEPS16]: every round, each uncolored
+  node proposes a random free color; a proposal is kept unless a
+  higher-priority neighbor proposed the same color.  O(log n) rounds w.h.p.
+  with O(log n)-bit messages — the randomized yardstick for Theorem 1.4.
+* :class:`ListExchangeColoring` — a stand-in for the message-size profile
+  of the [FHK16]/[MT20] LOCAL algorithms: identical conflict resolution,
+  but every message additionally carries the sender's full remaining color
+  list, i.e. Theta(Lambda log |C|) bits — exactly the "every node has to
+  learn the color lists of its neighbors" cost the paper pinpoints as the
+  reason those algorithms need Delta = O(log n) to fit CONGEST.  Round
+  counts for the true deterministic algorithms are reported from their
+  formulas in :mod:`repro.analysis.bounds` (they are not re-implemented;
+  DESIGN.md §3 lists this as a documented substitution).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+import networkx as nx
+
+from ..core.coloring import ColoringResult
+from ..core.instance import ListDefectiveInstance
+from ..sim.message import Message, color_list_bits, index_bits
+from ..sim.metrics import RunMetrics
+from ..sim.network import SyncNetwork
+from ..sim.node import DistributedAlgorithm, NodeView
+
+
+class RandomizedListColoring(DistributedAlgorithm):
+    """Luby-style trial coloring.
+
+    Per-node inputs: ``palette`` (list), ``seed``.  Shared: ``space_size``.
+    Each round: uncolored nodes draw a uniformly random free color and send
+    ``(proposal, final?)``; a node finalizes if no neighbor with a larger
+    id proposed the same color.  Finalized colors are re-announced once so
+    neighbors can mark them taken.
+    """
+
+    name = "randomized-list-coloring"
+
+    def init_state(self, view: NodeView) -> dict[str, Any]:
+        return {
+            "rng": random.Random(int(view.inputs.get("seed", 0)) * 7919 + view.id),
+            "palette": list(view.inputs["palette"]),
+            "taken": set(),
+            "proposal": None,
+            "color": None,
+            "quiet": False,
+        }
+
+    def send(self, view: NodeView, state, rnd: int) -> dict[int, Message]:
+        bits = index_bits(view.globals["space_size"]) + 1
+        if state["color"] is not None:
+            state["quiet"] = True
+            msg = Message((state["color"], True), bits=bits)
+            return {u: msg for u in view.neighbors}
+        free = [x for x in state["palette"] if x not in state["taken"]]
+        if not free:
+            raise ValueError(f"node {view.id}: palette exhausted")
+        state["proposal"] = state["rng"].choice(free)
+        msg = Message((state["proposal"], False), bits=bits)
+        return {u: msg for u in view.neighbors}
+
+    def receive(self, view: NodeView, state, rnd: int, inbox) -> None:
+        if state["color"] is not None:
+            return
+        conflict = False
+        for u, m in inbox.items():
+            color, final = m.payload
+            if final:
+                state["taken"].add(color)
+                if color == state["proposal"]:
+                    conflict = True
+            elif color == state["proposal"] and u > view.id:
+                conflict = True
+        if not conflict and state["proposal"] is not None:
+            state["color"] = state["proposal"]
+
+    def is_done(self, view: NodeView, state) -> bool:
+        return state["quiet"]
+
+    def output(self, view: NodeView, state) -> int:
+        return state["color"]
+
+
+def randomized_list_coloring(
+    instance: ListDefectiveInstance,
+    seed: int = 0,
+    model: str = "CONGEST",
+    max_rounds: int = 10_000,
+) -> tuple[ColoringResult, RunMetrics]:
+    """Run the Luby-style baseline on a zero-defect list instance."""
+    if instance.directed:
+        raise ValueError("baseline expects an undirected instance")
+    net = SyncNetwork(instance.graph, model=model)
+    inputs = {
+        v: {"palette": instance.lists[v], "seed": seed} for v in instance.graph.nodes
+    }
+    outputs, metrics = net.run(
+        RandomizedListColoring(),
+        inputs,
+        shared={"space_size": instance.space.size},
+        max_rounds=max_rounds,
+    )
+    return ColoringResult(dict(outputs)), metrics
+
+
+class ListExchangeColoring(RandomizedListColoring):
+    """The big-message variant: every message carries the full list.
+
+    Same schedule as :class:`RandomizedListColoring`, but each message is
+    charged ``Theta(Lambda log |C|)`` bits — the [FHK16]/[MT20] profile.
+    """
+
+    name = "list-exchange-coloring"
+
+    def send(self, view: NodeView, state, rnd: int) -> dict[int, Message]:
+        out = super().send(view, state, rnd)
+        extra = color_list_bits(len(state["palette"]), view.globals["space_size"])
+        return {
+            u: Message(m.payload, bits=m.size_bits() + extra) for u, m in out.items()
+        }
+
+
+def list_exchange_coloring(
+    instance: ListDefectiveInstance,
+    seed: int = 0,
+    model: str = "CONGEST",
+    max_rounds: int = 10_000,
+) -> tuple[ColoringResult, RunMetrics]:
+    """Run the big-message baseline (message-size profile of [FHK16, MT20])."""
+    if instance.directed:
+        raise ValueError("baseline expects an undirected instance")
+    net = SyncNetwork(instance.graph, model=model)
+    inputs = {
+        v: {"palette": instance.lists[v], "seed": seed} for v in instance.graph.nodes
+    }
+    outputs, metrics = net.run(
+        ListExchangeColoring(),
+        inputs,
+        shared={"space_size": instance.space.size},
+        max_rounds=max_rounds,
+    )
+    return ColoringResult(dict(outputs)), metrics

@@ -1,0 +1,216 @@
+"""Sequential coloring algorithms (Appendix A of the paper + folklore greedy).
+
+Three solvers:
+
+* :func:`greedy_list_coloring` — the folklore sequential greedy for
+  (degree+1)-list coloring (and any LDC instance processed greedily).
+* :func:`solve_ldc_potential` — Lemma A.1: list defective colorings exist
+  whenever ``sum_x (d_v(x)+1) > deg(v)``; constructive via the potential
+  function ``Phi = M + sum_v (deg(v) - d_v(x_v))`` which strictly decreases
+  each time an unhappy node is recolored.
+* :func:`solve_arbdefective_euler` — Lemma A.2: list arbdefective colorings
+  exist whenever ``sum_x (2 d_v(x)+1) > deg(v)``; constructive by first
+  solving the doubled-defect LDC instance and then orienting each color
+  class with the Euler-tour balanced orientation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+from ..core.coloring import ColoringResult, EdgeOrientation
+from ..core.conditions import (
+    arbdefective_exists_condition,
+    ldc_exists_condition,
+)
+from ..core.instance import ListDefectiveInstance
+from ..graphs.orientation import balanced_orientation
+from ..exceptions import ConditionViolation
+
+
+def greedy_list_coloring(
+    instance: ListDefectiveInstance,
+    order: Sequence[int] | None = None,
+) -> ColoringResult:
+    """Sequential greedy: color nodes in ``order``, never exceeding defects.
+
+    Processes nodes one by one; each node takes the first color in its list
+    whose *current* same-color neighbor count is within the color's defect
+    budget **and** which cannot push an already-colored neighbor over its
+    own budget.  For zero-defect (degree+1)-list instances this is the
+    classic greedy, which always succeeds.  For general defects greedy can
+    get stuck even when Eq. (1) holds — use :func:`solve_ldc_potential` for
+    the guaranteed solver; the contrast between the two is itself checked in
+    tests.
+
+    Raises ``ValueError`` when some node has no admissible color.
+    """
+    g = instance.graph
+    order = list(order) if order is not None else sorted(g.nodes)
+    assignment: dict[int, int] = {}
+
+    def neighbors(v: int) -> list[int]:
+        if instance.directed:
+            return sorted(set(g.predecessors(v)) | set(g.successors(v)))
+        return sorted(g.neighbors(v))
+
+    for v in order:
+        chosen = None
+        for x in instance.lists[v]:
+            same = [u for u in neighbors(v) if assignment.get(u) == x]
+            if len(same) > instance.defects[v][x]:
+                continue
+            # check we don't overload an already-colored neighbor
+            overload = False
+            for u in same:
+                budget = instance.defects[u][x]
+                used = sum(1 for w in neighbors(u) if assignment.get(w) == x)
+                if used + 1 > budget:
+                    overload = True
+                    break
+            if not overload:
+                chosen = x
+                break
+        if chosen is None:
+            raise ValueError(f"greedy stuck at node {v}")
+        assignment[v] = chosen
+    return ColoringResult(assignment)
+
+
+def solve_ldc_potential(
+    instance: ListDefectiveInstance,
+    max_steps: int | None = None,
+    require_condition: bool = True,
+) -> ColoringResult:
+    """Lemma A.1: construct an LDC solution via potential descent.
+
+    Start from an arbitrary list coloring; while some node ``v`` is
+    *unhappy* (more than ``d_v(x_v)`` same-colored neighbors), recolor it
+    with a color ``y`` whose current same-color neighbor count is at most
+    ``d_v(y)`` — such a ``y`` exists whenever Eq. (1) holds for ``v``
+    (pigeonhole over ``sum (d+1) > deg``).  The potential
+    ``Phi = M + sum_v (deg(v) - d_v(x_v))`` drops by >= 1 per step, so at
+    most ``3|E|`` steps occur.
+
+    Parameters
+    ----------
+    require_condition:
+        When true (default), raise if Eq. (1) is violated; when false, run
+        anyway and raise only if the process exceeds its step budget —
+        used by the E01 tightness experiment.
+    """
+    if require_condition and not ldc_exists_condition(instance):
+        raise ConditionViolation(
+            "Eq. (1) violated: sum (d_v(x)+1) <= deg(v) for some v"
+        )
+    g = instance.graph
+    if instance.directed:
+        raise ValueError("Lemma A.1 operates on undirected instances")
+    if max_steps is None:
+        # Phi starts at <= 3|E| and can only descend to -sum_v max_x d_v(x)
+        # (negative terms arise when defects exceed degrees), one unit/step.
+        slack = sum(max(dv.values(), default=0) for dv in instance.defects.values())
+        max_steps = 3 * g.number_of_edges() + slack + g.number_of_nodes() + 10
+
+    assignment = {v: instance.lists[v][0] for v in g.nodes}
+    # same-color neighbor counters, maintained incrementally
+    same_count = {v: 0 for v in g.nodes}
+    for u, v in g.edges:
+        if assignment[u] == assignment[v]:
+            same_count[u] += 1
+            same_count[v] += 1
+
+    def unhappy() -> int | None:
+        for v in sorted(g.nodes):
+            if same_count[v] > instance.defects[v][assignment[v]]:
+                return v
+        return None
+
+    steps = 0
+    v = unhappy()
+    while v is not None:
+        if steps >= max_steps:
+            raise ValueError(
+                f"potential descent did not converge in {max_steps} steps "
+                "(Eq. (1) presumably violated)"
+            )
+        # count, per candidate color, how many neighbors currently hold it
+        neigh_colors: dict[int, int] = {}
+        for u in g.neighbors(v):
+            cu = assignment[u]
+            neigh_colors[cu] = neigh_colors.get(cu, 0) + 1
+        new = None
+        for y in instance.lists[v]:
+            if neigh_colors.get(y, 0) <= instance.defects[v][y]:
+                new = y
+                break
+        if new is None:
+            raise ValueError(f"no admissible recoloring for node {v}")
+        old = assignment[v]
+        assignment[v] = new
+        # update counters
+        same_count[v] = neigh_colors.get(new, 0)
+        for u in g.neighbors(v):
+            if assignment[u] == old:
+                same_count[u] -= 1
+            elif assignment[u] == new:
+                same_count[u] += 1
+        steps += 1
+        v = unhappy()
+    return ColoringResult(assignment)
+
+
+def solve_arbdefective_euler(
+    instance: ListDefectiveInstance,
+    require_condition: bool = True,
+) -> ColoringResult:
+    """Lemma A.2: list arbdefective coloring via doubled defects + Euler.
+
+    1. Solve the LDC instance with defects ``d'_v(x) = 2 d_v(x)`` (exists by
+       Lemma A.1 because ``sum (2d+1) > deg`` is exactly Eq. (1) for d').
+    2. For each color class ``G_x``, compute a balanced orientation
+       (outdegree <= ceil(deg_{G_x}/2) <= d_v(x)).
+    3. Orient cross-color edges arbitrarily (by id); they never count
+       against any defect.
+    """
+    if require_condition and not arbdefective_exists_condition(instance):
+        raise ConditionViolation(
+            "Eq. (2) violated: sum (2 d_v(x)+1) <= deg(v) for some v"
+        )
+    doubled = ListDefectiveInstance(
+        instance.graph,
+        instance.space,
+        {v: tuple(lst) for v, lst in instance.lists.items()},
+        {v: {x: 2 * d for x, d in dv.items()} for v, dv in instance.defects.items()},
+    )
+    base = solve_ldc_potential(doubled, require_condition=require_condition)
+    assignment = base.assignment
+    g = instance.graph
+
+    ori = EdgeOrientation()
+    classes: dict[int, list[int]] = {}
+    for v, c in assignment.items():
+        classes.setdefault(c, []).append(v)
+    for c, members in sorted(classes.items()):
+        sub = g.subgraph(members)
+        sub_ori = balanced_orientation(sub)
+        for a, b in sub_ori:
+            ori.orient(a, b)
+    for u, v in g.edges:
+        if not ori.is_oriented(u, v):
+            ori.orient(min(u, v), max(u, v))
+    return ColoringResult(assignment, ori)
+
+
+def sequential_color_order_by_degree(graph: nx.Graph) -> list[int]:
+    """Smallest-last (degeneracy) order — the strongest greedy schedule."""
+    g = graph.copy()
+    order: list[int] = []
+    while g.number_of_nodes():
+        v = min(sorted(g.nodes), key=lambda u: g.degree(u))
+        order.append(v)
+        g.remove_node(v)
+    order.reverse()
+    return order

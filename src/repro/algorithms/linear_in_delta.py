@@ -1,0 +1,177 @@
+"""(Delta+1)-coloring in O(Delta polylog + log* n) rounds [BE09, Kuh09].
+
+The paper's introduction describes the first generation of
+defective-coloring-based algorithms: "Both papers use defective colorings
+to compute proper colorings in a divide-and-conquer fashion, leading to
+algorithms to compute a (Delta+1)-coloring in O(Delta + log* n) rounds
+[...] In [BE09, Kuh09], this [palette growth] is compensated by reducing
+the number of colors at the end of each recursion level."
+
+This module implements that exact scheme:
+
+1. compute a ``Delta/2``-defective coloring (O(log* n) rounds, [Kuh09]);
+2. recurse *in parallel* on each defective class (max degree <= Delta/2)
+   with pairwise **disjoint palettes** — inter-class edges can then never
+   conflict;
+3. the union is a proper coloring with ``classes * (Delta/2 + 1)`` colors;
+   rank-compress the palette (zero rounds — the palette layout is common
+   knowledge) and run the one-class-per-round schedule reduction back down
+   to ``Delta + 1`` colors.
+
+Per level the reduction costs O(classes * Delta / 2) rounds, so the
+recursion totals O(Delta * classes) — linear in Delta with the polylog
+carried by our defective palette (DESIGN.md §3).  This is the baseline the
+(1+eps) trick of [Bar16] (E13) and ultimately Theorem 1.4 improve on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..core.coloring import ColoringResult
+from ..sim.message import Message, index_bits
+from ..sim.metrics import RunMetrics
+from ..sim.network import SyncNetwork
+from ..sim.node import DistributedAlgorithm, NodeView
+from .defective import run_defective_coloring
+from .linial import run_linial
+from .reduction import ScheduledListColoring
+
+
+@dataclass
+class LinearReport:
+    """Recursion audit."""
+
+    levels: int = 0
+    palettes_before_reduce: list[int] = field(default_factory=list)
+    reduce_rounds: list[int] = field(default_factory=list)
+
+
+def _reduce_palette(
+    graph: nx.Graph,
+    coloring: dict[int, int],
+    palette_order: list[int],
+    target: int,
+    model: str,
+) -> tuple[dict[int, int], RunMetrics]:
+    """Schedule-reduce a proper coloring onto its first ``target`` ranks.
+
+    ``palette_order`` is the globally known enumeration of possible colors;
+    nodes holding a color ranked >= target repick greedily, scheduled by
+    their current (proper!) color rank.  One round per excess rank.
+    """
+    rank = {c: i for i, c in enumerate(palette_order)}
+    n_excess_schedule = len(palette_order)
+
+    class Reduce(DistributedAlgorithm):
+        name = "palette-reduce"
+
+        def init_state(self, view: NodeView):
+            c = view.inputs["color"]
+            return {
+                "rank": rank[c],
+                "final": rank[c] if rank[c] < target else None,
+                "taken": set(),
+                "announced": False,
+            }
+
+        def send(self, view, state, rnd):
+            if state["final"] is not None and not state["announced"]:
+                state["announced"] = True
+                msg = Message(state["final"], bits=index_bits(max(2, target)))
+                return {u: msg for u in view.neighbors}
+            return {}
+
+        def receive(self, view, state, rnd, inbox):
+            for m in inbox.values():
+                state["taken"].add(m.payload)
+            if state["final"] is None and rnd == state["rank"] - target:
+                free = next(
+                    x for x in range(target) if x not in state["taken"]
+                )
+                state["final"] = free
+
+        def is_done(self, view, state):
+            return state["final"] is not None and state["announced"]
+
+        def output(self, view, state):
+            return state["final"]
+
+    # nodes already below target announce at round 0; node of rank r >=
+    # target repicks at round r - target (by then all lower ranks are
+    # final, and equal-rank nodes are non-adjacent since the input
+    # coloring is proper).
+    net = SyncNetwork(graph, model=model)
+    inputs = {v: {"color": coloring[v]} for v in graph.nodes}
+    outputs, metrics = net.run(
+        Reduce(), inputs, max_rounds=n_excess_schedule + 3
+    )
+    return dict(outputs), metrics
+
+
+def linear_in_delta_coloring(
+    graph: nx.Graph,
+    model: str = "CONGEST",
+    base_delta: int = 4,
+) -> tuple[ColoringResult, RunMetrics, LinearReport]:
+    """[BE09/Kuh09]-style recursive (Delta+1)-coloring (module docstring).
+
+    Returns ``(coloring, metrics, report)`` with at most ``Delta+1``
+    colors; validate with
+    :func:`repro.core.validate.validate_proper_coloring`.
+    """
+    report = LinearReport()
+    metrics = RunMetrics()
+
+    def color_recursive(sub: nx.Graph, level: int) -> dict[int, int]:
+        nonlocal metrics
+        report.levels = max(report.levels, level + 1)
+        delta = max((d for _, d in sub.degree), default=0)
+        if delta <= base_delta:
+            pre, m1, _p = run_linial(sub, model=model)
+            target = delta + 1
+            palette_order = sorted(set(pre.assignment.values()))
+            colors, m2 = _reduce_palette(
+                sub, pre.assignment, palette_order, target, model
+            )
+            metrics = metrics.merge_sequential(m1).merge_sequential(m2)
+            return colors
+
+        d = delta // 2
+        classes, m1, palette = run_defective_coloring(sub, d, model=model)
+        metrics = metrics.merge_sequential(m1)
+        # recurse per class with disjoint palettes (parallel: max rounds)
+        sub_metrics: list[RunMetrics] = []
+        union: dict[int, int] = {}
+        offset = 0
+        saved = metrics
+        for cls, members in sorted(classes.color_classes().items()):
+            block = sub.subgraph(members)
+            block_delta = max((deg for _, deg in block.degree), default=0)
+            metrics = RunMetrics()
+            colors = color_recursive(block.copy(), level + 1)
+            sub_metrics.append(metrics)
+            for v, c in colors.items():
+                union[v] = offset + c
+            offset += block_delta + 1
+        parallel = RunMetrics()
+        if sub_metrics:
+            parallel.rounds = max(m.rounds for m in sub_metrics)
+            parallel.total_messages = sum(m.total_messages for m in sub_metrics)
+            parallel.total_bits = sum(m.total_bits for m in sub_metrics)
+            parallel.max_message_bits = max(
+                m.max_message_bits for m in sub_metrics
+            )
+        metrics = saved.merge_sequential(parallel)
+        report.palettes_before_reduce.append(offset)
+        # rank-compress & reduce to delta + 1
+        palette_order = list(range(offset))
+        colors, m2 = _reduce_palette(sub, union, palette_order, delta + 1, model)
+        report.reduce_rounds.append(m2.rounds)
+        metrics = metrics.merge_sequential(m2)
+        return colors
+
+    assignment = color_recursive(graph, 0)
+    return ColoringResult(assignment), metrics, report

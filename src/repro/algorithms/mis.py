@@ -1,0 +1,152 @@
+"""Luby's randomized MIS and the MIS -> (Delta+1)-coloring reduction [Lub86].
+
+The oldest entry in the paper's bibliography: Luby's parallel MIS runs in
+O(log n) rounds w.h.p., and a maximal independent set of the *product
+graph* ``G x K_{Delta+1}`` (one copy (v, c) per node and candidate color;
+copies of one node pairwise adjacent; (u, c) ~ (v, c) for edges u~v) is
+exactly a (Delta+1)-coloring of ``G``.  Both are classic substrates the
+randomized-coloring literature builds on, and they give the experiments a
+second independent randomized baseline beside the trial-coloring one.
+
+Distributed implementation note: each product-graph node (v, c) is hosted
+by the real node ``v``, so a product round costs one real round and the
+per-message payload is a set of candidate colors (O(Delta log Delta) bits
+worst case — charged as such; the simpler trial-coloring baseline is the
+bandwidth-friendly one).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+import networkx as nx
+
+from ..core.coloring import ColoringResult
+from ..sim.message import Message, index_bits
+from ..sim.metrics import RunMetrics
+from ..sim.network import SyncNetwork
+from ..sim.node import DistributedAlgorithm, NodeView
+
+
+class LubyMIS(DistributedAlgorithm):
+    """Luby's MIS: undecided nodes draw random priorities each round; local
+    maxima join the set, their neighbors leave.  Inputs: ``seed``."""
+
+    name = "luby-mis"
+
+    def init_state(self, view: NodeView) -> dict[str, Any]:
+        return {
+            "rng": random.Random(int(view.inputs.get("seed", 0)) * 65537 + view.id),
+            "state": "undecided",  # undecided | in | out
+            "draw": None,
+            "undecided_neigh": set(view.neighbors),
+            "announced": False,
+        }
+
+    def send(self, view: NodeView, state, rnd: int) -> dict[int, Message]:
+        if state["state"] != "undecided":
+            if not state["announced"]:
+                state["announced"] = True
+                msg = Message(("decided", state["state"] == "in"), bits=2)
+                return {u: msg for u in view.neighbors}
+            return {}
+        state["draw"] = state["rng"].random()
+        msg = Message(("draw", state["draw"]), bits=64)
+        return {u: msg for u in view.neighbors}
+
+    def receive(self, view: NodeView, state, rnd: int, inbox) -> None:
+        if state["state"] != "undecided":
+            return
+        joined_neighbor = False
+        draws: dict[int, float] = {}
+        for u, m in inbox.items():
+            kind, payload = m.payload
+            if kind == "decided":
+                state["undecided_neigh"].discard(u)
+                if payload:
+                    joined_neighbor = True
+            else:
+                draws[u] = payload
+        if joined_neighbor:
+            state["state"] = "out"
+            return
+        alive = {u for u in state["undecided_neigh"] if u in draws}
+        my = (state["draw"], view.id)
+        if all(my > (draws[u], u) for u in alive):
+            state["state"] = "in"
+
+    def is_done(self, view: NodeView, state) -> bool:
+        return state["state"] != "undecided" and state["announced"]
+
+    def output(self, view: NodeView, state) -> bool:
+        return state["state"] == "in"
+
+
+def luby_mis(
+    graph: nx.Graph, seed: int = 0, model: str = "CONGEST", max_rounds: int = 10_000
+) -> tuple[set[int], RunMetrics]:
+    """Run Luby's MIS; returns the independent set and metrics."""
+    net = SyncNetwork(graph, model=model)
+    inputs = {v: {"seed": seed} for v in graph.nodes}
+    outputs, metrics = net.run(LubyMIS(), inputs, max_rounds=max_rounds)
+    return {v for v, flag in outputs.items() if flag}, metrics
+
+
+def is_maximal_independent_set(graph: nx.Graph, mis: set[int]) -> bool:
+    """Independence + maximality (every outsider has a neighbor inside)."""
+    for u, v in graph.edges:
+        if u in mis and v in mis:
+            return False
+    for v in graph.nodes:
+        if v not in mis and not any(u in mis for u in graph.neighbors(v)):
+            return False
+    return True
+
+
+def product_graph(graph: nx.Graph, colors: int) -> nx.Graph:
+    """``G x K_colors``: nodes (v, c) encoded as ``v * colors + c``."""
+    pg = nx.Graph()
+    for v in graph.nodes:
+        for c in range(colors):
+            pg.add_node(v * colors + c)
+    for v in graph.nodes:
+        for a in range(colors):
+            for b in range(a + 1, colors):
+                pg.add_edge(v * colors + a, v * colors + b)
+    for u, v in graph.edges:
+        for c in range(colors):
+            pg.add_edge(u * colors + c, v * colors + c)
+    return pg
+
+
+def coloring_via_mis(
+    graph: nx.Graph, seed: int = 0, model: str = "CONGEST"
+) -> tuple[ColoringResult, RunMetrics]:
+    """[Lub86]'s reduction: a (Delta+1)-coloring from an MIS of G x K_{Delta+1}.
+
+    An MIS of the product graph picks at most one (v, c) per node
+    (node-copies form a clique) and never the same c across an edge; it
+    picks *at least* one per node because a colorless node would have some
+    color c unused in its whole neighborhood, contradicting maximality.
+
+    Metrics are synthesized from the product run: the product graph is
+    simulated directly, and since node v hosts all its copies, real rounds
+    equal product rounds while per-edge payloads aggregate the Delta+1
+    copies' messages (charged accordingly).
+    """
+    delta = max((d for _, d in graph.degree), default=0)
+    colors = delta + 1
+    pg = product_graph(graph, colors)
+    mis, pg_metrics = luby_mis(pg, seed=seed, model=model)
+    assignment: dict[int, int] = {}
+    for node in mis:
+        assignment[node // colors] = node % colors
+    # real-network accounting: one real message per graph edge direction
+    # per round, carrying the copies' aggregate (<= colors * 64 bits + ids)
+    metrics = RunMetrics(bandwidth_limit=pg_metrics.bandwidth_limit)
+    per_round = 2 * graph.number_of_edges()
+    bits = colors * (64 + index_bits(max(2, colors)))
+    for _ in range(pg_metrics.rounds):
+        metrics.observe_uniform_round(per_round, bits)
+    return ColoringResult(assignment), metrics

@@ -1,0 +1,213 @@
+"""The 2-round list coloring algorithm of Maus and Tonoyan (Section 3.1).
+
+The paper's main technical tool is an adaptation of [MT20]: given a
+properly m-colored directed graph where every node has a color list of
+size ``|L_v| >= alpha * beta^2 * tau``, a proper coloring (every node picks
+from its own list, no out-neighbor conflict) is computable in **2 rounds**:
+
+* *(0 rounds)* every node derives its candidate family ``K_v`` (problem
+  P2) from its type;
+* *(round 1)* nodes exchange types; each node picks ``C_v in K_v`` with no
+  tau-conflicting out-neighbor family where possible (problem P1);
+* *(round 2)* nodes exchange the ``C_v`` index; each node picks a color of
+  ``C_v`` not present in any out-neighbor's ``C_u`` (problem P0).
+
+This module implements that pipeline directly (it is the ``h = 1``,
+``g = 0``, zero-defect special case of :mod:`repro.algorithms.oldc_basic`,
+but stated in [MT20]'s own terms and with its own simpler round layout),
+plus a driver that checks the list-size precondition and validates.
+
+Existence caveat at practical scale: with the seeded P2 families the
+"no conflicting out-neighbor" and "free color" picks are guaranteed by the
+paper's combinatorics only at theory-scale parameters; the driver therefore
+reports, per node, whether its pick was clean, and the validator audits the
+final coloring (see DESIGN.md §3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..analysis.bounds import DEFAULT_SCALE, ParamScale
+from ..core.coloring import ColoringResult
+from ..core.conflict import tau_g_conflict
+from ..core.instance import ListDefectiveInstance
+from ..sim.message import Message, color_list_bits, index_bits, int_bits
+from ..sim.metrics import RunMetrics
+from ..sim.network import SyncNetwork
+from ..sim.node import DistributedAlgorithm, NodeView
+from .mt_selection import FamilyOracle, NodeType
+
+
+@dataclass
+class MT20Report:
+    """Audit facts for one [MT20] run."""
+
+    tau: int = 0
+    k: int = 0
+    clean_c_picks: int = 0
+    clean_color_picks: int = 0
+    n: int = 0
+
+    @property
+    def all_clean(self) -> bool:
+        return self.clean_c_picks == self.n and self.clean_color_picks == self.n
+
+
+class MT20ListColoring(DistributedAlgorithm):
+    """[MT20]'s 2-round schedule (see module docstring).
+
+    Per-node inputs: ``colors`` (the list), ``init_color``, ``k``.
+    Shared: ``tau``, ``oracle``, ``space_size``, ``m``.
+    Output: ``(color, clean_c, clean_color)``.
+    """
+
+    name = "mt20-list-coloring"
+
+    def init_state(self, view: NodeView) -> dict[str, Any]:
+        t = NodeType(int(view.inputs["init_color"]), tuple(view.inputs["colors"]))
+        oracle: FamilyOracle = view.globals["oracle"]
+        k = max(1, min(int(view.inputs["k"]), len(t.colors)))
+        return {
+            "type": t,
+            "k": k,
+            "family": oracle.family(t, k),
+            "neigh_family": {},
+            "neigh_C": {},
+            "C": None,
+            "clean_c": True,
+            "color": None,
+            "clean_color": True,
+            "done": False,
+        }
+
+    def send(self, view: NodeView, state, rnd: int) -> dict[int, Message]:
+        if rnd == 0:
+            bits = (
+                color_list_bits(len(state["type"].colors), view.globals["space_size"])
+                + int_bits(max(1, view.globals["m"] - 1))
+            )
+            payload = (state["type"].init_color, state["type"].colors, state["k"])
+            msg = Message(payload, bits=bits)
+            return {u: msg for u in view.neighbors}
+        if rnd == 1:
+            idx = state["family"].index(state["C"])
+            msg = Message(idx, bits=index_bits(max(2, len(state["family"]))))
+            return {u: msg for u in view.neighbors}
+        return {}
+
+    def receive(self, view: NodeView, state, rnd: int, inbox) -> None:
+        oracle: FamilyOracle = view.globals["oracle"]
+        tau = view.globals["tau"]
+        if rnd == 0:
+            fams = {}
+            for u, m in inbox.items():
+                init_c, colors, k = m.payload
+                fams[u] = oracle.family(NodeType(init_c, tuple(colors)), k)
+            state["neigh_family"] = fams
+            # P1: a C_v tau-conflicting with no out-neighbor family
+            rivals = [fams[u] for u in view.out_neighbors if u in fams]
+            best, best_score = None, None
+            for cand in state["family"]:
+                score = sum(
+                    1
+                    for fam in rivals
+                    if any(tau_g_conflict(cand, cu, tau, 0) for cu in fam)
+                )
+                if best_score is None or score < best_score:
+                    best, best_score = cand, score
+                    if score == 0:
+                        break
+            state["C"] = best
+            state["clean_c"] = best_score == 0
+        elif rnd == 1:
+            for u, m in inbox.items():
+                fam = state["neigh_family"].get(u)
+                if fam is not None:
+                    state["neigh_C"][u] = fam[m.payload]
+            # P0: a color of C_v free of all out-neighbors' C_u
+            taken = set()
+            for u in view.out_neighbors:
+                cu = state["neigh_C"].get(u)
+                if cu:
+                    taken.update(cu)
+            free = [x for x in state["C"] if x not in taken]
+            if free:
+                state["color"] = free[0]
+            else:  # fall back to the least-claimed color; flagged unclean
+                state["clean_color"] = False
+                counts = {x: 0 for x in state["C"]}
+                for u in view.out_neighbors:
+                    cu = state["neigh_C"].get(u)
+                    if cu:
+                        for x in cu:
+                            if x in counts:
+                                counts[x] += 1
+                state["color"] = min(counts, key=lambda x: (counts[x], x))
+            state["done"] = True
+
+    def is_done(self, view: NodeView, state) -> bool:
+        return state["done"]
+
+    def output(self, view: NodeView, state):
+        return (state["color"], state["clean_c"], state["clean_color"])
+
+
+def mt20_list_coloring(
+    instance: ListDefectiveInstance,
+    init_coloring: dict[int, int],
+    scale: ParamScale = DEFAULT_SCALE,
+    model: str = "LOCAL",
+    require_list_size: bool = True,
+) -> tuple[ColoringResult, RunMetrics, MT20Report]:
+    """Run the [MT20] 2-round list coloring.
+
+    ``instance`` must be directed with all defects zero.  With
+    ``require_list_size`` (default) the driver enforces the practical form
+    of [MT20]'s precondition ``|L_v| >= alpha beta_v^2 tau``.
+    """
+    if not instance.directed:
+        raise ValueError("mt20_list_coloring expects a directed instance")
+    for v in instance.graph.nodes:
+        if any(d != 0 for d in instance.defects[v].values()):
+            raise ValueError(f"node {v}: [MT20] solves the zero-defect problem")
+    tau = scale.tau
+    if require_list_size:
+        for v in instance.graph.nodes:
+            beta_v = instance.outdegree(v)
+            need = max(1, int(scale.alpha * beta_v * beta_v * tau))
+            if len(instance.lists[v]) < need:
+                raise ValueError(
+                    f"node {v}: list size {len(instance.lists[v])} < "
+                    f"alpha*beta^2*tau = {need}"
+                )
+    m = max(init_coloring.values()) + 1 if init_coloring else 1
+    oracle = FamilyOracle(k_prime=scale.k_prime, seed=scale.seed)
+    inputs = {
+        v: {
+            "colors": instance.lists[v],
+            "init_color": init_coloring[v],
+            "k": instance.outdegree(v) * tau,
+        }
+        for v in instance.graph.nodes
+    }
+    net = SyncNetwork(instance.graph, model=model)
+    outputs, metrics = net.run(
+        MT20ListColoring(),
+        inputs,
+        shared={
+            "tau": tau,
+            "oracle": oracle,
+            "space_size": instance.space.size,
+            "m": m,
+        },
+        max_rounds=4,
+    )
+    report = MT20Report(tau=tau, n=instance.n)
+    assignment = {}
+    for v, (color, clean_c, clean_color) in outputs.items():
+        assignment[v] = color
+        report.clean_c_picks += int(clean_c)
+        report.clean_color_picks += int(clean_color)
+    return ColoringResult(assignment), metrics, report

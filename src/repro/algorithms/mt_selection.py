@@ -1,0 +1,182 @@
+"""Problem P2: zero-round selection of conflict-avoiding set families.
+
+Background (Sections 3.1/3.2.2 of the paper).  Every node must output, with
+**no communication**, a family ``K_v`` of ``k'`` candidate subsets of size
+``k`` of its (restricted) color list, such that for out-neighbors the pair
+``(K_v, K_u)`` avoids the relation ``Psi_g(tau', tau)``.  The paper proves
+existence by a greedy over all possible node *types* (initial color, list):
+because each family conflicts with only a tiny fraction of each type's
+candidate space (Lemma 3.1/3.2), a conflict-free type-indexed assignment
+exists, and since it depends only on the type it can be computed locally by
+every node — zero rounds.
+
+Two implementations (DESIGN.md §3.1):
+
+* :func:`exact_greedy_assignment` — the literal greedy over an explicit
+  type universe.  Exponential; usable only at toy parameters, which is
+  exactly what tests and experiment E10 need to verify the combinatorial
+  lemma (conflict degrees vs the d2 bound, |S̄| >= |S|/2).
+* :func:`seeded_family` — a shared PRF maps a type to ``k'`` pseudorandom
+  ``k``-subsets.  Still zero-round (the PRF seed is common knowledge) and
+  identical in message pattern; the downstream algorithm's explicit
+  conflict-minimizing choices plus output validation carry the correctness
+  burden that the paper's combinatorial argument carries at theory scale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.conflict import psi_g
+
+
+@dataclass(frozen=True)
+class NodeType:
+    """The paper's type ``T_v = (initial color, restricted color list)``.
+
+    Nodes of equal type must output equal families (that is what makes the
+    zero-round argument work), so this is the PRF key / greedy-table key.
+    """
+
+    init_color: int
+    colors: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "colors", tuple(sorted(self.colors)))
+
+    def stable_digest(self, seed: int) -> int:
+        """A process-independent 64-bit digest of (seed, type)."""
+        h = hashlib.blake2b(digest_size=8)
+        h.update(str(seed).encode())
+        h.update(b"|")
+        h.update(str(self.init_color).encode())
+        h.update(b"|")
+        h.update(",".join(map(str, self.colors)).encode())
+        return int.from_bytes(h.digest(), "big")
+
+
+def seeded_family(
+    node_type: NodeType,
+    k: int,
+    k_prime: int,
+    seed: int = 0,
+) -> list[tuple[int, ...]]:
+    """``k_prime`` deterministic pseudorandom distinct ``k``-subsets of the list.
+
+    Any two nodes with the same type (and shared seed) compute the same
+    family with zero communication.  When the list is too small to yield
+    ``k_prime`` distinct subsets, as many as exist are returned (all of
+    them, enumerated deterministically).
+    """
+    colors = node_type.colors
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if k > len(colors):
+        raise ValueError(f"k={k} exceeds list size {len(colors)}")
+    import math
+
+    total = math.comb(len(colors), k)
+    if total <= k_prime:
+        return [tuple(sorted(c)) for c in itertools.combinations(colors, k)]
+    rng = random.Random(node_type.stable_digest(seed))
+    seen: set[tuple[int, ...]] = set()
+    out: list[tuple[int, ...]] = []
+    attempts = 0
+    while len(out) < k_prime and attempts < 50 * k_prime:
+        cand = tuple(sorted(rng.sample(colors, k)))
+        attempts += 1
+        if cand not in seen:
+            seen.add(cand)
+            out.append(cand)
+    return out
+
+
+def candidate_space(colors: Sequence[int], k: int, k_prime: int):
+    """Enumerate the paper's S(L): all ``k_prime``-subsets of the
+    ``k``-subsets of ``colors``.  Exponential — toy parameters only."""
+    subsets = list(itertools.combinations(sorted(colors), k))
+    return itertools.combinations(subsets, k_prime)
+
+
+def exact_greedy_assignment(
+    types: Iterable[NodeType],
+    k: int,
+    k_prime: int,
+    tau: int,
+    tau_prime: int,
+    g: int = 0,
+) -> dict[NodeType, list[tuple[int, ...]]]:
+    """The paper's greedy: assign each type a family avoiding Psi conflicts
+    with all previously assigned types (in both directions).
+
+    Types are processed in the canonical order of Lemma 3.5 (descending
+    list size, then lexicographic), which the gamma-class argument needs.
+    Raises ``ValueError`` if some type's whole candidate space conflicts —
+    at paper parameters Lemma 3.2 rules this out; at toy parameters the
+    caller must pick feasible values (tests exercise both outcomes).
+    """
+    ordered = sorted(set(types), key=lambda t: (-len(t.colors), t.colors, t.init_color))
+    assigned: dict[NodeType, list[tuple[int, ...]]] = {}
+    for t in ordered:
+        chosen = None
+        for cand in candidate_space(t.colors, min(k, len(t.colors)), k_prime):
+            fam = [tuple(c) for c in cand]
+            bad = False
+            for prev in assigned.values():
+                if psi_g(fam, prev, tau_prime, tau, g) or psi_g(
+                    prev, fam, tau_prime, tau, g
+                ):
+                    bad = True
+                    break
+            if not bad:
+                chosen = fam
+                break
+        if chosen is None:
+            raise ValueError(
+                f"greedy failed for type {t}: every candidate family conflicts "
+                f"(parameters too small: k={k}, k'={k_prime}, tau={tau}, "
+                f"tau'={tau_prime})"
+            )
+        assigned[t] = chosen
+    return assigned
+
+
+class FamilyOracle:
+    """Uniform interface over the two P2 modes.
+
+    ``mode="seeded"`` computes families on demand from the shared PRF;
+    ``mode="exact"`` takes a precomputed greedy table (types must be known
+    up front).  Algorithms call :meth:`family` with a node's type; equal
+    types always yield equal families, preserving the zero-round property.
+    """
+
+    def __init__(
+        self,
+        k_prime: int,
+        seed: int = 0,
+        mode: str = "seeded",
+        table: dict[NodeType, list[tuple[int, ...]]] | None = None,
+    ) -> None:
+        if mode not in ("seeded", "exact"):
+            raise ValueError(f"unknown P2 mode {mode!r}")
+        if mode == "exact" and table is None:
+            raise ValueError("exact mode requires a precomputed greedy table")
+        self.k_prime = k_prime
+        self.seed = seed
+        self.mode = mode
+        self.table = table or {}
+        self._cache: dict[tuple[NodeType, int], list[tuple[int, ...]]] = {}
+
+    def family(self, node_type: NodeType, k: int) -> list[tuple[int, ...]]:
+        if self.mode == "exact":
+            if node_type not in self.table:
+                raise KeyError(f"type {node_type} missing from exact table")
+            return self.table[node_type]
+        key = (node_type, k)
+        if key not in self._cache:
+            self._cache[key] = seeded_family(node_type, k, self.k_prime, self.seed)
+        return self._cache[key]

@@ -1,0 +1,385 @@
+"""The basic (generalized) OLDC algorithm — Lemma 3.6 / Section 3.2.
+
+Solves, on a directed graph with an initial proper ``m``-coloring, the
+*g-generalized* oriented list defective coloring problem: assign each node
+``v`` a color ``x_v`` from its list such that at most ``d_v(x_v)``
+out-neighbors ``w`` hold a color with ``|x_w - x_v| <= g``.  For ``g = 0``
+this is the OLDC problem of Definition 1.1.
+
+Algorithm structure (paper Section 3.2.3, adapted to per-node list sizes):
+
+0. *(local)* multiple defects -> single defect: partition the list into
+   defect classes (powers of two) and keep the class maximizing
+   ``sum (d+1)^2`` (Lemma 3.6's reduction).
+1. *(local)* gamma-class: the smallest ``i`` with ``2^i >= 2 beta_v /
+   (d_v + 1)``; congruence restriction: keep the largest residue class of
+   the list modulo ``2g + 1`` (Lemma 3.5's trick).
+2. *(local, zero communication)* problem **P2**: derive the candidate
+   family ``K_v`` from the node's type via the shared
+   :class:`~repro.algorithms.mt_selection.FamilyOracle`.
+3. *(1 round)* exchange types; every node reconstructs each neighbor's
+   family locally.
+4. *(local)* problem **P1**: pick ``C_v in K_v`` minimizing the number of
+   same-or-lower-class out-neighbors whose family contains a
+   tau&g-conflicting set.
+5. *(1 round)* announce ``C_v`` as an index into ``K_v``.
+6. *(h rounds)* iterate the gamma-classes in **descending** order; when a
+   node's class fires it picks the color of ``C_v`` minimizing the
+   frequency ``f_v`` (occurrences across same/lower-class out-neighbors'
+   ``C_u`` plus g-close colors already fixed by higher classes) and
+   broadcasts it.
+
+A structural guarantee independent of the P2 family quality: because each
+``C_u`` lies in a single congruence class mod ``2g+1``, a node's final
+defect never exceeds ``f_v(x_v)`` — the run reports ``max f`` so the
+experiments can compare the achieved guarantee against ``d_v``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..analysis.bounds import ParamScale, DEFAULT_SCALE
+from ..core.colorspace import best_congruence_class
+from ..core.coloring import ColoringResult
+from ..core.conflict import mu_g, tau_g_conflict
+from ..core.instance import ListDefectiveInstance
+from ..sim.message import Message, color_list_bits, index_bits, int_bits
+from ..sim.metrics import RunMetrics
+from ..sim.network import SyncNetwork
+from ..sim.node import DistributedAlgorithm, NodeView
+from .mt_selection import FamilyOracle, NodeType
+
+
+# ----------------------------------------------------------------------
+# local preprocessing
+# ----------------------------------------------------------------------
+def gamma_class(beta_v: int, d_v: int, h: int, factor: int = 2) -> int:
+    """Smallest ``i >= 1`` with ``2^i >= factor * beta_v / (d_v + 1)``,
+    clamped to ``[1, h]``.  The main algorithm (Lemma 3.7) uses factor 4."""
+    ratio = factor * max(1, beta_v) / (d_v + 1)
+    i = max(1, math.ceil(math.log2(ratio))) if ratio > 1 else 1
+    return min(max(1, i), max(1, h))
+
+
+def single_defect_restriction(
+    colors: tuple[int, ...],
+    defects: dict[int, int],
+    beta_v: int,
+) -> tuple[tuple[int, ...], int]:
+    """Lemma 3.6's multiple->single defect reduction.
+
+    Round each ``d+1`` down to a power of two, bucket colors by
+    ``log2(beta_hat / (d_hat+1))``, and keep the bucket maximizing
+    ``sum (d+1)^2`` (using the *rounded* defect as the common value, which
+    is conservative).  Returns (restricted colors, common defect).
+    """
+    if not colors:
+        raise ValueError("empty color list")
+    beta_hat = 1 << max(0, (max(1, beta_v) - 1).bit_length())
+    buckets: dict[int, list[int]] = {}
+    rounded: dict[int, int] = {}
+    for x in colors:
+        dp1 = defects[x] + 1
+        dp1_hat = 1 << (dp1.bit_length() - 1)  # round down to power of 2
+        rounded[x] = dp1_hat - 1
+        i = max(0, int(math.log2(beta_hat / dp1_hat))) if dp1_hat < beta_hat else 0
+        buckets.setdefault(i, []).append(x)
+    best_i = max(
+        buckets,
+        key=lambda i: (sum((rounded[x] + 1) ** 2 for x in buckets[i]), -i),
+    )
+    chosen = tuple(sorted(buckets[best_i]))
+    common = min(rounded[x] for x in chosen)
+    return chosen, common
+
+
+# ----------------------------------------------------------------------
+# the distributed algorithm
+# ----------------------------------------------------------------------
+@dataclass
+class OLDCReport:
+    """Per-run audit facts of the basic OLDC algorithm."""
+
+    h: int = 0
+    tau: int = 0
+    g: int = 0
+    max_f_chosen: int = 0
+    guarantee_met: bool = True
+    per_node_f: dict[int, int] = field(default_factory=dict)
+
+
+class BasicOLDC(DistributedAlgorithm):
+    """Lemma 3.6's algorithm (single defect per node; see module docstring).
+
+    Per-node inputs: ``colors`` (restricted list), ``defect`` (single value),
+    ``init_color`` (proper m-coloring), ``k`` (target |C_v| size).
+    Shared: ``h``, ``tau``, ``g``, ``oracle`` (FamilyOracle), ``space_size``,
+    ``m`` (initial palette size), ``beta`` (max outdegree).
+    """
+
+    name = "oldc-basic"
+
+    def init_state(self, view: NodeView) -> dict[str, Any]:
+        g = view.globals["g"]
+        colors = tuple(view.inputs["colors"])
+        if view.globals.get("use_congruence", True):
+            a, restricted = best_congruence_class(colors, 2 * g + 1)
+        else:
+            # ablation mode: skip Lemma 3.5's restriction — the per-color
+            # "at most one g-close conflict" argument then fails and the
+            # realized defects degrade (experiment A01 measures this)
+            restricted = sorted(set(colors))
+        k = min(int(view.inputs["k"]), len(restricted))
+        k = max(1, k)
+        node_type = NodeType(int(view.inputs["init_color"]), tuple(restricted))
+        my_class = int(view.inputs["gamma_class"])
+        oracle: FamilyOracle = view.globals["oracle"]
+        family = oracle.family(node_type, k)
+        return {
+            "type": node_type,
+            "k": k,
+            "class": my_class,
+            "defect": int(view.inputs["defect"]),
+            "family": family,
+            "neigh_type": {},
+            "neigh_class": {},
+            "neigh_k": {},
+            "neigh_family": {},
+            "neigh_C": {},
+            "higher_colors": {},
+            "C": None,
+            "color": None,
+            "f": None,
+            "done": False,
+        }
+
+    # -- message helpers -------------------------------------------------
+    def _type_bits(self, view: NodeView, state) -> int:
+        space = view.globals["space_size"]
+        beta = view.globals["beta"]
+        m = view.globals["m"]
+        list_bits = color_list_bits(len(state["type"].colors), space)
+        defect_bits = max(1, int(math.log2(max(2, math.log2(max(2, beta))))) + 1)
+        return list_bits + defect_bits + int_bits(max(1, m - 1))
+
+    def send(self, view: NodeView, state, rnd: int) -> dict[int, Message]:
+        h = view.globals["h"]
+        if rnd == 0:
+            payload = (
+                state["type"].init_color,
+                state["type"].colors,
+                state["defect"],
+                state["class"],
+                state["k"],
+            )
+            msg = Message(payload, bits=self._type_bits(view, state))
+            return {u: msg for u in view.neighbors}
+        if rnd == 1:
+            idx = state["family"].index(state["C"])
+            msg = Message(idx, bits=index_bits(max(2, len(state["family"]))))
+            return {u: msg for u in view.neighbors}
+        fire = 2 + (h - state["class"])
+        if rnd == fire:
+            msg = Message(state["color"], bits=index_bits(view.globals["space_size"]))
+            return {u: msg for u in view.neighbors}
+        return {}
+
+    def receive(self, view: NodeView, state, rnd: int, inbox) -> None:
+        h = view.globals["h"]
+        tau = view.globals["tau"]
+        g = view.globals["g"]
+        oracle: FamilyOracle = view.globals["oracle"]
+        if rnd == 0:
+            for u, m in inbox.items():
+                init_c, colors, _d, cls, k = m.payload
+                t = NodeType(init_c, tuple(colors))
+                state["neigh_type"][u] = t
+                state["neigh_class"][u] = cls
+                state["neigh_k"][u] = k
+                state["neigh_family"][u] = oracle.family(t, k)
+            state["C"] = self._solve_p1(view, state, tau, g)
+        elif rnd == 1:
+            for u, m in inbox.items():
+                fam = state["neigh_family"].get(u)
+                if fam is not None:
+                    state["neigh_C"][u] = fam[m.payload]
+        else:
+            # a color announcement round
+            for u, m in inbox.items():
+                state["higher_colors"][u] = m.payload
+        fire = 2 + (h - state["class"])
+        if rnd == fire - 1 and state["color"] is None:
+            self._pick_color(view, state, g)
+        if rnd >= fire:
+            state["done"] = True
+
+    # -- local computations ----------------------------------------------
+    def _solve_p1(self, view: NodeView, state, tau: int, g: int):
+        """Pick C_v in K_v minimizing potentially-conflicting out-neighbors."""
+        my_class = state["class"]
+        rivals = [
+            u
+            for u in view.out_neighbors
+            if state["neigh_class"].get(u, my_class + 1) <= my_class
+        ]
+        best, best_score = None, None
+        for cand in state["family"]:
+            score = 0
+            for u in rivals:
+                fam_u = state["neigh_family"][u]
+                if any(tau_g_conflict(cand, cu, tau, g) for cu in fam_u):
+                    score += 1
+            if best_score is None or score < best_score:
+                best, best_score = cand, score
+                if score == 0:
+                    break
+        return best
+
+    def _pick_color(self, view: NodeView, state, g: int) -> None:
+        """Choose the least-frequent color of C_v (the f_v minimization)."""
+        my_class = state["class"]
+        best, best_f = None, None
+        for x in state["C"]:
+            f = 0
+            for u in view.out_neighbors:
+                ucls = state["neigh_class"].get(u)
+                if ucls is None:
+                    continue
+                if ucls <= my_class:
+                    cu = state["neigh_C"].get(u)
+                    if cu is not None:
+                        f += min(1, mu_g(x, cu, g))
+                else:
+                    xu = state["higher_colors"].get(u)
+                    if xu is not None and abs(xu - x) <= g:
+                        f += 1
+            if best_f is None or (f, x) < (best_f, best):
+                best, best_f = x, f
+        state["color"] = best
+        state["f"] = best_f
+
+    def is_done(self, view: NodeView, state) -> bool:
+        return state["done"]
+
+    def output(self, view: NodeView, state) -> tuple[int, int]:
+        return (state["color"], state["f"])
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def solve_oldc_basic(
+    instance: ListDefectiveInstance,
+    init_coloring: dict[int, int],
+    scale: ParamScale = DEFAULT_SCALE,
+    g: int = 0,
+    model: str = "CONGEST",
+    gamma_factor: int = 2,
+    gamma_classes: dict[int, int] | None = None,
+    forced_defects: dict[int, int] | None = None,
+    use_congruence: bool = True,
+) -> tuple[ColoringResult, RunMetrics, OLDCReport]:
+    """Run Lemma 3.6's algorithm on a directed list defective instance.
+
+    Parameters
+    ----------
+    instance:
+        A *directed* instance (use ``instance.to_oriented()`` for LDC).
+    init_coloring:
+        A proper coloring of the underlying undirected graph (e.g. from
+        :func:`repro.algorithms.linial.run_linial`).
+    scale:
+        Practical parameters (tau, k', seed) — see DESIGN.md §3.2.
+    g:
+        The generalization parameter (0 = plain OLDC).
+    gamma_classes / forced_defects:
+        Overrides used by the main algorithm (Lemma 3.8), which assigns
+        classes via an auxiliary OLDC instance; plain callers leave both
+        ``None`` and get Lemma 3.6's local choices.
+
+    Returns (coloring, metrics, report); the caller validates with
+    :func:`repro.core.validate.validate_generalized_oldc`.
+    """
+    if not instance.directed:
+        raise ValueError("solve_oldc_basic expects a directed instance")
+    g_int = int(g)
+    if g_int < 0:
+        raise ValueError(f"g must be >= 0, got {g_int}")
+    graph = instance.graph
+    m = max(init_coloring.values()) + 1 if init_coloring else 1
+    beta = instance.max_outdegree
+
+    # --- per-node single-defect restriction + gamma class ---------------
+    inputs: dict[int, dict[str, Any]] = {}
+    classes: dict[int, int] = {}
+    tau = scale.tau
+    h_nodes: dict[int, int] = {}
+    restricted: dict[int, tuple[tuple[int, ...], int]] = {}
+    for v in graph.nodes:
+        if forced_defects is not None and v in forced_defects:
+            dv = forced_defects[v]
+            keep = tuple(
+                x for x in instance.lists[v] if instance.defects[v][x] >= dv
+            )
+            if not keep:
+                keep = instance.lists[v]
+                dv = min(instance.defects[v].values())
+            restricted[v] = (keep, dv)
+        else:
+            restricted[v] = single_defect_restriction(
+                instance.lists[v], instance.defects[v], instance.outdegree(v)
+            )
+    h = 1
+    for v in graph.nodes:
+        _colors, dv = restricted[v]
+        if gamma_classes is not None and v in gamma_classes:
+            iv = max(1, gamma_classes[v])
+        else:
+            iv = gamma_class(instance.outdegree(v), dv, h=10**9, factor=gamma_factor)
+        h_nodes[v] = iv
+        h = max(h, iv)
+    for v in graph.nodes:
+        classes[v] = min(h_nodes[v], h)
+        colors_v, dv = restricted[v]
+        k_target = (2 ** classes[v]) * tau
+        inputs[v] = {
+            "colors": colors_v,
+            "defect": dv,
+            "init_color": init_coloring[v],
+            "gamma_class": classes[v],
+            "k": k_target,
+        }
+
+    oracle = FamilyOracle(k_prime=scale.k_prime, seed=scale.seed)
+    net = SyncNetwork(graph, model=model)
+    outputs, metrics = net.run(
+        BasicOLDC(),
+        inputs,
+        shared={
+            "h": h,
+            "tau": tau,
+            "g": g_int,
+            "oracle": oracle,
+            "space_size": instance.space.size,
+            "m": m,
+            "beta": beta,
+            "use_congruence": use_congruence,
+        },
+        max_rounds=h + 4,
+    )
+    assignment = {v: c for v, (c, _f) in outputs.items()}
+    per_f = {v: f for v, (_c, f) in outputs.items()}
+    report = OLDCReport(
+        h=h,
+        tau=tau,
+        g=g_int,
+        max_f_chosen=max(per_f.values(), default=0),
+        per_node_f=per_f,
+    )
+    report.guarantee_met = all(
+        per_f[v] <= restricted[v][1] for v in graph.nodes
+    )
+    return ColoringResult(assignment), metrics, report

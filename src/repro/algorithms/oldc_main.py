@@ -1,0 +1,414 @@
+"""The main OLDC algorithm — Theorem 1.1 (via Lemmas 3.7 and 3.8).
+
+Two cooperating pieces:
+
+* :class:`MainOLDC` — Lemma 3.7's two-phase algorithm, given gamma-classes.
+
+  **Phase I** iterates the classes in *ascending* order; when class ``i``
+  fires, its nodes (a) drop *bad colors* — colors already claimed by more
+  than ``d_v/4`` lower-class out-neighbors' ``C_u`` sets, (b) derive their
+  candidate family ``K_v`` from the filtered list's type, (c) broadcast the
+  type, (d) pick ``C_v in K_v`` minimizing conflicts against same-class
+  out-neighbors only, and (e) broadcast ``C_v`` as an index.  Two rounds per
+  class.
+
+  **Phase II** iterates the classes in *descending* order; a firing node
+  picks the color of ``C_v`` with the lowest risk count (occurrences in the
+  ``C_u`` of not-yet-colored same/lower-class out-neighbors plus exact hits
+  among already-colored ones) and broadcasts it.  One round per class.
+  We deliberately count *all* same/lower-class neighbors' sets in the risk
+  (the paper excludes lower classes — covered by the bad-color filter — and
+  the few "bad" same-class neighbors; including them costs no communication
+  and only lowers the realized defect).
+
+* :func:`solve_oldc_main` — Lemma 3.8's reduction of the multi-defect
+  problem: round ``(d+1)^2`` to powers of four, bucket each list by defect
+  class ``mu``, compute the weights ``lambda_{v,mu}`` and the candidate
+  class map ``i_v(mu) = mu - r + 2`` (Case I) or the single heavy bucket
+  (Case II), then *choose* each node's gamma-class by solving an auxiliary
+  g-generalized OLDC instance over the color space ``[h]`` with defects
+  ``delta_{v,i} = floor(sqrt(lambda * R_v))`` using Lemma 3.6's algorithm,
+  and finally run :class:`MainOLDC` on the restricted lists.
+
+Round complexity: O(h') + O(h) = O(log beta); message sizes as in
+Theorem 1.1 (types dominate: ``min{|C|, Lambda log|C|}`` bits).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..analysis.bounds import DEFAULT_SCALE, ParamScale
+from ..core.colorspace import ColorSpace
+from ..core.coloring import ColoringResult
+from ..core.conflict import tau_g_conflict
+from ..core.instance import ListDefectiveInstance
+from ..sim.message import Message, color_list_bits, index_bits, int_bits
+from ..sim.metrics import RunMetrics
+from ..sim.network import SyncNetwork
+from ..sim.node import DistributedAlgorithm, NodeView
+from .mt_selection import FamilyOracle, NodeType
+from .oldc_basic import solve_oldc_basic
+
+
+# ----------------------------------------------------------------------
+# Lemma 3.7: the two-phase algorithm, classes given
+# ----------------------------------------------------------------------
+class MainOLDC(DistributedAlgorithm):
+    """Lemma 3.7's algorithm (module docstring has the play-by-play).
+
+    Per-node inputs: ``colors`` (the class's color bucket), ``defect``
+    (single value), ``init_color``, ``gamma_class``, ``k`` (|C_v| target).
+    Shared: ``h``, ``tau``, ``oracle``, ``space_size``, ``m``, ``beta``.
+
+    Round layout (h = number of classes):
+      * rounds ``2(i-1)`` / ``2(i-1)+1`` — Phase I of class i (types / C's);
+      * round ``2h + (h - i)`` — Phase II firing of class i.
+    """
+
+    name = "oldc-main"
+
+    def init_state(self, view: NodeView) -> dict[str, Any]:
+        return {
+            "colors": tuple(view.inputs["colors"]),
+            "defect": int(view.inputs["defect"]),
+            "init_color": int(view.inputs["init_color"]),
+            "class": int(view.inputs["gamma_class"]),
+            "k": max(1, int(view.inputs["k"])),
+            "type": None,
+            "family": None,
+            "C": None,
+            "color": None,
+            "risk": None,
+            "neigh_class": dict(view.inputs.get("neigh_classes", {})),
+            "neigh_type": {},
+            "neigh_k": {},
+            "neigh_C": {},
+            "fixed_colors": {},
+            "done": False,
+        }
+
+    # -- round geometry ---------------------------------------------------
+    @staticmethod
+    def _type_round(i: int) -> int:
+        return 2 * (i - 1)
+
+    @staticmethod
+    def _cset_round(i: int) -> int:
+        return 2 * (i - 1) + 1
+
+    @staticmethod
+    def _fire_round(i: int, h: int) -> int:
+        return 2 * h + (h - i)
+
+    # -- sending -----------------------------------------------------------
+    def send(self, view: NodeView, state, rnd: int) -> dict[int, Message]:
+        i, h = state["class"], view.globals["h"]
+        if rnd == self._type_round(i):
+            self._build_filtered_type(view, state)
+            payload = (
+                state["init_color"],
+                state["type"].colors,
+                state["class"],
+                state["k"],
+            )
+            bits = (
+                color_list_bits(len(state["type"].colors), view.globals["space_size"])
+                + int_bits(max(1, view.globals["m"] - 1))
+                + index_bits(max(2, h))
+            )
+            msg = Message(payload, bits=bits)
+            return {u: msg for u in view.neighbors}
+        if rnd == self._cset_round(i):
+            idx = state["family"].index(state["C"])
+            msg = Message(idx, bits=index_bits(max(2, len(state["family"]))))
+            return {u: msg for u in view.neighbors}
+        if rnd == self._fire_round(i, h):
+            msg = Message(
+                state["color"], bits=index_bits(view.globals["space_size"])
+            )
+            return {u: msg for u in view.neighbors}
+        return {}
+
+    # -- receiving ----------------------------------------------------------
+    def receive(self, view: NodeView, state, rnd: int, inbox) -> None:
+        i, h = state["class"], view.globals["h"]
+        oracle: FamilyOracle = view.globals["oracle"]
+        tau = view.globals["tau"]
+        phase1_end = 2 * h
+        if rnd < phase1_end:
+            if rnd % 2 == 0:  # a type round
+                for u, m in inbox.items():
+                    init_c, colors, cls, k = m.payload
+                    state["neigh_type"][u] = NodeType(init_c, tuple(colors))
+                    state["neigh_class"][u] = cls
+                    state["neigh_k"][u] = k
+                if rnd == self._type_round(i):
+                    self._solve_p1(view, state, oracle, tau)
+            else:  # a C-set round
+                for u, m in inbox.items():
+                    t = state["neigh_type"].get(u)
+                    if t is None:
+                        continue
+                    fam = oracle.family(t, state["neigh_k"][u])
+                    state["neigh_C"][u] = fam[m.payload]
+        else:
+            for u, m in inbox.items():
+                state["fixed_colors"][u] = m.payload
+        fire = self._fire_round(i, h)
+        if rnd == fire - 1 and state["color"] is None:
+            self._pick_color(view, state)
+        if rnd >= fire:
+            state["done"] = True
+
+    # -- local steps --------------------------------------------------------
+    def _build_filtered_type(self, view: NodeView, state) -> None:
+        """Drop bad colors (claimed by > d_v/4 lower-class C_u) and fix the
+        type + candidate family for this node."""
+        budget = state["defect"] / 4.0
+        counts: dict[int, int] = {}
+        my_class = state["class"]
+        for u in view.out_neighbors:
+            if state["neigh_class"].get(u, my_class) < my_class:
+                cu = state["neigh_C"].get(u)
+                if cu:
+                    for x in cu:
+                        counts[x] = counts.get(x, 0) + 1
+        kept = tuple(
+            x for x in state["colors"] if counts.get(x, 0) <= budget
+        )
+        if not kept:  # degenerate practical case: keep the least-claimed color
+            kept = (min(state["colors"], key=lambda x: (counts.get(x, 0), x)),)
+        state["type"] = NodeType(state["init_color"], kept)
+        state["k"] = min(state["k"], len(kept))
+        oracle: FamilyOracle = view.globals["oracle"]
+        state["family"] = oracle.family(state["type"], state["k"])
+
+    def _solve_p1(self, view: NodeView, state, oracle: FamilyOracle, tau: int) -> None:
+        """Pick C_v minimizing conflicts against same-class out-neighbors."""
+        my_class = state["class"]
+        rivals = []
+        for u in view.out_neighbors:
+            if state["neigh_class"].get(u) == my_class and u in state["neigh_type"]:
+                rivals.append(oracle.family(state["neigh_type"][u], state["neigh_k"][u]))
+        best, best_score = None, None
+        for cand in state["family"]:
+            score = 0
+            for fam_u in rivals:
+                if any(tau_g_conflict(cand, cu, tau, 0) for cu in fam_u):
+                    score += 1
+            if best_score is None or score < best_score:
+                best, best_score = cand, score
+                if score == 0:
+                    break
+        state["C"] = best
+
+    def _pick_color(self, view: NodeView, state) -> None:
+        my_class = state["class"]
+        best, best_risk = None, None
+        for x in state["C"]:
+            risk = 0
+            for u in view.out_neighbors:
+                ucls = state["neigh_class"].get(u)
+                if ucls is None:
+                    continue
+                if u in state["fixed_colors"]:
+                    if state["fixed_colors"][u] == x:
+                        risk += 1
+                elif ucls <= my_class:
+                    cu = state["neigh_C"].get(u)
+                    if cu is not None and x in cu:
+                        risk += 1
+            if best_risk is None or (risk, x) < (best_risk, best):
+                best, best_risk = x, risk
+        state["color"] = best
+        state["risk"] = best_risk
+
+    def is_done(self, view: NodeView, state) -> bool:
+        return state["done"]
+
+    def output(self, view: NodeView, state) -> tuple[int, int]:
+        return (state["color"], state["risk"])
+
+
+# ----------------------------------------------------------------------
+# Lemma 3.8: defect bucketing and the auxiliary class-assignment problem
+# ----------------------------------------------------------------------
+@dataclass
+class MainReport:
+    """Audit record for a Theorem 1.1 run."""
+
+    h: int = 0
+    h_aux: int = 0
+    tau: int = 0
+    aux_rounds: int = 0
+    main_rounds: int = 0
+    case_ii_nodes: int = 0
+    max_risk: int = 0
+    guarantee_met: bool = True
+    class_of: dict[int, int] = field(default_factory=dict)
+
+
+def _pow2_floor(x: int) -> int:
+    return 1 << (max(1, x).bit_length() - 1)
+
+
+def _pow2_ceil(x: int) -> int:
+    return 1 << max(0, (max(1, x) - 1).bit_length())
+
+
+def _bucket_lists(
+    instance: ListDefectiveInstance, v: int, h: int
+) -> tuple[dict[int, list[int]], dict[int, int]]:
+    """Bucket L_v by defect class mu = 1 + log2(beta_hat / (d+1)_hat).
+
+    Returns (mu -> colors, mu -> common rounded defect).  Rounding is down
+    for defects (conservative) and up for the outdegree, as in the paper.
+    """
+    beta_hat = _pow2_ceil(instance.outdegree(v))
+    buckets: dict[int, list[int]] = {}
+    common: dict[int, int] = {}
+    for x in instance.lists[v]:
+        dp1 = _pow2_floor(instance.defects[v][x] + 1)
+        mu = 1 + max(0, int(math.log2(beta_hat)) - int(math.log2(dp1)))
+        mu = min(max(1, mu), h)
+        buckets.setdefault(mu, []).append(x)
+        common[mu] = min(common.get(mu, dp1 - 1), dp1 - 1)
+    return buckets, common
+
+
+def solve_oldc_main(
+    instance: ListDefectiveInstance,
+    init_coloring: dict[int, int],
+    scale: ParamScale = DEFAULT_SCALE,
+    model: str = "CONGEST",
+) -> tuple[ColoringResult, RunMetrics, MainReport]:
+    """Theorem 1.1: solve a (multi-defect) OLDC instance in O(log beta) rounds.
+
+    Pipeline: defect bucketing (Lemma 3.8) -> auxiliary gamma-class OLDC over
+    ``[h]`` solved with Lemma 3.6's algorithm -> Lemma 3.7's two-phase main
+    algorithm.  Returns (coloring, merged metrics, report); validate with
+    :func:`repro.core.validate.validate_oldc`.
+    """
+    if not instance.directed:
+        raise ValueError("solve_oldc_main expects a directed instance")
+    graph = instance.graph
+    if graph.number_of_nodes() == 0:
+        return ColoringResult({}), RunMetrics(), MainReport()
+    beta_hat = _pow2_ceil(instance.max_outdegree)
+    h = 1 + int(math.log2(beta_hat))
+    m = max(init_coloring.values()) + 1 if init_coloring else 1
+
+    # ---- per-node buckets, lambdas, candidate classes -------------------
+    report = MainReport(h=h, tau=scale.tau)
+    aux_lists: dict[int, tuple[int, ...]] = {}
+    aux_defects: dict[int, dict[int, int]] = {}
+    mu_of_class: dict[int, dict[int, int]] = {}
+    buckets_of: dict[int, dict[int, list[int]]] = {}
+    common_of: dict[int, dict[int, int]] = {}
+    for v in graph.nodes:
+        buckets, common = _bucket_lists(instance, v, h)
+        buckets_of[v], common_of[v] = buckets, common
+        r_v = scale.alpha * 4.0 * _pow2_ceil(instance.outdegree(v)) ** 2
+        d_total = sum(
+            (common[mu] + 1) ** 2 * len(cols) for mu, cols in buckets.items()
+        )
+        lam: dict[int, float] = {}
+        for mu, cols in buckets.items():
+            d_mu = (common[mu] + 1) ** 2 * len(cols)
+            frac = d_mu / d_total if d_total else 0.0
+            lam[mu] = (
+                0.0
+                if frac < 1.0 / (2 * h)
+                else 4.0 ** math.floor(math.log(frac, 4))
+            )
+        heavy = [mu for mu, l in lam.items() if l >= 0.25]
+        classes: dict[int, int] = {}  # class i -> mu
+        if heavy:  # Case II
+            mu_v = min(heavy)
+            i_v = min(max(1, mu_v), h)
+            classes[i_v] = mu_v
+            delta_of = {i_v: max(0, int(math.isqrt(int(r_v))) // 4)}
+            report.case_ii_nodes += 1
+        else:  # Case I
+            delta_of = {}
+            for mu in sorted(lam):
+                if lam[mu] <= 0.0:
+                    continue
+                r = round(-math.log(lam[mu], 4))
+                f = mu - r + 2
+                if 1 <= f <= h and f not in classes:
+                    classes[f] = mu
+                    delta_of[f] = max(
+                        0, int(math.isqrt(int(lam[mu] * r_v)))
+                    )
+            if not classes:  # practical fallback: heaviest bucket wins
+                mu_v = max(buckets, key=lambda mu: (len(buckets[mu]), -mu))
+                i_v = min(max(1, mu_v), h)
+                classes[i_v] = mu_v
+                delta_of[i_v] = max(0, int(math.isqrt(int(r_v))) // 4)
+        aux_lists[v] = tuple(sorted(classes))
+        aux_defects[v] = {i: delta_of[i] for i in classes}
+        mu_of_class[v] = classes
+
+    # ---- the auxiliary class-assignment OLDC ----------------------------
+    g_aux = int(math.floor(math.log2(h))) if h > 1 else 0
+    aux_space = ColorSpace(h + 1)
+    aux_instance = ListDefectiveInstance(
+        graph, aux_space, dict(aux_lists), {v: dict(d) for v, d in aux_defects.items()}
+    )
+    aux_result, aux_metrics, aux_report = solve_oldc_basic(
+        aux_instance,
+        init_coloring,
+        scale=scale,
+        g=g_aux,
+        model=model,
+        gamma_factor=4,
+    )
+    report.h_aux = aux_report.h
+    report.aux_rounds = aux_metrics.rounds
+
+    # ---- the main two-phase run ------------------------------------------
+    inputs: dict[int, dict[str, Any]] = {}
+    class_of: dict[int, int] = {}
+    for v in graph.nodes:
+        i_v = aux_result.assignment[v]
+        mu_v = mu_of_class[v][i_v]
+        colors = tuple(sorted(buckets_of[v][mu_v]))
+        d_v = common_of[v][mu_v]
+        class_of[v] = i_v
+        inputs[v] = {
+            "colors": colors,
+            "defect": d_v,
+            "init_color": init_coloring[v],
+            "gamma_class": i_v,
+            "k": (2 ** i_v) * scale.tau,
+        }
+    report.class_of = class_of
+
+    oracle = FamilyOracle(k_prime=scale.k_prime, seed=scale.seed + 1)
+    net = SyncNetwork(graph, model=model)
+    outputs, main_metrics = net.run(
+        MainOLDC(),
+        inputs,
+        shared={
+            "h": h,
+            "tau": scale.tau,
+            "oracle": oracle,
+            "space_size": instance.space.size,
+            "m": m,
+            "beta": instance.max_outdegree,
+        },
+        max_rounds=3 * h + 4,
+    )
+    report.main_rounds = main_metrics.rounds
+    assignment = {v: c for v, (c, _r) in outputs.items()}
+    risks = {v: r for v, (_c, r) in outputs.items()}
+    report.max_risk = max(risks.values(), default=0)
+    report.guarantee_met = all(
+        risks[v] <= inputs[v]["defect"] for v in graph.nodes
+    )
+    metrics = aux_metrics.merge_sequential(main_metrics)
+    return ColoringResult(assignment), metrics, report

@@ -1,0 +1,125 @@
+"""Color-count reduction: from a proper m-coloring to a list coloring.
+
+The classic schedule-based reduction ([Lin87, GPS88]; footnote 2 of the
+paper): given a proper ``m``-coloring, iterate over the color classes one
+round at a time.  Class ``i`` is an independent set, so all its nodes may
+simultaneously pick a final color from their list that no already-finalized
+neighbor holds; a (degree+1)-list always has a free color left.  Round
+complexity: ``m`` (plus whatever produced the m-coloring), which is the
+O(Delta^2 + log* n) baseline the paper's Theorem 1.4 improves on.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import networkx as nx
+
+from ..core.coloring import ColoringResult
+from ..core.instance import ListDefectiveInstance
+from ..sim.message import Message, index_bits
+from ..sim.metrics import RunMetrics
+from ..sim.network import SyncNetwork
+from ..sim.node import DistributedAlgorithm, NodeView
+
+
+class ScheduledListColoring(DistributedAlgorithm):
+    """One color class per round picks greedily from its list.
+
+    Inputs per node: ``schedule_color`` (its class in the proper coloring),
+    ``palette`` (its color list).  Shared: ``num_classes``, ``space_size``.
+
+    Nodes track which palette colors neighbors have finalized; in the round
+    matching their class they pick the smallest free palette color and
+    broadcast it.  A node's class must differ from all neighbors' classes
+    (proper coloring) — simultaneous picks never conflict.
+    """
+
+    name = "scheduled-list-coloring"
+
+    def init_state(self, view: NodeView) -> dict[str, Any]:
+        return {
+            "cls": int(view.inputs["schedule_color"]),
+            "palette": list(view.inputs["palette"]),
+            "taken": set(),
+            "output": None,
+            "announced": False,
+        }
+
+    def send(self, view: NodeView, state, rnd: int) -> dict[int, Message]:
+        # A node speaks exactly once: the round after it picks its color.
+        if state["output"] is not None and not state["announced"]:
+            state["announced"] = True
+            bits = index_bits(view.globals["space_size"])
+            msg = Message(state["output"], bits=bits)
+            return {u: msg for u in view.neighbors}
+        return {}
+
+    def receive(self, view: NodeView, state, rnd: int, inbox) -> None:
+        for m in inbox.values():
+            state["taken"].add(m.payload)
+        if state["output"] is None and rnd == state["cls"]:
+            free = [x for x in state["palette"] if x not in state["taken"]]
+            if not free:
+                raise ValueError(
+                    f"node {view.id}: palette exhausted "
+                    f"(list size {len(state['palette'])}, degree {view.degree})"
+                )
+            state["output"] = free[0]
+
+    def is_done(self, view: NodeView, state) -> bool:
+        return state["output"] is not None and state["announced"]
+
+    def output(self, view: NodeView, state) -> int:
+        return state["output"]
+
+
+def reduce_to_list_coloring(
+    instance: ListDefectiveInstance,
+    proper_coloring: dict[int, int],
+    model: str = "CONGEST",
+) -> tuple[ColoringResult, RunMetrics]:
+    """Run the schedule reduction for a zero-defect list instance.
+
+    ``proper_coloring`` must be proper on the instance graph; each node's
+    list must have size >= degree + 1 (checked up front).
+    """
+    g = instance.graph
+    if instance.directed:
+        raise ValueError("schedule reduction expects an undirected instance")
+    for v in g.nodes:
+        if len(instance.lists[v]) < g.degree(v) + 1:
+            raise ValueError(f"node {v}: list smaller than degree+1")
+    for u, v in g.edges:
+        if proper_coloring[u] == proper_coloring[v]:
+            raise ValueError(f"schedule coloring not proper on edge {{{u},{v}}}")
+    num_classes = max(proper_coloring.values()) + 1
+    net = SyncNetwork(g, model=model)
+    inputs = {
+        v: {"schedule_color": proper_coloring[v], "palette": instance.lists[v]}
+        for v in g.nodes
+    }
+    outputs, metrics = net.run(
+        ScheduledListColoring(),
+        inputs,
+        shared={"num_classes": num_classes, "space_size": instance.space.size},
+        max_rounds=num_classes + 2,
+    )
+    return ColoringResult(dict(outputs)), metrics
+
+
+def classic_delta_plus_one(
+    graph: nx.Graph, model: str = "CONGEST"
+) -> tuple[ColoringResult, RunMetrics]:
+    """The classic O(Delta^2 + log* n) pipeline: Linial then the schedule.
+
+    This is the baseline of [Lin87]-era algorithms referenced in footnote 2;
+    experiment E11 compares it against Theorem 1.4's pipeline.
+    """
+    from ..core.instance import delta_plus_one_instance
+    from .linial import run_linial
+
+    pre, m1, _palette = run_linial(graph, model=model)
+    instance = delta_plus_one_instance(graph)
+    result, m2 = reduce_to_list_coloring(instance, pre.assignment, model=model)
+    return result, m1.merge_sequential(m2)

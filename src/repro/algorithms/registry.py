@@ -1,0 +1,128 @@
+"""Algorithm registry: name -> (Delta+1)-coloring runner + metadata.
+
+One switchboard for the CLI, the conformance grid, and downstream users:
+``run(name, graph)`` executes any registered algorithm and returns the
+uniform ``(coloring, metrics)`` pair.  Metadata records the palette
+guarantee, determinism, and the reference it implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import networkx as nx
+
+from ..core.coloring import ColoringResult
+from ..core.instance import degree_plus_one_instance
+from ..sim.metrics import RunMetrics
+
+Runner = Callable[[nx.Graph], tuple[ColoringResult, RunMetrics]]
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    name: str
+    reference: str
+    palette: str  # human-readable palette guarantee
+    deterministic: bool
+    runner: Runner
+
+
+def _thm14(g):
+    from .congest_coloring import congest_delta_plus_one
+
+    res, m, _rep = congest_delta_plus_one(g)
+    return res, m
+
+
+def _thm13(g):
+    from .arblist import solve_list_arbdefective
+
+    res, m, _rep = solve_list_arbdefective(degree_plus_one_instance(g))
+    return res, m
+
+
+def _classic(g):
+    from .reduction import classic_delta_plus_one
+
+    return classic_delta_plus_one(g)
+
+
+def _classic_vec(g):
+    from ..sim.vectorized import classic_delta_plus_one_vectorized
+
+    return classic_delta_plus_one_vectorized(g)
+
+
+def _linear(g):
+    from .linear_in_delta import linear_in_delta_coloring
+
+    res, m, _rep = linear_in_delta_coloring(g)
+    return res, m
+
+
+def _bar16(g):
+    from .barenboim import barenboim_coloring
+
+    res, m, _rep = barenboim_coloring(g)
+    return res, m
+
+
+def _randomized(g):
+    from .baselines import randomized_list_coloring
+
+    return randomized_list_coloring(degree_plus_one_instance(g), seed=1)
+
+
+def _mis(g):
+    from .mis import coloring_via_mis
+
+    return coloring_via_mis(g, seed=1)
+
+
+REGISTRY: dict[str, AlgorithmInfo] = {
+    "thm14": AlgorithmInfo(
+        "thm14", "Theorem 1.4 (this paper)", "Delta+1", True, _thm14
+    ),
+    "thm13": AlgorithmInfo(
+        "thm13", "Theorem 1.3 (this paper)", "Delta+1", True, _thm13
+    ),
+    "classic": AlgorithmInfo(
+        "classic", "[Lin87]+schedule", "Delta+1", True, _classic
+    ),
+    "classic-vec": AlgorithmInfo(
+        "classic-vec", "[Lin87]+schedule (vectorized)", "Delta+1", True, _classic_vec
+    ),
+    "linear": AlgorithmInfo(
+        "linear", "[BE09, Kuh09]", "Delta+1", True, _linear
+    ),
+    "bar16": AlgorithmInfo(
+        "bar16", "[Bar16]", "2*Delta+1", True, _bar16
+    ),
+    "randomized": AlgorithmInfo(
+        "randomized", "[Lub86]-style trials", "Delta+1", False, _randomized
+    ),
+    "mis": AlgorithmInfo(
+        "mis", "[Lub86] MIS x K_{Delta+1}", "Delta+1", False, _mis
+    ),
+}
+
+
+def algorithm_names() -> list[str]:
+    """Registered algorithm names (sorted)."""
+    return sorted(REGISTRY)
+
+
+def get(name: str) -> AlgorithmInfo:
+    """Look up a registered algorithm; KeyError with options on a miss."""
+    if name not in REGISTRY:
+        raise KeyError(
+            f"unknown algorithm {name!r}; options: {algorithm_names()}"
+        )
+    return REGISTRY[name]
+
+
+def run(name: str, graph: nx.Graph) -> tuple[ColoringResult, RunMetrics]:
+    """Run a registered algorithm on ``graph``."""
+    return get(name).runner(graph)

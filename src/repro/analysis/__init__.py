@@ -1,0 +1,78 @@
+"""Bound formulas and result formatting."""
+
+from .bounds import (
+    DEFAULT_SCALE,
+    ParamScale,
+    beg18_arbdefective_rounds,
+    fhk_congest_rounds,
+    fhk_local_rounds,
+    gk21_rounds,
+    is_prime,
+    kappa_theorem_1_1,
+    kuhn09_defective_colors,
+    linial_colors,
+    log_star,
+    smallest_prime_above,
+    tau_paper,
+    tau_prime_paper,
+    theorem_1_1_message_bits,
+    theorem_1_3_rounds,
+    theorem_1_4_rounds,
+)
+from .compare import ComparisonRow, compare_algorithms, render_comparison
+from .lowerbound import (
+    neighborhood_graph_n0,
+    neighborhood_graph_n1,
+    one_round_color_lower_bound,
+)
+from .regimes import RegimeCell, gap_interval, map_grid, winner
+from .sweeps import SweepPoint, SweepResult, sweep
+from .shape import (
+    PowerLawFit,
+    crossover,
+    exponent_spread,
+    extrapolated_crossover,
+    fit_power_law,
+)
+from .tables import ascii_series, fit_exponent, format_table
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "ParamScale",
+    "PowerLawFit",
+    "ComparisonRow",
+    "RegimeCell",
+    "SweepPoint",
+    "SweepResult",
+    "ascii_series",
+    "beg18_arbdefective_rounds",
+    "compare_algorithms",
+    "crossover",
+    "exponent_spread",
+    "extrapolated_crossover",
+    "fit_power_law",
+    "gap_interval",
+    "map_grid",
+    "neighborhood_graph_n0",
+    "neighborhood_graph_n1",
+    "one_round_color_lower_bound",
+    "render_comparison",
+    "sweep",
+    "winner",
+    "fhk_congest_rounds",
+    "fhk_local_rounds",
+    "fit_exponent",
+    "format_table",
+    "gk21_rounds",
+    "is_prime",
+    "kappa_theorem_1_1",
+    "kuhn09_defective_colors",
+    "linial_colors",
+    "log_star",
+    "smallest_prime_above",
+    "tau_paper",
+    "tau_prime_paper",
+    "theorem_1_1_message_bits",
+    "theorem_1_3_rounds",
+    "theorem_1_4_rounds",
+]

@@ -1,0 +1,132 @@
+"""Linial's lower-bound machinery: neighborhood graphs of the ring.
+
+The paper's opening reference ([Lin87]) proves that O(1)-coloring a ring
+takes Omega(log* n) rounds.  The proof object is the *neighborhood graph*
+``N_t(m)``: vertices are the possible distance-``t`` views of a ring node
+with ids from ``[m]`` (for ``t = 1``: ordered triples of distinct ids),
+with an edge between two views that can occur at *adjacent* ring nodes
+(they overlap shifted by one).  A ``t``-round deterministic algorithm is
+exactly a function from views to colors that is proper on ``N_t(m)`` —
+so the minimum colors of any ``t``-round algorithm **equals**
+``chi(N_t(m))``, and Linial's theorem is ``chi(N_t(m)) >= log^(2t) m``.
+
+We build ``N_0`` and ``N_1`` explicitly, bound their chromatic numbers
+(exact by backtracking at small ``m``, greedy/clique bounds beyond), and
+let experiment E15 tabulate the resulting *unconditional* lower bounds on
+0- and 1-round ring coloring — the "why log* n is needed" side of every
+``+O(log* n)`` in the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+
+
+def neighborhood_graph_n0(m: int) -> nx.Graph:
+    """``N_0(m)``: views are bare ids; any two distinct ids may be adjacent.
+
+    ``chi(N_0(m)) = m`` — with zero communication every node needs its own
+    color, i.e. a 0-round algorithm needs the full id space as palette.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    return nx.complete_graph(m)
+
+
+def neighborhood_graph_n1(m: int) -> nx.Graph:
+    """``N_1(m)``: views are ordered triples of distinct ids ``(a, b, c)``
+    (left neighbor, self, right neighbor); ``(a,b,c) ~ (b,c,d)`` whenever
+    ``a != c`` and ``b != d`` — two views that can sit on adjacent ring
+    nodes.  Nodes are labeled by dense integers; the triple is stored as a
+    node attribute ``view``.
+    """
+    if m < 3:
+        raise ValueError("need m >= 3 ids for distinct triples")
+    triples = [
+        t for t in itertools.permutations(range(m), 3)
+    ]
+    index = {t: i for i, t in enumerate(triples)}
+    g = nx.Graph()
+    for t, i in index.items():
+        g.add_node(i, view=t)
+    for a, b, c in triples:
+        for d in range(m):
+            if d in (b, c):
+                continue
+            other = (b, c, d)
+            if other in index:
+                g.add_edge(index[(a, b, c)], index[other])
+    return g
+
+
+def greedy_chromatic_upper(graph: nx.Graph) -> int:
+    """Greedy (largest-first) coloring — an upper bound on chi."""
+    coloring = nx.coloring.greedy_color(graph, strategy="largest_first")
+    return 1 + max(coloring.values(), default=-1)
+
+
+def clique_lower_bound(graph: nx.Graph, limit: int = 6) -> int:
+    """A clique-number lower bound on chi (search capped at ``limit``)."""
+    best = 1 if graph.number_of_nodes() else 0
+    nodes = sorted(graph.nodes)
+    adj = {v: set(graph.neighbors(v)) for v in nodes}
+
+    def grow(clique: list[int], candidates: list[int]) -> None:
+        nonlocal best
+        best = max(best, len(clique))
+        if best >= limit or len(clique) + len(candidates) <= best:
+            return
+        for i, v in enumerate(candidates):
+            grow(clique + [v], [u for u in candidates[i + 1 :] if u in adj[v]])
+
+    grow([], nodes)
+    return best
+
+
+def is_k_colorable(graph: nx.Graph, k: int, node_budget: int = 2000) -> bool | None:
+    """Exact ``k``-colorability by backtracking; ``None`` = too big to try.
+
+    Orders nodes by degree (descending) and prunes on saturated palettes —
+    plenty for the ``N_1(m)`` sizes E15 needs (m <= 8: <= 336 nodes).
+    """
+    if graph.number_of_nodes() > node_budget:
+        return None
+    nodes = sorted(graph.nodes, key=lambda v: -graph.degree(v))
+    color: dict[int, int] = {}
+
+    def backtrack(idx: int) -> bool:
+        if idx == len(nodes):
+            return True
+        v = nodes[idx]
+        used = {color[u] for u in graph.neighbors(v) if u in color}
+        for c in range(k):
+            if c in used:
+                continue
+            color[v] = c
+            if backtrack(idx + 1):
+                return True
+            del color[v]
+            if c not in used and c == len(
+                {color[u] for u in nodes[:idx]}
+            ):
+                break  # symmetry: first unused color failing => all fail
+        return False
+
+    return backtrack(0)
+
+
+def one_round_color_lower_bound(m: int) -> int:
+    """Smallest k such that ``N_1(m)`` is k-colorable = the exact palette
+    any 1-round deterministic ring algorithm needs for id space [m]
+    (exhaustive; use small m)."""
+    g = neighborhood_graph_n1(m)
+    k = clique_lower_bound(g)
+    while True:
+        ok = is_k_colorable(g, k)
+        if ok is None:
+            return k  # lower bound only
+        if ok:
+            return k
+        k += 1

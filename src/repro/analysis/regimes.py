@@ -1,0 +1,94 @@
+"""The paper's Delta/n regime map as reusable functions (Section 1.1).
+
+The paper positions Theorem 1.4 between two prior algorithms:
+
+* **[FHK16/BEG18/MT20]** — ``O(sqrt(Delta log Delta) + log* n)`` rounds,
+  but with Theta(Delta log Delta)-bit messages, so in CONGEST it pays a
+  ``ceil(Delta log Delta / log n)`` slowdown: efficient only when
+  ``Delta = O(log n)``.
+* **[GK21]** — ``O(log^2 Delta * log n)`` rounds in CONGEST: within
+  ``sqrt(Delta) polylog`` only when ``Delta = Omega(log^2 n)``.
+* **Theorem 1.4** — ``sqrt(Delta) polylog Delta + O(log* n)``: fills the
+  gap ``Delta in [omega(log n), o(log^2 n)]``.
+
+:func:`winner` evaluates the three reference formulas and names the
+fastest; :func:`gap_interval` returns the paper's gap for a given ``n``;
+E11 renders the resulting map, and tests pin its qualitative shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .bounds import fhk_congest_rounds, gk21_rounds
+
+
+def thm14_rounds_leading(delta: int) -> float:
+    """The leading term of Theorem 1.4's bound (the log* n addend is
+    common to all three and dropped for comparisons)."""
+    d = max(2, delta)
+    return math.sqrt(d) * math.log2(d) ** 2
+
+
+@dataclass(frozen=True)
+class RegimeCell:
+    delta: int
+    n: int
+    fhk: float
+    gk21: float
+    thm14: float
+
+    @property
+    def winner(self) -> str:
+        best = min(self.fhk, self.gk21, self.thm14)
+        if best == self.fhk:
+            return "FHK"
+        if best == self.gk21:
+            return "GK21"
+        return "Thm1.4"
+
+
+def cell(delta: int, n: int) -> RegimeCell:
+    """Evaluate the three reference formulas at one (Delta, n) point."""
+    if delta < 1 or n < 2:
+        raise ValueError("need delta >= 1 and n >= 2")
+    return RegimeCell(
+        delta=delta,
+        n=n,
+        fhk=fhk_congest_rounds(delta, n),
+        gk21=gk21_rounds(delta, n),
+        thm14=thm14_rounds_leading(delta),
+    )
+
+
+def winner(delta: int, n: int) -> str:
+    """Which algorithm's formula wins at (Delta, n)."""
+    return cell(delta, n).winner
+
+
+def gap_interval(n: int) -> tuple[float, float]:
+    """The paper's gap ``(log n, log^2 n)`` for a given ``n``."""
+    if n < 2:
+        raise ValueError("need n >= 2")
+    logn = math.log2(n)
+    return logn, logn * logn
+
+
+def map_grid(
+    deltas: list[int], ns: list[int]
+) -> dict[tuple[int, int], RegimeCell]:
+    """The full map over a grid; E11 renders this."""
+    return {(d, n): cell(d, n) for d in deltas for n in ns}
+
+
+def thm14_wins_somewhere_in_gap(n: int, samples: int = 8) -> bool:
+    """Does Theorem 1.4 win at some Delta inside the paper's gap for n?"""
+    lo, hi = gap_interval(n)
+    if hi <= lo + 1:
+        return False
+    for i in range(samples):
+        delta = int(lo + (hi - lo) * (i + 0.5) / samples)
+        if delta >= 2 and winner(delta, n) == "Thm1.4":
+            return True
+    return False

@@ -1,0 +1,119 @@
+"""Statistical shape-checking utilities for the experiments.
+
+Beyond the point-estimate :func:`repro.analysis.tables.fit_exponent`, the
+experiments occasionally need:
+
+* a goodness-of-fit measure for the power-law fit (:func:`fit_power_law`,
+  returning exponent, prefactor, and R² in log-log space);
+* a crossover finder (:func:`crossover`): the x at which one measured
+  series overtakes another, by piecewise-linear interpolation — used to
+  locate "who wins where" boundaries;
+* seed-resampled exponent spread (:func:`exponent_spread`): the min/max
+  exponent over leave-one-out subsets — a cheap robustness check that a
+  fitted exponent is not carried by a single point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y ~ prefactor * x^exponent`` with log-log R²."""
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.prefactor * x**self.exponent
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Least squares in log-log space; requires >= 2 positive points."""
+    pts = [
+        (math.log(x), math.log(y))
+        for x, y in zip(xs, ys)
+        if x > 0 and y is not None and y > 0
+    ]
+    if len(pts) < 2:
+        raise ValueError("need at least two positive points")
+    n = len(pts)
+    sx = sum(p[0] for p in pts)
+    sy = sum(p[1] for p in pts)
+    sxx = sum(p[0] ** 2 for p in pts)
+    sxy = sum(p[0] * p[1] for p in pts)
+    denom = n * sxx - sx * sx
+    if abs(denom) < 1e-12:
+        raise ValueError("degenerate x values")
+    slope = (n * sxy - sx * sy) / denom
+    intercept = (sy - slope * sx) / n
+    mean_y = sy / n
+    ss_tot = sum((py - mean_y) ** 2 for _px, py in pts)
+    ss_res = sum((py - (slope * px + intercept)) ** 2 for px, py in pts)
+    r2 = 1.0 if ss_tot < 1e-12 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(slope, math.exp(intercept), r2)
+
+
+def exponent_spread(
+    xs: Sequence[float], ys: Sequence[float]
+) -> tuple[float, float]:
+    """(min, max) exponent over all leave-one-out subsets (>= 3 points)."""
+    if len(xs) < 3:
+        raise ValueError("need at least three points for leave-one-out")
+    exps = []
+    for drop in range(len(xs)):
+        sub_x = [x for i, x in enumerate(xs) if i != drop]
+        sub_y = [y for i, y in enumerate(ys) if i != drop]
+        exps.append(fit_power_law(sub_x, sub_y).exponent)
+    return min(exps), max(exps)
+
+
+def crossover(
+    xs: Sequence[float],
+    series_a: Sequence[float],
+    series_b: Sequence[float],
+) -> float | None:
+    """Smallest x where series_a drops to/below series_b (interpolated).
+
+    Both series are sampled at the common, increasing ``xs``.  Returns
+    ``None`` if a stays above b over the whole range (or starts at/below
+    b, in which case 0-index x is returned as the trivial crossover).
+    """
+    if not (len(xs) == len(series_a) == len(series_b)):
+        raise ValueError("series must share the x grid")
+    if list(xs) != sorted(xs):
+        raise ValueError("xs must be increasing")
+    diffs = [a - b for a, b in zip(series_a, series_b)]
+    if diffs[0] <= 0:
+        return float(xs[0])
+    for i in range(1, len(xs)):
+        if diffs[i] <= 0:
+            x0, x1 = xs[i - 1], xs[i]
+            d0, d1 = diffs[i - 1], diffs[i]
+            if d0 == d1:
+                return float(x1)
+            t = d0 / (d0 - d1)
+            return float(x0 + t * (x1 - x0))
+    return None
+
+
+def extrapolated_crossover(
+    fit_a: PowerLawFit, fit_b: PowerLawFit
+) -> float | None:
+    """The x where two power laws intersect (None if parallel).
+
+    Used to *predict* crossovers that lie beyond the measured sweep, e.g.
+    where Theorem 1.3's sqrt-polylog curve would overtake the linear
+    [BEG18] reference.
+    """
+    if abs(fit_a.exponent - fit_b.exponent) < 1e-9:
+        return None
+    # prefactor_a * x^ea = prefactor_b * x^eb
+    log_x = math.log(fit_b.prefactor / fit_a.prefactor) / (
+        fit_a.exponent - fit_b.exponent
+    )
+    return math.exp(log_x)

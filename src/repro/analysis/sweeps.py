@@ -1,0 +1,86 @@
+"""Reusable parameter sweeps with seed replication.
+
+The experiment modules share one pattern: sweep a parameter (Delta, slack,
+r, ...), run a pipeline at each point over one or more seeds, collect a
+metric, then fit/compare shapes.  :func:`sweep` packages that pattern for
+downstream experiment writers, with per-point aggregation (mean/min/max)
+and failure capture (a point that raises records the error instead of
+killing the sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .shape import PowerLawFit, fit_power_law
+
+
+@dataclass
+class SweepPoint:
+    """One sweep coordinate with its per-seed samples."""
+
+    x: float
+    samples: list[float] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float | None:
+        return sum(self.samples) / len(self.samples) if self.samples else None
+
+    @property
+    def lo(self) -> float | None:
+        return min(self.samples) if self.samples else None
+
+    @property
+    def hi(self) -> float | None:
+        return max(self.samples) if self.samples else None
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.samples) and not self.errors
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, in x order."""
+
+    points: list[SweepPoint]
+
+    def xs(self) -> list[float]:
+        return [p.x for p in self.points]
+
+    def means(self) -> list[float]:
+        return [p.mean for p in self.points if p.mean is not None]
+
+    def complete(self) -> bool:
+        """Every point produced at least one sample and no errors."""
+        return all(p.ok for p in self.points)
+
+    def fit(self) -> PowerLawFit:
+        """Power-law fit of mean metric vs x (points with samples only)."""
+        xs = [p.x for p in self.points if p.mean is not None]
+        ys = [p.mean for p in self.points if p.mean is not None]
+        return fit_power_law(xs, ys)
+
+
+def sweep(
+    xs: Sequence[float],
+    runner: Callable[[float, int], float],
+    seeds: Sequence[int] = (0,),
+) -> SweepResult:
+    """Evaluate ``runner(x, seed)`` over the grid; collect metric samples.
+
+    ``runner`` returns the metric for one (point, seed); exceptions are
+    captured per point as strings (the sweep always completes).
+    """
+    points: list[SweepPoint] = []
+    for x in xs:
+        point = SweepPoint(x=float(x))
+        for seed in seeds:
+            try:
+                point.samples.append(float(runner(x, seed)))
+            except Exception as exc:  # noqa: BLE001 - captured by design
+                point.errors.append(f"{type(exc).__name__}: {exc}")
+        points.append(point)
+    return SweepResult(points)

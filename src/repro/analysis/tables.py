@@ -1,0 +1,123 @@
+"""ASCII tables and figures for the experiment harness.
+
+The benchmark/experiment modules print their results through these helpers
+so every experiment output has the same look: a fixed-width table for
+"table" experiments and a log-friendly ASCII series plot for "figure"
+experiments.  No plotting libraries are used (the environment is headless).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table with a rule under the header."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def ascii_series(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    logy: bool = False,
+) -> str:
+    """A minimal multi-series ASCII scatter/line chart.
+
+    Each series gets a marker character; points are binned onto a
+    ``width x height`` character grid.  Intended for eyeballing the *shape*
+    of a measured curve (linear vs sqrt vs log), which is what the
+    reproduction claims are about.
+    """
+    if not xs or not series:
+        return "(no data)"
+    markers = "*o+x#@%&"
+    ys_all = [y for s in series.values() for y in s if y is not None]
+    if not ys_all:
+        return "(no data)"
+
+    def ty(y: float) -> float:
+        return math.log10(max(y, 1e-12)) if logy else y
+
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(map(ty, ys_all)), max(map(ty, ys_all))
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(series.items()):
+        mark = markers[idx % len(markers)]
+        for x, y in zip(xs, ys):
+            if y is None:
+                continue
+            col = int((x - xmin) / xspan * (width - 1))
+            row = int((ty(y) - ymin) / yspan * (height - 1))
+            grid[height - 1 - row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{(10 ** ymax if logy else ymax):.3g}"
+    bot = f"{(10 ** ymin if logy else ymin):.3g}"
+    lines.append(f"y_max={top}" + (" (log scale)" if logy else ""))
+    lines.extend("|" + "".join(r) for r in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"y_min={bot}   x: {xmin:g} .. {xmax:g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log y on log x: the empirical power-law exponent.
+
+    Used to check shape claims such as "rounds grow like sqrt(Delta)"
+    (exponent ~ 0.5) or "colors grow like (Delta/d)^2" (exponent ~ 2).
+    """
+    pts = [
+        (math.log(x), math.log(y))
+        for x, y in zip(xs, ys)
+        if x > 0 and y is not None and y > 0
+    ]
+    if len(pts) < 2:
+        raise ValueError("need at least two positive points to fit")
+    n = len(pts)
+    sx = sum(p[0] for p in pts)
+    sy = sum(p[1] for p in pts)
+    sxx = sum(p[0] * p[0] for p in pts)
+    sxy = sum(p[0] * p[1] for p in pts)
+    denom = n * sxx - sx * sx
+    if abs(denom) < 1e-12:
+        raise ValueError("degenerate x values")
+    return (n * sxy - sx * sy) / denom

@@ -1,0 +1,252 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    repro-cli color      --family random_regular --n 120 --degree 10
+    repro-cli edge-color --family ring --n 40
+    repro-cli experiment E09 [--full]
+    repro-cli families
+
+``color`` runs the Theorem 1.4 pipeline on a generated graph and prints
+the run metrics; ``edge-color`` does the same on the line graph;
+``experiment`` renders one of the reproduction experiments; ``families``
+lists the available graph generators and their parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+
+from . import graphs
+from .algorithms import congest_degree_plus_one, congest_delta_plus_one
+from .core import degree_plus_one_instance, validate_ldc
+from .experiments import EXPERIMENTS, get_runner
+from .graphs import (
+    edge_coloring_from_line,
+    edge_degree_plus_one_instance,
+    validate_edge_coloring,
+)
+
+_FAMILY_FNS = {
+    name: fn
+    for name, fn in vars(graphs.generators).items()
+    if not name.startswith("_")
+    and callable(fn)
+    and name
+    not in ("family", "max_degree", "nx")
+    and inspect.isfunction(fn)
+}
+
+
+def _build_graph(args: argparse.Namespace):
+    if getattr(args, "graph_file", None):
+        from .io import load_graph_edgelist
+
+        return load_graph_edgelist(args.graph_file)
+    kwargs = {}
+    fn = _FAMILY_FNS.get(args.family)
+    if fn is None:
+        raise SystemExit(f"unknown family {args.family!r}; try `repro-cli families`")
+    params = inspect.signature(fn).parameters
+    for key in ("n", "degree", "p", "seed", "dim", "rows", "cols", "k",
+                "count", "size", "hub_degree", "fringe_cliques", "clique_size"):
+        value = getattr(args, key, None)
+        if value is not None and key in params:
+            kwargs[key] = value
+    missing = [
+        p.name
+        for p in params.values()
+        if p.default is inspect.Parameter.empty and p.name not in kwargs
+    ]
+    if missing:
+        raise SystemExit(
+            f"family {args.family!r} needs --{' --'.join(missing)}"
+        )
+    return fn(**kwargs)
+
+
+def _cmd_color(args: argparse.Namespace) -> int:
+    from .algorithms.registry import get as get_algorithm
+
+    g = _build_graph(args)
+    delta = max((d for _, d in g.degree), default=0)
+    info = get_algorithm(args.algorithm)
+    res, metrics = info.runner(g)
+    inst = degree_plus_one_instance(g)
+    if info.palette == "Delta+1":
+        ok = bool(validate_ldc(inst, res))
+    else:
+        from .core import validate_proper_coloring
+
+        ok = bool(validate_proper_coloring(g, res))
+    print(f"n={g.number_of_nodes()} m={g.number_of_edges()} Delta={delta} "
+          f"algorithm={info.name} ({info.reference})")
+    print(f"colors={res.num_colors()} rounds={metrics.rounds} "
+          f"max_msg_bits={metrics.max_message_bits} valid={ok}")
+    if args.show:
+        for v in sorted(res.assignment)[: args.show]:
+            print(f"  node {v}: color {res.assignment[v]}")
+    if args.save_json:
+        from .io import save_run
+
+        save_run(inst, res, metrics, args.save_json, info={"cmd": "color"})
+        print(f"saved run record to {args.save_json}")
+    return 0 if ok else 1
+
+
+def _cmd_edge_color(args: argparse.Namespace) -> int:
+    g = _build_graph(args)
+    inst, edge_of = edge_degree_plus_one_instance(g)
+    res, metrics, rep = congest_degree_plus_one(inst)
+    colors = edge_coloring_from_line(res, edge_of)
+    ok = bool(validate_edge_coloring(g, colors))
+    print(f"n={g.number_of_nodes()} m={g.number_of_edges()}")
+    print(f"edge_colors={len(set(colors.values()))} rounds={metrics.rounds} "
+          f"max_msg_bits={metrics.max_message_bits} valid={ok}")
+    return 0 if ok else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = get_runner(args.id)(fast=not args.full)
+    print(result.render())
+    return 0 if result.all_checks_pass else 1
+
+
+def _cmd_map(_args: argparse.Namespace) -> int:
+    from .paper_map import render, verify_all
+
+    broken = verify_all()
+    print(render())
+    if broken:
+        print("\nBROKEN REFERENCES:")
+        for b in broken:
+            print(" ", b)
+        return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import write_markdown_report, write_text_report
+    from .experiments import run_all
+
+    results = run_all(fast=not args.full)
+    if args.markdown:
+        write_markdown_report(results, args.output)
+    else:
+        write_text_report(results, args.output)
+    ok = all(r.all_checks_pass for r in results)
+    print(
+        f"wrote {len(results)} experiments to {args.output}; "
+        f"all checks {'PASS' if ok else 'FAIL'}"
+    )
+    return 0 if ok else 1
+
+
+def _cmd_selftest(_args: argparse.Namespace) -> int:
+    from .selftest import selftest
+
+    failures = selftest()
+    if failures:
+        print("SELFTEST FAILURES:")
+        for f in failures:
+            print(" ", f)
+        return 1
+    print("selftest: all checks passed")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis.compare import compare_algorithms, render_comparison
+
+    g = _build_graph(args)
+    names = args.algorithms.split(",") if args.algorithms else None
+    rows = compare_algorithms(g, names)
+    print(render_comparison(g, rows))
+    return 0 if all(r.valid for r in rows) else 1
+
+
+def _cmd_families(_args: argparse.Namespace) -> int:
+    for name in sorted(_FAMILY_FNS):
+        sig = inspect.signature(_FAMILY_FNS[name])
+        print(f"{name}{sig}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="List defective colorings — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def graph_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--family", default="random_regular")
+        p.add_argument("--graph-file", dest="graph_file", default=None,
+                       help="read the topology from an edge-list file instead")
+        p.add_argument("--n", type=int, default=None)
+        p.add_argument("--degree", type=int, default=None)
+        p.add_argument("--p", type=float, default=None)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--dim", type=int, default=None)
+        p.add_argument("--rows", type=int, default=None)
+        p.add_argument("--cols", type=int, default=None)
+        p.add_argument("--hub-degree", dest="hub_degree", type=int, default=None)
+        p.add_argument("--fringe-cliques", dest="fringe_cliques", type=int, default=None)
+        p.add_argument("--clique-size", dest="clique_size", type=int, default=None)
+
+    p_color = sub.add_parser("color", help="(Delta+1)-color a generated graph")
+    graph_args(p_color)
+    from .algorithms.registry import algorithm_names
+
+    p_color.add_argument("--algorithm", default="thm14", choices=algorithm_names(),
+                         help="which registered coloring algorithm to run")
+    p_color.add_argument("--show", type=int, default=0, help="print first N node colors")
+    p_color.add_argument("--save-json", dest="save_json", default=None,
+                         help="write a run record (instance+coloring+metrics)")
+    p_color.set_defaults(func=_cmd_color)
+
+    p_cmp = sub.add_parser("compare", help="run every algorithm on one graph")
+    graph_args(p_cmp)
+    p_cmp.add_argument("--algorithms", default=None,
+                       help="comma-separated registry names (default: all)")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_edge = sub.add_parser("edge-color", help="edge-color a generated graph")
+    graph_args(p_edge)
+    p_edge.set_defaults(func=_cmd_edge_color)
+
+    p_exp = sub.add_parser("experiment", help="run a reproduction experiment")
+    p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--full", action="store_true")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_fam = sub.add_parser("families", help="list graph generators")
+    p_fam.set_defaults(func=_cmd_families)
+
+    p_map = sub.add_parser("map", help="paper result -> implementation map")
+    p_map.set_defaults(func=_cmd_map)
+
+    p_rep = sub.add_parser(
+        "report", help="run every experiment and write the full record"
+    )
+    p_rep.add_argument("--output", default="experiments_report.txt")
+    p_rep.add_argument("--full", action="store_true")
+    p_rep.add_argument("--markdown", action="store_true",
+                       help="write Markdown instead of plain text")
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_self = sub.add_parser("selftest", help="fast end-to-end smoke pass")
+    p_self.set_defaults(func=_cmd_selftest)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Adversarial instance generators.
+
+Random instances are kind to coloring algorithms (lists overlap little,
+defect budgets are slack).  These builders construct the *hard* shapes each
+mechanism exists to survive:
+
+* :func:`same_list_clique` — the tightness witness of Lemmas A.1/A.2:
+  every node of ``K_n`` holds the identical list and defect function, with
+  the budget exactly at (or just below) the existence threshold.
+* :func:`concentrated_subspace_instance` — stresses Theorem 1.2's
+  reduction: all lists live inside a single part of the partition, so the
+  part-choice step degenerates and all conflict pressure survives into one
+  subproblem.
+* :func:`skewed_defect_instance` — one color with a huge defect against
+  many zero-defect colors: stresses Lemma 3.6's single-defect restriction
+  (the bucket choice is maximally consequential).
+* :func:`crown_conflict_instance` — a complete bipartite crown where both
+  sides share one tiny list: maximal cross-pressure for the P1/P2
+  machinery.
+* :func:`minimal_budget_instance` — every node's budget sum is *exactly*
+  ``deg(v) + 1``: zero slack for Eq. (1), the boundary of solvability.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from .colorspace import ColorSpace
+from .instance import ListDefectiveInstance
+from ..graphs.generators import clique
+
+
+def same_list_clique(
+    n: int, colors: int, defect: int
+) -> ListDefectiveInstance:
+    """K_n, identical lists ``range(colors)``, constant ``defect``.
+
+    With ``colors * (defect+1) == n - 1`` this is the exact infeasible
+    boundary of Eq. (1); one more color makes it feasible and tight.
+    """
+    g = clique(n)
+    space = ColorSpace(max(colors, 1))
+    lst = tuple(range(colors))
+    return ListDefectiveInstance(
+        g,
+        space,
+        {v: lst for v in g.nodes},
+        {v: {x: defect for x in lst} for v in g.nodes},
+    )
+
+
+def concentrated_subspace_instance(
+    graph: nx.Graph,
+    parts: int,
+    part_index: int,
+    list_size: int,
+    defect: int,
+    space_size: int,
+    rng: random.Random,
+) -> ListDefectiveInstance:
+    """All lists drawn from one part of a ``parts``-way partition of C."""
+    space = ColorSpace(space_size)
+    pieces = space.partition(parts)
+    part = pieces[part_index % parts]
+    pool = list(part.colors())
+    if list_size > len(pool):
+        raise ValueError(
+            f"part holds {len(pool)} colors but list_size={list_size}"
+        )
+    lists = {
+        v: tuple(sorted(rng.sample(pool, list_size))) for v in graph.nodes
+    }
+    defects = {v: {x: defect for x in lists[v]} for v in graph.nodes}
+    return ListDefectiveInstance(graph, space, lists, defects)
+
+
+def skewed_defect_instance(
+    graph: nx.Graph,
+    heavy_defect: int,
+    zero_colors: int,
+    space_size: int | None = None,
+) -> ListDefectiveInstance:
+    """One shared heavy-defect color plus per-node zero-defect colors.
+
+    Color 0 tolerates ``heavy_defect`` same-colored neighbors for everyone;
+    colors ``1 + v*zero_colors .. `` are private zero-defect colors.
+    """
+    n = graph.number_of_nodes()
+    size = space_size or (1 + n * zero_colors)
+    space = ColorSpace(size)
+    lists: dict[int, tuple[int, ...]] = {}
+    defects: dict[int, dict[int, int]] = {}
+    for i, v in enumerate(sorted(graph.nodes)):
+        own = [1 + i * zero_colors + j for j in range(zero_colors)]
+        lists[v] = tuple([0] + own)
+        d = {0: heavy_defect}
+        d.update({x: 0 for x in own})
+        defects[v] = d
+    return ListDefectiveInstance(graph, space, lists, defects)
+
+
+def crown_conflict_instance(
+    side: int, list_size: int
+) -> ListDefectiveInstance:
+    """Complete bipartite K_{side,side}; both sides share one tiny list.
+
+    Zero defects; feasible iff ``list_size >= 2`` (two-color the sides),
+    but every pair of cross nodes fights over the same colors — maximal
+    pressure on the conflict-avoidance machinery.
+    """
+    g = nx.complete_bipartite_graph(side, side)
+    g = nx.relabel_nodes(g, {v: int(v) for v in g.nodes})
+    space = ColorSpace(max(list_size, 1))
+    lst = tuple(range(list_size))
+    return ListDefectiveInstance(
+        g,
+        space,
+        {v: lst for v in g.nodes},
+        {v: {x: 0 for x in lst} for v in g.nodes},
+    )
+
+
+def minimal_budget_instance(
+    graph: nx.Graph, rng: random.Random, space_size: int | None = None
+) -> ListDefectiveInstance:
+    """Budget sum exactly ``deg(v) + 1`` per node (zero Eq. (1) slack).
+
+    Random split of the budget into per-color ``d+1`` shares; the instance
+    is solvable (Lemma A.1) but with no slack at all.
+    """
+    delta = max((d for _, d in graph.degree), default=0)
+    size = space_size or (4 * (delta + 2))
+    space = ColorSpace(size)
+    lists: dict[int, tuple[int, ...]] = {}
+    defects: dict[int, dict[int, int]] = {}
+    for v in graph.nodes:
+        budget = graph.degree(v) + 1
+        shares: list[int] = []
+        left = budget
+        while left > 0:
+            s = rng.randint(1, left)
+            shares.append(s)
+            left -= s
+        colors = rng.sample(range(size), len(shares))
+        lists[v] = tuple(sorted(colors))
+        by_color = dict(zip(colors, shares))
+        defects[v] = {x: by_color[x] - 1 for x in lists[v]}
+    return ListDefectiveInstance(graph, space, lists, defects)

@@ -1,0 +1,128 @@
+"""Coloring outputs: assignments and edge orientations.
+
+The outputs of the three problem variants (Definition 1.1):
+
+* LDC / OLDC output: a color assignment ``phi : V -> C``.
+* list arbdefective coloring output: a color assignment *plus* an edge
+  orientation ``sigma``.
+
+``EdgeOrientation`` stores an orientation of an undirected graph's edges and
+provides the out-neighborhood queries the validators need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+import networkx as nx
+
+
+@dataclass
+class EdgeOrientation:
+    """An orientation of (a subset of) the edges of an undirected graph.
+
+    Internally stored as a set of ordered pairs ``(u, v)`` meaning the edge
+    ``{u, v}`` points from ``u`` to ``v``.  An edge may be oriented in only
+    one direction.
+    """
+
+    arcs: set[tuple[int, int]] = field(default_factory=set)
+
+    def orient(self, u: int, v: int) -> None:
+        """Orient edge ``{u, v}`` as ``u -> v`` (error if already ``v -> u``)."""
+        if (v, u) in self.arcs:
+            raise ValueError(f"edge {{{u},{v}}} already oriented {v}->{u}")
+        self.arcs.add((u, v))
+
+    def is_oriented(self, u: int, v: int) -> bool:
+        """Whether edge ``{u, v}`` has been oriented (either direction)."""
+        return (u, v) in self.arcs or (v, u) in self.arcs
+
+    def points_from(self, u: int, v: int) -> bool:
+        """Whether the edge is oriented exactly ``u -> v``."""
+        return (u, v) in self.arcs
+
+    def out_neighbors(self, v: int) -> list[int]:
+        """Endpoints of arcs leaving ``v``."""
+        return [b for (a, b) in self.arcs if a == v]
+
+    def out_degree(self, v: int) -> int:
+        """Number of arcs leaving ``v``."""
+        return sum(1 for (a, _b) in self.arcs if a == v)
+
+    def covers(self, graph: nx.Graph) -> bool:
+        """True iff every edge of ``graph`` is oriented."""
+        return all(self.is_oriented(u, v) for u, v in graph.edges)
+
+    def as_digraph(self, graph: nx.Graph) -> nx.DiGraph:
+        """The directed graph induced by this orientation on ``graph``."""
+        dg = nx.DiGraph()
+        dg.add_nodes_from(graph.nodes)
+        for u, v in graph.edges:
+            if (u, v) in self.arcs:
+                dg.add_edge(u, v)
+            elif (v, u) in self.arcs:
+                dg.add_edge(v, u)
+            else:
+                raise ValueError(f"edge {{{u},{v}}} is unoriented")
+        return dg
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self.arcs)
+
+    def __len__(self) -> int:
+        return len(self.arcs)
+
+
+def orientation_from_priority(
+    graph: nx.Graph, priority: Mapping[int, float]
+) -> EdgeOrientation:
+    """Orient every edge from higher to lower priority (ties by node id).
+
+    Acyclic by construction; used by Theorem 1.3 to orient edges from
+    later-colored nodes toward earlier-colored ones.
+    """
+    ori = EdgeOrientation()
+    for u, v in graph.edges:
+        if (priority[u], u) > (priority[v], v):
+            ori.orient(u, v)
+        else:
+            ori.orient(v, u)
+    return ori
+
+
+@dataclass
+class ColoringResult:
+    """A (possibly partial) coloring with optional orientation.
+
+    Attributes
+    ----------
+    assignment:
+        ``node -> color``.  For total colorings every node of the graph must
+        appear; validators check this.
+    orientation:
+        Present for list arbdefective outputs.
+    """
+
+    assignment: dict[int, int]
+    orientation: EdgeOrientation | None = None
+
+    def color(self, v: int) -> int:
+        """The color assigned to node ``v`` (KeyError if uncolored)."""
+        return self.assignment[v]
+
+    def num_colors(self) -> int:
+        """Number of distinct colors actually used."""
+        return len(set(self.assignment.values()))
+
+    def color_classes(self) -> dict[int, list[int]]:
+        """``color -> nodes holding it`` (insertion order within a class)."""
+        classes: dict[int, list[int]] = {}
+        for v, c in self.assignment.items():
+            classes.setdefault(c, []).append(v)
+        return classes
+
+    def is_total(self, nodes: Iterable[int]) -> bool:
+        """Whether every node of ``nodes`` has been assigned a color."""
+        return all(v in self.assignment for v in nodes)

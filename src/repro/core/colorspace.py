@@ -1,0 +1,149 @@
+"""Color spaces and congruence-class partitions.
+
+Throughout the paper (and this library) colors are non-negative integers
+drawn from a finite *color space* ``C`` (the paper's :math:`\\mathcal{C}`).
+The main OLDC algorithm (Section 3.2.2 of the paper) restricts each node's
+color list to a single congruence class modulo ``2g + 1`` so that the
+generalized ``tau&g``-conflict relation behaves like the ``g = 0`` case; the
+helpers for that trick live here as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class ColorSpace:
+    """A finite space of integer colors ``{offset, ..., offset + size - 1}``.
+
+    The paper assumes w.l.o.g. that :math:`\\mathcal{C} \\subseteq \\mathbb{N}`;
+    we additionally assume the space is a contiguous integer range, which is
+    what every construction in the paper produces (color spaces are always
+    ``[k]`` or products flattened into ranges).
+
+    Parameters
+    ----------
+    size:
+        Number of colors, ``|C| >= 1``.
+    offset:
+        Smallest color in the space (0 by default).
+    """
+
+    size: int
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"color space must be non-empty, got size={self.size}")
+        if self.offset < 0:
+            raise ValueError(f"colors must be non-negative, got offset={self.offset}")
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.offset, self.offset + self.size))
+
+    def __contains__(self, color: int) -> bool:
+        return self.offset <= color < self.offset + self.size
+
+    @property
+    def max_color(self) -> int:
+        return self.offset + self.size - 1
+
+    def bits_per_color(self) -> int:
+        """Number of bits needed to transmit one color of this space."""
+        return max(1, (self.max_color).bit_length())
+
+    def colors(self) -> range:
+        """The colors of this space as a ``range`` object."""
+        return range(self.offset, self.offset + self.size)
+
+    def partition(self, parts: int) -> list["ColorSpace"]:
+        """Partition the space into ``parts`` contiguous, nearly equal parts.
+
+        Used by the recursive color space reduction (Theorem 1.2): the space
+        is split into ``p`` disjoint subspaces C_1, ..., C_p; part sizes
+        differ by at most one.  Raises ``ValueError`` when ``parts`` does not
+        lie in the paper's admissible interval ``(1, |C|]``.
+        """
+        if not 1 <= parts <= self.size:
+            raise ValueError(
+                f"cannot partition space of size {self.size} into {parts} parts"
+            )
+        base, extra = divmod(self.size, parts)
+        out: list[ColorSpace] = []
+        start = self.offset
+        for i in range(parts):
+            length = base + (1 if i < extra else 0)
+            out.append(ColorSpace(length, start))
+            start += length
+        return out
+
+    def subspace_of(self, color: int, parts: int) -> int:
+        """Index ``i`` such that ``color`` lies in ``self.partition(parts)[i]``."""
+        if color not in self:
+            raise ValueError(f"color {color} not in {self}")
+        base, extra = divmod(self.size, parts)
+        rel = color - self.offset
+        pivot = (base + 1) * extra
+        if rel < pivot:
+            return rel // (base + 1)
+        return extra + (rel - pivot) // base if base else extra
+
+
+def congruence_class(colors: Iterable[int], a: int, modulus: int) -> list[int]:
+    """Colors congruent to ``a`` modulo ``modulus`` (paper's :math:`P^a`).
+
+    The basic OLDC algorithm restricts each list to a single congruence
+    class modulo ``2g + 1`` so that each color can ``tau&g``-conflict with at
+    most one color of any other restricted list (Claim 3.3).
+    """
+    if modulus < 1:
+        raise ValueError(f"modulus must be >= 1, got {modulus}")
+    return [x for x in colors if x % modulus == a % modulus]
+
+
+def best_congruence_class(colors: Sequence[int], modulus: int) -> tuple[int, list[int]]:
+    """The residue ``a`` maximizing ``|L^a|`` and the restricted list.
+
+    This is the first step of the zero-round P2 solution (Lemma 3.5): each
+    node keeps only its largest congruence class, which by pigeonhole has
+    size at least ``|L| / (2g + 1)``.  Ties are broken toward the smaller
+    residue so the choice is deterministic.
+    """
+    if modulus < 1:
+        raise ValueError(f"modulus must be >= 1, got {modulus}")
+    if modulus == 1:
+        return 0, sorted(set(colors))
+    buckets: dict[int, list[int]] = {}
+    for x in sorted(set(colors)):
+        buckets.setdefault(x % modulus, []).append(x)
+    if not buckets:
+        return 0, []
+    a = max(sorted(buckets), key=lambda r: len(buckets[r]))
+    # max over sorted keys with key=len returns the *last* maximal entry;
+    # re-scan to prefer the smallest residue among maxima.
+    best_len = len(buckets[a])
+    a = min(r for r, lst in buckets.items() if len(lst) == best_len)
+    return a, sorted(buckets[a])
+
+
+def round_to_congruence(color: int, b: int, modulus: int) -> int:
+    """Round ``color`` to the closest value congruent to ``b (mod modulus)``.
+
+    Implements the ``[C]_b`` rounding of Claim 3.3: for lists restricted to
+    single congruence classes mod ``2g + 1``, ``x1`` and ``x2`` conflict
+    (``|x1 - x2| <= g``) iff ``x1`` rounds exactly onto ``x2``.  Ties (exact
+    half distance cannot occur for odd modulus) are rounded down.
+    """
+    if modulus < 1:
+        raise ValueError(f"modulus must be >= 1, got {modulus}")
+    r = (b - color) % modulus
+    up = color + r
+    down = color - (modulus - r)
+    if down < 0:
+        return up
+    return up if (up - color) <= (color - down) else down

@@ -1,0 +1,123 @@
+"""Conflict combinatorics: mu_g, tau&g-conflicts, and the Psi_g relation.
+
+These are the combinatorial objects at the core of Section 3 of the paper:
+
+* ``mu_g(x, C)`` (paper notation :math:`\\mu_g`): the number of colors in
+  ``C`` at distance at most ``g`` from ``x``.
+* two color sets ``C, C'`` *tau&g-conflict* (Definition 3.2) when
+  ``sum_{x in C} mu_g(x, C') >= tau``.
+* ``(K1, K2) in Psi_g(tau', tau)`` (Definition 3.3) when ``K1`` contains
+  ``tau'`` distinct sets each of which tau&g-conflicts with some set of
+  ``K2``.
+
+For ``g = 0`` these specialize to the relations of [MT20] (Definition 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def mu_g(x: int, colors: Iterable[int], g: int) -> int:
+    """Number of colors ``c`` in ``colors`` with ``|x - c| <= g``."""
+    if g < 0:
+        raise ValueError(f"g must be >= 0, got {g}")
+    return sum(1 for c in colors if abs(x - c) <= g)
+
+
+def conflict_weight(c1: Iterable[int], c2: Sequence[int], g: int) -> int:
+    """``sum_{x in C1} mu_g(x, C2)``; symmetric in its two arguments.
+
+    For ``g = 0`` this is ``|C1 ∩ C2|`` (when both are sets).  For lists
+    restricted to single congruence classes mod ``2g+1`` each color of C1
+    contributes at most 1 (Claim 3.3), so the weight is again essentially an
+    intersection size after rounding.
+    """
+    if g == 0:
+        s2 = set(c2)
+        return sum(1 for x in c1 if x in s2)
+    sorted2 = sorted(c2)
+    import bisect
+
+    total = 0
+    for x in c1:
+        lo = bisect.bisect_left(sorted2, x - g)
+        hi = bisect.bisect_right(sorted2, x + g)
+        total += hi - lo
+    return total
+
+
+def tau_g_conflict(c1: Iterable[int], c2: Sequence[int], tau: int, g: int) -> bool:
+    """Definition 3.2: do ``C1`` and ``C2`` tau&g-conflict?"""
+    if tau < 1:
+        raise ValueError(f"tau must be >= 1, got {tau}")
+    return conflict_weight(c1, c2, g) >= tau
+
+
+def psi_g(
+    k1: Sequence[Sequence[int]],
+    k2: Sequence[Sequence[int]],
+    tau_prime: int,
+    tau: int,
+    g: int = 0,
+) -> bool:
+    """Definition 3.3: is ``(K1, K2) in Psi_g(tau', tau)``?
+
+    True when at least ``tau'`` distinct members of ``K1`` each
+    tau&g-conflict with *some* member of ``K2``.  Note the relation is not
+    symmetric in general.
+    """
+    if tau_prime < 1:
+        raise ValueError(f"tau' must be >= 1, got {tau_prime}")
+    count = 0
+    sorted_k2 = [sorted(c) for c in k2]
+    for c1 in k1:
+        if any(tau_g_conflict(c1, c2, tau, g) for c2 in sorted_k2):
+            count += 1
+            if count >= tau_prime:
+                return True
+    return False
+
+
+def conflicting_members(
+    k1: Sequence[Sequence[int]],
+    k2: Sequence[Sequence[int]],
+    tau: int,
+    g: int = 0,
+) -> list[int]:
+    """Indices ``i`` such that ``K1[i]`` tau&g-conflicts with some set of K2.
+
+    The P1 step of the algorithms needs, for each candidate ``C in K_v`` and
+    each out-neighbor ``u``, whether ``C`` conflicts with any member of
+    ``K_u``; this helper returns the conflicted indices against one
+    neighbor family.
+    """
+    sorted_k2 = [sorted(c) for c in k2]
+    return [
+        i
+        for i, c1 in enumerate(k1)
+        if any(tau_g_conflict(c1, c2, tau, g) for c2 in sorted_k2)
+    ]
+
+
+def pairwise_conflict_degree(
+    families: Sequence[Sequence[Sequence[int]]],
+    tau_prime: int,
+    tau: int,
+    g: int = 0,
+) -> int:
+    """Max over families ``K`` of the number of other families in Psi relation.
+
+    Used by experiment E10 to measure the conflict degree ``d_2`` of the
+    exact greedy construction against the bound of Lemma 3.1 / 3.2.
+    """
+    worst = 0
+    for i, ka in enumerate(families):
+        deg = 0
+        for j, kb in enumerate(families):
+            if i == j:
+                continue
+            if psi_g(ka, kb, tau_prime, tau, g) or psi_g(kb, ka, tau_prime, tau, g):
+                deg += 1
+        worst = max(worst, deg)
+    return worst

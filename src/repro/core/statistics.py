@@ -1,0 +1,95 @@
+"""Descriptive statistics of colorings: histograms, balance, defect use.
+
+Scenario summaries and examples keep re-deriving the same facts from an
+assignment (how loaded is each color, how much of the defect budget was
+actually spent, how balanced is the partition); this module centralizes
+them with a single audited implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from .coloring import ColoringResult
+from .instance import ListDefectiveInstance
+
+
+def color_histogram(result: ColoringResult) -> dict[int, int]:
+    """``color -> number of nodes holding it``."""
+    out: dict[int, int] = {}
+    for _v, c in result.assignment.items():
+        out[c] = out.get(c, 0) + 1
+    return out
+
+
+def balance(result: ColoringResult) -> float:
+    """Max class size over mean class size (1.0 = perfectly balanced)."""
+    hist = color_histogram(result)
+    if not hist:
+        return 1.0
+    sizes = list(hist.values())
+    return max(sizes) / (sum(sizes) / len(sizes))
+
+
+def defect_histogram(
+    instance: ListDefectiveInstance, result: ColoringResult
+) -> dict[int, int]:
+    """``realized defect -> node count`` (same-color neighbors per node)."""
+    g = instance.graph
+    out: dict[int, int] = {}
+    for v in g.nodes:
+        x = result.assignment[v]
+        if instance.directed:
+            neigh = set(g.successors(v))
+        else:
+            neigh = set(g.neighbors(v))
+        realized = sum(1 for u in neigh if result.assignment.get(u) == x)
+        out[realized] = out.get(realized, 0) + 1
+    return out
+
+
+@dataclass(frozen=True)
+class BudgetUse:
+    """How much of the defect budget a solution actually consumed."""
+
+    total_budget: int  # sum over nodes of d_v(chosen color)
+    total_realized: int  # sum over nodes of realized defects
+    max_budget: int
+    max_realized: int
+
+    @property
+    def utilization(self) -> float:
+        """Realized over allowed (0.0 when no budget existed)."""
+        return self.total_realized / self.total_budget if self.total_budget else 0.0
+
+
+def budget_use(
+    instance: ListDefectiveInstance, result: ColoringResult
+) -> BudgetUse:
+    """Summarize spent vs allowed defects for the chosen colors."""
+    g = instance.graph
+    total_budget = total_realized = max_budget = max_realized = 0
+    for v in g.nodes:
+        x = result.assignment[v]
+        allowed = instance.defects[v][x]
+        if instance.directed:
+            neigh = set(g.successors(v))
+        else:
+            neigh = set(g.neighbors(v))
+        realized = sum(1 for u in neigh if result.assignment.get(u) == x)
+        total_budget += allowed
+        total_realized += realized
+        max_budget = max(max_budget, allowed)
+        max_realized = max(max_realized, realized)
+    return BudgetUse(total_budget, total_realized, max_budget, max_realized)
+
+
+def monochromatic_edges(graph: nx.Graph, result: ColoringResult) -> int:
+    """Number of edges whose endpoints share a color."""
+    return sum(
+        1
+        for u, v in graph.edges
+        if result.assignment.get(u) == result.assignment.get(v)
+    )

@@ -1,0 +1,31 @@
+"""Typed exceptions for the library's failure modes.
+
+All subclass the builtin the original code raised (``ValueError`` /
+``RuntimeError``), so callers that caught broadly keep working while new
+callers can discriminate:
+
+* :class:`ConditionViolation` — a paper precondition (Eq. 1/2/3, list
+  sizes, palette bounds) does not hold for the given input.
+* :class:`ScheduleError` — a schedule/driver invariant failed at run time
+  (greedy stuck, potential descent diverged, residual list emptied).
+* :class:`ProtocolError` — a node violated simulator rules (messaged a
+  non-neighbor, sent a non-Message).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for library-specific errors."""
+
+
+class ConditionViolation(ReproError, ValueError):
+    """A paper precondition on the input instance is violated."""
+
+
+class ScheduleError(ReproError, RuntimeError):
+    """A driver invariant failed during execution."""
+
+
+class ProtocolError(ReproError, ValueError):
+    """A node violated the simulator's communication rules."""

@@ -1,0 +1,5 @@
+"""Experiments E01-E11 — one per reproduced paper result (see DESIGN.md §4)."""
+
+from .harness import EXPERIMENTS, ExperimentResult, get_runner, run_all
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "get_runner", "run_all"]

@@ -1,0 +1,75 @@
+"""E03 — Defective coloring substrate [Kuh09] (figure).
+
+Paper claim (Section 1): a ``d``-defective coloring with O((Delta/d)^2)
+colors is computable in O(log* n) rounds.
+
+Measurement: on a fixed random regular graph, sweep the defect ``d`` and
+record the final palette; the palette must shrink quadratically in
+``Delta/d`` (log-log fit of palette against Delta/d gives exponent ~ 2, up
+to the polylog carried by our single-shot polynomial construction — see
+DESIGN.md §3).  All outputs are validated for the defect bound, and rounds
+must stay log*-flat.
+"""
+
+from __future__ import annotations
+
+from ..analysis.bounds import log_star
+from ..analysis.tables import ascii_series, fit_exponent, format_table
+from ..graphs import random_regular
+from ..algorithms.defective import run_defective_coloring
+from .harness import ExperimentResult
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    # n must exceed the d=1 palette (~(2 Delta)^2) for every step to engage.
+    delta = 16 if fast else 24
+    n = 8 * delta * delta
+    g = random_regular(n, delta, seed=11)
+    defects = [1, 2, 4, 8] if fast else [1, 2, 4, 8, 16]
+    rows = []
+    checks: dict[str, bool] = {}
+    xs, ys = [], []
+    max_rounds = 0
+    for d in defects:
+        res, metrics, palette = run_defective_coloring(g, d, validate=True)
+        rows.append([d, delta / d, palette, res.num_colors(), metrics.rounds])
+        checks[f"valid_d{d}"] = True  # run_defective_coloring raises otherwise
+        xs.append(delta / d)
+        ys.append(float(palette))
+        max_rounds = max(max_rounds, metrics.rounds)
+    expo = fit_exponent(xs, ys)
+    # Our single-shot polynomial construction carries a polynomial-degree
+    # factor that inflates the small Delta/d end (palette ~ (deg*Delta/d)^2
+    # with deg shrinking as Delta/d grows), flattening the fitted exponent
+    # below the ideal 2; the band reflects that documented overhead.
+    checks["palette_quadratic_in_delta_over_d"] = 1.3 <= expo <= 2.9
+    checks["rounds_log_star_flat"] = max_rounds <= 3 * log_star(n) + 4
+
+    table = format_table(
+        ["defect d", "Delta/d", "palette", "colors used", "rounds"],
+        rows,
+        title=f"d-defective coloring on a {delta}-regular graph (n={n})",
+    )
+    fig = ascii_series(
+        xs,
+        {"palette": ys, "(Delta/d)^2": [x * x for x in xs]},
+        title="Palette vs Delta/d",
+        logy=True,
+    )
+    findings = (
+        f"Palette shrinks with exponent {expo:.2f} in Delta/d (claim: 2); all "
+        f"outputs meet the defect bound; rounds stay <= {max_rounds} (log*-flat)."
+    )
+    return ExperimentResult(
+        experiment="E03 defective coloring substrate [Kuh09]",
+        kind="figure",
+        paper_claim="d-defective O((Delta/d)^2)-coloring in O(log* n) rounds",
+        body=table + "\n\n" + fig,
+        findings=findings,
+        data={"rows": rows, "exponent": expo},
+        checks=checks,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

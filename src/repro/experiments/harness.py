@@ -1,0 +1,103 @@
+"""Experiment harness: a uniform result container + runner registry.
+
+Every experiment module ``eNN_*`` exposes::
+
+    run(fast: bool = True) -> ExperimentResult
+
+``fast=True`` uses scaled-down sweeps (seconds; what the test suite and
+benchmarks exercise); ``fast=False`` the full sweeps reported in
+EXPERIMENTS.md.  ``ExperimentResult.render()`` prints the table / ASCII
+figure; ``.data`` holds the raw numbers; ``.findings`` summarizes the
+paper-vs-measured comparison in one or two sentences; ``.checks`` is a dict
+of named boolean assertions (the shape claims) that tests assert on.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment."""
+
+    experiment: str
+    kind: str  # "table" | "figure"
+    paper_claim: str
+    body: str  # rendered table / ascii figure
+    findings: str
+    data: dict[str, Any] = field(default_factory=dict)
+    checks: dict[str, bool] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            f"=== {self.experiment} ({self.kind}) ===",
+            f"paper claim: {self.paper_claim}",
+            "",
+            self.body,
+            "",
+            f"findings: {self.findings}",
+        ]
+        if self.checks:
+            lines.append(
+                "checks: "
+                + ", ".join(f"{k}={'PASS' if v else 'FAIL'}" for k, v in self.checks.items())
+            )
+        return "\n".join(lines)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+
+EXPERIMENTS: dict[str, str] = {
+    "E01": "repro.experiments.e01_existence",
+    "E02": "repro.experiments.e02_linial",
+    "E03": "repro.experiments.e03_defective",
+    "E04": "repro.experiments.e04_arbdefective",
+    "E05": "repro.experiments.e05_oldc",
+    "E06": "repro.experiments.e06_reduction",
+    "E07": "repro.experiments.e07_threshold",
+    "E08": "repro.experiments.e08_arblist",
+    "E09": "repro.experiments.e09_congest",
+    "E10": "repro.experiments.e10_p2",
+    "E11": "repro.experiments.e11_crossover",
+    "E12": "repro.experiments.e12_internal",
+    "E13": "repro.experiments.e13_frontier",
+    "E14": "repro.experiments.e14_scale",
+    "E15": "repro.experiments.e15_lowerbound",
+    "A01": "repro.experiments.a01_ablations",
+}
+
+
+def get_runner(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Import and return the ``run`` function of an experiment by id."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; options: {sorted(EXPERIMENTS)}")
+    module = importlib.import_module(EXPERIMENTS[key])
+    return module.run
+
+
+def run_all(fast: bool = True) -> list[ExperimentResult]:
+    """Run every experiment; returns results in id order."""
+    return [get_runner(eid)(fast=fast) for eid in sorted(EXPERIMENTS)]
+
+
+def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI
+    import argparse
+
+    parser = argparse.ArgumentParser(description="run reproduction experiments")
+    parser.add_argument("ids", nargs="*", default=sorted(EXPERIMENTS), help="E01..E11")
+    parser.add_argument("--full", action="store_true", help="full (slow) sweeps")
+    args = parser.parse_args(argv)
+    for eid in args.ids:
+        result = get_runner(eid)(fast=not args.full)
+        print(result.render())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,69 @@
+"""Graph substrate: generators and orientations."""
+
+from .generators import (
+    blowup,
+    clique,
+    disjoint_cliques,
+    family,
+    gnp,
+    hub_and_fringe,
+    hypercube,
+    max_degree,
+    path,
+    random_regular,
+    random_tree,
+    ring,
+    star,
+    torus,
+)
+from .hypergraphs import (
+    greedy_neighborhood_independence,
+    hypergraph_line_graph,
+    neighborhood_independence,
+    random_hypergraph,
+)
+from .linegraph import (
+    edge_coloring_from_line,
+    edge_degree_plus_one_instance,
+    line_graph,
+    validate_edge_coloring,
+)
+from .orientation import (
+    balanced_orientation,
+    bidirect,
+    max_outdegree,
+    orientation_by_id,
+    oriented_digraph,
+    random_low_outdegree_digraph,
+)
+
+__all__ = [
+    "balanced_orientation",
+    "edge_coloring_from_line",
+    "greedy_neighborhood_independence",
+    "hypergraph_line_graph",
+    "neighborhood_independence",
+    "random_hypergraph",
+    "edge_degree_plus_one_instance",
+    "line_graph",
+    "validate_edge_coloring",
+    "bidirect",
+    "blowup",
+    "clique",
+    "disjoint_cliques",
+    "family",
+    "gnp",
+    "hub_and_fringe",
+    "hypercube",
+    "max_degree",
+    "max_outdegree",
+    "orientation_by_id",
+    "oriented_digraph",
+    "path",
+    "random_low_outdegree_digraph",
+    "random_regular",
+    "random_tree",
+    "ring",
+    "star",
+    "torus",
+]

@@ -1,0 +1,189 @@
+"""Deterministic, seeded graph family generators.
+
+Every generator returns a ``networkx.Graph`` (or ``DiGraph``) with integer
+node labels ``0..n-1`` and — when seeded — is fully deterministic, so every
+experiment and test in the repository is reproducible bit-for-bit.
+
+The families cover what the paper's algorithms are sensitive to:
+
+* **rings / paths** — Linial's lower-bound topology, minimum degree;
+* **cliques** — tightness of the existence conditions (Lemmas A.1/A.2);
+* **random regular** — uniform-degree stress for the gamma-class machinery;
+* **G(n, p)** — heterogeneous degrees (per-node conditions matter);
+* **trees / hypercubes / tori** — structured sparse instances;
+* **book / blow-up graphs** — high-degree hubs next to low-degree fringes,
+  the regime where per-color defects (list defective coloring) pay off.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+
+def _relabel(g: nx.Graph) -> nx.Graph:
+    """Relabel nodes to 0..n-1 deterministically (sorted original labels)."""
+    mapping = {v: i for i, v in enumerate(sorted(g.nodes, key=repr))}
+    return nx.relabel_nodes(g, mapping)
+
+
+def ring(n: int) -> nx.Graph:
+    """Cycle on ``n`` nodes (``n >= 3``)."""
+    if n < 3:
+        raise ValueError(f"ring needs n >= 3, got {n}")
+    return nx.cycle_graph(n)
+
+
+def path(n: int) -> nx.Graph:
+    """Path on ``n`` nodes (``n - 1`` edges)."""
+    if n < 1:
+        raise ValueError(f"path needs n >= 1, got {n}")
+    return nx.path_graph(n)
+
+
+def clique(n: int) -> nx.Graph:
+    """Complete graph K_n; K_{Delta+1} witnesses tightness of Eq. (1)/(2)."""
+    if n < 1:
+        raise ValueError(f"clique needs n >= 1, got {n}")
+    return nx.complete_graph(n)
+
+
+def star(n: int) -> nx.Graph:
+    """Star with one hub and ``n - 1`` leaves."""
+    if n < 2:
+        raise ValueError(f"star needs n >= 2, got {n}")
+    return nx.star_graph(n - 1)
+
+
+def random_regular(n: int, degree: int, seed: int) -> nx.Graph:
+    """Random ``degree``-regular graph on ``n`` nodes (``n * degree`` even)."""
+    if degree >= n:
+        raise ValueError(f"degree {degree} must be < n {n}")
+    if (n * degree) % 2:
+        raise ValueError("n * degree must be even")
+    return _relabel(nx.random_regular_graph(degree, n, seed=seed))
+
+
+def gnp(n: int, p: float, seed: int) -> nx.Graph:
+    """Erdos-Renyi G(n, p)."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0,1], got {p}")
+    return _relabel(nx.gnp_random_graph(n, p, seed=seed))
+
+
+def random_tree(n: int, seed: int) -> nx.Graph:
+    """Uniform-attachment random tree on ``n`` nodes (seeded)."""
+    if n < 1:
+        raise ValueError(f"tree needs n >= 1, got {n}")
+    if n == 1:
+        g = nx.Graph()
+        g.add_node(0)
+        return g
+    rng = random.Random(seed)
+    g = nx.Graph()
+    g.add_node(0)
+    for v in range(1, n):
+        g.add_edge(v, rng.randrange(v))
+    return g
+
+
+def hypercube(dim: int) -> nx.Graph:
+    """The ``dim``-dimensional hypercube (2^dim nodes, degree dim)."""
+    if dim < 1:
+        raise ValueError(f"hypercube needs dim >= 1, got {dim}")
+    return _relabel(nx.hypercube_graph(dim))
+
+
+def torus(rows: int, cols: int) -> nx.Graph:
+    """2D torus grid (4-regular for rows, cols >= 3)."""
+    if rows < 2 or cols < 2:
+        raise ValueError("torus needs rows, cols >= 2")
+    return _relabel(nx.grid_2d_graph(rows, cols, periodic=True))
+
+
+def hub_and_fringe(hub_degree: int, fringe_cliques: int, clique_size: int) -> nx.Graph:
+    """A high-degree hub attached to many small cliques.
+
+    Degrees are strongly heterogeneous: the hub has degree
+    ``hub_degree`` while fringe nodes have degree ``clique_size``.  List
+    defective colorings shine here because the hub can trade a large defect
+    on a few colors against the fringe's strict lists.
+    """
+    if fringe_cliques * clique_size < hub_degree:
+        raise ValueError("not enough fringe nodes to realize hub degree")
+    g = nx.Graph()
+    hub = 0
+    g.add_node(hub)
+    nxt = 1
+    attached = 0
+    for _ in range(fringe_cliques):
+        members = list(range(nxt, nxt + clique_size))
+        nxt += clique_size
+        for i, u in enumerate(members):
+            for w in members[i + 1 :]:
+                g.add_edge(u, w)
+        for u in members:
+            if attached < hub_degree:
+                g.add_edge(hub, u)
+                attached += 1
+    return g
+
+
+def blowup(base: nx.Graph, k: int) -> nx.Graph:
+    """Replace each node by an independent set of ``k`` copies.
+
+    The ``k``-blow-up of ``G`` multiplies all degrees by ``k`` while keeping
+    the structure; a convenient way to scale Delta without changing shape.
+    """
+    if k < 1:
+        raise ValueError(f"blow-up factor must be >= 1, got {k}")
+    g = nx.Graph()
+    for v in base.nodes:
+        for i in range(k):
+            g.add_node(v * k + i)
+    for u, v in base.edges:
+        for i in range(k):
+            for j in range(k):
+                g.add_edge(u * k + i, v * k + j)
+    return g
+
+
+def disjoint_cliques(count: int, size: int) -> nx.Graph:
+    """``count`` disjoint copies of K_size (existence tightness experiments)."""
+    g = nx.Graph()
+    nxt = 0
+    for _ in range(count):
+        members = list(range(nxt, nxt + size))
+        nxt += size
+        g.add_nodes_from(members)
+        for i, u in enumerate(members):
+            for w in members[i + 1 :]:
+                g.add_edge(u, w)
+    return g
+
+
+def family(name: str, **kwargs) -> nx.Graph:
+    """Dispatch a generator by name — used by the experiment harness."""
+    table = {
+        "ring": ring,
+        "path": path,
+        "clique": clique,
+        "star": star,
+        "random_regular": random_regular,
+        "gnp": gnp,
+        "random_tree": random_tree,
+        "hypercube": hypercube,
+        "torus": torus,
+        "hub_and_fringe": hub_and_fringe,
+        "blowup": blowup,
+        "disjoint_cliques": disjoint_cliques,
+    }
+    if name not in table:
+        raise KeyError(f"unknown graph family {name!r}; options: {sorted(table)}")
+    return table[name](**kwargs)
+
+
+def max_degree(g: nx.Graph) -> int:
+    """Delta of ``g`` (0 for the empty graph)."""
+    return max((d for _, d in g.degree), default=0)

@@ -1,0 +1,101 @@
+"""Bounded-rank hypergraphs, their line graphs, and neighborhood independence.
+
+Paper context: the faster color-space-reduction results ([Kuh20, BKO20,
+BBKO22], Corollary 4.1's premise) apply to graphs of *bounded neighborhood
+independence* — graphs where no node's neighborhood contains a large
+independent set — "a family of graphs that includes line graphs of bounded
+rank hypergraphs".
+
+This module provides:
+
+* a seeded random ``rank-r`` hypergraph generator;
+* its line graph (one vertex per hyperedge; adjacent iff the hyperedges
+  intersect), which has neighborhood independence at most ``r``;
+* :func:`neighborhood_independence` — the exact parameter (exponential in
+  the worst case; fine at test scale) and a greedy lower bound;
+
+so the tests can *verify* the structural fact the paper leans on, and the
+experiments can build bounded-independence inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import networkx as nx
+
+
+def random_hypergraph(
+    n_vertices: int, n_edges: int, rank: int, seed: int
+) -> list[tuple[int, ...]]:
+    """``n_edges`` distinct hyperedges of size between 2 and ``rank``."""
+    if rank < 2:
+        raise ValueError(f"rank must be >= 2, got {rank}")
+    if n_vertices < rank:
+        raise ValueError("need at least `rank` vertices")
+    rng = random.Random(seed)
+    seen: set[tuple[int, ...]] = set()
+    edges: list[tuple[int, ...]] = []
+    attempts = 0
+    while len(edges) < n_edges and attempts < 100 * n_edges:
+        attempts += 1
+        size = rng.randint(2, rank)
+        e = tuple(sorted(rng.sample(range(n_vertices), size)))
+        if e not in seen:
+            seen.add(e)
+            edges.append(e)
+    return edges
+
+
+def hypergraph_line_graph(edges: list[tuple[int, ...]]) -> nx.Graph:
+    """The line graph: node ``i`` per hyperedge, adjacency = intersection."""
+    g = nx.Graph()
+    g.add_nodes_from(range(len(edges)))
+    sets = [set(e) for e in edges]
+    for i in range(len(edges)):
+        for j in range(i + 1, len(edges)):
+            if sets[i] & sets[j]:
+                g.add_edge(i, j)
+    return g
+
+
+def neighborhood_independence(graph: nx.Graph, cap: int | None = None) -> int:
+    """The maximum size of an independent set inside one neighborhood.
+
+    Exact (exponential worst case — use at test scale).  ``cap`` stops the
+    search early once independence >= cap is witnessed (returns ``cap``).
+    """
+    best = 0
+    for v in graph.nodes:
+        neigh = sorted(graph.neighbors(v))
+        if len(neigh) <= best:
+            continue
+        # grow candidate independent subsets of the neighborhood
+        for size in range(best + 1, len(neigh) + 1):
+            found = False
+            for subset in itertools.combinations(neigh, size):
+                if all(
+                    not graph.has_edge(a, b)
+                    for a, b in itertools.combinations(subset, 2)
+                ):
+                    found = True
+                    break
+            if not found:
+                break
+            best = size
+            if cap is not None and best >= cap:
+                return cap
+    return best
+
+
+def greedy_neighborhood_independence(graph: nx.Graph) -> int:
+    """A fast greedy lower bound on neighborhood independence."""
+    best = 0
+    for v in graph.nodes:
+        chosen: list[int] = []
+        for u in sorted(graph.neighbors(v)):
+            if all(not graph.has_edge(u, w) for w in chosen):
+                chosen.append(u)
+        best = max(best, len(chosen))
+    return best

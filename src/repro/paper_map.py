@@ -1,0 +1,244 @@
+"""Programmatic map: paper result -> implementation symbol(s).
+
+One authoritative table connecting every numbered statement of the paper
+to the code that implements, uses, or measures it.  Tests assert that
+every referenced symbol exists and is importable (so refactors cannot
+silently orphan a paper result), and ``repro-cli map`` prints the table
+for readers navigating the repository.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperResult:
+    result: str  # paper-side identifier
+    statement: str  # one-line paraphrase
+    symbols: tuple[str, ...]  # dotted module:attr paths
+    experiment: str  # experiment id(s) measuring it, "" if none
+
+
+PAPER_MAP: tuple[PaperResult, ...] = (
+    PaperResult(
+        "Definition 1.1",
+        "LDC / OLDC / list arbdefective coloring problems",
+        (
+            "repro.core.instance:ListDefectiveInstance",
+            "repro.core.validate:validate_ldc",
+            "repro.core.validate:validate_oldc",
+            "repro.core.validate:validate_arbdefective",
+        ),
+        "",
+    ),
+    PaperResult(
+        "Eq. (1) / Lemma A.1",
+        "LDC exists iff sum (d+1) > Delta; potential-descent construction",
+        (
+            "repro.core.conditions:ldc_exists_condition",
+            "repro.algorithms.greedy:solve_ldc_potential",
+        ),
+        "E01",
+    ),
+    PaperResult(
+        "Eq. (2) / Lemma A.2",
+        "list arbdefective exists iff sum (2d+1) > Delta; Euler orientation",
+        (
+            "repro.core.conditions:arbdefective_exists_condition",
+            "repro.algorithms.greedy:solve_arbdefective_euler",
+            "repro.graphs.orientation:balanced_orientation",
+        ),
+        "E01",
+    ),
+    PaperResult(
+        "[Lin87] substrate",
+        "O(Delta^2)-coloring in O(log* n) rounds",
+        ("repro.algorithms.linial:run_linial", "repro.algorithms.linial:linial_schedule"),
+        "E02",
+    ),
+    PaperResult(
+        "[Lin87] lower bound",
+        "Omega(log* n) rounds for O(1) ring colors (neighborhood graphs)",
+        (
+            "repro.analysis.lowerbound:neighborhood_graph_n1",
+            "repro.analysis.lowerbound:one_round_color_lower_bound",
+        ),
+        "E15",
+    ),
+    PaperResult(
+        "[Kuh09] substrate",
+        "d-defective O((Delta/d)^2)-coloring in O(log* n) rounds",
+        (
+            "repro.algorithms.defective:run_defective_coloring",
+            "repro.algorithms.linial:defective_schedule",
+        ),
+        "E03",
+    ),
+    PaperResult(
+        "[BEG18] substrate (substituted)",
+        "d-arbdefective O(Delta/(d+1))-coloring",
+        ("repro.algorithms.arbdefective:arbdefective_coloring",),
+        "E04",
+    ),
+    PaperResult(
+        "[Kuh09] oriented defective (Section 4)",
+        "oriented d-defective coloring with O((beta/d)^2) colors",
+        ("repro.algorithms.oriented_defective:run_oriented_defective",),
+        "",
+    ),
+    PaperResult(
+        "[BE09, Kuh09] divide-and-conquer",
+        "(Delta+1)-coloring in O(Delta + log* n) via recursive defective classes",
+        ("repro.algorithms.linear_in_delta:linear_in_delta_coloring",),
+        "E13",
+    ),
+    PaperResult(
+        "[MT20] / Section 3.1",
+        "2-round list coloring from conflict-avoiding set families",
+        ("repro.algorithms.mt20:mt20_list_coloring",),
+        "E13",
+    ),
+    PaperResult(
+        "Definitions 3.2/3.3",
+        "tau&g-conflicts and the Psi_g relation",
+        (
+            "repro.core.conflict:tau_g_conflict",
+            "repro.core.conflict:psi_g",
+        ),
+        "E10",
+    ),
+    PaperResult(
+        "Lemmas 3.1/3.2/3.5",
+        "zero-round solvability of P2 (type-indexed families)",
+        (
+            "repro.algorithms.mt_selection:exact_greedy_assignment",
+            "repro.algorithms.mt_selection:seeded_family",
+            "repro.algorithms.mt_selection:FamilyOracle",
+        ),
+        "E10, E12",
+    ),
+    PaperResult(
+        "Lemma 3.6",
+        "basic g-generalized OLDC algorithm with gamma-classes",
+        (
+            "repro.algorithms.oldc_basic:solve_oldc_basic",
+            "repro.algorithms.oldc_basic:gamma_class",
+            "repro.algorithms.oldc_basic:single_defect_restriction",
+            "repro.core.colorspace:best_congruence_class",
+        ),
+        "E05, A01",
+    ),
+    PaperResult(
+        "Lemmas 3.7/3.8 = Theorem 1.1",
+        "main OLDC algorithm: O(log beta) rounds under sum (d+1)^2 >= a b^2 k",
+        (
+            "repro.algorithms.oldc_main:solve_oldc_main",
+            "repro.algorithms.oldc_main:MainOLDC",
+            "repro.analysis.bounds:kappa_theorem_1_1",
+            "repro.analysis.bounds:theorem_1_1_message_bits",
+        ),
+        "E05, E07",
+    ),
+    PaperResult(
+        "Theorem 1.2",
+        "recursive color space reduction",
+        ("repro.algorithms.colorspace_reduction:solve_with_reduction",),
+        "E06",
+    ),
+    PaperResult(
+        "Corollary 4.1",
+        "2^O(sqrt(log beta log kappa)) via balanced branching",
+        (
+            "repro.algorithms.colorspace_reduction:corollary_4_1_p",
+            "repro.algorithms.colorspace_reduction:solve_with_corollary_4_1",
+        ),
+        "",
+    ),
+    PaperResult(
+        "Corollary 4.2",
+        "message size O(|C|^{1/r}) at an O(r) round factor",
+        ("repro.algorithms.colorspace_reduction:corollary_4_2_p",),
+        "E06, E09",
+    ),
+    PaperResult(
+        "Theorem 1.3",
+        "(degree+1)-list arbdefective coloring via OLDC + degree halving",
+        ("repro.algorithms.arblist:solve_list_arbdefective",),
+        "E08",
+    ),
+    PaperResult(
+        "Theorem 1.4",
+        "(degree+1)-list coloring in CONGEST in sqrt(Delta) polylog + log* n",
+        (
+            "repro.algorithms.congest_coloring:congest_degree_plus_one",
+            "repro.algorithms.congest_coloring:congest_delta_plus_one",
+            "repro.analysis.bounds:theorem_1_4_rounds",
+        ),
+        "E09, E11, E13",
+    ),
+    PaperResult(
+        "Section 1.1 regime discussion",
+        "Thm 1.4 fills Delta in [omega(log n), o(log^2 n)]",
+        (
+            "repro.analysis.bounds:fhk_congest_rounds",
+            "repro.analysis.bounds:gk21_rounds",
+            "repro.algorithms.baselines:list_exchange_coloring",
+        ),
+        "E09, E11",
+    ),
+    PaperResult(
+        "[Bar16] benchmark",
+        "(1+eps)Delta-coloring in ~sqrt(Delta) + log* n (prior CONGEST best)",
+        ("repro.algorithms.barenboim:barenboim_coloring",),
+        "E13",
+    ),
+    PaperResult(
+        "Appendix C",
+        "internal computation costs; reduction tames them",
+        ("repro.algorithms.mt_selection:candidate_space",),
+        "E12",
+    ),
+    PaperResult(
+        "Edge colorings (intro / [BE11a] line)",
+        "edge coloring via line graphs; bounded neighborhood independence",
+        (
+            "repro.graphs.linegraph:edge_degree_plus_one_instance",
+            "repro.graphs.hypergraphs:hypergraph_line_graph",
+            "repro.graphs.hypergraphs:neighborhood_independence",
+        ),
+        "",
+    ),
+)
+
+
+def resolve(symbol: str):
+    """Import a ``module:attr`` path; raises if it does not exist."""
+    module_name, attr = symbol.split(":")
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)
+
+
+def verify_all() -> list[str]:
+    """Resolve every symbol; returns the list of broken references."""
+    broken = []
+    for entry in PAPER_MAP:
+        for symbol in entry.symbols:
+            try:
+                resolve(symbol)
+            except (ImportError, AttributeError) as exc:
+                broken.append(f"{entry.result}: {symbol} ({exc})")
+    return broken
+
+
+def render() -> str:
+    """Human-readable table of the map."""
+    lines = []
+    for entry in PAPER_MAP:
+        lines.append(f"{entry.result} — {entry.statement}")
+        for symbol in entry.symbols:
+            lines.append(f"    {symbol}")
+        if entry.experiment:
+            lines.append(f"    measured by: {entry.experiment}")
+    return "\n".join(lines)

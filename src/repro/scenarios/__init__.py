@@ -1,0 +1,25 @@
+"""Worked domain scenarios built on the public API (used by examples/)."""
+
+from .frequency import FrequencyConfig, FrequencyPlan, plan
+from .tdma import TDMAConfig, TDMASchedule, schedule
+from .timetable import (
+    Timetable,
+    TimetableConfig,
+    conflict_graph,
+    random_enrollments,
+    timetable,
+)
+
+__all__ = [
+    "FrequencyConfig",
+    "FrequencyPlan",
+    "TDMAConfig",
+    "Timetable",
+    "TimetableConfig",
+    "TDMASchedule",
+    "plan",
+    "conflict_graph",
+    "random_enrollments",
+    "schedule",
+    "timetable",
+]

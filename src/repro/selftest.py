@@ -1,0 +1,79 @@
+"""One-call repository self-test.
+
+:func:`selftest` runs a fast, end-to-end sanity pass suitable for a fresh
+install or CI smoke stage (a few seconds; `pytest tests/` remains the real
+suite):
+
+1. the paper→code map resolves completely;
+2. every registered coloring algorithm produces a *validated* coloring on
+   a small standard graph;
+3. the sequential existence constructions succeed at a tight clique;
+4. a serialization round-trip is exact;
+5. the vectorized engine matches the reference bit-for-bit on one input.
+
+Returns a list of failure strings (empty = healthy); the CLI ``selftest``
+subcommand prints them and sets the exit code.
+"""
+
+from __future__ import annotations
+
+
+def selftest() -> list[str]:
+    """Run the smoke pass; returns failure descriptions (empty = OK)."""
+    failures: list[str] = []
+
+    # 1. paper map
+    from .paper_map import verify_all
+
+    failures += [f"paper_map: {b}" for b in verify_all()]
+
+    # 2. registry algorithms
+    from .algorithms.registry import algorithm_names, run
+    from .core import validate_proper_coloring
+    from .graphs import random_regular
+
+    g = random_regular(24, 4, seed=1)
+    for name in algorithm_names():
+        try:
+            res, _metrics = run(name, g)
+            if not validate_proper_coloring(g, res):
+                failures.append(f"registry: {name} produced an invalid coloring")
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            failures.append(f"registry: {name} raised {type(exc).__name__}: {exc}")
+
+    # 3. existence constructions at the threshold
+    from .core import same_list_clique, validate_arbdefective, validate_ldc
+    from .algorithms import solve_arbdefective_euler, solve_ldc_potential
+
+    try:
+        inst = same_list_clique(9, colors=5, defect=1)
+        if not validate_ldc(inst, solve_ldc_potential(inst)):
+            failures.append("lemma A.1: invalid output at the tight clique")
+        inst2 = same_list_clique(9, colors=3, defect=1)
+        if not validate_arbdefective(inst2, solve_arbdefective_euler(inst2)):
+            failures.append("lemma A.2: invalid output at the tight clique")
+    except Exception as exc:  # noqa: BLE001
+        failures.append(f"existence: {type(exc).__name__}: {exc}")
+
+    # 4. serialization round trip
+    import tempfile
+    from pathlib import Path
+
+    from .core import degree_plus_one_instance
+    from .io import instance_from_dict, instance_to_dict
+
+    inst3 = degree_plus_one_instance(g)
+    back = instance_from_dict(instance_to_dict(inst3))
+    if back.lists != inst3.lists or back.defects != inst3.defects:
+        failures.append("io: instance round-trip drifted")
+
+    # 5. vectorized equivalence
+    from .algorithms import run_linial
+    from .sim.vectorized import linial_vectorized
+
+    ref, m_ref, _p1 = run_linial(g)
+    vec, m_vec, _p2 = linial_vectorized(g)
+    if ref.assignment != vec.assignment or m_ref.summary() != m_vec.summary():
+        failures.append("vectorized: Linial engines diverged")
+
+    return failures

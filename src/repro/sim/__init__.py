@@ -1,0 +1,37 @@
+"""Synchronous LOCAL / CONGEST simulator."""
+
+from .message import Message, color_list_bits, estimate_bits, index_bits, int_bits
+from .metrics import RunMetrics, congest_bandwidth
+from .network import SyncNetwork
+from .node import DistributedAlgorithm, HaltingError, NodeView
+from .phases import PhaseEntry, PhaseLog
+from .referee import RefereeViolation, RefereedAlgorithm
+from .trace import Trace, TracedMessage
+from .vectorized import (
+    classic_delta_plus_one_vectorized,
+    linial_vectorized,
+    schedule_reduction_vectorized,
+)
+
+__all__ = [
+    "DistributedAlgorithm",
+    "HaltingError",
+    "Message",
+    "NodeView",
+    "PhaseEntry",
+    "PhaseLog",
+    "RefereeViolation",
+    "RefereedAlgorithm",
+    "RunMetrics",
+    "SyncNetwork",
+    "Trace",
+    "TracedMessage",
+    "color_list_bits",
+    "congest_bandwidth",
+    "estimate_bits",
+    "index_bits",
+    "int_bits",
+    "classic_delta_plus_one_vectorized",
+    "linial_vectorized",
+    "schedule_reduction_vectorized",
+]

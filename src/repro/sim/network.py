@@ -1,0 +1,192 @@
+"""The synchronous network simulator (LOCAL / CONGEST).
+
+:class:`SyncNetwork` executes a :class:`~repro.sim.node.DistributedAlgorithm`
+on a ``networkx`` graph in lockstep rounds, collecting
+:class:`~repro.sim.metrics.RunMetrics`.  Semantics (paper Section 2):
+
+* all nodes start at time 0;
+* in each round every *active* node sends one message per incident edge
+  (possibly different per neighbor, possibly none), then receives the
+  messages sent to it this round;
+* nodes perform arbitrary internal computation between rounds (uncharged);
+* a node halts when ``is_done`` becomes true; the run ends when all halt.
+
+Messages can be sent to any communication neighbor — for directed graphs,
+both in- and out-neighbors, as the paper specifies.  Delivery is
+simultaneous: messages computed in round ``r`` are only visible in round
+``r``'s receive step, never earlier.
+
+Determinism: nodes are always iterated in sorted id order and algorithms
+receive no ambient randomness (seeded RNGs are part of node inputs when an
+algorithm is randomized), so a run is a pure function of (graph, algorithm,
+inputs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+import networkx as nx
+
+from ..exceptions import ProtocolError
+from .message import Message
+from .metrics import RunMetrics, congest_bandwidth
+from .node import DistributedAlgorithm, HaltingError, NodeView
+from .trace import Trace
+
+
+class SyncNetwork:
+    """A simulated synchronous network over a ``networkx`` (di)graph."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        model: str = "LOCAL",
+        bandwidth: int | None = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        graph:
+            Undirected or directed topology.  Node labels must be hashable
+            and sortable; integer ids are conventional.
+        model:
+            ``"LOCAL"`` (unbounded messages) or ``"CONGEST"``.  In CONGEST a
+            per-message budget is *recorded against*, not enforced — runs
+            never fail mid-flight; compliance is an output, which is what
+            the experiments report.
+        bandwidth:
+            Explicit CONGEST bit budget; defaults to
+            :func:`congest_bandwidth` of the node count.
+        """
+        if model not in ("LOCAL", "CONGEST"):
+            raise ValueError(f"unknown model {model!r}")
+        self.graph = graph
+        self.model = model
+        self.directed = graph.is_directed()
+        n = graph.number_of_nodes()
+        self.bandwidth = (
+            bandwidth
+            if bandwidth is not None
+            else (congest_bandwidth(n) if model == "CONGEST" else None)
+        )
+        self._views: dict[int, NodeView] = {}
+
+    # ------------------------------------------------------------------
+    def _build_views(
+        self,
+        inputs: Mapping[int, Mapping[str, Any]],
+        shared: Mapping[str, Any],
+    ) -> dict[int, NodeView]:
+        views: dict[int, NodeView] = {}
+        g = self.graph
+        for v in sorted(g.nodes):
+            if self.directed:
+                outs = tuple(sorted(g.successors(v)))
+                ins = tuple(sorted(g.predecessors(v)))
+                neigh = tuple(sorted(set(outs) | set(ins)))
+            else:
+                neigh = tuple(sorted(g.neighbors(v)))
+                outs = neigh
+                ins = neigh
+            views[v] = NodeView(
+                id=v,
+                neighbors=neigh,
+                out_neighbors=outs,
+                in_neighbors=ins,
+                inputs=dict(inputs.get(v, {})),
+                globals=dict(shared),
+            )
+        return views
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        algorithm: DistributedAlgorithm,
+        inputs: Mapping[int, Mapping[str, Any]] | None = None,
+        shared: Mapping[str, Any] | None = None,
+        max_rounds: int = 10_000,
+        round_hook: Callable[[int, dict[int, dict[str, Any]]], None] | None = None,
+        trace: Trace | None = None,
+    ) -> tuple[dict[int, Any], RunMetrics]:
+        """Execute ``algorithm`` to completion.
+
+        Returns ``(outputs, metrics)`` where ``outputs[v]`` is the node's
+        declared output.  Raises :class:`HaltingError` if any node is still
+        active after ``max_rounds`` rounds.
+
+        ``round_hook(rnd, states)`` — optional observer called after each
+        round; used by tests to assert invariants mid-run.
+        ``trace`` — optional :class:`~repro.sim.trace.Trace` that records
+        every message (round, src, dst, bits) for post-hoc inspection.
+        """
+        inputs = inputs or {}
+        shared = dict(shared or {})
+        shared.setdefault("n", self.graph.number_of_nodes())
+        views = self._build_views(inputs, shared)
+        self._views = views
+        states: dict[int, dict[str, Any]] = {
+            v: algorithm.init_state(views[v]) for v in sorted(views)
+        }
+        metrics = RunMetrics(bandwidth_limit=self.bandwidth)
+        active = {v for v in views if not algorithm.is_done(views[v], states[v])}
+
+        rnd = 0
+        while active:
+            if rnd >= max_rounds:
+                raise HaltingError(rounds=rnd, unfinished=sorted(active))
+            # -- send phase ------------------------------------------------
+            inboxes: dict[int, dict[int, Message]] = {v: {} for v in views}
+            sizes: list[int] = []
+            for v in sorted(active):
+                outbox = algorithm.send(views[v], states[v], rnd)
+                for dst, msg in outbox.items():
+                    if dst not in views or dst not in views[v].neighbors:
+                        raise ProtocolError(
+                            f"node {v} tried to message non-neighbor {dst}"
+                        )
+                    if not isinstance(msg, Message):
+                        raise TypeError(
+                            f"node {v} sent a non-Message to {dst}: {type(msg)!r}"
+                        )
+                    inboxes[dst][v] = msg
+                    bits = msg.size_bits()
+                    sizes.append(bits)
+                    if trace is not None:
+                        trace.record(rnd, v, dst, bits, msg.payload)
+            # -- receive phase ---------------------------------------------
+            for v in sorted(active):
+                algorithm.receive(views[v], states[v], rnd, inboxes[v])
+            metrics.observe_round(sizes)
+            if trace is not None:
+                trace.record_round(len(active))
+            if round_hook is not None:
+                round_hook(rnd, states)
+            active = {v for v in active if not algorithm.is_done(views[v], states[v])}
+            rnd += 1
+
+        outputs = {v: algorithm.output(views[v], states[v]) for v in sorted(views)}
+        return outputs, metrics
+
+    # ------------------------------------------------------------------
+    def run_phases(
+        self,
+        phases: list[tuple[DistributedAlgorithm, Mapping[int, Mapping[str, Any]]]],
+        shared: Mapping[str, Any] | None = None,
+        max_rounds: int = 10_000,
+    ) -> tuple[list[dict[int, Any]], RunMetrics]:
+        """Run several algorithms back to back, summing their metrics.
+
+        Each phase gets its own inputs (typically derived from the previous
+        phase's outputs by the caller); this matches the paper's phase-based
+        compositions (Linial precoloring, then gamma-class assignment, then
+        the main coloring, ...).
+        """
+        total = RunMetrics(bandwidth_limit=self.bandwidth)
+        outs: list[dict[int, Any]] = []
+        for algorithm, inputs in phases:
+            o, m = self.run(algorithm, inputs, shared, max_rounds)
+            outs.append(o)
+            total = total.merge_sequential(m)
+        total.bandwidth_limit = self.bandwidth
+        return outs, total

@@ -1,0 +1,115 @@
+"""Per-node views and the distributed algorithm protocol.
+
+A :class:`DistributedAlgorithm` is a *shared program* executed by every node
+of the network; per-node state lives in a plain dict owned by the simulator.
+Each synchronous round consists of:
+
+1. every active node computes an outbox via :meth:`DistributedAlgorithm.send`;
+2. the simulator delivers all messages simultaneously;
+3. every active node consumes its inbox via
+   :meth:`DistributedAlgorithm.receive`;
+4. nodes whose :meth:`DistributedAlgorithm.is_done` returns true halt (they
+   stop sending; their last state is frozen until everyone halts).
+
+This matches the synchronous LOCAL/CONGEST model of the paper (Section 2):
+per-round simultaneous message exchange over the edges, arbitrary internal
+computation, and — even for directed inputs — communication in *both*
+directions along every edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from .message import Message
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """What a node can see locally: itself, its neighborhood, shared globals.
+
+    Attributes
+    ----------
+    id:
+        The node's unique identifier (also its O(log n)-bit ID).
+    neighbors:
+        All communication neighbors (sorted).  For directed graphs this is
+        the union of in- and out-neighbors — the paper allows messages in
+        both directions over directed edges.
+    out_neighbors / in_neighbors:
+        Directional adjacency for directed inputs (both equal ``neighbors``
+        on undirected graphs).
+    inputs:
+        Per-node problem input (color list, defect function, initial color,
+        ...), set by the caller of :meth:`SyncNetwork.run`.
+    globals:
+        Quantities the model treats as common knowledge (n, Delta, the color
+        space, parameter scale, ...).
+    """
+
+    id: int
+    neighbors: tuple[int, ...]
+    out_neighbors: tuple[int, ...]
+    in_neighbors: tuple[int, ...]
+    inputs: Mapping[str, Any]
+    globals: Mapping[str, Any]
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+    @property
+    def outdegree(self) -> int:
+        """Paper's beta_v clamp: max(1, #out-neighbors)."""
+        return max(1, len(self.out_neighbors))
+
+
+class DistributedAlgorithm:
+    """Base class for synchronous distributed algorithms.
+
+    Subclasses override any of the four hooks.  The default implementation
+    is a node that never sends and halts immediately — convenient for
+    composing phases where only some nodes are active.
+    """
+
+    name: str = "noop"
+
+    def init_state(self, view: NodeView) -> dict[str, Any]:
+        """Round-0 local initialization (no communication)."""
+        return {}
+
+    def send(self, view: NodeView, state: dict[str, Any], rnd: int) -> dict[int, Message]:
+        """Outbox for round ``rnd``: neighbor id -> message."""
+        return {}
+
+    def receive(
+        self,
+        view: NodeView,
+        state: dict[str, Any],
+        rnd: int,
+        inbox: dict[int, Message],
+    ) -> None:
+        """Consume the messages delivered in round ``rnd``."""
+
+    def is_done(self, view: NodeView, state: dict[str, Any]) -> bool:
+        """Whether this node has terminated (checked after each round)."""
+        return True
+
+    def output(self, view: NodeView, state: dict[str, Any]) -> Any:
+        """The node's final output (e.g. its chosen color)."""
+        return state.get("output")
+
+
+@dataclass
+class HaltingError(RuntimeError):
+    """Raised when the round budget is exhausted before all nodes halt."""
+
+    rounds: int
+    unfinished: list[int] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        return (
+            f"algorithm did not terminate within {self.rounds} rounds; "
+            f"{len(self.unfinished)} nodes unfinished (e.g. {self.unfinished[:5]})"
+        )

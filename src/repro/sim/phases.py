@@ -1,0 +1,96 @@
+"""Phase attribution: where do a pipeline's rounds and bits go?
+
+Composed pipelines (Theorems 1.3/1.4) merge many sub-runs into one
+:class:`~repro.sim.metrics.RunMetrics`; the merged totals answer *how
+much* but not *where*.  A :class:`PhaseLog` collects one labeled entry per
+sub-run so experiments and users can see the breakdown — e.g. that the
+per-class OLDC constant dominates Theorem 1.3's rounds at laptop scale
+(the E08 finding), or how much the Linial precoloring actually costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .metrics import RunMetrics
+
+
+@dataclass(frozen=True)
+class PhaseEntry:
+    label: str
+    rounds: int
+    messages: int
+    bits: int
+    max_message_bits: int
+
+
+@dataclass
+class PhaseLog:
+    """Ordered log of labeled sub-run metrics."""
+
+    entries: list[PhaseEntry] = field(default_factory=list)
+
+    def add(self, label: str, metrics: RunMetrics) -> None:
+        self.entries.append(
+            PhaseEntry(
+                label=label,
+                rounds=metrics.rounds,
+                messages=metrics.total_messages,
+                bits=metrics.total_bits,
+                max_message_bits=metrics.max_message_bits,
+            )
+        )
+
+    def add_raw(self, label: str, rounds: int, messages: int, bits: int) -> None:
+        self.entries.append(
+            PhaseEntry(
+                label=label,
+                rounds=rounds,
+                messages=messages,
+                bits=bits,
+                max_message_bits=0,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def by_label(self) -> dict[str, PhaseEntry]:
+        """Aggregate entries sharing a label (rounds/bits summed)."""
+        agg: dict[str, list[PhaseEntry]] = {}
+        for e in self.entries:
+            agg.setdefault(e.label, []).append(e)
+        return {
+            label: PhaseEntry(
+                label=label,
+                rounds=sum(e.rounds for e in group),
+                messages=sum(e.messages for e in group),
+                bits=sum(e.bits for e in group),
+                max_message_bits=max(e.max_message_bits for e in group),
+            )
+            for label, group in agg.items()
+        }
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(e.rounds for e in self.entries)
+
+    def dominant_phase(self) -> str | None:
+        """The label carrying the most rounds (None when empty)."""
+        agg = self.by_label()
+        if not agg:
+            return None
+        return max(agg.values(), key=lambda e: (e.rounds, e.label)).label
+
+    def render(self) -> str:
+        """Fixed-width breakdown table."""
+        from ..analysis.tables import format_table
+
+        agg = sorted(self.by_label().values(), key=lambda e: -e.rounds)
+        rows = [
+            [e.label, e.rounds, e.messages, e.bits, e.max_message_bits]
+            for e in agg
+        ]
+        return format_table(
+            ["phase", "rounds", "messages", "bits", "max msg bits"],
+            rows,
+            title="round/bit breakdown by phase",
+        )

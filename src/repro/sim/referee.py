@@ -1,0 +1,79 @@
+"""A referee wrapper that audits protocol invariants of any algorithm.
+
+Wrap a :class:`~repro.sim.node.DistributedAlgorithm` in
+:class:`RefereedAlgorithm` and run it normally; the referee checks, per
+node and per round:
+
+* **halting monotonicity** — once ``is_done`` returns true it must stay
+  true (a node that un-halts would deadlock the run semantics);
+* **silence after done** — a done node must not produce an outbox;
+* **output stability** — ``output`` after completion must be pure
+  (calling it twice yields equal values);
+* **declared sizes** — all declared message sizes are positive.
+
+Violations raise immediately with the node/round context, so test sweeps
+over every algorithm class catch protocol bugs at their first occurrence
+rather than as downstream validation noise.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .message import Message
+from .node import DistributedAlgorithm, NodeView
+
+
+class RefereeViolation(AssertionError):
+    """A wrapped algorithm broke a simulator protocol invariant."""
+
+
+class RefereedAlgorithm(DistributedAlgorithm):
+    """Delegates to ``inner`` while enforcing the invariants above."""
+
+    def __init__(self, inner: DistributedAlgorithm) -> None:
+        self.inner = inner
+        self.name = f"refereed-{getattr(inner, 'name', 'algorithm')}"
+        self._done_seen: dict[int, bool] = {}
+
+    def init_state(self, view: NodeView) -> dict[str, Any]:
+        self._done_seen[view.id] = False
+        return self.inner.init_state(view)
+
+    def send(self, view: NodeView, state, rnd: int):
+        if self._done_seen.get(view.id):
+            outbox = self.inner.send(view, state, rnd)
+            if outbox:
+                raise RefereeViolation(
+                    f"node {view.id} sent after reporting done (round {rnd})"
+                )
+            return outbox
+        outbox = self.inner.send(view, state, rnd)
+        for dst, msg in outbox.items():
+            if isinstance(msg, Message) and msg.bits is not None and msg.bits < 1:
+                raise RefereeViolation(
+                    f"node {view.id} declared non-positive size to {dst}"
+                )
+        return outbox
+
+    def receive(self, view: NodeView, state, rnd: int, inbox) -> None:
+        self.inner.receive(view, state, rnd, inbox)
+
+    def is_done(self, view: NodeView, state) -> bool:
+        done = self.inner.is_done(view, state)
+        if self._done_seen.get(view.id) and not done:
+            raise RefereeViolation(
+                f"node {view.id} un-halted (is_done went true -> false)"
+            )
+        if done:
+            self._done_seen[view.id] = True
+        return done
+
+    def output(self, view: NodeView, state) -> Any:
+        first = self.inner.output(view, state)
+        second = self.inner.output(view, state)
+        if first != second:
+            raise RefereeViolation(
+                f"node {view.id} output is unstable: {first!r} != {second!r}"
+            )
+        return first

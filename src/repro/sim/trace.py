@@ -1,0 +1,84 @@
+"""Round-by-round execution traces.
+
+A :class:`Trace` records every message of a simulated run — round, sender,
+receiver, declared bit size, and (optionally) the payload — plus per-round
+activity snapshots.  Traces power debugging, the failure-injection tests
+(assert *what* was said, not just how much), and post-hoc analyses such as
+per-round bandwidth histograms.
+
+Payload capture is off by default: payloads can be large (candidate
+families) and most consumers only need the accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class TracedMessage:
+    round: int
+    src: int
+    dst: int
+    bits: int
+    payload: Any = None
+
+
+@dataclass
+class Trace:
+    """Collected events of one run."""
+
+    capture_payloads: bool = False
+    messages: list[TracedMessage] = field(default_factory=list)
+    active_per_round: list[int] = field(default_factory=list)
+
+    def record(self, rnd: int, src: int, dst: int, bits: int, payload: Any) -> None:
+        """Log one message (payload kept only when capture is enabled)."""
+        self.messages.append(
+            TracedMessage(
+                rnd, src, dst, bits, payload if self.capture_payloads else None
+            )
+        )
+
+    def record_round(self, active_count: int) -> None:
+        """Close a round, noting how many nodes were still active."""
+        self.active_per_round.append(active_count)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def rounds(self) -> int:
+        return len(self.active_per_round)
+
+    def messages_in_round(self, rnd: int) -> list[TracedMessage]:
+        """All messages sent in round ``rnd``."""
+        return [m for m in self.messages if m.round == rnd]
+
+    def between(self, src: int, dst: int) -> list[TracedMessage]:
+        """All messages from ``src`` to ``dst``, in round order."""
+        return [m for m in self.messages if m.src == src and m.dst == dst]
+
+    def bits_per_round(self) -> list[int]:
+        """Total bits shipped in each round."""
+        out = [0] * self.rounds
+        for m in self.messages:
+            if m.round < len(out):
+                out[m.round] += m.bits
+        return out
+
+    def busiest_round(self) -> int:
+        """The round carrying the most bits (0 if no messages at all)."""
+        per = self.bits_per_round()
+        if not per:
+            return 0
+        return max(range(len(per)), key=lambda r: per[r])
+
+    def summary(self) -> dict[str, int]:
+        """Headline counters of the trace."""
+        return {
+            "rounds": self.rounds,
+            "messages": len(self.messages),
+            "total_bits": sum(m.bits for m in self.messages),
+        }

@@ -1,0 +1,184 @@
+"""Vectorized execution of schedule-driven algorithms (NumPy).
+
+The reference simulator charges every message individually — perfect for
+bit accounting, too slow for n in the hundreds of thousands.  For the
+schedule-driven algorithms whose per-round behavior is a pure function of
+(current colors, neighbor colors) — Linial's coloring and its defective
+variant — this module provides a bit-for-bit equivalent vectorized engine:
+
+* the **same schedule** (:func:`repro.algorithms.linial.linial_schedule`);
+* the **same tie-breaking** (smallest evaluation point among minimal
+  collision counts, which equals NumPy's first-occurrence ``argmin``);
+* **synthesized metrics** identical to the reference run's (per round,
+  every node messages every neighbor one current color of
+  ``int_bits(m0-1)`` bits).
+
+Equivalence is enforced by tests (`tests/test_vectorized.py`) that compare
+outputs and metrics against :func:`repro.algorithms.linial.run_linial`
+node for node.  Methodology per the HPC guides: the reference stays the
+readable source of truth; the hot path is vectorized only after being
+measured as the bottleneck for large-n experiments (E14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+from ..core.coloring import ColoringResult
+from .message import int_bits
+from .metrics import RunMetrics, congest_bandwidth
+
+
+def _edge_arrays(graph: nx.Graph) -> tuple[np.ndarray, np.ndarray, dict[int, int]]:
+    """Directed edge arrays (both directions) over dense node indices."""
+    nodes = sorted(graph.nodes)
+    index = {v: i for i, v in enumerate(nodes)}
+    m = graph.number_of_edges()
+    src = np.empty(2 * m, dtype=np.int64)
+    dst = np.empty(2 * m, dtype=np.int64)
+    for k, (u, v) in enumerate(graph.edges):
+        src[2 * k] = index[u]
+        dst[2 * k] = index[v]
+        src[2 * k + 1] = index[v]
+        dst[2 * k + 1] = index[u]
+    return src, dst, index
+
+
+def _poly_digits(colors: np.ndarray, q: int, degree: int) -> np.ndarray:
+    """Base-q digit matrix, shape (n, degree+1) — coefficient i in col i."""
+    out = np.empty((colors.shape[0], degree + 1), dtype=np.int64)
+    c = colors.copy()
+    for i in range(degree + 1):
+        out[:, i] = c % q
+        c //= q
+    return out
+
+
+def _poly_eval_all(digits: np.ndarray, q: int) -> np.ndarray:
+    """Evaluations at every x in F_q; shape (q, n).  Horner, vectorized."""
+    n = digits.shape[0]
+    xs = np.arange(q, dtype=np.int64)[:, None]  # (q, 1)
+    acc = np.zeros((q, n), dtype=np.int64)
+    for i in range(digits.shape[1] - 1, -1, -1):
+        acc = (acc * xs + digits[None, :, i]) % q
+    return acc
+
+
+def linial_vectorized(
+    graph: nx.Graph,
+    initial_colors: dict[int, int] | None = None,
+    defect: int = 0,
+) -> tuple[ColoringResult, RunMetrics, int]:
+    """Vectorized twin of :func:`repro.algorithms.linial.run_linial`.
+
+    Returns the identical ``(coloring, metrics, palette)`` triple; see the
+    module docstring for the equivalence contract.
+    """
+    from ..algorithms.linial import defective_schedule, linial_schedule
+
+    nodes = sorted(graph.nodes)
+    n = len(nodes)
+    delta = max((d for _, d in graph.degree), default=0)
+    if initial_colors is None:
+        initial_colors = {v: i for i, v in enumerate(nodes)}
+    m0 = max(initial_colors.values()) + 1 if initial_colors else 1
+    sched = (
+        linial_schedule(m0, delta)
+        if defect == 0
+        else defective_schedule(m0, delta, defect)
+    )
+    palette = sched[-1].out_colors if sched else m0
+
+    src, dst, index = _edge_arrays(graph)
+    colors = np.array([initial_colors[v] for v in nodes], dtype=np.int64)
+    # match the reference driver's default CONGEST budget
+    metrics = RunMetrics(bandwidth_limit=congest_bandwidth(n))
+    bits = int_bits(max(1, m0 - 1))
+    per_round_messages = src.shape[0]
+
+    for step in sched:
+        q, deg = step.q, step.deg
+        digits = _poly_digits(colors, q, deg)
+        evals = _poly_eval_all(digits, q)  # (q, n)
+        # collision counts per (x, node): neighbors with equal evaluation
+        hits = np.zeros((q, n), dtype=np.int64)
+        if per_round_messages:
+            matches = evals[:, src] == evals[:, dst]  # (q, 2m)
+            for x in range(q):
+                hits[x] = np.bincount(src, weights=matches[x], minlength=n)
+        best_x = np.argmin(hits, axis=0)  # first occurrence = smallest x
+        colors = best_x * q + evals[best_x, np.arange(n)]
+        metrics.observe_uniform_round(per_round_messages, bits)
+
+    assignment = {v: int(colors[index[v]]) for v in nodes}
+    return ColoringResult(assignment), metrics, palette
+
+
+def schedule_reduction_vectorized(
+    graph: nx.Graph,
+    schedule_colors: dict[int, int],
+    palettes_size: int,
+) -> tuple[ColoringResult, RunMetrics]:
+    """Vectorized twin of the one-class-per-round list reduction
+    (:class:`repro.algorithms.reduction.ScheduledListColoring` with the
+    shared palette ``range(palettes_size)``).
+
+    Class ``c`` picks in round ``c`` the smallest palette color unused by
+    already-finalized neighbors and announces it the following round;
+    metrics are synthesized to match the reference run exactly (each node
+    sends its color once to every neighbor, one round after picking).
+    """
+    from .message import index_bits
+
+    nodes = sorted(graph.nodes)
+    n = len(nodes)
+    index = {v: i for i, v in enumerate(nodes)}
+    src, dst, _ = _edge_arrays(graph)
+    cls = np.array([schedule_colors[v] for v in nodes], dtype=np.int64)
+    final = np.full(n, -1, dtype=np.int64)
+    taken = np.zeros((n, palettes_size), dtype=bool)
+    bits = index_bits(max(2, palettes_size))
+    metrics = RunMetrics(bandwidth_limit=congest_bandwidth(n))
+    degree = np.zeros(n, dtype=np.int64)
+    if src.shape[0]:
+        degree = np.bincount(src, minlength=n)
+
+    max_cls = int(cls.max()) if n else 0
+    # messages in round r: announcements from the class that picked at r-1
+    announce_counts = [0] * (max_cls + 2)
+    for c in range(max_cls + 1):
+        members = np.nonzero(cls == c)[0]
+        if members.size:
+            # pick smallest free color per member (argmax of ~taken)
+            free = ~taken[members]
+            picks = np.argmax(free, axis=1)
+            final[members] = picks
+            # mark neighbors
+            member_set = np.zeros(n, dtype=bool)
+            member_set[members] = True
+            mask = member_set[src]
+            np.add.at(
+                taken, (dst[mask], final[src[mask]]), True
+            )
+            announce_counts[c + 1] = int(degree[members].sum())
+    rounds_needed = max_cls + 2
+    for r in range(rounds_needed):
+        metrics.observe_uniform_round(announce_counts[r], bits)
+    assignment = {v: int(final[index[v]]) for v in nodes}
+    return ColoringResult(assignment), metrics
+
+
+def classic_delta_plus_one_vectorized(
+    graph: nx.Graph,
+) -> tuple[ColoringResult, RunMetrics]:
+    """Vectorized classic pipeline: Linial then the schedule reduction.
+
+    Output-equivalent to
+    :func:`repro.algorithms.reduction.classic_delta_plus_one` (tests
+    compare node for node); usable at n in the hundreds of thousands.
+    """
+    pre, m1, _palette = linial_vectorized(graph)
+    delta = max((d for _, d in graph.degree), default=0)
+    res, m2 = schedule_reduction_vectorized(graph, pre.assignment, delta + 1)
+    return res, m1.merge_sequential(m2)

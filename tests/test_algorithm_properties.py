@@ -1,0 +1,174 @@
+"""Property-based suites for the algorithm modules (hypothesis).
+
+Deeper randomized coverage of invariants the deterministic unit tests
+sample only at fixed points: schedule algebra, defect accounting across
+random parameters, reduction partitioning, and decomposition structure.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import ColorSpace, uniform_instance
+from repro.core.validate import (
+    validate_arbdefective_plain,
+    validate_defective_coloring,
+)
+from repro.graphs import gnp, random_regular
+from repro.algorithms.linial import (
+    LinialStep,
+    defective_schedule,
+    linial_schedule,
+)
+from repro.algorithms.oldc_basic import gamma_class, single_defect_restriction
+from repro.algorithms.colorspace_reduction import corollary_4_1_p, corollary_4_2_p
+
+slow = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.data_too_large]
+)
+
+
+class TestScheduleProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(2, 10**7), st.integers(1, 64))
+    def test_proper_schedule_invariants(self, m, delta):
+        sched = linial_schedule(m, delta)
+        cur = m
+        for step in sched:
+            # representability + collision budget + strict progress
+            assert step.q ** (step.deg + 1) >= cur
+            assert step.q > step.deg * delta
+            assert step.out_colors < cur
+            assert step.budget == 0
+            cur = step.out_colors
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 10**6), st.integers(2, 48), st.integers(1, 16))
+    def test_defective_schedule_invariants(self, m, delta, defect):
+        sched = defective_schedule(m, delta, defect)
+        assert sum(s.budget for s in sched) <= defect
+        cur = m
+        for step in sched:
+            assert step.q ** (step.deg + 1) >= cur
+            if step.budget == 0:
+                assert step.q > step.deg * delta
+            else:
+                assert (step.deg * delta) // step.q <= step.budget
+            assert step.out_colors < cur
+            cur = step.out_colors
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 10**6), st.integers(2, 48), st.integers(1, 16))
+    def test_defective_never_worse_than_proper(self, m, delta, defect):
+        proper = linial_schedule(m, delta)
+        defective = defective_schedule(m, delta, defect)
+        p_final = proper[-1].out_colors if proper else m
+        d_final = defective[-1].out_colors if defective else m
+        assert d_final <= p_final
+
+
+class TestGammaClassProperties:
+    @given(st.integers(1, 10**6), st.integers(0, 10**6), st.integers(1, 40))
+    def test_gamma_class_defining_inequality(self, beta, d, h):
+        i = gamma_class(beta, d, h)
+        assert 1 <= i <= h
+        # unclamped: 2^i >= 2 beta/(d+1) and i minimal
+        if i < h:
+            assert 2**i >= 2 * beta / (d + 1)
+        if i > 1:
+            assert 2 ** (i - 1) < 2 * beta / (d + 1)
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 200), st.integers(0, 31)), min_size=1, max_size=20),
+        st.integers(1, 64),
+    )
+    def test_single_defect_restriction_properties(self, pairs, beta):
+        colors = tuple(sorted({c for c, _ in pairs}))
+        if not colors:
+            return
+        defects = {}
+        for c, d in pairs:
+            defects.setdefault(c, d)
+        defects = {c: defects[c] for c in colors}
+        kept, common = single_defect_restriction(colors, defects, beta)
+        assert set(kept) <= set(colors)
+        assert kept
+        # the common defect never exceeds any kept color's true defect
+        assert all(common <= defects[c] for c in kept)
+
+
+class TestReductionParameters:
+    @given(st.integers(2, 10**6), st.integers(1, 8))
+    def test_cor_4_2_p_covers(self, size, r):
+        p = corollary_4_2_p(size, r)
+        assert p**r >= size
+        assert 2 <= p <= size
+
+    @given(st.integers(1, 10**6), st.floats(1.0, 10**6))
+    def test_cor_4_1_p_bounds(self, beta, kappa):
+        p = corollary_4_1_p(beta, kappa)
+        assert p >= 2
+        # p = 2^sqrt(log beta log kappa) (rounded): bounded by the product
+        bound = 2.0 ** (
+            math.sqrt(
+                max(1.0, math.log2(max(2, beta)))
+                * max(1.0, math.log2(max(2.0, kappa)))
+            )
+        )
+        assert p <= 2 * bound + 1
+
+
+class TestDefectAccountingRandomized:
+    @slow
+    @given(st.integers(0, 10_000), st.integers(1, 6))
+    def test_defective_coloring_defect_bound(self, seed, d):
+        from repro.algorithms.defective import run_defective_coloring
+
+        g = gnp(40, 0.3, seed=seed)
+        res, _m, _p = run_defective_coloring(g, d, validate=False)
+        validate_defective_coloring(g, res, d).raise_if_invalid()
+
+    @slow
+    @given(st.integers(0, 10_000), st.integers(0, 4))
+    def test_arbdefective_coloring_bound(self, seed, d):
+        from repro.algorithms.arbdefective import arbdefective_coloring
+
+        g = gnp(30, 0.3, seed=seed)
+        if max((deg for _, deg in g.degree), default=0) == 0:
+            return
+        res, _m, _q = arbdefective_coloring(g, d, mode="tight", validate=False)
+        validate_arbdefective_plain(g, res, d).raise_if_invalid()
+
+    @slow
+    @given(st.integers(0, 10_000))
+    def test_mt20_respects_lists(self, seed):
+        from repro.graphs import random_low_outdegree_digraph
+        from repro.algorithms.linial import run_linial
+        from repro.algorithms.mt20 import mt20_list_coloring
+        from repro.core import ListDefectiveInstance
+
+        rng = random.Random(seed)
+        g = gnp(20, 0.3, seed=seed)
+        dg = random_low_outdegree_digraph(g, seed=seed + 1)
+        beta = max(max(1, dg.out_degree(v)) for v in dg.nodes)
+        space = ColorSpace(12 * beta * beta + 64)
+        lists = {
+            v: tuple(
+                sorted(
+                    rng.sample(
+                        range(space.size),
+                        3 * max(1, dg.out_degree(v)) ** 2 + 3,
+                    )
+                )
+            )
+            for v in dg.nodes
+        }
+        defects = {v: {x: 0 for x in lists[v]} for v in dg.nodes}
+        inst = ListDefectiveInstance(dg, space, lists, defects)
+        pre, _m, _p = run_linial(g)
+        res, metrics, _rep = mt20_list_coloring(inst, pre.assignment)
+        assert metrics.rounds == 2
+        for v in dg.nodes:
+            assert res.assignment[v] in lists[v]

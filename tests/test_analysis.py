@@ -1,0 +1,147 @@
+"""Tests for the bound formulas and table/figure formatting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.bounds import (
+    DEFAULT_SCALE,
+    ParamScale,
+    beg18_arbdefective_rounds,
+    fhk_congest_rounds,
+    fhk_local_rounds,
+    gk21_rounds,
+    is_prime,
+    kappa_theorem_1_1,
+    kuhn09_defective_colors,
+    linial_colors,
+    log_star,
+    smallest_prime_above,
+    tau_paper,
+    tau_prime_paper,
+    theorem_1_1_message_bits,
+    theorem_1_4_rounds,
+)
+from repro.analysis.tables import ascii_series, fit_exponent, format_table
+
+
+class TestNumberTheory:
+    def test_is_prime(self):
+        primes = [2, 3, 5, 7, 11, 13, 97]
+        comps = [0, 1, 4, 9, 91, 100]
+        assert all(is_prime(p) for p in primes)
+        assert not any(is_prime(c) for c in comps)
+
+    def test_smallest_prime_above(self):
+        assert smallest_prime_above(1) == 2
+        assert smallest_prime_above(2) == 3
+        assert smallest_prime_above(10) == 11
+        assert smallest_prime_above(13) == 17
+
+    @given(st.integers(0, 2000))
+    def test_prime_above_is_prime_and_greater(self, x):
+        p = smallest_prime_above(x)
+        assert p > x and is_prime(p)
+
+
+class TestLogStar:
+    def test_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(2**65536 if False else 10**100) == 5
+
+    @given(st.integers(2, 10**9))
+    def test_monotone(self, n):
+        assert log_star(n) <= log_star(2 * n)
+        assert log_star(n) >= 1
+
+
+class TestPaperFormulas:
+    def test_tau_eq4(self):
+        # tau = ceil(8h + 2 loglog|C| + 2 loglog m + 16)
+        t = tau_paper(h=2, space_size=2**16, m=2**16)
+        assert t == math.ceil(16 + 2 * 4 + 2 * 4 + 16)
+
+    def test_tau_prime_power_of_two(self):
+        tp = tau_prime_paper(h=2, space_size=256, m=256)
+        assert tp & (tp - 1) == 0  # power of two
+
+    def test_tau_monotone_in_h(self):
+        assert tau_paper(3, 64, 64) > tau_paper(1, 64, 64)
+
+    def test_tau_invalid(self):
+        with pytest.raises(ValueError):
+            tau_paper(0, 4, 4)
+
+    def test_kappa_monotone_in_beta(self):
+        assert kappa_theorem_1_1(64, 100, 100) >= kappa_theorem_1_1(8, 100, 100)
+
+    def test_message_bits_formula_min(self):
+        # tiny space: |C| term wins over Lambda log |C|
+        small = theorem_1_1_message_bits(8, 100, 16, 64)
+        assert small <= 8 + math.log2(16) + math.log2(64) + 2
+
+    def test_theorem_1_4_shape(self):
+        # sqrt * polylog growth: quadrupling Delta scales the bound by
+        # 2 (sqrt) times modest polylog factors — far below the 16x of a
+        # quadratic bound at large Delta
+        a = theorem_1_4_rounds(2**10, 10**6)
+        b = theorem_1_4_rounds(2**12, 10**6)
+        assert 1.5 <= b / a <= 6.0
+
+    def test_reference_formulas_positive(self):
+        assert beg18_arbdefective_rounds(64, 3, 1000) > 0
+        assert gk21_rounds(64, 1000) > 0
+        assert fhk_local_rounds(64, 1000) > 0
+        assert fhk_congest_rounds(64, 1000) >= fhk_local_rounds(64, 1000)
+
+    def test_linial_and_kuhn09_palettes(self):
+        assert linial_colors(8) == smallest_prime_above(16) ** 2
+        assert kuhn09_defective_colors(16, 4) < linial_colors(16)
+
+    def test_param_scale_with(self):
+        s = DEFAULT_SCALE.with_(tau=5)
+        assert s.tau == 5 and s.k_prime == DEFAULT_SCALE.k_prime
+        assert isinstance(s, ParamScale)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [33, True]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "yes" in out
+        assert "2.50" in out
+
+    def test_format_large_floats(self):
+        out = format_table(["x"], [[123456.0], [0.0001]])
+        assert "1.23e+05" in out
+        assert "0.0001" in out
+
+    def test_ascii_series_contains_markers(self):
+        out = ascii_series([1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "*" in out and "o" in out
+        assert "legend" in out
+
+    def test_ascii_series_empty(self):
+        assert ascii_series([], {}) == "(no data)"
+
+    def test_ascii_series_logy(self):
+        out = ascii_series([1, 2], {"a": [1, 1000]}, logy=True)
+        assert "log scale" in out
+
+    def test_fit_exponent_exact(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        assert fit_exponent(xs, [x**2 for x in xs]) == pytest.approx(2.0)
+        assert fit_exponent(xs, [math.sqrt(x) for x in xs]) == pytest.approx(0.5)
+
+    def test_fit_exponent_degenerate(self):
+        with pytest.raises(ValueError):
+            fit_exponent([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_exponent([2.0, 2.0], [1.0, 4.0])

@@ -1,0 +1,85 @@
+"""Tests for the schedule-based arbdefective coloring."""
+
+import math
+
+import pytest
+
+from repro.core.validate import validate_arbdefective_plain
+from repro.graphs import clique, gnp, random_regular, ring, star
+from repro.algorithms.arbdefective import arbdefective_coloring
+
+
+class TestTightMode:
+    @pytest.mark.parametrize("d", [0, 1, 2, 4])
+    def test_regular_graph(self, d):
+        g = random_regular(40, 8, seed=1)
+        res, metrics, q = arbdefective_coloring(g, d, mode="tight")
+        assert q == math.floor(8 / (d + 1)) + 1
+        # validation happens inside; double check independently
+        assert validate_arbdefective_plain(g, res, d).ok
+
+    def test_zero_arbdefect_is_proper_partition(self):
+        g = ring(12)
+        res, _m, q = arbdefective_coloring(g, 0, mode="tight")
+        assert q == 3
+        # with d=0 every edge must be bichromatic or oriented toward the
+        # earlier; validator confirms 0 same-color out-neighbors
+        assert validate_arbdefective_plain(g, res, 0).ok
+
+    def test_clique_single_color(self):
+        # K_6 with arbdefect 5 needs only floor(5/6)+1 = 1 color
+        g = clique(6)
+        res, _m, q = arbdefective_coloring(g, 5, mode="tight")
+        assert q == 1
+        assert validate_arbdefective_plain(g, res, 5).ok
+
+    def test_orientation_covers(self):
+        g = gnp(30, 0.3, seed=2)
+        res, _m, _q = arbdefective_coloring(g, 2, mode="tight")
+        assert res.orientation.covers(g)
+
+
+class TestFastMode:
+    @pytest.mark.parametrize("d", [2, 3, 5])
+    def test_regular_graph(self, d):
+        g = random_regular(60, 12, seed=3)
+        res, metrics, q = arbdefective_coloring(g, d, mode="fast")
+        assert validate_arbdefective_plain(g, res, d).ok
+
+    def test_fast_uses_more_colors(self):
+        g = random_regular(60, 12, seed=3)
+        _r1, _m1, q_tight = arbdefective_coloring(g, 4, mode="tight")
+        _r2, _m2, q_fast = arbdefective_coloring(g, 4, mode="fast")
+        assert q_fast >= q_tight
+
+    def test_fast_shorter_schedule_large_graph(self):
+        g = random_regular(600, 12, seed=4)
+        _r1, m_tight, _q1 = arbdefective_coloring(g, 6, mode="tight")
+        _r2, m_fast, _q2 = arbdefective_coloring(g, 6, mode="fast")
+        assert m_fast.rounds <= m_tight.rounds
+
+
+class TestParameters:
+    def test_explicit_palette(self):
+        g = ring(10)
+        res, _m, q = arbdefective_coloring(g, 1, colors=5, mode="tight")
+        assert q == 5
+        assert all(c < 5 for c in res.assignment.values())
+
+    def test_too_small_palette_rejected(self):
+        g = clique(9)
+        with pytest.raises(ValueError):
+            arbdefective_coloring(g, 1, colors=2, mode="tight")
+
+    def test_negative_defect_rejected(self):
+        with pytest.raises(ValueError):
+            arbdefective_coloring(ring(5), -1)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            arbdefective_coloring(ring(5), 1, mode="warp")
+
+    def test_star_hub(self):
+        g = star(15)
+        res, _m, q = arbdefective_coloring(g, 2, mode="tight")
+        assert validate_arbdefective_plain(g, res, 2).ok

@@ -1,0 +1,112 @@
+"""Tests for the Theorem 1.3 transformation (list arbdefective coloring)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import ColorSpace
+from repro.core.instance import (
+    degree_plus_one_instance,
+    random_list_defective_instance,
+    uniform_instance,
+)
+from repro.core.validate import validate_arbdefective, validate_ldc
+from repro.graphs import clique, gnp, hub_and_fringe, random_regular, ring, star
+from repro.algorithms.arblist import solve_list_arbdefective
+
+
+class TestDegreePlusOne:
+    @pytest.mark.parametrize(
+        "g",
+        [ring(20), clique(8), star(12), gnp(40, 0.2, seed=5), random_regular(40, 8, seed=6)],
+        ids=["ring", "clique", "star", "gnp", "regular"],
+    )
+    def test_families_proper(self, g):
+        inst = degree_plus_one_instance(g)
+        res, metrics, report = solve_list_arbdefective(inst)
+        # zero-defect arbdefective == proper coloring
+        validate_arbdefective(inst, res).raise_if_invalid()
+        validate_ldc(inst, res).raise_if_invalid()
+
+    def test_random_lists(self):
+        g = gnp(40, 0.25, seed=7)
+        delta = max(d for _, d in g.degree)
+        inst = degree_plus_one_instance(g, ColorSpace(4 * delta), random.Random(8))
+        res, _m, _rep = solve_list_arbdefective(inst)
+        validate_ldc(inst, res).raise_if_invalid()
+
+
+class TestArbdefectiveInstances:
+    @pytest.mark.parametrize("d", [1, 2, 4])
+    def test_uniform_defect(self, d):
+        delta = 16
+        g = random_regular(80, delta, seed=9)
+        q = math.floor(delta / (d + 1)) + 1
+        inst = uniform_instance(g, ColorSpace(q), range(q), d)
+        res, _m, _rep = solve_list_arbdefective(inst)
+        validate_arbdefective(inst, res).raise_if_invalid()
+
+    def test_mixed_defects(self):
+        # random per-color defects with sum (d+1) > deg guaranteed
+        g = gnp(30, 0.25, seed=10)
+        delta = max(d for _, d in g.degree)
+        inst = random_list_defective_instance(
+            g, ColorSpace(8 * delta + 16), delta + 1, 2, random.Random(11)
+        )
+        res, _m, _rep = solve_list_arbdefective(inst)
+        validate_arbdefective(inst, res).raise_if_invalid()
+
+    def test_heterogeneous_degrees(self):
+        g = hub_and_fringe(hub_degree=12, fringe_cliques=4, clique_size=4)
+        inst = degree_plus_one_instance(g)
+        res, _m, _rep = solve_list_arbdefective(inst)
+        validate_ldc(inst, res).raise_if_invalid()
+
+
+class TestMechanics:
+    def test_directed_rejected(self):
+        inst = uniform_instance(ring(5), ColorSpace(3), range(3), 0).to_oriented()
+        with pytest.raises(ValueError):
+            solve_list_arbdefective(inst)
+
+    def test_stages_logarithmic(self):
+        g = random_regular(80, 16, seed=12)
+        inst = degree_plus_one_instance(g)
+        _res, _m, rep = solve_list_arbdefective(inst)
+        assert rep.stages <= 2 * 16 .bit_length() + 8
+
+    def test_orientation_covers_graph(self):
+        g = gnp(30, 0.3, seed=13)
+        inst = degree_plus_one_instance(g)
+        res, _m, _rep = solve_list_arbdefective(inst)
+        assert res.orientation.covers(g)
+
+    def test_metrics_accumulate(self):
+        g = ring(20)
+        inst = degree_plus_one_instance(g)
+        _res, metrics, rep = solve_list_arbdefective(inst)
+        assert metrics.rounds > 0
+        assert metrics.total_bits > 0
+
+    def test_single_node(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node(0)
+        inst = degree_plus_one_instance(g)
+        res, _m, _rep = solve_list_arbdefective(inst)
+        assert res.assignment[0] in inst.lists[0]
+
+    def test_deterministic(self):
+        g = gnp(25, 0.3, seed=14)
+        inst = degree_plus_one_instance(g)
+        a = solve_list_arbdefective(inst)[0].assignment
+        b = solve_list_arbdefective(inst)[0].assignment
+        assert a == b
+
+    def test_custom_kappa(self):
+        g = random_regular(40, 8, seed=15)
+        inst = degree_plus_one_instance(g)
+        res, _m, _rep = solve_list_arbdefective(inst, kappa=20.0)
+        validate_ldc(inst, res).raise_if_invalid()

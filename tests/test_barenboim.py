@@ -1,0 +1,56 @@
+"""Tests for the [Bar16]-style (1+eps)Delta coloring."""
+
+import pytest
+
+from repro.core import validate_proper_coloring
+from repro.graphs import clique, gnp, random_regular, ring, star
+from repro.algorithms.barenboim import barenboim_coloring
+
+
+class TestBarenboim:
+    @pytest.mark.parametrize(
+        "g",
+        [ring(20), clique(8), star(12), gnp(40, 0.2, seed=61), random_regular(48, 8, seed=62)],
+        ids=["ring", "clique", "star", "gnp", "regular"],
+    )
+    def test_families_proper(self, g):
+        res, _m, rep = barenboim_coloring(g)
+        validate_proper_coloring(g, res).raise_if_invalid()
+        assert rep.valid
+
+    def test_palette_bound(self):
+        g = random_regular(48, 8, seed=63)
+        res, _m, rep = barenboim_coloring(g, palette_factor=1.5)
+        assert rep.palette == 13  # ceil(1.5*8)+1
+        assert all(0 <= c < rep.palette for c in res.assignment.values())
+
+    def test_bigger_palette_not_slower(self):
+        g = random_regular(96, 16, seed=64)
+        _r1, m_small, _rep1 = barenboim_coloring(g, palette_factor=1.25)
+        _r2, m_big, _rep2 = barenboim_coloring(g, palette_factor=3.0)
+        assert m_big.rounds <= m_small.rounds
+
+    def test_factor_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            barenboim_coloring(ring(6), palette_factor=1.0)
+
+    def test_empty_degree_graph(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(3))
+        res, _m, _rep = barenboim_coloring(g)
+        assert set(res.assignment) == {0, 1, 2}
+
+    def test_deterministic(self):
+        g = gnp(30, 0.3, seed=65)
+        a = barenboim_coloring(g)[0].assignment
+        b = barenboim_coloring(g)[0].assignment
+        assert a == b
+
+    def test_report_accounting(self):
+        g = random_regular(48, 8, seed=66)
+        _res, _m, rep = barenboim_coloring(g)
+        assert rep.classes >= 1
+        assert rep.mt20_runs <= rep.classes
+        assert rep.arbdefect >= 1

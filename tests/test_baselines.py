@@ -1,0 +1,86 @@
+"""Tests for the baseline algorithms."""
+
+import random
+
+import pytest
+
+from repro.core import ColorSpace
+from repro.core.instance import degree_plus_one_instance, uniform_instance
+from repro.core.validate import validate_ldc
+from repro.graphs import clique, gnp, random_regular, ring
+from repro.algorithms.baselines import (
+    list_exchange_coloring,
+    randomized_list_coloring,
+)
+from repro.sim.message import color_list_bits
+
+
+class TestRandomized:
+    @pytest.mark.parametrize(
+        "g", [ring(20), clique(8), gnp(40, 0.2, seed=31)],
+        ids=["ring", "clique", "gnp"],
+    )
+    def test_valid_coloring(self, g):
+        inst = degree_plus_one_instance(g)
+        res, metrics = randomized_list_coloring(inst, seed=1)
+        validate_ldc(inst, res).raise_if_invalid()
+
+    def test_random_lists(self):
+        g = gnp(30, 0.25, seed=32)
+        delta = max(d for _, d in g.degree)
+        inst = degree_plus_one_instance(g, ColorSpace(4 * delta), random.Random(33))
+        res, _m = randomized_list_coloring(inst, seed=2)
+        validate_ldc(inst, res).raise_if_invalid()
+
+    def test_rounds_logarithmic_in_practice(self):
+        g = random_regular(200, 10, seed=34)
+        inst = degree_plus_one_instance(g)
+        _res, metrics = randomized_list_coloring(inst, seed=3)
+        assert metrics.rounds <= 40  # ~log n w.h.p.; generous cap
+
+    def test_small_messages(self):
+        g = random_regular(100, 10, seed=35)
+        inst = degree_plus_one_instance(g)
+        _res, metrics = randomized_list_coloring(inst, seed=4)
+        assert metrics.max_message_bits <= 16
+
+    def test_seed_changes_outcome(self):
+        g = gnp(30, 0.3, seed=36)
+        inst = degree_plus_one_instance(g)
+        a = randomized_list_coloring(inst, seed=1)[0].assignment
+        b = randomized_list_coloring(inst, seed=2)[0].assignment
+        assert a != b
+
+    def test_same_seed_deterministic(self):
+        g = gnp(30, 0.3, seed=36)
+        inst = degree_plus_one_instance(g)
+        a = randomized_list_coloring(inst, seed=5)[0].assignment
+        b = randomized_list_coloring(inst, seed=5)[0].assignment
+        assert a == b
+
+    def test_directed_rejected(self):
+        inst = uniform_instance(ring(5), ColorSpace(3), range(3), 0).to_oriented()
+        with pytest.raises(ValueError):
+            randomized_list_coloring(inst)
+
+
+class TestListExchange:
+    def test_valid_coloring(self):
+        g = gnp(30, 0.25, seed=37)
+        inst = degree_plus_one_instance(g)
+        res, _m = list_exchange_coloring(inst, seed=1)
+        validate_ldc(inst, res).raise_if_invalid()
+
+    def test_big_message_profile(self):
+        g = random_regular(60, 12, seed=38)
+        inst = degree_plus_one_instance(g, ColorSpace(144), random.Random(39))
+        _res, metrics = list_exchange_coloring(inst, seed=2)
+        expected = color_list_bits(13, 144)
+        assert metrics.max_message_bits >= expected
+
+    def test_bigger_than_randomized(self):
+        g = random_regular(60, 12, seed=38)
+        inst = degree_plus_one_instance(g, ColorSpace(144), random.Random(39))
+        _r1, m_small = randomized_list_coloring(inst, seed=2)
+        _r2, m_big = list_exchange_coloring(inst, seed=2)
+        assert m_big.max_message_bits > m_small.max_message_bits

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCLI:
+    def test_color_regular(self, capsys):
+        rc = main(["color", "--family", "random_regular", "--n", "24", "--degree", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "valid=True" in out
+        assert "Delta=4" in out
+
+    def test_color_ring_with_show(self, capsys):
+        rc = main(["color", "--family", "ring", "--n", "12", "--show", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "node 0: color" in out
+
+    def test_edge_color(self, capsys):
+        rc = main(["edge-color", "--family", "ring", "--n", "10"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "edge_colors=" in out and "valid=True" in out
+
+    def test_experiment(self, capsys):
+        rc = main(["experiment", "E01"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "E01 existence" in out
+
+    def test_families_listing(self, capsys):
+        rc = main(["families"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "random_regular(n: 'int', degree: 'int', seed: 'int')" in out
+        assert "ring(n: 'int')" in out
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            main(["color", "--family", "mystery", "--n", "5"])
+
+    def test_missing_required_param(self):
+        with pytest.raises(SystemExit):
+            main(["color", "--family", "random_regular", "--n", "24"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "E99"])
+
+    def test_gnp_needs_p(self, capsys):
+        rc = main(["color", "--family", "gnp", "--n", "20", "--p", "0.3"])
+        assert rc == 0
+
+    def test_hub_family_flags(self, capsys):
+        rc = main(
+            [
+                "color",
+                "--family",
+                "hub_and_fringe",
+                "--hub-degree",
+                "6",
+                "--fringe-cliques",
+                "3",
+                "--clique-size",
+                "3",
+            ]
+        )
+        assert rc == 0

@@ -1,0 +1,152 @@
+"""Unit tests for repro.core.colorspace."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.colorspace import (
+    ColorSpace,
+    best_congruence_class,
+    congruence_class,
+    round_to_congruence,
+)
+
+
+class TestColorSpace:
+    def test_basic_membership(self):
+        cs = ColorSpace(5)
+        assert list(cs) == [0, 1, 2, 3, 4]
+        assert 0 in cs and 4 in cs
+        assert 5 not in cs and -1 not in cs
+        assert len(cs) == 5
+
+    def test_offset_membership(self):
+        cs = ColorSpace(3, offset=10)
+        assert list(cs) == [10, 11, 12]
+        assert 9 not in cs and 13 not in cs
+        assert cs.max_color == 12
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            ColorSpace(0)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            ColorSpace(3, offset=-1)
+
+    def test_bits_per_color(self):
+        assert ColorSpace(1).bits_per_color() == 1
+        assert ColorSpace(2).bits_per_color() == 1
+        assert ColorSpace(256).bits_per_color() == 8
+        assert ColorSpace(257).bits_per_color() == 9
+
+    def test_partition_even(self):
+        parts = ColorSpace(12).partition(4)
+        assert [len(p) for p in parts] == [3, 3, 3, 3]
+        assert parts[0].offset == 0 and parts[3].offset == 9
+
+    def test_partition_uneven(self):
+        parts = ColorSpace(10).partition(3)
+        assert [len(p) for p in parts] == [4, 3, 3]
+        covered = [c for p in parts for c in p]
+        assert covered == list(range(10))
+
+    def test_partition_bounds(self):
+        cs = ColorSpace(5)
+        with pytest.raises(ValueError):
+            cs.partition(0)
+        with pytest.raises(ValueError):
+            cs.partition(6)
+        assert len(cs.partition(5)) == 5
+
+    def test_subspace_of_matches_partition(self):
+        cs = ColorSpace(10)
+        parts = cs.partition(3)
+        for color in cs:
+            i = cs.subspace_of(color, 3)
+            assert color in parts[i]
+
+    def test_subspace_of_outside_raises(self):
+        with pytest.raises(ValueError):
+            ColorSpace(5).subspace_of(7, 2)
+
+    @given(st.integers(2, 60), st.integers(2, 10))
+    def test_partition_covers_disjointly(self, size, parts):
+        parts = min(parts, size)
+        cs = ColorSpace(size)
+        pieces = cs.partition(parts)
+        seen = []
+        for p in pieces:
+            seen.extend(p)
+        assert seen == list(range(size))
+
+    @given(st.integers(2, 60), st.integers(2, 10), st.integers(0, 59))
+    def test_subspace_of_consistent(self, size, parts, color):
+        parts = min(parts, size)
+        color = color % size
+        cs = ColorSpace(size)
+        i = cs.subspace_of(color, parts)
+        assert color in cs.partition(parts)[i]
+
+
+class TestCongruence:
+    def test_congruence_class_filters(self):
+        assert congruence_class(range(10), 0, 3) == [0, 3, 6, 9]
+        assert congruence_class(range(10), 2, 3) == [2, 5, 8]
+
+    def test_congruence_modulus_one(self):
+        assert congruence_class([5, 7], 0, 1) == [5, 7]
+
+    def test_congruence_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            congruence_class([1], 0, 0)
+
+    def test_best_congruence_class_picks_largest(self):
+        a, lst = best_congruence_class([0, 3, 6, 1, 4], 3)
+        assert a == 0
+        assert lst == [0, 3, 6]
+
+    def test_best_congruence_tie_prefers_smaller_residue(self):
+        a, lst = best_congruence_class([0, 3, 1, 4], 3)
+        assert a == 0
+        assert lst == [0, 3]
+
+    def test_best_congruence_modulus_one_keeps_all(self):
+        a, lst = best_congruence_class([4, 2, 9], 1)
+        assert a == 0
+        assert lst == [2, 4, 9]
+
+    def test_best_congruence_empty(self):
+        a, lst = best_congruence_class([], 3)
+        assert lst == []
+
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=40), st.integers(1, 9))
+    def test_best_class_pigeonhole(self, colors, modulus):
+        _a, lst = best_congruence_class(colors, modulus)
+        distinct = len(set(colors))
+        assert len(set(lst)) * modulus >= distinct
+
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=40), st.integers(2, 9))
+    def test_best_class_members_congruent(self, colors, modulus):
+        a, lst = best_congruence_class(colors, modulus)
+        assert all(x % modulus == a for x in lst)
+
+
+class TestRounding:
+    def test_round_to_same_class_is_identity(self):
+        assert round_to_congruence(7, 7 % 5, 5) == 7
+
+    def test_round_nearest(self):
+        # colors congruent to 0 mod 5 around 7: 5 and 10; 5 is nearer
+        assert round_to_congruence(7, 0, 5) == 5
+        assert round_to_congruence(8, 0, 5) == 10
+
+    def test_round_clamps_at_zero(self):
+        assert round_to_congruence(1, 4, 5) == 4
+
+    @given(st.integers(0, 500), st.integers(0, 8), st.integers(1, 9))
+    def test_round_result_congruent_and_close(self, color, b, modulus):
+        b = b % modulus
+        r = round_to_congruence(color, b, modulus)
+        assert r % modulus == b
+        assert abs(r - color) <= modulus
+        assert r >= 0

@@ -1,0 +1,137 @@
+"""Tests for Theorem 1.2's recursive color space reduction."""
+
+import pytest
+
+from repro.core.validate import validate_oldc
+from repro.algorithms.colorspace_reduction import (
+    corollary_4_2_p,
+    solve_with_reduction,
+)
+from repro.algorithms.oldc_main import solve_oldc_main
+
+from .test_oldc_basic import make_oldc_instance
+
+
+def base_solver(instance, init_coloring):
+    return solve_oldc_main(instance, init_coloring)
+
+
+class TestCorollaryP:
+    def test_p_flattens_in_r_levels(self):
+        for size in (64, 100, 1000):
+            for r in (1, 2, 3, 4):
+                p = corollary_4_2_p(size, r)
+                assert p**r >= size
+                assert 2 <= p <= size
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            corollary_4_2_p(64, 0)
+
+
+class TestReduction:
+    def test_valid_output(self):
+        _g, inst, init = make_oldc_instance(n=40, seed=71, slack=40.0)
+        res, metrics, report = solve_with_reduction(
+            inst, init, base_solver, p=corollary_4_2_p(inst.space.size, 2)
+        )
+        validate_oldc(inst, res).raise_if_invalid()
+        assert report.levels >= 2
+
+    def test_message_bits_shrink(self):
+        _g, inst, init = make_oldc_instance(n=40, seed=73, slack=40.0)
+        _r1, m1, _rep1 = base_solver(inst, init)
+        p = corollary_4_2_p(inst.space.size, 3)
+        _r2, m2, _rep2 = solve_with_reduction(inst, init, base_solver, p=p)
+        assert m2.max_message_bits < m1.max_message_bits
+
+    def test_rounds_grow_with_depth(self):
+        _g, inst, init = make_oldc_instance(n=40, seed=79, slack=40.0)
+        _r1, m1, _rep1 = base_solver(inst, init)
+        p = corollary_4_2_p(inst.space.size, 3)
+        _r2, m2, _rep2 = solve_with_reduction(inst, init, base_solver, p=p)
+        assert m2.rounds >= m1.rounds
+
+    def test_colors_stay_in_chosen_subspace(self):
+        _g, inst, init = make_oldc_instance(n=30, seed=83, slack=40.0)
+        p = corollary_4_2_p(inst.space.size, 2)
+        res, _m, _rep = solve_with_reduction(inst, init, base_solver, p=p)
+        for v, x in res.assignment.items():
+            assert x in inst.lists[v]
+
+    def test_p_bounds(self):
+        _g, inst, init = make_oldc_instance(n=20, seed=89)
+        with pytest.raises(ValueError):
+            solve_with_reduction(inst, init, base_solver, p=1)
+        with pytest.raises(ValueError):
+            solve_with_reduction(inst, init, base_solver, p=inst.space.size + 1)
+
+    def test_undirected_rejected(self):
+        from repro.core import ColorSpace
+        from repro.core.instance import uniform_instance
+        from repro.graphs import ring
+
+        inst = uniform_instance(ring(5), ColorSpace(6), range(6), 1)
+        with pytest.raises(ValueError):
+            solve_with_reduction(
+                inst, {v: v for v in range(5)}, base_solver, p=2
+            )
+
+    def test_p_equal_space_is_direct_solve(self):
+        _g, inst, init = make_oldc_instance(n=20, seed=97)
+        res, _m, rep = solve_with_reduction(
+            inst, init, base_solver, p=inst.space.size
+        )
+        assert rep.levels == 1
+        validate_oldc(inst, res).raise_if_invalid()
+
+
+class TestNuSweep:
+    """Theorem 1.2 is parameterized by nu; exercise nu != 1."""
+
+    @pytest.mark.parametrize("nu", [0.0, 0.5, 2.0])
+    def test_reduction_valid_across_nu(self, nu):
+        _g, inst, init = make_oldc_instance(n=30, seed=131, slack=40.0)
+        p = corollary_4_2_p(inst.space.size, 2)
+        res, _m, _rep = solve_with_reduction(
+            inst, init, base_solver, p=p, nu=nu
+        )
+        validate_oldc(inst, res).raise_if_invalid()
+
+    def test_nu_zero_budgets_linear(self):
+        """With nu = 0 the part budgets are the plain defect sums."""
+        from repro.core import ColorSpace, uniform_instance
+        from repro.graphs import ring
+
+        inst = uniform_instance(ring(6), ColorSpace(8), range(8), 1).to_oriented()
+        # sum over part of (d+1)^1 with 4 colors/part * 2 each = 8; budget
+        # floor(8 / 1) - 1 = 7 under kappa_inner = 1
+        import math
+
+        weight = sum(
+            (inst.defects[0][x] + 1)
+            for x in inst.lists[0]
+            if inst.space.subspace_of(x, 2) == 0
+        )
+        assert math.floor(weight) - 1 == 7
+
+
+class TestParallelMerge:
+    def test_rounds_take_max_bits_sum(self):
+        from repro.algorithms.colorspace_reduction import _parallel_merge
+        from repro.sim.metrics import RunMetrics
+
+        a = RunMetrics(bandwidth_limit=64)
+        a.observe_uniform_round(2, 8)
+        a.observe_uniform_round(2, 8)
+        b = RunMetrics(bandwidth_limit=64)
+        b.observe_uniform_round(5, 16)
+        merged = _parallel_merge([a, b])
+        assert merged.rounds == 2  # max
+        assert merged.total_bits == 2 * 2 * 8 + 5 * 16  # sum
+        assert merged.max_message_bits == 16
+
+    def test_empty(self):
+        from repro.algorithms.colorspace_reduction import _parallel_merge
+
+        assert _parallel_merge([]).rounds == 0

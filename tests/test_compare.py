@@ -1,0 +1,56 @@
+"""Tests for the comparison tooling and its CLI subcommand."""
+
+import pytest
+
+from repro.analysis.compare import compare_algorithms, render_comparison
+from repro.graphs import random_regular, ring
+
+
+class TestCompare:
+    def test_all_rows_valid(self):
+        g = random_regular(24, 4, seed=611)
+        rows = compare_algorithms(g)
+        assert all(r.valid for r in rows)
+        assert len(rows) == len(set(r.algorithm for r in rows))
+
+    def test_sorted_by_rounds(self):
+        g = ring(16)
+        rows = compare_algorithms(g)
+        assert [r.rounds for r in rows] == sorted(r.rounds for r in rows)
+
+    def test_subset_selection(self):
+        g = ring(12)
+        rows = compare_algorithms(g, names=["classic", "thm14"])
+        assert {r.algorithm for r in rows} == {"classic", "thm14"}
+
+    def test_render_contains_all(self):
+        g = ring(12)
+        rows = compare_algorithms(g, names=["classic", "thm14"])
+        out = render_comparison(g, rows)
+        assert "classic" in out and "thm14" in out and "Delta=2" in out
+
+    def test_unknown_name_rejected(self):
+        g = ring(12)
+        with pytest.raises(KeyError):
+            compare_algorithms(g, names=["ghost"])
+
+    def test_mis_flagged_non_congest(self):
+        # the product-graph MIS ships Theta(Delta log) aggregates: it must
+        # show as non-compliant on a dense enough graph
+        g = random_regular(48, 8, seed=612)
+        rows = compare_algorithms(g, names=["mis", "thm14"])
+        by_name = {r.algorithm: r for r in rows}
+        assert not by_name["mis"].congest_ok
+        assert by_name["thm14"].congest_ok
+
+
+class TestCompareCLI:
+    def test_compare_command(self, capsys):
+        from repro.cli import main
+
+        rc = main(["compare", "--family", "ring", "--n", "12",
+                   "--algorithms", "classic,thm14"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "scorecard" in out
+        assert "thm14" in out

@@ -1,0 +1,116 @@
+"""Unit + property tests for the paper's conditions (Eqs 1, 2, 11, 12)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ColorSpace
+from repro.core.conditions import (
+    ConditionAudit,
+    arbdefective_exists_condition,
+    condition_slack,
+    degree_plus_one_condition,
+    ldc_exists_condition,
+    power_condition,
+    theorem_1_1_condition,
+)
+from repro.core.instance import uniform_instance, random_list_defective_instance
+from repro.graphs import clique, ring
+
+
+class TestEq1Eq2:
+    def test_clique_threshold_exact(self):
+        # K_5, defect 1, c colors: Eq.(1) iff 2c > 4
+        assert not ldc_exists_condition(uniform_instance(clique(5), ColorSpace(2), range(2), 1))
+        assert ldc_exists_condition(uniform_instance(clique(5), ColorSpace(3), range(3), 1))
+
+    def test_arbdefective_threshold_exact(self):
+        # K_7, defect 1, c colors: Eq.(2) iff 3c > 6
+        assert not arbdefective_exists_condition(
+            uniform_instance(clique(7), ColorSpace(2), range(2), 1)
+        )
+        assert arbdefective_exists_condition(
+            uniform_instance(clique(7), ColorSpace(3), range(3), 1)
+        )
+
+    def test_eq2_weaker_than_eq1(self):
+        # any instance meeting Eq.(1) also meets Eq.(2)
+        inst = uniform_instance(clique(6), ColorSpace(3), range(3), 1)
+        assert ldc_exists_condition(inst)
+        assert arbdefective_exists_condition(inst)
+
+    def test_degree_plus_one_alias(self):
+        inst = uniform_instance(ring(5), ColorSpace(3), range(3), 0)
+        assert degree_plus_one_condition(inst) == ldc_exists_condition(inst)
+
+    @settings(max_examples=30)
+    @given(st.integers(3, 8), st.integers(1, 8), st.integers(0, 3))
+    def test_eq1_formula(self, n, c, d):
+        inst = uniform_instance(clique(n), ColorSpace(c), range(c), d)
+        assert ldc_exists_condition(inst) == (c * (d + 1) > n - 1)
+
+    @settings(max_examples=30)
+    @given(st.integers(3, 8), st.integers(1, 8), st.integers(0, 3))
+    def test_eq2_formula(self, n, c, d):
+        inst = uniform_instance(clique(n), ColorSpace(c), range(c), d)
+        assert arbdefective_exists_condition(inst) == (c * (2 * d + 1) > n - 1)
+
+
+class TestPowerCondition:
+    def test_nu_zero_reduces_to_sum(self):
+        inst = uniform_instance(ring(6), ColorSpace(4), range(4), 0)
+        # sum (d+1) = 4, deg = 2: 4 >= 2 * kappa iff kappa <= 2
+        assert power_condition(inst, 0.0, 2.0, oriented=False)
+        assert not power_condition(inst, 0.0, 2.1, oriented=False)
+
+    def test_nu_one_quadratic(self):
+        inst = uniform_instance(ring(6), ColorSpace(9), range(9), 0)
+        # sum (d+1)^2 = 9, deg^2 = 4: kappa threshold 2.25
+        assert power_condition(inst, 1.0, 2.25, oriented=False)
+        assert not power_condition(inst, 1.0, 2.3, oriented=False)
+
+    def test_oriented_uses_outdegree(self):
+        inst = uniform_instance(ring(6), ColorSpace(4), range(4), 0).to_oriented()
+        assert power_condition(inst, 0.0, 2.0, oriented=True)
+
+    def test_invalid_params(self):
+        inst = uniform_instance(ring(4), ColorSpace(2), range(2), 0)
+        with pytest.raises(ValueError):
+            power_condition(inst, -0.5, 1.0, oriented=False)
+        with pytest.raises(ValueError):
+            power_condition(inst, 1.0, 0.0, oriented=False)
+
+    def test_theorem_1_1_condition_is_nu1(self):
+        inst = uniform_instance(ring(6), ColorSpace(9), range(9), 0).to_oriented()
+        assert theorem_1_1_condition(inst, alpha=1.0, kappa=2.25)
+        assert not theorem_1_1_condition(inst, alpha=1.5, kappa=2.25)
+
+
+class TestSlack:
+    def test_slack_is_threshold(self):
+        inst = uniform_instance(ring(6), ColorSpace(9), range(9), 0)
+        s = condition_slack(inst, 1.0, oriented=False)
+        assert s == pytest.approx(2.25)
+        assert power_condition(inst, 1.0, s, oriented=False)
+        assert not power_condition(inst, 1.0, s * 1.01, oriented=False)
+
+    @settings(max_examples=20)
+    @given(st.integers(0, 1000))
+    def test_slack_consistency_random(self, seed):
+        rng = random.Random(seed)
+        inst = random_list_defective_instance(ring(8), ColorSpace(40), 6, 3, rng)
+        for nu in (0.0, 0.5, 1.0):
+            s = condition_slack(inst, nu, oriented=False)
+            assert power_condition(inst, nu, s * 0.999, oriented=False)
+            assert not power_condition(inst, nu, s * 1.001, oriented=False)
+
+
+class TestAudit:
+    def test_audit_fields(self):
+        inst = uniform_instance(ring(5), ColorSpace(3), range(3), 0)
+        audit = ConditionAudit.of(inst)
+        assert audit.eq1_ldc_exists
+        assert audit.eq2_arbdefective_exists
+        assert audit.slack_nu0 == pytest.approx(1.5)
+        assert audit.slack_nu1 == pytest.approx(0.75)

@@ -1,0 +1,130 @@
+"""Unit + property tests for the conflict combinatorics (Defs 3.1-3.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.conflict import (
+    conflict_weight,
+    conflicting_members,
+    mu_g,
+    pairwise_conflict_degree,
+    psi_g,
+    tau_g_conflict,
+)
+
+color_sets = st.lists(st.integers(0, 40), min_size=0, max_size=12).map(
+    lambda xs: sorted(set(xs))
+)
+
+
+class TestMuG:
+    def test_g_zero_is_membership_count(self):
+        assert mu_g(3, [1, 3, 5], 0) == 1
+        assert mu_g(2, [1, 3, 5], 0) == 0
+
+    def test_positive_g_window(self):
+        assert mu_g(3, [1, 3, 5], 1) == 1  # only 3 within distance 1
+        assert mu_g(3, [1, 3, 5], 2) == 3
+
+    def test_negative_g_rejected(self):
+        with pytest.raises(ValueError):
+            mu_g(0, [1], -1)
+
+    @given(st.integers(0, 40), color_sets, st.integers(0, 5))
+    def test_mu_monotone_in_g(self, x, colors, g):
+        assert mu_g(x, colors, g) <= mu_g(x, colors, g + 1)
+
+
+class TestConflictWeight:
+    def test_g_zero_equals_intersection(self):
+        assert conflict_weight([1, 2, 3], [2, 3, 4], 0) == 2
+
+    def test_symmetric(self):
+        a, b = [1, 5, 9], [2, 5, 8]
+        for g in (0, 1, 2, 3):
+            assert conflict_weight(a, b, g) == conflict_weight(b, a, g)
+
+    def test_positive_g_counts_near_pairs(self):
+        assert conflict_weight([0, 10], [1, 11], 1) == 2
+        assert conflict_weight([0, 10], [2, 12], 1) == 0
+
+    @given(color_sets, color_sets, st.integers(0, 4))
+    def test_weight_symmetry_property(self, a, b, g):
+        assert conflict_weight(a, b, g) == conflict_weight(b, a, g)
+
+    @given(color_sets, color_sets, st.integers(0, 3))
+    def test_weight_monotone_in_g(self, a, b, g):
+        assert conflict_weight(a, b, g) <= conflict_weight(a, b, g + 1)
+
+    @given(color_sets, color_sets)
+    def test_weight_bounded_by_sizes(self, a, b):
+        assert conflict_weight(a, b, 0) <= min(len(a), len(b))
+
+
+class TestTauGConflict:
+    def test_threshold(self):
+        assert tau_g_conflict([1, 2, 3], [1, 2, 3], 3, 0)
+        assert not tau_g_conflict([1, 2, 3], [1, 2, 4], 3, 0)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            tau_g_conflict([1], [1], 0, 0)
+
+    @given(color_sets, color_sets, st.integers(1, 6), st.integers(0, 3))
+    def test_monotone_in_tau(self, a, b, tau, g):
+        if tau_g_conflict(a, b, tau + 1, g):
+            assert tau_g_conflict(a, b, tau, g)
+
+
+class TestPsiG:
+    def test_simple_membership(self):
+        k1 = [(1, 2), (3, 4)]
+        k2 = [(1, 2)]
+        # one member of k1 2&0-conflicts with k2
+        assert psi_g(k1, k2, tau_prime=1, tau=2)
+        assert not psi_g(k1, k2, tau_prime=2, tau=2)
+
+    def test_asymmetry_possible(self):
+        k1 = [(1, 2), (1, 2)]  # duplicates do not matter; use distinct sets
+        k1 = [(1, 2), (2, 3)]
+        k2 = [(1, 2, 3)]
+        assert psi_g(k1, k2, tau_prime=2, tau=2)
+        # reverse: only one member of k2 can conflict, so tau'=2 fails
+        assert not psi_g(k2, k1, tau_prime=2, tau=2)
+
+    def test_invalid_tau_prime(self):
+        with pytest.raises(ValueError):
+            psi_g([(1,)], [(1,)], 0, 1)
+
+    def test_conflicting_members_indices(self):
+        k1 = [(1, 2), (5, 6), (2, 3)]
+        k2 = [(1, 2, 3)]
+        assert conflicting_members(k1, k2, tau=2) == [0, 2]
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 15), min_size=1, max_size=4).map(tuple),
+            min_size=1,
+            max_size=4,
+        ),
+        st.lists(
+            st.lists(st.integers(0, 15), min_size=1, max_size=4).map(tuple),
+            min_size=1,
+            max_size=4,
+        ),
+        st.integers(1, 3),
+        st.integers(1, 3),
+    )
+    def test_psi_monotone_in_tau_prime(self, k1, k2, tau, tp):
+        if psi_g(k1, k2, tp + 1, tau):
+            assert psi_g(k1, k2, tp, tau)
+
+
+class TestPairwiseConflictDegree:
+    def test_disjoint_families_zero(self):
+        fams = [[(1, 2)], [(3, 4)], [(5, 6)]]
+        assert pairwise_conflict_degree(fams, 1, 2) == 0
+
+    def test_identical_families_max(self):
+        fams = [[(1, 2)], [(1, 2)], [(1, 2)]]
+        assert pairwise_conflict_degree(fams, 1, 2) == 2

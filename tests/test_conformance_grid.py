@@ -1,0 +1,115 @@
+"""Conformance grid: every (Delta+1)-capable algorithm x every graph family.
+
+One table of truth: each algorithm must produce a valid proper coloring
+within its advertised palette on each family.  Failures localize instantly
+to an (algorithm, family) cell.
+"""
+
+import pytest
+
+from repro.core import degree_plus_one_instance, validate_proper_coloring
+from repro.graphs import (
+    blowup,
+    clique,
+    gnp,
+    hub_and_fringe,
+    hypercube,
+    random_regular,
+    random_tree,
+    ring,
+    star,
+    torus,
+)
+
+FAMILIES = {
+    "ring": lambda: ring(18),
+    "clique": lambda: clique(7),
+    "star": lambda: star(11),
+    "torus": lambda: torus(4, 5),
+    "hypercube": lambda: hypercube(4),
+    "gnp": lambda: gnp(36, 0.2, seed=91),
+    "regular": lambda: random_regular(36, 6, seed=92),
+    "hub": lambda: hub_and_fringe(hub_degree=8, fringe_cliques=3, clique_size=3),
+    "blowup": lambda: blowup(ring(6), 2),
+    "tree": lambda: random_tree(25, seed=93),
+}
+
+
+def _congest(g):
+    from repro.algorithms import congest_delta_plus_one
+
+    res, _m, _rep = congest_delta_plus_one(g)
+    return res
+
+
+def _classic(g):
+    from repro.algorithms import classic_delta_plus_one
+
+    return classic_delta_plus_one(g)[0]
+
+
+def _classic_vectorized(g):
+    from repro.sim.vectorized import classic_delta_plus_one_vectorized
+
+    return classic_delta_plus_one_vectorized(g)[0]
+
+
+def _linear(g):
+    from repro.algorithms import linear_in_delta_coloring
+
+    return linear_in_delta_coloring(g)[0]
+
+
+def _randomized(g):
+    from repro.algorithms import randomized_list_coloring
+
+    return randomized_list_coloring(degree_plus_one_instance(g), seed=1)[0]
+
+
+def _mis(g):
+    from repro.algorithms.mis import coloring_via_mis
+
+    return coloring_via_mis(g, seed=1)[0]
+
+
+def _greedy(g):
+    from repro.algorithms import greedy_list_coloring
+
+    return greedy_list_coloring(degree_plus_one_instance(g))
+
+
+def _potential(g):
+    from repro.algorithms import solve_ldc_potential
+
+    return solve_ldc_potential(degree_plus_one_instance(g))
+
+
+def _thm13(g):
+    from repro.algorithms import solve_list_arbdefective
+
+    return solve_list_arbdefective(degree_plus_one_instance(g))[0]
+
+
+ALGORITHMS = {
+    "thm14-congest": _congest,
+    "thm13": _thm13,
+    "classic": _classic,
+    "classic-vectorized": _classic_vectorized,
+    "linear-in-delta": _linear,
+    "randomized": _randomized,
+    "mis-product": _mis,
+    "greedy-seq": _greedy,
+    "potential-seq": _potential,
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_grid(algorithm, family):
+    g = FAMILIES[family]()
+    res = ALGORITHMS[algorithm](g)
+    validate_proper_coloring(g, res).raise_if_invalid()
+    delta = max(d for _, d in g.degree)
+    assert res.num_colors() <= delta + 1, (
+        f"{algorithm} on {family}: {res.num_colors()} colors > Delta+1"
+    )

@@ -1,0 +1,92 @@
+"""Tests for the Theorem 1.4 CONGEST pipeline."""
+
+import random
+
+import pytest
+
+from repro.core import ColorSpace
+from repro.core.instance import degree_plus_one_instance, uniform_instance
+from repro.core.validate import validate_ldc
+from repro.graphs import clique, gnp, random_regular, ring, torus
+from repro.algorithms.congest_coloring import (
+    congest_degree_plus_one,
+    congest_delta_plus_one,
+    reduced_oldc_solver,
+)
+
+
+class TestDeltaPlusOne:
+    @pytest.mark.parametrize(
+        "g",
+        [ring(30), clique(9), torus(5, 6), gnp(50, 0.2, seed=21), random_regular(60, 10, seed=22)],
+        ids=["ring", "clique", "torus", "gnp", "regular"],
+    )
+    def test_families(self, g):
+        res, metrics, rep = congest_delta_plus_one(g)
+        assert rep.valid
+        delta = max(d for _, d in g.degree)
+        assert res.num_colors() <= delta + 1
+
+    def test_congest_compliant_small_space(self):
+        g = random_regular(60, 10, seed=23)
+        _res, metrics, _rep = congest_delta_plus_one(g)
+        assert metrics.compliant_with(g.number_of_nodes())
+
+
+class TestDegreePlusOne:
+    def test_random_lists_poly_delta_space(self):
+        g = random_regular(60, 10, seed=24)
+        inst = degree_plus_one_instance(g, ColorSpace(100), random.Random(25))
+        res, _m, rep = congest_degree_plus_one(inst, reduction_r=2)
+        assert rep.valid
+        validate_ldc(inst, res).raise_if_invalid()
+
+    def test_reduction_shrinks_messages(self):
+        g = random_regular(60, 12, seed=26)
+        inst = degree_plus_one_instance(g, ColorSpace(144), random.Random(27))
+        _r0, m0, _rep0 = congest_degree_plus_one(inst, reduction_r=0)
+        _r2, m2, _rep2 = congest_degree_plus_one(inst, reduction_r=2)
+        assert m2.max_message_bits <= m0.max_message_bits
+
+    def test_rejects_directed(self):
+        inst = uniform_instance(ring(5), ColorSpace(3), range(3), 0).to_oriented()
+        with pytest.raises(ValueError):
+            congest_degree_plus_one(inst)
+
+    def test_rejects_nonzero_defects(self):
+        inst = uniform_instance(ring(5), ColorSpace(3), range(3), 1)
+        with pytest.raises(ValueError):
+            congest_degree_plus_one(inst)
+
+    def test_rejects_short_lists(self):
+        inst = uniform_instance(clique(5), ColorSpace(3), range(3), 0)
+        with pytest.raises(ValueError):
+            congest_degree_plus_one(inst)
+
+    def test_novalidate_mode_reports(self):
+        g = ring(12)
+        inst = degree_plus_one_instance(g)
+        res, _m, rep = congest_degree_plus_one(inst, validate=False)
+        assert rep.valid  # still audited, just not raising
+
+
+class TestReducedSolver:
+    def test_r_zero_is_plain_solver(self):
+        from .test_oldc_basic import make_oldc_instance
+
+        _g, inst, init = make_oldc_instance(n=30, seed=29)
+        solver = reduced_oldc_solver(reduction_r=0)
+        res, _m, _rep = solver(inst, init)
+        from repro.core.validate import validate_oldc
+
+        validate_oldc(inst, res).raise_if_invalid()
+
+    def test_r_two_valid(self):
+        from .test_oldc_basic import make_oldc_instance
+
+        _g, inst, init = make_oldc_instance(n=30, seed=33, slack=40.0)
+        solver = reduced_oldc_solver(reduction_r=2)
+        res, _m, _rep = solver(inst, init)
+        from repro.core.validate import validate_oldc
+
+        validate_oldc(inst, res).raise_if_invalid()

@@ -1,0 +1,69 @@
+"""Tests for Corollary 4.1 support and the ablation flags."""
+
+import pytest
+
+from repro.core.validate import validate_generalized_oldc, validate_ldc, validate_oldc
+from repro.core.instance import degree_plus_one_instance
+from repro.graphs import random_regular
+from repro.algorithms.colorspace_reduction import (
+    corollary_4_1_p,
+    solve_with_corollary_4_1,
+)
+from repro.algorithms.arblist import solve_list_arbdefective
+from repro.algorithms.linial import run_linial
+from repro.algorithms.oldc_basic import solve_oldc_basic
+from repro.algorithms.oldc_main import solve_oldc_main
+
+from .test_oldc_basic import make_oldc_instance
+
+
+class TestCorollary41:
+    def test_p_formula_monotone(self):
+        assert corollary_4_1_p(4, 2.0) <= corollary_4_1_p(256, 2.0)
+        assert corollary_4_1_p(64, 2.0) <= corollary_4_1_p(64, 64.0)
+
+    def test_p_formula_value(self):
+        # 2^sqrt(log2(16)*log2(4)) = 2^sqrt(8) ~ 7.1
+        assert corollary_4_1_p(16, 4.0) == 7
+
+    def test_p_invalid(self):
+        with pytest.raises(ValueError):
+            corollary_4_1_p(0, 2.0)
+        with pytest.raises(ValueError):
+            corollary_4_1_p(4, 0.5)
+
+    def test_solve_valid(self):
+        _g, inst, init = make_oldc_instance(n=40, seed=121, slack=40.0)
+
+        def base(instance, init_coloring):
+            return solve_oldc_main(instance, init_coloring)
+
+        res, metrics, rep = solve_with_corollary_4_1(inst, init, base, kappa=4.0)
+        validate_oldc(inst, res).raise_if_invalid()
+        assert rep.p >= 2
+
+
+class TestAblationFlags:
+    def test_congruence_off_still_runs(self):
+        _g, inst, init = make_oldc_instance(n=30, seed=123, slack=40.0)
+        res, _m, _rep = solve_oldc_basic(
+            inst, init, g=1, use_congruence=False
+        )
+        # output is still a list coloring (validity of g-defects may degrade)
+        for v in inst.graph.nodes:
+            assert res.assignment[v] in inst.lists[v]
+
+    def test_congruence_on_is_default_and_valid(self):
+        _g, inst, init = make_oldc_instance(n=30, seed=123, slack=40.0)
+        res, _m, _rep = solve_oldc_basic(inst, init, g=1)
+        validate_generalized_oldc(inst, res, g=1).raise_if_invalid()
+
+    def test_decline_off_can_break_validity_or_not(self):
+        # With the audit off the output *may* be invalid; with it on the
+        # output must always be valid — run both on the same instance.
+        g = random_regular(80, 8, seed=125)
+        inst = degree_plus_one_instance(g)
+        res_on, _m1, rep_on = solve_list_arbdefective(inst, decline_violators=True)
+        assert validate_ldc(inst, res_on).ok
+        res_off, _m2, rep_off = solve_list_arbdefective(inst, decline_violators=False)
+        assert rep_off.declined == 0  # audit disabled records nothing

@@ -1,0 +1,132 @@
+"""Tests for dynamic repair of list defective colorings."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import ColorSpace, degree_plus_one_instance, uniform_instance, validate_ldc
+from repro.exceptions import ConditionViolation
+from repro.graphs import gnp, ring
+from repro.algorithms import solve_ldc_potential
+from repro.algorithms.dynamic import DynamicColoring
+
+
+def make_dynamic(n=20, p=0.2, seed=801, extra_colors=3, defect=1):
+    """A valid starting point with some color slack for future insertions."""
+    g = gnp(n, p, seed=seed)
+    delta = max((d for _, d in g.degree), default=0)
+    c = delta + 1 + extra_colors
+    inst = uniform_instance(g, ColorSpace(c + 4), range(c), defect)
+    base = solve_ldc_potential(inst)
+    return DynamicColoring(inst, base), g
+
+
+class TestBasics:
+    def test_initial_invariant(self):
+        dyn, _g = make_dynamic()
+        assert dyn.check()
+
+    def test_invalid_initial_rejected(self):
+        g = ring(4)
+        inst = uniform_instance(g, ColorSpace(3), range(3), 0)
+        from repro.core.coloring import ColoringResult
+
+        with pytest.raises(ValueError):
+            DynamicColoring(inst, ColoringResult({v: 0 for v in g.nodes}))
+
+    def test_directed_rejected(self):
+        inst = uniform_instance(ring(4), ColorSpace(3), range(3), 0).to_oriented()
+        from repro.core.coloring import ColoringResult
+
+        with pytest.raises(ValueError):
+            DynamicColoring(inst, ColoringResult({v: v % 3 for v in range(4)}))
+
+
+class TestUpdates:
+    def test_deletion_free(self):
+        dyn, g = make_dynamic()
+        e = next(iter(g.edges))
+        report = dyn.update(delete=[e])
+        assert report.recolored_nodes == 0
+        assert dyn.check()
+
+    def test_insertion_repairs_locally(self):
+        dyn, g = make_dynamic(seed=803)
+        non_edges = [
+            (u, v)
+            for u in g.nodes
+            for v in g.nodes
+            if u < v and not g.has_edge(u, v)
+        ]
+        before = dict(dyn.colors)
+        report = dyn.update(insert=non_edges[:3])
+        assert dyn.check()
+        untouched = set(before) - set(report.recolor_log)
+        assert all(dyn.colors[v] == before[v] for v in untouched)
+
+    def test_many_sequential_batches(self):
+        dyn, g = make_dynamic(n=24, seed=805)
+        rng = random.Random(806)
+        nodes = sorted(g.nodes)
+        for _ in range(15):
+            u, v = rng.sample(nodes, 2)
+            if dyn.instance.graph.has_edge(u, v):
+                dyn.update(delete=[(u, v)])
+            else:
+                try:
+                    dyn.update(insert=[(u, v)])
+                except ConditionViolation:
+                    continue  # budget exhausted for this node; skip
+            assert dyn.check()
+
+    def test_eq1_guard(self):
+        # zero extra colors: inserting an edge at a max-degree node breaks Eq. (1)
+        g = ring(6)
+        inst = uniform_instance(g, ColorSpace(3), range(3), 0)
+        base = solve_ldc_potential(inst)
+        dyn = DynamicColoring(inst, base)
+        with pytest.raises(ConditionViolation):
+            dyn.update(insert=[(0, 3)])  # degree rises to 3, list stays 3
+
+    def test_self_loop_rejected(self):
+        dyn, _g = make_dynamic()
+        with pytest.raises(ValueError):
+            dyn.update(insert=[(1, 1)])
+
+    def test_metrics_accumulate(self):
+        dyn, g = make_dynamic(seed=807)
+        non_edges = [
+            (u, v)
+            for u in g.nodes
+            for v in g.nodes
+            if u < v and not g.has_edge(u, v)
+        ]
+        dyn.update(insert=non_edges[:4])
+        if dyn.metrics.rounds:
+            assert dyn.metrics.total_messages == dyn.metrics.rounds
+
+
+class TestRandomizedChurn:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.data_too_large],
+    )
+    @given(st.integers(0, 10_000))
+    def test_invariant_under_random_churn(self, seed):
+        dyn, g = make_dynamic(n=16, p=0.25, seed=seed % 997, extra_colors=4)
+        rng = random.Random(seed)
+        nodes = sorted(g.nodes)
+        for _ in range(8):
+            u, v = rng.sample(nodes, 2)
+            try:
+                if dyn.instance.graph.has_edge(u, v):
+                    dyn.update(delete=[(u, v)])
+                else:
+                    dyn.update(insert=[(u, v)])
+            except ConditionViolation:
+                continue
+            assert dyn.check()
+        final = dyn.coloring()
+        validate_ldc(dyn.instance, final).raise_if_invalid()

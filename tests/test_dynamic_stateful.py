@@ -1,0 +1,89 @@
+"""Hypothesis stateful testing of DynamicColoring.
+
+A rule-based machine inserts and deletes random edges in arbitrary
+interleavings; the invariant — the maintained coloring validates against
+the current instance — is checked after every rule.  Stateful search
+explores interleavings (insert-then-delete-then-reinsert, repeated repairs
+of the same region, ...) that fixed scenarios never hit.
+"""
+
+import networkx as nx
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.core import ColorSpace, uniform_instance, validate_ldc
+from repro.exceptions import ConditionViolation
+from repro.graphs import gnp
+from repro.algorithms import solve_ldc_potential
+from repro.algorithms.dynamic import DynamicColoring
+
+N = 12
+EXTRA = 5
+
+
+class DynamicMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        g = gnp(N, 0.25, seed=9)
+        delta = max((d for _, d in g.degree), default=0)
+        inst = uniform_instance(
+            g, ColorSpace(delta + EXTRA + 2), range(delta + EXTRA), 1
+        )
+        self.dyn = DynamicColoring(inst, solve_ldc_potential(inst))
+
+    @rule(u=st.integers(0, N - 1), v=st.integers(0, N - 1))
+    def toggle_edge(self, u, v):
+        if u == v:
+            return
+        g = self.dyn.instance.graph
+        try:
+            if g.has_edge(u, v):
+                self.dyn.update(delete=[(u, v)])
+            else:
+                self.dyn.update(insert=[(u, v)])
+        except ConditionViolation:
+            # budget exhausted at this degree; instance unchanged except
+            # the attempted edge, which update() already applied — verify
+            # the guard leaves a consistent graph by removing it again
+            if g.has_edge(u, v):
+                self.dyn.update(delete=[(u, v)])
+
+    @rule(data=st.data())
+    def batch_insert(self, data):
+        g = self.dyn.instance.graph
+        non_edges = [
+            (a, b)
+            for a in range(N)
+            for b in range(a + 1, N)
+            if not g.has_edge(a, b)
+        ]
+        if not non_edges:
+            return
+        k = data.draw(st.integers(1, min(3, len(non_edges))))
+        batch = data.draw(
+            st.lists(st.sampled_from(non_edges), min_size=k, max_size=k, unique=True)
+        )
+        try:
+            self.dyn.update(insert=batch)
+        except ConditionViolation:
+            for e in batch:
+                if self.dyn.instance.graph.has_edge(*e):
+                    self.dyn.update(delete=[e])
+
+    @invariant()
+    def coloring_valid(self):
+        assert self.dyn.check()
+        validate_ldc(self.dyn.instance, self.dyn.coloring()).raise_if_invalid()
+
+    @invariant()
+    def graph_is_simple(self):
+        g = self.dyn.instance.graph
+        assert not any(u == v for u, v in g.edges)
+        assert isinstance(g, nx.Graph)
+
+
+DynamicMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
+TestDynamicStateful = DynamicMachine.TestCase

@@ -1,0 +1,60 @@
+"""Typed-exception contract tests."""
+
+import pytest
+
+from repro import ConditionViolation, ProtocolError, ReproError, ScheduleError
+from repro.core import ColorSpace, uniform_instance
+from repro.core.adversarial import same_list_clique
+from repro.graphs import clique, ring
+from repro.algorithms import solve_arbdefective_euler, solve_ldc_potential, solve_list_arbdefective
+
+
+class TestHierarchy:
+    def test_all_are_repro_errors(self):
+        for exc in (ConditionViolation, ProtocolError, ScheduleError):
+            assert issubclass(exc, ReproError)
+
+    def test_backward_compatible_bases(self):
+        assert issubclass(ConditionViolation, ValueError)
+        assert issubclass(ProtocolError, ValueError)
+        assert issubclass(ScheduleError, RuntimeError)
+
+
+class TestRaised:
+    def test_eq1_violation_typed(self):
+        inst = uniform_instance(clique(7), ColorSpace(3), range(3), 1)
+        with pytest.raises(ConditionViolation):
+            solve_ldc_potential(inst)
+
+    def test_eq2_violation_typed(self):
+        inst = uniform_instance(clique(7), ColorSpace(2), range(2), 1)
+        with pytest.raises(ConditionViolation):
+            solve_arbdefective_euler(inst)
+
+    def test_congest_precondition_typed(self):
+        from repro.algorithms import congest_degree_plus_one
+
+        inst = uniform_instance(clique(5), ColorSpace(3), range(3), 0)
+        with pytest.raises(ConditionViolation):
+            congest_degree_plus_one(inst)
+
+    def test_schedule_error_typed(self):
+        inst = same_list_clique(6, colors=2, defect=0)
+        with pytest.raises(ScheduleError):
+            solve_list_arbdefective(inst)
+
+    def test_protocol_error_typed(self):
+        from repro.sim import DistributedAlgorithm, Message, SyncNetwork
+
+        class Bad(DistributedAlgorithm):
+            def init_state(self, view):
+                return {}
+
+            def send(self, view, state, rnd):
+                return {(view.id + 2) % 5: Message(0)}
+
+            def is_done(self, view, state):
+                return False
+
+        with pytest.raises(ProtocolError):
+            SyncNetwork(ring(5)).run(Bad())

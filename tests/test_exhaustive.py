@@ -1,0 +1,97 @@
+"""Exhaustive verification over *all* small graphs.
+
+The networkx graph atlas enumerates every graph on up to 7 nodes; running
+the full pipelines over every connected graph on <= 6 nodes (112 graphs)
+leaves no room for a topology-shaped bug to hide at small scale.  Each
+pipeline's output is checked with the independent validators.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core import (
+    degree_plus_one_instance,
+    uniform_instance,
+    ColorSpace,
+    validate_arbdefective,
+    validate_ldc,
+    validate_proper_coloring,
+)
+from repro.core.conditions import ldc_exists_condition
+from repro.graphs import balanced_orientation
+from repro.algorithms import (
+    congest_delta_plus_one,
+    greedy_list_coloring,
+    linear_in_delta_coloring,
+    run_linial,
+    solve_ldc_potential,
+    solve_list_arbdefective,
+)
+
+
+def small_connected_graphs(max_nodes: int = 6) -> list[nx.Graph]:
+    out = []
+    for g in nx.graph_atlas_g():
+        n = g.number_of_nodes()
+        if 2 <= n <= max_nodes and g.number_of_edges() > 0 and nx.is_connected(g):
+            out.append(nx.convert_node_labels_to_integers(g))
+    return out
+
+
+GRAPHS = small_connected_graphs()
+
+
+def test_atlas_has_expected_count():
+    # 1 + 2 + 6 + 21 + 112 = 142 connected graphs on 2..6 nodes
+    assert len(GRAPHS) == 142
+
+
+@pytest.mark.parametrize("idx", range(0, len(GRAPHS), 1))
+def test_congest_pipeline_on_every_small_graph(idx):
+    g = GRAPHS[idx]
+    res, _m, rep = congest_delta_plus_one(g)
+    assert rep.valid
+    validate_proper_coloring(g, res).raise_if_invalid()
+    delta = max(d for _, d in g.degree)
+    assert res.num_colors() <= delta + 1
+
+
+def test_linial_on_every_small_graph():
+    for g in GRAPHS:
+        res, _m, _p = run_linial(g)
+        validate_proper_coloring(g, res).raise_if_invalid()
+
+
+def test_linear_in_delta_on_every_small_graph():
+    for g in GRAPHS:
+        res, _m, _rep = linear_in_delta_coloring(g)
+        validate_proper_coloring(g, res).raise_if_invalid()
+        delta = max(d for _, d in g.degree)
+        assert res.num_colors() <= delta + 1
+
+
+def test_thm13_defect_one_on_every_small_graph():
+    for g in GRAPHS:
+        delta = max(d for _, d in g.degree)
+        q = delta // 2 + 1
+        inst = uniform_instance(g, ColorSpace(q), range(q), 1)
+        res, _m, _rep = solve_list_arbdefective(inst)
+        validate_arbdefective(inst, res).raise_if_invalid()
+
+
+def test_sequential_solvers_on_every_small_graph():
+    for g in GRAPHS:
+        inst = degree_plus_one_instance(g)
+        assert ldc_exists_condition(inst)
+        seq = solve_ldc_potential(inst)
+        validate_ldc(inst, seq).raise_if_invalid()
+        greedy = greedy_list_coloring(inst)
+        validate_ldc(inst, greedy).raise_if_invalid()
+
+
+def test_balanced_orientation_on_every_small_graph():
+    for g in GRAPHS:
+        ori = balanced_orientation(g)
+        assert ori.covers(g)
+        for v in g.nodes:
+            assert ori.out_degree(v) <= -(-g.degree(v) // 2)

@@ -1,0 +1,35 @@
+"""Each experiment must run in fast mode with every shape check passing."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_runner, run_all
+from repro.experiments.harness import ExperimentResult
+
+
+@pytest.mark.parametrize("eid", sorted(EXPERIMENTS))
+def test_experiment_checks_pass(eid):
+    result = get_runner(eid)(fast=True)
+    assert isinstance(result, ExperimentResult)
+    failing = [k for k, v in result.checks.items() if not v]
+    assert not failing, f"{eid} failing checks: {failing}"
+
+
+@pytest.mark.parametrize("eid", sorted(EXPERIMENTS))
+def test_experiment_renders(eid):
+    result = get_runner(eid)(fast=True)
+    out = result.render()
+    assert result.experiment in out
+    assert "paper claim" in out
+    assert "findings" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        get_runner("E99")
+
+
+def test_run_all_order():
+    results = run_all(fast=True)
+    assert len(results) == len(EXPERIMENTS)
+    ids = [r.experiment.split()[0] for r in results]
+    assert ids == sorted(ids)

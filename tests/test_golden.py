@@ -1,0 +1,55 @@
+"""Golden regression tests: determinism locked across the pipelines.
+
+Each golden file in tests/golden/ records a full run of a deterministic
+pipeline (see tools/gen_golden.py).  These tests re-run the pipeline and
+assert the coloring and metric summary are *bit-identical* — any drift in
+algorithm behavior, tie-breaking, schedules, or message accounting fails
+here first.  Regenerate intentionally with ``python tools/gen_golden.py``.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+GOLDEN = REPO / "tests" / "golden"
+
+
+def load_cases():
+    spec = importlib.util.spec_from_file_location(
+        "gen_golden", REPO / "tools" / "gen_golden.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return dict(module.cases())
+
+
+CASES = load_cases()
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_case(name):
+    path = GOLDEN / f"{name}.json"
+    assert path.exists(), (
+        f"missing golden file {path.name}; run `python tools/gen_golden.py`"
+    )
+    record = json.loads(path.read_text())
+    inst, res, metrics, _info = CASES[name]()
+    from repro.io import coloring_to_dict, instance_to_dict
+
+    assert instance_to_dict(inst) == record["instance"], "input drift"
+    assert coloring_to_dict(res) == record["coloring"], "output drift"
+    assert metrics.summary() == record["metrics"], "metric drift"
+
+
+def test_golden_records_validate():
+    """Every stored solution must still validate against its instance."""
+    from repro.io import load_run
+    from repro.core.validate import validate_ldc
+
+    for path in sorted(GOLDEN.glob("*.json")):
+        inst, res, _record = load_run(path)
+        if all(d == 0 for dv in inst.defects.values() for d in dv.values()):
+            validate_ldc(inst, res).raise_if_invalid()

@@ -1,0 +1,187 @@
+"""Unit + property tests for graph generators and orientations."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coloring import EdgeOrientation
+from repro.graphs import (
+    balanced_orientation,
+    bidirect,
+    blowup,
+    clique,
+    disjoint_cliques,
+    family,
+    gnp,
+    hub_and_fringe,
+    hypercube,
+    max_degree,
+    max_outdegree,
+    orientation_by_id,
+    path,
+    random_low_outdegree_digraph,
+    random_regular,
+    random_tree,
+    ring,
+    star,
+    torus,
+)
+
+
+class TestGenerators:
+    def test_ring(self):
+        g = ring(7)
+        assert g.number_of_nodes() == 7
+        assert all(d == 2 for _, d in g.degree)
+        with pytest.raises(ValueError):
+            ring(2)
+
+    def test_path(self):
+        g = path(5)
+        assert g.number_of_edges() == 4
+
+    def test_clique(self):
+        g = clique(6)
+        assert g.number_of_edges() == 15
+        assert max_degree(g) == 5
+
+    def test_star(self):
+        g = star(8)
+        assert max_degree(g) == 7
+        assert sorted(d for _, d in g.degree).count(1) == 7
+
+    def test_random_regular_degree(self):
+        g = random_regular(20, 4, seed=0)
+        assert all(d == 4 for _, d in g.degree)
+        assert sorted(g.nodes) == list(range(20))
+
+    def test_random_regular_parity(self):
+        with pytest.raises(ValueError):
+            random_regular(5, 3, seed=0)
+        with pytest.raises(ValueError):
+            random_regular(4, 4, seed=0)
+
+    def test_gnp_bounds(self):
+        g = gnp(30, 0.2, seed=1)
+        assert g.number_of_nodes() == 30
+        with pytest.raises(ValueError):
+            gnp(5, 1.5, seed=0)
+
+    def test_gnp_deterministic(self):
+        assert sorted(gnp(20, 0.3, seed=5).edges) == sorted(gnp(20, 0.3, seed=5).edges)
+
+    def test_random_tree(self):
+        g = random_tree(15, seed=2)
+        assert nx.is_tree(g)
+        assert random_tree(1, seed=0).number_of_nodes() == 1
+
+    def test_hypercube(self):
+        g = hypercube(4)
+        assert g.number_of_nodes() == 16
+        assert all(d == 4 for _, d in g.degree)
+
+    def test_torus(self):
+        g = torus(4, 5)
+        assert g.number_of_nodes() == 20
+        assert all(d == 4 for _, d in g.degree)
+
+    def test_hub_and_fringe(self):
+        g = hub_and_fringe(hub_degree=6, fringe_cliques=3, clique_size=3)
+        assert g.degree(0) == 6
+        with pytest.raises(ValueError):
+            hub_and_fringe(hub_degree=10, fringe_cliques=1, clique_size=2)
+
+    def test_blowup_scales_degree(self):
+        g = blowup(ring(4), 3)
+        assert g.number_of_nodes() == 12
+        assert all(d == 6 for _, d in g.degree)
+
+    def test_disjoint_cliques(self):
+        g = disjoint_cliques(3, 4)
+        assert g.number_of_nodes() == 12
+        assert nx.number_connected_components(g) == 3
+
+    def test_family_dispatch(self):
+        g = family("ring", n=5)
+        assert g.number_of_nodes() == 5
+        with pytest.raises(KeyError):
+            family("nope")
+
+
+class TestBalancedOrientation:
+    def check_balanced(self, g):
+        ori = balanced_orientation(g)
+        assert ori.covers(g)
+        for v in g.nodes:
+            assert ori.out_degree(v) <= -(-g.degree(v) // 2), (
+                f"node {v}: out {ori.out_degree(v)} > ceil({g.degree(v)}/2)"
+            )
+
+    def test_ring(self):
+        self.check_balanced(ring(9))
+
+    def test_clique_even(self):
+        self.check_balanced(clique(6))
+
+    def test_clique_odd(self):
+        self.check_balanced(clique(7))
+
+    def test_star(self):
+        self.check_balanced(star(9))
+
+    def test_disconnected(self):
+        self.check_balanced(disjoint_cliques(3, 4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(4, 24), st.integers(0, 10_000))
+    def test_random_graphs_balanced(self, n, seed):
+        g = gnp(n, 0.4, seed=seed)
+        self.check_balanced(g)
+
+
+class TestOtherOrientations:
+    def test_by_id_acyclic(self):
+        g = clique(5)
+        ori = orientation_by_id(g)
+        dg = ori.as_digraph(g)
+        assert nx.is_directed_acyclic_graph(dg)
+
+    def test_bidirect(self):
+        dg = bidirect(ring(4))
+        assert dg.number_of_edges() == 8
+        assert max_outdegree(dg) == 2
+
+    def test_max_outdegree_clamp(self):
+        dg = nx.DiGraph()
+        dg.add_node(0)
+        assert max_outdegree(dg) == 1
+
+    def test_random_low_outdegree(self):
+        g = gnp(25, 0.3, seed=4)
+        dg = random_low_outdegree_digraph(g, seed=9)
+        assert dg.to_undirected().number_of_edges() == g.number_of_edges()
+        for v in dg.nodes:
+            assert dg.out_degree(v) <= -(-g.degree(v) // 2)
+
+    def test_random_low_outdegree_deterministic(self):
+        g = gnp(20, 0.3, seed=4)
+        a = sorted(random_low_outdegree_digraph(g, seed=9).edges)
+        b = sorted(random_low_outdegree_digraph(g, seed=9).edges)
+        assert a == b
+
+    def test_edge_orientation_api(self):
+        ori = EdgeOrientation()
+        ori.orient(0, 1)
+        assert ori.points_from(0, 1)
+        assert not ori.points_from(1, 0)
+        assert ori.is_oriented(1, 0)
+        with pytest.raises(ValueError):
+            ori.orient(1, 0)
+        assert len(ori) == 1
+
+    def test_as_digraph_requires_cover(self):
+        g = path(3)
+        ori = EdgeOrientation()
+        ori.orient(0, 1)
+        with pytest.raises(ValueError):
+            ori.as_digraph(g)

@@ -1,0 +1,146 @@
+"""Tests for the sequential solvers (Lemmas A.1/A.2 + folklore greedy)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ColorSpace
+from repro.core.conditions import (
+    arbdefective_exists_condition,
+    ldc_exists_condition,
+)
+from repro.core.instance import (
+    random_list_defective_instance,
+    uniform_instance,
+)
+from repro.core.validate import validate_arbdefective, validate_ldc
+from repro.graphs import clique, gnp, ring, star
+from repro.algorithms.greedy import (
+    greedy_list_coloring,
+    sequential_color_order_by_degree,
+    solve_arbdefective_euler,
+    solve_ldc_potential,
+)
+
+
+class TestGreedyListColoring:
+    def test_degree_plus_one_always_works(self):
+        g = clique(6)
+        inst = uniform_instance(g, ColorSpace(6), range(6), 0)
+        res = greedy_list_coloring(inst)
+        assert validate_ldc(inst, res).ok
+        assert res.num_colors() == 6
+
+    def test_respects_defects(self):
+        g = ring(6)
+        inst = uniform_instance(g, ColorSpace(2), range(2), 1)
+        res = greedy_list_coloring(inst)
+        assert validate_ldc(inst, res).ok
+
+    def test_custom_order(self):
+        g = star(5)
+        inst = uniform_instance(g, ColorSpace(5), range(5), 0)
+        order = sequential_color_order_by_degree(g)
+        res = greedy_list_coloring(inst, order)
+        assert validate_ldc(inst, res).ok
+
+    def test_stuck_raises(self):
+        # proper 1-coloring of an edge is impossible
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        inst = uniform_instance(g, ColorSpace(1), [0], 0)
+        with pytest.raises(ValueError):
+            greedy_list_coloring(inst)
+
+    def test_degeneracy_order_property(self):
+        # star graphs are 1-degenerate: in the smallest-last order every
+        # node has at most one earlier neighbor
+        g = star(5)
+        order = sequential_color_order_by_degree(g)
+        pos = {v: i for i, v in enumerate(order)}
+        for v in g.nodes:
+            earlier = sum(1 for u in g.neighbors(v) if pos[u] < pos[v])
+            assert earlier <= 1
+
+
+class TestPotentialDescent:
+    def test_clique_at_threshold(self):
+        # K_7, d=1: Eq (1) needs 2c > 6 => c = 4
+        inst = uniform_instance(clique(7), ColorSpace(4), range(4), 1)
+        res = solve_ldc_potential(inst)
+        assert validate_ldc(inst, res).ok
+
+    def test_condition_enforced(self):
+        inst = uniform_instance(clique(7), ColorSpace(3), range(3), 1)
+        with pytest.raises(ValueError):
+            solve_ldc_potential(inst)
+
+    def test_below_threshold_unchecked_diverges(self):
+        inst = uniform_instance(clique(7), ColorSpace(3), range(3), 1)
+        with pytest.raises(ValueError):
+            solve_ldc_potential(inst, require_condition=False)
+
+    def test_directed_rejected(self):
+        inst = uniform_instance(ring(4), ColorSpace(3), range(3), 0).to_oriented()
+        with pytest.raises(ValueError):
+            solve_ldc_potential(inst)
+
+    def test_huge_defects_trivial(self):
+        inst = uniform_instance(clique(5), ColorSpace(1), [0], 10)
+        res = solve_ldc_potential(inst)
+        assert validate_ldc(inst, res).ok
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_instances_meeting_eq1(self, seed):
+        rng = random.Random(seed)
+        g = gnp(12, 0.4, seed=seed)
+        # lists of size Delta+1 with defects 0..2 always satisfy Eq. (1)
+        delta = max((d for _, d in g.degree), default=0)
+        inst = random_list_defective_instance(
+            g, ColorSpace(4 * (delta + 1)), delta + 1, 2, rng
+        )
+        assert ldc_exists_condition(inst)
+        res = solve_ldc_potential(inst)
+        assert validate_ldc(inst, res).ok
+
+
+class TestEulerArbdefective:
+    def test_clique_at_threshold(self):
+        # K_7, d=1: Eq (2) needs 3c > 6 => c = 3
+        inst = uniform_instance(clique(7), ColorSpace(3), range(3), 1)
+        res = solve_arbdefective_euler(inst)
+        assert validate_arbdefective(inst, res).ok
+
+    def test_condition_enforced(self):
+        inst = uniform_instance(clique(7), ColorSpace(2), range(2), 1)
+        with pytest.raises(ValueError):
+            solve_arbdefective_euler(inst)
+
+    def test_single_color_high_defect(self):
+        # K_5 with one color and arbdefect 2: 1 * 5 > 4
+        inst = uniform_instance(clique(5), ColorSpace(1), [0], 2)
+        res = solve_arbdefective_euler(inst)
+        assert validate_arbdefective(inst, res).ok
+
+    def test_orientation_covers_all_edges(self):
+        inst = uniform_instance(clique(6), ColorSpace(3), range(3), 1)
+        res = solve_arbdefective_euler(inst)
+        assert res.orientation is not None
+        assert res.orientation.covers(inst.graph)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_instances_meeting_eq2(self, seed):
+        rng = random.Random(seed)
+        g = gnp(10, 0.5, seed=seed)
+        delta = max((d for _, d in g.degree), default=0)
+        inst = random_list_defective_instance(
+            g, ColorSpace(4 * (delta + 1)), delta + 1, 2, rng
+        )
+        assert arbdefective_exists_condition(inst)
+        res = solve_arbdefective_euler(inst)
+        assert validate_arbdefective(inst, res).ok

@@ -1,0 +1,110 @@
+"""Tests for hypergraphs, their line graphs, and neighborhood independence."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    clique,
+    greedy_neighborhood_independence,
+    hypergraph_line_graph,
+    neighborhood_independence,
+    random_hypergraph,
+    ring,
+    star,
+)
+
+
+class TestRandomHypergraph:
+    def test_edge_shapes(self):
+        edges = random_hypergraph(20, 15, rank=3, seed=1)
+        assert len(edges) == 15
+        assert all(2 <= len(e) <= 3 for e in edges)
+        assert all(len(set(e)) == len(e) for e in edges)
+        assert len(set(edges)) == len(edges)
+
+    def test_deterministic(self):
+        a = random_hypergraph(20, 10, 3, seed=2)
+        b = random_hypergraph(20, 10, 3, seed=2)
+        assert a == b
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            random_hypergraph(10, 5, rank=1, seed=0)
+        with pytest.raises(ValueError):
+            random_hypergraph(2, 5, rank=3, seed=0)
+
+
+class TestHypergraphLineGraph:
+    def test_disjoint_edges_independent(self):
+        lg = hypergraph_line_graph([(0, 1), (2, 3), (4, 5)])
+        assert lg.number_of_edges() == 0
+
+    def test_shared_vertex_adjacent(self):
+        lg = hypergraph_line_graph([(0, 1, 2), (2, 3), (3, 4)])
+        assert lg.has_edge(0, 1)
+        assert lg.has_edge(1, 2)
+        assert not lg.has_edge(0, 2)
+
+    def test_rank_two_matches_graph_line_graph(self):
+        g = ring(6)
+        edges = sorted(tuple(sorted(e)) for e in g.edges)
+        lg = hypergraph_line_graph(edges)
+        from repro.graphs import line_graph
+
+        lg_ref, _ = line_graph(g)
+        assert nx.is_isomorphic(lg, lg_ref)
+
+
+class TestNeighborhoodIndependence:
+    def test_clique_is_one(self):
+        assert neighborhood_independence(clique(6)) == 1
+
+    def test_star_is_n_minus_one(self):
+        assert neighborhood_independence(star(6)) == 5
+
+    def test_ring_is_two(self):
+        assert neighborhood_independence(ring(8)) == 2
+
+    def test_cap_short_circuits(self):
+        assert neighborhood_independence(star(10), cap=3) == 3
+
+    def test_greedy_lower_bounds_exact(self):
+        for g in (ring(8), star(7), clique(5)):
+            assert greedy_neighborhood_independence(g) <= neighborhood_independence(g)
+
+    def test_line_graph_of_rank_r_has_independence_at_most_r(self):
+        # the structural fact the paper leans on: line graphs of rank-r
+        # hypergraphs have neighborhood independence <= r
+        for seed in range(5):
+            rank = 3
+            edges = random_hypergraph(14, 12, rank=rank, seed=seed)
+            lg = hypergraph_line_graph(edges)
+            assert neighborhood_independence(lg, cap=rank + 1) <= rank
+
+    def test_graph_line_graph_independence_at_most_two(self):
+        g = nx.gnp_random_graph(12, 0.4, seed=3)
+        edges = sorted(tuple(sorted(e)) for e in g.edges)
+        lg = hypergraph_line_graph(edges)
+        if lg.number_of_nodes():
+            assert neighborhood_independence(lg, cap=3) <= 2
+
+
+class TestPaperMap:
+    def test_all_references_resolve(self):
+        from repro.paper_map import verify_all
+
+        assert verify_all() == []
+
+    def test_render_mentions_all_theorems(self):
+        from repro.paper_map import render
+
+        out = render()
+        for key in ("Theorem 1.1", "Theorem 1.2", "Theorem 1.3", "Theorem 1.4"):
+            assert key in out
+
+    def test_cli_map_command(self, capsys):
+        from repro.cli import main
+
+        rc = main(["map"])
+        assert rc == 0
+        assert "Theorem 1.4" in capsys.readouterr().out

@@ -1,0 +1,192 @@
+"""Unit tests for repro.core.instance."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core import ColorSpace
+from repro.core.instance import (
+    ListDefectiveInstance,
+    PartialColoring,
+    degree_plus_one_instance,
+    delta_plus_one_instance,
+    random_list_defective_instance,
+    scaled_budget_instance,
+    uniform_instance,
+)
+from repro.graphs import clique, ring, star
+
+
+def small_instance():
+    g = ring(5)
+    return uniform_instance(g, ColorSpace(4), range(4), 1)
+
+
+class TestConstruction:
+    def test_lists_sorted_and_deduped(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        inst = ListDefectiveInstance(
+            g,
+            ColorSpace(5),
+            {0: (3, 1, 3), 1: (0, 2)},
+            {0: {1: 0, 3: 1}, 1: {0: 0, 2: 0}},
+        )
+        assert inst.lists[0] == (1, 3)
+
+    def test_missing_list_rejected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            ListDefectiveInstance(g, ColorSpace(3), {0: (0,)}, {0: {0: 0}})
+
+    def test_defect_keys_must_match_list(self):
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(ValueError):
+            ListDefectiveInstance(g, ColorSpace(3), {0: (0, 1)}, {0: {0: 0}})
+
+    def test_color_outside_space_rejected(self):
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(ValueError):
+            ListDefectiveInstance(g, ColorSpace(2), {0: (5,)}, {0: {5: 0}})
+
+    def test_negative_defect_rejected(self):
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(ValueError):
+            ListDefectiveInstance(g, ColorSpace(2), {0: (1,)}, {0: {1: -1}})
+
+
+class TestAccessors:
+    def test_degrees(self):
+        inst = small_instance()
+        assert inst.max_degree == 2
+        assert inst.degree(0) == 2
+        assert not inst.directed
+
+    def test_outdegree_requires_directed(self):
+        inst = small_instance()
+        with pytest.raises(ValueError):
+            inst.outdegree(0)
+
+    def test_oriented_view(self):
+        inst = small_instance().to_oriented()
+        assert inst.directed
+        # bidirecting a ring: every node has outdegree 2
+        assert all(inst.outdegree(v) == 2 for v in inst.graph.nodes)
+        assert inst.max_outdegree == 2
+
+    def test_outdegree_clamped_to_one(self):
+        dg = nx.DiGraph()
+        dg.add_edge(0, 1)
+        inst = ListDefectiveInstance(
+            dg, ColorSpace(2), {0: (0,), 1: (1,)}, {0: {0: 0}, 1: {1: 0}}
+        )
+        assert inst.outdegree(1) == 1  # sink clamped
+
+    def test_defect_weight(self):
+        inst = small_instance()
+        # 4 colors, defect 1 each: sum (d+1) = 8, sum (d+1)^2 = 16
+        assert inst.defect_weight(0, 1.0) == 8
+        assert inst.defect_weight(0, 2.0) == 16
+
+    def test_max_list_size(self):
+        inst = small_instance()
+        assert inst.max_list_size == 4
+
+
+class TestTransformations:
+    def test_restrict_nodes(self):
+        inst = small_instance()
+        sub = inst.restrict([0, 1, 2])
+        assert sorted(sub.graph.nodes) == [0, 1, 2]
+        assert sub.graph.number_of_edges() == 2
+
+    def test_restrict_colors(self):
+        inst = small_instance()
+        sub = inst.restrict(keep_color=lambda v, x: x % 2 == 0)
+        assert sub.lists[0] == (0, 2)
+        assert set(sub.defects[0]) == {0, 2}
+
+    def test_copy_is_deep_enough(self):
+        inst = small_instance()
+        cp = inst.copy()
+        cp.defects[0][0] = 99
+        assert inst.defects[0][0] == 1
+
+
+class TestBuilders:
+    def test_delta_plus_one(self):
+        inst = delta_plus_one_instance(star(6))
+        assert inst.space.size == 6  # Delta = 5
+        assert all(len(inst.lists[v]) == 6 for v in inst.graph.nodes)
+        assert all(d == 0 for dv in inst.defects.values() for d in dv.values())
+
+    def test_degree_plus_one_default_prefix(self):
+        inst = degree_plus_one_instance(ring(6))
+        assert all(inst.lists[v] == (0, 1, 2) for v in inst.graph.nodes)
+
+    def test_degree_plus_one_random_lists(self):
+        rng = random.Random(0)
+        inst = degree_plus_one_instance(ring(6), ColorSpace(20), rng)
+        assert all(len(inst.lists[v]) == 3 for v in inst.graph.nodes)
+        assert any(max(inst.lists[v]) > 2 for v in inst.graph.nodes)
+
+    def test_degree_plus_one_space_too_small(self):
+        with pytest.raises(ValueError):
+            degree_plus_one_instance(clique(5), ColorSpace(3))
+
+    def test_random_list_instance(self):
+        rng = random.Random(1)
+        inst = random_list_defective_instance(ring(8), ColorSpace(30), 5, 2, rng)
+        assert all(len(inst.lists[v]) == 5 for v in inst.graph.nodes)
+        assert all(0 <= d <= 2 for dv in inst.defects.values() for d in dv.values())
+
+    def test_random_list_too_big(self):
+        with pytest.raises(ValueError):
+            random_list_defective_instance(
+                ring(4), ColorSpace(3), 5, 1, random.Random(0)
+            )
+
+    def test_scaled_budget_meets_target(self):
+        rng = random.Random(2)
+        g = ring(10)
+        inst = scaled_budget_instance(g, ColorSpace(200), 2.0, 10.0, 3, rng)
+        for v in g.nodes:
+            assert inst.defect_weight(v, 2.0) >= 10.0 * g.degree(v) ** 2
+
+    def test_scaled_budget_space_too_small(self):
+        rng = random.Random(3)
+        with pytest.raises(ValueError):
+            scaled_budget_instance(clique(10), ColorSpace(5), 2.0, 50.0, 0, rng)
+
+
+class TestPartialColoring:
+    def test_assign_updates_counts(self):
+        inst = small_instance()
+        pc = PartialColoring(inst)
+        pc.assign(0, 2)
+        assert pc.colored(0)
+        assert pc.a(1, 2) == 1 and pc.a(4, 2) == 1
+        assert pc.a(2, 2) == 0
+
+    def test_double_assign_rejected(self):
+        pc = PartialColoring(small_instance())
+        pc.assign(0, 1)
+        with pytest.raises(ValueError):
+            pc.assign(0, 2)
+
+    def test_orientation_conflict_rejected(self):
+        pc = PartialColoring(small_instance())
+        pc.orient(0, 1)
+        with pytest.raises(ValueError):
+            pc.orient(1, 0)
+        assert pc.out_neighbors(0) == [1]
+
+    def test_uncolored_nodes(self):
+        pc = PartialColoring(small_instance())
+        pc.assign(3, 0)
+        assert pc.uncolored_nodes() == [0, 1, 2, 4]

@@ -1,0 +1,178 @@
+"""End-to-end integration tests across module boundaries.
+
+These exercise the full pipelines the paper composes — Linial precoloring
+-> gamma-class assignment -> OLDC -> Theorem 1.3 staging -> Theorem 1.4 —
+on several graph families, validating every intermediate output with the
+independent validators and checking the metric accounting adds up.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ColorSpace, ListDefectiveInstance
+from repro.core.conditions import ConditionAudit, ldc_exists_condition
+from repro.core.instance import (
+    degree_plus_one_instance,
+    scaled_budget_instance,
+    uniform_instance,
+)
+from repro.core.validate import (
+    validate_arbdefective,
+    validate_ldc,
+    validate_oldc,
+    validate_proper_coloring,
+)
+from repro.graphs import (
+    blowup,
+    gnp,
+    hub_and_fringe,
+    hypercube,
+    random_low_outdegree_digraph,
+    random_regular,
+    ring,
+    torus,
+)
+from repro.algorithms import (
+    arbdefective_coloring,
+    congest_delta_plus_one,
+    greedy_list_coloring,
+    run_defective_coloring,
+    run_linial,
+    solve_ldc_potential,
+    solve_list_arbdefective,
+    solve_oldc_basic,
+    solve_oldc_main,
+)
+
+
+FAMILIES = {
+    "torus": torus(6, 6),
+    "hypercube": hypercube(5),
+    "blowup-ring": blowup(ring(8), 3),
+    "hub": hub_and_fringe(hub_degree=10, fringe_cliques=4, clique_size=3),
+    "gnp": gnp(50, 0.15, seed=101),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FAMILIES))
+def test_full_congest_pipeline(name):
+    g = FAMILIES[name]
+    res, metrics, rep = congest_delta_plus_one(g)
+    assert rep.valid
+    validate_proper_coloring(g, res).raise_if_invalid()
+    assert metrics.compliant_with(g.number_of_nodes())
+    delta = max(d for _, d in g.degree)
+    assert res.num_colors() <= delta + 1
+
+
+@pytest.mark.parametrize("name", sorted(FAMILIES))
+def test_oldc_pipeline_on_families(name):
+    g = FAMILIES[name]
+    rng = random.Random(hash(name) % 2**31)
+    dg = random_low_outdegree_digraph(g, seed=7)
+    outdeg = {v: max(1, dg.out_degree(v)) for v in dg.nodes}
+    beta = max(outdeg.values())
+    space = ColorSpace(35 * beta * beta + 128)
+    und = scaled_budget_instance(
+        g, space, 2.0, 35.0, 2, rng, directed_outdegrees=outdeg
+    )
+    inst = ListDefectiveInstance(dg, space, und.lists, und.defects)
+    pre, m_pre, _pal = run_linial(g)
+    validate_proper_coloring(g, pre).raise_if_invalid()
+    res, m_main, _rep = solve_oldc_main(inst, pre.assignment)
+    validate_oldc(inst, res).raise_if_invalid()
+    total = m_pre.merge_sequential(m_main)
+    assert total.rounds == m_pre.rounds + m_main.rounds
+
+
+def test_distributed_vs_sequential_agree_on_feasibility():
+    """Where the sequential solver works (Eq. 1), Theorem 1.3's distributed
+    output is valid for the *same* instance — two independent code paths."""
+    g = gnp(30, 0.25, seed=103)
+    delta = max(d for _, d in g.degree)
+    q = delta + 1
+    inst = uniform_instance(g, ColorSpace(q), range(q), 0)
+    assert ldc_exists_condition(inst)
+    seq = solve_ldc_potential(inst)
+    validate_ldc(inst, seq).raise_if_invalid()
+    dist, _m, _rep = solve_list_arbdefective(inst)
+    validate_ldc(inst, dist).raise_if_invalid()
+
+
+def test_defective_decomposition_feeds_schedule():
+    """Kuh09 classes really decompose the graph into low-degree parts."""
+    g = random_regular(600, 12, seed=104)
+    res, _m, _pal = run_defective_coloring(g, defect=4)
+    for cls, members in res.color_classes().items():
+        sub = g.subgraph(members)
+        assert max((d for _, d in sub.degree), default=0) <= 4
+
+
+def test_arbdefective_feeds_oldc():
+    """The Theorem 1.3 wiring: class digraphs have outdegree <= arbdefect."""
+    g = random_regular(60, 10, seed=105)
+    res, _m, q = arbdefective_coloring(g, 3, mode="fast")
+    ori = res.orientation
+    for cls, members in res.color_classes().items():
+        sub = g.subgraph(members)
+        for v in members:
+            out_same = sum(
+                1 for u in sub.neighbors(v) if ori.points_from(v, u)
+            )
+            assert out_same <= 3
+
+
+def test_greedy_matches_distributed_color_count_budget():
+    g = ring(24)
+    inst = degree_plus_one_instance(g)
+    seq = greedy_list_coloring(inst)
+    dist, _m, _rep = congest_delta_plus_one(g)
+    assert seq.num_colors() <= 3
+    assert dist.num_colors() <= 3
+
+
+def test_condition_audit_on_pipeline_instance():
+    g = gnp(30, 0.2, seed=106)
+    inst = degree_plus_one_instance(g)
+    audit = ConditionAudit.of(inst)
+    assert audit.eq1_ldc_exists and audit.eq2_arbdefective_exists
+    assert audit.slack_nu0 >= 1.0
+
+
+def test_basic_and_main_oldc_agree_on_validity():
+    """Both OLDC algorithms must solve the same instance (different
+    round/message profiles, same contract)."""
+    rng = random.Random(107)
+    g = gnp(40, 0.15, seed=108)
+    dg = random_low_outdegree_digraph(g, seed=109)
+    outdeg = {v: max(1, dg.out_degree(v)) for v in dg.nodes}
+    beta = max(outdeg.values())
+    space = ColorSpace(35 * beta * beta + 128)
+    und = scaled_budget_instance(
+        g, space, 2.0, 35.0, 3, rng, directed_outdegrees=outdeg
+    )
+    inst = ListDefectiveInstance(dg, space, und.lists, und.defects)
+    pre, _m, _p = run_linial(g)
+    res_b, m_b, _rb = solve_oldc_basic(inst, pre.assignment)
+    res_m, m_m, _rm = solve_oldc_main(inst, pre.assignment)
+    validate_oldc(inst, res_b).raise_if_invalid()
+    validate_oldc(inst, res_m).raise_if_invalid()
+
+
+def test_theorem_1_3_general_lists_end_to_end():
+    """Arbitrary defect mix meeting sum (d+1) > deg, validated fully."""
+    rng = random.Random(110)
+    g = hub_and_fringe(hub_degree=8, fringe_cliques=3, clique_size=4)
+    space = ColorSpace(64)
+    lists = {}
+    defects = {}
+    for v in g.nodes:
+        deg = g.degree(v)
+        colors = sorted(rng.sample(range(64), deg + 1))
+        lists[v] = tuple(colors)
+        defects[v] = {x: rng.randint(0, 1) for x in colors}
+    inst = ListDefectiveInstance(g, space, lists, defects)
+    assert ldc_exists_condition(inst)
+    res, _m, _rep = solve_list_arbdefective(inst)
+    validate_arbdefective(inst, res).raise_if_invalid()

@@ -1,0 +1,52 @@
+"""Tests for the undirected LDC wrappers (paper's bidirection equivalence)."""
+
+import random
+
+import pytest
+
+from repro.core import ColorSpace
+from repro.core.instance import scaled_budget_instance, uniform_instance
+from repro.core.validate import validate_ldc
+from repro.graphs import gnp, ring
+from repro.algorithms.ldc_undirected import solve_ldc_main, solve_ldc_with_reduction
+from repro.algorithms.linial import run_linial
+
+
+def make_ldc_instance(n=40, seed=9, slack=35.0):
+    rng = random.Random(seed)
+    g = gnp(n, 0.2, seed=seed + 1)
+    delta = max(d for _, d in g.degree)
+    space = ColorSpace(int(slack * delta * delta * 1.2) + 128)
+    inst = scaled_budget_instance(g, space, 2.0, slack, 2, rng)
+    pre, _m, _p = run_linial(g)
+    return g, inst, pre.assignment
+
+
+class TestUndirectedLDC:
+    def test_solve_main_valid(self):
+        _g, inst, init = make_ldc_instance()
+        res, metrics, _rep = solve_ldc_main(inst, init)
+        validate_ldc(inst, res).raise_if_invalid()
+
+    def test_rejects_directed(self):
+        inst = uniform_instance(ring(5), ColorSpace(3), range(3), 0).to_oriented()
+        with pytest.raises(ValueError):
+            solve_ldc_main(inst, {v: v for v in range(5)})
+        with pytest.raises(ValueError):
+            solve_ldc_with_reduction(inst, {v: v for v in range(5)}, p=2)
+
+    def test_with_reduction_valid_and_smaller_messages(self):
+        _g, inst, init = make_ldc_instance(slack=45.0)
+        res0, m0, _r0 = solve_ldc_main(inst, init)
+        p = max(2, int(inst.space.size ** 0.5))
+        res1, m1, _r1 = solve_ldc_with_reduction(inst, init, p=p)
+        validate_ldc(inst, res0).raise_if_invalid()
+        validate_ldc(inst, res1).raise_if_invalid()
+        assert m1.max_message_bits <= m0.max_message_bits
+
+    def test_condition_uses_degree_not_outdegree(self):
+        # on the bidirected view beta_v == deg(v) exactly
+        _g, inst, _init = make_ldc_instance()
+        oriented = inst.to_oriented()
+        for v in inst.graph.nodes:
+            assert oriented.outdegree(v) == max(1, inst.degree(v))

@@ -1,0 +1,60 @@
+"""Tests for the [BE09/Kuh09] linear-in-Delta (Delta+1)-coloring."""
+
+import pytest
+
+from repro.core import validate_proper_coloring
+from repro.graphs import clique, gnp, hub_and_fringe, random_regular, ring, star, torus
+from repro.algorithms.linear_in_delta import linear_in_delta_coloring
+
+
+class TestLinearInDelta:
+    @pytest.mark.parametrize(
+        "g",
+        [
+            ring(24),
+            clique(9),
+            star(14),
+            torus(5, 6),
+            gnp(50, 0.2, seed=71),
+            random_regular(64, 12, seed=72),
+            hub_and_fringe(hub_degree=10, fringe_cliques=4, clique_size=3),
+        ],
+        ids=["ring", "clique", "star", "torus", "gnp", "regular", "hub"],
+    )
+    def test_families_proper_and_delta_plus_one(self, g):
+        res, _m, _rep = linear_in_delta_coloring(g)
+        validate_proper_coloring(g, res).raise_if_invalid()
+        delta = max(d for _, d in g.degree)
+        assert res.num_colors() <= delta + 1
+        assert all(0 <= c <= delta for c in res.assignment.values())
+
+    def test_recursion_depth_logarithmic(self):
+        g = random_regular(128, 32, seed=73)
+        _res, _m, rep = linear_in_delta_coloring(g)
+        assert rep.levels <= 32 .bit_length() + 1
+
+    def test_base_case_only_for_small_delta(self):
+        g = ring(20)
+        _res, _m, rep = linear_in_delta_coloring(g)
+        assert rep.levels == 1
+        assert rep.palettes_before_reduce == []
+
+    def test_deterministic(self):
+        g = gnp(40, 0.25, seed=74)
+        a = linear_in_delta_coloring(g)[0].assignment
+        b = linear_in_delta_coloring(g)[0].assignment
+        assert a == b
+
+    def test_metrics_accumulate(self):
+        g = random_regular(64, 12, seed=75)
+        _res, m, rep = linear_in_delta_coloring(g)
+        assert m.rounds >= sum(rep.reduce_rounds)
+        assert m.total_messages > 0
+
+    def test_isolated_nodes(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        res, _m, _rep = linear_in_delta_coloring(g)
+        assert all(c == 0 for c in res.assignment.values())

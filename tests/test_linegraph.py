@@ -1,0 +1,97 @@
+"""Tests for line graphs and edge coloring."""
+
+import networkx as nx
+import pytest
+
+from repro.core.coloring import ColoringResult
+from repro.graphs import (
+    clique,
+    edge_coloring_from_line,
+    edge_degree_plus_one_instance,
+    gnp,
+    line_graph,
+    path,
+    random_regular,
+    ring,
+    star,
+    validate_edge_coloring,
+)
+from repro.algorithms import congest_degree_plus_one, greedy_list_coloring
+
+
+class TestLineGraph:
+    def test_path_line_is_path(self):
+        lg, edge_of = line_graph(path(4))
+        assert lg.number_of_nodes() == 3
+        assert lg.number_of_edges() == 2
+        assert set(edge_of.values()) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_ring_line_is_ring(self):
+        lg, _ = line_graph(ring(6))
+        assert lg.number_of_nodes() == 6
+        assert all(d == 2 for _, d in lg.degree)
+
+    def test_star_line_is_clique(self):
+        lg, _ = line_graph(star(5))
+        assert lg.number_of_nodes() == 4
+        assert lg.number_of_edges() == 6  # K_4
+
+    def test_clique_line_degree(self):
+        # L(K_n) is (2n-4)-regular
+        lg, _ = line_graph(clique(5))
+        assert all(d == 6 for _, d in lg.degree)
+
+    def test_directed_rejected(self):
+        with pytest.raises(ValueError):
+            line_graph(nx.DiGraph([(0, 1)]))
+
+    def test_matches_networkx(self):
+        g = gnp(15, 0.3, seed=51)
+        lg, _ = line_graph(g)
+        ref = nx.line_graph(g)
+        assert lg.number_of_nodes() == ref.number_of_nodes()
+        assert lg.number_of_edges() == ref.number_of_edges()
+
+
+class TestEdgeColoring:
+    def test_instance_palette_sizes(self):
+        g = star(6)
+        inst, edge_of = edge_degree_plus_one_instance(g)
+        # all 5 star edges are pairwise adjacent: lists of size 5
+        assert all(len(inst.lists[i]) == 5 for i in inst.graph.nodes)
+
+    def test_validate_edge_coloring_positive(self):
+        g = path(3)
+        ok = validate_edge_coloring(g, {(0, 1): 0, (1, 2): 1})
+        assert ok.ok
+
+    def test_validate_edge_coloring_negative(self):
+        g = path(3)
+        bad = validate_edge_coloring(g, {(0, 1): 0, (1, 2): 0})
+        assert not bad.ok
+
+    def test_validate_missing_edge(self):
+        g = path(3)
+        assert not validate_edge_coloring(g, {(0, 1): 0}).ok
+
+    @pytest.mark.parametrize(
+        "g", [ring(10), star(8), clique(6), random_regular(24, 4, seed=52)],
+        ids=["ring", "star", "clique", "regular"],
+    )
+    def test_congest_edge_coloring_families(self, g):
+        inst, edge_of = edge_degree_plus_one_instance(g)
+        res, _m, rep = congest_degree_plus_one(inst)
+        assert rep.valid
+        edge_colors = edge_coloring_from_line(res, edge_of)
+        validate_edge_coloring(g, edge_colors).raise_if_invalid()
+        delta = max(d for _, d in g.degree)
+        assert len(set(edge_colors.values())) <= 2 * delta - 1
+
+    def test_greedy_edge_coloring(self):
+        g = gnp(20, 0.3, seed=53)
+        inst, edge_of = edge_degree_plus_one_instance(g)
+        res = greedy_list_coloring(inst)
+        edge_colors = edge_coloring_from_line(
+            ColoringResult(res.assignment), edge_of
+        )
+        validate_edge_coloring(g, edge_colors).raise_if_invalid()

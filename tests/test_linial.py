@@ -1,0 +1,136 @@
+"""Tests for Linial's algorithm, schedules, and the defective variant."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.bounds import log_star
+from repro.core.validate import (
+    validate_defective_coloring,
+    validate_proper_coloring,
+)
+from repro.graphs import clique, gnp, hypercube, random_regular, random_tree, ring, star, torus
+from repro.algorithms.linial import (
+    LinialStep,
+    defective_schedule,
+    linial_schedule,
+    poly_coeffs,
+    poly_eval,
+    run_linial,
+)
+
+
+class TestPolynomials:
+    def test_coeffs_roundtrip(self):
+        for color in range(27):
+            c = poly_coeffs(color, 3, 2)
+            val = sum(a * 3**i for i, a in enumerate(c))
+            assert val == color
+
+    def test_coeffs_out_of_range(self):
+        with pytest.raises(ValueError):
+            poly_coeffs(27, 3, 2)
+        with pytest.raises(ValueError):
+            poly_coeffs(-1, 3, 2)
+
+    def test_eval(self):
+        # p(x) = 1 + 2x over F_5
+        assert poly_eval((1, 2), 0, 5) == 1
+        assert poly_eval((1, 2), 3, 5) == 2
+
+    @given(st.integers(0, 124), st.integers(0, 4))
+    def test_distinct_colors_distinct_polys(self, color, x):
+        # base-5 digits are injective, so distinct colors differ somewhere
+        other = (color + 1) % 125
+        assert poly_coeffs(color, 5, 2) != poly_coeffs(other, 5, 2)
+
+
+class TestSchedules:
+    def test_proper_schedule_strictly_shrinks(self):
+        sched = linial_schedule(10_000, 8)
+        sizes = [s.out_colors for s in sched]
+        assert sizes == sorted(sizes, reverse=True)
+        assert all(a > b for a, b in zip([10_000] + sizes, sizes))
+
+    def test_proper_schedule_reaches_delta_squared(self):
+        sched = linial_schedule(10**6, 8)
+        assert sched[-1].out_colors <= 16 * 8 * 8
+
+    def test_schedule_length_log_star(self):
+        sched = linial_schedule(10**9, 16)
+        assert len(sched) <= 3 * log_star(10**9)
+
+    def test_small_m_empty_schedule(self):
+        assert linial_schedule(10, 8) == []
+
+    def test_proper_steps_have_zero_budget(self):
+        assert all(s.budget == 0 for s in linial_schedule(10**5, 6))
+
+    def test_defective_schedule_budget_bounded(self):
+        sched = defective_schedule(10**5, 16, defect=5)
+        assert sum(s.budget for s in sched) <= 5
+        assert sched[-1].out_colors <= linial_schedule(10**5, 16)[-1].out_colors
+
+    def test_defective_schedule_shrinks_more(self):
+        proper = linial_schedule(10**5, 16)[-1].out_colors
+        defective = defective_schedule(10**5, 16, defect=8)[-1].out_colors
+        assert defective < proper
+
+    def test_linial_step_out_colors(self):
+        assert LinialStep(7, 2, 0).out_colors == 49
+
+
+class TestRunLinial:
+    @pytest.mark.parametrize(
+        "g",
+        [
+            ring(50),
+            clique(8),
+            star(12),
+            random_tree(40, seed=1),
+            hypercube(4),
+            torus(5, 5),
+            gnp(40, 0.2, seed=3),
+            random_regular(40, 4, seed=4),
+        ],
+        ids=["ring", "clique", "star", "tree", "hypercube", "torus", "gnp", "regular"],
+    )
+    def test_proper_on_families(self, g):
+        res, metrics, palette = run_linial(g)
+        validate_proper_coloring(g, res).raise_if_invalid()
+        assert all(0 <= c < max(palette, g.number_of_nodes()) for c in res.assignment.values())
+
+    def test_rounds_track_log_star(self):
+        g = ring(2000)
+        _res, metrics, _p = run_linial(g)
+        assert metrics.rounds <= 2 * log_star(2000)
+
+    def test_message_bits_are_id_sized(self):
+        g = ring(200)
+        _res, metrics, _p = run_linial(g)
+        assert metrics.max_message_bits <= 8  # log2(200) = 7.6
+
+    def test_custom_initial_coloring(self):
+        g = ring(12)
+        init = {v: (v % 3) * 100 + v for v in g.nodes}  # proper, sparse ids
+        res, _m, _p = run_linial(g, initial_colors=init)
+        assert validate_proper_coloring(g, res).ok
+
+    def test_defective_run_validates(self):
+        g = random_regular(600, 8, seed=5)
+        res, metrics, palette = run_linial(g, defect=4)
+        assert validate_defective_coloring(g, res, 4).ok
+        proper_palette = run_linial(g)[2]
+        assert palette <= proper_palette
+
+    def test_defect_zero_equals_proper(self):
+        g = ring(100)
+        a = run_linial(g)[0].assignment
+        b = run_linial(g, defect=0)[0].assignment
+        assert a == b
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_random_gnp_proper(self, seed):
+        g = gnp(30, 0.25, seed=seed)
+        res, _m, _p = run_linial(g)
+        assert validate_proper_coloring(g, res).ok

@@ -1,0 +1,87 @@
+"""Tests for the Linial lower-bound machinery."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.lowerbound import (
+    clique_lower_bound,
+    greedy_chromatic_upper,
+    is_k_colorable,
+    neighborhood_graph_n0,
+    neighborhood_graph_n1,
+    one_round_color_lower_bound,
+)
+
+
+class TestN0:
+    def test_is_complete(self):
+        g = neighborhood_graph_n0(5)
+        assert g.number_of_edges() == 10
+        assert greedy_chromatic_upper(g) == 5
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            neighborhood_graph_n0(0)
+
+
+class TestN1:
+    def test_sizes(self):
+        # m*(m-1)*(m-2) ordered distinct triples
+        for m in (3, 4, 5):
+            g = neighborhood_graph_n1(m)
+            assert g.number_of_nodes() == m * (m - 1) * (m - 2)
+
+    def test_adjacency_semantics(self):
+        """(a,b,c) ~ (b,c,d) exactly when both are valid views of adjacent
+        ring nodes: they share the overlap (b, c) and a != c, b != d."""
+        g = neighborhood_graph_n1(4)
+        view = nx.get_node_attributes(g, "view")
+        inv = {t: i for i, t in view.items()}
+        assert g.has_edge(inv[(0, 1, 2)], inv[(1, 2, 3)])
+        assert g.has_edge(inv[(0, 1, 2)], inv[(1, 2, 0)])
+        assert not g.has_edge(inv[(0, 1, 2)], inv[(2, 3, 0)])
+
+    def test_needs_three_ids(self):
+        with pytest.raises(ValueError):
+            neighborhood_graph_n1(2)
+
+    def test_contains_triangle(self):
+        # views of a 3-ring form a triangle: chi >= 3 from the clique alone
+        g = neighborhood_graph_n1(3)
+        assert clique_lower_bound(g) >= 3
+
+    def test_not_bipartite(self):
+        for m in (3, 4, 5):
+            g = neighborhood_graph_n1(m)
+            assert is_k_colorable(g, 2) is False
+
+
+class TestChromaticTools:
+    def test_backtracking_on_known_graphs(self):
+        assert is_k_colorable(nx.cycle_graph(6), 2) is True
+        assert is_k_colorable(nx.cycle_graph(7), 2) is False
+        assert is_k_colorable(nx.complete_graph(4), 3) is False
+        assert is_k_colorable(nx.complete_graph(4), 4) is True
+
+    def test_budget_returns_none(self):
+        g = nx.empty_graph(10)
+        assert is_k_colorable(g, 1, node_budget=5) is None
+
+    def test_clique_bound_caps(self):
+        assert clique_lower_bound(nx.complete_graph(10), limit=4) == 4
+
+    def test_greedy_upper_at_least_clique(self):
+        g = neighborhood_graph_n1(4)
+        assert greedy_chromatic_upper(g) >= clique_lower_bound(g)
+
+
+class TestOneRoundBound:
+    @pytest.mark.parametrize("m", [3, 4, 5])
+    def test_exact_chi_is_three(self, m):
+        # one round suffices for 3 colors at tiny id spaces, never for 2
+        assert one_round_color_lower_bound(m) == 3
+
+    def test_meaning_zero_rounds(self):
+        """chi(N_0(m)) = m: a 0-round algorithm needs the id space."""
+        for m in (3, 6, 9):
+            assert greedy_chromatic_upper(neighborhood_graph_n0(m)) == m

@@ -1,0 +1,93 @@
+"""Tests for Luby's MIS and the MIS -> coloring reduction."""
+
+import pytest
+
+from repro.core import validate_proper_coloring
+from repro.graphs import clique, gnp, path, random_regular, ring, star
+from repro.algorithms.mis import (
+    coloring_via_mis,
+    is_maximal_independent_set,
+    luby_mis,
+    product_graph,
+)
+
+
+class TestLubyMIS:
+    @pytest.mark.parametrize(
+        "g",
+        [ring(20), clique(8), star(12), path(15), gnp(40, 0.2, seed=81)],
+        ids=["ring", "clique", "star", "path", "gnp"],
+    )
+    def test_maximal_independent(self, g):
+        mis, metrics = luby_mis(g, seed=1)
+        assert is_maximal_independent_set(g, mis)
+
+    def test_clique_picks_exactly_one(self):
+        mis, _m = luby_mis(clique(9), seed=2)
+        assert len(mis) == 1
+
+    def test_empty_graph_all_in(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(5))
+        mis, _m = luby_mis(g, seed=3)
+        assert mis == set(range(5))
+
+    def test_rounds_logarithmic_in_practice(self):
+        g = random_regular(300, 8, seed=82)
+        _mis, metrics = luby_mis(g, seed=4)
+        assert metrics.rounds <= 40
+
+    def test_seed_deterministic(self):
+        g = gnp(30, 0.3, seed=83)
+        assert luby_mis(g, seed=5)[0] == luby_mis(g, seed=5)[0]
+
+    def test_checker_rejects_non_independent(self):
+        g = path(3)
+        assert not is_maximal_independent_set(g, {0, 1})
+
+    def test_checker_rejects_non_maximal(self):
+        g = path(5)
+        assert not is_maximal_independent_set(g, {0})
+
+
+class TestProductGraph:
+    def test_copy_cliques(self):
+        pg = product_graph(path(2), 3)
+        # node copies of each vertex form K_3
+        for v in (0, 1):
+            for a in range(3):
+                for b in range(a + 1, 3):
+                    assert pg.has_edge(v * 3 + a, v * 3 + b)
+
+    def test_cross_edges_same_color_only(self):
+        pg = product_graph(path(2), 3)
+        assert pg.has_edge(0 * 3 + 1, 1 * 3 + 1)
+        assert not pg.has_edge(0 * 3 + 1, 1 * 3 + 2)
+
+    def test_sizes(self):
+        g = ring(5)
+        pg = product_graph(g, 3)
+        assert pg.number_of_nodes() == 15
+        assert pg.number_of_edges() == 5 * 3 + 5 * 3  # cliques + cross
+
+
+class TestColoringViaMIS:
+    @pytest.mark.parametrize(
+        "g",
+        [ring(12), clique(6), star(9), gnp(20, 0.3, seed=84)],
+        ids=["ring", "clique", "star", "gnp"],
+    )
+    def test_proper_delta_plus_one(self, g):
+        res, metrics = coloring_via_mis(g, seed=1)
+        validate_proper_coloring(g, res).raise_if_invalid()
+        delta = max(d for _, d in g.degree)
+        assert res.num_colors() <= delta + 1
+        assert set(res.assignment) == set(g.nodes)
+
+    def test_metrics_synthesized(self):
+        g = ring(12)
+        _res, metrics = coloring_via_mis(g, seed=2)
+        assert metrics.rounds > 0
+        assert metrics.total_messages == metrics.rounds * 2 * g.number_of_edges()

@@ -1,0 +1,102 @@
+"""Tests for the [MT20] 2-round list coloring (Section 3.1)."""
+
+import random
+
+import pytest
+
+from repro.analysis.bounds import DEFAULT_SCALE
+from repro.core import ColorSpace, ListDefectiveInstance
+from repro.core.validate import validate_oldc
+from repro.graphs import gnp, random_low_outdegree_digraph, ring
+from repro.algorithms.linial import run_linial
+from repro.algorithms.mt20 import mt20_list_coloring
+
+
+def make_list_instance(n=40, p=0.2, seed=5, alpha=None):
+    """A zero-defect directed list instance meeting the [MT20] list sizes."""
+    scale = DEFAULT_SCALE
+    alpha = scale.alpha if alpha is None else alpha
+    rng = random.Random(seed)
+    g = gnp(n, p, seed=seed + 1)
+    dg = random_low_outdegree_digraph(g, seed=seed + 2)
+    beta = max(max(1, dg.out_degree(v)) for v in dg.nodes)
+    need = int(alpha * beta * beta * scale.tau) + 1
+    space = ColorSpace(4 * need)
+    lists = {}
+    for v in dg.nodes:
+        b = max(1, dg.out_degree(v))
+        size = max(1, int(alpha * b * b * scale.tau))
+        lists[v] = tuple(sorted(rng.sample(range(space.size), size)))
+    defects = {v: {x: 0 for x in lists[v]} for v in dg.nodes}
+    inst = ListDefectiveInstance(dg, space, lists, defects)
+    pre, _m, _p = run_linial(g)
+    return g, inst, pre.assignment
+
+
+class TestMT20:
+    def test_two_rounds(self):
+        _g, inst, init = make_list_instance()
+        _res, metrics, _rep = mt20_list_coloring(inst, init)
+        assert metrics.rounds == 2
+
+    def test_valid_proper_list_coloring(self):
+        _g, inst, init = make_list_instance()
+        res, _m, rep = mt20_list_coloring(inst, init)
+        validate_oldc(inst, res).raise_if_invalid()
+
+    def test_clean_picks_reported(self):
+        _g, inst, init = make_list_instance()
+        _res, _m, rep = mt20_list_coloring(inst, init)
+        assert rep.n == inst.n
+        assert 0 <= rep.clean_c_picks <= rep.n
+        assert 0 <= rep.clean_color_picks <= rep.n
+
+    def test_requires_directed(self):
+        from repro.core.instance import uniform_instance
+
+        inst = uniform_instance(ring(5), ColorSpace(30), range(30), 0)
+        with pytest.raises(ValueError):
+            mt20_list_coloring(inst, {v: v for v in range(5)})
+
+    def test_rejects_defects(self):
+        _g, inst, init = make_list_instance()
+        bad = ListDefectiveInstance(
+            inst.graph,
+            inst.space,
+            {v: tuple(lst) for v, lst in inst.lists.items()},
+            {v: {x: 1 for x in inst.lists[v]} for v in inst.graph.nodes},
+        )
+        with pytest.raises(ValueError):
+            mt20_list_coloring(bad, init)
+
+    def test_list_size_precondition(self):
+        _g, inst, init = make_list_instance()
+        small = inst.restrict(keep_color=lambda v, x: x % 7 == 0)
+        with pytest.raises(ValueError):
+            mt20_list_coloring(small, init)
+
+    def test_precondition_can_be_waived(self):
+        _g, inst, init = make_list_instance()
+        # keep about half of each list: may or may not stay clean, but the
+        # algorithm must still run and output list colors
+        smaller = inst.restrict(keep_color=lambda v, x: x % 2 == 0)
+        res, metrics, _rep = mt20_list_coloring(
+            smaller, init, require_list_size=False
+        )
+        assert metrics.rounds == 2
+        for v in smaller.graph.nodes:
+            assert res.assignment[v] in smaller.lists[v]
+
+    def test_deterministic(self):
+        _g, inst, init = make_list_instance()
+        a = mt20_list_coloring(inst, init)[0].assignment
+        b = mt20_list_coloring(inst, init)[0].assignment
+        assert a == b
+
+    def test_message_sizes_list_dominated(self):
+        _g, inst, init = make_list_instance()
+        _res, metrics, _rep = mt20_list_coloring(inst, init)
+        from repro.sim.message import color_list_bits
+
+        bound = color_list_bits(inst.max_list_size, inst.space.size) + 64
+        assert metrics.max_message_bits <= bound

@@ -1,0 +1,128 @@
+"""Tests for the P2 set-family selection (mt_selection)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conflict import psi_g
+from repro.algorithms.mt_selection import (
+    FamilyOracle,
+    NodeType,
+    candidate_space,
+    exact_greedy_assignment,
+    seeded_family,
+)
+
+
+class TestNodeType:
+    def test_colors_canonicalized(self):
+        t = NodeType(1, (3, 1, 2))
+        assert t.colors == (1, 2, 3)
+
+    def test_equality_by_content(self):
+        assert NodeType(1, (2, 3)) == NodeType(1, (3, 2))
+        assert NodeType(1, (2, 3)) != NodeType(2, (2, 3))
+
+    def test_digest_stable_and_seeded(self):
+        t = NodeType(1, (2, 3))
+        assert t.stable_digest(0) == NodeType(1, (3, 2)).stable_digest(0)
+        assert t.stable_digest(0) != t.stable_digest(1)
+        assert t.stable_digest(0) != NodeType(1, (2, 4)).stable_digest(0)
+
+
+class TestSeededFamily:
+    def test_deterministic(self):
+        t = NodeType(0, tuple(range(20)))
+        a = seeded_family(t, 4, 8, seed=5)
+        b = seeded_family(t, 4, 8, seed=5)
+        assert a == b
+
+    def test_distinct_members(self):
+        t = NodeType(0, tuple(range(20)))
+        fam = seeded_family(t, 4, 8)
+        assert len(set(fam)) == len(fam) == 8
+        assert all(len(c) == 4 for c in fam)
+        assert all(set(c) <= set(range(20)) for c in fam)
+
+    def test_small_list_enumerates_all(self):
+        t = NodeType(0, (0, 1, 2))
+        fam = seeded_family(t, 2, 100)
+        assert sorted(fam) == sorted(itertools.combinations((0, 1, 2), 2))
+
+    def test_k_bounds(self):
+        t = NodeType(0, (0, 1))
+        with pytest.raises(ValueError):
+            seeded_family(t, 0, 4)
+        with pytest.raises(ValueError):
+            seeded_family(t, 3, 4)
+
+    def test_types_differ_families_differ(self):
+        a = seeded_family(NodeType(0, tuple(range(30))), 5, 8)
+        b = seeded_family(NodeType(1, tuple(range(30))), 5, 8)
+        assert a != b
+
+    @settings(max_examples=20)
+    @given(st.integers(0, 100), st.integers(5, 15), st.integers(1, 4))
+    def test_members_sorted_subsets(self, init, length, k):
+        t = NodeType(init, tuple(range(length)))
+        fam = seeded_family(t, k, 6)
+        for c in fam:
+            assert list(c) == sorted(c)
+            assert len(set(c)) == k
+
+
+class TestCandidateSpace:
+    def test_counts(self):
+        cands = list(candidate_space([0, 1, 2, 3], 2, 2))
+        # C(4,2) = 6 subsets, C(6,2) = 15 families
+        assert len(cands) == 15
+
+
+class TestExactGreedy:
+    def test_small_universe_succeeds(self):
+        types = [NodeType(c, lst) for c in range(2) for lst in itertools.combinations(range(5), 4)]
+        table = exact_greedy_assignment(types, k=2, k_prime=2, tau=3, tau_prime=2)
+        assert set(table) == set(types)
+        fams = list(table.values())
+        for i, ka in enumerate(fams):
+            for kb in fams[i + 1 :]:
+                assert not psi_g(ka, kb, 2, 3)
+                assert not psi_g(kb, ka, 2, 3)
+
+    def test_deterministic(self):
+        types = [NodeType(0, lst) for lst in itertools.combinations(range(5), 4)]
+        a = exact_greedy_assignment(types, 2, 2, 3, 2)
+        b = exact_greedy_assignment(list(reversed(types)), 2, 2, 3, 2)
+        assert a == b
+
+    def test_infeasible_params_raise(self):
+        # tau = 1 makes every sharing a conflict; k'=3 on 3 candidate
+        # subsets of a 3-color list cannot avoid Psi with tau'=1
+        types = [NodeType(c, (0, 1, 2)) for c in range(4)]
+        with pytest.raises(ValueError):
+            exact_greedy_assignment(types, k=2, k_prime=3, tau=1, tau_prime=1)
+
+
+class TestFamilyOracle:
+    def test_seeded_cache_consistency(self):
+        oracle = FamilyOracle(k_prime=6, seed=1)
+        t = NodeType(3, tuple(range(12)))
+        assert oracle.family(t, 3) is oracle.family(t, 3)
+        assert oracle.family(t, 3) == seeded_family(t, 3, 6, seed=1)
+
+    def test_exact_mode_requires_table(self):
+        with pytest.raises(ValueError):
+            FamilyOracle(k_prime=4, mode="exact")
+
+    def test_exact_mode_lookup(self):
+        t = NodeType(0, (0, 1, 2, 3))
+        table = exact_greedy_assignment([t], 2, 2, 3, 2)
+        oracle = FamilyOracle(k_prime=2, mode="exact", table=table)
+        assert oracle.family(t, 2) == table[t]
+        with pytest.raises(KeyError):
+            oracle.family(NodeType(9, (0, 1)), 2)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            FamilyOracle(k_prime=4, mode="psychic")

@@ -1,0 +1,140 @@
+"""Tests for the basic OLDC algorithm (Lemma 3.6)."""
+
+import random
+
+import pytest
+
+from repro.core import ColorSpace, ListDefectiveInstance
+from repro.core.instance import scaled_budget_instance, uniform_instance
+from repro.core.validate import validate_generalized_oldc, validate_oldc
+from repro.graphs import gnp, random_low_outdegree_digraph, ring
+from repro.algorithms.linial import run_linial
+from repro.algorithms.oldc_basic import (
+    gamma_class,
+    single_defect_restriction,
+    solve_oldc_basic,
+)
+
+
+def make_oldc_instance(n=50, p=0.15, seed=7, slack=30.0, max_defect=3):
+    rng = random.Random(seed)
+    g = gnp(n, p, seed=seed + 1)
+    dg = random_low_outdegree_digraph(g, seed=seed + 2)
+    outdeg = {v: max(1, dg.out_degree(v)) for v in dg.nodes}
+    beta = max(outdeg.values())
+    space = ColorSpace(int(slack * beta * beta) + 128)
+    und = scaled_budget_instance(
+        g, space, 2.0, slack, max_defect, rng, directed_outdegrees=outdeg
+    )
+    inst = ListDefectiveInstance(dg, space, und.lists, und.defects)
+    pre, _m, _p = run_linial(g)
+    return g, inst, pre.assignment
+
+
+class TestGammaClass:
+    def test_formula(self):
+        # smallest i with 2^i >= 2 * beta / (d+1)
+        assert gamma_class(beta_v=8, d_v=0, h=10) == 4
+        assert gamma_class(beta_v=8, d_v=3, h=10) == 2
+        assert gamma_class(beta_v=8, d_v=7, h=10) == 1
+
+    def test_clamped_to_h(self):
+        assert gamma_class(beta_v=1000, d_v=0, h=3) == 3
+
+    def test_min_one(self):
+        assert gamma_class(beta_v=1, d_v=100, h=5) == 1
+
+    def test_factor_four(self):
+        assert gamma_class(beta_v=8, d_v=0, h=10, factor=4) == 5
+
+
+class TestSingleDefectRestriction:
+    def test_uniform_defects_kept(self):
+        colors = (0, 1, 2)
+        defects = {0: 1, 1: 1, 2: 1}
+        kept, d = single_defect_restriction(colors, defects, beta_v=4)
+        assert kept == (0, 1, 2)
+        assert d == 1
+
+    def test_picks_heaviest_bucket(self):
+        # one color with defect 7 (weight 64 after rounding) vs three with 0
+        colors = (0, 1, 2, 3)
+        defects = {0: 7, 1: 0, 2: 0, 3: 0}
+        kept, d = single_defect_restriction(colors, defects, beta_v=8)
+        assert kept == (0,)
+        assert d == 7
+
+    def test_rounding_down_is_conservative(self):
+        colors = (0,)
+        defects = {0: 6}  # d+1 = 7 -> rounded to 4 -> d = 3
+        kept, d = single_defect_restriction(colors, defects, beta_v=8)
+        assert d == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            single_defect_restriction((), {}, 1)
+
+
+class TestSolveBasic:
+    def test_valid_on_random_digraph(self):
+        _g, inst, init = make_oldc_instance()
+        res, metrics, report = solve_oldc_basic(inst, init)
+        validate_oldc(inst, res).raise_if_invalid()
+        assert report.guarantee_met
+
+    def test_rounds_are_h_plus_constant(self):
+        _g, inst, init = make_oldc_instance()
+        _res, metrics, report = solve_oldc_basic(inst, init)
+        assert metrics.rounds <= report.h + 4
+
+    def test_requires_directed(self):
+        inst = uniform_instance(ring(5), ColorSpace(3), range(3), 0)
+        with pytest.raises(ValueError):
+            solve_oldc_basic(inst, {v: v for v in range(5)})
+
+    def test_negative_g_rejected(self):
+        _g, inst, init = make_oldc_instance()
+        with pytest.raises(ValueError):
+            solve_oldc_basic(inst, init, g=-1)
+
+    def test_generalized_g_positive(self):
+        _g, inst, init = make_oldc_instance(slack=40.0)
+        res, _metrics, _report = solve_oldc_basic(inst, init, g=2)
+        validate_generalized_oldc(inst, res, g=2).raise_if_invalid()
+
+    def test_deterministic(self):
+        _g, inst, init = make_oldc_instance()
+        a = solve_oldc_basic(inst, init)[0].assignment
+        b = solve_oldc_basic(inst, init)[0].assignment
+        assert a == b
+
+    def test_forced_classes_respected(self):
+        _g, inst, init = make_oldc_instance()
+        forced = {v: 2 for v in inst.graph.nodes}
+        _res, _metrics, report = solve_oldc_basic(inst, init, gamma_classes=forced)
+        assert report.h == 2
+
+    def test_report_f_values_bound_defects(self):
+        # the structural guarantee: realized defect <= f (self-audited)
+        _g, inst, init = make_oldc_instance()
+        res, _metrics, report = solve_oldc_basic(inst, init)
+        for v in inst.graph.nodes:
+            x = res.assignment[v]
+            realized = sum(
+                1
+                for u in inst.graph.successors(v)
+                if res.assignment.get(u) == x
+            )
+            assert realized <= report.per_node_f[v]
+
+    def test_bidirected_ldc_instance(self):
+        # an undirected LDC instance via bidirection (paper's equivalence)
+        rng = random.Random(3)
+        g = gnp(30, 0.2, seed=4)
+        delta = max(d for _, d in g.degree)
+        space = ColorSpace(40 * delta * delta + 100)
+        und = scaled_budget_instance(g, space, 2.0, 35.0, 2, rng)
+        inst = und.to_oriented()
+        pre, _m, _p = run_linial(g)
+        res, _metrics, _report = solve_oldc_basic(inst, pre.assignment)
+        validate_oldc(inst, res).raise_if_invalid()

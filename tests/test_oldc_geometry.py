@@ -1,0 +1,59 @@
+"""Unit tests for MainOLDC's round geometry and BasicOLDC's layout.
+
+The phase layouts are load-bearing (a node firing one round early sees a
+stale neighborhood); these tests pin the arithmetic independently of any
+end-to-end run.
+"""
+
+from repro.algorithms.oldc_main import MainOLDC
+
+
+class TestMainOLDCGeometry:
+    def test_phase_one_rounds_disjoint_per_class(self):
+        h = 5
+        seen = set()
+        for i in range(1, h + 1):
+            t, c = MainOLDC._type_round(i), MainOLDC._cset_round(i)
+            assert c == t + 1
+            assert t not in seen and c not in seen
+            seen.update((t, c))
+        assert max(seen) == 2 * h - 1  # phase I occupies rounds 0..2h-1
+
+    def test_phase_two_after_phase_one(self):
+        h = 5
+        for i in range(1, h + 1):
+            fire = MainOLDC._fire_round(i, h)
+            assert fire >= 2 * h
+            # descending: higher classes fire earlier
+            if i < h:
+                assert fire > MainOLDC._fire_round(i + 1, h)
+
+    def test_highest_class_fires_first_lowest_last(self):
+        h = 7
+        assert MainOLDC._fire_round(h, h) == 2 * h
+        assert MainOLDC._fire_round(1, h) == 3 * h - 1
+
+    def test_pick_round_precedes_fire_and_follows_types(self):
+        """A node picks in receive of fire-1; every type/cset round of every
+        class must come strictly before any fire round."""
+        h = 4
+        last_phase1 = MainOLDC._cset_round(h)
+        first_fire = MainOLDC._fire_round(h, h)
+        assert last_phase1 < first_fire
+
+    def test_lower_class_announced_before_higher_class_filter(self):
+        """Class j < i announces C_u (round 2j-1) before class i builds its
+        filtered type (round 2i-2)."""
+        h = 6
+        for i in range(2, h + 1):
+            for j in range(1, i):
+                assert MainOLDC._cset_round(j) < MainOLDC._type_round(i)
+
+
+class TestBasicOLDCGeometry:
+    def test_fire_rounds_descend_with_class(self):
+        # BasicOLDC: class i fires at 2 + (h - i)
+        h = 5
+        fires = [2 + (h - i) for i in range(1, h + 1)]
+        assert fires == sorted(fires, reverse=True)
+        assert min(fires) == 2  # highest class right after the two exchanges

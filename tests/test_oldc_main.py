@@ -1,0 +1,112 @@
+"""Tests for the main OLDC algorithm (Theorem 1.1 / Lemmas 3.7-3.8)."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import theorem_1_1_message_bits
+from repro.core.validate import validate_oldc
+from repro.algorithms.oldc_main import _bucket_lists, _pow2_ceil, _pow2_floor, solve_oldc_main
+
+from .test_oldc_basic import make_oldc_instance
+
+
+class TestHelpers:
+    def test_pow2_floor(self):
+        assert _pow2_floor(1) == 1
+        assert _pow2_floor(7) == 4
+        assert _pow2_floor(8) == 8
+
+    def test_pow2_ceil(self):
+        assert _pow2_ceil(1) == 1
+        assert _pow2_ceil(5) == 8
+        assert _pow2_ceil(8) == 8
+
+    def test_bucket_lists_groups_by_defect(self):
+        _g, inst, _init = make_oldc_instance(n=20, seed=31)
+        v = next(iter(inst.graph.nodes))
+        buckets, common = _bucket_lists(inst, v, h=8)
+        assert set(x for cols in buckets.values() for x in cols) == set(inst.lists[v])
+        for mu, cols in buckets.items():
+            assert mu in common
+            # common defect is the min rounded defect of the bucket
+            assert all(common[mu] <= inst.defects[v][x] for x in cols)
+
+
+class TestSolveMain:
+    def test_valid_on_random_digraph(self):
+        _g, inst, init = make_oldc_instance(seed=11)
+        res, metrics, report = solve_oldc_main(inst, init)
+        validate_oldc(inst, res).raise_if_invalid()
+        assert report.guarantee_met
+
+    def test_rounds_o_log_beta(self):
+        _g, inst, init = make_oldc_instance(seed=13)
+        _res, metrics, report = solve_oldc_main(inst, init)
+        beta = inst.max_outdegree
+        # aux run (O(h') rounds) + main run (3h + O(1)); h = O(log beta)
+        assert metrics.rounds <= 12 * max(1, beta).bit_length() + 16
+
+    def test_message_bits_within_formula(self):
+        _g, inst, init = make_oldc_instance(seed=17)
+        _res, metrics, _report = solve_oldc_main(inst, init)
+        bound = theorem_1_1_message_bits(
+            inst.space.size, inst.max_list_size, inst.max_outdegree, inst.n
+        )
+        assert metrics.max_message_bits <= 4 * bound + 64
+
+    def test_requires_directed(self):
+        from repro.core import ColorSpace
+        from repro.core.instance import uniform_instance
+        from repro.graphs import ring
+
+        inst = uniform_instance(ring(5), ColorSpace(3), range(3), 0)
+        with pytest.raises(ValueError):
+            solve_oldc_main(inst, {v: v for v in range(5)})
+
+    def test_deterministic(self):
+        _g, inst, init = make_oldc_instance(seed=19)
+        a = solve_oldc_main(inst, init)[0].assignment
+        b = solve_oldc_main(inst, init)[0].assignment
+        assert a == b
+
+    def test_report_classes_assigned(self):
+        _g, inst, init = make_oldc_instance(seed=23)
+        _res, _metrics, report = solve_oldc_main(inst, init)
+        assert set(report.class_of) == set(inst.graph.nodes)
+        assert all(1 <= i <= report.h for i in report.class_of.values())
+
+    def test_zero_defect_instance_case_ii(self):
+        # a uniform zero-defect instance puts every node in Case II
+        import random
+
+        from repro.core import ColorSpace, ListDefectiveInstance
+        from repro.graphs import gnp, random_low_outdegree_digraph
+        from repro.algorithms.linial import run_linial
+
+        g = gnp(40, 0.15, seed=41)
+        dg = random_low_outdegree_digraph(g, seed=42)
+        beta = max(max(1, dg.out_degree(v)) for v in dg.nodes)
+        size = 40 * beta * beta + 64
+        rng = random.Random(43)
+        space = ColorSpace(size)
+        lists = {
+            v: tuple(sorted(rng.sample(range(size), 30 * beta * beta)))
+            for v in dg.nodes
+        }
+        defects = {v: {x: 0 for x in lists[v]} for v in dg.nodes}
+        inst = ListDefectiveInstance(dg, space, lists, defects)
+        pre, _m, _p = run_linial(g)
+        res, _metrics, report = solve_oldc_main(inst, pre.assignment)
+        assert report.case_ii_nodes == inst.n
+        validate_oldc(inst, res).raise_if_invalid()
+
+    def test_empty_graph(self):
+        import networkx as nx
+
+        from repro.core import ColorSpace, ListDefectiveInstance
+
+        inst = ListDefectiveInstance(nx.DiGraph(), ColorSpace(4), {}, {})
+        res, metrics, _report = solve_oldc_main(inst, {})
+        assert res.assignment == {}
+        assert metrics.rounds == 0

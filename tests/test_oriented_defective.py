@@ -1,0 +1,72 @@
+"""Tests for the oriented defective coloring ([Kuh09] digraph variant)."""
+
+import networkx as nx
+import pytest
+
+from repro.core import ColorSpace, uniform_instance, validate_oldc
+from repro.graphs import gnp, random_low_outdegree_digraph, ring
+from repro.algorithms.oriented_defective import run_oriented_defective
+from repro.algorithms.linial import run_linial
+
+
+def validate_oriented(dg, result, defect):
+    """Check the out-defect bound directly."""
+    worst = 0
+    for v in dg.nodes:
+        same = sum(
+            1 for u in dg.successors(v) if result.assignment[u] == result.assignment[v]
+        )
+        worst = max(worst, same)
+    return worst <= defect, worst
+
+
+class TestOrientedDefective:
+    def digraph(self, n=400, p=0.05, seed=31):
+        g = gnp(n, p, seed=seed)
+        return random_low_outdegree_digraph(g, seed=seed + 1)
+
+    def test_proper_oriented(self):
+        dg = self.digraph()
+        res, metrics, palette = run_oriented_defective(dg, defect=0)
+        ok, worst = validate_oriented(dg, res, 0)
+        assert ok, f"worst out-defect {worst}"
+
+    @pytest.mark.parametrize("d", [1, 2, 4])
+    def test_defective_oriented(self, d):
+        dg = self.digraph()
+        res, _m, palette = run_oriented_defective(dg, defect=d)
+        ok, worst = validate_oriented(dg, res, d)
+        assert ok, f"worst out-defect {worst} > {d}"
+
+    def test_palette_beats_undirected_linial(self):
+        # beta ~ Delta/2 on balanced orientations: the oriented palette is
+        # strictly smaller than the undirected O(Delta^2) one
+        g = gnp(4000, 0.004, seed=33)
+        dg = random_low_outdegree_digraph(g, seed=34)
+        _res_u, _m_u, pal_u = run_linial(g)
+        _res_o, _m_o, pal_o = run_oriented_defective(dg, defect=0)
+        assert pal_o <= pal_u
+
+    def test_oldc_validator_agrees(self):
+        dg = self.digraph(n=120, p=0.1, seed=35)
+        res, _m, palette = run_oriented_defective(dg, defect=1)
+        space = ColorSpace(max(palette, max(res.assignment.values()) + 1))
+        inst = uniform_instance(
+            nx.DiGraph(dg), space, range(space.size), 1
+        )
+        validate_oldc(inst, res).raise_if_invalid()
+
+    def test_requires_digraph(self):
+        with pytest.raises(ValueError):
+            run_oriented_defective(ring(5))
+
+    def test_negative_defect_rejected(self):
+        dg = nx.DiGraph([(0, 1)])
+        with pytest.raises(ValueError):
+            run_oriented_defective(dg, defect=-1)
+
+    def test_sink_only_graph_trivial(self):
+        dg = nx.DiGraph()
+        dg.add_nodes_from(range(4))
+        res, metrics, _p = run_oriented_defective(dg)
+        assert set(res.assignment) == set(range(4))

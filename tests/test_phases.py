@@ -1,0 +1,50 @@
+"""Tests for the phase-attribution log."""
+
+from repro.core import degree_plus_one_instance
+from repro.graphs import random_regular
+from repro.sim import PhaseLog, RunMetrics
+from repro.algorithms import solve_list_arbdefective
+
+
+class TestPhaseLogUnit:
+    def test_add_and_aggregate(self):
+        log = PhaseLog()
+        m1 = RunMetrics()
+        m1.observe_uniform_round(4, 8)
+        log.add("a", m1)
+        log.add("a", m1)
+        log.add_raw("b", 1, 2, 6)
+        agg = log.by_label()
+        assert agg["a"].rounds == 2
+        assert agg["a"].bits == 64
+        assert agg["b"].messages == 2
+        assert log.total_rounds == 3
+
+    def test_dominant_phase(self):
+        log = PhaseLog()
+        log.add_raw("x", 5, 0, 0)
+        log.add_raw("y", 9, 0, 0)
+        assert log.dominant_phase() == "y"
+        assert PhaseLog().dominant_phase() is None
+
+    def test_render(self):
+        log = PhaseLog()
+        log.add_raw("x", 5, 1, 10)
+        out = log.render()
+        assert "x" in out and "rounds" in out
+
+
+class TestPhaseLogIntegration:
+    def test_thm13_breakdown_accounts_for_every_round(self):
+        g = random_regular(96, 16, seed=3)
+        inst = degree_plus_one_instance(g)
+        _res, metrics, rep = solve_list_arbdefective(inst)
+        assert rep.phases.total_rounds == metrics.rounds
+        labels = set(rep.phases.by_label())
+        assert {"linial", "arbdefective-decomposition", "inner-oldc"} <= labels
+
+    def test_bits_breakdown_sums(self):
+        g = random_regular(64, 8, seed=4)
+        inst = degree_plus_one_instance(g)
+        _res, metrics, rep = solve_list_arbdefective(inst)
+        assert sum(e.bits for e in rep.phases.entries) == metrics.total_bits

@@ -1,0 +1,198 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Metamorphic and invariance properties that no single-module unit test
+covers: relabeling-equivariance of distributed algorithms, monotonicity of
+solvability in list size, conservation laws of the simulator, and
+structural invariants of the decompositions.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import ColorSpace
+from repro.core.coloring import ColoringResult
+from repro.core.instance import (
+    ListDefectiveInstance,
+    degree_plus_one_instance,
+    uniform_instance,
+)
+from repro.core.validate import (
+    validate_arbdefective,
+    validate_ldc,
+    validate_proper_coloring,
+)
+from repro.graphs import balanced_orientation, gnp, random_regular
+from repro.algorithms import (
+    arbdefective_coloring,
+    greedy_list_coloring,
+    run_linial,
+    solve_ldc_potential,
+    solve_list_arbdefective,
+)
+from repro.sim import Message, SyncNetwork
+from repro.sim.node import DistributedAlgorithm
+
+
+graphs = st.builds(
+    lambda n, seed: gnp(n, 0.3, seed=seed),
+    st.integers(6, 24),
+    st.integers(0, 10_000),
+)
+
+
+class TestRelabelingEquivariance:
+    """Shifting all node ids must shift the solution identically for
+    algorithms whose only symmetry-breaker is the id/init-coloring."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(graphs, st.integers(1, 50))
+    def test_linial_equivariant_under_id_shift(self, g, shift):
+        res1, _m1, _p1 = run_linial(g)
+        shifted = nx.relabel_nodes(g, {v: v + shift for v in g.nodes})
+        res2, _m2, _p2 = run_linial(shifted)
+        assert {v + shift: c for v, c in res1.assignment.items()} == res2.assignment
+
+
+class TestListMonotonicity:
+    """Adding colors (with any defects) to lists never breaks solvability
+    of the sequential constructions."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(0, 2))
+    def test_potential_descent_monotone(self, seed, extra_defect):
+        rng = random.Random(seed)
+        g = gnp(12, 0.4, seed=seed)
+        delta = max((d for _, d in g.degree), default=0)
+        space = ColorSpace(4 * (delta + 2))
+        base = uniform_instance(g, space, range(delta + 1), 0)
+        res = solve_ldc_potential(base)
+        assert validate_ldc(base, res).ok
+        # extend every list by one more color
+        bigger = ListDefectiveInstance(
+            g,
+            space,
+            {v: tuple(list(base.lists[v]) + [delta + 1]) for v in g.nodes},
+            {
+                v: {**base.defects[v], delta + 1: extra_defect}
+                for v in g.nodes
+            },
+        )
+        res2 = solve_ldc_potential(bigger)
+        assert validate_ldc(bigger, res2).ok
+
+
+class TestSimulatorConservation:
+    """Messages sent == messages received; bits conserved; no message
+    crosses a round boundary."""
+
+    class Counter(DistributedAlgorithm):
+        def init_state(self, view):
+            return {"recv": 0, "sent": 0, "round": 0}
+
+        def send(self, view, state, rnd):
+            if state["round"] >= 3:
+                return {}
+            state["sent"] += len(view.neighbors)
+            return {u: Message(rnd, bits=4) for u in view.neighbors}
+
+        def receive(self, view, state, rnd, inbox):
+            # every message delivered this round must carry this round's tag
+            assert all(m.payload == rnd for m in inbox.values())
+            state["recv"] += len(inbox)
+            state["round"] += 1
+
+        def is_done(self, view, state):
+            return state["round"] >= 3
+
+        def output(self, view, state):
+            return (state["sent"], state["recv"])
+
+    @settings(max_examples=15, deadline=None)
+    @given(graphs)
+    def test_conservation(self, g):
+        outputs, metrics = SyncNetwork(g).run(self.Counter())
+        total_sent = sum(s for s, _r in outputs.values())
+        total_recv = sum(r for _s, r in outputs.values())
+        assert total_sent == total_recv == metrics.total_messages
+        assert metrics.total_bits == 4 * metrics.total_messages
+        assert metrics.rounds == 3
+
+
+class TestDecompositionInvariants:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.data_too_large],
+    )
+    @given(st.integers(0, 10_000))
+    def test_arbdefective_class_count(self, seed):
+        g = gnp(20, 0.35, seed=seed)
+        delta = max((d for _, d in g.degree), default=0)
+        if delta == 0:
+            return
+        res, _m, q = arbdefective_coloring(g, 1, mode="tight")
+        assert res.num_colors() <= q
+        assert set(res.assignment.values()) <= set(range(q))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_balanced_orientation_total_degree(self, seed):
+        g = gnp(18, 0.4, seed=seed)
+        ori = balanced_orientation(g)
+        # every edge oriented exactly once: out-degrees sum to |E|
+        assert sum(ori.out_degree(v) for v in g.nodes) == g.number_of_edges()
+
+
+class TestEndToEndRandomized:
+    """Theorem 1.3 must produce valid colorings on arbitrary random
+    (degree+1) list instances — the repository's central contract."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(10, 28))
+    def test_thm13_degree_plus_one(self, seed, n):
+        g = gnp(n, 0.3, seed=seed)
+        rng = random.Random(seed + 1)
+        delta = max((d for _, d in g.degree), default=0)
+        space = ColorSpace(max(2 * (delta + 1), 4))
+        inst = degree_plus_one_instance(g, space, rng)
+        res, _m, _rep = solve_list_arbdefective(inst)
+        validate_ldc(inst, res).raise_if_invalid()
+        validate_arbdefective(inst, res).raise_if_invalid()
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_greedy_and_distributed_agree(self, seed):
+        g = gnp(16, 0.35, seed=seed)
+        inst = degree_plus_one_instance(g)
+        seq = greedy_list_coloring(inst)
+        dist, _m, _rep = solve_list_arbdefective(inst)
+        assert validate_ldc(inst, seq).ok
+        assert validate_ldc(inst, dist).ok
+
+
+class TestValidatorMetamorphic:
+    """A proper coloring stays proper under any injective recoloring."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(graphs, st.integers(1, 99))
+    def test_injective_recolor_preserves_properness(self, g, mult):
+        res, _m, _p = run_linial(g)
+        assert validate_proper_coloring(g, res).ok
+        remapped = ColoringResult(
+            {v: c * mult + 1 for v, c in res.assignment.items()}
+        )
+        assert validate_proper_coloring(g, remapped).ok
+
+    @settings(max_examples=15, deadline=None)
+    @given(graphs)
+    def test_merging_two_colors_breaks_properness_when_adjacent(self, g):
+        if g.number_of_edges() == 0:
+            return
+        res, _m, _p = run_linial(g)
+        u, v = next(iter(g.edges))
+        merged = dict(res.assignment)
+        merged[u] = merged[v]
+        assert not validate_proper_coloring(g, ColoringResult(merged)).ok

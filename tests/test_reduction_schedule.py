@@ -1,0 +1,78 @@
+"""Tests for the schedule-based color reduction and classic pipeline."""
+
+import pytest
+
+from repro.core import ColorSpace
+from repro.core.instance import degree_plus_one_instance, uniform_instance
+from repro.core.validate import validate_ldc, validate_proper_coloring
+from repro.graphs import clique, gnp, ring, star
+from repro.algorithms.linial import run_linial
+from repro.algorithms.reduction import (
+    classic_delta_plus_one,
+    reduce_to_list_coloring,
+)
+
+
+class TestScheduleReduction:
+    def test_ring_reduces_to_three_colors(self):
+        g = ring(9)
+        inst = degree_plus_one_instance(g)
+        pre, _m, _p = run_linial(g)
+        res, metrics = reduce_to_list_coloring(inst, pre.assignment)
+        assert validate_ldc(inst, res).ok
+        assert res.num_colors() <= 3
+
+    def test_rounds_bounded_by_classes(self):
+        g = ring(9)
+        inst = degree_plus_one_instance(g)
+        pre, _m, _p = run_linial(g)
+        _res, metrics = reduce_to_list_coloring(inst, pre.assignment)
+        assert metrics.rounds <= max(pre.assignment.values()) + 3
+
+    def test_improper_schedule_rejected(self):
+        g = ring(4)
+        inst = degree_plus_one_instance(g)
+        with pytest.raises(ValueError):
+            reduce_to_list_coloring(inst, {v: 0 for v in g.nodes})
+
+    def test_small_lists_rejected(self):
+        g = clique(4)
+        inst = uniform_instance(g, ColorSpace(2), range(2), 0)
+        with pytest.raises(ValueError):
+            reduce_to_list_coloring(inst, {v: v for v in g.nodes})
+
+    def test_directed_rejected(self):
+        g = ring(4)
+        inst = degree_plus_one_instance(g).to_oriented()
+        with pytest.raises(ValueError):
+            reduce_to_list_coloring(inst, {v: v for v in range(4)})
+
+    def test_arbitrary_lists(self):
+        import random
+
+        g = gnp(25, 0.3, seed=2)
+        delta = max(d for _, d in g.degree)
+        inst = degree_plus_one_instance(
+            g, ColorSpace(5 * (delta + 1)), random.Random(0)
+        )
+        pre, _m, _p = run_linial(g)
+        res, _metrics = reduce_to_list_coloring(inst, pre.assignment)
+        assert validate_ldc(inst, res).ok
+
+
+class TestClassicPipeline:
+    @pytest.mark.parametrize(
+        "g", [ring(30), clique(7), star(10), gnp(40, 0.2, seed=9)],
+        ids=["ring", "clique", "star", "gnp"],
+    )
+    def test_delta_plus_one_on_families(self, g):
+        res, metrics = classic_delta_plus_one(g)
+        validate_proper_coloring(g, res).raise_if_invalid()
+        delta = max(d for _, d in g.degree)
+        assert res.num_colors() <= delta + 1
+
+    def test_congest_messages(self):
+        g = gnp(60, 0.15, seed=11)
+        _res, metrics = classic_delta_plus_one(g)
+        assert metrics.bandwidth_limit is not None
+        assert metrics.bandwidth_violations == 0

@@ -1,0 +1,65 @@
+"""Tests for the regime map (repro.analysis.regimes)."""
+
+import math
+
+import pytest
+
+from repro.analysis.regimes import (
+    cell,
+    gap_interval,
+    map_grid,
+    thm14_wins_somewhere_in_gap,
+    winner,
+)
+
+
+class TestCells:
+    def test_small_delta_fhk_wins(self):
+        # Delta well below log n: the big messages fit, FHK's sqrt wins
+        assert winner(8, 2**20) == "FHK"
+
+    def test_gap_thm14_wins(self):
+        # Delta between log n and log^2 n
+        n = 2**16  # log n = 16, log^2 n = 256
+        assert winner(64, n) == "Thm1.4"
+
+    def test_large_delta_gk21_wins(self):
+        n = 2**10  # log^2 n = 100 << Delta
+        assert winner(4096, n) == "GK21"
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            cell(0, 100)
+        with pytest.raises(ValueError):
+            cell(4, 1)
+
+
+class TestGap:
+    def test_interval_values(self):
+        lo, hi = gap_interval(2**16)
+        assert lo == pytest.approx(16.0)
+        assert hi == pytest.approx(256.0)
+
+    def test_thm14_wins_in_gap_for_large_n(self):
+        for n in (2**14, 2**18, 2**24):
+            assert thm14_wins_somewhere_in_gap(n)
+
+    def test_monotone_structure_along_delta(self):
+        """Sweeping Delta upward at fixed n, the winner sequence is
+        FHK* -> Thm1.4* -> GK21* (each regime an interval)."""
+        n = 2**18
+        seq = [winner(d, n) for d in (4, 8, 16, 64, 256, 1024, 8192, 2**15)]
+        # strip consecutive duplicates
+        compact = [seq[0]] + [b for a, b in zip(seq, seq[1:]) if b != a]
+        assert compact in (
+            ["FHK", "Thm1.4", "GK21"],
+            ["FHK", "Thm1.4"],
+            ["Thm1.4", "GK21"],
+        ), compact
+
+
+class TestGrid:
+    def test_grid_shape(self):
+        grid = map_grid([8, 64], [2**10, 2**20])
+        assert len(grid) == 4
+        assert all(c.winner in ("FHK", "GK21", "Thm1.4") for c in grid.values())

@@ -1,0 +1,61 @@
+"""Tests for the algorithm registry and its CLI integration."""
+
+import pytest
+
+from repro.core import validate_proper_coloring
+from repro.graphs import gnp, random_regular
+from repro.algorithms.registry import REGISTRY, algorithm_names, get, run
+
+
+class TestRegistry:
+    def test_names_sorted(self):
+        names = algorithm_names()
+        assert names == sorted(names)
+        assert "thm14" in names and "classic" in names
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get("quantum")
+
+    @pytest.mark.parametrize("name", algorithm_names())
+    def test_every_entry_runs_and_is_proper(self, name):
+        g = random_regular(24, 4, seed=601)
+        res, metrics = run(name, g)
+        validate_proper_coloring(g, res).raise_if_invalid()
+        assert metrics.rounds >= 0
+
+    @pytest.mark.parametrize("name", algorithm_names())
+    def test_palette_guarantee_honored(self, name):
+        g = gnp(30, 0.25, seed=602)
+        delta = max(d for _, d in g.degree)
+        res, _m = run(name, g)
+        info = get(name)
+        bound = delta + 1 if info.palette == "Delta+1" else 2 * delta + 1
+        assert res.num_colors() <= bound
+
+    def test_deterministic_flags_accurate(self):
+        g = gnp(24, 0.3, seed=603)
+        for name in algorithm_names():
+            info = get(name)
+            if info.deterministic:
+                a = run(name, g)[0].assignment
+                b = run(name, g)[0].assignment
+                assert a == b, f"{name} flagged deterministic but differs"
+
+
+class TestCLIAlgorithmFlag:
+    @pytest.mark.parametrize("name", ["thm14", "classic", "bar16", "linear"])
+    def test_color_with_algorithm(self, name, capsys):
+        from repro.cli import main
+
+        rc = main(["color", "--family", "ring", "--n", "10", "--algorithm", name])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"algorithm={name}" in out
+        assert "valid=True" in out
+
+    def test_invalid_algorithm_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["color", "--family", "ring", "--n", "10", "--algorithm", "nope"])

@@ -1,0 +1,129 @@
+"""Tests for the domain scenarios (repro.scenarios)."""
+
+import pytest
+
+from repro.graphs import gnp, hub_and_fringe, torus
+from repro.scenarios import FrequencyConfig, TDMAConfig
+from repro.scenarios.frequency import plan
+from repro.scenarios.tdma import build_instance as tdma_instance, schedule
+
+
+class TestTDMA:
+    def test_torus_schedule_valid(self):
+        result = schedule(torus(6, 6), TDMAConfig(seed=5))
+        assert result.valid
+        assert result.max_interferers <= 1
+        assert result.slots_used >= 3  # 4-regular torus needs >= 3 slots
+
+    def test_capture_disabled_means_zero_interferers(self):
+        cfg = TDMAConfig(capture_every=0, seed=6)
+        result = schedule(torus(5, 5), cfg)
+        assert result.valid
+        assert result.max_interferers == 0
+
+    def test_busiest_slot_consistent(self):
+        result = schedule(torus(5, 5), TDMAConfig(seed=7))
+        slot, count = result.busiest_slot
+        assert len(result.radios_in_slot(slot)) == count
+        assert count >= 1
+
+    def test_frame_too_short_rejected(self):
+        cfg = TDMAConfig(frame_slots=4, seed=8)
+        with pytest.raises(ValueError):
+            schedule(torus(5, 5), cfg)
+
+    def test_instance_defect_pattern(self):
+        cfg = TDMAConfig(capture_every=3, capture_defect=2, seed=9)
+        inst = tdma_instance(torus(4, 4), cfg)
+        for v in inst.graph.nodes:
+            for s, d in inst.defects[v].items():
+                assert d == (2 if s % 3 == 0 else 0)
+
+    def test_deterministic(self):
+        a = schedule(torus(5, 5), TDMAConfig(seed=10)).slots
+        b = schedule(torus(5, 5), TDMAConfig(seed=10)).slots
+        assert a == b
+
+
+class TestFrequency:
+    def topo(self):
+        return hub_and_fringe(hub_degree=12, fringe_cliques=4, clique_size=4)
+
+    def test_distributed_plan_valid(self):
+        result = plan(self.topo(), hubs={0}, config=FrequencyConfig(seed=11))
+        assert result.valid
+        assert result.hub_co_channel <= FrequencyConfig().hub_defect
+
+    def test_sequential_plan_valid(self):
+        result = plan(
+            self.topo(), hubs={0}, config=FrequencyConfig(seed=12), sequential=True
+        )
+        assert result.valid
+        assert result.metrics.rounds == 0  # sequential: no communication
+
+    def test_audit_reports_conditions(self):
+        result = plan(self.topo(), hubs={0}, config=FrequencyConfig(seed=13))
+        assert result.audit.eq1_ldc_exists
+        assert result.audit.eq2_arbdefective_exists
+
+    def test_hub_budget_scales_with_degree(self):
+        # a hub of degree 30 with defect 5 needs at least 5 channels
+        from repro.scenarios.frequency import build_instance
+
+        g = hub_and_fringe(hub_degree=30, fringe_cliques=10, clique_size=3)
+        inst = build_instance(g, {0}, FrequencyConfig(seed=14))
+        assert len(inst.lists[0]) >= -(-31 // 6)
+
+    def test_no_hubs_degenerates_to_list_coloring(self):
+        g = gnp(20, 0.25, seed=15)
+        result = plan(g, hubs=set(), config=FrequencyConfig(seed=16))
+        assert result.valid
+
+
+class TestTimetable:
+    def enrollments(self, seed=21):
+        from repro.scenarios import random_enrollments
+
+        return random_enrollments(students=60, exams=15, per_student=3, seed=seed)
+
+    def test_conflict_graph_structure(self):
+        from repro.scenarios import conflict_graph
+
+        enr = {0: [1, 2], 1: [2, 3], 2: [4]}
+        g = conflict_graph(enr)
+        assert g.has_edge(1, 2) and g.has_edge(2, 3)
+        assert not g.has_edge(1, 3)
+        assert 4 in g.nodes and g.degree(4) == 0
+
+    def test_schedule_valid(self):
+        from repro.scenarios import TimetableConfig, timetable
+
+        tt = timetable(self.enrollments(), TimetableConfig(slots=24, seed=22))
+        assert tt.valid
+        assert tt.max_clashes <= 1
+        assert sum(tt.per_slot_load.values()) == len(tt.slot_of)
+
+    def test_big_exams_get_zero_defect(self):
+        from repro.scenarios import TimetableConfig, conflict_graph
+        from repro.scenarios.timetable import build_instance
+
+        g = conflict_graph(self.enrollments())
+        inst = build_instance(g, TimetableConfig(slots=24, seed=23))
+        degrees = sorted(d for _, d in g.degree)
+        cutoff = degrees[int(0.8 * len(degrees))]
+        for exam in g.nodes:
+            expected = 0 if g.degree(exam) >= cutoff else 1
+            assert all(d == expected for d in inst.defects[exam].values())
+
+    def test_too_few_slots_rejected(self):
+        from repro.scenarios import TimetableConfig, timetable
+
+        with pytest.raises(ValueError):
+            timetable(self.enrollments(), TimetableConfig(slots=3, seed=24))
+
+    def test_enrollments_deterministic(self):
+        from repro.scenarios import random_enrollments
+
+        a = random_enrollments(20, 8, 3, seed=5)
+        b = random_enrollments(20, 8, 3, seed=5)
+        assert a == b

@@ -1,0 +1,66 @@
+"""Tests for the selftest pass and the report writers."""
+
+import pytest
+
+from repro.selftest import selftest
+from repro.analysis.report import (
+    render_markdown,
+    render_text,
+    write_markdown_report,
+    write_text_report,
+)
+from repro.experiments.harness import ExperimentResult
+
+
+def fake_results():
+    return [
+        ExperimentResult(
+            experiment="E99 fake",
+            kind="table",
+            paper_claim="claim",
+            body="col\n---\n1",
+            findings="finding text",
+            checks={"a": True},
+        ),
+        ExperimentResult(
+            experiment="E98 broken",
+            kind="figure",
+            paper_claim="claim2",
+            body="body2",
+            findings="finding2",
+            checks={"b": False},
+        ),
+    ]
+
+
+class TestSelftest:
+    def test_clean_repository_passes(self):
+        assert selftest() == []
+
+
+class TestReportWriters:
+    def test_markdown_structure(self):
+        md = render_markdown(fake_results())
+        assert "# Experiment record" in md
+        assert "| E99 fake | table | PASS |" in md
+        assert "| E98 broken | figure | FAIL |" in md
+        assert "```text" in md
+        assert "failing: b" in md
+
+    def test_text_concatenates(self):
+        txt = render_text(fake_results())
+        assert "E99 fake" in txt and "E98 broken" in txt
+        assert "=" * 90 in txt
+
+    def test_file_writers(self, tmp_path):
+        write_markdown_report(fake_results(), tmp_path / "r.md")
+        write_text_report(fake_results(), tmp_path / "r.txt")
+        assert (tmp_path / "r.md").read_text().startswith("# Experiment record")
+        assert "paper claim" in (tmp_path / "r.txt").read_text()
+
+    def test_cli_selftest(self, capsys):
+        from repro.cli import main
+
+        rc = main(["selftest"])
+        assert rc == 0
+        assert "all checks passed" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Tests for the shape-statistics utilities."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.shape import (
+    PowerLawFit,
+    crossover,
+    exponent_spread,
+    extrapolated_crossover,
+    fit_power_law,
+)
+
+
+class TestPowerLawFit:
+    def test_exact_quadratic(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        fit = fit_power_law(xs, [3 * x**2 for x in xs])
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.prefactor == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = PowerLawFit(0.5, 2.0, 1.0)
+        assert fit.predict(16.0) == pytest.approx(8.0)
+
+    def test_noisy_r2_below_one(self):
+        xs = [1.0, 2.0, 4.0, 8.0, 16.0]
+        ys = [1.0, 4.5, 15.0, 70.0, 250.0]
+        fit = fit_power_law(xs, ys)
+        assert 0.9 < fit.r_squared < 1.0
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+
+    @given(
+        st.floats(0.2, 3.0),
+        st.floats(0.5, 10.0),
+    )
+    def test_roundtrip(self, exponent, prefactor):
+        xs = [1.0, 2.0, 5.0, 11.0, 23.0]
+        ys = [prefactor * x**exponent for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(exponent, rel=1e-6)
+
+
+class TestExponentSpread:
+    def test_clean_data_tight_spread(self):
+        xs = [1.0, 2.0, 4.0, 8.0, 16.0]
+        ys = [x**1.5 for x in xs]
+        lo, hi = exponent_spread(xs, ys)
+        assert lo == pytest.approx(1.5)
+        assert hi == pytest.approx(1.5)
+
+    def test_outlier_widens_spread(self):
+        xs = [1.0, 2.0, 4.0, 8.0, 16.0]
+        ys = [x**1.5 for x in xs]
+        ys[-1] *= 10
+        lo, hi = exponent_spread(xs, ys)
+        assert hi - lo > 0.2
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            exponent_spread([1.0, 2.0], [1.0, 2.0])
+
+
+class TestCrossover:
+    def test_simple_crossing(self):
+        xs = [1.0, 2.0, 3.0]
+        a = [10.0, 5.0, 1.0]
+        b = [3.0, 3.0, 3.0]
+        x = crossover(xs, a, b)
+        assert 2.0 < x < 3.0
+
+    def test_no_crossing(self):
+        xs = [1.0, 2.0]
+        assert crossover(xs, [5.0, 6.0], [1.0, 1.0]) is None
+
+    def test_trivial_crossing_at_start(self):
+        xs = [1.0, 2.0]
+        assert crossover(xs, [1.0, 1.0], [5.0, 5.0]) == 1.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            crossover([1.0], [1.0, 2.0], [1.0])
+
+    def test_unsorted_xs(self):
+        with pytest.raises(ValueError):
+            crossover([2.0, 1.0], [1.0, 2.0], [1.0, 2.0])
+
+    def test_exact_hit(self):
+        xs = [1.0, 2.0, 3.0]
+        assert crossover(xs, [3.0, 2.0, 1.0], [3.0, 2.0, 1.0]) == 1.0
+
+
+class TestExtrapolatedCrossover:
+    def test_sqrt_vs_linear(self):
+        # 10*sqrt(x) overtakes x at x = 100
+        sqrt_fit = PowerLawFit(0.5, 10.0, 1.0)
+        lin_fit = PowerLawFit(1.0, 1.0, 1.0)
+        x = extrapolated_crossover(sqrt_fit, lin_fit)
+        assert x == pytest.approx(100.0)
+
+    def test_parallel_none(self):
+        a = PowerLawFit(1.0, 2.0, 1.0)
+        b = PowerLawFit(1.0, 3.0, 1.0)
+        assert extrapolated_crossover(a, b) is None
+
+    def test_paper_prediction_sanity(self):
+        """The Thm 1.3 vs [BEG18] crossover from measured E08-like fits
+        lies far beyond the sweep — the paper's polylog story."""
+        thm = PowerLawFit(0.95, 20.0, 1.0)  # ~measured
+        beg = PowerLawFit(1.0, 0.6, 1.0)  # Delta/2 + log*
+        x = extrapolated_crossover(thm, beg)
+        assert x is not None and x > 10**6

@@ -1,0 +1,243 @@
+"""Unit tests for the synchronous simulator (messages, metrics, network)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graphs import path, ring
+from repro.sim import (
+    DistributedAlgorithm,
+    HaltingError,
+    Message,
+    SyncNetwork,
+    color_list_bits,
+    congest_bandwidth,
+    estimate_bits,
+    index_bits,
+    int_bits,
+)
+from repro.sim.metrics import RunMetrics
+
+
+class TestMessageBits:
+    def test_int_bits(self):
+        assert int_bits(0) == 1
+        assert int_bits(1) == 1
+        assert int_bits(255) == 8
+        with pytest.raises(ValueError):
+            int_bits(-1)
+
+    def test_index_bits(self):
+        assert index_bits(1) == 1
+        assert index_bits(2) == 1
+        assert index_bits(1024) == 10
+        with pytest.raises(ValueError):
+            index_bits(0)
+
+    def test_color_list_bits_takes_min(self):
+        # small space: characteristic vector wins
+        assert color_list_bits(10, 16) == 16
+        # big space: explicit colors win
+        assert color_list_bits(3, 2**20) == 60
+
+    def test_estimate_bits_structures(self):
+        assert estimate_bits(None) == 1
+        assert estimate_bits(True) == 1
+        assert estimate_bits(0.5) == 64
+        assert estimate_bits("ab") == 16
+        assert estimate_bits([1, 2]) > estimate_bits([1])
+        assert estimate_bits({1: 2}) >= estimate_bits(1) + estimate_bits(2)
+        with pytest.raises(TypeError):
+            estimate_bits(object())
+
+    def test_declared_bits_win(self):
+        assert Message("x" * 100, bits=7).size_bits() == 7
+        with pytest.raises(ValueError):
+            Message(0, bits=0).size_bits()
+
+    @given(st.integers(0, 10**9))
+    def test_int_bits_sufficient(self, x):
+        assert 2 ** int_bits(x) > x or x <= 1
+
+
+class TestMetrics:
+    def test_observe_round(self):
+        m = RunMetrics(bandwidth_limit=8)
+        m.observe_round([4, 10, 2])
+        assert m.rounds == 1
+        assert m.total_messages == 3
+        assert m.total_bits == 16
+        assert m.max_message_bits == 10
+        assert m.bandwidth_violations == 1
+        assert not m.congest_compliant
+
+    def test_merge_sequential(self):
+        a = RunMetrics(bandwidth_limit=100)
+        a.observe_round([5])
+        b = RunMetrics(bandwidth_limit=100)
+        b.observe_round([7])
+        b.observe_round([3])
+        c = a.merge_sequential(b)
+        assert c.rounds == 3
+        assert c.total_bits == 15
+        assert c.max_message_bits == 7
+        assert c.congest_compliant
+
+    def test_congest_bandwidth_scales(self):
+        assert congest_bandwidth(2) == 32
+        assert congest_bandwidth(1024) == 32 * 10
+        assert congest_bandwidth(1, factor=5) == 5
+
+    def test_summary_keys(self):
+        m = RunMetrics()
+        s = m.summary()
+        assert set(s) >= {"rounds", "total_bits", "max_message_bits"}
+
+
+class EchoOnce(DistributedAlgorithm):
+    """Each node sends its id once; halts after hearing all neighbors."""
+
+    def init_state(self, view):
+        return {"heard": {}, "sent": False}
+
+    def send(self, view, state, rnd):
+        if not state["sent"]:
+            state["sent"] = True
+            return {u: Message(view.id, bits=8) for u in view.neighbors}
+        return {}
+
+    def receive(self, view, state, rnd, inbox):
+        for u, m in inbox.items():
+            state["heard"][u] = m.payload
+
+    def is_done(self, view, state):
+        return len(state["heard"]) == len(view.neighbors)
+
+    def output(self, view, state):
+        return dict(state["heard"])
+
+
+class TestNetwork:
+    def test_echo_delivers_everything(self):
+        g = ring(6)
+        net = SyncNetwork(g)
+        outputs, metrics = net.run(EchoOnce())
+        assert metrics.rounds == 1
+        assert metrics.total_messages == 12
+        for v in g.nodes:
+            assert outputs[v] == {u: u for u in g.neighbors(v)}
+
+    def test_congest_budget_recorded(self):
+        net = SyncNetwork(ring(6), model="CONGEST", bandwidth=4)
+        _out, metrics = net.run(EchoOnce())
+        assert metrics.bandwidth_limit == 4
+        assert metrics.bandwidth_violations == 12
+
+    def test_local_has_no_budget(self):
+        net = SyncNetwork(ring(6), model="LOCAL")
+        _out, metrics = net.run(EchoOnce())
+        assert metrics.bandwidth_limit is None
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            SyncNetwork(ring(4), model="WEIRD")
+
+    def test_non_neighbor_send_rejected(self):
+        class Bad(DistributedAlgorithm):
+            def init_state(self, view):
+                return {"done": False}
+
+            def send(self, view, state, rnd):
+                return {(view.id + 3) % view.globals["n"]: Message(0)}
+
+            def is_done(self, view, state):
+                return state["done"]
+
+        with pytest.raises(ValueError):
+            SyncNetwork(ring(8)).run(Bad())
+
+    def test_non_message_rejected(self):
+        class Bad(DistributedAlgorithm):
+            def init_state(self, view):
+                return {}
+
+            def send(self, view, state, rnd):
+                return {view.neighbors[0]: 42}
+
+            def is_done(self, view, state):
+                return False
+
+        with pytest.raises(TypeError):
+            SyncNetwork(ring(4)).run(Bad())
+
+    def test_halting_error(self):
+        class Forever(DistributedAlgorithm):
+            def is_done(self, view, state):
+                return False
+
+        with pytest.raises(HaltingError):
+            SyncNetwork(path(3)).run(Forever(), max_rounds=5)
+
+    def test_directed_views(self):
+        import networkx as nx
+
+        dg = nx.DiGraph()
+        dg.add_edge(0, 1)
+
+        class Views(DistributedAlgorithm):
+            def init_state(self, view):
+                return {
+                    "out": view.out_neighbors,
+                    "in": view.in_neighbors,
+                    "n": view.neighbors,
+                }
+
+            def output(self, view, state):
+                return state
+
+        out, _m = SyncNetwork(dg).run(Views())
+        assert out[0]["out"] == (1,) and out[0]["in"] == ()
+        assert out[1]["out"] == () and out[1]["in"] == (0,)
+        assert out[0]["n"] == (1,) and out[1]["n"] == (0,)
+
+    def test_messages_flow_both_ways_on_directed_edges(self):
+        import networkx as nx
+
+        dg = nx.DiGraph()
+        dg.add_edge(0, 1)
+        out, _m = SyncNetwork(dg).run(EchoOnce())
+        assert out[0] == {1: 1}
+        assert out[1] == {0: 0}
+
+    def test_determinism(self):
+        g = ring(8)
+        o1, m1 = SyncNetwork(g).run(EchoOnce())
+        o2, m2 = SyncNetwork(g).run(EchoOnce())
+        assert o1 == o2
+        assert m1.summary() == m2.summary()
+
+    def test_run_phases_accumulates(self):
+        g = ring(5)
+        net = SyncNetwork(g)
+        outs, metrics = net.run_phases([(EchoOnce(), {}), (EchoOnce(), {})])
+        assert len(outs) == 2
+        assert metrics.rounds == 2
+
+    def test_round_hook_called(self):
+        seen = []
+        SyncNetwork(ring(4)).run(
+            EchoOnce(), round_hook=lambda rnd, states: seen.append(rnd)
+        )
+        assert seen == [0]
+
+    def test_inputs_and_shared_visible(self):
+        class Reader(DistributedAlgorithm):
+            def init_state(self, view):
+                return {"x": view.inputs["x"], "g": view.globals["k"]}
+
+            def output(self, view, state):
+                return (state["x"], state["g"])
+
+        out, _m = SyncNetwork(path(2)).run(
+            Reader(), inputs={0: {"x": 1}, 1: {"x": 2}}, shared={"k": 9}
+        )
+        assert out == {0: (1, 9), 1: (2, 9)}

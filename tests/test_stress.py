@@ -1,0 +1,98 @@
+"""Moderate stress tests: larger graphs, denser parameter grids.
+
+Bounded to keep the default suite fast (~30 s added), these catch
+problems that only appear past toy scale: deeper Theorem 1.3 recursions,
+multi-stage decline/sweep interactions, heavy-tailed degree mixes, and
+the vectorized engine at real sizes.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ColorSpace,
+    degree_plus_one_instance,
+    validate_arbdefective,
+    validate_ldc,
+    validate_proper_coloring,
+)
+from repro.core.instance import random_list_defective_instance
+from repro.graphs import blowup, gnp, hub_and_fringe, random_regular, ring
+from repro.algorithms import (
+    congest_delta_plus_one,
+    linear_in_delta_coloring,
+    solve_list_arbdefective,
+)
+
+
+class TestCongestAtScale:
+    def test_delta_48(self):
+        g = random_regular(288, 48, seed=501)
+        res, metrics, rep = congest_delta_plus_one(g)
+        assert rep.valid
+        assert res.num_colors() <= 49
+        assert metrics.compliant_with(288)
+
+    def test_heavy_tailed_degrees(self):
+        # hub degree 60 against degree-4 fringe nodes
+        g = hub_and_fringe(hub_degree=60, fringe_cliques=20, clique_size=4)
+        res, _m, rep = congest_delta_plus_one(g)
+        assert rep.valid
+        validate_proper_coloring(g, res).raise_if_invalid()
+
+    def test_blowup_structure(self):
+        g = blowup(ring(20), 5)  # 100 nodes, 10-regular, dense local cliques
+        res, _m, rep = congest_delta_plus_one(g)
+        assert rep.valid
+
+
+class TestThm13AtScale:
+    def test_mixed_defects_400_nodes(self):
+        g = gnp(400, 0.03, seed=503)
+        delta = max(d for _, d in g.degree)
+        inst = random_list_defective_instance(
+            g, ColorSpace(8 * delta + 32), delta + 1, 2, random.Random(504)
+        )
+        res, _m, rep = solve_list_arbdefective(inst)
+        validate_arbdefective(inst, res).raise_if_invalid()
+
+    def test_repeated_seeds_stable(self):
+        g = random_regular(120, 20, seed=505)
+        inst = degree_plus_one_instance(g)
+        outcomes = set()
+        for _ in range(3):
+            res, _m, _rep = solve_list_arbdefective(inst)
+            validate_ldc(inst, res).raise_if_invalid()
+            outcomes.add(tuple(sorted(res.assignment.items())))
+        assert len(outcomes) == 1  # deterministic across repetitions
+
+
+class TestLinearInDeltaAtScale:
+    def test_delta_40(self):
+        g = random_regular(240, 40, seed=507)
+        res, _m, rep = linear_in_delta_coloring(g)
+        validate_proper_coloring(g, res).raise_if_invalid()
+        assert res.num_colors() <= 41
+        assert rep.levels >= 2
+
+
+class TestVectorizedAtScale:
+    def test_quarter_million_ring(self):
+        from repro.sim.vectorized import linial_vectorized
+
+        g = ring(250_000)
+        res, metrics, palette = linial_vectorized(g)
+        assert metrics.rounds <= 3
+        assert palette <= 25
+        # properness spot check around the wrap-around seam
+        for v in list(range(12)) + list(range(249_990, 250_000)):
+            u = (v + 1) % 250_000
+            assert res.assignment[v] != res.assignment[u]
+
+    def test_regular_100k(self):
+        from repro.sim.vectorized import classic_delta_plus_one_vectorized
+
+        g = random_regular(100_000, 4, seed=509)
+        res, metrics = classic_delta_plus_one_vectorized(g)
+        assert res.num_colors() <= 5

@@ -1,0 +1,92 @@
+"""Tests for the sweep utility and the runnable-example deliverable.
+
+The example scripts are a stated deliverable; `TestExamplesRun` executes
+each one in a subprocess so a regression in any public API they touch
+fails the suite, not just a user's afternoon.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.sweeps import sweep
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+
+class TestSweep:
+    def test_collects_samples_per_seed(self):
+        result = sweep([1, 2, 4], lambda x, seed: x * 10 + seed, seeds=[0, 1])
+        assert result.complete()
+        assert result.points[0].samples == [10.0, 11.0]
+        assert result.points[2].mean == pytest.approx(40.5)
+        assert result.points[1].lo == 20.0 and result.points[1].hi == 21.0
+
+    def test_errors_captured_not_raised(self):
+        def flaky(x, seed):
+            if x == 2:
+                raise RuntimeError("boom")
+            return x
+
+        result = sweep([1, 2, 3], flaky)
+        assert not result.complete()
+        assert result.points[1].errors == ["RuntimeError: boom"]
+        assert result.points[0].ok and result.points[2].ok
+
+    def test_fit_through_means(self):
+        result = sweep([1, 2, 4, 8], lambda x, s: 3 * x**2)
+        fit = result.fit()
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.prefactor == pytest.approx(3.0)
+
+    def test_fit_skips_failed_points(self):
+        def partial(x, seed):
+            if x == 2:
+                raise ValueError("no")
+            return x**0.5
+
+        result = sweep([1, 2, 4, 16], partial)
+        fit = result.fit()
+        assert fit.exponent == pytest.approx(0.5, abs=0.01)
+
+    def test_real_pipeline_sweep(self):
+        from repro.algorithms import congest_delta_plus_one
+        from repro.graphs import random_regular
+
+        def rounds_at(delta, seed):
+            g = random_regular(max(6 * int(delta), 64), int(delta), seed=seed)
+            _res, metrics, _rep = congest_delta_plus_one(g)
+            return metrics.rounds
+
+        result = sweep([4, 8, 16], rounds_at, seeds=[71])
+        assert result.complete()
+        assert result.means() == sorted(result.means())  # rounds grow
+
+
+def _example_ids():
+    return [p.stem for p in EXAMPLES]
+
+
+class TestExamplesRun:
+    def test_all_examples_present(self):
+        assert len(EXAMPLES) >= 10
+
+    @pytest.mark.parametrize("stem", _example_ids())
+    def test_example_runs_clean(self, stem):
+        path = REPO / "examples" / f"{stem}.py"
+        proc = subprocess.run(
+            [sys.executable, str(path)],
+            capture_output=True,
+            text=True,
+            timeout=600,
+            cwd=REPO,
+        )
+        assert proc.returncode == 0, (
+            f"{stem} failed:\n{proc.stdout[-800:]}\n{proc.stderr[-800:]}"
+        )
+        assert proc.stdout.strip(), f"{stem} printed nothing"
+        for bad in ("valid=False", "valid: False", "FAILED"):
+            assert bad not in proc.stdout, f"{stem} reported invalid output"

@@ -1,0 +1,57 @@
+"""Tests for the execution trace recorder."""
+
+from repro.graphs import ring
+from repro.sim import SyncNetwork, Trace
+
+from .test_sim import EchoOnce
+
+
+class TestTrace:
+    def run_traced(self, capture=False):
+        trace = Trace(capture_payloads=capture)
+        net = SyncNetwork(ring(5))
+        outputs, metrics = net.run(EchoOnce(), trace=trace)
+        return trace, metrics
+
+    def test_counts_match_metrics(self):
+        trace, metrics = self.run_traced()
+        assert trace.summary()["messages"] == metrics.total_messages
+        assert trace.summary()["total_bits"] == metrics.total_bits
+        assert trace.rounds == metrics.rounds
+
+    def test_payloads_off_by_default(self):
+        trace, _m = self.run_traced(capture=False)
+        assert all(m.payload is None for m in trace.messages)
+
+    def test_payloads_captured_when_asked(self):
+        trace, _m = self.run_traced(capture=True)
+        # EchoOnce sends the sender's id
+        assert all(m.payload == m.src for m in trace.messages)
+
+    def test_between_query(self):
+        trace, _m = self.run_traced()
+        msgs = trace.between(0, 1)
+        assert len(msgs) == 1
+        assert msgs[0].round == 0
+        assert msgs[0].bits == 8
+
+    def test_messages_in_round(self):
+        trace, _m = self.run_traced()
+        assert len(trace.messages_in_round(0)) == 10  # ring(5): 2 per node
+        assert trace.messages_in_round(5) == []
+
+    def test_bits_per_round_and_busiest(self):
+        trace, _m = self.run_traced()
+        per = trace.bits_per_round()
+        assert per == [80]
+        assert trace.busiest_round() == 0
+
+    def test_active_per_round(self):
+        trace, _m = self.run_traced()
+        assert trace.active_per_round == [5]
+
+    def test_empty_trace(self):
+        t = Trace()
+        assert t.rounds == 0
+        assert t.busiest_round() == 0
+        assert t.bits_per_round() == []

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Regenerate the golden regression corpus (tests/golden/*.json).
+
+Each golden file is a full run record (instance + coloring + metrics) of a
+deterministic pipeline on a fixed input.  ``tests/test_golden.py`` re-runs
+the pipelines and asserts bit-identical colorings and metric summaries —
+locking in determinism and catching accidental behavior drift.
+
+Run after an *intentional* behavior change:  python tools/gen_golden.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+
+def cases():
+    """(name, run) pairs; run() -> (instance, result, metrics, info)."""
+    import random
+
+    from repro.core import ColorSpace, degree_plus_one_instance, uniform_instance
+    from repro.graphs import gnp, random_regular, torus
+    from repro.algorithms import (
+        congest_delta_plus_one,
+        linear_in_delta_coloring,
+        solve_list_arbdefective,
+        barenboim_coloring,
+    )
+
+    def congest_regular():
+        g = random_regular(80, 10, seed=42)
+        res, m, _rep = congest_delta_plus_one(g)
+        return degree_plus_one_instance(g), res, m, {"algorithm": "thm14"}
+
+    def thm13_defect():
+        g = torus(6, 6)
+        inst = uniform_instance(g, ColorSpace(3), range(3), 1)
+        res, m, _rep = solve_list_arbdefective(inst)
+        return inst, res, m, {"algorithm": "thm13-d1"}
+
+    def thm13_random_lists():
+        g = gnp(40, 0.25, seed=7)
+        delta = max(d for _, d in g.degree)
+        inst = degree_plus_one_instance(g, ColorSpace(4 * delta), random.Random(8))
+        res, m, _rep = solve_list_arbdefective(inst)
+        return inst, res, m, {"algorithm": "thm13-lists"}
+
+    def linear_classic():
+        g = random_regular(64, 12, seed=9)
+        res, m, _rep = linear_in_delta_coloring(g)
+        return degree_plus_one_instance(g), res, m, {"algorithm": "be09"}
+
+    def bar16():
+        g = random_regular(64, 12, seed=10)
+        res, m, rep = barenboim_coloring(g)
+        from repro.core import ColorSpace as CS, uniform_instance as UI
+
+        inst = UI(g, CS(rep.palette), range(rep.palette), 0)
+        return inst, res, m, {"algorithm": "bar16"}
+
+    return [
+        ("congest_regular", congest_regular),
+        ("thm13_defect", thm13_defect),
+        ("thm13_random_lists", thm13_random_lists),
+        ("linear_classic", linear_classic),
+        ("bar16", bar16),
+    ]
+
+
+def main(argv: list[str]) -> int:
+    from repro.io import save_run
+
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, run in cases():
+        inst, res, metrics, info = run()
+        path = GOLDEN_DIR / f"{name}.json"
+        save_run(inst, res, metrics, path, info=info)
+        print(f"wrote {path.name}: {len(res.assignment)} nodes, "
+              f"{metrics.rounds} rounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
