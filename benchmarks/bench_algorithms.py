@@ -3,92 +3,50 @@
 One timed row per algorithm so `--benchmark-only` output doubles as the
 performance ledger of the conformance grid (tests/test_conformance_grid.py
 checks correctness; this file tracks cost).
+
+Every row is driven through :func:`repro.experiments.sweep.run_sweep` —
+the same cached, recomputable cell machinery the experiment drivers use —
+so the spec (family, params, algorithm) of each timed run is recorded in
+the benchmark's extra_info and reproducible from it.
 """
 
 import pytest
 
-from repro.core import degree_plus_one_instance, validate_proper_coloring
-from repro.graphs import random_regular
+from repro.experiments.sweep import SweepCell, run_sweep
 
-GRAPH = random_regular(96, 12, seed=777)
+FAMILY = "random_regular"
+FAMILY_PARAMS = {"n": 96, "degree": 12, "seed": 777}
 
-
-def _check(res):
-    validate_proper_coloring(GRAPH, res).raise_if_invalid()
-    return res
-
-
-def test_bench_thm14(benchmark):
-    from repro.algorithms import congest_delta_plus_one
-
-    res = benchmark.pedantic(
-        lambda: congest_delta_plus_one(GRAPH)[0], rounds=1, iterations=1
-    )
-    _check(res)
-
-
-def test_bench_thm13(benchmark):
-    from repro.algorithms import solve_list_arbdefective
-
-    inst = degree_plus_one_instance(GRAPH)
-    res = benchmark.pedantic(
-        lambda: solve_list_arbdefective(inst)[0], rounds=1, iterations=1
-    )
-    _check(res)
+ALGORITHMS = [
+    ("thm14", True),
+    ("thm13", True),
+    ("classic", False),
+    ("classic_vectorized", False),
+    ("linear", True),
+    ("bar16", True),
+    ("randomized", False),
+    ("mis", True),
+    ("greedy_vectorized", False),
+    ("linial_vectorized", False),
+]
 
 
-def test_bench_classic(benchmark):
-    from repro.algorithms import classic_delta_plus_one
+@pytest.mark.parametrize(
+    "algorithm,single_shot", ALGORITHMS, ids=[a for a, _ in ALGORITHMS]
+)
+def test_bench_algorithm(benchmark, algorithm, single_shot):
+    cell = SweepCell.make(FAMILY, FAMILY_PARAMS, algorithm)
 
-    res = benchmark(lambda: classic_delta_plus_one(GRAPH)[0])
-    _check(res)
+    def once():
+        # no cache dir: each timed iteration genuinely recomputes the cell
+        return run_sweep([cell], cache_dir=None, workers=1)[0]
 
-
-def test_bench_classic_vectorized(benchmark):
-    from repro.sim.vectorized import classic_delta_plus_one_vectorized
-
-    res = benchmark(lambda: classic_delta_plus_one_vectorized(GRAPH)[0])
-    _check(res)
-
-
-def test_bench_linear_in_delta(benchmark):
-    from repro.algorithms import linear_in_delta_coloring
-
-    res = benchmark.pedantic(
-        lambda: linear_in_delta_coloring(GRAPH)[0], rounds=1, iterations=1
-    )
-    _check(res)
-
-
-def test_bench_barenboim(benchmark):
-    from repro.algorithms import barenboim_coloring
-
-    res = benchmark.pedantic(
-        lambda: barenboim_coloring(GRAPH)[0], rounds=1, iterations=1
-    )
-    _check(res)
-
-
-def test_bench_randomized(benchmark):
-    from repro.algorithms import randomized_list_coloring
-
-    inst = degree_plus_one_instance(GRAPH)
-    res = benchmark(lambda: randomized_list_coloring(inst, seed=1)[0])
-    _check(res)
-
-
-def test_bench_mis_product(benchmark):
-    from repro.algorithms.mis import coloring_via_mis
-
-    res = benchmark.pedantic(
-        lambda: coloring_via_mis(GRAPH, seed=1)[0], rounds=1, iterations=1
-    )
-    _check(res)
-
-
-def test_bench_greedy_sequential(benchmark):
-    from repro.algorithms import greedy_list_coloring
-
-    inst = degree_plus_one_instance(GRAPH)
-    res = benchmark(lambda: greedy_list_coloring(inst))
-    _check(res)
+    if single_shot:
+        result = benchmark.pedantic(once, rounds=1, iterations=1)
+    else:
+        result = benchmark(once)
+    assert result.data["valid"], f"{algorithm} produced an invalid coloring"
+    benchmark.extra_info["spec"] = result.data["key"]
+    benchmark.extra_info["colors"] = result.data["colors"]
+    if result.data["metrics"]:
+        benchmark.extra_info["rounds"] = result.data["metrics"]["rounds"]

@@ -1,8 +1,43 @@
-"""Benchmark E02 — regenerates [Lin87] Linial substrate (figure)."""
+"""Benchmark E02 — [Lin87] Linial substrate, driven through the sweep runner.
 
-from repro.experiments.e02_linial import run
+Migrated onto :func:`repro.experiments.sweep.run_sweep`: the reference and
+vectorized Linial runs are declared as cells of one grid, computed in a
+single cached sweep, and the substrate checks (palette O(Delta^2)-ish,
+round count log*-flat, Delta+1 endpoint for the full pipeline) are
+asserted on the cell records.
+"""
+
+from repro.analysis.bounds import log_star
+from repro.experiments.sweep import SweepCell, run_sweep_summarized
+
+GRID = [
+    SweepCell.make("random_regular", {"n": n, "degree": 8, "seed": 2}, algo)
+    for n in (64, 128, 256)
+    for algo in ("thm14", "linial_vectorized", "classic_vectorized")
+]
 
 
-def test_bench_e02(record_experiment):
-    result = record_experiment(run, fast=True)
-    assert result.body
+def test_bench_e02(benchmark, tmp_path):
+    summary = benchmark.pedantic(
+        run_sweep_summarized,
+        args=(GRID,),
+        kwargs={"cache_dir": tmp_path / "cache", "workers": 1},
+        rounds=1,
+        iterations=1,
+    )
+    by_algo: dict[str, list[dict]] = {}
+    for r in summary.results:
+        assert r.data["valid"]
+        by_algo.setdefault(r.data["algorithm"], []).append(r.data)
+
+    for rec in by_algo["linial_vectorized"]:
+        n = rec["family_params"]["n"]
+        assert rec["metrics"]["rounds"] <= log_star(n) + 1
+        # Linial lands on an O(Delta^2)-size palette independent of n
+        assert rec["colors"] <= (8 * 8) * 4
+
+    # the classic pipeline ends at Delta+1 colors at every n
+    assert all(rec["colors"] <= 9 for rec in by_algo["classic_vectorized"])
+
+    benchmark.extra_info["experiment"] = "E02 Linial substrate (sweep runner)"
+    benchmark.extra_info["cells"] = summary.total

@@ -1,8 +1,42 @@
-"""Benchmark E14 — regenerates the large-n log* scaling table."""
+"""Benchmark E14 — large-n log* scaling, driven through the sweep runner.
 
-from repro.experiments.e14_scale import run
+Migrated from a bespoke loop onto :func:`repro.experiments.sweep.run_sweep`:
+the grid is declared as cells, computed in one (cached) sweep, and the
+log*-flatness and near-linear-wall checks are asserted on the cell records.
+A second invocation against the same cache must compute nothing.
+"""
+
+from repro.analysis.bounds import log_star
+from repro.analysis.sweeps import sweep_result_from_cells
+from repro.analysis.tables import fit_exponent
+from repro.experiments.sweep import grid, run_sweep_summarized
+
+NS = [1_000, 10_000, 100_000]
 
 
-def test_bench_e14(record_experiment):
-    result = record_experiment(run, fast=True)
-    assert result.body
+def test_bench_e14(benchmark, tmp_path):
+    cells = grid("ring", ["linial_vectorized"], NS)
+
+    summary = benchmark.pedantic(
+        run_sweep_summarized,
+        args=(cells,),
+        kwargs={"cache_dir": tmp_path / "cache", "workers": 1},
+        rounds=1,
+        iterations=1,
+    )
+    records = [r.data for r in summary.results]
+    for rec in records:
+        n = rec["family_params"]["n"]
+        assert rec["metrics"]["rounds"] <= log_star(n) + 1
+        assert rec["valid"]
+
+    sweep_res = sweep_result_from_cells(records, x_param="n", metric="wall_s")
+    expo = fit_exponent(sweep_res.xs(), sweep_res.means())
+    assert expo <= 1.5, f"wall time scales superlinearly: exponent {expo:.2f}"
+
+    rerun = run_sweep_summarized(cells, cache_dir=tmp_path / "cache", workers=1)
+    assert rerun.computed == 0 and rerun.cached == len(cells)
+
+    benchmark.extra_info["experiment"] = "E14 log* scaling (sweep runner)"
+    benchmark.extra_info["wall_exponent"] = expo
+    benchmark.extra_info["rounds"] = [r["metrics"]["rounds"] for r in records]

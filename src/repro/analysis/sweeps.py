@@ -84,3 +84,32 @@ def sweep(
                 point.errors.append(f"{type(exc).__name__}: {exc}")
         points.append(point)
     return SweepResult(points)
+
+
+def sweep_result_from_cells(
+    records: Sequence[dict],
+    x_param: str = "n",
+    metric: str = "rounds",
+) -> SweepResult:
+    """Adapt :mod:`repro.experiments.sweep` cell records into a
+    :class:`SweepResult` for shape fitting.
+
+    ``x_param`` names a key of each record's ``family_params`` (the sweep
+    axis, typically ``n``); ``metric`` names either a top-level numeric
+    field of the record (``colors``, ``wall_s``, ...) or a key of its
+    ``metrics`` summary (``rounds``, ``total_bits``, ...).  Records at the
+    same x become samples of one point (seed replication); records missing
+    the metric contribute an error entry instead of a sample.
+    """
+    by_x: dict[float, SweepPoint] = {}
+    for record in records:
+        x = float(record["family_params"][x_param])
+        point = by_x.setdefault(x, SweepPoint(x=x))
+        value = record.get(metric)
+        if value is None and record.get("metrics"):
+            value = record["metrics"].get(metric)
+        if value is None:
+            point.errors.append(f"metric {metric!r} missing for x={x}")
+        else:
+            point.samples.append(float(value))
+    return SweepResult([by_x[x] for x in sorted(by_x)])

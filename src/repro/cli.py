@@ -167,6 +167,72 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0 if all(r.valid for r in rows) else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+
+    from .experiments.sweep import algorithm_names, grid, run_sweep_summarized
+
+    try:
+        ns = [int(x) for x in args.n.split(",")]
+        seeds = [int(x) for x in args.seeds.split(",")]
+    except ValueError as exc:
+        raise SystemExit(f"--n/--seeds must be comma-separated integers: {exc}")
+    algorithms = args.algorithms.split(",")
+    known = set(algorithm_names())
+    unknown = [a for a in algorithms if a not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown algorithm(s) {', '.join(unknown)}; "
+            f"options: {', '.join(sorted(known))}"
+        )
+    extra = {}
+    if args.degree is not None:
+        extra["degree"] = args.degree
+    if args.p is not None:
+        extra["p"] = args.p
+    try:
+        cells = grid(args.family, algorithms, ns, seeds, extra_family_params=extra)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0])
+    t0 = _time.perf_counter()
+    summary = run_sweep_summarized(
+        cells,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        recompute=args.recompute,
+    )
+    wall = _time.perf_counter() - t0
+    header = f"{'algorithm':<20} {'n':>8} {'seed':>5} {'colors':>7} {'rounds':>7} {'wall':>9}  cached"
+    print(header)
+    print("-" * len(header))
+    for r in summary.results:
+        fp = r.data["family_params"]
+        rounds = (r.data["metrics"] or {}).get("rounds", "-")
+        print(
+            f"{r.data['algorithm']:<20} {fp.get('n', '-'):>8} "
+            f"{fp.get('seed', '-'):>5} {r.data['colors']:>7} {rounds:>7} "
+            f"{r.data['wall_s']*1000:>7.0f}ms  {'yes' if r.cached else 'no'}"
+        )
+    print(
+        f"{summary.total} cells ({summary.computed} computed, "
+        f"{summary.cached} cached) in {wall:.2f}s"
+    )
+    if args.output:
+        payload = {
+            "family": args.family,
+            "cells": [r.data for r in summary.results],
+            "computed": summary.computed,
+            "cached": summary.cached,
+            "wall_s": wall,
+        }
+        with open(args.output, "w") as fh:
+            _json.dump(payload, fh, indent=1, sort_keys=True)
+        print(f"saved sweep record to {args.output}")
+    bad = [r for r in summary.results if not r.data["valid"]]
+    return 1 if bad else 0
+
+
 def _cmd_families(_args: argparse.Namespace) -> int:
     for name in sorted(_FAMILY_FNS):
         sig = inspect.signature(_FAMILY_FNS[name])
@@ -221,6 +287,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
     p_exp.add_argument("--full", action="store_true")
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a cached, parallel algorithm sweep over a graph-family grid",
+    )
+    p_sweep.add_argument("--family", default="random_regular")
+    p_sweep.add_argument("--n", default="1000",
+                         help="comma-separated node counts")
+    p_sweep.add_argument("--degree", type=int, default=None)
+    p_sweep.add_argument("--p", type=float, default=None)
+    p_sweep.add_argument("--seeds", default="0",
+                         help="comma-separated generator seeds")
+    from .experiments.sweep import algorithm_names as sweep_algorithm_names
+
+    p_sweep.add_argument(
+        "--algorithms", default="linial_vectorized",
+        help="comma-separated names; options: "
+             + ",".join(sweep_algorithm_names()))
+    p_sweep.add_argument("--cache-dir", dest="cache_dir", default=".sweep_cache",
+                         help="per-cell JSON result cache (reruns skip hits)")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: one per cpu)")
+    p_sweep.add_argument("--recompute", action="store_true",
+                         help="ignore and overwrite cached cells")
+    p_sweep.add_argument("--output", default=None,
+                         help="write the combined sweep record as JSON")
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_fam = sub.add_parser("families", help="list graph generators")
     p_fam.set_defaults(func=_cmd_families)

@@ -1,5 +1,26 @@
 """Experiments E01-E11 — one per reproduced paper result (see DESIGN.md §4)."""
 
 from .harness import EXPERIMENTS, ExperimentResult, get_runner, run_all
+from .sweep import (
+    CellResult,
+    SweepCell,
+    SweepSummary,
+    cell_key,
+    grid,
+    run_sweep,
+    run_sweep_summarized,
+)
 
-__all__ = ["EXPERIMENTS", "ExperimentResult", "get_runner", "run_all"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "CellResult",
+    "SweepCell",
+    "SweepSummary",
+    "cell_key",
+    "get_runner",
+    "grid",
+    "run_all",
+    "run_sweep",
+    "run_sweep_summarized",
+]

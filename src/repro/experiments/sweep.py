@@ -1,0 +1,421 @@
+"""Parallel sweep runner with deterministic partitioning and a JSON cache.
+
+The paper's experiments (E01-E15) all share one expensive shape: run an
+algorithm over a grid of (graph family, size, seed, parameters) cells and
+collect round/bit/color metrics per cell.  This module packages that shape
+once, for every driver:
+
+* a **cell** (:class:`SweepCell`) names a graph spec (generator family +
+  parameters), an algorithm, and algorithm parameters — everything needed
+  to recompute it from scratch in any process;
+* :func:`run_sweep` executes a list of cells, farming the missing ones out
+  to worker processes with **deterministic work partitioning** (cells are
+  sorted by cache key and dealt round-robin, so a given cell always lands
+  on the same worker for a given worker count) and loading the rest from
+  the cache;
+* the **cache** is one JSON file per cell under ``cache_dir``, named by
+  :func:`cell_key` — a SHA-256 hash of the canonical JSON encoding of
+  ``{family, family_params, algorithm, algo_params}``.  Re-running a sweep
+  only computes missing cells; everything else is read back and marked
+  ``cached``.  Delete a file (or pass ``recompute=True``) to invalidate.
+
+Cached cell records are plain JSON::
+
+    {"key": "<hex16>", "family": "random_regular",
+     "family_params": {"n": 1000, "degree": 8, "seed": 0},
+     "algorithm": "linial_vectorized", "algo_params": {},
+     "n": 1000, "m": 4000, "delta": 8,
+     "colors": 25, "valid": true, "palette": 25,
+     "metrics": {"rounds": 4, "total_messages": ..., "total_bits": ...,
+                 "max_message_bits": ..., "bandwidth_limit": ...,
+                 "bandwidth_violations": 0},
+     "wall_s": 0.123}
+
+Algorithms are resolved by name: first against the vectorized fast paths
+built on :mod:`repro.sim.engine` (``linial_vectorized``,
+``classic_vectorized``, ``greedy_vectorized``, ``defective_split``), then
+against :mod:`repro.algorithms.registry` (the reference implementations),
+so one sweep can mix engine runs at large n with reference runs at small n.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+
+# ----------------------------------------------------------------------
+# cells and keys
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepCell:
+    """One recomputable sweep coordinate."""
+
+    family: str
+    family_params: tuple[tuple[str, Any], ...]
+    algorithm: str
+    algo_params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        family: str,
+        family_params: Mapping[str, Any],
+        algorithm: str,
+        algo_params: Mapping[str, Any] | None = None,
+    ) -> "SweepCell":
+        """Normalize mapping parameters into a hashable, ordered cell."""
+        return cls(
+            family=family,
+            family_params=tuple(sorted(family_params.items())),
+            algorithm=algorithm,
+            algo_params=tuple(sorted((algo_params or {}).items())),
+        )
+
+    def spec(self) -> dict[str, Any]:
+        """The canonical (JSON-ready) spec dict of this cell."""
+        return {
+            "family": self.family,
+            "family_params": dict(self.family_params),
+            "algorithm": self.algorithm,
+            "algo_params": dict(self.algo_params),
+        }
+
+
+def cell_key(cell: SweepCell) -> str:
+    """Stable cache key: SHA-256 of the canonical JSON spec (16 hex chars)."""
+    blob = json.dumps(cell.spec(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell: the JSON record plus cache provenance."""
+
+    cell: SweepCell
+    data: dict[str, Any]
+    cached: bool = False
+
+    @property
+    def key(self) -> str:
+        return self.data["key"]
+
+
+# ----------------------------------------------------------------------
+# algorithm dispatch
+# ----------------------------------------------------------------------
+def _run_linial_vectorized(graph, params):
+    from ..sim.vectorized import linial_vectorized
+
+    res, metrics, palette = linial_vectorized(
+        graph, defect=int(params.get("defect", 0))
+    )
+    return res, metrics, palette
+
+
+def _run_classic_vectorized(graph, params):
+    from ..sim.vectorized import classic_delta_plus_one_vectorized
+
+    res, metrics = classic_delta_plus_one_vectorized(graph)
+    return res, metrics, None
+
+
+def _run_greedy_vectorized(graph, params):
+    from ..core.instance import delta_plus_one_instance
+    from ..sim.vectorized import greedy_list_vectorized
+
+    res = greedy_list_vectorized(delta_plus_one_instance(graph))
+    return res, None, None
+
+
+def _run_defective_split(graph, params):
+    from ..core.coloring import ColoringResult
+    from ..sim.vectorized import defective_split_vectorized
+
+    classes, metrics, palette = defective_split_vectorized(
+        graph, defect=int(params.get("defect", 1))
+    )
+    return ColoringResult(classes), metrics, palette
+
+
+FAST_PATHS: dict[str, Callable] = {
+    "linial_vectorized": _run_linial_vectorized,
+    "classic_vectorized": _run_classic_vectorized,
+    "greedy_vectorized": _run_greedy_vectorized,
+    "defective_split": _run_defective_split,
+}
+
+
+def algorithm_names() -> list[str]:
+    """Every algorithm name a sweep cell may reference."""
+    from ..algorithms.registry import algorithm_names as registry_names
+
+    return sorted(FAST_PATHS) + list(registry_names())
+
+
+def _validate(graph, result, algorithm, params) -> bool:
+    """Vectorized validity check appropriate to the algorithm's contract."""
+    from ..sim.engine import CSRGraph, equal_neighbor_counts
+
+    csr = CSRGraph.from_networkx(graph)
+    colors = csr.gather(result.assignment)
+    same = equal_neighbor_counts(csr, colors)
+    allowed = int(params.get("defect", 1)) if algorithm == "defective_split" else 0
+    return bool(same.size == 0 or int(same.max()) <= allowed)
+
+
+def compute_cell(cell: SweepCell) -> dict[str, Any]:
+    """Build the cell's graph, run its algorithm, and return the record."""
+    from .. import graphs
+    from ..algorithms import registry
+
+    family_params = dict(cell.family_params)
+    algo_params = dict(cell.algo_params)
+    graph = graphs.family(cell.family, **family_params)
+    delta = max((d for _, d in graph.degree), default=0)
+
+    t0 = time.perf_counter()
+    palette = None
+    if cell.algorithm in FAST_PATHS:
+        result, metrics, palette = FAST_PATHS[cell.algorithm](graph, algo_params)
+    else:
+        result, metrics = registry.run(cell.algorithm, graph)
+    wall = time.perf_counter() - t0
+
+    record = dict(cell.spec())
+    record.update(
+        key=cell_key(cell),
+        n=graph.number_of_nodes(),
+        m=graph.number_of_edges(),
+        delta=delta,
+        colors=result.num_colors(),
+        valid=_validate(graph, result, cell.algorithm, algo_params),
+        palette=palette,
+        metrics=metrics.summary() if metrics is not None else None,
+        wall_s=wall,
+    )
+    return record
+
+
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+def _cache_path(cache_dir: Path, key: str) -> Path:
+    return cache_dir / f"{key}.json"
+
+
+def load_cached(cache_dir: Path | str, cell: SweepCell) -> dict[str, Any] | None:
+    """The cached record of a cell, or ``None`` when absent/unreadable."""
+    path = _cache_path(Path(cache_dir), cell_key(cell))
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def store_cached(cache_dir: Path | str, record: dict[str, Any]) -> Path:
+    """Atomically persist a cell record under its key."""
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = _cache_path(cache_dir, record["key"])
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(record, sort_keys=True, indent=1))
+    os.replace(tmp, path)
+    return path
+
+
+# ----------------------------------------------------------------------
+# deterministic partitioning + parallel execution
+# ----------------------------------------------------------------------
+def partition_cells(
+    cells: Sequence[SweepCell], workers: int
+) -> list[list[SweepCell]]:
+    """Deal cells to workers deterministically: sort by cache key, then
+    round-robin.  The assignment depends only on (cell set, worker count),
+    never on timing, so reruns are reproducible."""
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    ordered = sorted(cells, key=cell_key)
+    return [ordered[w::workers] for w in range(workers)]
+
+
+def _compute_batch(specs: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Worker entry point: compute a batch of cells from their spec dicts."""
+    out = []
+    for spec in specs:
+        cell = SweepCell.make(
+            spec["family"],
+            spec["family_params"],
+            spec["algorithm"],
+            spec["algo_params"],
+        )
+        out.append(compute_cell(cell))
+    return out
+
+
+def run_sweep(
+    cells: Sequence[SweepCell],
+    cache_dir: Path | str | None = None,
+    workers: int | None = None,
+    recompute: bool = False,
+) -> list[CellResult]:
+    """Execute a sweep, computing only uncached cells.
+
+    Parameters
+    ----------
+    cells:
+        The grid, in caller order (results come back in the same order).
+    cache_dir:
+        Directory of per-cell JSON records; ``None`` disables caching.
+    workers:
+        Worker process count for the missing cells.  ``None`` picks
+        ``min(len(missing), cpu_count)``; values <= 1 compute inline
+        (no subprocesses), which is also the fallback when the platform
+        refuses to fork.
+    recompute:
+        Ignore (and overwrite) existing cache entries.
+    """
+    results: dict[str, CellResult] = {}
+    missing: list[SweepCell] = []
+    seen: set[str] = set()
+    for cell in cells:
+        key = cell_key(cell)
+        if key in seen:
+            continue
+        seen.add(key)
+        cached = (
+            None
+            if (recompute or cache_dir is None)
+            else load_cached(cache_dir, cell)
+        )
+        if cached is not None:
+            results[key] = CellResult(cell, cached, cached=True)
+        else:
+            missing.append(cell)
+
+    if missing:
+        if workers is None:
+            workers = min(len(missing), os.cpu_count() or 1)
+        workers = max(1, min(workers, len(missing)))
+        if workers == 1:
+            records = _compute_batch([c.spec() for c in missing])
+        else:
+            records = _compute_parallel(missing, workers)
+        for record in records:
+            cell = SweepCell.make(
+                record["family"],
+                record["family_params"],
+                record["algorithm"],
+                record["algo_params"],
+            )
+            if cache_dir is not None:
+                store_cached(cache_dir, record)
+            results[record["key"]] = CellResult(cell, record, cached=False)
+
+    ordered: list[CellResult] = []
+    emitted: set[str] = set()
+    for cell in cells:
+        key = cell_key(cell)
+        if key not in emitted:
+            ordered.append(results[key])
+            emitted.add(key)
+    return ordered
+
+
+def _compute_parallel(
+    missing: Sequence[SweepCell], workers: int
+) -> list[dict[str, Any]]:
+    """Fan the missing cells out over processes; inline on any failure."""
+    import concurrent.futures as cf
+    import multiprocessing as mp
+
+    batches = [
+        [c.spec() for c in batch]
+        for batch in partition_cells(missing, workers)
+        if batch
+    ]
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:
+        ctx = mp.get_context()
+    try:
+        with cf.ProcessPoolExecutor(
+            max_workers=len(batches), mp_context=ctx
+        ) as pool:
+            chunks = list(pool.map(_compute_batch, batches))
+    except (OSError, cf.process.BrokenProcessPool):
+        chunks = [_compute_batch(batch) for batch in batches]
+    return [record for chunk in chunks for record in chunk]
+
+
+# ----------------------------------------------------------------------
+# grid construction helper
+# ----------------------------------------------------------------------
+def grid(
+    family: str,
+    algorithms: Sequence[str],
+    ns: Sequence[int],
+    seeds: Sequence[int] = (0,),
+    extra_family_params: Mapping[str, Any] | None = None,
+    algo_params: Mapping[str, Any] | None = None,
+) -> list[SweepCell]:
+    """The standard experiment grid: ``algorithms x ns x seeds`` cells.
+
+    Family parameters that the generator does not accept (``seed`` for
+    deterministic families, ``n`` for fixed-size ones) are dropped, so one
+    call works across families.
+    """
+    import inspect
+
+    from ..graphs import generators
+
+    fn = getattr(generators, family, None)
+    if family.startswith("_") or not inspect.isfunction(fn):
+        raise KeyError(
+            f"unknown graph family {family!r}; try `repro-cli families`"
+        )
+    accepted = set(inspect.signature(fn).parameters)
+    cells = []
+    for algorithm in algorithms:
+        for n in ns:
+            for seed in seeds:
+                params = {"n": n, "seed": seed, **(extra_family_params or {})}
+                params = {k: v for k, v in params.items() if k in accepted}
+                cells.append(
+                    SweepCell.make(family, params, algorithm, algo_params)
+                )
+    return cells
+
+
+@dataclass
+class SweepSummary:
+    """Headline counters of one :func:`run_sweep` invocation."""
+
+    total: int = 0
+    computed: int = 0
+    cached: int = 0
+    results: list[CellResult] = field(default_factory=list)
+
+
+def run_sweep_summarized(
+    cells: Sequence[SweepCell],
+    cache_dir: Path | str | None = None,
+    workers: int | None = None,
+    recompute: bool = False,
+) -> SweepSummary:
+    """:func:`run_sweep` plus computed-vs-cached accounting (CLI + tests)."""
+    results = run_sweep(cells, cache_dir, workers, recompute)
+    cached = sum(1 for r in results if r.cached)
+    return SweepSummary(
+        total=len(results),
+        computed=len(results) - cached,
+        cached=cached,
+        results=results,
+    )

@@ -1,5 +1,14 @@
 """Synchronous LOCAL / CONGEST simulator."""
 
+from .engine import (
+    CSRGraph,
+    collision_counts,
+    equal_neighbor_counts,
+    poly_digits,
+    poly_eval_grid,
+    ragged_lists,
+    synthesized_metrics,
+)
 from .message import Message, color_list_bits, estimate_bits, index_bits, int_bits
 from .metrics import RunMetrics, congest_bandwidth
 from .network import SyncNetwork
@@ -9,11 +18,14 @@ from .referee import RefereeViolation, RefereedAlgorithm
 from .trace import Trace, TracedMessage
 from .vectorized import (
     classic_delta_plus_one_vectorized,
+    defective_split_vectorized,
+    greedy_list_vectorized,
     linial_vectorized,
     schedule_reduction_vectorized,
 )
 
 __all__ = [
+    "CSRGraph",
     "DistributedAlgorithm",
     "HaltingError",
     "Message",
@@ -32,6 +44,14 @@ __all__ = [
     "index_bits",
     "int_bits",
     "classic_delta_plus_one_vectorized",
+    "collision_counts",
+    "defective_split_vectorized",
+    "equal_neighbor_counts",
+    "greedy_list_vectorized",
     "linial_vectorized",
+    "poly_digits",
+    "poly_eval_grid",
+    "ragged_lists",
     "schedule_reduction_vectorized",
+    "synthesized_metrics",
 ]

@@ -1,0 +1,241 @@
+"""CSR-based vectorized execution layer shared by all fast paths.
+
+The reference simulator (:mod:`repro.sim.network`) charges every message
+individually — perfect for bit accounting, too slow past n ~ 10^4.  The
+schedule-driven algorithms the paper builds on (Linial's coloring, the
+[Kuh09] defective variant, the classic color-class reduction, sequential
+greedy) all share one structural property emphasized by Maus–Tonoyan and
+Fuchs–Kuhn: each round's color update is a *pure function* of (own color,
+neighbor colors).  That makes the whole round expressible as a handful of
+array operations over a fixed adjacency structure.
+
+This module provides that structure and the primitives every fast path in
+:mod:`repro.sim.vectorized` is written against:
+
+* :class:`CSRGraph` — the topology as compressed-sparse-row arrays
+  (``indptr``/``indices``) over dense node indices ``0..n-1``, plus the
+  expanded per-directed-edge ``src`` array for scatter/bincount patterns.
+  Node labels are mapped through a sorted dense index so fast paths and
+  the reference simulator agree on iteration order.
+* ``gather`` / ``scatter`` — move per-node values between the label world
+  (dicts keyed by node id) and the dense array world.
+* :func:`collision_counts` / :func:`equal_neighbor_counts` — the
+  "how many neighbors agree with me" kernels of Linial-style steps,
+  counted with **integer** bincounts (never float accumulation).
+* :func:`poly_digits` / :func:`poly_eval_grid` — the base-``q`` polynomial
+  machinery of Linial steps, vectorized over all nodes and all evaluation
+  points at once.
+* :func:`synthesized_metrics` — a :class:`~repro.sim.metrics.RunMetrics`
+  preconfigured with the same default CONGEST budget the reference driver
+  uses, so synthesized accounting is comparable number-for-number.
+
+Every fast path built on this layer carries an *equivalence contract*:
+tests compare its output node for node (and its synthesized metrics
+counter for counter) against the reference simulator on a shared graph
+set — see ``tests/test_vectorized.py`` and ``tests/test_engine.py``.
+
+Directed graphs are rejected explicitly: a ``nx.DiGraph`` would silently
+double-direct in the CSR build (each arc would also be mirrored), so
+:meth:`CSRGraph.from_networkx` raises ``ValueError`` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+import networkx as nx
+
+from .metrics import RunMetrics, congest_bandwidth
+
+
+class CSRGraph:
+    """An undirected graph frozen into CSR adjacency arrays.
+
+    Attributes
+    ----------
+    n:
+        Node count.
+    nodes:
+        Node labels in sorted order; label of dense index ``i`` is
+        ``nodes[i]``.
+    index:
+        ``label -> dense index`` mapping (inverse of ``nodes``).
+    indptr, indices:
+        CSR adjacency: the neighbors of dense node ``i`` are
+        ``indices[indptr[i]:indptr[i+1]]``.  Every undirected edge appears
+        twice (once per direction), so ``indices`` has ``2m`` entries.
+    src:
+        The expanded row index: ``src[k]`` is the source of directed edge
+        ``k`` (i.e. ``indices[k]`` is a neighbor of ``src[k]``).  Useful
+        for ``np.bincount`` scatter patterns over directed edges.
+    """
+
+    __slots__ = ("n", "nodes", "index", "indptr", "indices", "src")
+
+    def __init__(
+        self,
+        n: int,
+        nodes: tuple,
+        index: dict[Any, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+    ) -> None:
+        self.n = n
+        self.nodes = nodes
+        self.index = index
+        self.indptr = indptr
+        self.indices = indices
+        self.src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph) -> "CSRGraph":
+        """Freeze a ``networkx`` graph into CSR form.
+
+        Raises ``ValueError`` for directed graphs: mirroring each arc
+        would silently treat the digraph as its underlying undirected
+        graph, which is almost never what a caller meant.  Convert
+        explicitly (``graph.to_undirected()``) if that *is* the intent.
+        """
+        if graph.is_directed():
+            raise ValueError(
+                "CSRGraph (and the vectorized fast paths) support undirected "
+                "graphs only; got a directed graph. Convert explicitly with "
+                "graph.to_undirected() if that is intended."
+            )
+        nodes = tuple(sorted(graph.nodes))
+        n = len(nodes)
+        index = {v: i for i, v in enumerate(nodes)}
+        m = graph.number_of_edges()
+        flat = np.fromiter(
+            (index[x] for e in graph.edges for x in e),
+            dtype=np.int64,
+            count=2 * m,
+        )
+        eu, ev = flat[0::2], flat[1::2]
+        src_all = np.concatenate([eu, ev])
+        dst_all = np.concatenate([ev, eu])
+        order = np.argsort(src_all, kind="stable")
+        indices = dst_all[order]
+        counts = np.bincount(src_all, minlength=n) if m else np.zeros(n, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(n, nodes, index, indptr, indices)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of directed edge slots (``2m`` for an undirected graph)."""
+        return int(self.indices.shape[0])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Per-node degree, dense order."""
+        return np.diff(self.indptr)
+
+    def neighbors_of(self, i: int) -> np.ndarray:
+        """Dense neighbor indices of dense node ``i``."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    # ------------------------------------------------------------------
+    def gather(
+        self, mapping: Mapping[Any, int], dtype: type = np.int64
+    ) -> np.ndarray:
+        """Dense array of per-node values from a label-keyed mapping."""
+        return np.array([mapping[v] for v in self.nodes], dtype=dtype)
+
+    def scatter(self, values: np.ndarray) -> dict[Any, int]:
+        """Label-keyed dict from a dense per-node array (values as ints)."""
+        return {v: int(values[i]) for i, v in enumerate(self.nodes)}
+
+
+# ----------------------------------------------------------------------
+# metrics synthesis
+# ----------------------------------------------------------------------
+def synthesized_metrics(n: int) -> RunMetrics:
+    """A fresh :class:`RunMetrics` with the reference driver's default
+    CONGEST budget, so vectorized runs account like reference runs."""
+    return RunMetrics(bandwidth_limit=congest_bandwidth(n))
+
+
+# ----------------------------------------------------------------------
+# neighbor-agreement kernels
+# ----------------------------------------------------------------------
+def equal_neighbor_counts(csr: CSRGraph, values: np.ndarray) -> np.ndarray:
+    """Per-node count of neighbors holding an equal value (int64).
+
+    The vectorized form of "how many neighbors share my color" — the
+    validation kernel of defective colorings.
+    """
+    if not csr.num_directed_edges:
+        return np.zeros(csr.n, dtype=np.int64)
+    agree = values[csr.src] == values[csr.indices]
+    return np.bincount(csr.src[agree], minlength=csr.n)
+
+
+def collision_counts(csr: CSRGraph, evals: np.ndarray) -> np.ndarray:
+    """Per (evaluation point, node) neighbor-agreement counts, int64.
+
+    ``evals`` has shape ``(q, n)`` — row ``x`` holds every node's
+    polynomial evaluation at point ``x``.  Returns ``hits`` of the same
+    shape where ``hits[x, i]`` counts neighbors ``j`` of ``i`` with
+    ``evals[x, j] == evals[x, i]``.
+
+    Counting is pure-integer: each row is a ``np.bincount`` over the
+    *indices* of agreeing directed edges, never a float-weighted sum
+    (``np.bincount(..., weights=...)`` accumulates in float64, which
+    loses exactness past 2^53 aggregate weight and silently casts on
+    assignment into integer rows).
+    """
+    q = evals.shape[0]
+    hits = np.zeros((q, csr.n), dtype=np.int64)
+    if not csr.num_directed_edges:
+        return hits
+    matches = evals[:, csr.src] == evals[:, csr.indices]  # (q, 2m)
+    for x in range(q):
+        hits[x] = np.bincount(csr.src[matches[x]], minlength=csr.n)
+    return hits
+
+
+# ----------------------------------------------------------------------
+# polynomial machinery (Linial steps)
+# ----------------------------------------------------------------------
+def poly_digits(colors: np.ndarray, q: int, degree: int) -> np.ndarray:
+    """Base-q digit matrix, shape (n, degree+1) — coefficient i in col i."""
+    out = np.empty((colors.shape[0], degree + 1), dtype=np.int64)
+    c = colors.copy()
+    for i in range(degree + 1):
+        out[:, i] = c % q
+        c //= q
+    return out
+
+
+def poly_eval_grid(digits: np.ndarray, q: int) -> np.ndarray:
+    """Evaluations at every x in F_q; shape (q, n).  Horner, vectorized."""
+    xs = np.arange(q, dtype=np.int64)[:, None]  # (q, 1)
+    acc = np.zeros((q, digits.shape[0]), dtype=np.int64)
+    for i in range(digits.shape[1] - 1, -1, -1):
+        acc = (acc * xs + digits[None, :, i]) % q
+    return acc
+
+
+# ----------------------------------------------------------------------
+# ragged per-node lists (greedy fast path)
+# ----------------------------------------------------------------------
+def ragged_lists(
+    csr: CSRGraph, lists: Mapping[Any, Iterable[int]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate label-keyed per-node lists into (list_indptr, list_values).
+
+    Dense node ``i``'s list is ``list_values[list_indptr[i]:list_indptr[i+1]]``
+    in its original (preference) order.
+    """
+    per_node = [np.asarray(list(lists[v]), dtype=np.int64) for v in csr.nodes]
+    lengths = np.array([a.shape[0] for a in per_node], dtype=np.int64)
+    list_indptr = np.zeros(csr.n + 1, dtype=np.int64)
+    np.cumsum(lengths, out=list_indptr[1:])
+    list_values = (
+        np.concatenate(per_node) if per_node else np.empty(0, dtype=np.int64)
+    )
+    return list_indptr, list_values

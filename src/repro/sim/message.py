@@ -78,9 +78,14 @@ class Message:
     payload: Any
     bits: int | None = None
 
+    def __post_init__(self) -> None:
+        # Validate at construction, not at send time: a bad declared size
+        # should fail where the algorithm builds the message, not deep
+        # inside a simulated round via size_bits().
+        if self.bits is not None and self.bits < 1:
+            raise ValueError(f"declared bit size must be >= 1, got {self.bits}")
+
     def size_bits(self) -> int:
         if self.bits is not None:
-            if self.bits < 1:
-                raise ValueError(f"declared bit size must be >= 1, got {self.bits}")
             return self.bits
         return estimate_bits(self.payload)

@@ -174,6 +174,8 @@ class SyncNetwork:
         phases: list[tuple[DistributedAlgorithm, Mapping[int, Mapping[str, Any]]]],
         shared: Mapping[str, Any] | None = None,
         max_rounds: int = 10_000,
+        round_hook: Callable[[int, dict[int, dict[str, Any]]], None] | None = None,
+        trace: Trace | None = None,
     ) -> tuple[list[dict[int, Any]], RunMetrics]:
         """Run several algorithms back to back, summing their metrics.
 
@@ -181,11 +183,23 @@ class SyncNetwork:
         phase's outputs by the caller); this matches the paper's phase-based
         compositions (Linial precoloring, then gamma-class assignment, then
         the main coloring, ...).
+
+        ``round_hook`` and ``trace`` are threaded through to every phase's
+        :meth:`run` so composed pipelines stay observable; the hook's round
+        index restarts at 0 in each phase, while ``trace`` accumulates
+        messages across the whole composition.
         """
         total = RunMetrics(bandwidth_limit=self.bandwidth)
         outs: list[dict[int, Any]] = []
         for algorithm, inputs in phases:
-            o, m = self.run(algorithm, inputs, shared, max_rounds)
+            o, m = self.run(
+                algorithm,
+                inputs,
+                shared,
+                max_rounds,
+                round_hook=round_hook,
+                trace=trace,
+            )
             outs.append(o)
             total = total.merge_sequential(m)
         total.bandwidth_limit = self.bandwidth

@@ -1,23 +1,32 @@
-"""Vectorized execution of schedule-driven algorithms (NumPy).
+"""Vectorized fast paths for schedule-driven algorithms (NumPy).
 
 The reference simulator charges every message individually — perfect for
 bit accounting, too slow for n in the hundreds of thousands.  For the
 schedule-driven algorithms whose per-round behavior is a pure function of
-(current colors, neighbor colors) — Linial's coloring and its defective
-variant — this module provides a bit-for-bit equivalent vectorized engine:
+(current colors, neighbor colors), this module provides bit-for-bit
+equivalent fast paths, all built on the shared CSR execution layer in
+:mod:`repro.sim.engine`:
 
-* the **same schedule** (:func:`repro.algorithms.linial.linial_schedule`);
-* the **same tie-breaking** (smallest evaluation point among minimal
-  collision counts, which equals NumPy's first-occurrence ``argmin``);
-* **synthesized metrics** identical to the reference run's (per round,
-  every node messages every neighbor one current color of
-  ``int_bits(m0-1)`` bits).
+* :func:`linial_vectorized` — Linial's coloring and the [Kuh09] defective
+  variant, on the **same schedule** and with the **same tie-breaking**
+  (smallest evaluation point among minimal collision counts, which equals
+  NumPy's first-occurrence ``argmin``) as the reference;
+* :func:`schedule_reduction_vectorized` — the classic one-class-per-round
+  list reduction;
+* :func:`greedy_list_vectorized` — the sequential greedy of
+  :func:`repro.algorithms.greedy.greedy_list_coloring` for zero-defect
+  list instances, with O(deg) array work per node;
+* :func:`defective_split_vectorized` — the defective-split decomposition
+  step of :func:`repro.algorithms.defective.defective_class_partition`,
+  with vectorized defect validation.
 
-Equivalence is enforced by tests (`tests/test_vectorized.py`) that compare
-outputs and metrics against :func:`repro.algorithms.linial.run_linial`
-node for node.  Methodology per the HPC guides: the reference stays the
-readable source of truth; the hot path is vectorized only after being
-measured as the bottleneck for large-n experiments (E14).
+All fast paths synthesize metrics identical to the reference run's
+(per round, every node messages every neighbor one current color).
+Equivalence is enforced by tests (`tests/test_vectorized.py`) comparing
+outputs and metrics against the reference implementations node for node.
+Methodology per the HPC guides: the reference stays the readable source
+of truth; the hot path is vectorized only after being measured as the
+bottleneck for large-n experiments (E14).
 """
 
 from __future__ import annotations
@@ -26,43 +35,28 @@ import numpy as np
 import networkx as nx
 
 from ..core.coloring import ColoringResult
+from .engine import (
+    CSRGraph,
+    collision_counts,
+    equal_neighbor_counts,
+    poly_digits,
+    poly_eval_grid,
+    ragged_lists,
+    synthesized_metrics,
+)
 from .message import int_bits
-from .metrics import RunMetrics, congest_bandwidth
+from .metrics import RunMetrics
 
 
 def _edge_arrays(graph: nx.Graph) -> tuple[np.ndarray, np.ndarray, dict[int, int]]:
-    """Directed edge arrays (both directions) over dense node indices."""
-    nodes = sorted(graph.nodes)
-    index = {v: i for i, v in enumerate(nodes)}
-    m = graph.number_of_edges()
-    src = np.empty(2 * m, dtype=np.int64)
-    dst = np.empty(2 * m, dtype=np.int64)
-    for k, (u, v) in enumerate(graph.edges):
-        src[2 * k] = index[u]
-        dst[2 * k] = index[v]
-        src[2 * k + 1] = index[v]
-        dst[2 * k + 1] = index[u]
-    return src, dst, index
+    """Directed edge arrays (both directions) over dense node indices.
 
-
-def _poly_digits(colors: np.ndarray, q: int, degree: int) -> np.ndarray:
-    """Base-q digit matrix, shape (n, degree+1) — coefficient i in col i."""
-    out = np.empty((colors.shape[0], degree + 1), dtype=np.int64)
-    c = colors.copy()
-    for i in range(degree + 1):
-        out[:, i] = c % q
-        c //= q
-    return out
-
-
-def _poly_eval_all(digits: np.ndarray, q: int) -> np.ndarray:
-    """Evaluations at every x in F_q; shape (q, n).  Horner, vectorized."""
-    n = digits.shape[0]
-    xs = np.arange(q, dtype=np.int64)[:, None]  # (q, 1)
-    acc = np.zeros((q, n), dtype=np.int64)
-    for i in range(digits.shape[1] - 1, -1, -1):
-        acc = (acc * xs + digits[None, :, i]) % q
-    return acc
+    Backward-compatible wrapper over :class:`~repro.sim.engine.CSRGraph`;
+    raises ``ValueError`` on directed inputs (a digraph used to be
+    silently double-directed here).
+    """
+    csr = CSRGraph.from_networkx(graph)
+    return csr.src, csr.indices, csr.index
 
 
 def linial_vectorized(
@@ -77,11 +71,11 @@ def linial_vectorized(
     """
     from ..algorithms.linial import defective_schedule, linial_schedule
 
-    nodes = sorted(graph.nodes)
-    n = len(nodes)
-    delta = max((d for _, d in graph.degree), default=0)
+    csr = CSRGraph.from_networkx(graph)
+    n = csr.n
+    delta = int(csr.degrees.max()) if n else 0
     if initial_colors is None:
-        initial_colors = {v: i for i, v in enumerate(nodes)}
+        initial_colors = {v: i for i, v in enumerate(csr.nodes)}
     m0 = max(initial_colors.values()) + 1 if initial_colors else 1
     sched = (
         linial_schedule(m0, delta)
@@ -90,29 +84,22 @@ def linial_vectorized(
     )
     palette = sched[-1].out_colors if sched else m0
 
-    src, dst, index = _edge_arrays(graph)
-    colors = np.array([initial_colors[v] for v in nodes], dtype=np.int64)
+    colors = csr.gather(initial_colors)
     # match the reference driver's default CONGEST budget
-    metrics = RunMetrics(bandwidth_limit=congest_bandwidth(n))
+    metrics = synthesized_metrics(n)
     bits = int_bits(max(1, m0 - 1))
-    per_round_messages = src.shape[0]
+    per_round_messages = csr.num_directed_edges
 
     for step in sched:
         q, deg = step.q, step.deg
-        digits = _poly_digits(colors, q, deg)
-        evals = _poly_eval_all(digits, q)  # (q, n)
-        # collision counts per (x, node): neighbors with equal evaluation
-        hits = np.zeros((q, n), dtype=np.int64)
-        if per_round_messages:
-            matches = evals[:, src] == evals[:, dst]  # (q, 2m)
-            for x in range(q):
-                hits[x] = np.bincount(src, weights=matches[x], minlength=n)
+        digits = poly_digits(colors, q, deg)
+        evals = poly_eval_grid(digits, q)  # (q, n)
+        hits = collision_counts(csr, evals)  # (q, n) int64
         best_x = np.argmin(hits, axis=0)  # first occurrence = smallest x
         colors = best_x * q + evals[best_x, np.arange(n)]
         metrics.observe_uniform_round(per_round_messages, bits)
 
-    assignment = {v: int(colors[index[v]]) for v in nodes}
-    return ColoringResult(assignment), metrics, palette
+    return ColoringResult(csr.scatter(colors)), metrics, palette
 
 
 def schedule_reduction_vectorized(
@@ -131,18 +118,15 @@ def schedule_reduction_vectorized(
     """
     from .message import index_bits
 
-    nodes = sorted(graph.nodes)
-    n = len(nodes)
-    index = {v: i for i, v in enumerate(nodes)}
-    src, dst, _ = _edge_arrays(graph)
-    cls = np.array([schedule_colors[v] for v in nodes], dtype=np.int64)
+    csr = CSRGraph.from_networkx(graph)
+    n = csr.n
+    src, dst = csr.src, csr.indices
+    cls = csr.gather(schedule_colors)
     final = np.full(n, -1, dtype=np.int64)
     taken = np.zeros((n, palettes_size), dtype=bool)
     bits = index_bits(max(2, palettes_size))
-    metrics = RunMetrics(bandwidth_limit=congest_bandwidth(n))
-    degree = np.zeros(n, dtype=np.int64)
-    if src.shape[0]:
-        degree = np.bincount(src, minlength=n)
+    metrics = synthesized_metrics(n)
+    degree = csr.degrees
 
     max_cls = int(cls.max()) if n else 0
     # messages in round r: announcements from the class that picked at r-1
@@ -158,15 +142,87 @@ def schedule_reduction_vectorized(
             member_set = np.zeros(n, dtype=bool)
             member_set[members] = True
             mask = member_set[src]
-            np.add.at(
-                taken, (dst[mask], final[src[mask]]), True
-            )
+            np.add.at(taken, (dst[mask], final[src[mask]]), True)
             announce_counts[c + 1] = int(degree[members].sum())
     rounds_needed = max_cls + 2
     for r in range(rounds_needed):
         metrics.observe_uniform_round(announce_counts[r], bits)
-    assignment = {v: int(final[index[v]]) for v in nodes}
-    return ColoringResult(assignment), metrics
+    return ColoringResult(csr.scatter(final)), metrics
+
+
+def greedy_list_vectorized(
+    instance,
+    order: list[int] | None = None,
+) -> ColoringResult:
+    """Fast path for :func:`repro.algorithms.greedy.greedy_list_coloring`
+    on **zero-defect** list instances (the (degree+1)-list case).
+
+    Processes nodes in ``order`` (default: sorted), each taking the first
+    color of its list not held by an already-colored neighbor — the exact
+    rule the reference greedy applies when every defect is zero, so the
+    outputs match node for node (tested).  Per-node work is O(deg) NumPy
+    ops over the CSR arrays instead of the reference's repeated Python
+    neighborhood scans.
+
+    Raises ``ValueError`` on directed instances, on nonzero defects (the
+    reference's budget semantics are inherently sequential), and when the
+    greedy gets stuck.
+    """
+    if instance.directed:
+        raise ValueError("greedy_list_vectorized expects an undirected instance")
+    if any(d for dv in instance.defects.values() for d in dv.values()):
+        raise ValueError(
+            "greedy_list_vectorized handles zero-defect instances only; "
+            "use repro.algorithms.greedy.greedy_list_coloring for defects"
+        )
+    csr = CSRGraph.from_networkx(instance.graph)
+    list_indptr, list_values = ragged_lists(csr, instance.lists)
+    final = np.full(csr.n, -1, dtype=np.int64)
+    dense_order = (
+        [csr.index[v] for v in order]
+        if order is not None
+        else list(range(csr.n))
+    )
+    for i in dense_order:
+        neigh_colors = final[csr.neighbors_of(i)]
+        neigh_colors = neigh_colors[neigh_colors >= 0]
+        lst = list_values[list_indptr[i] : list_indptr[i + 1]]
+        free = lst[~np.isin(lst, neigh_colors)]
+        if not free.size:
+            raise ValueError(f"greedy stuck at node {csr.nodes[i]}")
+        final[i] = free[0]
+    return ColoringResult(csr.scatter(final))
+
+
+def defective_split_vectorized(
+    graph: nx.Graph,
+    defect: int,
+    validate: bool = True,
+) -> tuple[dict[int, int], RunMetrics, int]:
+    """Fast path for the defective-split decomposition step
+    (:func:`repro.algorithms.defective.defective_class_partition`).
+
+    Returns the identical ``(classes, metrics, palette)`` triple: the
+    class index of each node under a ``defect``-defective coloring, so
+    each class induces a subgraph of maximum degree <= ``defect``
+    (the graph-decomposition step of the Theorem 1.3 transformation).
+    Validation is vectorized (per-node same-color neighbor counts via one
+    integer bincount) instead of the reference's per-edge Python scan.
+    """
+    if defect < 0:
+        raise ValueError(f"defect must be >= 0, got {defect}")
+    result, metrics, palette = linial_vectorized(graph, defect=defect)
+    if validate:
+        csr = CSRGraph.from_networkx(graph)
+        colors = csr.gather(result.assignment)
+        same = equal_neighbor_counts(csr, colors)
+        if same.size and int(same.max()) > defect:
+            bad = csr.nodes[int(np.argmax(same))]
+            raise ValueError(
+                f"defective split invalid: node {bad} has {int(same.max())} "
+                f"same-class neighbors (allowed {defect})"
+            )
+    return dict(result.assignment), metrics, palette
 
 
 def classic_delta_plus_one_vectorized(

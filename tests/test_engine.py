@@ -1,0 +1,139 @@
+"""Tests for the CSR execution layer (repro.sim.engine)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs import gnp, ring, star
+from repro.sim.engine import (
+    CSRGraph,
+    collision_counts,
+    equal_neighbor_counts,
+    poly_digits,
+    poly_eval_grid,
+    ragged_lists,
+    synthesized_metrics,
+)
+from repro.sim.metrics import congest_bandwidth
+
+
+class TestCSRConstruction:
+    def test_matches_networkx_adjacency(self):
+        g = gnp(40, 0.2, seed=11)
+        csr = CSRGraph.from_networkx(g)
+        assert csr.n == 40
+        assert csr.num_directed_edges == 2 * g.number_of_edges()
+        for i, v in enumerate(csr.nodes):
+            neigh = sorted(csr.nodes[j] for j in csr.neighbors_of(i))
+            assert neigh == sorted(g.neighbors(v))
+
+    def test_non_contiguous_labels(self):
+        g = nx.Graph()
+        g.add_edges_from([(10, 3), (3, 7), (7, 10)])
+        csr = CSRGraph.from_networkx(g)
+        assert csr.nodes == (3, 7, 10)
+        assert csr.index == {3: 0, 7: 1, 10: 2}
+        assert sorted(csr.degrees.tolist()) == [2, 2, 2]
+
+    def test_src_expansion_consistent_with_indptr(self):
+        csr = CSRGraph.from_networkx(star(6))
+        for k in range(csr.num_directed_edges):
+            i = csr.src[k]
+            assert csr.indptr[i] <= k < csr.indptr[i + 1]
+
+    def test_edgeless_and_empty(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        csr = CSRGraph.from_networkx(g)
+        assert csr.num_directed_edges == 0
+        assert csr.degrees.tolist() == [0, 0, 0, 0]
+        empty = CSRGraph.from_networkx(nx.Graph())
+        assert empty.n == 0
+
+    def test_directed_graph_rejected(self):
+        dg = nx.DiGraph()
+        dg.add_edge(0, 1)
+        with pytest.raises(ValueError, match="undirected"):
+            CSRGraph.from_networkx(dg)
+
+    def test_gather_scatter_roundtrip(self):
+        g = ring(12)
+        csr = CSRGraph.from_networkx(g)
+        values = {v: (v * 7) % 5 for v in g.nodes}
+        dense = csr.gather(values)
+        assert csr.scatter(dense) == values
+
+
+class TestKernels:
+    def test_equal_neighbor_counts_brute_force(self):
+        g = gnp(30, 0.3, seed=5)
+        csr = CSRGraph.from_networkx(g)
+        colors = np.array([v % 3 for v in csr.nodes], dtype=np.int64)
+        counts = equal_neighbor_counts(csr, colors)
+        for i, v in enumerate(csr.nodes):
+            expect = sum(1 for u in g.neighbors(v) if u % 3 == v % 3)
+            assert counts[i] == expect
+        assert counts.dtype == np.int64
+
+    def test_collision_counts_matches_per_point_scan(self):
+        g = gnp(25, 0.3, seed=6)
+        csr = CSRGraph.from_networkx(g)
+        q = 5
+        evals = np.array(
+            [[(3 * x + v) % q for v in range(csr.n)] for x in range(q)],
+            dtype=np.int64,
+        )
+        hits = collision_counts(csr, evals)
+        assert hits.dtype == np.int64
+        for x in range(q):
+            assert np.array_equal(hits[x], equal_neighbor_counts(csr, evals[x]))
+
+    def test_collision_counts_integer_on_2pow20_directed_edges(self):
+        # Regression for the silent float64 accumulation: a ring with 2^19
+        # undirected edges has exactly 2^20 directed edge slots; the counts
+        # must come out of integer bincounts and equal the float-weighted
+        # formulation exactly.
+        g = ring(2**19)
+        csr = CSRGraph.from_networkx(g)
+        assert csr.num_directed_edges == 2**20
+        colors = np.arange(csr.n, dtype=np.int64)
+        digits = poly_digits(colors, q=23, degree=4)
+        evals = poly_eval_grid(digits, q=23)
+        hits = collision_counts(csr, evals)
+        assert hits.dtype == np.int64
+        matches = evals[:, csr.src] == evals[:, csr.indices]
+        for x in (0, 11, 22):
+            via_weights = np.bincount(
+                csr.src, weights=matches[x], minlength=csr.n
+            )
+            assert np.array_equal(hits[x], via_weights.astype(np.int64))
+
+    def test_poly_grid_matches_reference_machinery(self):
+        from repro.algorithms.linial import poly_coeffs, poly_eval
+
+        q, deg = 7, 2
+        colors = np.arange(q ** (deg + 1), dtype=np.int64)
+        digits = poly_digits(colors, q, deg)
+        evals = poly_eval_grid(digits, q)
+        for c in (0, 5, 48, 100, 342):
+            coeffs = poly_coeffs(int(c), q, deg)
+            assert tuple(digits[c]) == coeffs
+            for x in range(q):
+                assert evals[x, c] == poly_eval(coeffs, x, q)
+
+
+class TestHelpers:
+    def test_synthesized_metrics_budget(self):
+        m = synthesized_metrics(1000)
+        assert m.bandwidth_limit == congest_bandwidth(1000)
+        assert m.rounds == 0
+
+    def test_ragged_lists(self):
+        g = nx.Graph()
+        g.add_nodes_from([2, 5, 9])
+        csr = CSRGraph.from_networkx(g)
+        indptr, values = ragged_lists(
+            csr, {2: [4, 1], 5: [], 9: [7, 7, 0]}
+        )
+        assert indptr.tolist() == [0, 2, 2, 5]
+        assert values.tolist() == [4, 1, 7, 7, 0]

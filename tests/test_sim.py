@@ -241,3 +241,78 @@ class TestNetwork:
             Reader(), inputs={0: {"x": 1}, 1: {"x": 2}}, shared={"k": 9}
         )
         assert out == {0: (1, 9), 1: (2, 9)}
+
+
+class TestMessageConstructionValidation:
+    def test_invalid_declared_bits_fail_at_construction(self):
+        with pytest.raises(ValueError, match="bit size"):
+            Message("payload", bits=0)
+        with pytest.raises(ValueError, match="bit size"):
+            Message("payload", bits=-3)
+
+    def test_valid_declarations_still_work(self):
+        assert Message("x", bits=1).size_bits() == 1
+        assert Message("x", bits=17).size_bits() == 17
+        assert Message(None).size_bits() == 1  # estimated, not declared
+
+
+class TestRunPhasesObservability:
+    def test_trace_threads_through_phases(self):
+        from repro.sim import Trace
+
+        g = ring(5)
+        trace = Trace()
+        net = SyncNetwork(g)
+        outs, metrics = net.run_phases(
+            [(EchoOnce(), {}), (EchoOnce(), {})], trace=trace
+        )
+        # every message of both phases is recorded: 2 phases x 1 round x 2m
+        assert len(outs) == 2
+        assert trace.rounds == metrics.rounds == 2
+        assert len(trace.messages) == metrics.total_messages == 2 * 2 * 5
+        assert sum(m.bits for m in trace.messages) == metrics.total_bits
+
+    def test_round_hook_threads_through_phases(self):
+        seen = []
+        SyncNetwork(ring(4)).run_phases(
+            [(EchoOnce(), {}), (EchoOnce(), {})],
+            round_hook=lambda rnd, states: seen.append(rnd),
+        )
+        # hook fires in each phase; round index restarts per phase
+        assert seen == [0, 0]
+
+
+class TestMetricsEquivalence:
+    def test_uniform_round_equals_observe_round(self):
+        a, b = RunMetrics(bandwidth_limit=16), RunMetrics(bandwidth_limit=16)
+        for count, bits in [(5, 8), (0, 8), (3, 32), (1, 1)]:
+            a.observe_uniform_round(count, bits)
+            b.observe_round([bits] * count)
+        assert a.summary() == b.summary()
+        assert a.per_round_max_bits == b.per_round_max_bits
+
+    def test_empty_round_equivalence(self):
+        a, b = RunMetrics(), RunMetrics()
+        a.observe_uniform_round(0, 999)
+        b.observe_round([])
+        assert a.summary() == b.summary()
+        assert a.per_round_max_bits == b.per_round_max_bits == [0]
+
+    def test_violation_counting_matches(self):
+        a, b = RunMetrics(bandwidth_limit=4), RunMetrics(bandwidth_limit=4)
+        a.observe_uniform_round(3, 9)
+        b.observe_round([9, 9, 9])
+        assert a.bandwidth_violations == b.bandwidth_violations == 3
+
+    def test_merge_sequential_preserves_bandwidth_limit(self):
+        a = RunMetrics(bandwidth_limit=128)
+        a.observe_uniform_round(2, 8)
+        b = RunMetrics(bandwidth_limit=64)
+        b.observe_uniform_round(1, 200)
+        merged = a.merge_sequential(b)
+        assert merged.bandwidth_limit == 128  # the first phase's budget wins
+        assert merged.rounds == 2
+        assert merged.bandwidth_violations == 1
+        # merging with a limitless phase keeps the budget too
+        c = RunMetrics()
+        assert a.merge_sequential(c).bandwidth_limit == 128

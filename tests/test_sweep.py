@@ -1,0 +1,182 @@
+"""Tests for the parallel sweep runner and its on-disk cache."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.sweep import (
+    SweepCell,
+    cell_key,
+    compute_cell,
+    grid,
+    partition_cells,
+    run_sweep,
+    run_sweep_summarized,
+)
+
+
+def small_cells():
+    return grid(
+        "random_regular",
+        ["linial_vectorized", "classic_vectorized", "greedy_vectorized"],
+        [48, 72],
+        seeds=[0],
+        extra_family_params={"degree": 4},
+    )
+
+
+class TestCells:
+    def test_key_is_stable_and_param_order_independent(self):
+        a = SweepCell.make("ring", {"n": 10}, "linial_vectorized", {"defect": 1})
+        b = SweepCell.make("ring", {"n": 10}, "linial_vectorized", {"defect": 1})
+        assert cell_key(a) == cell_key(b)
+        c = SweepCell(
+            family="ring",
+            family_params=(("n", 10),),
+            algorithm="linial_vectorized",
+            algo_params=(("defect", 1),),
+        )
+        assert cell_key(c) == cell_key(a)
+
+    def test_key_separates_specs(self):
+        base = SweepCell.make("ring", {"n": 10}, "linial_vectorized")
+        keys = {
+            cell_key(base),
+            cell_key(SweepCell.make("ring", {"n": 11}, "linial_vectorized")),
+            cell_key(SweepCell.make("ring", {"n": 10}, "classic_vectorized")),
+            cell_key(SweepCell.make("path", {"n": 10}, "linial_vectorized")),
+        }
+        assert len(keys) == 4
+
+    def test_compute_cell_record_shape(self):
+        rec = compute_cell(SweepCell.make("ring", {"n": 30}, "linial_vectorized"))
+        assert rec["n"] == 30 and rec["m"] == 30 and rec["delta"] == 2
+        assert rec["valid"] is True
+        assert rec["metrics"]["rounds"] >= 1
+        assert rec["key"] == cell_key(
+            SweepCell.make("ring", {"n": 30}, "linial_vectorized")
+        )
+
+    def test_reference_algorithms_run_too(self):
+        rec = compute_cell(
+            SweepCell.make("random_regular", {"n": 24, "degree": 3, "seed": 1}, "thm14")
+        )
+        assert rec["valid"] is True and rec["metrics"] is not None
+
+    def test_defective_split_validates_against_its_defect(self):
+        rec = compute_cell(
+            SweepCell.make(
+                "random_regular",
+                {"n": 48, "degree": 6, "seed": 3},
+                "defective_split",
+                {"defect": 2},
+            )
+        )
+        assert rec["valid"] is True and rec["palette"] is not None
+
+
+class TestPartitioning:
+    def test_deterministic_round_robin(self):
+        cells = small_cells()
+        p1 = partition_cells(cells, 3)
+        p2 = partition_cells(list(reversed(cells)), 3)
+        assert p1 == p2  # order of input never changes the assignment
+        flat = [c for batch in p1 for c in batch]
+        assert sorted(map(cell_key, flat)) == sorted(map(cell_key, cells))
+
+    def test_more_workers_than_cells(self):
+        cells = small_cells()[:2]
+        parts = partition_cells(cells, 5)
+        assert sum(len(p) for p in parts) == 2
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            partition_cells(small_cells(), 0)
+
+
+class TestRunSweep:
+    def test_second_invocation_skips_cached_cells(self, tmp_path):
+        cells = small_cells()
+        first = run_sweep_summarized(cells, cache_dir=tmp_path, workers=1)
+        assert first.computed == len(cells) and first.cached == 0
+        second = run_sweep_summarized(cells, cache_dir=tmp_path, workers=1)
+        assert second.computed == 0 and second.cached == len(cells)
+        # cached records are byte-identical reads of what was stored
+        for a, b in zip(first.results, second.results):
+            assert a.data == b.data
+
+    def test_partial_cache_only_computes_missing(self, tmp_path):
+        cells = small_cells()
+        run_sweep(cells[:3], cache_dir=tmp_path, workers=1)
+        summary = run_sweep_summarized(cells, cache_dir=tmp_path, workers=1)
+        assert summary.cached == 3
+        assert summary.computed == len(cells) - 3
+
+    def test_recompute_overrides_cache(self, tmp_path):
+        cells = small_cells()[:2]
+        run_sweep(cells, cache_dir=tmp_path, workers=1)
+        summary = run_sweep_summarized(
+            cells, cache_dir=tmp_path, workers=1, recompute=True
+        )
+        assert summary.computed == 2 and summary.cached == 0
+
+    def test_results_in_caller_order(self, tmp_path):
+        cells = small_cells()
+        results = run_sweep(cells, cache_dir=tmp_path, workers=1)
+        assert [r.cell for r in results] == cells
+
+    def test_parallel_equals_inline(self, tmp_path):
+        cells = small_cells()
+        inline = run_sweep(cells, cache_dir=None, workers=1)
+        parallel = run_sweep(cells, cache_dir=None, workers=2)
+        for a, b in zip(inline, parallel):
+            da = {k: v for k, v in a.data.items() if k != "wall_s"}
+            db = {k: v for k, v in b.data.items() if k != "wall_s"}
+            assert da == db
+
+    def test_no_cache_dir_always_computes(self):
+        cells = small_cells()[:2]
+        s1 = run_sweep_summarized(cells, cache_dir=None, workers=1)
+        s2 = run_sweep_summarized(cells, cache_dir=None, workers=1)
+        assert s1.computed == 2 and s2.computed == 2
+
+    def test_duplicate_cells_computed_once(self, tmp_path):
+        cell = SweepCell.make("ring", {"n": 24}, "linial_vectorized")
+        results = run_sweep([cell, cell], cache_dir=tmp_path, workers=1)
+        assert len(results) == 1
+
+
+class TestAnalysisBridge:
+    def test_sweep_result_from_cells(self, tmp_path):
+        from repro.analysis.sweeps import sweep_result_from_cells
+
+        cells = grid("ring", ["linial_vectorized"], [32, 64], seeds=[0])
+        records = [r.data for r in run_sweep(cells, cache_dir=tmp_path, workers=1)]
+        res = sweep_result_from_cells(records, x_param="n", metric="rounds")
+        assert res.xs() == [32.0, 64.0]
+        assert res.complete()
+        colors = sweep_result_from_cells(records, x_param="n", metric="colors")
+        assert all(p.samples for p in colors.points)
+
+
+class TestCLI:
+    def test_sweep_command_caches_across_invocations(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "--family", "ring",
+            "--n", "40,80",
+            "--algorithms", "linial_vectorized,classic_vectorized",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--workers", "1",
+            "--output", str(tmp_path / "sweep.json"),
+        ]
+        assert cli_main(argv) == 0
+        out1 = capsys.readouterr().out
+        assert "4 cells (4 computed, 0 cached)" in out1
+        assert cli_main(argv) == 0
+        out2 = capsys.readouterr().out
+        assert "4 cells (0 computed, 4 cached)" in out2
+        payload = json.loads((tmp_path / "sweep.json").read_text())
+        assert payload["cached"] == 4 and len(payload["cells"]) == 4
+        assert all(c["valid"] for c in payload["cells"])
