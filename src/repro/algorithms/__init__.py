@@ -108,6 +108,7 @@ __all__ = [
     "exact_greedy_assignment",
     "gamma_class",
     "greedy_list_coloring",
+    "LinearReport",
     "linear_in_delta_coloring",
     "linial_schedule",
     "list_exchange_coloring",

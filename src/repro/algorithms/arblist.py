@@ -201,7 +201,11 @@ def solve_list_arbdefective(
         )
         report.stage_palettes.append(q)
         report.phases.add("arbdefective-decomposition", arb_metrics)
-        metrics = metrics.merge_sequential(arb_metrics)
+        # stage runs live on the (shrinking) uncolored subgraph; the full
+        # graph's budget stays the budget of record
+        metrics = metrics.merge_sequential(
+            arb_metrics, bandwidth_limit=metrics.bandwidth_limit
+        )
 
         # --- iterate the q classes ----------------------------------------
         for i in range(q):
@@ -225,7 +229,9 @@ def solve_list_arbdefective(
             res, m, inner = oldc_solver(
                 residual, {v: init_coloring[v] for v in active}
             )
-            metrics = metrics.merge_sequential(m)
+            metrics = metrics.merge_sequential(
+                m, bandwidth_limit=metrics.bandwidth_limit
+            )
             report.phases.add("inner-oldc", m)
             report.oldc_runs += 1
             report.inner_reports.append(inner)

@@ -125,7 +125,11 @@ def barenboim_coloring(
             model=model,
             require_list_size=False,
         )
-        metrics = metrics.merge_sequential(m)
+        # the per-class digraph is a smaller network with its own (smaller-n)
+        # budget; the global graph's budget stays the budget of record
+        metrics = metrics.merge_sequential(
+            m, bandwidth_limit=metrics.bandwidth_limit
+        )
         report.mt20_runs += 1
         # accept only collision-free picks (w.r.t. the class digraph AND
         # colors already fixed by earlier classes); decline the rest

@@ -21,8 +21,6 @@ from __future__ import annotations
 import random
 from typing import Any
 
-import networkx as nx
-
 from ..core.coloring import ColoringResult
 from ..core.instance import ListDefectiveInstance
 from ..sim.message import Message, color_list_bits, index_bits

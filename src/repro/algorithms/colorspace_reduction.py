@@ -52,7 +52,13 @@ class ReductionReport:
 
 
 def _parallel_merge(metrics_list: list[RunMetrics]) -> RunMetrics:
-    """Combine metrics of subproblems that execute concurrently."""
+    """Combine metrics of subproblems that execute concurrently.
+
+    Per-round accounting is undefined across concurrent sub-runs, so only
+    the aggregate counters are filled in; the merged limit is the largest
+    sub-budget (the parts differ in size, and each part's violations were
+    counted against its own budget when observed).
+    """
     out = RunMetrics()
     if not metrics_list:
         return out
@@ -61,7 +67,8 @@ def _parallel_merge(metrics_list: list[RunMetrics]) -> RunMetrics:
     out.total_bits = sum(m.total_bits for m in metrics_list)
     out.max_message_bits = max(m.max_message_bits for m in metrics_list)
     out.bandwidth_violations = sum(m.bandwidth_violations for m in metrics_list)
-    out.bandwidth_limit = metrics_list[0].bandwidth_limit
+    limits = [m.bandwidth_limit for m in metrics_list if m.bandwidth_limit is not None]
+    out.bandwidth_limit = max(limits) if limits else None
     return out
 
 
@@ -162,7 +169,12 @@ def _reduce(
         )
         sub_metrics.append(m)
         assignment.update(sub_result.assignment)
-    merged = choice_metrics.merge_sequential(_parallel_merge(sub_metrics))
+    # sub-instances live on smaller graphs with smaller budgets; keep the
+    # choice-level (full-instance) budget as the budget of record
+    merged = choice_metrics.merge_sequential(
+        _parallel_merge(sub_metrics),
+        bandwidth_limit=choice_metrics.bandwidth_limit,
+    )
     return ColoringResult(assignment), merged
 
 

@@ -19,7 +19,6 @@ of the [FHK16]/[MT20] LOCAL-model baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
 
 import networkx as nx
 

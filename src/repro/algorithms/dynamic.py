@@ -23,8 +23,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import networkx as nx
-
 from ..core.coloring import ColoringResult
 from ..core.conditions import ldc_exists_condition
 from ..core.instance import ListDefectiveInstance

@@ -32,12 +32,11 @@ import networkx as nx
 
 from ..core.coloring import ColoringResult
 from ..sim.message import Message, index_bits
-from ..sim.metrics import RunMetrics
+from ..sim.metrics import RunMetrics, congest_bandwidth
 from ..sim.network import SyncNetwork
 from ..sim.node import DistributedAlgorithm, NodeView
 from .defective import run_defective_coloring
 from .linial import run_linial
-from .reduction import ScheduledListColoring
 
 
 @dataclass
@@ -123,7 +122,13 @@ def linear_in_delta_coloring(
     :func:`repro.core.validate.validate_proper_coloring`.
     """
     report = LinearReport()
-    metrics = RunMetrics()
+    # recursion spawns sub-networks on subgraphs with their own (smaller-n)
+    # CONGEST budgets; the full graph's budget is the budget of record for
+    # every merge below
+    budget = (
+        congest_bandwidth(graph.number_of_nodes()) if model == "CONGEST" else None
+    )
+    metrics = RunMetrics(bandwidth_limit=budget)
 
     def color_recursive(sub: nx.Graph, level: int) -> dict[int, int]:
         nonlocal metrics
@@ -136,12 +141,14 @@ def linear_in_delta_coloring(
             colors, m2 = _reduce_palette(
                 sub, pre.assignment, palette_order, target, model
             )
-            metrics = metrics.merge_sequential(m1).merge_sequential(m2)
+            metrics = metrics.merge_sequential(
+                m1, bandwidth_limit=budget
+            ).merge_sequential(m2, bandwidth_limit=budget)
             return colors
 
         d = delta // 2
         classes, m1, palette = run_defective_coloring(sub, d, model=model)
-        metrics = metrics.merge_sequential(m1)
+        metrics = metrics.merge_sequential(m1, bandwidth_limit=budget)
         # recurse per class with disjoint palettes (parallel: max rounds)
         sub_metrics: list[RunMetrics] = []
         union: dict[int, int] = {}
@@ -150,7 +157,7 @@ def linear_in_delta_coloring(
         for cls, members in sorted(classes.color_classes().items()):
             block = sub.subgraph(members)
             block_delta = max((deg for _, deg in block.degree), default=0)
-            metrics = RunMetrics()
+            metrics = RunMetrics(bandwidth_limit=budget)
             colors = color_recursive(block.copy(), level + 1)
             sub_metrics.append(metrics)
             for v, c in colors.items():
@@ -164,13 +171,13 @@ def linear_in_delta_coloring(
             parallel.max_message_bits = max(
                 m.max_message_bits for m in sub_metrics
             )
-        metrics = saved.merge_sequential(parallel)
+        metrics = saved.merge_sequential(parallel, bandwidth_limit=budget)
         report.palettes_before_reduce.append(offset)
         # rank-compress & reduce to delta + 1
         palette_order = list(range(offset))
         colors, m2 = _reduce_palette(sub, union, palette_order, delta + 1, model)
         report.reduce_rounds.append(m2.rounds)
-        metrics = metrics.merge_sequential(m2)
+        metrics = metrics.merge_sequential(m2, bandwidth_limit=budget)
         return colors
 
     assignment = color_recursive(graph, 0)

@@ -219,11 +219,15 @@ def run_linial(
     model: str = "CONGEST",
     initial_colors: dict[int, int] | None = None,
     defect: int = 0,
+    recorder=None,
+    _finalize_recorder: bool = True,
 ) -> tuple[ColoringResult, RunMetrics, int]:
     """Convenience wrapper: run Linial (or the [Kuh09] defective variant).
 
     Returns ``(coloring, metrics, palette_size)`` where ``palette_size`` is
     the final schedule palette ``q^2`` (an upper bound on colors used).
+    ``recorder`` (a :class:`~repro.obs.RunRecorder`) is threaded into the
+    underlying :meth:`~repro.sim.network.SyncNetwork.run`.
     """
     n = graph.number_of_nodes()
     delta = max((d for _, d in graph.degree), default=0)
@@ -242,5 +246,15 @@ def run_linial(
         inputs,
         shared={"schedule": sched, "m0": m0},
         max_rounds=len(sched) + 1,
+        recorder=recorder,
+        _finalize_recorder=False,
     )
+    if recorder is not None and _finalize_recorder:
+        recorder.finalize(
+            metrics,
+            n=n,
+            m=graph.number_of_edges(),
+            palette=palette,
+            algorithm=recorder.algorithm or LinialColoringAlgorithm().name,
+        )
     return ColoringResult(dict(outputs)), metrics, palette

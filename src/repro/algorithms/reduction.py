@@ -78,11 +78,15 @@ def reduce_to_list_coloring(
     instance: ListDefectiveInstance,
     proper_coloring: dict[int, int],
     model: str = "CONGEST",
+    recorder=None,
+    _finalize_recorder: bool = True,
 ) -> tuple[ColoringResult, RunMetrics]:
     """Run the schedule reduction for a zero-defect list instance.
 
     ``proper_coloring`` must be proper on the instance graph; each node's
-    list must have size >= degree + 1 (checked up front).
+    list must have size >= degree + 1 (checked up front).  ``recorder``
+    (a :class:`~repro.obs.RunRecorder`) is threaded into the underlying
+    :meth:`~repro.sim.network.SyncNetwork.run`.
     """
     g = instance.graph
     if instance.directed:
@@ -104,22 +108,43 @@ def reduce_to_list_coloring(
         inputs,
         shared={"num_classes": num_classes, "space_size": instance.space.size},
         max_rounds=num_classes + 2,
+        recorder=recorder,
+        _finalize_recorder=_finalize_recorder,
     )
     return ColoringResult(dict(outputs)), metrics
 
 
 def classic_delta_plus_one(
-    graph: nx.Graph, model: str = "CONGEST"
+    graph: nx.Graph, model: str = "CONGEST", recorder=None
 ) -> tuple[ColoringResult, RunMetrics]:
     """The classic O(Delta^2 + log* n) pipeline: Linial then the schedule.
 
     This is the baseline of [Lin87]-era algorithms referenced in footnote 2;
-    experiment E11 compares it against Theorem 1.4's pipeline.
+    experiment E11 compares it against Theorem 1.4's pipeline.  A
+    ``recorder`` accumulates rows across both stages and is finalized once
+    against the merged metrics (mirroring ``classic_vectorized``).
     """
     from ..core.instance import delta_plus_one_instance
     from .linial import run_linial
 
-    pre, m1, _palette = run_linial(graph, model=model)
+    pre, m1, _palette = run_linial(
+        graph, model=model, recorder=recorder, _finalize_recorder=False
+    )
     instance = delta_plus_one_instance(graph)
-    result, m2 = reduce_to_list_coloring(instance, pre.assignment, model=model)
-    return result, m1.merge_sequential(m2)
+    result, m2 = reduce_to_list_coloring(
+        instance,
+        pre.assignment,
+        model=model,
+        recorder=recorder,
+        _finalize_recorder=False,
+    )
+    merged = m1.merge_sequential(m2)
+    if recorder is not None:
+        recorder.finalize(
+            merged,
+            n=graph.number_of_nodes(),
+            m=graph.number_of_edges(),
+            palette=instance.space.size,
+            algorithm=recorder.algorithm or "classic",
+        )
+    return result, merged

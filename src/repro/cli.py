@@ -1,16 +1,22 @@
 """Command-line interface.
 
-Four subcommands::
+Main subcommands::
 
     repro-cli color      --family random_regular --n 120 --degree 10
     repro-cli edge-color --family ring --n 40
     repro-cli experiment E09 [--full]
+    repro-cli sweep      --algorithms linial,linial_vectorized --cache-dir C
+    repro-cli report     --cache-dir C
     repro-cli families
 
 ``color`` runs the Theorem 1.4 pipeline on a generated graph and prints
 the run metrics; ``edge-color`` does the same on the line graph;
-``experiment`` renders one of the reproduction experiments; ``families``
-lists the available graph generators and their parameters.
+``experiment`` renders one of the reproduction experiments; ``sweep``
+runs a cached grid of (family, n, seed, algorithm) cells; ``report``
+either writes the full experiment record or — with ``--cache-dir`` /
+``--runs`` — renders observability run records as per-round tables plus
+the reference-vs-vectorized cross-engine comparisons; ``families`` lists
+the available graph generators and their parameters.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ import inspect
 import sys
 
 from . import graphs
-from .algorithms import congest_degree_plus_one, congest_delta_plus_one
+from .algorithms import congest_degree_plus_one
 from .core import degree_plus_one_instance, validate_ldc
 from .experiments import EXPERIMENTS, get_runner
 from .graphs import (
@@ -131,6 +137,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import write_markdown_report, write_text_report
     from .experiments import run_all
 
+    if args.cache_dir or args.runs:
+        return _cmd_report_obs(args)
     results = run_all(fast=not args.full)
     if args.markdown:
         write_markdown_report(results, args.output)
@@ -142,6 +150,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
         f"all checks {'PASS' if ok else 'FAIL'}"
     )
     return 0 if ok else 1
+
+
+def _cmd_report_obs(args: argparse.Namespace) -> int:
+    from .analysis.report import load_cache_run_records, render_obs_report
+    from .obs import read_jsonl
+
+    records = []
+    if args.cache_dir:
+        records.extend(load_cache_run_records(args.cache_dir))
+    if args.runs:
+        try:
+            records.extend((args.runs, r) for r in read_jsonl(args.runs))
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"cannot read run records from {args.runs}: {exc}")
+    print(render_obs_report(records))
+    return 0 if records else 1
 
 
 def _cmd_selftest(_args: argparse.Namespace) -> int:
@@ -322,12 +346,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.set_defaults(func=_cmd_map)
 
     p_rep = sub.add_parser(
-        "report", help="run every experiment and write the full record"
+        "report",
+        help="write the experiment record, or render observability "
+             "run records (--cache-dir / --runs)",
     )
     p_rep.add_argument("--output", default="experiments_report.txt")
     p_rep.add_argument("--full", action="store_true")
     p_rep.add_argument("--markdown", action="store_true",
                        help="write Markdown instead of plain text")
+    p_rep.add_argument("--cache-dir", dest="cache_dir", default=None,
+                       help="render per-round tables and cross-engine "
+                            "comparisons from a sweep cache directory")
+    p_rep.add_argument("--runs", default=None,
+                       help="render run records from a RunRecord JSONL file")
     p_rep.set_defaults(func=_cmd_report)
 
     p_self = sub.add_parser("selftest", help="fast end-to-end smoke pass")

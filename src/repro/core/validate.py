@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
-from .coloring import ColoringResult, EdgeOrientation
+from .coloring import ColoringResult
 from .instance import ListDefectiveInstance
 
 

@@ -2,6 +2,7 @@
 
 from .harness import EXPERIMENTS, ExperimentResult, get_runner, run_all
 from .sweep import (
+    SWEEP_CACHE_SCHEMA,
     CellResult,
     SweepCell,
     SweepSummary,
@@ -15,6 +16,7 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
     "CellResult",
+    "SWEEP_CACHE_SCHEMA",
     "SweepCell",
     "SweepSummary",
     "cell_key",

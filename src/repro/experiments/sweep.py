@@ -21,7 +21,7 @@ once, for every driver:
 
 Cached cell records are plain JSON::
 
-    {"key": "<hex16>", "family": "random_regular",
+    {"key": "<hex16>", "schema": 2, "family": "random_regular",
      "family_params": {"n": 1000, "degree": 8, "seed": 0},
      "algorithm": "linial_vectorized", "algo_params": {},
      "n": 1000, "m": 4000, "delta": 8,
@@ -29,13 +29,27 @@ Cached cell records are plain JSON::
      "metrics": {"rounds": 4, "total_messages": ..., "total_bits": ...,
                  "max_message_bits": ..., "bandwidth_limit": ...,
                  "bandwidth_violations": 0},
-     "wall_s": 0.123}
+     "wall_s": 0.123,
+     "timings": {"csr_build": ..., "rounds": ...},
+     "run_record": {... full repro.obs.RunRecord, per-round rows ...}}
+
+``schema`` is :data:`SWEEP_CACHE_SCHEMA`; cached files written under any
+other schema (including the pre-observability records, which carried no
+``schema`` field at all) are treated as cache *misses* and recomputed, so
+a code change that alters the record layout can never be silently served
+stale from disk.
 
 Algorithms are resolved by name: first against the vectorized fast paths
 built on :mod:`repro.sim.engine` (``linial_vectorized``,
 ``classic_vectorized``, ``greedy_vectorized``, ``defective_split``), then
-against :mod:`repro.algorithms.registry` (the reference implementations),
-so one sweep can mix engine runs at large n with reference runs at small n.
+against the recorder-aware reference paths (``linial``, ``classic``,
+``greedy`` — the equivalence twins of the fast paths), then against
+:mod:`repro.algorithms.registry` (the remaining reference
+implementations), so one sweep can mix engine runs at large n with
+reference runs at small n.  Fast-path and reference-path cells attach a
+full per-round :class:`~repro.obs.RunRecord` to their cache record;
+cross-engine pairs (see :data:`repro.analysis.report.ENGINE_PAIRS`) must
+agree row for row.
 """
 
 from __future__ import annotations
@@ -47,6 +61,12 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
+
+#: Version of the cached cell-record layout.  Bump whenever the record
+#: gains, loses, or reinterprets fields; :func:`load_cached` treats any
+#: other version (including records from before this field existed) as a
+#: cache miss, so stale layouts are recomputed instead of silently served.
+SWEEP_CACHE_SCHEMA = 2
 
 
 # ----------------------------------------------------------------------
@@ -109,38 +129,102 @@ class CellResult:
 # ----------------------------------------------------------------------
 # algorithm dispatch
 # ----------------------------------------------------------------------
-def _run_linial_vectorized(graph, params):
+def _announce_coloring_metrics(graph, space_size: int, recorder):
+    """Synthesized accounting for sequential solvers publishing a coloring.
+
+    The sequential greedy has no distributed execution to account, so both
+    the reference and vectorized sweep paths charge the *same* canonical
+    cost — one round in which every node sends its final color index to
+    every neighbor — making ``greedy`` vs ``greedy_vectorized`` a valid
+    cross-engine equivalence pair (identical per-round rows by
+    construction, same bit convention as the schedule reduction's
+    announcements).
+    """
+    from ..sim.engine import record_uniform_round, synthesized_metrics
+    from ..sim.message import index_bits
+
+    metrics = synthesized_metrics(graph.number_of_nodes())
+    bits = index_bits(max(2, space_size))
+    record_uniform_round(
+        metrics, recorder, 2 * graph.number_of_edges(), bits, uncolored=0
+    )
+    return metrics
+
+
+def _run_linial_vectorized(graph, params, recorder=None):
     from ..sim.vectorized import linial_vectorized
 
     res, metrics, palette = linial_vectorized(
-        graph, defect=int(params.get("defect", 0))
+        graph, defect=int(params.get("defect", 0)), recorder=recorder
     )
     return res, metrics, palette
 
 
-def _run_classic_vectorized(graph, params):
+def _run_classic_vectorized(graph, params, recorder=None):
     from ..sim.vectorized import classic_delta_plus_one_vectorized
 
-    res, metrics = classic_delta_plus_one_vectorized(graph)
+    res, metrics = classic_delta_plus_one_vectorized(graph, recorder=recorder)
     return res, metrics, None
 
 
-def _run_greedy_vectorized(graph, params):
+def _run_greedy_vectorized(graph, params, recorder=None):
     from ..core.instance import delta_plus_one_instance
     from ..sim.vectorized import greedy_list_vectorized
 
-    res = greedy_list_vectorized(delta_plus_one_instance(graph))
-    return res, None, None
+    instance = delta_plus_one_instance(graph)
+    res = greedy_list_vectorized(instance)
+    metrics = _announce_coloring_metrics(graph, instance.space.size, recorder)
+    if recorder is not None:
+        recorder.finalize(
+            metrics,
+            n=graph.number_of_nodes(),
+            m=graph.number_of_edges(),
+            palette=instance.space.size,
+        )
+    return res, metrics, instance.space.size
 
 
-def _run_defective_split(graph, params):
+def _run_defective_split(graph, params, recorder=None):
     from ..core.coloring import ColoringResult
     from ..sim.vectorized import defective_split_vectorized
 
     classes, metrics, palette = defective_split_vectorized(
-        graph, defect=int(params.get("defect", 1))
+        graph, defect=int(params.get("defect", 1)), recorder=recorder
     )
     return ColoringResult(classes), metrics, palette
+
+
+def _run_linial_reference(graph, params, recorder=None):
+    from ..algorithms.linial import run_linial
+
+    res, metrics, palette = run_linial(
+        graph, defect=int(params.get("defect", 0)), recorder=recorder
+    )
+    return res, metrics, palette
+
+
+def _run_classic_reference(graph, params, recorder=None):
+    from ..algorithms.reduction import classic_delta_plus_one
+
+    res, metrics = classic_delta_plus_one(graph, recorder=recorder)
+    return res, metrics, None
+
+
+def _run_greedy_reference(graph, params, recorder=None):
+    from ..algorithms.greedy import greedy_list_coloring
+    from ..core.instance import delta_plus_one_instance
+
+    instance = delta_plus_one_instance(graph)
+    res = greedy_list_coloring(instance)
+    metrics = _announce_coloring_metrics(graph, instance.space.size, recorder)
+    if recorder is not None:
+        recorder.finalize(
+            metrics,
+            n=graph.number_of_nodes(),
+            m=graph.number_of_edges(),
+            palette=instance.space.size,
+        )
+    return res, metrics, instance.space.size
 
 
 FAST_PATHS: dict[str, Callable] = {
@@ -150,12 +234,23 @@ FAST_PATHS: dict[str, Callable] = {
     "defective_split": _run_defective_split,
 }
 
+#: Recorder-aware reference twins of the fast paths.  ``classic`` shadows
+#: the registry entry of the same name so sweep cells get per-round
+#: observability records; outputs and metrics are identical either way.
+REFERENCE_PATHS: dict[str, Callable] = {
+    "linial": _run_linial_reference,
+    "classic": _run_classic_reference,
+    "greedy": _run_greedy_reference,
+}
+
 
 def algorithm_names() -> list[str]:
     """Every algorithm name a sweep cell may reference."""
     from ..algorithms.registry import algorithm_names as registry_names
 
-    return sorted(FAST_PATHS) + list(registry_names())
+    return sorted(
+        set(FAST_PATHS) | set(REFERENCE_PATHS) | set(registry_names())
+    )
 
 
 def _validate(graph, result, algorithm, params) -> bool:
@@ -170,9 +265,17 @@ def _validate(graph, result, algorithm, params) -> bool:
 
 
 def compute_cell(cell: SweepCell) -> dict[str, Any]:
-    """Build the cell's graph, run its algorithm, and return the record."""
+    """Build the cell's graph, run its algorithm, and return the record.
+
+    Fast-path and reference-path cells run under a
+    :class:`~repro.obs.RunRecorder`, so the record carries the full
+    per-round :class:`~repro.obs.RunRecord` (``run_record``) and the
+    profiler's phase timings (``timings``); registry-only algorithms set
+    both to their empty values.
+    """
     from .. import graphs
     from ..algorithms import registry
+    from ..obs import ENGINE_REFERENCE, ENGINE_VECTORIZED, RunRecorder
 
     family_params = dict(cell.family_params)
     algo_params = dict(cell.algo_params)
@@ -181,15 +284,26 @@ def compute_cell(cell: SweepCell) -> dict[str, Any]:
 
     t0 = time.perf_counter()
     palette = None
+    recorder = None
     if cell.algorithm in FAST_PATHS:
-        result, metrics, palette = FAST_PATHS[cell.algorithm](graph, algo_params)
+        recorder = RunRecorder(engine=ENGINE_VECTORIZED, algorithm=cell.algorithm)
+        result, metrics, palette = FAST_PATHS[cell.algorithm](
+            graph, algo_params, recorder
+        )
+    elif cell.algorithm in REFERENCE_PATHS:
+        recorder = RunRecorder(engine=ENGINE_REFERENCE, algorithm=cell.algorithm)
+        result, metrics, palette = REFERENCE_PATHS[cell.algorithm](
+            graph, algo_params, recorder
+        )
     else:
         result, metrics = registry.run(cell.algorithm, graph)
     wall = time.perf_counter() - t0
 
+    run_record = recorder.record if recorder is not None else None
     record = dict(cell.spec())
     record.update(
         key=cell_key(cell),
+        schema=SWEEP_CACHE_SCHEMA,
         n=graph.number_of_nodes(),
         m=graph.number_of_edges(),
         delta=delta,
@@ -198,6 +312,8 @@ def compute_cell(cell: SweepCell) -> dict[str, Any]:
         palette=palette,
         metrics=metrics.summary() if metrics is not None else None,
         wall_s=wall,
+        timings=dict(run_record.timings) if run_record is not None else {},
+        run_record=run_record.to_dict() if run_record is not None else None,
     )
     return record
 
@@ -210,14 +326,22 @@ def _cache_path(cache_dir: Path, key: str) -> Path:
 
 
 def load_cached(cache_dir: Path | str, cell: SweepCell) -> dict[str, Any] | None:
-    """The cached record of a cell, or ``None`` when absent/unreadable."""
+    """The cached record of a cell, or ``None`` when absent/unreadable.
+
+    Records written under any other :data:`SWEEP_CACHE_SCHEMA` — including
+    pre-versioning records with no ``schema`` field — are misses: the cell
+    is recomputed and the file overwritten, never silently served stale.
+    """
     path = _cache_path(Path(cache_dir), cell_key(cell))
     if not path.exists():
         return None
     try:
-        return json.loads(path.read_text())
+        record = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError):
         return None
+    if not isinstance(record, dict) or record.get("schema") != SWEEP_CACHE_SCHEMA:
+        return None
+    return record
 
 
 def store_cached(cache_dir: Path | str, record: dict[str, Any]) -> Path:

@@ -1,0 +1,52 @@
+"""Lightweight wall-clock phase profiler.
+
+A :class:`Profiler` accumulates elapsed wall time per named phase via a
+context manager.  It is the timing half of the observability layer: both
+engines wrap their coarse stages (graph/CSR build, the round loop,
+validation) in :meth:`Profiler.phase` hooks, and the resulting
+``timings`` dict lands in the :class:`~repro.obs.record.RunRecord` so
+sweep records can answer *where* the wall-clock went, not just how much
+of it there was.
+
+The overhead is two ``perf_counter`` calls and one dict update per phase
+entry — negligible next to even a single vectorized round — so the hooks
+stay on unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Profiler:
+    """Accumulates wall-clock seconds per named phase.
+
+    Re-entering a phase name accumulates (useful for per-round loops);
+    nesting different names is allowed and each level charges its own
+    wall time (the outer phase's total includes the inner's).
+    """
+
+    __slots__ = ("timings",)
+
+    def __init__(self) -> None:
+        self.timings: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager charging the enclosed wall time to ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - t0
+            self.timings[name] = self.timings.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Charge ``seconds`` to ``name`` directly (pre-measured time)."""
+        self.timings[name] = self.timings.get(name, 0.0) + float(seconds)
+
+    def total(self) -> float:
+        """Sum of all recorded phase times."""
+        return sum(self.timings.values())

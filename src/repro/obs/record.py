@@ -1,0 +1,355 @@
+"""The shared run-record schema and its JSONL serialization.
+
+One :class:`RunRecord` describes one execution — by either engine — in a
+single structured shape:
+
+* **per-round rows** (:class:`RoundRow`): message count, total bits, max
+  message bits, plus the optional activity columns an engine can supply
+  (active nodes, uncolored nodes);
+* **headline summary**: the flat :meth:`~repro.sim.metrics.RunMetrics.summary`
+  counters (rounds, totals, bandwidth budget/violations);
+* **phase timings**: wall-clock seconds per coarse stage from the
+  :class:`~repro.obs.profiler.Profiler` hooks;
+* **provenance**: engine (``"reference"`` or ``"vectorized"``), algorithm
+  name, graph size, palette, and a ``schema`` version.
+
+The round-level columns are the paper's own currency — round counts and
+per-message bits per theorem — so "reference and vectorized runs of the
+same cell produce identical per-round message counts and bit totals" is a
+checkable equivalence (:func:`compare_round_accounting`), enforced by
+``tests/test_obs.py`` and surfaced by ``repro-cli report``.
+
+Records serialize as one JSON object per line (JSONL): append-friendly,
+streamable, and diffable.  :class:`RunRecorder` is the collection helper
+both engines feed — the reference simulator through
+``SyncNetwork.run(..., recorder=...)``, the fast paths through their
+``recorder=`` parameter — pairing engine-supplied activity columns with
+the per-round accounting that :class:`~repro.sim.metrics.RunMetrics` now
+carries natively.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from ..sim.metrics import RunMetrics
+from .profiler import Profiler
+
+#: Version of the RunRecord row/field layout.  Bump when rows gain,
+#: lose, or reinterpret columns; loaders treat other versions as foreign.
+OBS_SCHEMA_VERSION = 1
+
+#: Engine labels (the only two execution paths in the repo).
+ENGINE_REFERENCE = "reference"
+ENGINE_VECTORIZED = "vectorized"
+
+
+@dataclass(frozen=True)
+class RoundRow:
+    """Accounting of one synchronous round.
+
+    ``active`` (nodes still running at the round's start) and
+    ``uncolored`` (nodes without a final color after the round) are
+    optional: engines emit them when the algorithm's semantics make them
+    well-defined, ``None`` otherwise.
+    """
+
+    round: int
+    messages: int
+    total_bits: int
+    max_bits: int
+    active: int | None = None
+    uncolored: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-ready dict of this row."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RoundRow":
+        """Inverse of :meth:`to_dict` (ignores unknown keys)."""
+        return cls(
+            round=int(data["round"]),
+            messages=int(data["messages"]),
+            total_bits=int(data["total_bits"]),
+            max_bits=int(data["max_bits"]),
+            active=None if data.get("active") is None else int(data["active"]),
+            uncolored=(
+                None if data.get("uncolored") is None else int(data["uncolored"])
+            ),
+        )
+
+
+@dataclass
+class RunRecord:
+    """One run's complete observability record (see module docstring)."""
+
+    engine: str
+    algorithm: str
+    n: int
+    m: int
+    summary: dict[str, Any]
+    rows: list[RoundRow] = field(default_factory=list)
+    palette: int | None = None
+    timings: dict[str, float] = field(default_factory=dict)
+    schema: int = OBS_SCHEMA_VERSION
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_metrics(
+        cls,
+        metrics: RunMetrics,
+        *,
+        engine: str,
+        algorithm: str,
+        n: int,
+        m: int,
+        active_per_round: Sequence[int] | None = None,
+        uncolored_per_round: Sequence[int] | None = None,
+        palette: int | None = None,
+        timings: dict[str, float] | None = None,
+    ) -> "RunRecord":
+        """Build a record from a run's :class:`RunMetrics`.
+
+        Rows come from the metrics' native per-round lists; the optional
+        activity sequences are merged in positionally (shorter sequences
+        leave trailing rows' columns ``None``).  Metrics assembled by hand
+        (e.g. parallel merges, where per-round data is undefined) yield a
+        record with summary-only accounting and no rows.
+        """
+        rows: list[RoundRow] = []
+        if metrics.per_round_complete:
+            active = list(active_per_round or [])
+            uncolored = list(uncolored_per_round or [])
+            for r in range(metrics.rounds):
+                rows.append(
+                    RoundRow(
+                        round=r,
+                        messages=metrics.per_round_messages[r],
+                        total_bits=metrics.per_round_bits[r],
+                        max_bits=metrics.per_round_max_bits[r],
+                        active=active[r] if r < len(active) else None,
+                        uncolored=uncolored[r] if r < len(uncolored) else None,
+                    )
+                )
+        record = cls(
+            engine=engine,
+            algorithm=algorithm,
+            n=int(n),
+            m=int(m),
+            summary=dict(metrics.summary()),
+            rows=rows,
+            palette=palette,
+            timings=dict(timings or {}),
+        )
+        record.check_consistent()
+        return record
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def check_consistent(self) -> None:
+        """Raise ``ValueError`` when rows disagree with the summary.
+
+        The guarded invariant is exactly the class of bug this layer
+        exists to catch: per-round accounting silently drifting from the
+        headline counters (cf. the historical ``Trace.bits_per_round``
+        dropped-round bug).
+        """
+        if not self.rows:
+            return
+        problems = []
+        if len(self.rows) != self.summary.get("rounds"):
+            problems.append(
+                f"{len(self.rows)} rows vs rounds={self.summary.get('rounds')}"
+            )
+        msgs = sum(r.messages for r in self.rows)
+        if msgs != self.summary.get("total_messages"):
+            problems.append(
+                f"row messages {msgs} != total_messages "
+                f"{self.summary.get('total_messages')}"
+            )
+        bits = sum(r.total_bits for r in self.rows)
+        if bits != self.summary.get("total_bits"):
+            problems.append(
+                f"row bits {bits} != total_bits {self.summary.get('total_bits')}"
+            )
+        max_bits = max((r.max_bits for r in self.rows), default=0)
+        if max_bits != self.summary.get("max_message_bits"):
+            problems.append(
+                f"row max bits {max_bits} != max_message_bits "
+                f"{self.summary.get('max_message_bits')}"
+            )
+        if problems:
+            raise ValueError(
+                "inconsistent RunRecord: " + "; ".join(problems)
+            )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict (rows flattened) — the JSONL line payload."""
+        return {
+            "schema": self.schema,
+            "engine": self.engine,
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "m": self.m,
+            "palette": self.palette,
+            "summary": dict(self.summary),
+            "timings": dict(self.timings),
+            "rows": [r.to_dict() for r in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunRecord":
+        """Inverse of :meth:`to_dict`; raises on foreign schema versions."""
+        schema = data.get("schema")
+        if schema != OBS_SCHEMA_VERSION:
+            raise ValueError(
+                f"RunRecord schema {schema!r} != supported {OBS_SCHEMA_VERSION}"
+            )
+        return cls(
+            engine=str(data["engine"]),
+            algorithm=str(data["algorithm"]),
+            n=int(data["n"]),
+            m=int(data["m"]),
+            summary=dict(data["summary"]),
+            rows=[RoundRow.from_dict(r) for r in data.get("rows", [])],
+            palette=data.get("palette"),
+            timings={k: float(v) for k, v in (data.get("timings") or {}).items()},
+            schema=int(schema),
+        )
+
+
+# ----------------------------------------------------------------------
+# JSONL I/O
+# ----------------------------------------------------------------------
+def append_jsonl(record: RunRecord, path: Path | str) -> None:
+    """Append one record as a single JSON line (creates parents/file)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+
+
+def write_jsonl(records: Iterable[RunRecord], path: Path | str) -> None:
+    """Write records as JSONL, replacing any existing file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for record in records:
+            fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+
+
+def read_jsonl(path: Path | str) -> list[RunRecord]:
+    """Load every record of a JSONL file (blank lines skipped)."""
+    out = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            out.append(RunRecord.from_dict(json.loads(line)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# the collection helper both engines feed
+# ----------------------------------------------------------------------
+class RunRecorder:
+    """Collects per-round activity during a run and finalizes a record.
+
+    Engines call :meth:`on_round` once per synchronous round — in the same
+    order the run's :class:`RunMetrics` observes rounds — then
+    :meth:`finalize` pairs the activity columns with the metrics' native
+    per-round accounting.  ``SyncNetwork.run`` finalizes automatically;
+    vectorized fast paths finalize before returning.  With ``jsonl_path``
+    set, every finalized record is appended to that file.
+    """
+
+    def __init__(
+        self,
+        engine: str = ENGINE_REFERENCE,
+        algorithm: str = "",
+        jsonl_path: Path | str | None = None,
+    ) -> None:
+        self.engine = engine
+        self.algorithm = algorithm
+        self.jsonl_path = Path(jsonl_path) if jsonl_path is not None else None
+        self.active_per_round: list[int | None] = []
+        self.uncolored_per_round: list[int | None] = []
+        self.profiler = Profiler()
+        self.record: RunRecord | None = None
+
+    def on_round(
+        self, active: int | None = None, uncolored: int | None = None
+    ) -> None:
+        """Note one round's activity (either column may be unknown)."""
+        self.active_per_round.append(active)
+        self.uncolored_per_round.append(uncolored)
+
+    def finalize(
+        self,
+        metrics: RunMetrics,
+        *,
+        n: int,
+        m: int,
+        palette: int | None = None,
+        algorithm: str | None = None,
+    ) -> RunRecord:
+        """Assemble (and optionally emit) the final :class:`RunRecord`."""
+        record = RunRecord.from_metrics(
+            metrics,
+            engine=self.engine,
+            algorithm=algorithm or self.algorithm or "?",
+            n=n,
+            m=m,
+            active_per_round=[a for a in self.active_per_round],  # type: ignore[misc]
+            uncolored_per_round=[u for u in self.uncolored_per_round],  # type: ignore[misc]
+            palette=palette,
+            timings=self.profiler.timings,
+        )
+        self.record = record
+        if self.jsonl_path is not None:
+            append_jsonl(record, self.jsonl_path)
+        return record
+
+
+# ----------------------------------------------------------------------
+# cross-engine equivalence
+# ----------------------------------------------------------------------
+def compare_round_accounting(a: RunRecord, b: RunRecord) -> dict[str, Any]:
+    """Round-level accounting comparison of two records.
+
+    Compares the columns both engines must agree on — per-round message
+    counts and bit totals (plus round count and max message bits) — and
+    reports the first mismatching round, if any.  Activity columns are
+    engine-optional and deliberately not compared.
+    """
+    mismatches: list[int] = []
+    for r in range(max(len(a.rows), len(b.rows))):
+        ra = a.rows[r] if r < len(a.rows) else None
+        rb = b.rows[r] if r < len(b.rows) else None
+        if (
+            ra is None
+            or rb is None
+            or ra.messages != rb.messages
+            or ra.total_bits != rb.total_bits
+            or ra.max_bits != rb.max_bits
+        ):
+            mismatches.append(r)
+    return {
+        "rounds_equal": len(a.rows) == len(b.rows),
+        "accounting_equal": not mismatches,
+        "first_mismatch": mismatches[0] if mismatches else None,
+        "mismatched_rounds": len(mismatches),
+        "totals_equal": (
+            a.summary.get("total_messages") == b.summary.get("total_messages")
+            and a.summary.get("total_bits") == b.summary.get("total_bits")
+        ),
+    }

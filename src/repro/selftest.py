@@ -56,9 +56,6 @@ def selftest() -> list[str]:
         failures.append(f"existence: {type(exc).__name__}: {exc}")
 
     # 4. serialization round trip
-    import tempfile
-    from pathlib import Path
-
     from .core import degree_plus_one_instance
     from .io import instance_from_dict, instance_to_dict
 

@@ -7,6 +7,7 @@ from .engine import (
     poly_digits,
     poly_eval_grid,
     ragged_lists,
+    record_uniform_round,
     synthesized_metrics,
 )
 from .message import Message, color_list_bits, estimate_bits, index_bits, int_bits
@@ -52,6 +53,7 @@ __all__ = [
     "poly_digits",
     "poly_eval_grid",
     "ragged_lists",
+    "record_uniform_round",
     "schedule_reduction_vectorized",
     "synthesized_metrics",
 ]

@@ -159,6 +159,28 @@ def synthesized_metrics(n: int) -> RunMetrics:
     return RunMetrics(bandwidth_limit=congest_bandwidth(n))
 
 
+def record_uniform_round(
+    metrics: RunMetrics,
+    recorder,
+    count: int,
+    bits: int,
+    *,
+    active: int | None = None,
+    uncolored: int | None = None,
+) -> None:
+    """Observe one synthesized uniform round in metrics *and* recorder.
+
+    The single primitive every fast path charges its rounds through: it
+    keeps the accounting (:meth:`RunMetrics.observe_uniform_round`) and
+    the observability row (:meth:`repro.obs.RunRecorder.on_round`) in
+    lockstep, so a fast path cannot desynchronize the two.  ``recorder``
+    is duck-typed (anything with ``on_round``) and may be ``None``.
+    """
+    metrics.observe_uniform_round(count, bits)
+    if recorder is not None:
+        recorder.on_round(active=active, uncolored=uncolored)
+
+
 # ----------------------------------------------------------------------
 # neighbor-agreement kernels
 # ----------------------------------------------------------------------

@@ -30,6 +30,9 @@ def congest_bandwidth(n: int, factor: int = 32) -> int:
     return factor * math.ceil(math.log2(n))
 
 
+_UNSET = object()  # sentinel: merge_sequential's bandwidth_limit not given
+
+
 @dataclass
 class RunMetrics:
     """Aggregated communication metrics of one simulated execution."""
@@ -39,6 +42,8 @@ class RunMetrics:
     total_bits: int = 0
     max_message_bits: int = 0
     per_round_max_bits: list[int] = field(default_factory=list)
+    per_round_messages: list[int] = field(default_factory=list)
+    per_round_bits: list[int] = field(default_factory=list)
     bandwidth_limit: int | None = None
     bandwidth_violations: int = 0
 
@@ -57,19 +62,39 @@ class RunMetrics:
             self.bandwidth_violations += count
         self.max_message_bits = max(self.max_message_bits, round_max)
         self.per_round_max_bits.append(round_max)
+        self.per_round_messages.append(count)
+        self.per_round_bits.append(count * bits)
 
     def observe_round(self, message_sizes: list[int]) -> None:
         """Record one synchronous round given its per-message bit sizes."""
         self.rounds += 1
         self.total_messages += len(message_sizes)
         round_max = 0
+        round_bits = 0
         for bits in message_sizes:
-            self.total_bits += bits
+            round_bits += bits
             round_max = max(round_max, bits)
             if self.bandwidth_limit is not None and bits > self.bandwidth_limit:
                 self.bandwidth_violations += 1
+        self.total_bits += round_bits
         self.max_message_bits = max(self.max_message_bits, round_max)
         self.per_round_max_bits.append(round_max)
+        self.per_round_messages.append(len(message_sizes))
+        self.per_round_bits.append(round_bits)
+
+    @property
+    def per_round_complete(self) -> bool:
+        """Whether every round carries per-round accounting.
+
+        False for metrics assembled by hand (e.g. parallel merges that only
+        set the aggregate counters), where per-round rows are undefined.
+        """
+        return (
+            len(self.per_round_messages)
+            == len(self.per_round_bits)
+            == len(self.per_round_max_bits)
+            == self.rounds
+        )
 
     @property
     def congest_compliant(self) -> bool:
@@ -88,15 +113,50 @@ class RunMetrics:
         network — the right compliance question for composed pipelines."""
         return self.max_message_bits <= congest_bandwidth(n, factor)
 
-    def merge_sequential(self, other: "RunMetrics") -> "RunMetrics":
-        """Combine metrics of two phases run back to back."""
+    def merge_sequential(
+        self,
+        other: "RunMetrics",
+        *,
+        bandwidth_limit: "int | None | object" = _UNSET,
+    ) -> "RunMetrics":
+        """Combine metrics of two phases run back to back.
+
+        The merged ``bandwidth_limit`` is the phases' common limit: a
+        ``None`` on either side defers to the other (a limitless phase
+        imposes no budget), and two equal limits stay.  Two *different*
+        non-``None`` limits are a modeling conflict (which budget would the
+        merged violations be counted against?) and raise ``ValueError``;
+        pipelines that legitimately compose sub-networks of different sizes
+        must state the budget of record explicitly via the
+        ``bandwidth_limit`` keyword (conventionally the enclosing network's
+        — per-message violations were already tallied against each
+        sub-network's own budget when the rounds were observed).
+        """
+        if bandwidth_limit is _UNSET:
+            if self.bandwidth_limit is None:
+                limit = other.bandwidth_limit
+            elif (
+                other.bandwidth_limit is None
+                or other.bandwidth_limit == self.bandwidth_limit
+            ):
+                limit = self.bandwidth_limit
+            else:
+                raise ValueError(
+                    f"merge_sequential: conflicting bandwidth limits "
+                    f"{self.bandwidth_limit} vs {other.bandwidth_limit}; "
+                    f"pass bandwidth_limit=... to pick the budget of record"
+                )
+        else:
+            limit = bandwidth_limit  # type: ignore[assignment]
         merged = RunMetrics(
             rounds=self.rounds + other.rounds,
             total_messages=self.total_messages + other.total_messages,
             total_bits=self.total_bits + other.total_bits,
             max_message_bits=max(self.max_message_bits, other.max_message_bits),
             per_round_max_bits=self.per_round_max_bits + other.per_round_max_bits,
-            bandwidth_limit=self.bandwidth_limit,
+            per_round_messages=self.per_round_messages + other.per_round_messages,
+            per_round_bits=self.per_round_bits + other.per_round_bits,
+            bandwidth_limit=limit,
             bandwidth_violations=self.bandwidth_violations
             + other.bandwidth_violations,
         )

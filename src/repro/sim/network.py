@@ -24,7 +24,7 @@ inputs).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 import networkx as nx
 
@@ -33,6 +33,9 @@ from .message import Message
 from .metrics import RunMetrics, congest_bandwidth
 from .node import DistributedAlgorithm, HaltingError, NodeView
 from .trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> sim)
+    from ..obs import RunRecorder
 
 
 class SyncNetwork:
@@ -108,6 +111,8 @@ class SyncNetwork:
         max_rounds: int = 10_000,
         round_hook: Callable[[int, dict[int, dict[str, Any]]], None] | None = None,
         trace: Trace | None = None,
+        recorder: "RunRecorder | None" = None,
+        _finalize_recorder: bool = True,
     ) -> tuple[dict[int, Any], RunMetrics]:
         """Execute ``algorithm`` to completion.
 
@@ -119,6 +124,12 @@ class SyncNetwork:
         round; used by tests to assert invariants mid-run.
         ``trace`` — optional :class:`~repro.sim.trace.Trace` that records
         every message (round, src, dst, bits) for post-hoc inspection.
+        ``recorder`` — optional :class:`~repro.obs.RunRecorder`; it is fed
+        one activity row per round and finalized into a structured
+        :class:`~repro.obs.RunRecord` when the run completes (JSONL is
+        emitted when the recorder was built with a ``jsonl_path``).
+        ``_finalize_recorder`` — internal: :meth:`run_phases` defers
+        finalization to the end of the composition.
         """
         inputs = inputs or {}
         shared = dict(shared or {})
@@ -160,12 +171,21 @@ class SyncNetwork:
             metrics.observe_round(sizes)
             if trace is not None:
                 trace.record_round(len(active))
+            if recorder is not None:
+                recorder.on_round(active=len(active))
             if round_hook is not None:
                 round_hook(rnd, states)
             active = {v for v in active if not algorithm.is_done(views[v], states[v])}
             rnd += 1
 
         outputs = {v: algorithm.output(views[v], states[v]) for v in sorted(views)}
+        if recorder is not None and _finalize_recorder:
+            recorder.finalize(
+                metrics,
+                n=self.graph.number_of_nodes(),
+                m=self.graph.number_of_edges(),
+                algorithm=recorder.algorithm or algorithm.name,
+            )
         return outputs, metrics
 
     # ------------------------------------------------------------------
@@ -176,6 +196,7 @@ class SyncNetwork:
         max_rounds: int = 10_000,
         round_hook: Callable[[int, dict[int, dict[str, Any]]], None] | None = None,
         trace: Trace | None = None,
+        recorder: "RunRecorder | None" = None,
     ) -> tuple[list[dict[int, Any]], RunMetrics]:
         """Run several algorithms back to back, summing their metrics.
 
@@ -184,13 +205,15 @@ class SyncNetwork:
         compositions (Linial precoloring, then gamma-class assignment, then
         the main coloring, ...).
 
-        ``round_hook`` and ``trace`` are threaded through to every phase's
-        :meth:`run` so composed pipelines stay observable; the hook's round
-        index restarts at 0 in each phase, while ``trace`` accumulates
-        messages across the whole composition.
+        ``round_hook``, ``trace``, and ``recorder`` are threaded through to
+        every phase's :meth:`run` so composed pipelines stay observable;
+        the hook's round index restarts at 0 in each phase, while ``trace``
+        and ``recorder`` accumulate across the whole composition (the
+        recorder is finalized once, against the merged metrics).
         """
         total = RunMetrics(bandwidth_limit=self.bandwidth)
         outs: list[dict[int, Any]] = []
+        names: list[str] = []
         for algorithm, inputs in phases:
             o, m = self.run(
                 algorithm,
@@ -199,8 +222,17 @@ class SyncNetwork:
                 max_rounds,
                 round_hook=round_hook,
                 trace=trace,
+                recorder=recorder,
+                _finalize_recorder=False,
             )
             outs.append(o)
+            names.append(algorithm.name)
             total = total.merge_sequential(m)
-        total.bandwidth_limit = self.bandwidth
+        if recorder is not None:
+            recorder.finalize(
+                total,
+                n=self.graph.number_of_nodes(),
+                m=self.graph.number_of_edges(),
+                algorithm=recorder.algorithm or "+".join(names),
+            )
         return outs, total

@@ -61,11 +61,34 @@ class Trace:
         return [m for m in self.messages if m.src == src and m.dst == dst]
 
     def bits_per_round(self) -> list[int]:
-        """Total bits shipped in each round."""
-        out = [0] * self.rounds
+        """Total bits shipped in each round.
+
+        Sized to cover every recorded message, even when
+        :meth:`record_round` was not called for a trailing round (messages
+        beyond the last closed round used to be silently dropped, making
+        ``sum(bits_per_round())`` disagree with ``summary()["total_bits"]``).
+        """
+        rounds = self.rounds
+        if self.messages:
+            rounds = max(rounds, max(m.round for m in self.messages) + 1)
+        out = [0] * rounds
         for m in self.messages:
-            if m.round < len(out):
-                out[m.round] += m.bits
+            if m.round < 0:
+                raise ValueError(f"traced message with negative round: {m}")
+            out[m.round] += m.bits
+        assert sum(out) == sum(m.bits for m in self.messages), (
+            "bits_per_round dropped messages — accounting bug"
+        )
+        return out
+
+    def messages_per_round(self) -> list[int]:
+        """Message count of each round (sized like :meth:`bits_per_round`)."""
+        rounds = self.rounds
+        if self.messages:
+            rounds = max(rounds, max(m.round for m in self.messages) + 1)
+        out = [0] * rounds
+        for m in self.messages:
+            out[m.round] += 1
         return out
 
     def busiest_round(self) -> int:

@@ -31,6 +31,8 @@ bottleneck for large-n experiments (E14).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 import networkx as nx
 
@@ -42,10 +44,29 @@ from .engine import (
     poly_digits,
     poly_eval_grid,
     ragged_lists,
+    record_uniform_round,
     synthesized_metrics,
 )
 from .message import int_bits
 from .metrics import RunMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> sim)
+    from ..obs import RunRecorder
+
+
+class _NullPhase:
+    """No-op context manager used when no recorder/profiler is attached."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+def _phase(recorder: "RunRecorder | None", name: str):
+    """The recorder's profiler phase, or a no-op when unobserved."""
+    return recorder.profiler.phase(name) if recorder is not None else _NullPhase()
 
 
 def _edge_arrays(graph: nx.Graph) -> tuple[np.ndarray, np.ndarray, dict[int, int]]:
@@ -63,25 +84,33 @@ def linial_vectorized(
     graph: nx.Graph,
     initial_colors: dict[int, int] | None = None,
     defect: int = 0,
+    recorder: "RunRecorder | None" = None,
+    _finalize_recorder: bool = True,
 ) -> tuple[ColoringResult, RunMetrics, int]:
     """Vectorized twin of :func:`repro.algorithms.linial.run_linial`.
 
     Returns the identical ``(coloring, metrics, palette)`` triple; see the
-    module docstring for the equivalence contract.
+    module docstring for the equivalence contract.  ``recorder`` (a
+    :class:`~repro.obs.RunRecorder`) additionally collects one
+    observability row per schedule step — every node is active in every
+    round, exactly as in the reference run — plus ``csr_build`` /
+    ``schedule`` / ``rounds`` phase timings.
     """
     from ..algorithms.linial import defective_schedule, linial_schedule
 
-    csr = CSRGraph.from_networkx(graph)
+    with _phase(recorder, "csr_build"):
+        csr = CSRGraph.from_networkx(graph)
     n = csr.n
     delta = int(csr.degrees.max()) if n else 0
     if initial_colors is None:
         initial_colors = {v: i for i, v in enumerate(csr.nodes)}
     m0 = max(initial_colors.values()) + 1 if initial_colors else 1
-    sched = (
-        linial_schedule(m0, delta)
-        if defect == 0
-        else defective_schedule(m0, delta, defect)
-    )
+    with _phase(recorder, "schedule"):
+        sched = (
+            linial_schedule(m0, delta)
+            if defect == 0
+            else defective_schedule(m0, delta, defect)
+        )
     palette = sched[-1].out_colors if sched else m0
 
     colors = csr.gather(initial_colors)
@@ -90,22 +119,36 @@ def linial_vectorized(
     bits = int_bits(max(1, m0 - 1))
     per_round_messages = csr.num_directed_edges
 
-    for step in sched:
-        q, deg = step.q, step.deg
-        digits = poly_digits(colors, q, deg)
-        evals = poly_eval_grid(digits, q)  # (q, n)
-        hits = collision_counts(csr, evals)  # (q, n) int64
-        best_x = np.argmin(hits, axis=0)  # first occurrence = smallest x
-        colors = best_x * q + evals[best_x, np.arange(n)]
-        metrics.observe_uniform_round(per_round_messages, bits)
+    with _phase(recorder, "rounds"):
+        for step in sched:
+            q, deg = step.q, step.deg
+            digits = poly_digits(colors, q, deg)
+            evals = poly_eval_grid(digits, q)  # (q, n)
+            hits = collision_counts(csr, evals)  # (q, n) int64
+            best_x = np.argmin(hits, axis=0)  # first occurrence = smallest x
+            colors = best_x * q + evals[best_x, np.arange(n)]
+            record_uniform_round(
+                metrics, recorder, per_round_messages, bits, active=n
+            )
 
-    return ColoringResult(csr.scatter(colors)), metrics, palette
+    result = ColoringResult(csr.scatter(colors))
+    if recorder is not None and _finalize_recorder:
+        recorder.finalize(
+            metrics,
+            n=n,
+            m=csr.num_directed_edges // 2,
+            palette=palette,
+            algorithm=recorder.algorithm or "linial_vectorized",
+        )
+    return result, metrics, palette
 
 
 def schedule_reduction_vectorized(
     graph: nx.Graph,
     schedule_colors: dict[int, int],
     palettes_size: int,
+    recorder: "RunRecorder | None" = None,
+    _finalize_recorder: bool = True,
 ) -> tuple[ColoringResult, RunMetrics]:
     """Vectorized twin of the one-class-per-round list reduction
     (:class:`repro.algorithms.reduction.ScheduledListColoring` with the
@@ -115,10 +158,13 @@ def schedule_reduction_vectorized(
     already-finalized neighbors and announces it the following round;
     metrics are synthesized to match the reference run exactly (each node
     sends its color once to every neighbor, one round after picking).
+    ``recorder`` rows carry the per-round uncolored count (nodes whose
+    class has not picked yet).
     """
     from .message import index_bits
 
-    csr = CSRGraph.from_networkx(graph)
+    with _phase(recorder, "csr_build"):
+        csr = CSRGraph.from_networkx(graph)
     n = csr.n
     src, dst = csr.src, csr.indices
     cls = csr.gather(schedule_colors)
@@ -131,23 +177,39 @@ def schedule_reduction_vectorized(
     max_cls = int(cls.max()) if n else 0
     # messages in round r: announcements from the class that picked at r-1
     announce_counts = [0] * (max_cls + 2)
-    for c in range(max_cls + 1):
-        members = np.nonzero(cls == c)[0]
-        if members.size:
-            # pick smallest free color per member (argmax of ~taken)
-            free = ~taken[members]
-            picks = np.argmax(free, axis=1)
-            final[members] = picks
-            # mark neighbors
-            member_set = np.zeros(n, dtype=bool)
-            member_set[members] = True
-            mask = member_set[src]
-            np.add.at(taken, (dst[mask], final[src[mask]]), True)
-            announce_counts[c + 1] = int(degree[members].sum())
-    rounds_needed = max_cls + 2
-    for r in range(rounds_needed):
-        metrics.observe_uniform_round(announce_counts[r], bits)
-    return ColoringResult(csr.scatter(final)), metrics
+    picked_counts = [0] * (max_cls + 2)  # nodes picking *in* round r
+    with _phase(recorder, "rounds"):
+        for c in range(max_cls + 1):
+            members = np.nonzero(cls == c)[0]
+            if members.size:
+                # pick smallest free color per member (argmax of ~taken)
+                free = ~taken[members]
+                picks = np.argmax(free, axis=1)
+                final[members] = picks
+                # mark neighbors
+                member_set = np.zeros(n, dtype=bool)
+                member_set[members] = True
+                mask = member_set[src]
+                np.add.at(taken, (dst[mask], final[src[mask]]), True)
+                announce_counts[c + 1] = int(degree[members].sum())
+                picked_counts[c] = int(members.size)
+        rounds_needed = max_cls + 2
+        uncolored = n
+        for r in range(rounds_needed):
+            uncolored -= picked_counts[r]
+            record_uniform_round(
+                metrics, recorder, announce_counts[r], bits, uncolored=uncolored
+            )
+    result = ColoringResult(csr.scatter(final))
+    if recorder is not None and _finalize_recorder:
+        recorder.finalize(
+            metrics,
+            n=n,
+            m=csr.num_directed_edges // 2,
+            palette=palettes_size,
+            algorithm=recorder.algorithm or "schedule_reduction_vectorized",
+        )
+    return result, metrics
 
 
 def greedy_list_vectorized(
@@ -198,6 +260,7 @@ def defective_split_vectorized(
     graph: nx.Graph,
     defect: int,
     validate: bool = True,
+    recorder: "RunRecorder | None" = None,
 ) -> tuple[dict[int, int], RunMetrics, int]:
     """Fast path for the defective-split decomposition step
     (:func:`repro.algorithms.defective.defective_class_partition`).
@@ -207,34 +270,62 @@ def defective_split_vectorized(
     each class induces a subgraph of maximum degree <= ``defect``
     (the graph-decomposition step of the Theorem 1.3 transformation).
     Validation is vectorized (per-node same-color neighbor counts via one
-    integer bincount) instead of the reference's per-edge Python scan.
+    integer bincount) instead of the reference's per-edge Python scan;
+    with a ``recorder`` attached it is timed as a ``validate`` phase.
     """
     if defect < 0:
         raise ValueError(f"defect must be >= 0, got {defect}")
-    result, metrics, palette = linial_vectorized(graph, defect=defect)
+    result, metrics, palette = linial_vectorized(
+        graph, defect=defect, recorder=recorder, _finalize_recorder=False
+    )
     if validate:
-        csr = CSRGraph.from_networkx(graph)
-        colors = csr.gather(result.assignment)
-        same = equal_neighbor_counts(csr, colors)
-        if same.size and int(same.max()) > defect:
-            bad = csr.nodes[int(np.argmax(same))]
-            raise ValueError(
-                f"defective split invalid: node {bad} has {int(same.max())} "
-                f"same-class neighbors (allowed {defect})"
-            )
+        with _phase(recorder, "validate"):
+            csr = CSRGraph.from_networkx(graph)
+            colors = csr.gather(result.assignment)
+            same = equal_neighbor_counts(csr, colors)
+            if same.size and int(same.max()) > defect:
+                bad = csr.nodes[int(np.argmax(same))]
+                raise ValueError(
+                    f"defective split invalid: node {bad} has {int(same.max())} "
+                    f"same-class neighbors (allowed {defect})"
+                )
+    if recorder is not None:
+        recorder.finalize(
+            metrics,
+            n=graph.number_of_nodes(),
+            m=graph.number_of_edges(),
+            palette=palette,
+            algorithm=recorder.algorithm or "defective_split_vectorized",
+        )
     return dict(result.assignment), metrics, palette
 
 
 def classic_delta_plus_one_vectorized(
     graph: nx.Graph,
+    recorder: "RunRecorder | None" = None,
 ) -> tuple[ColoringResult, RunMetrics]:
     """Vectorized classic pipeline: Linial then the schedule reduction.
 
     Output-equivalent to
     :func:`repro.algorithms.reduction.classic_delta_plus_one` (tests
     compare node for node); usable at n in the hundreds of thousands.
+    A ``recorder`` accumulates rows across both stages and is finalized
+    once against the merged metrics.
     """
-    pre, m1, _palette = linial_vectorized(graph)
+    pre, m1, _palette = linial_vectorized(
+        graph, recorder=recorder, _finalize_recorder=False
+    )
     delta = max((d for _, d in graph.degree), default=0)
-    res, m2 = schedule_reduction_vectorized(graph, pre.assignment, delta + 1)
-    return res, m1.merge_sequential(m2)
+    res, m2 = schedule_reduction_vectorized(
+        graph, pre.assignment, delta + 1, recorder=recorder, _finalize_recorder=False
+    )
+    merged = m1.merge_sequential(m2)
+    if recorder is not None:
+        recorder.finalize(
+            merged,
+            n=graph.number_of_nodes(),
+            m=graph.number_of_edges(),
+            palette=delta + 1,
+            algorithm=recorder.algorithm or "classic_vectorized",
+        )
+    return res, merged

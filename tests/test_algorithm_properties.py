@@ -8,20 +8,15 @@ random parameters, reduction partitioning, and decomposition structure.
 import math
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core import ColorSpace, uniform_instance
+from repro.core import ColorSpace
 from repro.core.validate import (
     validate_arbdefective_plain,
     validate_defective_coloring,
 )
-from repro.graphs import gnp, random_regular
-from repro.algorithms.linial import (
-    LinialStep,
-    defective_schedule,
-    linial_schedule,
-)
+from repro.graphs import gnp
+from repro.algorithms.linial import defective_schedule, linial_schedule
 from repro.algorithms.oldc_basic import gamma_class, single_defect_restriction
 from repro.algorithms.colorspace_reduction import corollary_4_1_p, corollary_4_2_p
 

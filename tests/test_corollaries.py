@@ -10,7 +10,6 @@ from repro.algorithms.colorspace_reduction import (
     solve_with_corollary_4_1,
 )
 from repro.algorithms.arblist import solve_list_arbdefective
-from repro.algorithms.linial import run_linial
 from repro.algorithms.oldc_basic import solve_oldc_basic
 from repro.algorithms.oldc_main import solve_oldc_main
 

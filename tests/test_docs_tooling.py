@@ -1,7 +1,6 @@
 """Tests for the documentation tooling and repo-level doc invariants."""
 
 import importlib.util
-import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.core",
     "repro.graphs",
     "repro.sim",
+    "repro.obs",
     "repro.algorithms",
     "repro.analysis",
     "repro.scenarios",

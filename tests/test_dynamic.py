@@ -5,7 +5,7 @@ import random
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core import ColorSpace, degree_plus_one_instance, uniform_instance, validate_ldc
+from repro.core import ColorSpace, uniform_instance, validate_ldc
 from repro.exceptions import ConditionViolation
 from repro.graphs import gnp, ring
 from repro.algorithms import solve_ldc_potential

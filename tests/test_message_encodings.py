@@ -8,7 +8,6 @@ encodings exactly — the accounting the experiments report is only as good
 as these declarations.
 """
 
-import pytest
 
 from repro.core import ColorSpace, degree_plus_one_instance
 from repro.graphs import gnp, ring

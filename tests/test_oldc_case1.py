@@ -9,7 +9,6 @@ end-to-end validity of the Theorem 1.1 run on them.
 
 import random
 
-import networkx as nx
 import pytest
 
 from repro.core import ColorSpace, ListDefectiveInstance

@@ -1,6 +1,5 @@
 """Tests for the main OLDC algorithm (Theorem 1.1 / Lemmas 3.7-3.8)."""
 
-import math
 
 import pytest
 

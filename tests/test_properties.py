@@ -9,7 +9,6 @@ structural invariants of the decompositions.
 import random
 
 import networkx as nx
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import ColorSpace
@@ -24,7 +23,7 @@ from repro.core.validate import (
     validate_ldc,
     validate_proper_coloring,
 )
-from repro.graphs import balanced_orientation, gnp, random_regular
+from repro.graphs import balanced_orientation, gnp
 from repro.algorithms import (
     arbdefective_coloring,
     greedy_list_coloring,

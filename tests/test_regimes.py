@@ -1,6 +1,5 @@
 """Tests for the regime map (repro.analysis.regimes)."""
 
-import math
 
 import pytest
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import validate_proper_coloring
 from repro.graphs import gnp, random_regular
-from repro.algorithms.registry import REGISTRY, algorithm_names, get, run
+from repro.algorithms.registry import algorithm_names, get, run
 
 
 class TestRegistry:

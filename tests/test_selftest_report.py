@@ -1,6 +1,5 @@
 """Tests for the selftest pass and the report writers."""
 
-import pytest
 
 from repro.selftest import selftest
 from repro.analysis.report import (

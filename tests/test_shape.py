@@ -1,6 +1,5 @@
 """Tests for the shape-statistics utilities."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

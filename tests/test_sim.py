@@ -309,10 +309,41 @@ class TestMetricsEquivalence:
         a.observe_uniform_round(2, 8)
         b = RunMetrics(bandwidth_limit=64)
         b.observe_uniform_round(1, 200)
-        merged = a.merge_sequential(b)
-        assert merged.bandwidth_limit == 128  # the first phase's budget wins
+        # conflicting non-None limits must be resolved explicitly
+        with pytest.raises(ValueError, match="conflicting bandwidth limits"):
+            a.merge_sequential(b)
+        merged = a.merge_sequential(b, bandwidth_limit=128)
+        assert merged.bandwidth_limit == 128
         assert merged.rounds == 2
         assert merged.bandwidth_violations == 1
-        # merging with a limitless phase keeps the budget too
+        # merging with a limitless phase keeps the budget (either side)
         c = RunMetrics()
         assert a.merge_sequential(c).bandwidth_limit == 128
+        assert c.merge_sequential(a).bandwidth_limit == 128
+        # equal limits merge without the keyword
+        d = RunMetrics(bandwidth_limit=128)
+        d.observe_uniform_round(1, 8)
+        assert a.merge_sequential(d).bandwidth_limit == 128
+
+    def test_merge_sequential_concatenates_per_round_lists(self):
+        a = RunMetrics(bandwidth_limit=128)
+        a.observe_uniform_round(2, 8)
+        b = RunMetrics(bandwidth_limit=128)
+        b.observe_round([16, 4])
+        merged = a.merge_sequential(b)
+        assert merged.per_round_messages == [2, 2]
+        assert merged.per_round_bits == [16, 20]
+        assert merged.per_round_max_bits == [8, 16]
+        assert merged.per_round_complete
+
+    def test_observe_uniform_round_zero_count(self):
+        m = RunMetrics()
+        m.observe_uniform_round(0, 7)
+        assert m.rounds == 1
+        assert m.total_messages == 0
+        assert m.total_bits == 0
+        assert m.per_round_messages == [0]
+        assert m.per_round_bits == [0]
+        assert m.per_round_max_bits == [0]
+        assert m.max_message_bits == 0
+        assert m.per_round_complete

@@ -8,7 +8,6 @@ the vectorized engine at real sizes.
 
 import random
 
-import pytest
 
 from repro.core import (
     ColorSpace,

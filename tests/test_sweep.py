@@ -127,13 +127,20 @@ class TestRunSweep:
         assert [r.cell for r in results] == cells
 
     def test_parallel_equals_inline(self, tmp_path):
+        def strip_clock(data):
+            # wall-clock fields legitimately differ between runs
+            out = {k: v for k, v in data.items() if k not in ("wall_s", "timings")}
+            if out.get("run_record") is not None:
+                out["run_record"] = {
+                    k: v for k, v in out["run_record"].items() if k != "timings"
+                }
+            return out
+
         cells = small_cells()
         inline = run_sweep(cells, cache_dir=None, workers=1)
         parallel = run_sweep(cells, cache_dir=None, workers=2)
         for a, b in zip(inline, parallel):
-            da = {k: v for k, v in a.data.items() if k != "wall_s"}
-            db = {k: v for k, v in b.data.items() if k != "wall_s"}
-            assert da == db
+            assert strip_clock(a.data) == strip_clock(b.data)
 
     def test_no_cache_dir_always_computes(self):
         cells = small_cells()[:2]
@@ -145,6 +152,57 @@ class TestRunSweep:
         cell = SweepCell.make("ring", {"n": 24}, "linial_vectorized")
         results = run_sweep([cell, cell], cache_dir=tmp_path, workers=1)
         assert len(results) == 1
+
+
+class TestCacheSchema:
+    def test_records_carry_current_schema(self, tmp_path):
+        from repro.experiments.sweep import SWEEP_CACHE_SCHEMA, load_cached
+
+        cell = SweepCell.make("ring", {"n": 24}, "linial_vectorized")
+        run_sweep([cell], cache_dir=tmp_path, workers=1)
+        cached = load_cached(tmp_path, cell)
+        assert cached is not None
+        assert cached["schema"] == SWEEP_CACHE_SCHEMA
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        from repro.experiments.sweep import SWEEP_CACHE_SCHEMA, load_cached
+
+        cell = SweepCell.make("ring", {"n": 24}, "linial_vectorized")
+        run_sweep([cell], cache_dir=tmp_path, workers=1)
+        path = tmp_path / f"{cell_key(cell)}.json"
+        record = json.loads(path.read_text())
+        record["schema"] = SWEEP_CACHE_SCHEMA + 1  # simulate a code bump
+        path.write_text(json.dumps(record))
+        assert load_cached(tmp_path, cell) is None
+        # the sweep recomputes (and rewrites) rather than serving stale data
+        summary = run_sweep_summarized([cell], cache_dir=tmp_path, workers=1)
+        assert summary.computed == 1 and summary.cached == 0
+        assert load_cached(tmp_path, cell) is not None
+
+    def test_pre_versioning_record_is_a_miss(self, tmp_path):
+        from repro.experiments.sweep import load_cached
+
+        cell = SweepCell.make("ring", {"n": 24}, "linial_vectorized")
+        run_sweep([cell], cache_dir=tmp_path, workers=1)
+        path = tmp_path / f"{cell_key(cell)}.json"
+        record = json.loads(path.read_text())
+        del record["schema"]  # records from before the field existed
+        path.write_text(json.dumps(record))
+        assert load_cached(tmp_path, cell) is None
+
+    def test_run_record_attached_for_observable_paths(self, tmp_path):
+        from repro.obs import OBS_SCHEMA_VERSION
+
+        rec = compute_cell(SweepCell.make("ring", {"n": 24}, "linial_vectorized"))
+        assert rec["run_record"] is not None
+        assert rec["run_record"]["schema"] == OBS_SCHEMA_VERSION
+        assert rec["run_record"]["engine"] == "vectorized"
+        assert set(rec["timings"]) >= {"csr_build", "rounds"}
+        # registry-only algorithms attach no record
+        rec = compute_cell(
+            SweepCell.make("random_regular", {"n": 24, "degree": 3, "seed": 1}, "thm14")
+        )
+        assert rec["run_record"] is None and rec["timings"] == {}
 
 
 class TestAnalysisBridge:

@@ -55,3 +55,30 @@ class TestTrace:
         assert t.rounds == 0
         assert t.busiest_round() == 0
         assert t.bits_per_round() == []
+
+    def test_bits_per_round_covers_unclosed_final_round(self):
+        # messages recorded past the last record_round() call used to be
+        # silently dropped from bits_per_round()
+        t = Trace()
+        t.record(0, 0, 1, 8, None)
+        t.record_round(2)
+        t.record(1, 1, 0, 16, None)  # round 1 never closed
+        t.record(2, 0, 1, 4, None)  # nor round 2
+        per = t.bits_per_round()
+        assert per == [8, 16, 4]
+        assert sum(per) == t.summary()["total_bits"]
+        assert t.messages_per_round() == [1, 1, 1]
+        assert t.busiest_round() == 1
+
+    def test_negative_round_rejected(self):
+        import pytest
+
+        t = Trace()
+        t.record(-1, 0, 1, 8, None)
+        with pytest.raises(ValueError, match="negative round"):
+            t.bits_per_round()
+
+    def test_totals_consistent_with_metrics_on_traced_run(self):
+        trace, metrics = self.run_traced()
+        assert sum(trace.bits_per_round()) == metrics.total_bits
+        assert sum(trace.messages_per_round()) == metrics.total_messages
