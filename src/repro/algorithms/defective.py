@@ -23,19 +23,35 @@ def run_defective_coloring(
     defect: int,
     model: str = "CONGEST",
     validate: bool = True,
+    recorder=None,
+    wrap=None,
 ) -> tuple[ColoringResult, RunMetrics, int]:
     """Compute a ``defect``-defective coloring; returns (result, metrics,
-    palette size).  Raises if validation fails (it never should)."""
+    palette size).  Raises if validation fails (it never should).
+
+    ``recorder`` (a :class:`~repro.obs.RunRecorder`) and ``wrap`` (an
+    algorithm decorator such as
+    :class:`~repro.sim.referee.RefereedAlgorithm`) are threaded into the
+    underlying :func:`~repro.algorithms.linial.run_linial`, so the
+    reference side of the defective-split engine pair is observable and
+    refereed exactly like its vectorized twin.
+    """
     if defect < 0:
         raise ValueError(f"defect must be >= 0, got {defect}")
-    result, metrics, palette = run_linial(graph, model=model, defect=defect)
+    result, metrics, palette = run_linial(
+        graph, model=model, defect=defect, recorder=recorder, wrap=wrap
+    )
     if validate:
         validate_defective_coloring(graph, result, defect).raise_if_invalid()
     return result, metrics, palette
 
 
 def defective_class_partition(
-    graph: nx.Graph, defect: int, model: str = "CONGEST"
+    graph: nx.Graph,
+    defect: int,
+    model: str = "CONGEST",
+    recorder=None,
+    wrap=None,
 ) -> tuple[dict[int, int], RunMetrics, int]:
     """Convenience: the class index of each node under a defective coloring.
 
@@ -43,5 +59,7 @@ def defective_class_partition(
     (and the Section 5 technique generally): each class induces a subgraph
     of maximum degree <= defect.
     """
-    result, metrics, palette = run_defective_coloring(graph, defect, model)
+    result, metrics, palette = run_defective_coloring(
+        graph, defect, model, recorder=recorder, wrap=wrap
+    )
     return dict(result.assignment), metrics, palette

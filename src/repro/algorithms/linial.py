@@ -221,13 +221,18 @@ def run_linial(
     defect: int = 0,
     recorder=None,
     _finalize_recorder: bool = True,
+    wrap=None,
 ) -> tuple[ColoringResult, RunMetrics, int]:
     """Convenience wrapper: run Linial (or the [Kuh09] defective variant).
 
     Returns ``(coloring, metrics, palette_size)`` where ``palette_size`` is
     the final schedule palette ``q^2`` (an upper bound on colors used).
     ``recorder`` (a :class:`~repro.obs.RunRecorder`) is threaded into the
-    underlying :meth:`~repro.sim.network.SyncNetwork.run`.
+    underlying :meth:`~repro.sim.network.SyncNetwork.run`.  ``wrap`` is an
+    optional algorithm decorator (e.g.
+    :class:`~repro.sim.referee.RefereedAlgorithm`) applied to the
+    algorithm instance before the run — the differential fuzz harness uses
+    it to referee every reference execution.
     """
     n = graph.number_of_nodes()
     delta = max((d for _, d in graph.degree), default=0)
@@ -241,8 +246,11 @@ def run_linial(
     palette = sched[-1].out_colors if sched else m0
     net = SyncNetwork(graph, model=model)
     inputs = {v: {"color": c} for v, c in initial_colors.items()}
+    algorithm = LinialColoringAlgorithm()
+    if wrap is not None:
+        algorithm = wrap(algorithm)
     outputs, metrics = net.run(
-        LinialColoringAlgorithm(),
+        algorithm,
         inputs,
         shared={"schedule": sched, "m0": m0},
         max_rounds=len(sched) + 1,

@@ -80,13 +80,16 @@ def reduce_to_list_coloring(
     model: str = "CONGEST",
     recorder=None,
     _finalize_recorder: bool = True,
+    wrap=None,
 ) -> tuple[ColoringResult, RunMetrics]:
     """Run the schedule reduction for a zero-defect list instance.
 
     ``proper_coloring`` must be proper on the instance graph; each node's
     list must have size >= degree + 1 (checked up front).  ``recorder``
     (a :class:`~repro.obs.RunRecorder`) is threaded into the underlying
-    :meth:`~repro.sim.network.SyncNetwork.run`.
+    :meth:`~repro.sim.network.SyncNetwork.run`; ``wrap`` optionally
+    decorates the algorithm (e.g. with
+    :class:`~repro.sim.referee.RefereedAlgorithm`) before the run.
     """
     g = instance.graph
     if instance.directed:
@@ -103,8 +106,11 @@ def reduce_to_list_coloring(
         v: {"schedule_color": proper_coloring[v], "palette": instance.lists[v]}
         for v in g.nodes
     }
+    algorithm = ScheduledListColoring()
+    if wrap is not None:
+        algorithm = wrap(algorithm)
     outputs, metrics = net.run(
-        ScheduledListColoring(),
+        algorithm,
         inputs,
         shared={"num_classes": num_classes, "space_size": instance.space.size},
         max_rounds=num_classes + 2,
@@ -115,7 +121,7 @@ def reduce_to_list_coloring(
 
 
 def classic_delta_plus_one(
-    graph: nx.Graph, model: str = "CONGEST", recorder=None
+    graph: nx.Graph, model: str = "CONGEST", recorder=None, wrap=None
 ) -> tuple[ColoringResult, RunMetrics]:
     """The classic O(Delta^2 + log* n) pipeline: Linial then the schedule.
 
@@ -128,7 +134,7 @@ def classic_delta_plus_one(
     from .linial import run_linial
 
     pre, m1, _palette = run_linial(
-        graph, model=model, recorder=recorder, _finalize_recorder=False
+        graph, model=model, recorder=recorder, _finalize_recorder=False, wrap=wrap
     )
     instance = delta_plus_one_instance(graph)
     result, m2 = reduce_to_list_coloring(
@@ -137,6 +143,7 @@ def classic_delta_plus_one(
         model=model,
         recorder=recorder,
         _finalize_recorder=False,
+        wrap=wrap,
     )
     merged = m1.merge_sequential(m2)
     if recorder is not None:

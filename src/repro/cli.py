@@ -7,6 +7,7 @@ Main subcommands::
     repro-cli experiment E09 [--full]
     repro-cli sweep      --algorithms linial,linial_vectorized --cache-dir C
     repro-cli report     --cache-dir C
+    repro-cli fuzz       --seed 0 --iterations 50 --corpus tests/corpus
     repro-cli families
 
 ``color`` runs the Theorem 1.4 pipeline on a generated graph and prints
@@ -15,8 +16,10 @@ the run metrics; ``edge-color`` does the same on the line graph;
 runs a cached grid of (family, n, seed, algorithm) cells; ``report``
 either writes the full experiment record or — with ``--cache-dir`` /
 ``--runs`` — renders observability run records as per-round tables plus
-the reference-vs-vectorized cross-engine comparisons; ``families`` lists
-the available graph generators and their parameters.
+the reference-vs-vectorized cross-engine comparisons; ``fuzz`` replays
+the pinned failure corpus and then runs the differential
+reference-vs-vectorized fuzz loop (see ``docs/FUZZING.md``);
+``families`` lists the available graph generators and their parameters.
 """
 
 from __future__ import annotations
@@ -257,6 +260,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if bad else 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import fuzz_run, pair_names, replay_corpus
+
+    known = pair_names()
+    selected = args.pairs.split(",") if args.pairs else list(known)
+    unknown = [p for p in selected if p not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown engine pair(s) {', '.join(unknown)}; "
+            f"options: {', '.join(known)}"
+        )
+
+    replay_failures = 0
+    if args.corpus:
+        replayed = replay_corpus(args.corpus)
+        for path, outcome in replayed:
+            if not outcome.ok:
+                replay_failures += 1
+                print(f"CORPUS REGRESSION {path}:")
+                print("  " + outcome.describe().replace("\n", "\n  "))
+        print(
+            f"corpus replay: {len(replayed)} pinned case(s), "
+            f"{replay_failures} regression(s)"
+        )
+
+    report = fuzz_run(
+        seed=args.seed,
+        iterations=args.iterations,
+        pair_names=selected,
+        corpus_dir=args.failure_dir or None,
+        shrink=not args.no_shrink,
+        max_failures=args.max_failures,
+    )
+    print(report.describe())
+    if report.failures:
+        print(
+            f"new failure(s) pinned under {args.failure_dir}; move the JSON "
+            f"into tests/corpus/ alongside the fix to keep it fixed"
+        )
+    return 1 if (report.failures or replay_failures) else 0
+
+
 def _cmd_families(_args: argparse.Namespace) -> int:
     for name in sorted(_FAMILY_FNS):
         sig = inspect.signature(_FAMILY_FNS[name])
@@ -338,6 +383,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--output", default=None,
                          help="write the combined sweep record as JSON")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzz: reference vs vectorized engine equivalence",
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="base seed; trials derive from (seed, iteration, pair)")
+    p_fuzz.add_argument("--iterations", type=int, default=50,
+                        help="iterations (each runs one case per engine pair)")
+    p_fuzz.add_argument("--pairs", default=None,
+                        help="comma-separated engine pairs (default: all)")
+    p_fuzz.add_argument("--corpus", default="tests/corpus",
+                        help="pinned-failure corpus to replay first "
+                             "('' skips replay)")
+    p_fuzz.add_argument("--failure-dir", dest="failure_dir",
+                        default="fuzz_failures",
+                        help="where new shrunk failures are serialized")
+    p_fuzz.add_argument("--no-shrink", dest="no_shrink", action="store_true",
+                        help="skip minimizing failures (faster triage runs)")
+    p_fuzz.add_argument("--max-failures", dest="max_failures", type=int,
+                        default=5, help="stop after this many failures")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_fam = sub.add_parser("families", help="list graph generators")
     p_fam.set_defaults(func=_cmd_families)

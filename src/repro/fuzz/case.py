@@ -1,0 +1,245 @@
+"""The concrete, serializable unit of differential testing.
+
+A :class:`FuzzCase` pins *everything* one differential trial needs — the
+exact node labels, edge list, and per-pair configuration (defect budget,
+initial colors, color lists) — rather than the generator parameters that
+produced it.  That choice is what makes the rest of the subsystem work:
+
+* the shrinker edits cases structurally (drop a node, drop an edge,
+  shrink a list) and every edit is again a valid case;
+* the corpus serializes cases as plain JSON, so a failure found once is
+  replayable forever, independent of generator evolution;
+* the differential runner materializes the same graph object for both
+  engines, so a divergence is attributable to the engines and never to
+  instance construction.
+
+Node labels are integers but deliberately *not* required to be
+``0..n-1`` or sorted-contiguous — the label regimes the fuzzer probes
+are exactly the ones hand-written tests forget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import networkx as nx
+
+from ..core.colorspace import ColorSpace
+from ..core.instance import ListDefectiveInstance
+
+#: Version of the corpus JSON layout.  Bump when :meth:`FuzzCase.to_dict`
+#: gains, loses, or reinterprets fields; loaders reject foreign versions.
+CORPUS_SCHEMA_VERSION = 1
+
+
+@dataclass
+class FuzzCase:
+    """One differential trial: an engine pair plus its concrete input.
+
+    Attributes
+    ----------
+    pair:
+        Engine-pair name (see :data:`repro.fuzz.differential.ENGINE_PAIRS`).
+    nodes / edges:
+        The topology, with explicit (possibly non-contiguous, unsorted)
+        integer labels.  ``edges`` entries are ``(u, v)`` pairs over
+        ``nodes``.
+    defect:
+        Defect budget for the ``linial`` / ``defective_split`` pairs.
+    initial_colors:
+        Optional explicit initial coloring for the ``linial`` pair
+        (distinct values, so the input coloring is proper); ``None`` uses
+        both engines' shared default (rank in sorted label order).
+    lists / space_size:
+        The ``greedy`` pair's per-node color lists (each of size at least
+        ``deg(v) + 1``) and the size of the common color space.
+    seed:
+        Provenance: the generator seed that produced the case (``None``
+        for hand-written or shrunk-beyond-recognition cases).
+    note:
+        Free-form provenance for corpus archaeology.
+    """
+
+    pair: str
+    nodes: list[int]
+    edges: list[tuple[int, int]]
+    defect: int = 0
+    initial_colors: dict[int, int] | None = None
+    lists: dict[int, list[int]] | None = None
+    space_size: int | None = None
+    seed: int | str | None = None
+    note: str = ""
+    schema: int = field(default=CORPUS_SCHEMA_VERSION)
+
+    # ------------------------------------------------------------------
+    # validity
+    # ------------------------------------------------------------------
+    def check_valid(self) -> None:
+        """Raise ``ValueError`` when the case is structurally inconsistent.
+
+        The shrinker relies on this staying cheap: every candidate edit is
+        validated before the (much more expensive) differential run.
+        """
+        node_set = set(self.nodes)
+        if len(node_set) != len(self.nodes):
+            raise ValueError("duplicate node labels")
+        for u, v in self.edges:
+            if u == v:
+                raise ValueError(f"self-loop at {u}")
+            if u not in node_set or v not in node_set:
+                raise ValueError(f"edge ({u},{v}) references unknown node")
+        if self.defect < 0:
+            raise ValueError(f"negative defect {self.defect}")
+        if self.initial_colors is not None:
+            if set(self.initial_colors) != node_set:
+                raise ValueError("initial_colors keys != nodes")
+            values = list(self.initial_colors.values())
+            if len(set(values)) != len(values):
+                raise ValueError("initial_colors must be distinct (proper input)")
+            if any(c < 0 for c in values):
+                raise ValueError("initial colors must be non-negative")
+        if self.lists is not None:
+            if self.space_size is None:
+                raise ValueError("lists require space_size")
+            if set(self.lists) != node_set:
+                raise ValueError("lists keys != nodes")
+            degree = {v: 0 for v in self.nodes}
+            for u, v in self.edges:
+                degree[u] += 1
+                degree[v] += 1
+            for v, lst in self.lists.items():
+                if len(set(lst)) != len(lst):
+                    raise ValueError(f"node {v}: duplicate list colors")
+                if len(lst) < degree[v] + 1:
+                    raise ValueError(
+                        f"node {v}: list size {len(lst)} < degree+1 "
+                        f"{degree[v] + 1}"
+                    )
+                if any(x < 0 or x >= self.space_size for x in lst):
+                    raise ValueError(f"node {v}: list color outside space")
+
+    # ------------------------------------------------------------------
+    # materialization
+    # ------------------------------------------------------------------
+    def graph(self) -> nx.Graph:
+        """The case's topology as a fresh undirected ``networkx`` graph."""
+        g = nx.Graph()
+        g.add_nodes_from(self.nodes)
+        g.add_edges_from(self.edges)
+        return g
+
+    def instance(self) -> ListDefectiveInstance:
+        """The ``greedy`` pair's zero-defect list instance."""
+        if self.lists is None or self.space_size is None:
+            raise ValueError(f"case for pair {self.pair!r} carries no lists")
+        return ListDefectiveInstance(
+            self.graph(),
+            ColorSpace(self.space_size),
+            {v: tuple(lst) for v, lst in self.lists.items()},
+            {v: {x: 0 for x in lst} for v, lst in self.lists.items()},
+        )
+
+    @property
+    def n(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def m(self) -> int:
+        return len(self.edges)
+
+    def describe(self) -> str:
+        """One-line human summary (CLI and failure reports)."""
+        bits = [f"pair={self.pair}", f"n={self.n}", f"m={self.m}"]
+        if self.defect:
+            bits.append(f"defect={self.defect}")
+        if self.initial_colors is not None:
+            bits.append("explicit-init")
+        if self.lists is not None:
+            bits.append(f"space={self.space_size}")
+        if self.seed is not None:
+            bits.append(f"seed={self.seed}")
+        return " ".join(bits)
+
+    # ------------------------------------------------------------------
+    # serialization (JSON corpus entries)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict.  Int-keyed mappings become string-keyed (JSON
+        object keys are strings); :meth:`from_dict` restores them."""
+        return {
+            "schema": self.schema,
+            "pair": self.pair,
+            "nodes": list(self.nodes),
+            "edges": [[int(u), int(v)] for u, v in self.edges],
+            "defect": int(self.defect),
+            "initial_colors": (
+                None
+                if self.initial_colors is None
+                else {str(v): int(c) for v, c in sorted(self.initial_colors.items())}
+            ),
+            "lists": (
+                None
+                if self.lists is None
+                else {str(v): [int(x) for x in lst] for v, lst in sorted(self.lists.items())}
+            ),
+            "space_size": self.space_size,
+            "seed": self.seed,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FuzzCase":
+        """Inverse of :meth:`to_dict`; raises on foreign schema versions."""
+        schema = data.get("schema")
+        if schema != CORPUS_SCHEMA_VERSION:
+            raise ValueError(
+                f"fuzz case schema {schema!r} != supported {CORPUS_SCHEMA_VERSION}"
+            )
+        case = cls(
+            pair=str(data["pair"]),
+            nodes=[int(v) for v in data["nodes"]],
+            edges=[(int(u), int(v)) for u, v in data["edges"]],
+            defect=int(data.get("defect", 0)),
+            initial_colors=(
+                None
+                if data.get("initial_colors") is None
+                else {int(v): int(c) for v, c in data["initial_colors"].items()}
+            ),
+            lists=(
+                None
+                if data.get("lists") is None
+                else {int(v): [int(x) for x in lst] for v, lst in data["lists"].items()}
+            ),
+            space_size=(
+                None if data.get("space_size") is None else int(data["space_size"])
+            ),
+            seed=data.get("seed"),
+            note=str(data.get("note", "")),
+            schema=int(schema),
+        )
+        case.check_valid()
+        return case
+
+    def replace(self, **changes: Any) -> "FuzzCase":
+        """A copy with ``changes`` applied (shrinker edit primitive)."""
+        from dataclasses import replace as _dc_replace
+
+        return _dc_replace(
+            self,
+            **{
+                **dict(
+                    nodes=list(self.nodes),
+                    edges=[tuple(e) for e in self.edges],
+                    initial_colors=(
+                        None if self.initial_colors is None else dict(self.initial_colors)
+                    ),
+                    lists=(
+                        None
+                        if self.lists is None
+                        else {v: list(lst) for v, lst in self.lists.items()}
+                    ),
+                ),
+                **changes,
+            },
+        )

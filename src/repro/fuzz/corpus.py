@@ -1,0 +1,65 @@
+"""The JSON failure corpus: found once, pinned forever.
+
+Every shrunk failure is serialized as one pretty-printed JSON file named
+``<pair>-<digest>.json`` (digest of the case content, so re-finding the
+same minimal case is idempotent).  The files under ``tests/corpus/`` are
+replayed by the test suite and by ``repro-cli fuzz`` / CI on every run:
+a corpus entry is a regression test that asserts the divergence it once
+witnessed stays fixed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .case import FuzzCase
+from .differential import CaseOutcome, EnginePair, run_case
+
+
+def case_filename(case: FuzzCase) -> str:
+    """Deterministic corpus filename: ``<pair>-<content digest>.json``."""
+    payload = json.dumps(
+        {k: v for k, v in case.to_dict().items() if k not in ("seed", "note")},
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(payload.encode()).hexdigest()[:12]
+    return f"{case.pair}-{digest}.json"
+
+
+def save_case(case: FuzzCase, corpus_dir: Path | str) -> Path:
+    """Write ``case`` into the corpus; returns the file path."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = corpus_dir / case_filename(case)
+    path.write_text(json.dumps(case.to_dict(), indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_case(path: Path | str) -> FuzzCase:
+    """Load (and validate) one corpus entry."""
+    return FuzzCase.from_dict(json.loads(Path(path).read_text()))
+
+
+def load_corpus(corpus_dir: Path | str) -> list[tuple[Path, FuzzCase]]:
+    """Every corpus entry, sorted by filename for stable replay order."""
+    corpus_dir = Path(corpus_dir)
+    if not corpus_dir.is_dir():
+        return []
+    return [(p, load_case(p)) for p in sorted(corpus_dir.glob("*.json"))]
+
+
+def replay_corpus(
+    corpus_dir: Path | str,
+    pairs: dict[str, EnginePair] | None = None,
+) -> list[tuple[Path, CaseOutcome]]:
+    """Re-run the differential check on every pinned case.
+
+    All entries are expected to pass (they encode *fixed* bugs); callers
+    — the test suite, the CLI, CI — assert ``outcome.ok`` per entry.
+    """
+    return [
+        (path, run_case(case, pairs=pairs))
+        for path, case in load_corpus(corpus_dir)
+    ]

@@ -1,0 +1,334 @@
+"""Differential execution: reference vs vectorized, plus semantic oracles.
+
+Each :class:`EnginePair` names the two implementations of one algorithm
+and how to judge a trial.  :func:`run_case` executes both sides on the
+same materialized graph and collects *every* failed check (not just the
+first): a divergence report that says "outputs differ AND round 3's bit
+totals differ" localizes a bug far better than either alone.
+
+Checked per trial:
+
+1. **no crashes** — either engine raising (including a
+   :class:`~repro.sim.referee.RefereeViolation` from the refereed
+   reference run) is a failure, with the exception recorded;
+2. **output equality** — node-for-node identical assignments;
+3. **metrics equality** — identical :meth:`~repro.sim.metrics.RunMetrics.summary`
+   counters (rounds, messages, bits, bandwidth budget/violations);
+4. **round accounting** — :func:`~repro.obs.compare_round_accounting`
+   over the two :class:`~repro.obs.RunRecord`s must report equal rounds,
+   equal per-round accounting, and equal totals;
+5. **semantic oracles** — the output must actually *be* what the
+   algorithm promises, judged by the independent validators of
+   :mod:`repro.core.validate`: properness / defect budgets / list
+   membership per pair, plus CONGEST bandwidth compliance (zero
+   violations against the default budget at fuzz sizes).
+
+The oracles matter because output equality alone would bless two engines
+that share a bug; an independent validator cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..algorithms.defective import defective_class_partition
+from ..algorithms.greedy import greedy_list_coloring
+from ..algorithms.linial import run_linial
+from ..algorithms.reduction import classic_delta_plus_one
+from ..core.instance import delta_plus_one_instance
+from ..core.validate import (
+    validate_defective_coloring,
+    validate_ldc,
+    validate_proper_coloring,
+)
+from ..obs import (
+    ENGINE_REFERENCE,
+    ENGINE_VECTORIZED,
+    RunRecord,
+    RunRecorder,
+    compare_round_accounting,
+)
+from ..sim.metrics import RunMetrics
+from ..sim.referee import RefereedAlgorithm
+from ..sim.vectorized import (
+    classic_delta_plus_one_vectorized,
+    defective_split_vectorized,
+    greedy_list_vectorized,
+    linial_vectorized,
+)
+from .case import FuzzCase
+
+
+@dataclass
+class EngineRun:
+    """One engine's view of a trial: assignment + optional accounting."""
+
+    assignment: dict[int, int]
+    metrics: RunMetrics | None = None
+    record: RunRecord | None = None
+    palette: int | None = None
+
+
+@dataclass(frozen=True)
+class EnginePair:
+    """Two implementations of one algorithm plus the trial's oracles.
+
+    ``run_reference`` / ``run_vectorized`` take a materialized case and
+    return an :class:`EngineRun`; ``oracle`` validates the (agreed)
+    output semantically and returns a list of violation strings.
+    """
+
+    name: str
+    run_reference: Callable[[FuzzCase], EngineRun]
+    run_vectorized: Callable[[FuzzCase], EngineRun]
+    oracle: Callable[[FuzzCase, EngineRun], list[str]]
+
+
+@dataclass
+class CaseOutcome:
+    """Everything :func:`run_case` learned about one trial."""
+
+    case: FuzzCase
+    ok: bool
+    failures: list[str] = field(default_factory=list)
+    reference: EngineRun | None = None
+    vectorized: EngineRun | None = None
+    accounting: dict[str, Any] | None = None
+
+    def describe(self) -> str:
+        head = "OK" if self.ok else "FAIL"
+        out = f"{head} {self.case.describe()}"
+        for f in self.failures:
+            out += f"\n  - {f}"
+        return out
+
+
+# ----------------------------------------------------------------------
+# pair definitions
+# ----------------------------------------------------------------------
+def _ref_linial(case: FuzzCase) -> EngineRun:
+    recorder = RunRecorder(engine=ENGINE_REFERENCE)
+    result, metrics, palette = run_linial(
+        case.graph(),
+        initial_colors=case.initial_colors,
+        defect=case.defect,
+        recorder=recorder,
+        wrap=RefereedAlgorithm,
+    )
+    return EngineRun(dict(result.assignment), metrics, recorder.record, palette)
+
+
+def _vec_linial(case: FuzzCase) -> EngineRun:
+    recorder = RunRecorder(engine=ENGINE_VECTORIZED)
+    result, metrics, palette = linial_vectorized(
+        case.graph(),
+        initial_colors=case.initial_colors,
+        defect=case.defect,
+        recorder=recorder,
+    )
+    return EngineRun(dict(result.assignment), metrics, recorder.record, palette)
+
+
+def _oracle_linial(case: FuzzCase, run: EngineRun) -> list[str]:
+    from ..core.coloring import ColoringResult
+
+    result = ColoringResult(run.assignment)
+    g = case.graph()
+    if case.defect == 0:
+        report = validate_proper_coloring(g, result)
+    else:
+        report = validate_defective_coloring(g, result, case.defect)
+    problems = list(report.violations)
+    if run.palette is not None:
+        over = [v for v, c in run.assignment.items() if c >= run.palette or c < 0]
+        if over:
+            problems.append(
+                f"colors outside palette {run.palette} at nodes {sorted(over)[:5]}"
+            )
+    return problems
+
+
+def _ref_classic(case: FuzzCase) -> EngineRun:
+    recorder = RunRecorder(engine=ENGINE_REFERENCE)
+    result, metrics = classic_delta_plus_one(
+        case.graph(), recorder=recorder, wrap=RefereedAlgorithm
+    )
+    return EngineRun(dict(result.assignment), metrics, recorder.record)
+
+
+def _vec_classic(case: FuzzCase) -> EngineRun:
+    recorder = RunRecorder(engine=ENGINE_VECTORIZED)
+    result, metrics = classic_delta_plus_one_vectorized(
+        case.graph(), recorder=recorder
+    )
+    return EngineRun(dict(result.assignment), metrics, recorder.record)
+
+
+def _oracle_classic(case: FuzzCase, run: EngineRun) -> list[str]:
+    from ..core.coloring import ColoringResult
+
+    g = case.graph()
+    instance = delta_plus_one_instance(g)
+    # validate_ldc covers list membership (colors within the Delta+1
+    # space) and, with all defects zero, properness.
+    return list(validate_ldc(instance, ColoringResult(run.assignment)).violations)
+
+
+def _ref_greedy(case: FuzzCase) -> EngineRun:
+    result = greedy_list_coloring(case.instance())
+    return EngineRun(dict(result.assignment))
+
+
+def _vec_greedy(case: FuzzCase) -> EngineRun:
+    result = greedy_list_vectorized(case.instance())
+    return EngineRun(dict(result.assignment))
+
+
+def _oracle_greedy(case: FuzzCase, run: EngineRun) -> list[str]:
+    from ..core.coloring import ColoringResult
+
+    # list membership + the zero defect budget of every list color
+    return list(validate_ldc(case.instance(), ColoringResult(run.assignment)).violations)
+
+
+def _ref_defective_split(case: FuzzCase) -> EngineRun:
+    recorder = RunRecorder(engine=ENGINE_REFERENCE)
+    classes, metrics, palette = defective_class_partition(
+        case.graph(), case.defect, recorder=recorder, wrap=RefereedAlgorithm
+    )
+    return EngineRun(dict(classes), metrics, recorder.record, palette)
+
+
+def _vec_defective_split(case: FuzzCase) -> EngineRun:
+    recorder = RunRecorder(engine=ENGINE_VECTORIZED)
+    classes, metrics, palette = defective_split_vectorized(
+        case.graph(), case.defect, recorder=recorder
+    )
+    return EngineRun(dict(classes), metrics, recorder.record, palette)
+
+
+def _oracle_defective_split(case: FuzzCase, run: EngineRun) -> list[str]:
+    from ..core.coloring import ColoringResult
+
+    report = validate_defective_coloring(
+        case.graph(), ColoringResult(run.assignment), case.defect
+    )
+    return list(report.violations)
+
+
+#: The engine pairs under differential test — every vectorized fast path
+#: in :mod:`repro.sim.vectorized` paired with its reference twin.
+ENGINE_PAIRS: dict[str, EnginePair] = {
+    "linial": EnginePair("linial", _ref_linial, _vec_linial, _oracle_linial),
+    "classic": EnginePair("classic", _ref_classic, _vec_classic, _oracle_classic),
+    "greedy": EnginePair("greedy", _ref_greedy, _vec_greedy, _oracle_greedy),
+    "defective_split": EnginePair(
+        "defective_split",
+        _ref_defective_split,
+        _vec_defective_split,
+        _oracle_defective_split,
+    ),
+}
+
+
+def pair_names() -> tuple[str, ...]:
+    """The registered engine-pair names, stable order."""
+    return tuple(ENGINE_PAIRS)
+
+
+# ----------------------------------------------------------------------
+# the differential check
+# ----------------------------------------------------------------------
+def _run_side(
+    label: str, fn: Callable[[FuzzCase], EngineRun], case: FuzzCase
+) -> tuple[EngineRun | None, str | None]:
+    try:
+        return fn(case), None
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        return None, f"{label} engine raised {type(exc).__name__}: {exc}"
+
+
+def run_case(
+    case: FuzzCase,
+    pairs: dict[str, EnginePair] | None = None,
+) -> CaseOutcome:
+    """Execute one differential trial; collect every failed check.
+
+    ``pairs`` overrides the registry — the mutation tests inject
+    deliberately-broken pairs this way to prove the harness catches,
+    shrinks, and serializes real divergences.
+    """
+    registry = pairs if pairs is not None else ENGINE_PAIRS
+    if case.pair not in registry:
+        raise KeyError(
+            f"unknown engine pair {case.pair!r}; options: {', '.join(registry)}"
+        )
+    case.check_valid()
+    pair = registry[case.pair]
+    failures: list[str] = []
+
+    ref, err = _run_side("reference", pair.run_reference, case)
+    if err:
+        failures.append(err)
+    vec, err = _run_side("vectorized", pair.run_vectorized, case)
+    if err:
+        failures.append(err)
+
+    accounting: dict[str, Any] | None = None
+    if ref is not None and vec is not None:
+        if ref.assignment != vec.assignment:
+            diff = [
+                v
+                for v in case.nodes
+                if ref.assignment.get(v) != vec.assignment.get(v)
+            ]
+            failures.append(
+                f"outputs differ at {len(diff)} node(s), first "
+                f"{sorted(diff)[:5]}: reference "
+                f"{[ref.assignment.get(v) for v in sorted(diff)[:5]]} vs "
+                f"vectorized {[vec.assignment.get(v) for v in sorted(diff)[:5]]}"
+            )
+        if ref.palette is not None and vec.palette is not None:
+            if ref.palette != vec.palette:
+                failures.append(
+                    f"palettes differ: {ref.palette} vs {vec.palette}"
+                )
+        if ref.metrics is not None and vec.metrics is not None:
+            sa, sb = ref.metrics.summary(), vec.metrics.summary()
+            if sa != sb:
+                keys = [k for k in sa if sa[k] != sb.get(k)]
+                failures.append(f"metrics summaries differ on {keys}: {sa} vs {sb}")
+        if ref.record is not None and vec.record is not None:
+            accounting = compare_round_accounting(ref.record, vec.record)
+            if not (
+                accounting["rounds_equal"]
+                and accounting["accounting_equal"]
+                and accounting["totals_equal"]
+            ):
+                failures.append(
+                    "round accounting diverges: first mismatch at round "
+                    f"{accounting['first_mismatch']} "
+                    f"({accounting['mismatched_rounds']} mismatched round(s))"
+                )
+    # semantic oracles judge the vectorized output (the reference output,
+    # when present and equal, is covered transitively; when outputs
+    # differ both already failed above)
+    judged = vec if vec is not None else ref
+    if judged is not None:
+        for problem in pair.oracle(case, judged):
+            failures.append(f"oracle: {problem}")
+        if judged.metrics is not None:
+            if judged.metrics.bandwidth_violations:
+                failures.append(
+                    f"oracle: {judged.metrics.bandwidth_violations} bandwidth "
+                    f"violation(s) against budget {judged.metrics.bandwidth_limit}"
+                )
+    return CaseOutcome(
+        case=case,
+        ok=not failures,
+        failures=failures,
+        reference=ref,
+        vectorized=vec,
+        accounting=accounting,
+    )

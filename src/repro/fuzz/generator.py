@@ -1,0 +1,177 @@
+"""Seeded random case generation: graph family × labels × configuration.
+
+Every case is a pure function of its seed, so a fuzz run is replayable
+from its command line alone (``repro-cli fuzz --seed S --iterations K``)
+and a failure report can name the exact seed that produced it.
+
+The sampled space follows what the engine pairs are *sensitive to*:
+
+* **family** — the seeded generators of :mod:`repro.graphs.generators`,
+  weighted toward the heterogeneous families (G(n,p), trees, hubs) where
+  per-node degrees differ and scheduling bugs surface;
+* **labels** — identity, shifted, strided, or fully shuffled
+  non-contiguous relabelings.  Maus–Tonoyan's "Linial for Lists" shows
+  how sensitive these schedules are to tie-breaking and encoding details,
+  and label order is the tie-breaker both engines must agree on;
+* **configuration** — defect budgets for the defective pairs, explicit
+  (gappy, unsorted) initial colorings for Linial, and random
+  ``(degree+1)``-and-larger color lists for the greedy pair.
+
+Sizes stay small (n <= ~24): the reference engine is the bottleneck, and
+small instances shrink and replay fast.  Scale testing is the sweep
+runner's job; *coverage* of the configuration space is the fuzzer's.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from ..graphs import generators as gen
+from .case import FuzzCase
+
+#: Engine-pair names the generator can target (kept in sync with
+#: :data:`repro.fuzz.differential.ENGINE_PAIRS` by a test).
+GENERATABLE_PAIRS = ("linial", "classic", "greedy", "defective_split")
+
+#: Label-regime names (documentation + test introspection).
+LABEL_SCHEMES = ("identity", "shifted", "strided", "shuffled")
+
+#: Graph-family names sampled by :func:`generate_case`.
+FAMILY_SPACE = (
+    "ring",
+    "path",
+    "clique",
+    "star",
+    "gnp",
+    "gnp",  # twice: heterogeneous degrees earn extra weight
+    "random_regular",
+    "random_tree",
+    "torus",
+    "hypercube",
+    "disjoint_cliques",
+    "hub_and_fringe",
+)
+
+
+def _draw_graph(rng: random.Random) -> nx.Graph:
+    """One small graph from the weighted family space."""
+    family = rng.choice(FAMILY_SPACE)
+    if family == "ring":
+        return gen.ring(rng.randint(3, 20))
+    if family == "path":
+        return gen.path(rng.randint(2, 20))
+    if family == "clique":
+        return gen.clique(rng.randint(2, 8))
+    if family == "star":
+        return gen.star(rng.randint(2, 16))
+    if family == "gnp":
+        return gen.gnp(rng.randint(4, 24), rng.choice([0.1, 0.2, 0.35, 0.5]),
+                       seed=rng.randrange(1 << 30))
+    if family == "random_regular":
+        n = rng.randint(6, 20)
+        degree = rng.randint(2, min(5, n - 1))
+        if (n * degree) % 2:
+            n += 1
+        return gen.random_regular(n, degree, seed=rng.randrange(1 << 30))
+    if family == "random_tree":
+        return gen.random_tree(rng.randint(2, 20), seed=rng.randrange(1 << 30))
+    if family == "torus":
+        return gen.torus(rng.randint(2, 4), rng.randint(2, 5))
+    if family == "hypercube":
+        return gen.hypercube(rng.randint(2, 4))
+    if family == "disjoint_cliques":
+        return gen.disjoint_cliques(rng.randint(2, 4), rng.randint(2, 4))
+    if family == "hub_and_fringe":
+        cliques = rng.randint(2, 4)
+        size = rng.randint(2, 3)
+        hub_degree = rng.randint(1, cliques * size)
+        return gen.hub_and_fringe(hub_degree, cliques, size)
+    raise AssertionError(f"unhandled family {family!r}")  # pragma: no cover
+
+
+def _relabel(g: nx.Graph, rng: random.Random) -> nx.Graph:
+    """Apply one of the label regimes; labels stay distinct integers."""
+    scheme = rng.choice(LABEL_SCHEMES)
+    old = sorted(g.nodes)
+    if scheme == "identity":
+        return g
+    if scheme == "shifted":
+        offset = rng.randint(1, 1000)
+        mapping = {v: v + offset for v in old}
+    elif scheme == "strided":
+        stride = rng.randint(2, 7)
+        offset = rng.randint(0, 50)
+        mapping = {v: offset + stride * i for i, v in enumerate(old)}
+    else:  # shuffled: non-contiguous AND unsorted relative to structure
+        labels = rng.sample(range(10 * len(old) + 10), len(old))
+        mapping = {v: labels[i] for i, v in enumerate(old)}
+    return nx.relabel_nodes(g, mapping)
+
+
+def _degrees(nodes: list[int], edges: list[tuple[int, int]]) -> dict[int, int]:
+    deg = {v: 0 for v in nodes}
+    for u, v in edges:
+        deg[u] += 1
+        deg[v] += 1
+    return deg
+
+
+def generate_case(
+    seed: int | str,
+    pair: str | None = None,
+    rng: random.Random | None = None,
+) -> FuzzCase:
+    """One concrete differential case, a pure function of ``seed``.
+
+    ``pair`` pins the engine pair (default: drawn from
+    :data:`GENERATABLE_PAIRS`).  Passing an explicit ``rng`` continues an
+    existing stream (the runner derives one stream per iteration).
+    """
+    rng = rng if rng is not None else random.Random(seed)
+    pair = pair if pair is not None else rng.choice(GENERATABLE_PAIRS)
+    if pair not in GENERATABLE_PAIRS:
+        raise ValueError(
+            f"unknown pair {pair!r}; options: {', '.join(GENERATABLE_PAIRS)}"
+        )
+    g = _relabel(_draw_graph(rng), rng)
+    nodes = list(g.nodes)
+    rng.shuffle(nodes)  # serialized node order must not leak sortedness
+    edges = [(int(u), int(v)) for u, v in g.edges]
+    degrees = _degrees(nodes, edges)
+    max_degree = max(degrees.values(), default=0)
+
+    defect = 0
+    initial_colors: dict[int, int] | None = None
+    lists: dict[int, list[int]] | None = None
+    space_size: int | None = None
+
+    if pair == "linial":
+        defect = rng.choice([0, 0, 0, 1, 2, 3])
+        if rng.random() < 0.5:
+            # explicit proper input coloring with gaps, unsorted values
+            palette = rng.sample(range(4 * len(nodes) + 4), len(nodes))
+            initial_colors = {v: palette[i] for i, v in enumerate(nodes)}
+    elif pair == "defective_split":
+        defect = rng.randint(0, 3)
+    elif pair == "greedy":
+        space_size = max_degree + 1 + rng.randint(0, 4)
+        lists = {}
+        for v in nodes:
+            size = min(space_size, degrees[v] + 1 + rng.randint(0, 2))
+            lists[v] = sorted(rng.sample(range(space_size), size))
+    # pair == "classic": the graph is the whole configuration
+
+    case = FuzzCase(
+        pair=pair,
+        nodes=[int(v) for v in nodes],
+        edges=edges,
+        defect=defect,
+        initial_colors=initial_colors,
+        lists=lists,
+        space_size=space_size,
+        seed=seed,
+    )
+    case.check_valid()
+    return case

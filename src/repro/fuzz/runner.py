@@ -1,0 +1,128 @@
+"""The fuzz loop: generate → run → shrink → serialize.
+
+:func:`fuzz_run` drives ``iterations`` rounds; each round generates one
+case *per engine pair* from a seed derived deterministically from
+``(seed, iteration, pair)``, so any failure names the exact generator
+stream that produced it and a re-run with the same arguments retries
+the identical trials.  Failures are shrunk (unless disabled) and, when a
+corpus directory is given, serialized as pinned regression entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .case import FuzzCase
+from .corpus import save_case
+from .differential import ENGINE_PAIRS, CaseOutcome, EnginePair, run_case
+from .generator import generate_case
+from .shrink import default_predicate, shrink_case
+
+
+def derive_seed(seed: int, iteration: int, pair: str) -> str:
+    """The per-trial generator seed (stable, human-readable provenance)."""
+    return f"{seed}:{iteration}:{pair}"
+
+
+@dataclass
+class FuzzFailure:
+    """One divergence: the raw case, its shrunk form, and the verdicts."""
+
+    case: FuzzCase
+    outcome: CaseOutcome
+    shrunk: FuzzCase | None = None
+    shrunk_outcome: CaseOutcome | None = None
+    saved_to: Path | None = None
+
+    def describe(self) -> str:
+        out = self.outcome.describe()
+        if self.shrunk is not None:
+            out += f"\n  shrunk to: {self.shrunk.describe()}"
+        if self.saved_to is not None:
+            out += f"\n  pinned at: {self.saved_to}"
+        return out
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate result of one :func:`fuzz_run`."""
+
+    seed: int
+    iterations: int
+    cases_run: int = 0
+    per_pair: dict[str, int] = field(default_factory=dict)
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        pairs = ", ".join(f"{p}={k}" for p, k in sorted(self.per_pair.items()))
+        head = (
+            f"fuzz seed={self.seed} iterations={self.iterations}: "
+            f"{self.cases_run} differential trials ({pairs}) — "
+            f"{len(self.failures)} failure(s)"
+        )
+        return "\n".join([head] + [f.describe() for f in self.failures])
+
+
+def fuzz_run(
+    seed: int = 0,
+    iterations: int = 50,
+    pair_names: list[str] | None = None,
+    corpus_dir: Path | str | None = None,
+    shrink: bool = True,
+    max_failures: int = 5,
+    pairs: dict[str, EnginePair] | None = None,
+    max_shrink_attempts: int = 500,
+) -> FuzzReport:
+    """Run the differential fuzz loop (see module docstring).
+
+    Parameters
+    ----------
+    pair_names:
+        Subset of engine pairs to exercise (default: all registered).
+    corpus_dir:
+        When set, every shrunk failure is serialized there.
+    max_failures:
+        Stop early after this many distinct failures — fuzzing past a
+        systemic breakage only buries the signal.
+    pairs:
+        Registry override for mutation tests (injected broken engines).
+    """
+    registry = pairs if pairs is not None else ENGINE_PAIRS
+    names = list(pair_names) if pair_names is not None else list(registry)
+    unknown = [p for p in names if p not in registry]
+    if unknown:
+        raise KeyError(
+            f"unknown engine pair(s) {', '.join(unknown)}; "
+            f"options: {', '.join(registry)}"
+        )
+    report = FuzzReport(seed=seed, iterations=iterations)
+    for iteration in range(iterations):
+        for pair in names:
+            case = generate_case(derive_seed(seed, iteration, pair), pair=pair)
+            outcome = run_case(case, pairs=registry)
+            report.cases_run += 1
+            report.per_pair[pair] = report.per_pair.get(pair, 0) + 1
+            if outcome.ok:
+                continue
+            failure = FuzzFailure(case=case, outcome=outcome)
+            if shrink:
+                failure.shrunk = shrink_case(
+                    case,
+                    predicate=default_predicate(pairs=registry),
+                    max_attempts=max_shrink_attempts,
+                )
+                failure.shrunk_outcome = run_case(failure.shrunk, pairs=registry)
+            if corpus_dir is not None:
+                failure.saved_to = save_case(
+                    failure.shrunk if failure.shrunk is not None else case,
+                    corpus_dir,
+                )
+            report.failures.append(failure)
+            if len(report.failures) >= max_failures:
+                return report
+    return report

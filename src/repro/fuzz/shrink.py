@@ -1,0 +1,158 @@
+"""Greedy minimization of failing cases (delta-debugging lite).
+
+A raw fuzz failure on a 24-node G(n,p) instance is a poor bug report;
+the same divergence on a 4-node path is a unit test.  The shrinker
+repeatedly applies structural edits — each of which keeps the case valid
+by construction — and accepts an edit iff the failure still reproduces:
+
+1. **node chunks** — remove halves, then quarters, ... then single
+   nodes (with their incident edges, colors, and lists);
+2. **single edges** — remove one edge at a time (surviving lists only
+   grow slack, so validity is preserved);
+3. **list colors** — for the greedy pair, drop trailing list colors
+   while each list stays above ``degree + 1``;
+4. **configuration** — try the default initial coloring instead of an
+   explicit one, and smaller defect budgets.
+
+Passes repeat until a whole sweep makes no progress (a local minimum:
+every single remaining node/edge/color is load-bearing for the failure)
+or the attempt budget is exhausted.  The predicate defaults to "the
+differential check still fails", but mutation tests inject their own.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .case import FuzzCase
+from .differential import EnginePair, run_case
+
+
+def _without_nodes(case: FuzzCase, drop: set[int]) -> FuzzCase:
+    keep = [v for v in case.nodes if v not in drop]
+    return case.replace(
+        nodes=keep,
+        edges=[(u, v) for u, v in case.edges if u not in drop and v not in drop],
+        initial_colors=(
+            None
+            if case.initial_colors is None
+            else {v: c for v, c in case.initial_colors.items() if v not in drop}
+        ),
+        lists=(
+            None
+            if case.lists is None
+            else {v: list(lst) for v, lst in case.lists.items() if v not in drop}
+        ),
+    )
+
+
+def default_predicate(
+    pairs: dict[str, EnginePair] | None = None,
+) -> Callable[[FuzzCase], bool]:
+    """The standard shrink predicate: the differential check still fails."""
+
+    def still_fails(candidate: FuzzCase) -> bool:
+        return not run_case(candidate, pairs=pairs).ok
+
+    return still_fails
+
+
+def shrink_case(
+    case: FuzzCase,
+    predicate: Callable[[FuzzCase], bool] | None = None,
+    max_attempts: int = 500,
+) -> FuzzCase:
+    """Minimize ``case`` while ``predicate`` holds (default: still fails).
+
+    Returns the smallest case found; the input case is never mutated.
+    ``max_attempts`` bounds predicate evaluations, so a pathologically
+    slow reproduction cannot hang a fuzz run.
+    """
+    predicate = predicate if predicate is not None else default_predicate()
+    budget = [max_attempts]
+
+    def attempt(candidate: FuzzCase) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        try:
+            candidate.check_valid()
+        except ValueError:  # pragma: no cover - edits preserve validity
+            return False
+        return predicate(candidate)
+
+    current = case.replace(note=case.note)  # deep copy via replace
+    progress = True
+    while progress and budget[0] > 0:
+        progress = False
+
+        # -- pass 1: node chunks, halving down to singletons -------------
+        chunk = max(1, len(current.nodes) // 2)
+        while chunk >= 1 and budget[0] > 0:
+            removed_any = False
+            i = 0
+            while i < len(current.nodes) and budget[0] > 0:
+                drop = set(current.nodes[i : i + chunk])
+                if len(drop) < len(current.nodes):  # keep at least one node
+                    candidate = _without_nodes(current, drop)
+                    if attempt(candidate):
+                        current = candidate
+                        progress = removed_any = True
+                        continue  # same i now points at the next chunk
+                i += chunk
+            if chunk == 1:
+                # repeat singleton sweeps until one removes nothing
+                chunk = 1 if removed_any else 0
+            else:
+                chunk //= 2
+
+        # -- pass 2: single edges ----------------------------------------
+        i = 0
+        while i < len(current.edges) and budget[0] > 0:
+            candidate = current.replace(
+                edges=current.edges[:i] + current.edges[i + 1 :]
+            )
+            if attempt(candidate):
+                current = candidate
+                progress = True
+            else:
+                i += 1
+
+        # -- pass 3: shrink greedy lists ---------------------------------
+        if current.lists is not None and budget[0] > 0:
+            degree = {v: 0 for v in current.nodes}
+            for u, v in current.edges:
+                degree[u] += 1
+                degree[v] += 1
+            for v in list(current.lists):
+                lst = current.lists[v]
+                j = len(lst) - 1
+                while len(lst) > degree[v] + 1 and j >= 0 and budget[0] > 0:
+                    shrunk = lst[:j] + lst[j + 1 :]
+                    candidate = current.replace(
+                        lists={**current.lists, v: shrunk}
+                    )
+                    if attempt(candidate):
+                        current = candidate
+                        lst = shrunk
+                        progress = True
+                    j -= 1
+
+        # -- pass 4: simplify configuration ------------------------------
+        if current.initial_colors is not None and budget[0] > 0:
+            candidate = current.replace(initial_colors=None)
+            if attempt(candidate):
+                current = candidate
+                progress = True
+        d = 0
+        while d < current.defect and budget[0] > 0:
+            candidate = current.replace(defect=d)
+            if attempt(candidate):
+                current = candidate
+                progress = True
+                break
+            d += 1
+
+    if not current.note:
+        current = current.replace(note=f"shrunk from n={case.n} m={case.m}")
+    return current

@@ -9,7 +9,11 @@ node and per round:
 * **silence after done** — a done node must not produce an outbox;
 * **output stability** — ``output`` after completion must be pure
   (calling it twice yields equal values);
-* **declared sizes** — all declared message sizes are positive.
+* **message sizes** — every message (declared *or* estimated) charges a
+  positive bit count, on the done branch too: a done node that emits a
+  sized message must trip the size audit in addition to the
+  silence-after-done check, not instead of it;
+* **round sanity** — ``send`` is never called with a negative round.
 
 Violations raise immediately with the node/round context, so test sweeps
 over every algorithm class catch protocol bugs at their first occurrence
@@ -41,19 +45,24 @@ class RefereedAlgorithm(DistributedAlgorithm):
         return self.inner.init_state(view)
 
     def send(self, view: NodeView, state, rnd: int):
-        if self._done_seen.get(view.id):
-            outbox = self.inner.send(view, state, rnd)
-            if outbox:
-                raise RefereeViolation(
-                    f"node {view.id} sent after reporting done (round {rnd})"
-                )
-            return outbox
+        if rnd < 0:
+            raise RefereeViolation(
+                f"node {view.id}: send called with negative round {rnd}"
+            )
         outbox = self.inner.send(view, state, rnd)
+        # Size audit runs on every branch: a done node's stray message must
+        # surface both its size violation and the sent-after-done violation,
+        # whichever the caller catches first.
         for dst, msg in outbox.items():
-            if isinstance(msg, Message) and msg.bits is not None and msg.bits < 1:
+            if isinstance(msg, Message) and msg.size_bits() < 1:
                 raise RefereeViolation(
-                    f"node {view.id} declared non-positive size to {dst}"
+                    f"node {view.id} sent a non-positive-size message to {dst} "
+                    f"(round {rnd})"
                 )
+        if self._done_seen.get(view.id) and outbox:
+            raise RefereeViolation(
+                f"node {view.id} sent after reporting done (round {rnd})"
+            )
         return outbox
 
     def receive(self, view: NodeView, state, rnd: int, inbox) -> None:

@@ -86,6 +86,7 @@ def linial_vectorized(
     defect: int = 0,
     recorder: "RunRecorder | None" = None,
     _finalize_recorder: bool = True,
+    _csr: CSRGraph | None = None,
 ) -> tuple[ColoringResult, RunMetrics, int]:
     """Vectorized twin of :func:`repro.algorithms.linial.run_linial`.
 
@@ -94,12 +95,14 @@ def linial_vectorized(
     :class:`~repro.obs.RunRecorder`) additionally collects one
     observability row per schedule step — every node is active in every
     round, exactly as in the reference run — plus ``csr_build`` /
-    ``schedule`` / ``rounds`` phase timings.
+    ``schedule`` / ``rounds`` phase timings.  ``_csr`` (internal) lets a
+    composing fast path reuse an already-built CSR of ``graph`` instead of
+    freezing the topology twice.
     """
     from ..algorithms.linial import defective_schedule, linial_schedule
 
     with _phase(recorder, "csr_build"):
-        csr = CSRGraph.from_networkx(graph)
+        csr = _csr if _csr is not None else CSRGraph.from_networkx(graph)
     n = csr.n
     delta = int(csr.degrees.max()) if n else 0
     if initial_colors is None:
@@ -219,12 +222,13 @@ def greedy_list_vectorized(
     """Fast path for :func:`repro.algorithms.greedy.greedy_list_coloring`
     on **zero-defect** list instances (the (degree+1)-list case).
 
-    Processes nodes in ``order`` (default: sorted), each taking the first
-    color of its list not held by an already-colored neighbor — the exact
-    rule the reference greedy applies when every defect is zero, so the
-    outputs match node for node (tested).  Per-node work is O(deg) NumPy
-    ops over the CSR arrays instead of the reference's repeated Python
-    neighborhood scans.
+    Processes nodes in ``order`` (default: sorted node-label order, the
+    reference greedy's default), each taking the first color of its list
+    not held by an already-colored neighbor — the exact rule the reference
+    greedy applies when every defect is zero, so the outputs match node
+    for node (tested, including non-contiguous unsorted label regimes).
+    Per-node work is O(deg) NumPy ops over the CSR arrays instead of the
+    reference's repeated Python neighborhood scans.
 
     Raises ``ValueError`` on directed instances, on nonzero defects (the
     reference's budget semantics are inherently sequential), and when the
@@ -240,11 +244,13 @@ def greedy_list_vectorized(
     csr = CSRGraph.from_networkx(instance.graph)
     list_indptr, list_values = ragged_lists(csr, instance.lists)
     final = np.full(csr.n, -1, dtype=np.int64)
-    dense_order = (
-        [csr.index[v] for v in order]
-        if order is not None
-        else list(range(csr.n))
-    )
+    # Default order is *sorted node labels* — the reference greedy's
+    # default — mapped through the label index, never raw dense positions:
+    # the two only coincide while the CSR build happens to sort labels,
+    # and the equivalence contract must not depend on that coincidence.
+    dense_order = [
+        csr.index[v] for v in (order if order is not None else sorted(csr.nodes))
+    ]
     for i in dense_order:
         neigh_colors = final[csr.neighbors_of(i)]
         neigh_colors = neigh_colors[neigh_colors >= 0]
@@ -272,15 +278,22 @@ def defective_split_vectorized(
     Validation is vectorized (per-node same-color neighbor counts via one
     integer bincount) instead of the reference's per-edge Python scan;
     with a ``recorder`` attached it is timed as a ``validate`` phase.
+
+    The topology is frozen into a :class:`CSRGraph` exactly once: the same
+    CSR drives the Linial run, the defect validation, and the finalized
+    record's ``n``/``m`` (asserted against the run's own node/edge counts),
+    so validation can never silently audit a different adjacency than the
+    one the coloring was computed on.
     """
     if defect < 0:
         raise ValueError(f"defect must be >= 0, got {defect}")
+    with _phase(recorder, "csr_build"):
+        csr = CSRGraph.from_networkx(graph)
     result, metrics, palette = linial_vectorized(
-        graph, defect=defect, recorder=recorder, _finalize_recorder=False
+        graph, defect=defect, recorder=recorder, _finalize_recorder=False, _csr=csr
     )
     if validate:
         with _phase(recorder, "validate"):
-            csr = CSRGraph.from_networkx(graph)
             colors = csr.gather(result.assignment)
             same = equal_neighbor_counts(csr, colors)
             if same.size and int(same.max()) > defect:
@@ -290,10 +303,14 @@ def defective_split_vectorized(
                     f"same-class neighbors (allowed {defect})"
                 )
     if recorder is not None:
+        n, m = csr.n, csr.num_directed_edges // 2
+        assert n == len(result.assignment) and m == graph.number_of_edges(), (
+            "defective_split_vectorized: finalize n/m drifted from the run's CSR"
+        )
         recorder.finalize(
             metrics,
-            n=graph.number_of_nodes(),
-            m=graph.number_of_edges(),
+            n=n,
+            m=m,
             palette=palette,
             algorithm=recorder.algorithm or "defective_split_vectorized",
         )

@@ -69,3 +69,37 @@ class TestCLI:
             ]
         )
         assert rc == 0
+
+
+class TestFuzzCommand:
+    def test_fuzz_smoke(self, capsys):
+        rc = main(
+            ["fuzz", "--seed", "0", "--iterations", "3",
+             "--corpus", "", "--failure-dir", ""]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "differential trials" in out
+        assert "0 failure(s)" in out
+
+    def test_fuzz_replays_shipped_corpus(self, capsys):
+        rc = main(
+            ["fuzz", "--seed", "0", "--iterations", "1",
+             "--corpus", "tests/corpus", "--failure-dir", ""]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "corpus replay:" in out and "0 regression(s)" in out
+
+    def test_fuzz_pair_subset(self, capsys):
+        rc = main(
+            ["fuzz", "--seed", "1", "--iterations", "2",
+             "--pairs", "greedy,linial", "--corpus", "", "--failure-dir", ""]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "greedy=2" in out and "linial=2" in out
+
+    def test_fuzz_unknown_pair_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--pairs", "nope", "--corpus", ""])

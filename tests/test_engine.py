@@ -3,6 +3,7 @@
 import networkx as nx
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.graphs import gnp, ring, star
 from repro.sim.engine import (
@@ -137,3 +138,64 @@ class TestHelpers:
         )
         assert indptr.tolist() == [0, 2, 2, 5]
         assert values.tolist() == [4, 1, 7, 7, 0]
+
+
+# ----------------------------------------------------------------------
+# property-based round trips on adversarial label sets
+# ----------------------------------------------------------------------
+def _graph_from(labels, edge_picks):
+    """Graph whose nodes are ``labels`` verbatim (unsorted, gappy)."""
+    g = nx.Graph()
+    g.add_nodes_from(labels)
+    n = len(labels)
+    for a, b in edge_picks:
+        u, v = labels[a % n], labels[b % n]
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+_labels = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=30,
+    unique=True,
+).map(list)
+_edge_picks = st.lists(
+    st.tuples(st.integers(0, 100), st.integers(0, 100)), max_size=60
+)
+
+
+class TestRoundTripProperties:
+    """gather/scatter and ragged_lists must be exact inverses for *any*
+    label set — non-contiguous, unsorted, and gappy included."""
+
+    @given(labels=_labels, edge_picks=_edge_picks)
+    @settings(max_examples=60, deadline=None)
+    def test_gather_scatter_round_trip(self, labels, edge_picks):
+        csr = CSRGraph.from_networkx(_graph_from(labels, edge_picks))
+        mapping = {v: (v * 7 + 3) % 101 for v in labels}
+        dense = csr.gather(mapping)
+        assert csr.scatter(dense) == mapping
+
+    @given(labels=_labels, edge_picks=_edge_picks)
+    @settings(max_examples=60, deadline=None)
+    def test_scatter_gather_round_trip(self, labels, edge_picks):
+        csr = CSRGraph.from_networkx(_graph_from(labels, edge_picks))
+        dense = np.arange(csr.n, dtype=np.int64) * 13 % 29
+        assert np.array_equal(csr.gather(csr.scatter(dense)), dense)
+
+    @given(labels=_labels, edge_picks=_edge_picks, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_ragged_lists_round_trip(self, labels, edge_picks, data):
+        csr = CSRGraph.from_networkx(_graph_from(labels, edge_picks))
+        lists = {
+            v: data.draw(
+                st.lists(st.integers(0, 50), max_size=6), label=f"list[{v}]"
+            )
+            for v in labels
+        }
+        indptr, values = ragged_lists(csr, lists)
+        assert indptr[0] == 0 and indptr[-1] == len(values)
+        assert np.all(np.diff(indptr) >= 0)
+        for i, v in enumerate(csr.nodes):
+            segment = values[indptr[i] : indptr[i + 1]].tolist()
+            assert segment == list(lists[v])  # preference order preserved

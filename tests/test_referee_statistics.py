@@ -103,6 +103,67 @@ class TestRefereeCatchesBadBehavior:
         with pytest.raises(RefereeViolation):
             algo.send(view, {}, 0)
 
+    def test_negative_round_flagged(self):
+        class Quiet(DistributedAlgorithm):
+            def init_state(self, view):
+                return {}
+
+            def is_done(self, view, state):
+                return False
+
+        from repro.sim.node import NodeView
+
+        algo = RefereedAlgorithm(Quiet())
+        view = NodeView(0, (1,), (1,), (1,), {}, {})
+        algo.init_state(view)
+        with pytest.raises(RefereeViolation, match="negative round"):
+            algo.send(view, {}, -1)
+
+    def test_nonpositive_size_message_flagged(self):
+        # Message(bits=...) rejects declared sizes < 1 at construction, but
+        # an undeclared empty-string payload estimates to 0 bits — the audit
+        # must catch it at send time.
+        class Whisper(DistributedAlgorithm):
+            def init_state(self, view):
+                return {}
+
+            def send(self, view, state, rnd):
+                return {view.neighbors[0]: Message("")}
+
+            def is_done(self, view, state):
+                return False
+
+        from repro.sim.node import NodeView
+
+        algo = RefereedAlgorithm(Whisper())
+        view = NodeView(0, (1,), (1,), (1,), {}, {})
+        algo.init_state(view)
+        with pytest.raises(RefereeViolation, match="non-positive-size"):
+            algo.send(view, {}, 0)
+
+    def test_size_audit_runs_on_done_branch_too(self):
+        # A done node emitting a zero-size message must surface the size
+        # violation even though sent-after-done would also fire: the audit
+        # is ordered before the done check so neither masks the other.
+        class DoneWhisper(DistributedAlgorithm):
+            def init_state(self, view):
+                return {}
+
+            def send(self, view, state, rnd):
+                return {view.neighbors[0]: Message("")}
+
+            def is_done(self, view, state):
+                return True
+
+        from repro.sim.node import NodeView
+
+        algo = RefereedAlgorithm(DoneWhisper())
+        view = NodeView(0, (1,), (1,), (1,), {}, {})
+        algo.init_state(view)
+        assert algo.is_done(view, {})
+        with pytest.raises(RefereeViolation, match="non-positive-size"):
+            algo.send(view, {}, 0)
+
 
 class TestStatistics:
     def make(self):

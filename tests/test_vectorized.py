@@ -134,6 +134,37 @@ class TestGreedyVectorized:
         vec = greedy_list_vectorized(inst, order=order)
         assert ref.assignment == vec.assignment
 
+    def test_default_order_is_sorted_labels_on_shuffled_graph(self):
+        # Regression for the dense-position default: on a graph whose node
+        # labels are non-contiguous and inserted unsorted, the vectorized
+        # default processing order must still be sorted *labels* (the
+        # reference default), not raw CSR row positions.
+        import random
+
+        import networkx as nx
+
+        from repro.algorithms.greedy import greedy_list_coloring
+        from repro.core.instance import degree_plus_one_instance
+        from repro.sim.vectorized import greedy_list_vectorized
+
+        rng = random.Random(13)
+        base = gnp(30, 0.25, seed=13)
+        labels = rng.sample(range(500), base.number_of_nodes())
+        g = nx.relabel_nodes(base, dict(zip(sorted(base.nodes), labels)))
+        shuffled = nx.Graph()
+        order = list(g.nodes)
+        rng.shuffle(order)
+        shuffled.add_nodes_from(order)
+        shuffled.add_edges_from(g.edges)
+
+        inst = degree_plus_one_instance(shuffled, rng=random.Random(4))
+        ref = greedy_list_coloring(inst)
+        vec = greedy_list_vectorized(inst)
+        assert ref.assignment == vec.assignment
+        # and the default really is the sorted-label schedule
+        explicit = greedy_list_vectorized(inst, order=sorted(shuffled.nodes))
+        assert vec.assignment == explicit.assignment
+
     def test_rejects_nonzero_defects(self):
         from repro.core.colorspace import ColorSpace
         from repro.core.instance import uniform_instance
@@ -181,6 +212,38 @@ class TestDefectiveSplitVectorized:
 
         with pytest.raises(ValueError):
             defective_split_vectorized(ring(10), defect=-1)
+
+    def test_builds_csr_exactly_once(self, monkeypatch):
+        # Regression: the split used to rebuild a second CSRGraph just to
+        # validate, so the validation could silently diverge from the graph
+        # the run actually used.  One build, threaded everywhere.
+        from repro.sim import vectorized as vec_mod
+        from repro.sim.engine import CSRGraph
+
+        real = CSRGraph.from_networkx
+        calls = []
+
+        def counting(graph):
+            calls.append(graph)
+            return real(graph)
+
+        # vectorized.py imports the same class object, so one patch covers it
+        monkeypatch.setattr(CSRGraph, "from_networkx", staticmethod(counting))
+        g = random_regular(60, 6, seed=5)
+        classes, metrics, palette = vec_mod.defective_split_vectorized(g, defect=2)
+        assert len(calls) == 1
+        assert set(classes) == set(g.nodes)
+
+    def test_finalize_counts_match_run_csr(self):
+        from repro.obs import RunRecorder
+        from repro.sim.vectorized import defective_split_vectorized
+
+        g = gnp(50, 0.15, seed=8)
+        rec = RunRecorder(engine="vectorized")
+        defective_split_vectorized(g, defect=1, recorder=rec)
+        assert rec.record is not None
+        assert rec.record.n == g.number_of_nodes()
+        assert rec.record.m == g.number_of_edges()
 
 
 class TestClassicPipelineVectorized:
