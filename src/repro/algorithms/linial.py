@@ -195,7 +195,18 @@ class LinialColoringAlgorithm(DistributedAlgorithm):
         step = sched[state["step"]]
         q, deg = step.q, step.deg
         my = poly_coeffs(state["color"], q, deg)
-        neigh = [poly_coeffs(m.payload, q, deg) for m in inbox.values()]
+        # Decoder filtering: under fault injection a frame can be stale
+        # (sender at a different step) or corrupted out of domain; anything
+        # not a valid base-q encoding for *this* step is discarded, exactly
+        # as the vectorized kernel masks out-of-domain deliveries.
+        domain = q ** (deg + 1)
+        neigh = [
+            poly_coeffs(m.payload, q, deg)
+            for m in inbox.values()
+            if isinstance(m.payload, int)
+            and not isinstance(m.payload, bool)
+            and 0 <= m.payload < domain
+        ]
         best_x, best_hits = 0, None
         for x in range(q):
             mine = poly_eval(my, x, q)
@@ -222,6 +233,7 @@ def run_linial(
     recorder=None,
     _finalize_recorder: bool = True,
     wrap=None,
+    faults=None,
 ) -> tuple[ColoringResult, RunMetrics, int]:
     """Convenience wrapper: run Linial (or the [Kuh09] defective variant).
 
@@ -232,7 +244,12 @@ def run_linial(
     optional algorithm decorator (e.g.
     :class:`~repro.sim.referee.RefereedAlgorithm`) applied to the
     algorithm instance before the run — the differential fuzz harness uses
-    it to referee every reference execution.
+    it to referee every reference execution.  ``faults`` (a
+    :class:`~repro.faults.FaultPlan`) injects the plan's message/crash
+    schedule; the round budget then stretches to the plan's
+    :meth:`~repro.faults.FaultPlan.round_budget` — the same bound the
+    vectorized twin uses, so a crash-stop plan halts both engines
+    identically.
     """
     n = graph.number_of_nodes()
     delta = max((d for _, d in graph.degree), default=0)
@@ -249,12 +266,16 @@ def run_linial(
     algorithm = LinialColoringAlgorithm()
     if wrap is not None:
         algorithm = wrap(algorithm)
+    max_rounds = (
+        len(sched) + 1 if faults is None else faults.round_budget(len(sched))
+    )
     outputs, metrics = net.run(
         algorithm,
         inputs,
         shared={"schedule": sched, "m0": m0},
-        max_rounds=len(sched) + 1,
+        max_rounds=max_rounds,
         recorder=recorder,
+        faults=faults,
         _finalize_recorder=False,
     )
     if recorder is not None and _finalize_recorder:

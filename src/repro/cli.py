@@ -6,6 +6,7 @@ Main subcommands::
     repro-cli edge-color --family ring --n 40
     repro-cli experiment E09 [--full]
     repro-cli sweep      --algorithms linial,linial_vectorized --cache-dir C
+    repro-cli faults     --mode drop --rates 0.0,0.1,0.3
     repro-cli report     --cache-dir C
     repro-cli fuzz       --seed 0 --iterations 50 --corpus tests/corpus
     repro-cli families
@@ -13,7 +14,10 @@ Main subcommands::
 ``color`` runs the Theorem 1.4 pipeline on a generated graph and prints
 the run metrics; ``edge-color`` does the same on the line graph;
 ``experiment`` renders one of the reproduction experiments; ``sweep``
-runs a cached grid of (family, n, seed, algorithm) cells; ``report``
+runs a cached grid of (family, n, seed, algorithm) cells; ``faults``
+charts validity/rounds/bits degradation under a seeded
+:class:`~repro.faults.FaultPlan`, raw vs resilient-wrapped, with both
+engines cross-checked per rate (see ``docs/RESILIENCE.md``); ``report``
 either writes the full experiment record or — with ``--cache-dir`` /
 ``--runs`` — renders observability run records as per-round tables plus
 the reference-vs-vectorized cross-engine comparisons; ``fuzz`` replays
@@ -162,6 +166,14 @@ def _cmd_report_obs(args: argparse.Namespace) -> int:
     records = []
     if args.cache_dir:
         records.extend(load_cache_run_records(args.cache_dir))
+        from .experiments.sweep import corrupt_cache_files
+
+        quarantined = corrupt_cache_files(args.cache_dir)
+        if quarantined:
+            print(
+                f"{len(quarantined)} corrupt cache file(s) quarantined as "
+                f"*.json.corrupt under {args.cache_dir}"
+            )
     if args.runs:
         try:
             records.extend((args.runs, r) for r in read_jsonl(args.runs))
@@ -236,14 +248,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for r in summary.results:
         fp = r.data["family_params"]
         rounds = (r.data["metrics"] or {}).get("rounds", "-")
+        colors = r.data["colors"] if r.data["colors"] is not None else "-"
+        provenance = "yes" if r.cached else "no"
+        if r.failed:
+            provenance += f"  FAILED ({r.data['error']['type']})"
         print(
             f"{r.data['algorithm']:<20} {fp.get('n', '-'):>8} "
-            f"{fp.get('seed', '-'):>5} {r.data['colors']:>7} {rounds:>7} "
-            f"{r.data['wall_s']*1000:>7.0f}ms  {'yes' if r.cached else 'no'}"
+            f"{fp.get('seed', '-'):>5} {colors:>7} {rounds:>7} "
+            f"{r.data['wall_s']*1000:>7.0f}ms  {provenance}"
         )
+    extras = "".join(
+        f", {count} {label}"
+        for label, count in (
+            ("corrupt", summary.corrupt),
+            ("stale", summary.stale),
+            ("failed", summary.failed),
+        )
+        if count
+    )
     print(
         f"{summary.total} cells ({summary.computed} computed, "
-        f"{summary.cached} cached) in {wall:.2f}s"
+        f"{summary.cached} cached{extras}) in {wall:.2f}s"
     )
     if args.output:
         payload = {
@@ -300,6 +325,112 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             f"into tests/corpus/ alongside the fix to keep it fixed"
         )
     return 1 if (report.failures or replay_failures) else 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .core.validate import validate_proper_coloring
+    from .experiments.sweep import SweepCell, run_sweep
+    from .faults import FaultPlan, resilient_linial
+    from .obs import RunRecord, compare_round_accounting
+
+    try:
+        ps = [float(x) for x in args.rates.split(",")]
+    except ValueError as exc:
+        raise SystemExit(f"--rates must be comma-separated floats: {exc}")
+    fn = _FAMILY_FNS.get(args.family)
+    if fn is None:
+        raise SystemExit(f"unknown family {args.family!r}; try `repro-cli families`")
+    accepted = set(inspect.signature(fn).parameters)
+    fam_params = {"n": args.n, "seed": args.seed}
+    if args.degree is not None:
+        fam_params["degree"] = args.degree
+    fam_params = {k: v for k, v in fam_params.items() if k in accepted}
+    graph = fn(**fam_params)
+
+    rate_field = f"p_{args.mode}"
+    rows = []
+    mismatches = 0
+    for p in ps:
+        plan_spec = {"seed": args.fault_seed, rate_field: p}
+        if args.mode == "crash":
+            plan_spec["recovery_rounds"] = 2
+        cells = [
+            SweepCell.make(args.family, fam_params, algo, {"faults": plan_spec})
+            for algo in ("linial_faulty", "linial_faulty_vectorized")
+        ]
+        ref, vec = run_sweep(cells, cache_dir=args.cache_dir, workers=1)
+        if ref.failed or vec.failed:
+            raise SystemExit(
+                f"faulty cell failed at {rate_field}={p}: "
+                f"{(ref if ref.failed else vec).data['error']}"
+            )
+        cmp = compare_round_accounting(
+            RunRecord.from_dict(ref.data["run_record"]),
+            RunRecord.from_dict(vec.data["run_record"]),
+        )
+        agree = (
+            cmp["accounting_equal"]
+            and cmp["faults_equal"]
+            and ref.data["metrics"] == vec.data["metrics"]
+        )
+        mismatches += 0 if agree else 1
+        wres, wm, _pal, info = resilient_linial(
+            graph,
+            FaultPlan.from_dict(plan_spec),
+            retries=args.retries,
+            restarts=args.restarts,
+        )
+        w_ok = bool(validate_proper_coloring(graph, wres))
+        rows.append(
+            {
+                "rate": p,
+                "mode": args.mode,
+                "raw_valid": ref.data["valid"],
+                "engines_agree": agree,
+                "raw_rounds": ref.data["metrics"]["rounds"],
+                "raw_bits": ref.data["metrics"]["total_bits"],
+                "wrapped_valid": w_ok,
+                "wrapped_rounds": wm.rounds,
+                "wrapped_bits": wm.total_bits,
+                "attempts": info["attempts"],
+            }
+        )
+    header = (
+        f"{'rate':>6} {'raw valid':>9} {'agree':>5} {'wrap valid':>10} "
+        f"{'attempts':>8} {'rounds':>6} {'bits':>9}"
+    )
+    print(
+        f"fault degradation: mode={args.mode} family={args.family} "
+        f"{fam_params} retries={args.retries} restarts={args.restarts}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['rate']:>6.2f} {str(row['raw_valid']):>9} "
+            f"{str(row['engines_agree']):>5} {str(row['wrapped_valid']):>10} "
+            f"{row['attempts']:>8} {row['wrapped_rounds']:>6} "
+            f"{row['wrapped_bits']:>9}"
+        )
+    if mismatches:
+        print(f"ENGINE MISMATCH on {mismatches} rate(s)")
+    if args.output:
+        payload = {
+            "family": args.family,
+            "family_params": fam_params,
+            "mode": args.mode,
+            "fault_seed": args.fault_seed,
+            "retries": args.retries,
+            "restarts": args.restarts,
+            "rows": rows,
+            "engine_mismatches": mismatches,
+        }
+        with open(args.output, "w") as fh:
+            _json.dump(payload, fh, indent=1, sort_keys=True)
+        print(f"saved degradation record to {args.output}")
+    return 1 if mismatches else 0
 
 
 def _cmd_families(_args: argparse.Namespace) -> int:
@@ -405,6 +536,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--max-failures", dest="max_failures", type=int,
                         default=5, help="stop after this many failures")
     p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_flt = sub.add_parser(
+        "faults",
+        help="fault-injection degradation curves: raw vs wrapped Linial "
+             "under a seeded adversary, cross-checked across both engines",
+    )
+    p_flt.add_argument("--family", default="random_regular")
+    p_flt.add_argument("--n", type=int, default=150)
+    p_flt.add_argument("--degree", type=int, default=4)
+    p_flt.add_argument("--seed", type=int, default=1,
+                       help="graph generator seed")
+    p_flt.add_argument("--mode", default="drop",
+                       choices=["drop", "corrupt", "delay", "duplicate", "crash"],
+                       help="which fault mode's rate to sweep")
+    p_flt.add_argument("--rates", default="0.0,0.05,0.1,0.2,0.3",
+                       help="comma-separated fault rates")
+    p_flt.add_argument("--fault-seed", dest="fault_seed", type=int, default=21,
+                       help="FaultPlan seed (one adversary, swept rate)")
+    p_flt.add_argument("--retries", type=int, default=2,
+                       help="retransmit budget of the resilient wrapper")
+    p_flt.add_argument("--restarts", type=int, default=2,
+                       help="restart budget of the resilient wrapper")
+    p_flt.add_argument("--cache-dir", dest="cache_dir", default=None,
+                       help="optional sweep cache for the engine cells")
+    p_flt.add_argument("--output", default=None,
+                       help="write the degradation record as JSON")
+    p_flt.set_defaults(func=_cmd_faults)
 
     p_fam = sub.add_parser("families", help="list graph generators")
     p_fam.set_defaults(func=_cmd_families)

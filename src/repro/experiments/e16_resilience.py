@@ -1,0 +1,171 @@
+"""E16 — Fault-injection degradation curves and resilient wrappers (figure).
+
+The paper's algorithms are synchronous and fault-free; this experiment
+measures what its pipeline *buys* under an adversarial message layer
+(:mod:`repro.faults`): a seeded :class:`~repro.faults.FaultPlan` drops a
+fraction ``p`` of messages, and we sweep ``p`` to chart
+
+* **raw degradation** — unprotected Linial loses validity once drops hit
+  a schedule step (every lost color message can hide a collision);
+* **defect slack** — the [Kuh09] defective variant tolerates the *same*
+  fault rate that breaks the proper run, because its validity contract
+  (``<= d`` conflicting neighbors) absorbs fault-induced collisions —
+  the list-defective framework's slack doubling as fault tolerance;
+* **graceful recovery** — :func:`~repro.faults.resilient_linial`
+  (retransmit-with-ack + oracle-checked restarts) stays valid across the
+  whole swept range at a measured, bounded overhead: rounds multiply by
+  the retransmit period ``1 + 2*retries``, bits by the retry traffic —
+  no cliff below the retry budget.
+
+Both engines run every faulty cell through the sweep machinery
+(``linial_faulty`` vs ``linial_faulty_vectorized``) and must agree
+bit-for-bit, per-round fault counts included — the fault layer is part
+of the equivalence contract, not an exception to it.
+"""
+
+from __future__ import annotations
+
+from ..faults import FaultPlan, resilient_linial
+from ..analysis.tables import format_table
+from ..core.validate import validate_proper_coloring
+from ..graphs import random_regular
+from ..obs import RunRecord, compare_round_accounting
+from .harness import ExperimentResult
+from .sweep import SweepCell, run_sweep
+
+#: Seed of every fault plan in this experiment (one adversary, swept rate).
+FAULT_SEED = 21
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    checks: dict[str, bool] = {}
+    n, degree = (150, 4) if fast else (600, 4)
+    ps = [0.0, 0.05, 0.1, 0.2, 0.3] if fast else [0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3]
+    retries, restarts = 2, 2
+    graph = random_regular(n, degree, seed=1)
+
+    # every (engine, p) coordinate through the sweep machinery
+    cells = []
+    for p in ps:
+        plan = {"seed": FAULT_SEED, "p_drop": p}
+        for algo in ("linial_faulty", "linial_faulty_vectorized"):
+            cells.append(
+                SweepCell.make(
+                    "random_regular",
+                    {"n": n, "degree": degree, "seed": 1},
+                    algo,
+                    {"faults": plan},
+                )
+            )
+    results = {
+        (r.cell.algorithm, dict(r.cell.spec()["algo_params"]["faults"])["p_drop"]): r
+        for r in run_sweep(cells, cache_dir=None, workers=1)
+    }
+
+    rows = []
+    baseline_rounds = baseline_bits = None
+    engines_agree = True
+    for p in ps:
+        ref = results[("linial_faulty", p)].data
+        vec = results[("linial_faulty_vectorized", p)].data
+        cmp = compare_round_accounting(
+            RunRecord.from_dict(ref["run_record"]),
+            RunRecord.from_dict(vec["run_record"]),
+        )
+        agree = (
+            cmp["accounting_equal"]
+            and cmp["faults_equal"]
+            and ref["metrics"] == vec["metrics"]
+        )
+        engines_agree = engines_agree and agree
+
+        wres, wm, _pal, info = resilient_linial(
+            graph,
+            FaultPlan(seed=FAULT_SEED, p_drop=p),
+            retries=retries,
+            restarts=restarts,
+        )
+        w_ok = bool(validate_proper_coloring(graph, wres))
+        if p == 0.0:
+            baseline_rounds, baseline_bits = wm.rounds, wm.total_bits
+        rows.append(
+            [
+                f"{p:.2f}",
+                ref["valid"],
+                agree,
+                w_ok,
+                info["attempts"],
+                wm.rounds,
+                wm.total_bits,
+            ]
+        )
+        checks[f"wrapped_valid_p{p:g}"] = w_ok
+        # graceful: overhead stays a small multiple of the fault-free
+        # wrapped run — retries add bits, never extra attempts/cliffs
+        checks[f"overhead_bounded_p{p:g}"] = (
+            wm.rounds <= 2 * baseline_rounds and wm.total_bits <= 3 * baseline_bits
+        )
+    checks["engines_agree_all_p"] = engines_agree
+    # unprotected Linial must actually degrade in the swept range —
+    # otherwise the wrapped columns above prove nothing
+    checks["raw_degrades"] = any(
+        not results[("linial_faulty", p)].data["valid"] for p in ps if p >= 0.1
+    )
+
+    # defect slack: at a rate that breaks the proper run, the defective
+    # variant's own contract (<= d conflicts) still holds — fault damage
+    # is absorbed by the same slack the list-defective framework trades on.
+    # Which rate first breaks depends on n (drops must land on a schedule
+    # step AND hide a collision), so probe at the measured break point.
+    first_break = next(
+        (p for p in ps if not results[("linial_faulty", p)].data["valid"]), None
+    )
+    if first_break is None:
+        checks["defect_slack_absorbs"] = False
+    else:
+        slack_cells = [
+            SweepCell.make(
+                "random_regular",
+                {"n": n, "degree": degree, "seed": 1},
+                algo,
+                {"faults": {"seed": FAULT_SEED, "p_drop": first_break}, "defect": 2},
+            )
+            for algo in ("linial_faulty", "linial_faulty_vectorized")
+        ]
+        slack_ref, slack_vec = run_sweep(slack_cells, cache_dir=None, workers=1)
+        checks[f"defect_slack_absorbs_p{first_break:g}"] = bool(
+            slack_ref.data["valid"] and slack_vec.data["valid"]
+        )
+
+    table = format_table(
+        ["p_drop", "raw valid", "engines agree", "wrapped valid", "attempts", "rounds", "bits"],
+        rows,
+        title=(
+            f"Linial under message drops (random_regular n={n} d={degree}; "
+            f"retransmit retries={retries}, restarts={restarts})"
+        ),
+    )
+    findings = (
+        f"Raw Linial first breaks at p_drop={first_break}, while the wrapped "
+        f"run stays valid across the whole range at <= {retries + 1}x data "
+        "traffic (no cliff below the retry budget); a defect-2 contract "
+        f"absorbs the damage of p_drop={first_break} outright — the paper's "
+        "defect slack doubles as fault tolerance.  Both engines replay the "
+        "identical fault schedule, per-round fault counts included."
+    )
+    return ExperimentResult(
+        experiment="E16 fault-injection resilience",
+        kind="figure",
+        paper_claim=(
+            "defective/list-defective slack and O(log* n) schedules survive "
+            "an adversarial message layer when wrapped with bounded retries"
+        ),
+        body=table,
+        findings=findings,
+        data={"rows": rows, "ps": ps, "first_break": first_break},
+        checks=checks,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -68,6 +68,7 @@ EXPERIMENTS: dict[str, str] = {
     "E13": "repro.experiments.e13_frontier",
     "E14": "repro.experiments.e14_scale",
     "E15": "repro.experiments.e15_lowerbound",
+    "E16": "repro.experiments.e16_resilience",
     "A01": "repro.experiments.a01_ablations",
 }
 

@@ -1,6 +1,6 @@
 """Parallel sweep runner with deterministic partitioning and a JSON cache.
 
-The paper's experiments (E01-E15) all share one expensive shape: run an
+The paper's experiments (E01-E16) all share one expensive shape: run an
 algorithm over a grid of (graph family, size, seed, parameters) cells and
 collect round/bit/color metrics per cell.  This module packages that shape
 once, for every driver:
@@ -21,7 +21,8 @@ once, for every driver:
 
 Cached cell records are plain JSON::
 
-    {"key": "<hex16>", "schema": 2, "family": "random_regular",
+    {"key": "<hex16>", "schema": 3, "status": "ok",
+     "family": "random_regular",
      "family_params": {"n": 1000, "degree": 8, "seed": 0},
      "algorithm": "linial_vectorized", "algo_params": {},
      "n": 1000, "m": 4000, "delta": 8,
@@ -39,17 +40,38 @@ other schema (including the pre-observability records, which carried no
 a code change that alters the record layout can never be silently served
 stale from disk.
 
+Fault tolerance (the shape a long overnight sweep actually needs):
+
+* **poison-cell quarantine** — a cell whose computation raises is recorded
+  as a structured ``status: "failed"`` record (:func:`failed_record`)
+  carrying the exception type and message; the sweep continues and the
+  failure is a first-class result, not an abort;
+* **per-cell checkpointing** — workers persist each record the moment it
+  is computed (when a ``cache_dir`` is available), so a killed worker
+  process loses at most the one cell it was on;
+* **bounded batch retry** — :func:`_compute_parallel` resubmits only the
+  batches whose worker died (``BrokenProcessPool``), with exponential
+  backoff, and finally computes stragglers inline; checkpointed cells are
+  *resumed* from the cache, never recomputed;
+* **corrupt-file quarantine** — an unreadable cache file is renamed to
+  ``<key>.json.corrupt`` (:func:`load_cached_detailed`) so the evidence
+  survives while the cell recomputes; ``repro-cli report`` surfaces the
+  count.
+
 Algorithms are resolved by name: first against the vectorized fast paths
 built on :mod:`repro.sim.engine` (``linial_vectorized``,
-``classic_vectorized``, ``greedy_vectorized``, ``defective_split``), then
-against the recorder-aware reference paths (``linial``, ``classic``,
-``greedy`` — the equivalence twins of the fast paths), then against
+``classic_vectorized``, ``greedy_vectorized``, ``defective_split``,
+``linial_faulty_vectorized``), then against the recorder-aware reference
+paths (``linial``, ``classic``, ``greedy``, ``linial_faulty``,
+``linial_resilient`` — the first three are equivalence twins of the fast
+paths, the fault paths inject a :class:`~repro.faults.FaultPlan` taken
+from ``algo_params["faults"]``), then against
 :mod:`repro.algorithms.registry` (the remaining reference
 implementations), so one sweep can mix engine runs at large n with
 reference runs at small n.  Fast-path and reference-path cells attach a
 full per-round :class:`~repro.obs.RunRecord` to their cache record;
 cross-engine pairs (see :data:`repro.analysis.report.ENGINE_PAIRS`) must
-agree row for row.
+agree row for row — including the per-round fault columns.
 """
 
 from __future__ import annotations
@@ -66,7 +88,13 @@ from typing import Any, Callable, Mapping, Sequence
 #: gains, loses, or reinterprets fields; :func:`load_cached` treats any
 #: other version (including records from before this field existed) as a
 #: cache miss, so stale layouts are recomputed instead of silently served.
-SWEEP_CACHE_SCHEMA = 2
+#: v3: records gained ``status`` ("ok" | "failed") and, on failure, a
+#: structured ``error`` — the poison-cell quarantine format.
+SWEEP_CACHE_SCHEMA = 3
+
+#: Attempts per batch before the parallel runner falls back to computing
+#: the batch inline (first try + retries of batches whose worker died).
+MAX_BATCH_RETRIES = 2
 
 
 # ----------------------------------------------------------------------
@@ -90,20 +118,40 @@ class SweepCell:
         algo_params: Mapping[str, Any] | None = None,
     ) -> "SweepCell":
         """Normalize mapping parameters into a hashable, ordered cell."""
+
+        def freeze(value: Any) -> Any:
+            # nested mappings (e.g. a FaultPlan spec) must hash and
+            # serialize canonically, exactly like the top-level params
+            if isinstance(value, Mapping):
+                return tuple(sorted((k, freeze(v)) for k, v in value.items()))
+            return value
+
         return cls(
             family=family,
             family_params=tuple(sorted(family_params.items())),
             algorithm=algorithm,
-            algo_params=tuple(sorted((algo_params or {}).items())),
+            algo_params=tuple(
+                sorted((k, freeze(v)) for k, v in (algo_params or {}).items())
+            ),
         )
 
     def spec(self) -> dict[str, Any]:
         """The canonical (JSON-ready) spec dict of this cell."""
+
+        def thaw(value: Any) -> Any:
+            if (
+                isinstance(value, tuple)
+                and value
+                and all(isinstance(p, tuple) and len(p) == 2 for p in value)
+            ):
+                return {k: thaw(v) for k, v in value}
+            return value
+
         return {
             "family": self.family,
             "family_params": dict(self.family_params),
             "algorithm": self.algorithm,
-            "algo_params": dict(self.algo_params),
+            "algo_params": {k: thaw(v) for k, v in self.algo_params},
         }
 
 
@@ -115,15 +163,27 @@ def cell_key(cell: SweepCell) -> str:
 
 @dataclass
 class CellResult:
-    """Outcome of one cell: the JSON record plus cache provenance."""
+    """Outcome of one cell: the JSON record plus cache provenance.
+
+    ``cache_status`` is the initial cache probe's verdict for this cell —
+    ``hit``/``failed`` when served from disk, ``miss``/``stale``/
+    ``corrupt`` when the cell went on to compute (``miss`` also covers
+    disabled caching and ``recompute=True``).
+    """
 
     cell: SweepCell
     data: dict[str, Any]
     cached: bool = False
+    cache_status: str = "miss"
 
     @property
     def key(self) -> str:
         return self.data["key"]
+
+    @property
+    def failed(self) -> bool:
+        """Whether this cell carries a quarantined failure record."""
+        return self.data.get("status", "ok") == "failed"
 
 
 # ----------------------------------------------------------------------
@@ -149,6 +209,13 @@ def _announce_coloring_metrics(graph, space_size: int, recorder):
         metrics, recorder, 2 * graph.number_of_edges(), bits, uncolored=0
     )
     return metrics
+
+
+def _fault_plan(params: Mapping[str, Any]):
+    """The cell's :class:`~repro.faults.FaultPlan` from ``algo_params``."""
+    from ..faults import FaultPlan
+
+    return FaultPlan.from_dict(dict(params.get("faults") or {}))
 
 
 def _run_linial_vectorized(graph, params, recorder=None):
@@ -194,6 +261,18 @@ def _run_defective_split(graph, params, recorder=None):
     return ColoringResult(classes), metrics, palette
 
 
+def _run_linial_faulty_vectorized(graph, params, recorder=None):
+    from ..sim.vectorized import linial_vectorized
+
+    res, metrics, palette = linial_vectorized(
+        graph,
+        defect=int(params.get("defect", 0)),
+        recorder=recorder,
+        faults=_fault_plan(params),
+    )
+    return res, metrics, palette
+
+
 def _run_linial_reference(graph, params, recorder=None):
     from ..algorithms.linial import run_linial
 
@@ -227,20 +306,64 @@ def _run_greedy_reference(graph, params, recorder=None):
     return res, metrics, instance.space.size
 
 
+def _run_linial_faulty_reference(graph, params, recorder=None):
+    from ..algorithms.linial import run_linial
+
+    res, metrics, palette = run_linial(
+        graph,
+        defect=int(params.get("defect", 0)),
+        recorder=recorder,
+        faults=_fault_plan(params),
+    )
+    return res, metrics, palette
+
+
+def _run_linial_resilient(graph, params, recorder=None):
+    """Wrapped Linial under faults (:func:`repro.faults.resilient_linial`).
+
+    Metrics merge every attempt sequentially, so the recorder's record
+    carries the concatenated per-round accounting of all attempts; the
+    restart history lands in the cell record's ``resilience`` field via
+    the info dict returned here.
+    """
+    from ..faults import resilient_linial
+
+    res, metrics, palette, info = resilient_linial(
+        graph,
+        _fault_plan(params),
+        defect=int(params.get("defect", 0)),
+        retries=int(params.get("retries", 2)),
+        restarts=int(params.get("restarts", 2)),
+    )
+    if recorder is not None:
+        recorder.finalize(
+            metrics,
+            n=graph.number_of_nodes(),
+            m=graph.number_of_edges(),
+            palette=palette,
+        )
+    return res, metrics, palette, info
+
+
 FAST_PATHS: dict[str, Callable] = {
     "linial_vectorized": _run_linial_vectorized,
     "classic_vectorized": _run_classic_vectorized,
     "greedy_vectorized": _run_greedy_vectorized,
     "defective_split": _run_defective_split,
+    "linial_faulty_vectorized": _run_linial_faulty_vectorized,
 }
 
 #: Recorder-aware reference twins of the fast paths.  ``classic`` shadows
 #: the registry entry of the same name so sweep cells get per-round
 #: observability records; outputs and metrics are identical either way.
+#: ``linial_faulty``/``linial_resilient`` run the fault-injected variants
+#: (plan taken from ``algo_params["faults"]``).
 REFERENCE_PATHS: dict[str, Callable] = {
     "linial": _run_linial_reference,
     "classic": _run_classic_reference,
     "greedy": _run_greedy_reference,
+    "linial_faulty": _run_linial_faulty_reference,
+    "linial_resilient": _run_linial_resilient,
 }
 
 
@@ -260,7 +383,8 @@ def _validate(graph, result, algorithm, params) -> bool:
     csr = CSRGraph.from_networkx(graph)
     colors = csr.gather(result.assignment)
     same = equal_neighbor_counts(csr, colors)
-    allowed = int(params.get("defect", 1)) if algorithm == "defective_split" else 0
+    default = 1 if algorithm == "defective_split" else 0
+    allowed = int(params.get("defect", default))
     return bool(same.size == 0 or int(same.max()) <= allowed)
 
 
@@ -271,20 +395,23 @@ def compute_cell(cell: SweepCell) -> dict[str, Any]:
     :class:`~repro.obs.RunRecorder`, so the record carries the full
     per-round :class:`~repro.obs.RunRecord` (``run_record``) and the
     profiler's phase timings (``timings``); registry-only algorithms set
-    both to their empty values.
+    both to their empty values.  Raises propagate — quarantine into
+    :func:`failed_record` is the *batch* layer's job, so direct callers
+    still see real exceptions.
     """
     from .. import graphs
     from ..algorithms import registry
     from ..obs import ENGINE_REFERENCE, ENGINE_VECTORIZED, RunRecorder
 
     family_params = dict(cell.family_params)
-    algo_params = dict(cell.algo_params)
+    algo_params = dict(cell.spec()["algo_params"])
     graph = graphs.family(cell.family, **family_params)
     delta = max((d for _, d in graph.degree), default=0)
 
     t0 = time.perf_counter()
     palette = None
     recorder = None
+    extra: dict[str, Any] = {}
     if cell.algorithm in FAST_PATHS:
         recorder = RunRecorder(engine=ENGINE_VECTORIZED, algorithm=cell.algorithm)
         result, metrics, palette = FAST_PATHS[cell.algorithm](
@@ -292,9 +419,12 @@ def compute_cell(cell: SweepCell) -> dict[str, Any]:
         )
     elif cell.algorithm in REFERENCE_PATHS:
         recorder = RunRecorder(engine=ENGINE_REFERENCE, algorithm=cell.algorithm)
-        result, metrics, palette = REFERENCE_PATHS[cell.algorithm](
-            graph, algo_params, recorder
-        )
+        out = REFERENCE_PATHS[cell.algorithm](graph, algo_params, recorder)
+        if len(out) == 4:  # resilient path also returns restart info
+            result, metrics, palette, info = out
+            extra["resilience"] = info
+        else:
+            result, metrics, palette = out
     else:
         result, metrics = registry.run(cell.algorithm, graph)
     wall = time.perf_counter() - t0
@@ -304,6 +434,7 @@ def compute_cell(cell: SweepCell) -> dict[str, Any]:
     record.update(
         key=cell_key(cell),
         schema=SWEEP_CACHE_SCHEMA,
+        status="ok",
         n=graph.number_of_nodes(),
         m=graph.number_of_edges(),
         delta=delta,
@@ -314,6 +445,37 @@ def compute_cell(cell: SweepCell) -> dict[str, Any]:
         wall_s=wall,
         timings=dict(run_record.timings) if run_record is not None else {},
         run_record=run_record.to_dict() if run_record is not None else None,
+        **extra,
+    )
+    return record
+
+
+def failed_record(
+    cell: SweepCell, exc: BaseException, wall_s: float = 0.0
+) -> dict[str, Any]:
+    """The quarantine record of a cell whose computation raised.
+
+    Shape-compatible with an ``ok`` record (same spec/key/schema fields,
+    analysis-facing fields nulled) plus ``status: "failed"`` and a
+    structured ``error`` — enough to re-identify, report, and retry the
+    cell without ever aborting the sweep that hit it.
+    """
+    record = dict(cell.spec())
+    record.update(
+        key=cell_key(cell),
+        schema=SWEEP_CACHE_SCHEMA,
+        status="failed",
+        error={"type": type(exc).__name__, "message": str(exc)},
+        n=None,
+        m=None,
+        delta=None,
+        colors=None,
+        valid=False,
+        palette=None,
+        metrics=None,
+        wall_s=wall_s,
+        timings={},
+        run_record=None,
     )
     return record
 
@@ -325,23 +487,54 @@ def _cache_path(cache_dir: Path, key: str) -> Path:
     return cache_dir / f"{key}.json"
 
 
-def load_cached(cache_dir: Path | str, cell: SweepCell) -> dict[str, Any] | None:
-    """The cached record of a cell, or ``None`` when absent/unreadable.
+def load_cached_detailed(
+    cache_dir: Path | str, cell: SweepCell
+) -> tuple[dict[str, Any] | None, str]:
+    """The cached record of a cell plus the probe verdict.
 
-    Records written under any other :data:`SWEEP_CACHE_SCHEMA` — including
-    pre-versioning records with no ``schema`` field — are misses: the cell
-    is recomputed and the file overwritten, never silently served stale.
+    Returns ``(record, status)`` with status one of:
+
+    * ``"hit"`` — a current-schema ``ok`` record;
+    * ``"failed"`` — a current-schema quarantined failure record (served,
+      so a poisoned cell does not re-poison every rerun; pass
+      ``recompute=True`` to retry it);
+    * ``"miss"`` — no file;
+    * ``"stale"`` — readable JSON under another
+      :data:`SWEEP_CACHE_SCHEMA` (recompute, file left to be overwritten);
+    * ``"corrupt"`` — unreadable file; it is renamed to
+      ``<key>.json.corrupt`` so the evidence survives while the cell
+      recomputes fresh.
+
+    ``record`` is ``None`` except for ``hit``/``failed``.
     """
     path = _cache_path(Path(cache_dir), cell_key(cell))
     if not path.exists():
-        return None
+        return None, "miss"
     try:
         record = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError):
-        return None
+        quarantine = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantine)
+        except OSError:
+            pass  # e.g. racing rerun already moved it; recompute regardless
+        return None, "corrupt"
     if not isinstance(record, dict) or record.get("schema") != SWEEP_CACHE_SCHEMA:
-        return None
-    return record
+        return None, "stale"
+    if record.get("status", "ok") == "failed":
+        return record, "failed"
+    return record, "hit"
+
+
+def load_cached(cache_dir: Path | str, cell: SweepCell) -> dict[str, Any] | None:
+    """The cached ``ok`` record of a cell, or ``None``.
+
+    Thin wrapper over :func:`load_cached_detailed` (which also quarantines
+    unreadable files as ``.json.corrupt``); failure records, stale
+    schemas, and corrupt files all read as misses here.
+    """
+    record, status = load_cached_detailed(cache_dir, cell)
+    return record if status == "hit" else None
 
 
 def store_cached(cache_dir: Path | str, record: dict[str, Any]) -> Path:
@@ -353,6 +546,14 @@ def store_cached(cache_dir: Path | str, record: dict[str, Any]) -> Path:
     tmp.write_text(json.dumps(record, sort_keys=True, indent=1))
     os.replace(tmp, path)
     return path
+
+
+def corrupt_cache_files(cache_dir: Path | str) -> list[Path]:
+    """Quarantined ``.json.corrupt`` files under ``cache_dir`` (sorted)."""
+    cache_dir = Path(cache_dir)
+    if not cache_dir.is_dir():
+        return []
+    return sorted(cache_dir.glob("*.json.corrupt"))
 
 
 # ----------------------------------------------------------------------
@@ -370,8 +571,19 @@ def partition_cells(
     return [ordered[w::workers] for w in range(workers)]
 
 
-def _compute_batch(specs: list[dict[str, Any]]) -> list[dict[str, Any]]:
-    """Worker entry point: compute a batch of cells from their spec dicts."""
+def _compute_batch(
+    specs: list[dict[str, Any]], cache_dir: str | None = None
+) -> list[dict[str, Any]]:
+    """Worker entry point: compute a batch of cells from their spec dicts.
+
+    With a ``cache_dir``, each record is persisted the moment it is
+    computed (per-cell checkpoint) and already-checkpointed cells are
+    served from disk — so a batch re-submitted after its worker died
+    resumes where the dead worker stopped instead of starting over.
+
+    A cell whose computation raises is quarantined as a
+    :func:`failed_record`; the rest of the batch still runs.
+    """
     out = []
     for spec in specs:
         cell = SweepCell.make(
@@ -380,7 +592,19 @@ def _compute_batch(specs: list[dict[str, Any]]) -> list[dict[str, Any]]:
             spec["algorithm"],
             spec["algo_params"],
         )
-        out.append(compute_cell(cell))
+        if cache_dir is not None:
+            cached, status = load_cached_detailed(cache_dir, cell)
+            if status in ("hit", "failed"):
+                out.append(cached)
+                continue
+        t0 = time.perf_counter()
+        try:
+            record = compute_cell(cell)
+        except Exception as exc:
+            record = failed_record(cell, exc, wall_s=time.perf_counter() - t0)
+        if cache_dir is not None:
+            store_cached(cache_dir, record)
+        out.append(record)
     return out
 
 
@@ -401,12 +625,18 @@ def run_sweep(
     workers:
         Worker process count for the missing cells.  ``None`` picks
         ``min(len(missing), cpu_count)``; values <= 1 compute inline
-        (no subprocesses), which is also the fallback when the platform
-        refuses to fork.
+        (no subprocesses), which is also the final fallback when worker
+        processes keep dying (see :func:`_compute_parallel`).
     recompute:
-        Ignore (and overwrite) existing cache entries.
+        Ignore existing cache entries; their files are removed up front so
+        the per-cell checkpoint layer cannot resurrect them mid-run.
+
+    A cell that raises never aborts the sweep — it comes back as a
+    ``status: "failed"`` record (see :func:`failed_record`), cached like
+    any other result.
     """
     results: dict[str, CellResult] = {}
+    statuses: dict[str, str] = {}
     missing: list[SweepCell] = []
     seen: set[str] = set()
     for cell in cells:
@@ -414,24 +644,32 @@ def run_sweep(
         if key in seen:
             continue
         seen.add(key)
-        cached = (
-            None
-            if (recompute or cache_dir is None)
-            else load_cached(cache_dir, cell)
-        )
+        if recompute or cache_dir is None:
+            cached, status = None, "miss"
+        else:
+            cached, status = load_cached_detailed(cache_dir, cell)
+        statuses[key] = status
         if cached is not None:
-            results[key] = CellResult(cell, cached, cached=True)
+            results[key] = CellResult(
+                cell, cached, cached=True, cache_status=status
+            )
         else:
             missing.append(cell)
+
+    if recompute and cache_dir is not None:
+        for cell in missing:
+            path = _cache_path(Path(cache_dir), cell_key(cell))
+            path.unlink(missing_ok=True)
 
     if missing:
         if workers is None:
             workers = min(len(missing), os.cpu_count() or 1)
         workers = max(1, min(workers, len(missing)))
+        cache_arg = None if cache_dir is None else str(cache_dir)
         if workers == 1:
-            records = _compute_batch([c.spec() for c in missing])
+            records = _compute_batch([c.spec() for c in missing], cache_arg)
         else:
-            records = _compute_parallel(missing, workers)
+            records = _compute_parallel(missing, workers, cache_arg)
         for record in records:
             cell = SweepCell.make(
                 record["family"],
@@ -441,7 +679,12 @@ def run_sweep(
             )
             if cache_dir is not None:
                 store_cached(cache_dir, record)
-            results[record["key"]] = CellResult(cell, record, cached=False)
+            results[record["key"]] = CellResult(
+                cell,
+                record,
+                cached=False,
+                cache_status=statuses.get(record["key"], "miss"),
+            )
 
     ordered: list[CellResult] = []
     emitted: set[str] = set()
@@ -454,9 +697,21 @@ def run_sweep(
 
 
 def _compute_parallel(
-    missing: Sequence[SweepCell], workers: int
+    missing: Sequence[SweepCell],
+    workers: int,
+    cache_dir: str | None = None,
+    max_batch_retries: int = MAX_BATCH_RETRIES,
 ) -> list[dict[str, Any]]:
-    """Fan the missing cells out over processes; inline on any failure."""
+    """Fan the missing cells out over worker processes, crash-tolerantly.
+
+    Per-batch futures (not one ``pool.map``) so one dead worker costs one
+    batch, not the whole sweep's results: batches whose future resolves
+    keep their records; batches whose worker died are re-submitted on a
+    fresh pool with exponential backoff, up to ``max_batch_retries``
+    times, and finally computed inline.  With a ``cache_dir``, retried
+    batches resume from the dead worker's per-cell checkpoints (see
+    :func:`_compute_batch`), so no finished cell is ever recomputed.
+    """
     import concurrent.futures as cf
     import multiprocessing as mp
 
@@ -469,14 +724,32 @@ def _compute_parallel(
         ctx = mp.get_context("fork")
     except ValueError:
         ctx = mp.get_context()
-    try:
-        with cf.ProcessPoolExecutor(
-            max_workers=len(batches), mp_context=ctx
-        ) as pool:
-            chunks = list(pool.map(_compute_batch, batches))
-    except (OSError, cf.process.BrokenProcessPool):
-        chunks = [_compute_batch(batch) for batch in batches]
-    return [record for chunk in chunks for record in chunk]
+    done: list[list[dict[str, Any]] | None] = [None] * len(batches)
+    pending = list(range(len(batches)))
+    for attempt in range(1 + max_batch_retries):
+        if not pending:
+            break
+        if attempt:
+            time.sleep(min(0.25, 0.05 * 2 ** (attempt - 1)))
+        try:
+            with cf.ProcessPoolExecutor(
+                max_workers=min(len(pending), workers), mp_context=ctx
+            ) as pool:
+                futures = {
+                    i: pool.submit(_compute_batch, batches[i], cache_dir)
+                    for i in pending
+                }
+                for i, fut in futures.items():
+                    try:
+                        done[i] = fut.result()
+                    except (OSError, cf.process.BrokenProcessPool):
+                        pass  # this batch's worker died; retry below
+        except (OSError, cf.process.BrokenProcessPool):
+            pass  # pool-level failure; every unresolved batch retries
+        pending = [i for i in pending if done[i] is None]
+    for i in pending:  # last resort: no subprocess, quarantine still applies
+        done[i] = _compute_batch(batches[i], cache_dir)
+    return [record for chunk in done for record in chunk or []]
 
 
 # ----------------------------------------------------------------------
@@ -520,11 +793,20 @@ def grid(
 
 @dataclass
 class SweepSummary:
-    """Headline counters of one :func:`run_sweep` invocation."""
+    """Headline counters of one :func:`run_sweep` invocation.
+
+    ``corrupt``/``stale`` count cache probes that found an unreadable /
+    foreign-schema file (those cells then recomputed); ``failed`` counts
+    results carrying a quarantined failure record, whether freshly
+    computed or served from the cache.
+    """
 
     total: int = 0
     computed: int = 0
     cached: int = 0
+    corrupt: int = 0
+    stale: int = 0
+    failed: int = 0
     results: list[CellResult] = field(default_factory=list)
 
 
@@ -541,5 +823,8 @@ def run_sweep_summarized(
         total=len(results),
         computed=len(results) - cached,
         cached=cached,
+        corrupt=sum(1 for r in results if r.cache_status == "corrupt"),
+        stale=sum(1 for r in results if r.cache_status == "stale"),
+        failed=sum(1 for r in results if r.failed),
         results=results,
     )

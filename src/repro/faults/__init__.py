@@ -1,0 +1,50 @@
+"""Deterministic fault injection and resilience (`repro.faults`).
+
+The subsystem has two halves:
+
+* :mod:`repro.faults.plan` — the adversary: :class:`FaultPlan`, a pure
+  seeded function of ``(round, edge)`` injecting message drop,
+  duplication, payload corruption, bounded delay, and node
+  crash/crash-recovery, with scalar and NumPy query paths pinned equal so
+  both engines see the identical fault schedule;
+* :mod:`repro.faults.wrappers` — the defenses: the retransmit-with-ack
+  :class:`RetransmitAlgorithm`, oracle-checked :func:`run_with_restarts`,
+  and the composed :func:`resilient_linial`.
+
+See ``docs/RESILIENCE.md`` for the fault model, the determinism contract,
+and how ``e16_resilience`` reads the degradation curves.
+"""
+
+from .plan import (
+    FATE_CORRUPT,
+    FATE_DELAY,
+    FATE_DELIVER,
+    FATE_DROP,
+    FATE_DUPLICATE,
+    FAULT_KINDS,
+    CorruptedPayload,
+    Fate,
+    FaultPlan,
+    node_labels_u64,
+    splitmix64,
+    splitmix64_array,
+)
+from .wrappers import RetransmitAlgorithm, resilient_linial, run_with_restarts
+
+__all__ = [
+    "FATE_CORRUPT",
+    "FATE_DELAY",
+    "FATE_DELIVER",
+    "FATE_DROP",
+    "FATE_DUPLICATE",
+    "FAULT_KINDS",
+    "CorruptedPayload",
+    "Fate",
+    "FaultPlan",
+    "RetransmitAlgorithm",
+    "node_labels_u64",
+    "resilient_linial",
+    "run_with_restarts",
+    "splitmix64",
+    "splitmix64_array",
+]

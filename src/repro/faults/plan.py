@@ -1,0 +1,442 @@
+"""Deterministic, seeded fault schedules (the adversary).
+
+A :class:`FaultPlan` is a *pure function* of ``(seed, round, edge)`` — it
+carries no mutable state, so the reference simulator and the vectorized
+fast paths can ask it the same questions independently and are guaranteed
+to see the **identical fault schedule**.  That determinism is the whole
+contract: with a fixed plan, a faulty run is bit-for-bit reproducible
+across engines (enforced by ``compare_round_accounting`` over the fault
+column family and by the differential fuzz harness).
+
+Fault model (message fates, in fixed precedence order):
+
+* **drop** — the message is never delivered;
+* **corrupt** — the payload is replaced by a deterministic perturbation
+  (in-domain remap when ``corrupt_space`` is set, otherwise an offset
+  that receivers' decoders may detect and discard);
+* **delay** — delivery is postponed by ``1..max_delay`` rounds (stale
+  deliveries are overwritten by a fresher message from the same sender
+  arriving in the same round);
+* **duplicate** — delivered now *and* again ``1..max_delay`` rounds later.
+
+Node fates:
+
+* **crash / crash-recovery** — a selected node goes down at a schedule
+  point within ``crash_horizon`` rounds; while down it neither sends nor
+  receives (its state is frozen).  With ``recovery_rounds`` set it comes
+  back after that many rounds (crash-recovery); with ``None`` it stays
+  down forever (crash-stop).
+
+Accounting contract: faults never change *transmission* accounting —
+dropped, corrupted, delayed, and duplicated messages are all charged
+exactly once at their send round, like any other message — except that
+crashed nodes do not transmit at all.  This keeps the per-round
+message/bit rows an engine-independent function of the plan.
+
+The hash is a splitmix64 finalizer implemented twice — once over Python
+integers, once over NumPy ``uint64`` arrays — with tests pinning the two
+implementations equal value for value.  Probabilities are compared as
+integer thresholds (``hash < floor(p * 2**64)``), never as floats, so
+there is no room for rounding drift between the engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+import numpy as np
+
+_U64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+# Independent hash streams per fault mode (arbitrary odd constants).
+_S_DROP = 0xD209_0B5E_D209_0B5F
+_S_CORRUPT = 0xC0DE_FACE_C0DE_FACD
+_S_DELAY = 0xDE1A_77A1_DE1A_77A1
+_S_DUPLICATE = 0xD0B1_E77E_D0B1_E77F
+_S_DELAY_AMOUNT = 0x5E1E_C7ED_5E1E_C7ED
+_S_CORRUPT_AMOUNT = 0x0FF5_E7C0_0FF5_E7C1
+_S_CRASH_SELECT = 0xC4A5_4AC7_C4A5_4AC7
+_S_CRASH_ROUND = 0xC4A5_4077_C4A5_4077
+
+#: Message fate codes (shared by the scalar and vectorized query paths).
+FATE_DELIVER = 0
+FATE_DROP = 1
+FATE_CORRUPT = 2
+FATE_DELAY = 3
+FATE_DUPLICATE = 4
+
+#: The fault column family recorded per round (obs ``RoundRow.faults``).
+FAULT_KINDS = ("dropped", "corrupted", "delayed", "duplicated", "crashed")
+
+
+def splitmix64(z: int) -> int:
+    """The splitmix64 finalizer over Python ints (wrapping at 2**64)."""
+    z = (z + _GOLDEN) & _U64
+    z = ((z ^ (z >> 30)) * _MIX1) & _U64
+    z = ((z ^ (z >> 27)) * _MIX2) & _U64
+    return z ^ (z >> 31)
+
+
+def splitmix64_array(z: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer over a ``uint64`` array (C wraparound)."""
+    z = z + np.uint64(_GOLDEN)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX1)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX2)
+    return z ^ (z >> np.uint64(31))
+
+
+def node_labels_u64(labels) -> np.ndarray:
+    """Node labels as the ``uint64`` array the vectorized queries hash.
+
+    Goes through ``int64`` first so negative labels wrap exactly like the
+    scalar path's ``label & (2**64 - 1)`` two's-complement masking.
+    """
+    return np.asarray(labels, dtype=np.int64).astype(np.uint64)
+
+
+@dataclass(frozen=True)
+class CorruptedPayload:
+    """Sentinel replacing a corrupted non-integer payload.
+
+    Deliberately unlike any protocol message, so structured decoders
+    (e.g. the retransmit wrapper's frame check) discard it; carries the
+    corruption nonce for debugging.
+    """
+
+    nonce: int
+
+
+@dataclass(frozen=True)
+class Fate:
+    """One transmission's fate: a ``FATE_*`` code plus the extra delivery
+    delay in rounds (meaningful for delay/duplicate fates only)."""
+
+    kind: int
+    delay: int = 0
+
+
+def _threshold(p: float) -> int:
+    """Integer threshold for ``uniform_hash < threshold`` <=> prob ``p``."""
+    if p <= 0.0:
+        return 0
+    if p >= 1.0:
+        return 1 << 64
+    return int(p * (1 << 64))
+
+
+def _lt_scalar(h: int, thr: int) -> bool:
+    return h < thr
+
+
+def _lt_array(h: np.ndarray, thr: int) -> np.ndarray:
+    if thr <= 0:
+        return np.zeros(h.shape, dtype=bool)
+    if thr > _U64:
+        return np.ones(h.shape, dtype=bool)
+    return h < np.uint64(thr)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic fault schedule (see module docstring).
+
+    All probabilities are per-transmission (``p_crash`` per node) and live
+    in ``[0, 1]``.  ``round_offset`` shifts the plan's notion of time —
+    :meth:`with_offset` derives the shifted plan a restart wrapper uses so
+    a re-run faces the *continuation* of the adversary, not a replay.
+    """
+
+    seed: int = 0
+    p_drop: float = 0.0
+    p_corrupt: float = 0.0
+    p_delay: float = 0.0
+    p_duplicate: float = 0.0
+    p_crash: float = 0.0
+    max_delay: int = 2
+    crash_horizon: int = 8
+    recovery_rounds: int | None = 2
+    corrupt_space: int | None = None
+    round_offset: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("p_drop", "p_corrupt", "p_delay", "p_duplicate", "p_crash"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name}={p} outside [0, 1]")
+        if self.max_delay < 1:
+            raise ValueError(f"max_delay must be >= 1, got {self.max_delay}")
+        if self.crash_horizon < 1:
+            raise ValueError(
+                f"crash_horizon must be >= 1, got {self.crash_horizon}"
+            )
+        if self.recovery_rounds is not None and self.recovery_rounds < 1:
+            raise ValueError(
+                f"recovery_rounds must be >= 1 or None, got {self.recovery_rounds}"
+            )
+        if self.corrupt_space is not None and self.corrupt_space < 1:
+            raise ValueError(
+                f"corrupt_space must be >= 1 or None, got {self.corrupt_space}"
+            )
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    @property
+    def is_null(self) -> bool:
+        """True when the plan can never inject a fault."""
+        return (
+            self.p_drop == 0.0
+            and self.p_corrupt == 0.0
+            and self.p_delay == 0.0
+            and self.p_duplicate == 0.0
+            and self.p_crash == 0.0
+        )
+
+    def with_offset(self, rounds: int) -> "FaultPlan":
+        """The same adversary, its clock advanced by ``rounds``."""
+        return replace(self, round_offset=self.round_offset + rounds)
+
+    def round_budget(self, schedule_len: int) -> int:
+        """A ``max_rounds`` bound under which any terminating run finishes.
+
+        Schedule-driven algorithms advance one step per round they are up;
+        a crash-recovery outage costs at most ``crash_horizon +
+        recovery_rounds`` rounds of lost progress, and late deliveries add
+        at most ``max_delay``.  Crash-stop nodes never finish — the budget
+        then bounds how long the run waits before raising
+        :class:`~repro.sim.node.HaltingError`.
+        """
+        budget = schedule_len + 2
+        if self.p_delay > 0.0 or self.p_duplicate > 0.0:
+            budget += self.max_delay
+        if self.p_crash > 0.0:
+            budget += self.crash_horizon
+            if self.recovery_rounds is not None:
+                budget += self.recovery_rounds
+        return budget
+
+    def describe(self) -> str:
+        """Compact one-line rendering of the active fault modes."""
+        parts = [f"seed={self.seed}"]
+        for name, p in (
+            ("drop", self.p_drop),
+            ("corrupt", self.p_corrupt),
+            ("delay", self.p_delay),
+            ("dup", self.p_duplicate),
+            ("crash", self.p_crash),
+        ):
+            if p > 0.0:
+                parts.append(f"{name}={p:g}")
+        if self.p_crash > 0.0:
+            rec = self.recovery_rounds
+            parts.append(f"recovery={'stop' if rec is None else rec}")
+        if self.round_offset:
+            parts.append(f"offset={self.round_offset}")
+        return "FaultPlan(" + ", ".join(parts) + ")"
+
+    # ------------------------------------------------------------------
+    # serialization (fuzz cases, sweep algo_params, CLI artifacts)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict; inverse of :meth:`from_dict`."""
+        return {
+            "seed": self.seed,
+            "p_drop": self.p_drop,
+            "p_corrupt": self.p_corrupt,
+            "p_delay": self.p_delay,
+            "p_duplicate": self.p_duplicate,
+            "p_crash": self.p_crash,
+            "max_delay": self.max_delay,
+            "crash_horizon": self.crash_horizon,
+            "recovery_rounds": self.recovery_rounds,
+            "corrupt_space": self.corrupt_space,
+            "round_offset": self.round_offset,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        """Build a plan from :meth:`to_dict` output (unknown keys rejected)."""
+        known = {
+            "seed",
+            "p_drop",
+            "p_corrupt",
+            "p_delay",
+            "p_duplicate",
+            "p_crash",
+            "max_delay",
+            "crash_horizon",
+            "recovery_rounds",
+            "corrupt_space",
+            "round_offset",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        return cls(**data)
+
+    # ------------------------------------------------------------------
+    # hashing
+    # ------------------------------------------------------------------
+    def _edge_base(self, stream: int, rnd: int) -> int:
+        """Round-level hash base, shared by scalar and vectorized queries."""
+        r = (rnd + self.round_offset) & _U64
+        return splitmix64(splitmix64((self.seed ^ stream) & _U64) ^ r)
+
+    def _edge_hash(self, stream: int, rnd: int, src: int, dst: int) -> int:
+        base = self._edge_base(stream, rnd)
+        mixed = base ^ splitmix64(src & _U64) ^ ((dst & _U64) * _GOLDEN & _U64)
+        return splitmix64(mixed & _U64)
+
+    def _edge_hash_array(
+        self, stream: int, rnd: int, src: np.ndarray, dst: np.ndarray
+    ) -> np.ndarray:
+        base = np.uint64(self._edge_base(stream, rnd))
+        mixed = base ^ splitmix64_array(src) ^ (dst * np.uint64(_GOLDEN))
+        return splitmix64_array(mixed)
+
+    def _node_hash(self, stream: int, node: int) -> int:
+        base = splitmix64((self.seed ^ stream) & _U64)
+        return splitmix64(base ^ splitmix64(node & _U64))
+
+    def _node_hash_array(self, stream: int, nodes: np.ndarray) -> np.ndarray:
+        base = np.uint64(splitmix64((self.seed ^ stream) & _U64))
+        return splitmix64_array(base ^ splitmix64_array(nodes))
+
+    # ------------------------------------------------------------------
+    # crash schedule
+    # ------------------------------------------------------------------
+    def crash_window(self, node: int) -> tuple[int, int | None] | None:
+        """The node's down interval ``(start, end)`` in plan time, if any.
+
+        ``end`` is exclusive; ``None`` end means crash-stop (down forever).
+        Returns ``None`` for nodes the plan never crashes.
+        """
+        if self.p_crash <= 0.0:
+            return None
+        sel = self._node_hash(_S_CRASH_SELECT, node)
+        if not _lt_scalar(sel, _threshold(self.p_crash)):
+            return None
+        start = self._node_hash(_S_CRASH_ROUND, node) % self.crash_horizon
+        end = None if self.recovery_rounds is None else start + self.recovery_rounds
+        return start, end
+
+    def crashed(self, rnd: int, node: int) -> bool:
+        """Is ``node`` down during (run-local) round ``rnd``?"""
+        window = self.crash_window(node)
+        if window is None:
+            return False
+        start, end = window
+        r = rnd + self.round_offset
+        return r >= start and (end is None or r < end)
+
+    def crashed_mask(self, rnd: int, labels: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`crashed` over a ``uint64`` label array."""
+        if self.p_crash <= 0.0:
+            return np.zeros(labels.shape, dtype=bool)
+        sel = self._node_hash_array(_S_CRASH_SELECT, labels)
+        chosen = _lt_array(sel, _threshold(self.p_crash))
+        start = (
+            self._node_hash_array(_S_CRASH_ROUND, labels)
+            % np.uint64(self.crash_horizon)
+        ).astype(np.int64)
+        r = rnd + self.round_offset
+        down = chosen & (r >= start)
+        if self.recovery_rounds is not None:
+            down &= r < start + self.recovery_rounds
+        return down
+
+    # ------------------------------------------------------------------
+    # message fates
+    # ------------------------------------------------------------------
+    def _delay_amount(self, rnd: int, src: int, dst: int) -> int:
+        return 1 + self._edge_hash(_S_DELAY_AMOUNT, rnd, src, dst) % self.max_delay
+
+    def message_fate(self, rnd: int, src: int, dst: int) -> Fate:
+        """The fate of the round-``rnd`` transmission on edge ``src->dst``.
+
+        Precedence is fixed (drop > corrupt > delay > duplicate): each mode
+        draws from its own hash stream and the first triggering mode wins,
+        identically in :meth:`edge_fates`.
+        """
+        for p, stream, kind in (
+            (self.p_drop, _S_DROP, FATE_DROP),
+            (self.p_corrupt, _S_CORRUPT, FATE_CORRUPT),
+            (self.p_delay, _S_DELAY, FATE_DELAY),
+            (self.p_duplicate, _S_DUPLICATE, FATE_DUPLICATE),
+        ):
+            if p > 0.0 and _lt_scalar(
+                self._edge_hash(stream, rnd, src, dst), _threshold(p)
+            ):
+                if kind in (FATE_DELAY, FATE_DUPLICATE):
+                    return Fate(kind, self._delay_amount(rnd, src, dst))
+                return Fate(kind)
+        return Fate(FATE_DELIVER)
+
+    def edge_fates(
+        self, rnd: int, src: np.ndarray, dst: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`message_fate` over parallel label arrays.
+
+        Returns ``(codes, delays)``: ``codes[k]`` is the ``FATE_*`` code of
+        directed edge ``k``; ``delays[k]`` the extra delivery delay where
+        the code is delay/duplicate (0 elsewhere).
+        """
+        codes = np.zeros(src.shape, dtype=np.int64)
+        undecided = np.ones(src.shape, dtype=bool)
+        for p, stream, kind in (
+            (self.p_drop, _S_DROP, FATE_DROP),
+            (self.p_corrupt, _S_CORRUPT, FATE_CORRUPT),
+            (self.p_delay, _S_DELAY, FATE_DELAY),
+            (self.p_duplicate, _S_DUPLICATE, FATE_DUPLICATE),
+        ):
+            if p <= 0.0:
+                continue
+            h = self._edge_hash_array(stream, rnd, src, dst)
+            hit = undecided & _lt_array(h, _threshold(p))
+            codes[hit] = kind
+            undecided &= ~hit
+        delays = np.zeros(src.shape, dtype=np.int64)
+        late = (codes == FATE_DELAY) | (codes == FATE_DUPLICATE)
+        if late.any():
+            h = self._edge_hash_array(_S_DELAY_AMOUNT, rnd, src[late], dst[late])
+            delays[late] = 1 + (h % np.uint64(self.max_delay)).astype(np.int64)
+        return codes, delays
+
+    # ------------------------------------------------------------------
+    # payload corruption
+    # ------------------------------------------------------------------
+    def corrupt_payload(self, rnd: int, src: int, dst: int, payload: Any) -> Any:
+        """Deterministically perturbed replacement for ``payload``.
+
+        Integer payloads inside ``[0, corrupt_space)`` are remapped to a
+        *different* in-domain value (silent corruption — undetectable by
+        domain checks); other integers are offset by ``1..7`` (leaving the
+        expected domain, so decoders that range-check can discard them);
+        non-integers become a :class:`CorruptedPayload` sentinel.
+        """
+        h = self._edge_hash(_S_CORRUPT_AMOUNT, rnd, src, dst)
+        if isinstance(payload, int) and not isinstance(payload, bool):
+            space = self.corrupt_space
+            if space is not None and space > 1 and 0 <= payload < space:
+                return (payload + 1 + h % (space - 1)) % space
+            return payload + 1 + h % 7
+        return CorruptedPayload(nonce=h & 0xFFFF)
+
+    def corrupt_values(
+        self, rnd: int, src: np.ndarray, dst: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`corrupt_payload` for int payload arrays."""
+        h = self._edge_hash_array(_S_CORRUPT_AMOUNT, rnd, src, dst)
+        space = self.corrupt_space
+        offset_out = 1 + (h % np.uint64(7)).astype(np.int64)
+        if space is None or space <= 1:
+            return values + offset_out
+        in_domain = (values >= 0) & (values < space)
+        offset_in = 1 + (h % np.uint64(space - 1)).astype(np.int64)
+        return np.where(
+            in_domain, (values + offset_in) % space, values + offset_out
+        )

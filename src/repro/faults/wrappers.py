@@ -1,0 +1,266 @@
+"""Resilience wrappers: retransmission, round extension, and restarts.
+
+Three layers of defense against a :class:`~repro.faults.plan.FaultPlan`,
+from cheapest to most drastic:
+
+* :class:`RetransmitAlgorithm` — wraps any
+  :class:`~repro.sim.node.DistributedAlgorithm`, stretching each logical
+  round into ``1 + 2*retries`` physical rounds: a data slot, then
+  alternating ack and retransmit slots.  Frames are tagged with a 2-bit
+  logical-round tag so duplicates and stale deliveries deduplicate, and a
+  sender retransmits only to neighbors that have not acknowledged.  With
+  retry budget ``k``, a message survives up to ``k`` independent drops —
+  the degradation threshold measured by ``e16_resilience``.
+* **round extension** — the fault plan's
+  :meth:`~repro.faults.plan.FaultPlan.round_budget` stretches
+  ``max_rounds`` so crash outages and late deliveries do not spuriously
+  trip :class:`~repro.sim.node.HaltingError`; the drivers here apply it
+  automatically.
+* :func:`run_with_restarts` — the self-checking last resort: run, validate
+  the output with a :mod:`repro.core.validate`-style oracle, and on
+  failure re-run against the *continuation* of the adversary
+  (:meth:`~repro.faults.plan.FaultPlan.with_offset`), merging metrics
+  sequentially so the full price in rounds and bits stays on the books.
+
+:func:`resilient_linial` composes all three for the paper's Linial /
+[Kuh09] defective runs; its overhead is *measured*, never assumed:
+rounds multiply by the retransmit period, bits by the retry traffic, and
+restarts append whole attempts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+import networkx as nx
+
+from ..core.coloring import ColoringResult
+from ..core.validate import ValidationReport, validate_defective_coloring
+from ..sim.message import Message
+from ..sim.metrics import RunMetrics
+from ..sim.network import SyncNetwork
+from ..sim.node import DistributedAlgorithm, HaltingError, NodeView
+from .plan import FaultPlan
+
+_ACK_MARK = "a"
+
+
+class RetransmitAlgorithm(DistributedAlgorithm):
+    """Retransmit-with-ack wrapper around any distributed algorithm.
+
+    Physical round ``r`` maps to logical round ``r // period`` and slot
+    ``r % period`` where ``period = 1 + 2*retries``: slot 0 sends data
+    frames ``(tag, payload)``, odd slots acknowledge received frames with
+    ``("a", tag)``, and the remaining even slots retransmit to the
+    not-yet-acked neighbors.  The inner algorithm's ``receive`` fires once
+    per logical round, at the last slot, with whatever frames got through.
+
+    Slots are derived from the *global* round number, so a node recovering
+    from a crash mid-period resynchronizes immediately (it refreshes its
+    frame set on its first data-capable slot of the logical round).  Frame
+    and ack payloads are structural — corrupted payloads (which become
+    non-tuples or mismatch the tag) are discarded, never misdelivered.
+
+    Overhead: exactly ``period``x rounds; data bits at most ``(retries+1)``x
+    plus 2 tag bits per frame; acks cost 3 bits per received frame per ack
+    slot.
+    """
+
+    def __init__(self, inner: DistributedAlgorithm, retries: int = 2) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.inner = inner
+        self.retries = retries
+        self.period = 1 + 2 * retries
+        self.name = f"retransmit[{retries}]-{getattr(inner, 'name', 'algorithm')}"
+
+    def init_state(self, view: NodeView) -> dict[str, Any]:
+        return {
+            "inner": self.inner.init_state(view),
+            "cur_lr": -1,  # logical round the frame set below belongs to
+            "frames": {},
+            "need": set(),  # neighbors that have not acked this lr
+            "got": {},  # sender -> inner payload received this lr
+            "last_rnd": -1,
+        }
+
+    # ------------------------------------------------------------------
+    def _refresh(self, view: NodeView, state: dict[str, Any], lr: int) -> None:
+        state["cur_lr"] = lr
+        state["frames"] = dict(self.inner.send(view, state["inner"], lr))
+        state["need"] = set(state["frames"])
+        state["got"] = {}
+
+    def send(self, view: NodeView, state, rnd: int) -> dict[int, Message]:
+        lr, slot = divmod(rnd, self.period)
+        tag = lr % 4
+        if slot % 2 == 1:  # ack slot
+            if state["cur_lr"] != lr:
+                return {}
+            return {
+                u: Message((_ACK_MARK, tag), bits=3) for u in sorted(state["got"])
+            }
+        # data (slot 0) or retransmit (even slot >= 2)
+        if state["cur_lr"] != lr:
+            if self.inner.is_done(view, state["inner"]):
+                return {}
+            self._refresh(view, state, lr)
+        out = {}
+        for dst in sorted(state["need"]):
+            msg = state["frames"][dst]
+            out[dst] = Message((tag, msg.payload), bits=msg.size_bits() + 2)
+        return out
+
+    def receive(self, view: NodeView, state, rnd: int, inbox) -> None:
+        lr, slot = divmod(rnd, self.period)
+        tag = lr % 4
+        state["last_rnd"] = rnd
+        if state["cur_lr"] == lr:
+            if slot % 2 == 1:
+                for src, msg in inbox.items():
+                    p = msg.payload
+                    if (
+                        isinstance(p, tuple)
+                        and len(p) == 2
+                        and p[0] == _ACK_MARK
+                        and p[1] == tag
+                    ):
+                        state["need"].discard(src)
+            else:
+                for src, msg in inbox.items():
+                    p = msg.payload
+                    if isinstance(p, tuple) and len(p) == 2 and p[0] == tag:
+                        state["got"][src] = p[1]
+            if slot == self.period - 1:
+                # close the logical round: deliver whatever got through
+                inner_inbox = {
+                    src: Message(payload, bits=1)
+                    for src, payload in sorted(state["got"].items())
+                }
+                self.inner.receive(view, state["inner"], lr, inner_inbox)
+
+    def is_done(self, view: NodeView, state) -> bool:
+        if not self.inner.is_done(view, state["inner"]):
+            return False
+        # only halt between logical rounds, so in-flight acks still go out
+        return state["last_rnd"] < 0 or state["last_rnd"] % self.period == (
+            self.period - 1
+        )
+
+    def output(self, view: NodeView, state) -> Any:
+        return self.inner.output(view, state["inner"])
+
+
+def run_with_restarts(
+    attempt: Callable[[FaultPlan, int], tuple[Mapping[int, Any], RunMetrics]],
+    oracle: Callable[[Mapping[int, Any]], ValidationReport],
+    plan: FaultPlan,
+    restarts: int = 2,
+) -> tuple[Mapping[int, Any], RunMetrics, dict[str, Any]]:
+    """Self-checking restart driver.
+
+    Calls ``attempt(shifted_plan, attempt_index)`` up to ``restarts + 1``
+    times, validating each output with ``oracle``; each retry faces the
+    plan shifted past every round already consumed (crash windows near
+    round 0 are therefore escaped by a restart, which is what makes
+    restarts effective against crash-stop adversaries).  Metrics of all
+    attempts are merged sequentially — failed work is paid for, not
+    hidden.  An attempt raising :class:`~repro.sim.node.HaltingError`
+    counts as invalid and consumes its round budget; if every attempt
+    halts, the last error propagates.
+
+    Returns ``(outputs, merged_metrics, info)`` with
+    ``info = {"attempts", "valid", "history"}``; ``outputs`` are the last
+    attempt's even when still invalid after the restart budget.
+    """
+    total: RunMetrics | None = None
+    rounds_used = 0
+    history: list[dict[str, Any]] = []
+    outputs: Mapping[int, Any] | None = None
+    valid = False
+    last_halt: HaltingError | None = None
+    for i in range(restarts + 1):
+        shifted = plan.with_offset(rounds_used)
+        try:
+            outputs, metrics = attempt(shifted, i)
+        except HaltingError as exc:
+            last_halt = exc
+            rounds_used += exc.rounds
+            history.append({"attempt": i, "rounds": exc.rounds, "halted": True})
+            continue
+        total = metrics if total is None else total.merge_sequential(metrics)
+        rounds_used += metrics.rounds
+        valid = bool(oracle(outputs))
+        history.append(
+            {"attempt": i, "rounds": metrics.rounds, "valid": valid}
+        )
+        if valid:
+            break
+    if outputs is None:
+        assert last_halt is not None
+        raise last_halt
+    assert total is not None
+    return outputs, total, {
+        "attempts": len(history),
+        "valid": valid,
+        "history": history,
+    }
+
+
+def resilient_linial(
+    graph: nx.Graph,
+    faults: FaultPlan,
+    defect: int = 0,
+    retries: int = 2,
+    restarts: int = 2,
+    model: str = "CONGEST",
+    initial_colors: dict[int, int] | None = None,
+) -> tuple[ColoringResult, RunMetrics, int, dict[str, Any]]:
+    """Linial / [Kuh09] defective coloring hardened against ``faults``.
+
+    Composes the retransmit wrapper (ack-based, ``retries`` budget), the
+    fault plan's round-budget extension, and oracle-checked restarts.
+    Returns ``(coloring, metrics, palette, info)`` — the same triple as
+    :func:`repro.algorithms.linial.run_linial` plus the restart history;
+    ``metrics`` aggregates *every* attempt, so the overhead of resilience
+    is visible, not amortized away.
+    """
+    from ..algorithms.linial import (
+        LinialColoringAlgorithm,
+        defective_schedule,
+        linial_schedule,
+    )
+
+    delta = max((d for _, d in graph.degree), default=0)
+    if initial_colors is None:
+        initial_colors = {v: i for i, v in enumerate(sorted(graph.nodes))}
+    m0 = max(initial_colors.values()) + 1 if initial_colors else 1
+    sched = (
+        linial_schedule(m0, delta)
+        if defect == 0
+        else defective_schedule(m0, delta, defect)
+    )
+    palette = sched[-1].out_colors if sched else m0
+    inputs = {v: {"color": c} for v, c in initial_colors.items()}
+
+    def attempt(plan: FaultPlan, index: int):
+        algorithm = RetransmitAlgorithm(LinialColoringAlgorithm(), retries=retries)
+        budget = (plan.round_budget(len(sched)) + 1) * algorithm.period
+        net = SyncNetwork(graph, model=model)
+        return net.run(
+            algorithm,
+            inputs,
+            shared={"schedule": sched, "m0": m0},
+            max_rounds=budget,
+            faults=plan,
+        )
+
+    def oracle(outputs: Mapping[int, Any]) -> ValidationReport:
+        return validate_defective_coloring(
+            graph, ColoringResult(dict(outputs)), defect
+        )
+
+    outputs, metrics, info = run_with_restarts(
+        attempt, oracle, faults, restarts=restarts
+    )
+    return ColoringResult(dict(outputs)), metrics, palette, info

@@ -30,7 +30,9 @@ from ..core.instance import ListDefectiveInstance
 
 #: Version of the corpus JSON layout.  Bump when :meth:`FuzzCase.to_dict`
 #: gains, loses, or reinterprets fields; loaders reject foreign versions.
-CORPUS_SCHEMA_VERSION = 1
+#: v2: cases gained the ``fault`` axis (an optional
+#: :meth:`repro.faults.FaultPlan.to_dict` spec for the ``linial`` pair).
+CORPUS_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -54,6 +56,13 @@ class FuzzCase:
     lists / space_size:
         The ``greedy`` pair's per-node color lists (each of size at least
         ``deg(v) + 1``) and the size of the common color space.
+    fault:
+        Optional :meth:`repro.faults.FaultPlan.to_dict` spec for the
+        ``linial`` pair.  When set, both engines run under the identical
+        seeded fault schedule and the trial's contract becomes pure
+        engine equality (outputs, metrics, per-round accounting *and*
+        fault counts); the semantic oracle is skipped, since a dropped
+        message can legitimately break validity.
     seed:
         Provenance: the generator seed that produced the case (``None``
         for hand-written or shrunk-beyond-recognition cases).
@@ -68,6 +77,7 @@ class FuzzCase:
     initial_colors: dict[int, int] | None = None
     lists: dict[int, list[int]] | None = None
     space_size: int | None = None
+    fault: dict[str, Any] | None = None
     seed: int | str | None = None
     note: str = ""
     schema: int = field(default=CORPUS_SCHEMA_VERSION)
@@ -118,6 +128,13 @@ class FuzzCase:
                     )
                 if any(x < 0 or x >= self.space_size for x in lst):
                     raise ValueError(f"node {v}: list color outside space")
+        if self.fault is not None:
+            from ..faults import FaultPlan
+
+            # FaultPlan.from_dict rejects unknown keys and invalid
+            # rates/windows, so a shrunk or hand-edited fault spec can
+            # never silently degenerate into a different adversary
+            FaultPlan.from_dict(self.fault)
 
     # ------------------------------------------------------------------
     # materialization
@@ -157,6 +174,9 @@ class FuzzCase:
             bits.append("explicit-init")
         if self.lists is not None:
             bits.append(f"space={self.space_size}")
+        if self.fault is not None:
+            modes = sorted(k[2:] for k in self.fault if k.startswith("p_"))
+            bits.append(f"fault={'+'.join(modes) or 'null'}")
         if self.seed is not None:
             bits.append(f"seed={self.seed}")
         return " ".join(bits)
@@ -184,6 +204,7 @@ class FuzzCase:
                 else {str(v): [int(x) for x in lst] for v, lst in sorted(self.lists.items())}
             ),
             "space_size": self.space_size,
+            "fault": None if self.fault is None else dict(sorted(self.fault.items())),
             "seed": self.seed,
             "note": self.note,
         }
@@ -214,6 +235,9 @@ class FuzzCase:
             space_size=(
                 None if data.get("space_size") is None else int(data["space_size"])
             ),
+            fault=(
+                None if data.get("fault") is None else dict(data["fault"])
+            ),
             seed=data.get("seed"),
             note=str(data.get("note", "")),
             schema=int(schema),
@@ -239,6 +263,7 @@ class FuzzCase:
                         if self.lists is None
                         else {v: list(lst) for v, lst in self.lists.items()}
                     ),
+                    fault=None if self.fault is None else dict(self.fault),
                 ),
                 **changes,
             },

@@ -16,7 +16,8 @@ Checked per trial:
    counters (rounds, messages, bits, bandwidth budget/violations);
 4. **round accounting** — :func:`~repro.obs.compare_round_accounting`
    over the two :class:`~repro.obs.RunRecord`s must report equal rounds,
-   equal per-round accounting, and equal totals;
+   equal per-round accounting, equal totals, and equal per-round fault
+   counts;
 5. **semantic oracles** — the output must actually *be* what the
    algorithm promises, judged by the independent validators of
    :mod:`repro.core.validate`: properness / defect budgets / list
@@ -25,6 +26,12 @@ Checked per trial:
 
 The oracles matter because output equality alone would bless two engines
 that share a bug; an independent validator cannot.
+
+Cases carrying a fault plan (``case.fault``) run both Linial engines
+under the identical seeded adversary.  There the semantic oracle is
+skipped — a dropped or corrupted color message can legitimately break
+properness — and the trial's contract tightens to pure engine equality,
+including the injected fault schedule itself (checks 2-4).
 """
 
 from __future__ import annotations
@@ -107,6 +114,12 @@ class CaseOutcome:
 # ----------------------------------------------------------------------
 # pair definitions
 # ----------------------------------------------------------------------
+def _case_plan(case: FuzzCase):
+    from ..faults import FaultPlan
+
+    return None if case.fault is None else FaultPlan.from_dict(case.fault)
+
+
 def _ref_linial(case: FuzzCase) -> EngineRun:
     recorder = RunRecorder(engine=ENGINE_REFERENCE)
     result, metrics, palette = run_linial(
@@ -115,6 +128,7 @@ def _ref_linial(case: FuzzCase) -> EngineRun:
         defect=case.defect,
         recorder=recorder,
         wrap=RefereedAlgorithm,
+        faults=_case_plan(case),
     )
     return EngineRun(dict(result.assignment), metrics, recorder.record, palette)
 
@@ -126,12 +140,19 @@ def _vec_linial(case: FuzzCase) -> EngineRun:
         initial_colors=case.initial_colors,
         defect=case.defect,
         recorder=recorder,
+        faults=_case_plan(case),
     )
     return EngineRun(dict(result.assignment), metrics, recorder.record, palette)
 
 
 def _oracle_linial(case: FuzzCase, run: EngineRun) -> list[str]:
     from ..core.coloring import ColoringResult
+
+    if case.fault is not None:
+        # Under an injected adversary the output has no validity
+        # promise (drops/corruptions legitimately break properness);
+        # the contract is engine equality, checked by run_case itself.
+        return []
 
     result = ColoringResult(run.assignment)
     g = case.graph()
@@ -305,6 +326,7 @@ def run_case(
                 accounting["rounds_equal"]
                 and accounting["accounting_equal"]
                 and accounting["totals_equal"]
+                and accounting["faults_equal"]
             ):
                 failures.append(
                     "round accounting diverges: first mismatch at round "

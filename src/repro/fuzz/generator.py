@@ -14,8 +14,11 @@ The sampled space follows what the engine pairs are *sensitive to*:
   how sensitive these schedules are to tie-breaking and encoding details,
   and label order is the tie-breaker both engines must agree on;
 * **configuration** — defect budgets for the defective pairs, explicit
-  (gappy, unsorted) initial colorings for Linial, and random
-  ``(degree+1)``-and-larger color lists for the greedy pair.
+  (gappy, unsorted) initial colorings for Linial, random
+  ``(degree+1)``-and-larger color lists for the greedy pair, and seeded
+  fault plans (drop/corrupt/delay/duplicate/crash) for a fraction of
+  Linial cases, exercising the fault kernels of both engines against
+  each other.
 
 Sizes stay small (n <= ~24): the reference engine is the bottleneck, and
 small instances shrink and replay fast.  Scale testing is the sweep
@@ -110,6 +113,29 @@ def _relabel(g: nx.Graph, rng: random.Random) -> nx.Graph:
     return nx.relabel_nodes(g, mapping)
 
 
+#: Fault modes :func:`_draw_fault` samples (matches FaultPlan's rates).
+FAULT_MODES = ("drop", "corrupt", "delay", "duplicate", "crash")
+
+
+def _draw_fault(rng: random.Random) -> dict[str, object]:
+    """One seeded fault-plan spec with 1-3 active modes.
+
+    Crashes always come with ``recovery_rounds`` set: a crash-stop plan
+    can leave nodes permanently dead, and the differential contract
+    (both engines halt identically) is already covered by dedicated
+    tests — the fuzzer wants runs that terminate.
+    """
+    fault: dict[str, object] = {"seed": rng.randrange(1 << 30)}
+    for mode in rng.sample(FAULT_MODES, rng.randint(1, 3)):
+        fault[f"p_{mode}"] = rng.choice([0.05, 0.1, 0.2, 0.3, 0.5])
+    if "p_delay" in fault:
+        fault["max_delay"] = rng.randint(1, 3)
+    if "p_crash" in fault:
+        fault["crash_horizon"] = rng.randint(2, 5)
+        fault["recovery_rounds"] = rng.randint(1, 2)
+    return fault
+
+
 def _degrees(nodes: list[int], edges: list[tuple[int, int]]) -> dict[int, int]:
     deg = {v: 0 for v in nodes}
     for u, v in edges:
@@ -146,12 +172,23 @@ def generate_case(
     initial_colors: dict[int, int] | None = None
     lists: dict[int, list[int]] | None = None
     space_size: int | None = None
+    fault: dict[str, object] | None = None
 
     if pair == "linial":
         defect = rng.choice([0, 0, 0, 1, 2, 3])
         if rng.random() < 0.5:
             # explicit proper input coloring with gaps, unsorted values
             palette = rng.sample(range(4 * len(nodes) + 4), len(nodes))
+            initial_colors = {v: palette[i] for i, v in enumerate(nodes)}
+        if rng.random() < 0.4:
+            fault = _draw_fault(rng)
+            # A fault plan only bites when rounds actually run, and the
+            # Linial schedule is empty when the initial color space sits
+            # at or below its fixed point — which it does for most small
+            # fuzz graphs.  Spread the initial colors far past the fixed
+            # point so fault cases exercise nonempty schedules.
+            span = 40 * (len(nodes) + 1)
+            palette = rng.sample(range(span), len(nodes))
             initial_colors = {v: palette[i] for i, v in enumerate(nodes)}
     elif pair == "defective_split":
         defect = rng.randint(0, 3)
@@ -171,6 +208,7 @@ def generate_case(
         initial_colors=initial_colors,
         lists=lists,
         space_size=space_size,
+        fault=fault,
         seed=seed,
     )
     case.check_valid()

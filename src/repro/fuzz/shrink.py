@@ -12,7 +12,11 @@ by construction — and accepts an edit iff the failure still reproduces:
 3. **list colors** — for the greedy pair, drop trailing list colors
    while each list stays above ``degree + 1``;
 4. **configuration** — try the default initial coloring instead of an
-   explicit one, and smaller defect budgets.
+   explicit one, and smaller defect budgets;
+5. **fault plan** — drop the fault plan entirely, then individual fault
+   modes, then shrink its window parameters toward their floors.  A
+   failure that survives without faults is an engine bug, not a fault
+   bug; one that needs exactly ``p_drop`` is half-diagnosed already.
 
 Passes repeat until a whole sweep makes no progress (a local minimum:
 every single remaining node/edge/color is load-bearing for the failure)
@@ -152,6 +156,35 @@ def shrink_case(
                 progress = True
                 break
             d += 1
+
+        # -- pass 5: shrink the fault plan -------------------------------
+        if current.fault is not None and budget[0] > 0:
+            candidate = current.replace(fault=None)
+            if attempt(candidate):
+                current = candidate
+                progress = True
+        if current.fault is not None:
+            for key in [k for k in sorted(current.fault) if k.startswith("p_")]:
+                if budget[0] <= 0:
+                    break
+                candidate = current.replace(
+                    fault={k: v for k, v in current.fault.items() if k != key}
+                )
+                if attempt(candidate):
+                    current = candidate
+                    progress = True
+            for key, floor in (
+                ("max_delay", 1),
+                ("crash_horizon", 1),
+                ("recovery_rounds", 1),
+            ):
+                value = current.fault.get(key)
+                if budget[0] <= 0 or value is None or value <= floor:
+                    continue
+                candidate = current.replace(fault={**current.fault, key: floor})
+                if attempt(candidate):
+                    current = candidate
+                    progress = True
 
     if not current.note:
         current = current.replace(note=f"shrunk from n={case.n} m={case.m}")

@@ -40,7 +40,9 @@ from .profiler import Profiler
 
 #: Version of the RunRecord row/field layout.  Bump when rows gain,
 #: lose, or reinterpret columns; loaders treat other versions as foreign.
-OBS_SCHEMA_VERSION = 1
+#: v2: rows gained the ``faults`` column family (per-round injected fault
+#: counts under a :class:`~repro.faults.FaultPlan`; ``None`` = no plan).
+OBS_SCHEMA_VERSION = 2
 
 #: Engine labels (the only two execution paths in the repo).
 ENGINE_REFERENCE = "reference"
@@ -54,7 +56,12 @@ class RoundRow:
     ``active`` (nodes still running at the round's start) and
     ``uncolored`` (nodes without a final color after the round) are
     optional: engines emit them when the algorithm's semantics make them
-    well-defined, ``None`` otherwise.
+    well-defined, ``None`` otherwise.  ``faults`` is the injected-fault
+    column family — per-round event counts keyed by
+    :data:`repro.faults.FAULT_KINDS` when the run carried a
+    :class:`~repro.faults.FaultPlan`, ``None`` otherwise; both engines
+    must produce it identically (checked by
+    :func:`compare_round_accounting`).
     """
 
     round: int
@@ -63,6 +70,7 @@ class RoundRow:
     max_bits: int
     active: int | None = None
     uncolored: int | None = None
+    faults: dict[str, int] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Flat JSON-ready dict of this row."""
@@ -71,6 +79,7 @@ class RoundRow:
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RoundRow":
         """Inverse of :meth:`to_dict` (ignores unknown keys)."""
+        faults = data.get("faults")
         return cls(
             round=int(data["round"]),
             messages=int(data["messages"]),
@@ -79,6 +88,11 @@ class RoundRow:
             active=None if data.get("active") is None else int(data["active"]),
             uncolored=(
                 None if data.get("uncolored") is None else int(data["uncolored"])
+            ),
+            faults=(
+                None
+                if faults is None
+                else {str(k): int(v) for k, v in faults.items()}
             ),
         )
 
@@ -111,21 +125,24 @@ class RunRecord:
         m: int,
         active_per_round: Sequence[int] | None = None,
         uncolored_per_round: Sequence[int] | None = None,
+        faults_per_round: Sequence[dict[str, int] | None] | None = None,
         palette: int | None = None,
         timings: dict[str, float] | None = None,
     ) -> "RunRecord":
         """Build a record from a run's :class:`RunMetrics`.
 
         Rows come from the metrics' native per-round lists; the optional
-        activity sequences are merged in positionally (shorter sequences
-        leave trailing rows' columns ``None``).  Metrics assembled by hand
-        (e.g. parallel merges, where per-round data is undefined) yield a
-        record with summary-only accounting and no rows.
+        activity sequences (including the per-round fault-count dicts)
+        are merged in positionally (shorter sequences leave trailing rows'
+        columns ``None``).  Metrics assembled by hand (e.g. parallel
+        merges, where per-round data is undefined) yield a record with
+        summary-only accounting and no rows.
         """
         rows: list[RoundRow] = []
         if metrics.per_round_complete:
             active = list(active_per_round or [])
             uncolored = list(uncolored_per_round or [])
+            faults = list(faults_per_round or [])
             for r in range(metrics.rounds):
                 rows.append(
                     RoundRow(
@@ -135,6 +152,7 @@ class RunRecord:
                         max_bits=metrics.per_round_max_bits[r],
                         active=active[r] if r < len(active) else None,
                         uncolored=uncolored[r] if r < len(uncolored) else None,
+                        faults=faults[r] if r < len(faults) else None,
                     )
                 )
         record = cls(
@@ -283,15 +301,24 @@ class RunRecorder:
         self.jsonl_path = Path(jsonl_path) if jsonl_path is not None else None
         self.active_per_round: list[int | None] = []
         self.uncolored_per_round: list[int | None] = []
+        self.faults_per_round: list[dict[str, int] | None] = []
         self.profiler = Profiler()
         self.record: RunRecord | None = None
 
     def on_round(
-        self, active: int | None = None, uncolored: int | None = None
+        self,
+        active: int | None = None,
+        uncolored: int | None = None,
+        faults: dict[str, int] | None = None,
     ) -> None:
-        """Note one round's activity (either column may be unknown)."""
+        """Note one round's activity (any column may be unknown).
+
+        ``faults`` is the round's injected-fault counts when the run
+        carried a :class:`~repro.faults.FaultPlan` (``None`` otherwise).
+        """
         self.active_per_round.append(active)
         self.uncolored_per_round.append(uncolored)
+        self.faults_per_round.append(faults)
 
     def finalize(
         self,
@@ -311,6 +338,7 @@ class RunRecorder:
             m=m,
             active_per_round=[a for a in self.active_per_round],  # type: ignore[misc]
             uncolored_per_round=[u for u in self.uncolored_per_round],  # type: ignore[misc]
+            faults_per_round=list(self.faults_per_round),
             palette=palette,
             timings=self.profiler.timings,
         )
@@ -327,20 +355,28 @@ def compare_round_accounting(a: RunRecord, b: RunRecord) -> dict[str, Any]:
     """Round-level accounting comparison of two records.
 
     Compares the columns both engines must agree on — per-round message
-    counts and bit totals (plus round count and max message bits) — and
-    reports the first mismatching round, if any.  Activity columns are
-    engine-optional and deliberately not compared.
+    counts and bit totals (plus round count and max message bits), and the
+    ``faults`` column family, which a fixed
+    :class:`~repro.faults.FaultPlan` makes an engine-independent function
+    of the plan — and reports the first mismatching round, if any.  A
+    fault-column disagreement marks the round mismatched (the engines saw
+    *different fault schedules*) and additionally clears ``faults_equal``.
+    Activity columns are engine-optional and deliberately not compared.
     """
     mismatches: list[int] = []
+    fault_mismatches: list[int] = []
     for r in range(max(len(a.rows), len(b.rows))):
         ra = a.rows[r] if r < len(a.rows) else None
         rb = b.rows[r] if r < len(b.rows) else None
+        if ra is not None and rb is not None and ra.faults != rb.faults:
+            fault_mismatches.append(r)
         if (
             ra is None
             or rb is None
             or ra.messages != rb.messages
             or ra.total_bits != rb.total_bits
             or ra.max_bits != rb.max_bits
+            or ra.faults != rb.faults
         ):
             mismatches.append(r)
     return {
@@ -348,6 +384,7 @@ def compare_round_accounting(a: RunRecord, b: RunRecord) -> dict[str, Any]:
         "accounting_equal": not mismatches,
         "first_mismatch": mismatches[0] if mismatches else None,
         "mismatched_rounds": len(mismatches),
+        "faults_equal": not fault_mismatches,
         "totals_equal": (
             a.summary.get("total_messages") == b.summary.get("total_messages")
             and a.summary.get("total_bits") == b.summary.get("total_bits")

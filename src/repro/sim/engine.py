@@ -167,6 +167,7 @@ def record_uniform_round(
     *,
     active: int | None = None,
     uncolored: int | None = None,
+    faults: dict[str, int] | None = None,
 ) -> None:
     """Observe one synthesized uniform round in metrics *and* recorder.
 
@@ -174,11 +175,13 @@ def record_uniform_round(
     keeps the accounting (:meth:`RunMetrics.observe_uniform_round`) and
     the observability row (:meth:`repro.obs.RunRecorder.on_round`) in
     lockstep, so a fast path cannot desynchronize the two.  ``recorder``
-    is duck-typed (anything with ``on_round``) and may be ``None``.
+    is duck-typed (anything with ``on_round``) and may be ``None``;
+    ``faults`` carries the round's injected-fault counts when the fast
+    path ran under a :class:`~repro.faults.FaultPlan`.
     """
     metrics.observe_uniform_round(count, bits)
     if recorder is not None:
-        recorder.on_round(active=active, uncolored=uncolored)
+        recorder.on_round(active=active, uncolored=uncolored, faults=faults)
 
 
 # ----------------------------------------------------------------------

@@ -35,6 +35,7 @@ from .node import DistributedAlgorithm, HaltingError, NodeView
 from .trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> sim)
+    from ..faults import FaultPlan
     from ..obs import RunRecorder
 
 
@@ -112,13 +113,16 @@ class SyncNetwork:
         round_hook: Callable[[int, dict[int, dict[str, Any]]], None] | None = None,
         trace: Trace | None = None,
         recorder: "RunRecorder | None" = None,
+        faults: "FaultPlan | None" = None,
         _finalize_recorder: bool = True,
     ) -> tuple[dict[int, Any], RunMetrics]:
         """Execute ``algorithm`` to completion.
 
         Returns ``(outputs, metrics)`` where ``outputs[v]`` is the node's
         declared output.  Raises :class:`HaltingError` if any node is still
-        active after ``max_rounds`` rounds.
+        active after ``max_rounds`` rounds; the partial record of a
+        ``recorder`` is finalized first, so a halted run's per-round
+        accounting is still flushed.
 
         ``round_hook(rnd, states)`` — optional observer called after each
         round; used by tests to assert invariants mid-run.
@@ -128,6 +132,13 @@ class SyncNetwork:
         one activity row per round and finalized into a structured
         :class:`~repro.obs.RunRecord` when the run completes (JSONL is
         emitted when the recorder was built with a ``jsonl_path``).
+        ``faults`` — optional :class:`~repro.faults.FaultPlan` applied at
+        the delivery step: crashed nodes neither send nor receive (state
+        frozen), and every transmission is dropped / corrupted / delayed /
+        duplicated per the plan.  Transmissions are still *charged* at
+        their send round regardless of fate (see the plan's accounting
+        contract); per-round fault counts flow into ``trace`` and the
+        recorder's fault column family.
         ``_finalize_recorder`` — internal: :meth:`run_phases` defers
         finalization to the end of the composition.
         """
@@ -142,14 +153,59 @@ class SyncNetwork:
         metrics = RunMetrics(bandwidth_limit=self.bandwidth)
         active = {v for v in views if not algorithm.is_done(views[v], states[v])}
 
+        if faults is not None:
+            # deferred: repro.faults.wrappers imports this module
+            from ..faults.plan import (
+                FATE_CORRUPT as _FATE_CORRUPT,
+                FATE_DELAY as _FATE_DELAY,
+                FATE_DROP as _FATE_DROP,
+                FATE_DUPLICATE as _FATE_DUPLICATE,
+            )
+
+        # (deliver_round, src, dst, message) buffer for delayed/duplicated
+        # deliveries; stale entries are applied before the round's own send
+        # loop, so a fresher same-sender message overwrites them.
+        pending: list[tuple[int, int, int, Message]] = []
         rnd = 0
         while active:
             if rnd >= max_rounds:
+                # flush unconditionally: callers that deferred
+                # finalization (``_finalize_recorder=False``) never get
+                # control back on this path, and a halted run's partial
+                # per-round accounting is exactly what a post-mortem needs
+                if recorder is not None:
+                    recorder.finalize(
+                        metrics,
+                        n=self.graph.number_of_nodes(),
+                        m=self.graph.number_of_edges(),
+                        algorithm=recorder.algorithm or algorithm.name,
+                    )
                 raise HaltingError(rounds=rnd, unfinished=sorted(active))
+            alive: set[int] | None = None
+            counts: dict[str, int] | None = None
+            if faults is not None:
+                alive = {v for v in views if not faults.crashed(rnd, v)}
+                counts = dict.fromkeys(
+                    ("dropped", "corrupted", "delayed", "duplicated"), 0
+                )
+                counts["crashed"] = len(views) - len(alive)
+                if trace is not None:
+                    for v in sorted(set(views) - alive):
+                        trace.record_fault(rnd, "crashed", v, None)
             # -- send phase ------------------------------------------------
             inboxes: dict[int, dict[int, Message]] = {v: {} for v in views}
+            if pending:
+                still: list[tuple[int, int, int, Message]] = []
+                for deliver_rnd, src, dst, msg in pending:
+                    if deliver_rnd > rnd:
+                        still.append((deliver_rnd, src, dst, msg))
+                    elif alive is None or dst in alive:
+                        inboxes[dst][src] = msg
+                pending = still
             sizes: list[int] = []
             for v in sorted(active):
+                if alive is not None and v not in alive:
+                    continue
                 outbox = algorithm.send(views[v], states[v], rnd)
                 for dst, msg in outbox.items():
                     if dst not in views or dst not in views[v].neighbors:
@@ -160,19 +216,51 @@ class SyncNetwork:
                         raise TypeError(
                             f"node {v} sent a non-Message to {dst}: {type(msg)!r}"
                         )
-                    inboxes[dst][v] = msg
                     bits = msg.size_bits()
                     sizes.append(bits)
                     if trace is not None:
                         trace.record(rnd, v, dst, bits, msg.payload)
+                    if faults is None:
+                        inboxes[dst][v] = msg
+                        continue
+                    fate = faults.message_fate(rnd, v, dst)
+                    deliver = msg
+                    if fate.kind == _FATE_DROP:
+                        counts["dropped"] += 1
+                        if trace is not None:
+                            trace.record_fault(rnd, "dropped", v, dst)
+                        continue
+                    if fate.kind == _FATE_CORRUPT:
+                        counts["corrupted"] += 1
+                        if trace is not None:
+                            trace.record_fault(rnd, "corrupted", v, dst)
+                        deliver = Message(
+                            faults.corrupt_payload(rnd, v, dst, msg.payload),
+                            bits=bits,
+                        )
+                    elif fate.kind == _FATE_DELAY:
+                        counts["delayed"] += 1
+                        if trace is not None:
+                            trace.record_fault(rnd, "delayed", v, dst)
+                        pending.append((rnd + fate.delay, v, dst, msg))
+                        continue
+                    elif fate.kind == _FATE_DUPLICATE:
+                        counts["duplicated"] += 1
+                        if trace is not None:
+                            trace.record_fault(rnd, "duplicated", v, dst)
+                        pending.append((rnd + fate.delay, v, dst, msg))
+                    if dst in alive:
+                        inboxes[dst][v] = deliver
             # -- receive phase ---------------------------------------------
             for v in sorted(active):
+                if alive is not None and v not in alive:
+                    continue
                 algorithm.receive(views[v], states[v], rnd, inboxes[v])
             metrics.observe_round(sizes)
             if trace is not None:
                 trace.record_round(len(active))
             if recorder is not None:
-                recorder.on_round(active=len(active))
+                recorder.on_round(active=len(active), faults=counts)
             if round_hook is not None:
                 round_hook(rnd, states)
             active = {v for v in active if not algorithm.is_done(views[v], states[v])}
@@ -197,6 +285,7 @@ class SyncNetwork:
         round_hook: Callable[[int, dict[int, dict[str, Any]]], None] | None = None,
         trace: Trace | None = None,
         recorder: "RunRecorder | None" = None,
+        faults: "FaultPlan | None" = None,
     ) -> tuple[list[dict[int, Any]], RunMetrics]:
         """Run several algorithms back to back, summing their metrics.
 
@@ -205,11 +294,15 @@ class SyncNetwork:
         compositions (Linial precoloring, then gamma-class assignment, then
         the main coloring, ...).
 
-        ``round_hook``, ``trace``, and ``recorder`` are threaded through to
-        every phase's :meth:`run` so composed pipelines stay observable;
-        the hook's round index restarts at 0 in each phase, while ``trace``
-        and ``recorder`` accumulate across the whole composition (the
-        recorder is finalized once, against the merged metrics).
+        ``round_hook``, ``trace``, ``recorder``, and ``faults`` are
+        threaded through to every phase's :meth:`run` so composed pipelines
+        stay observable (and attackable); the hook's round index restarts
+        at 0 in each phase — as does the fault plan's clock, since each
+        phase is a fresh :meth:`run`; shift with
+        :meth:`~repro.faults.FaultPlan.with_offset` for a continuous
+        adversary — while ``trace`` and ``recorder`` accumulate across the
+        whole composition (the recorder is finalized once, against the
+        merged metrics).
         """
         total = RunMetrics(bandwidth_limit=self.bandwidth)
         outs: list[dict[int, Any]] = []
@@ -223,6 +316,7 @@ class SyncNetwork:
                 round_hook=round_hook,
                 trace=trace,
                 recorder=recorder,
+                faults=faults,
                 _finalize_recorder=False,
             )
             outs.append(o)

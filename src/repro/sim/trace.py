@@ -25,6 +25,17 @@ class TracedMessage:
     payload: Any = None
 
 
+@dataclass(frozen=True)
+class TracedFault:
+    """One injected fault event: kind is a :data:`repro.faults.FAULT_KINDS`
+    entry; ``dst`` is ``None`` for node-level events (crashes)."""
+
+    round: int
+    kind: str
+    src: int
+    dst: int | None = None
+
+
 @dataclass
 class Trace:
     """Collected events of one run."""
@@ -32,6 +43,7 @@ class Trace:
     capture_payloads: bool = False
     messages: list[TracedMessage] = field(default_factory=list)
     active_per_round: list[int] = field(default_factory=list)
+    faults: list[TracedFault] = field(default_factory=list)
 
     def record(self, rnd: int, src: int, dst: int, bits: int, payload: Any) -> None:
         """Log one message (payload kept only when capture is enabled)."""
@@ -40,6 +52,10 @@ class Trace:
                 rnd, src, dst, bits, payload if self.capture_payloads else None
             )
         )
+
+    def record_fault(self, rnd: int, kind: str, src: int, dst: int | None) -> None:
+        """Log one injected fault event (message fate or node crash)."""
+        self.faults.append(TracedFault(rnd, kind, src, dst))
 
     def record_round(self, active_count: int) -> None:
         """Close a round, noting how many nodes were still active."""
@@ -59,6 +75,17 @@ class Trace:
     def between(self, src: int, dst: int) -> list[TracedMessage]:
         """All messages from ``src`` to ``dst``, in round order."""
         return [m for m in self.messages if m.src == src and m.dst == dst]
+
+    def faults_in_round(self, rnd: int) -> list[TracedFault]:
+        """All fault events injected in round ``rnd``."""
+        return [f for f in self.faults if f.round == rnd]
+
+    def fault_counts(self) -> dict[str, int]:
+        """Total injected events per fault kind (absent kinds omitted)."""
+        out: dict[str, int] = {}
+        for f in self.faults:
+            out[f.kind] = out.get(f.kind, 0) + 1
+        return out
 
     def bits_per_round(self) -> list[int]:
         """Total bits shipped in each round.
@@ -104,4 +131,5 @@ class Trace:
             "rounds": self.rounds,
             "messages": len(self.messages),
             "total_bits": sum(m.bits for m in self.messages),
+            "faults": len(self.faults),
         }

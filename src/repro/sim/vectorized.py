@@ -49,6 +49,7 @@ from .engine import (
 )
 from .message import int_bits
 from .metrics import RunMetrics
+from .node import HaltingError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> sim)
     from ..obs import RunRecorder
@@ -85,6 +86,7 @@ def linial_vectorized(
     initial_colors: dict[int, int] | None = None,
     defect: int = 0,
     recorder: "RunRecorder | None" = None,
+    faults=None,
     _finalize_recorder: bool = True,
     _csr: CSRGraph | None = None,
 ) -> tuple[ColoringResult, RunMetrics, int]:
@@ -95,9 +97,14 @@ def linial_vectorized(
     :class:`~repro.obs.RunRecorder`) additionally collects one
     observability row per schedule step — every node is active in every
     round, exactly as in the reference run — plus ``csr_build`` /
-    ``schedule`` / ``rounds`` phase timings.  ``_csr`` (internal) lets a
-    composing fast path reuse an already-built CSR of ``graph`` instead of
-    freezing the topology twice.
+    ``schedule`` / ``rounds`` phase timings.  ``faults`` (a
+    :class:`~repro.faults.FaultPlan`) switches to the mask-based faulty
+    kernel, which replays the plan's exact message/crash schedule and is
+    bit-for-bit equivalent to ``run_linial(..., faults=plan)`` — outputs,
+    metrics, and the per-round fault column family all match (the
+    standing cross-engine contract under fault injection).  ``_csr``
+    (internal) lets a composing fast path reuse an already-built CSR of
+    ``graph`` instead of freezing the topology twice.
     """
     from ..algorithms.linial import defective_schedule, linial_schedule
 
@@ -122,17 +129,36 @@ def linial_vectorized(
     bits = int_bits(max(1, m0 - 1))
     per_round_messages = csr.num_directed_edges
 
-    with _phase(recorder, "rounds"):
-        for step in sched:
-            q, deg = step.q, step.deg
-            digits = poly_digits(colors, q, deg)
-            evals = poly_eval_grid(digits, q)  # (q, n)
-            hits = collision_counts(csr, evals)  # (q, n) int64
-            best_x = np.argmin(hits, axis=0)  # first occurrence = smallest x
-            colors = best_x * q + evals[best_x, np.arange(n)]
-            record_uniform_round(
-                metrics, recorder, per_round_messages, bits, active=n
-            )
+    if faults is not None:
+        try:
+            with _phase(recorder, "rounds"):
+                colors = _linial_faulty_rounds(
+                    csr, sched, colors, bits, faults, metrics, recorder
+                )
+        except HaltingError:
+            # flush the partial per-round record before propagating —
+            # the same post-mortem contract as SyncNetwork.run's halt path
+            if recorder is not None:
+                recorder.finalize(
+                    metrics,
+                    n=n,
+                    m=csr.num_directed_edges // 2,
+                    palette=palette,
+                    algorithm=recorder.algorithm or "linial_vectorized",
+                )
+            raise
+    else:
+        with _phase(recorder, "rounds"):
+            for step in sched:
+                q, deg = step.q, step.deg
+                digits = poly_digits(colors, q, deg)
+                evals = poly_eval_grid(digits, q)  # (q, n)
+                hits = collision_counts(csr, evals)  # (q, n) int64
+                best_x = np.argmin(hits, axis=0)  # first occurrence = smallest x
+                colors = best_x * q + evals[best_x, np.arange(n)]
+                record_uniform_round(
+                    metrics, recorder, per_round_messages, bits, active=n
+                )
 
     result = ColoringResult(csr.scatter(colors))
     if recorder is not None and _finalize_recorder:
@@ -144,6 +170,136 @@ def linial_vectorized(
             algorithm=recorder.algorithm or "linial_vectorized",
         )
     return result, metrics, palette
+
+
+def _linial_faulty_rounds(
+    csr: CSRGraph,
+    sched,
+    colors: np.ndarray,
+    bits: int,
+    faults,
+    metrics: RunMetrics,
+    recorder: "RunRecorder | None",
+) -> np.ndarray:
+    """The mask-based faulty Linial round loop (see :func:`linial_vectorized`).
+
+    Mirrors the reference simulator's delivery semantics edge for edge:
+    transmissions are drawn from active+alive senders, fates come from the
+    plan's vectorized hash (pinned equal to the scalar hash), delayed and
+    duplicated copies sit in a per-round pending buffer whose stale
+    entries are overwritten by fresher same-edge deliveries, deliveries to
+    crashed receivers are discarded, and receivers decode only payloads
+    inside their step's ``q^(deg+1)`` domain.  Nodes advance one schedule
+    step per round they are up, so crash outages leave step *skew* —
+    distinct steps are processed group by group, exactly like the
+    per-node reference receive.
+    """
+    from ..faults.plan import (
+        FATE_CORRUPT,
+        FATE_DELAY,
+        FATE_DELIVER,
+        FATE_DROP,
+        FATE_DUPLICATE,
+        node_labels_u64,
+    )
+    from .node import HaltingError
+
+    n = csr.n
+    total_steps = len(sched)
+    steps = np.zeros(n, dtype=np.int64)
+    colors = colors.copy()
+    labels = node_labels_u64(csr.nodes)
+    src_labels = labels[csr.src]
+    dst_labels = labels[csr.indices]
+    num_edges = csr.num_directed_edges
+    max_rounds = faults.round_budget(total_steps)
+    # deliver_round -> [(edge indices, payload snapshot), ...] in the order
+    # scheduled; later writes overwrite earlier ones like the reference's
+    # sender-keyed inbox.
+    pending: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+
+    rnd = 0
+    while bool((steps < total_steps).any()):
+        if rnd >= max_rounds:
+            unfinished = [
+                csr.nodes[i] for i in np.nonzero(steps < total_steps)[0]
+            ]
+            raise HaltingError(rounds=rnd, unfinished=unfinished)
+        alive = ~faults.crashed_mask(rnd, labels)
+        active = steps < total_steps
+        transmit = (active & alive)[csr.src]
+        counts = dict.fromkeys(
+            ("dropped", "corrupted", "delayed", "duplicated"), 0
+        )
+        counts["crashed"] = int(n - alive.sum())
+
+        delivered = np.full(num_edges, -1, dtype=np.int64)
+        for edge_idx, values in pending.pop(rnd, ()):
+            delivered[edge_idx] = values
+        if transmit.any():
+            codes, delays = faults.edge_fates(rnd, src_labels, dst_labels)
+            codes = np.where(transmit, codes, -1)
+            payload = colors[csr.src]
+            counts["dropped"] = int((codes == FATE_DROP).sum())
+            counts["corrupted"] = int((codes == FATE_CORRUPT).sum())
+            counts["delayed"] = int((codes == FATE_DELAY).sum())
+            counts["duplicated"] = int((codes == FATE_DUPLICATE).sum())
+            for code in (FATE_DELAY, FATE_DUPLICATE):
+                idx = np.nonzero(codes == code)[0]
+                for d in np.unique(delays[idx]):
+                    sel = idx[delays[idx] == d]
+                    pending.setdefault(rnd + int(d), []).append(
+                        (sel, payload[sel].copy())
+                    )
+            now = (codes == FATE_DELIVER) | (codes == FATE_DUPLICATE)
+            delivered[now] = payload[now]
+            corrupt = codes == FATE_CORRUPT
+            if corrupt.any():
+                delivered[corrupt] = faults.corrupt_values(
+                    rnd,
+                    src_labels[corrupt],
+                    dst_labels[corrupt],
+                    payload[corrupt],
+                )
+        # deliveries (stale included) to crashed receivers are discarded
+        delivered[~alive[csr.indices]] = -1
+
+        receiving = active & alive
+        new_colors = colors.copy()
+        for s in np.unique(steps[receiving]):
+            step = sched[s]
+            q, deg = step.q, step.deg
+            domain = q ** (deg + 1)
+            group = receiving & (steps == s)
+            own_evals = poly_eval_grid(poly_digits(colors, q, deg), q)  # (q, n)
+            edge_ok = (
+                group[csr.indices] & (delivered >= 0) & (delivered < domain)
+            )
+            hits = np.zeros((q, n), dtype=np.int64)
+            if edge_ok.any():
+                edge_dst = csr.indices[edge_ok]
+                edge_evals = poly_eval_grid(
+                    poly_digits(delivered[edge_ok], q, deg), q
+                )  # (q, #ok)
+                match = edge_evals == own_evals[:, edge_dst]
+                for x in range(q):
+                    hits[x] = np.bincount(edge_dst[match[x]], minlength=n)
+            members = np.nonzero(group)[0]
+            best_x = np.argmin(hits[:, members], axis=0)  # first occurrence
+            new_colors[members] = best_x * q + own_evals[best_x, members]
+        colors = new_colors
+        steps[receiving] += 1
+
+        record_uniform_round(
+            metrics,
+            recorder,
+            int(transmit.sum()),
+            bits,
+            active=int(active.sum()),
+            faults=counts,
+        )
+        rnd += 1
+    return colors
 
 
 def schedule_reduction_vectorized(
