@@ -1,0 +1,185 @@
+"""Batched vs looped throughput for the Linial kernel (`BENCH_batch.json`).
+
+The batching claim behind :mod:`repro.sim.batch` is a throughput claim:
+k small instances packed into one block-diagonal
+:class:`~repro.sim.batch.BatchCSRGraph` must beat k single-instance
+:func:`~repro.sim.vectorized.linial_vectorized` calls by a wide margin,
+because at small n the per-call cost (schedule construction with its
+prime searches, per-round kernel launches, Python dispatch) dominates
+the actual numpy work.  This script measures exactly that — one looped
+pass vs one batched pass over the identical instance set, outputs
+verified node-for-node equal before timing is trusted — and records the
+result:
+
+    python benchmarks/bench_batch.py --out BENCH_batch.json
+
+Each instance starts from random node IDs drawn from a shared
+``2**bits`` ID space (the paper's model: Linial's algorithm colors down
+from an ID space, not from an n-sized palette), with the space's maximum
+ID pinned into every instance so all instances share one memoized
+schedule — the same regime the fuzz corpus and sweep grids exercise.
+The committed ``BENCH_batch.json`` was produced at the default shape
+(256 instances of random 3-regular graphs at n=16 ≤ 256, 20-bit IDs);
+the acceptance bar for the batched path is >= 3x looped throughput
+there.  ``--min-speedup`` turns the bar into an exit code for CI-style
+gating (default 0: record, don't gate — CI hardware varies).
+
+A small smoke version runs under ``pytest benchmarks/ --benchmark-only``
+like the other bench files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import graphs  # noqa: E402
+from repro.sim.batch import linial_vectorized_batch  # noqa: E402
+from repro.sim.vectorized import linial_vectorized  # noqa: E402
+
+
+def build_instances(
+    instances: int, n: int, degree: int, seed: int = 0, bits: int = 20
+) -> tuple[list, list]:
+    """k random regular graphs plus per-instance random-ID initial colors.
+
+    IDs are sampled without replacement from ``range(2**bits)`` and the
+    space's maximum ID is pinned into every instance, so every instance
+    shares the same ``m0 = 2**bits`` and hence one memoized schedule.
+    """
+    gs = [
+        graphs.random_regular(n, degree, seed=seed + i) for i in range(instances)
+    ]
+    inits = []
+    for i, g in enumerate(gs):
+        rng = random.Random(seed * 7919 + i)
+        ids = rng.sample(range(1 << bits), n)
+        ids[0] = (1 << bits) - 1
+        inits.append(dict(zip(sorted(g.nodes()), ids)))
+    return gs, inits
+
+
+def run_looped(gs: list, inits: list) -> list:
+    return [
+        linial_vectorized(g, initial_colors=init) for g, init in zip(gs, inits)
+    ]
+
+
+def run_batched(gs: list, inits: list) -> list:
+    return linial_vectorized_batch(gs, initial_colors=inits)
+
+
+def measure(
+    instances: int,
+    n: int,
+    degree: int,
+    seed: int = 0,
+    bits: int = 20,
+    repeats: int = 3,
+) -> dict:
+    """Time both paths over the same instance set; best-of-``repeats``.
+
+    Equivalence is asserted before any timing is reported — a fast wrong
+    batch is not a result.
+    """
+    gs, inits = build_instances(instances, n, degree, seed, bits)
+    looped = run_looped(gs, inits)
+    batched = run_batched(gs, inits)
+    for j, ((r1, m1, p1), (r2, m2, p2)) in enumerate(zip(looped, batched)):
+        assert r1.assignment == r2.assignment, f"instance {j}: outputs differ"
+        assert m1.summary() == m2.summary(), f"instance {j}: metrics differ"
+        assert p1 == p2, f"instance {j}: palettes differ"
+
+    looped_s = min(_timed(run_looped, gs, inits) for _ in range(repeats))
+    batched_s = min(_timed(run_batched, gs, inits) for _ in range(repeats))
+    return {
+        "bench": "linial_vectorized batched vs looped",
+        "instances": instances,
+        "n": n,
+        "degree": degree,
+        "id_bits": bits,
+        "seed": seed,
+        "repeats": repeats,
+        "total_nodes": instances * n,
+        "looped_s": looped_s,
+        "batched_s": batched_s,
+        "speedup": looped_s / batched_s if batched_s else float("inf"),
+        "looped_cells_per_s": instances / looped_s if looped_s else float("inf"),
+        "batched_cells_per_s": (
+            instances / batched_s if batched_s else float("inf")
+        ),
+    }
+
+
+def _timed(fn, gs, inits) -> float:
+    t0 = time.perf_counter()
+    fn(gs, inits)
+    return time.perf_counter() - t0
+
+
+def test_bench_batch_smoke(benchmark):
+    """pytest-benchmark entry: a small batch, equivalence still asserted."""
+    gs, inits = build_instances(32, 16, 3, seed=7)
+    looped = run_looped(gs, inits)
+    batched = benchmark.pedantic(
+        run_batched, args=(gs, inits), rounds=1, iterations=1
+    )
+    for (r1, _, _), (r2, _, _) in zip(looped, batched):
+        assert r1.assignment == r2.assignment
+    benchmark.extra_info["experiment"] = "batched vs looped Linial (smoke)"
+    benchmark.extra_info["instances"] = len(gs)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--instances", type=int, default=256,
+                        help="batch size k (acceptance shape: >= 256)")
+    parser.add_argument("--n", type=int, default=16,
+                        help="nodes per instance (acceptance shape: <= 256)")
+    parser.add_argument("--degree", type=int, default=3)
+    parser.add_argument("--bits", type=int, default=20,
+                        help="ID-space width; initial colors are random "
+                             "IDs from range(2**bits)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats; best-of is reported")
+    parser.add_argument("--out", default="BENCH_batch.json",
+                        help="where to write the JSON record")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="exit nonzero below this speedup (0 = no gate)")
+    args = parser.parse_args(argv)
+
+    record = measure(
+        args.instances,
+        args.n,
+        args.degree,
+        seed=args.seed,
+        bits=args.bits,
+        repeats=args.repeats,
+    )
+    Path(args.out).write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+    print(
+        f"{record['instances']} instances of n={record['n']} "
+        f"d={record['degree']} ({record['id_bits']}-bit IDs): "
+        f"looped {record['looped_s']:.3f}s "
+        f"({record['looped_cells_per_s']:.0f} cells/s) vs batched "
+        f"{record['batched_s']:.3f}s ({record['batched_cells_per_s']:.0f} "
+        f"cells/s) — {record['speedup']:.1f}x; wrote {args.out}"
+    )
+    if args.min_speedup and record["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {record['speedup']:.2f}x below required "
+            f"{args.min_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -286,7 +286,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from .fuzz import fuzz_run, pair_names, replay_corpus
+    from .fuzz import (
+        fuzz_run,
+        load_corpus,
+        pair_names,
+        replay_corpus,
+        run_cases_batched,
+    )
 
     known = pair_names()
     selected = args.pairs.split(",") if args.pairs else list(known)
@@ -299,7 +305,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
     replay_failures = 0
     if args.corpus:
-        replayed = replay_corpus(args.corpus)
+        if args.batch > 1:
+            entries = load_corpus(args.corpus)
+            outcomes = run_cases_batched([case for _, case in entries])
+            replayed = [(p, o) for (p, _), o in zip(entries, outcomes)]
+        else:
+            replayed = replay_corpus(args.corpus)
         for path, outcome in replayed:
             if not outcome.ok:
                 replay_failures += 1
@@ -317,6 +328,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         corpus_dir=args.failure_dir or None,
         shrink=not args.no_shrink,
         max_failures=args.max_failures,
+        batch_size=args.batch,
     )
     print(report.describe())
     if report.failures:
@@ -535,6 +547,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip minimizing failures (faster triage runs)")
     p_fuzz.add_argument("--max-failures", dest="max_failures", type=int,
                         default=5, help="stop after this many failures")
+    p_fuzz.add_argument("--batch", type=int, default=0,
+                        help="batch size for the vectorized side (corpus "
+                             "replay + fuzz trials run through one "
+                             "block-diagonal execution per chunk; 0/1 = "
+                             "per-case loop)")
     p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_flt = sub.add_parser(

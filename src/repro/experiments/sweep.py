@@ -58,6 +58,13 @@ Fault tolerance (the shape a long overnight sweep actually needs):
   survives while the cell recomputes; ``repro-cli report`` surfaces the
   count.
 
+Workers batch before they loop: pending cells that share a
+:data:`BATCHABLE_ALGORITHMS` algorithm are packed into one block-diagonal
+:class:`~repro.sim.batch.BatchCSRGraph` execution per algorithm
+(:func:`compute_cells_batched`) — identical records cell for cell, one
+engine invocation for the whole group — with cached cells excluded from
+the packing and the per-cell loop as fallback.
+
 Algorithms are resolved by name: first against the vectorized fast paths
 built on :mod:`repro.sim.engine` (``linial_vectorized``,
 ``classic_vectorized``, ``greedy_vectorized``, ``defective_split``,
@@ -353,6 +360,18 @@ FAST_PATHS: dict[str, Callable] = {
     "linial_faulty_vectorized": _run_linial_faulty_vectorized,
 }
 
+#: Fast paths with a block-diagonal batched twin in :mod:`repro.sim.batch`.
+#: A worker batch whose pending cells share one of these algorithms runs
+#: them as a single :class:`~repro.sim.batch.BatchCSRGraph` execution (see
+#: :func:`compute_cells_batched`) instead of looping `compute_cell`.
+BATCHABLE_ALGORITHMS: tuple[str, ...] = (
+    "linial_vectorized",
+    "classic_vectorized",
+    "greedy_vectorized",
+    "defective_split",
+    "linial_faulty_vectorized",
+)
+
 #: Recorder-aware reference twins of the fast paths.  ``classic`` shadows
 #: the registry entry of the same name so sweep cells get per-round
 #: observability records; outputs and metrics are identical either way.
@@ -480,6 +499,153 @@ def failed_record(
     return record
 
 
+def _run_batched(algorithm: str, built: list[tuple]) -> list[Any]:
+    """Run one batchable algorithm over pre-built ``(cell, graph, params,
+    recorder)`` tuples; one ``(result, metrics, palette)`` or exception per
+    cell, matching :data:`FAST_PATHS` output cell for cell."""
+    from ..core.coloring import ColoringResult
+    from ..core.instance import delta_plus_one_instance
+    from ..sim.batch import (
+        classic_delta_plus_one_vectorized_batch,
+        defective_split_vectorized_batch,
+        greedy_list_vectorized_batch,
+        linial_vectorized_batch,
+    )
+
+    gs = [graph for _, graph, _, _ in built]
+    params_list = [params for _, _, params, _ in built]
+    recs = [rec for _, _, _, rec in built]
+    if algorithm == "linial_vectorized":
+        return linial_vectorized_batch(
+            gs,
+            defect=[int(p.get("defect", 0)) for p in params_list],
+            recorders=recs,
+            return_exceptions=True,
+        )
+    if algorithm == "linial_faulty_vectorized":
+        return linial_vectorized_batch(
+            gs,
+            defect=[int(p.get("defect", 0)) for p in params_list],
+            recorders=recs,
+            faults=[_fault_plan(p) for p in params_list],
+            return_exceptions=True,
+        )
+    if algorithm == "classic_vectorized":
+        outs = classic_delta_plus_one_vectorized_batch(
+            gs, recorders=recs, return_exceptions=True
+        )
+        return [
+            o if isinstance(o, BaseException) else (o[0], o[1], None)
+            for o in outs
+        ]
+    if algorithm == "greedy_vectorized":
+        instances = [delta_plus_one_instance(g) for g in gs]
+        outs = greedy_list_vectorized_batch(instances, return_exceptions=True)
+        normalized: list[Any] = []
+        for (cell, graph, params, rec), inst, o in zip(built, instances, outs):
+            if isinstance(o, BaseException):
+                normalized.append(o)
+                continue
+            metrics = _announce_coloring_metrics(graph, inst.space.size, rec)
+            rec.finalize(
+                metrics,
+                n=graph.number_of_nodes(),
+                m=graph.number_of_edges(),
+                palette=inst.space.size,
+            )
+            normalized.append((o, metrics, inst.space.size))
+        return normalized
+    if algorithm == "defective_split":
+        outs = defective_split_vectorized_batch(
+            gs,
+            defect=[int(p.get("defect", 1)) for p in params_list],
+            recorders=recs,
+            return_exceptions=True,
+        )
+        return [
+            o
+            if isinstance(o, BaseException)
+            else (ColoringResult(o[0]), o[1], o[2])
+            for o in outs
+        ]
+    raise ValueError(f"algorithm {algorithm!r} has no batched path")
+
+
+def compute_cells_batched(cells: Sequence[SweepCell]) -> list[dict[str, Any]]:
+    """Compute same-algorithm cells as one block-diagonal batched run.
+
+    The cells' graphs are packed into a single
+    :class:`~repro.sim.batch.BatchCSRGraph` execution; per-cell records
+    come back identical to :func:`compute_cell`'s except for the clock
+    fields (``wall_s`` is the batch wall time split evenly, ``timings``
+    are the shared batch phases).  Per-cell quarantine is preserved: a
+    cell whose graph build or in-batch run raises (e.g. a crash-stop
+    :class:`~repro.sim.node.HaltingError`) yields its
+    :func:`failed_record` while sibling cells still land ``ok``.
+    """
+    from .. import graphs
+    from ..obs import ENGINE_VECTORIZED, RunRecorder
+
+    algorithms = {cell.algorithm for cell in cells}
+    if len(algorithms) != 1:
+        raise ValueError(
+            "compute_cells_batched needs cells sharing one algorithm, got "
+            f"{sorted(algorithms)}"
+        )
+    (algorithm,) = algorithms
+    if algorithm not in BATCHABLE_ALGORITHMS:
+        raise ValueError(f"algorithm {algorithm!r} has no batched path")
+
+    out: list[dict[str, Any] | None] = [None] * len(cells)
+    built: list[tuple] = []  # (cell, graph, params, recorder) per ok build
+    positions: list[int] = []
+    for pos, cell in enumerate(cells):
+        t0 = time.perf_counter()
+        try:
+            graph = graphs.family(cell.family, **dict(cell.family_params))
+        except Exception as exc:
+            out[pos] = failed_record(cell, exc, wall_s=time.perf_counter() - t0)
+            continue
+        params = dict(cell.spec()["algo_params"])
+        rec = RunRecorder(engine=ENGINE_VECTORIZED, algorithm=algorithm)
+        built.append((cell, graph, params, rec))
+        positions.append(pos)
+    if built:
+        t0 = time.perf_counter()
+        outcomes = _run_batched(algorithm, built)
+        wall = (time.perf_counter() - t0) / len(built)
+        for pos, (cell, graph, params, rec), outcome in zip(
+            positions, built, outcomes
+        ):
+            if isinstance(outcome, BaseException):
+                out[pos] = failed_record(cell, outcome, wall_s=wall)
+                continue
+            result, metrics, palette = outcome
+            run_record = rec.record
+            record = dict(cell.spec())
+            record.update(
+                key=cell_key(cell),
+                schema=SWEEP_CACHE_SCHEMA,
+                status="ok",
+                n=graph.number_of_nodes(),
+                m=graph.number_of_edges(),
+                delta=max((d for _, d in graph.degree), default=0),
+                colors=result.num_colors(),
+                valid=_validate(graph, result, algorithm, params),
+                palette=palette,
+                metrics=metrics.summary() if metrics is not None else None,
+                wall_s=wall,
+                timings=dict(run_record.timings)
+                if run_record is not None
+                else {},
+                run_record=run_record.to_dict()
+                if run_record is not None
+                else None,
+            )
+            out[pos] = record
+    return out  # type: ignore[return-value]
+
+
 # ----------------------------------------------------------------------
 # cache
 # ----------------------------------------------------------------------
@@ -576,36 +742,70 @@ def _compute_batch(
 ) -> list[dict[str, Any]]:
     """Worker entry point: compute a batch of cells from their spec dicts.
 
-    With a ``cache_dir``, each record is persisted the moment it is
+    With a ``cache_dir``, records are persisted the moment they are
     computed (per-cell checkpoint) and already-checkpointed cells are
     served from disk — so a batch re-submitted after its worker died
     resumes where the dead worker stopped instead of starting over.
 
-    A cell whose computation raises is quarantined as a
-    :func:`failed_record`; the rest of the batch still runs.
+    Cells that survive the cache probe and share a
+    :data:`BATCHABLE_ALGORITHMS` algorithm run together as one
+    block-diagonal :func:`compute_cells_batched` execution (cached cells
+    are excluded from the packing — no recompute); everything else falls
+    back to the per-cell loop.  Either way, a cell whose computation
+    raises is quarantined as a :func:`failed_record`; the rest of the
+    batch still runs.
     """
-    out = []
-    for spec in specs:
-        cell = SweepCell.make(
+    cells = [
+        SweepCell.make(
             spec["family"],
             spec["family_params"],
             spec["algorithm"],
             spec["algo_params"],
         )
+        for spec in specs
+    ]
+    out: list[dict[str, Any] | None] = [None] * len(cells)
+    pending: list[int] = []
+    for i, cell in enumerate(cells):
         if cache_dir is not None:
             cached, status = load_cached_detailed(cache_dir, cell)
             if status in ("hit", "failed"):
-                out.append(cached)
+                out[i] = cached
                 continue
+        pending.append(i)
+
+    groups: dict[str, list[int]] = {}
+    singles: list[int] = []
+    for i in pending:
+        if cells[i].algorithm in BATCHABLE_ALGORITHMS:
+            groups.setdefault(cells[i].algorithm, []).append(i)
+        else:
+            singles.append(i)
+    for algorithm in sorted(groups):
+        idxs = groups[algorithm]
+        if len(idxs) < 2:  # nothing to batch; the per-cell loop is simpler
+            singles.extend(idxs)
+            continue
+        try:
+            records = compute_cells_batched([cells[i] for i in idxs])
+        except Exception:
+            singles.extend(idxs)  # batching itself broke; per-cell fallback
+            continue
+        for i, record in zip(idxs, records):
+            if cache_dir is not None:
+                store_cached(cache_dir, record)
+            out[i] = record
+
+    for i in sorted(singles):
         t0 = time.perf_counter()
         try:
-            record = compute_cell(cell)
+            record = compute_cell(cells[i])
         except Exception as exc:
-            record = failed_record(cell, exc, wall_s=time.perf_counter() - t0)
+            record = failed_record(cells[i], exc, wall_s=time.perf_counter() - t0)
         if cache_dir is not None:
             store_cached(cache_dir, record)
-        out.append(record)
-    return out
+        out[i] = record
+    return out  # type: ignore[return-value]
 
 
 def run_sweep(

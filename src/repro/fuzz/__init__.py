@@ -47,6 +47,7 @@ from .differential import (
     EnginePair,
     pair_names,
     run_case,
+    run_cases_batched,
 )
 from .generator import FAMILY_SPACE, LABEL_SCHEMES, generate_case
 from .runner import FuzzFailure, FuzzReport, fuzz_run
@@ -70,6 +71,7 @@ __all__ = [
     "pair_names",
     "replay_corpus",
     "run_case",
+    "run_cases_batched",
     "save_case",
     "shrink_case",
 ]

@@ -15,7 +15,13 @@ from pathlib import Path
 
 from .case import FuzzCase
 from .corpus import save_case
-from .differential import ENGINE_PAIRS, CaseOutcome, EnginePair, run_case
+from .differential import (
+    ENGINE_PAIRS,
+    CaseOutcome,
+    EnginePair,
+    run_case,
+    run_cases_batched,
+)
 from .generator import generate_case
 from .shrink import default_predicate, shrink_case
 
@@ -77,6 +83,7 @@ def fuzz_run(
     max_failures: int = 5,
     pairs: dict[str, EnginePair] | None = None,
     max_shrink_attempts: int = 500,
+    batch_size: int = 0,
 ) -> FuzzReport:
     """Run the differential fuzz loop (see module docstring).
 
@@ -91,6 +98,12 @@ def fuzz_run(
         systemic breakage only buries the signal.
     pairs:
         Registry override for mutation tests (injected broken engines).
+    batch_size:
+        When > 1, trials run in chunks of this size through
+        :func:`~repro.fuzz.run_cases_batched` (the vectorized side of
+        each chunk is one block-diagonal execution).  Trial generation
+        order, seeds, outcomes, shrinking, and pinning are unchanged —
+        only the execution strategy differs.  0/1 keep the per-case loop.
     """
     registry = pairs if pairs is not None else ENGINE_PAIRS
     names = list(pair_names) if pair_names is not None else list(registry)
@@ -101,28 +114,47 @@ def fuzz_run(
             f"options: {', '.join(registry)}"
         )
     report = FuzzReport(seed=seed, iterations=iterations)
+
+    def handle(case: FuzzCase, outcome: CaseOutcome) -> bool:
+        """Account one trial; True when the failure budget is exhausted."""
+        report.cases_run += 1
+        report.per_pair[case.pair] = report.per_pair.get(case.pair, 0) + 1
+        if outcome.ok:
+            return False
+        failure = FuzzFailure(case=case, outcome=outcome)
+        if shrink:
+            failure.shrunk = shrink_case(
+                case,
+                predicate=default_predicate(pairs=registry),
+                max_attempts=max_shrink_attempts,
+            )
+            failure.shrunk_outcome = run_case(failure.shrunk, pairs=registry)
+        if corpus_dir is not None:
+            failure.saved_to = save_case(
+                failure.shrunk if failure.shrunk is not None else case,
+                corpus_dir,
+            )
+        report.failures.append(failure)
+        return len(report.failures) >= max_failures
+
+    if batch_size > 1:
+        queue = [
+            generate_case(derive_seed(seed, iteration, pair), pair=pair)
+            for iteration in range(iterations)
+            for pair in names
+        ]
+        for start in range(0, len(queue), batch_size):
+            chunk = queue[start : start + batch_size]
+            for case, outcome in zip(
+                chunk, run_cases_batched(chunk, pairs=registry)
+            ):
+                if handle(case, outcome):
+                    return report
+        return report
+
     for iteration in range(iterations):
         for pair in names:
             case = generate_case(derive_seed(seed, iteration, pair), pair=pair)
-            outcome = run_case(case, pairs=registry)
-            report.cases_run += 1
-            report.per_pair[pair] = report.per_pair.get(pair, 0) + 1
-            if outcome.ok:
-                continue
-            failure = FuzzFailure(case=case, outcome=outcome)
-            if shrink:
-                failure.shrunk = shrink_case(
-                    case,
-                    predicate=default_predicate(pairs=registry),
-                    max_attempts=max_shrink_attempts,
-                )
-                failure.shrunk_outcome = run_case(failure.shrunk, pairs=registry)
-            if corpus_dir is not None:
-                failure.saved_to = save_case(
-                    failure.shrunk if failure.shrunk is not None else case,
-                    corpus_dir,
-                )
-            report.failures.append(failure)
-            if len(report.failures) >= max_failures:
+            if handle(case, run_case(case, pairs=registry)):
                 return report
     return report

@@ -1,5 +1,13 @@
 """Synchronous LOCAL / CONGEST simulator."""
 
+from .batch import (
+    BatchCSRGraph,
+    classic_delta_plus_one_vectorized_batch,
+    defective_split_vectorized_batch,
+    greedy_list_vectorized_batch,
+    linial_vectorized_batch,
+    merge_sequential_batch,
+)
 from .engine import (
     CSRGraph,
     collision_counts,
@@ -26,6 +34,7 @@ from .vectorized import (
 )
 
 __all__ = [
+    "BatchCSRGraph",
     "CSRGraph",
     "DistributedAlgorithm",
     "HaltingError",
@@ -45,11 +54,16 @@ __all__ = [
     "index_bits",
     "int_bits",
     "classic_delta_plus_one_vectorized",
+    "classic_delta_plus_one_vectorized_batch",
     "collision_counts",
     "defective_split_vectorized",
+    "defective_split_vectorized_batch",
     "equal_neighbor_counts",
     "greedy_list_vectorized",
+    "greedy_list_vectorized_batch",
     "linial_vectorized",
+    "linial_vectorized_batch",
+    "merge_sequential_batch",
     "poly_digits",
     "poly_eval_grid",
     "ragged_lists",

@@ -1,0 +1,1106 @@
+"""Batched multi-instance execution: k graphs, one block-diagonal CSR.
+
+Every sweep cell, fuzz case, and benchmark row runs the vectorized CSR
+engine on one graph at a time, so a grid of thousands of *small*
+instances pays per-instance Python dispatch for every round.  The
+schedule-driven kernels are embarrassingly parallel across instances —
+no information ever crosses an instance boundary — so k instances can be
+packed into a single block-diagonal :class:`BatchCSRGraph` and run
+through the existing kernels as single NumPy operations spanning all
+instances at once.
+
+The packing is literal block-diagonal structure:
+
+* member ``j``'s nodes occupy the contiguous dense range
+  ``node_offsets[j]..node_offsets[j+1]`` and its directed edges the
+  contiguous range ``edge_offsets[j]..edge_offsets[j+1]``;
+* ``indptr``/``indices``/``src`` are the members' CSR arrays shifted by
+  those offsets, so a :class:`BatchCSRGraph` duck-types as the adjacency
+  argument of :func:`~repro.sim.engine.collision_counts` and
+  :func:`~repro.sim.engine.equal_neighbor_counts` — the block-diagonal
+  shape alone guarantees no cross-instance counting;
+* ``instance_id`` maps every dense node back to its member.
+
+**Equivalence contract** (the point of the whole module): each batched
+kernel produces, per instance, the *identical* ``(output, RunMetrics,
+palette)`` triple — and, with recorders attached, the identical obs
+schema v2 :class:`~repro.obs.RunRecord` rows including per-round fault
+columns — as its single-instance twin in :mod:`repro.sim.vectorized`.
+Per-instance termination masks stop finished (or halted) instances from
+contributing rounds, and the per-instance accounting is demultiplexed
+through the same :func:`~repro.sim.engine.record_uniform_round`
+primitive the single-instance paths charge through.  The battery in
+``tests/test_batch.py`` replays the entire fuzz corpus through this
+module at batch sizes 1/4/16 and asserts node-for-node equality.
+
+Fault injection batches too: :func:`linial_vectorized_batch` accepts one
+:class:`~repro.faults.FaultPlan` (or ``None``) per instance; plans are
+pure functions of ``(seed, round, node labels)``, so each member of the
+batch sees exactly the adversary its single-instance run would.  An
+instance whose crash-stop plan exhausts its round budget raises the same
+:class:`~repro.sim.node.HaltingError` (same rounds, same unfinished
+list) — surfaced per instance via ``return_exceptions=True`` so sibling
+instances in the batch still complete.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+import numpy as np
+
+from ..core.coloring import ColoringResult
+from .engine import (
+    CSRGraph,
+    collision_counts,
+    equal_neighbor_counts,
+    poly_digits,
+    poly_eval_grid,
+    ragged_lists,
+    record_uniform_round,
+    synthesized_metrics,
+)
+from .message import int_bits
+from .metrics import RunMetrics, congest_bandwidth
+from .node import HaltingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> sim)
+    from ..obs import RunRecorder
+
+#: Sentinel larger than any within-list position (greedy first-free scan).
+_NO_PICK = np.int64(1) << np.int64(60)
+
+
+# ----------------------------------------------------------------------
+# the block-diagonal graph
+# ----------------------------------------------------------------------
+class BatchCSRGraph:
+    """k independent :class:`~repro.sim.engine.CSRGraph`s as one CSR.
+
+    Attributes
+    ----------
+    members:
+        The per-instance CSR graphs, in batch order.
+    k:
+        Instance count.
+    node_offsets / edge_offsets:
+        ``len k+1`` prefix arrays: member ``j`` owns dense nodes
+        ``node_offsets[j]:node_offsets[j+1]`` and directed edge slots
+        ``edge_offsets[j]:edge_offsets[j+1]``.
+    indptr / indices / src:
+        The members' CSR arrays concatenated with ``indices``/``src``
+        shifted into the global dense range — block-diagonal adjacency,
+        so every neighbor of a member's node lies inside that member's
+        own node range *by construction*.
+    instance_id:
+        Per dense node, the owning member's batch index.
+    """
+
+    __slots__ = (
+        "members",
+        "k",
+        "node_offsets",
+        "edge_offsets",
+        "indptr",
+        "indices",
+        "src",
+        "instance_id",
+    )
+
+    def __init__(self, members: Sequence[CSRGraph]) -> None:
+        self.members = tuple(members)
+        k = len(self.members)
+        self.k = k
+        node_counts = np.array([m.n for m in self.members], dtype=np.int64)
+        edge_counts = np.array(
+            [m.num_directed_edges for m in self.members], dtype=np.int64
+        )
+        self.node_offsets = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(node_counts, out=self.node_offsets[1:])
+        self.edge_offsets = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(edge_counts, out=self.edge_offsets[1:])
+        n_total = int(self.node_offsets[-1])
+        self.indptr = np.zeros(n_total + 1, dtype=np.int64)
+        self.indices = np.empty(int(self.edge_offsets[-1]), dtype=np.int64)
+        self.src = np.empty(int(self.edge_offsets[-1]), dtype=np.int64)
+        for j, member in enumerate(self.members):
+            ns = slice(int(self.node_offsets[j]), int(self.node_offsets[j + 1]))
+            es = slice(int(self.edge_offsets[j]), int(self.edge_offsets[j + 1]))
+            self.indptr[ns.start + 1 : ns.stop + 1] = (
+                member.indptr[1:] + self.edge_offsets[j]
+            )
+            self.indices[es] = member.indices + self.node_offsets[j]
+            self.src[es] = member.src + self.node_offsets[j]
+        self.instance_id = np.repeat(
+            np.arange(k, dtype=np.int64), node_counts
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graphs(cls, graphs: Sequence[Any]) -> "BatchCSRGraph":
+        """Freeze k ``networkx`` graphs into one block-diagonal batch.
+
+        One global ``fromiter`` / ``argsort`` / ``bincount`` over every
+        member's edges replaces k per-graph freezes, so the fixed numpy
+        dispatch cost of freezing amortizes across the whole batch — for
+        many small instances this is where batching starts paying,
+        before the first round kernel even runs.  The member
+        :class:`~repro.sim.engine.CSRGraph`\\ s carved back out of the
+        global arrays are value-identical to
+        :meth:`CSRGraph.from_networkx` on each graph (same stable-sort
+        edge order), so per-instance fallbacks and sub-batches see
+        exactly what a per-graph freeze would have produced.
+        """
+        gs = list(graphs)
+        for g in gs:
+            if g.is_directed():
+                raise ValueError(
+                    "CSRGraph (and the vectorized fast paths) support "
+                    "undirected graphs only; got a directed graph. Convert "
+                    "explicitly with graph.to_undirected() if that is "
+                    "intended."
+                )
+        k = len(gs)
+        nodes_list = [tuple(sorted(g.nodes)) for g in gs]
+        index_list = [{v: i for i, v in enumerate(nt)} for nt in nodes_list]
+        node_counts = np.fromiter(
+            (len(nt) for nt in nodes_list), dtype=np.int64, count=k
+        )
+        node_offsets = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(node_counts, out=node_offsets[1:])
+        n_total = int(node_offsets[-1])
+        m_total = sum(g.number_of_edges() for g in gs)
+
+        def _endpoints():
+            for g, idx, off in zip(gs, index_list, node_offsets.tolist()):
+                for u, v in g.edges:
+                    yield idx[u] + off
+                    yield idx[v] + off
+
+        flat = np.fromiter(_endpoints(), dtype=np.int64, count=2 * m_total)
+        eu, ev = flat[0::2], flat[1::2]
+        src_all = np.concatenate([eu, ev])
+        dst_all = np.concatenate([ev, eu])
+        # Stable sort by (global) source: member node ranges are disjoint
+        # and increasing, so this both groups edges by member and — within
+        # a member — reproduces from_networkx's [eu..., ev...] tie order.
+        order = np.argsort(src_all, kind="stable")
+        indices = dst_all[order]
+        counts = (
+            np.bincount(src_all, minlength=n_total)
+            if m_total
+            else np.zeros(n_total, dtype=np.int64)
+        )
+        indptr = np.zeros(n_total + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        edge_offsets = indptr[node_offsets]
+
+        members = []
+        for j in range(k):
+            n0, n1 = int(node_offsets[j]), int(node_offsets[j + 1])
+            e0, e1 = int(edge_offsets[j]), int(edge_offsets[j + 1])
+            members.append(
+                CSRGraph(
+                    n1 - n0,
+                    nodes_list[j],
+                    index_list[j],
+                    indptr[n0 : n1 + 1] - e0,
+                    indices[e0:e1] - n0,
+                )
+            )
+
+        batch = cls.__new__(cls)
+        batch.members = tuple(members)
+        batch.k = k
+        batch.node_offsets = node_offsets
+        batch.edge_offsets = edge_offsets
+        batch.indptr = indptr
+        batch.indices = indices
+        batch.src = np.repeat(np.arange(n_total, dtype=np.int64), counts)
+        batch.instance_id = np.repeat(
+            np.arange(k, dtype=np.int64), node_counts
+        )
+        return batch
+
+    @classmethod
+    def from_csrs(cls, csrs: Sequence[CSRGraph]) -> "BatchCSRGraph":
+        """Pack already-frozen member CSRs (cheap array concatenation)."""
+        return cls(csrs)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Total dense node count across all members (duck-types as
+        ``CSRGraph.n`` for the shared engine kernels)."""
+        return int(self.node_offsets[-1])
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Total directed edge slots across all members."""
+        return int(self.edge_offsets[-1])
+
+    @property
+    def edge_instance_id(self) -> np.ndarray:
+        """Per directed edge slot, the owning member's batch index."""
+        return np.repeat(
+            np.arange(self.k, dtype=np.int64), np.diff(self.edge_offsets)
+        )
+
+    def node_slice(self, j: int) -> slice:
+        """Member ``j``'s contiguous dense node range."""
+        return slice(int(self.node_offsets[j]), int(self.node_offsets[j + 1]))
+
+    def edge_slice(self, j: int) -> slice:
+        """Member ``j``'s contiguous directed edge range."""
+        return slice(int(self.edge_offsets[j]), int(self.edge_offsets[j + 1]))
+
+    # ------------------------------------------------------------------
+    def gather(
+        self, mappings: Sequence[Mapping[Any, int]], dtype: type = np.int64
+    ) -> np.ndarray:
+        """One dense array from k label-keyed mappings (member order)."""
+        if len(mappings) != self.k:
+            raise ValueError(
+                f"gather expects {self.k} mappings, got {len(mappings)}"
+            )
+        if not self.k:
+            return np.empty(0, dtype=dtype)
+        return np.concatenate(
+            [m.gather(mapping, dtype) for m, mapping in zip(self.members, mappings)]
+        )
+
+    def scatter(self, values: np.ndarray) -> list[dict[Any, int]]:
+        """k label-keyed dicts from one dense per-node array."""
+        return [
+            member.scatter(values[self.node_slice(j)])
+            for j, member in enumerate(self.members)
+        ]
+
+    def split(self, values: np.ndarray) -> list[np.ndarray]:
+        """Per-member views of a dense per-node array (no copies)."""
+        return [values[self.node_slice(j)] for j in range(self.k)]
+
+
+# ----------------------------------------------------------------------
+# small shared plumbing
+# ----------------------------------------------------------------------
+class _NullPhase:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+class _MultiPhase:
+    """Enter the same profiler phase on every attached recorder at once."""
+
+    def __init__(self, recorders: Sequence["RunRecorder | None"], name: str):
+        self._cms = [
+            r.profiler.phase(name) for r in recorders if r is not None
+        ]
+
+    def __enter__(self):
+        for cm in self._cms:
+            cm.__enter__()
+        return None
+
+    def __exit__(self, *exc):
+        for cm in reversed(self._cms):
+            cm.__exit__(*exc)
+        return False
+
+
+def _phase_all(recorders: Sequence["RunRecorder | None"], name: str):
+    return _MultiPhase(recorders, name) if recorders else _NullPhase()
+
+
+def _seq_arg(value, k: int, name: str) -> list:
+    """Normalize an optional per-instance sequence argument."""
+    if value is None:
+        return [None] * k
+    out = list(value)
+    if len(out) != k:
+        raise ValueError(f"{name} must have one entry per instance "
+                         f"({k}), got {len(out)}")
+    return out
+
+
+def _int_list(value, k: int, name: str) -> list[int]:
+    """Normalize an int-or-sequence argument (scalar broadcasts)."""
+    if isinstance(value, (list, tuple)):
+        if len(value) != k:
+            raise ValueError(f"{name} must have one entry per instance "
+                             f"({k}), got {len(value)}")
+        return [int(v) for v in value]
+    return [int(value)] * k
+
+
+def _sub_batch(
+    batch: BatchCSRGraph, js: list[int], colors: np.ndarray
+) -> tuple[BatchCSRGraph, np.ndarray]:
+    """The sub-batch over members ``js`` plus their color slices."""
+    if len(js) == batch.k:
+        return batch, colors.copy()
+    sub = BatchCSRGraph.from_csrs([batch.members[j] for j in js])
+    return sub, np.concatenate([colors[batch.node_slice(j)] for j in js])
+
+
+def _write_back(
+    batch: BatchCSRGraph, js: list[int], colors: np.ndarray, sub_colors: np.ndarray
+) -> None:
+    """Scatter a sub-batch's dense values back into the full batch array."""
+    off = 0
+    for j in js:
+        sl = batch.node_slice(j)
+        cnt = sl.stop - sl.start
+        colors[sl] = sub_colors[off : off + cnt]
+        off += cnt
+
+
+def _raise_or_return(results: list, return_exceptions: bool) -> list:
+    if not return_exceptions:
+        for r in results:
+            if isinstance(r, BaseException):
+                raise r
+    return results
+
+
+# ----------------------------------------------------------------------
+# batched Linial (fault-free round loop)
+# ----------------------------------------------------------------------
+#: Node-count cap per round-kernel tile.  One monolithic (q, n_total)
+#: evaluation grid falls out of cache once n_total reaches the tens of
+#: thousands and goes memory-bound — measurably *slower* than the
+#: per-instance loop it replaces — while tiles of a few thousand nodes
+#: keep the working set cache-resident and still amortize dispatch over
+#: dozens of small instances.
+_TILE_NODES = 2048
+
+
+def _node_tiles(
+    js: list[int], node_counts: list[int], cap: int = _TILE_NODES
+) -> list[tuple[int, ...]]:
+    """Partition member indices into contiguous tiles of <= ``cap`` total
+    nodes (a member larger than ``cap`` gets a tile of its own)."""
+    tiles: list[tuple[int, ...]] = []
+    cur: list[int] = []
+    cur_n = 0
+    for j in js:
+        if cur and cur_n + node_counts[j] > cap:
+            tiles.append(tuple(cur))
+            cur, cur_n = [], 0
+        cur.append(j)
+        cur_n += node_counts[j]
+    if cur:
+        tiles.append(tuple(cur))
+    return tiles
+
+
+def _linial_rounds_batch(
+    batch: BatchCSRGraph, scheds: list, colors: np.ndarray
+) -> np.ndarray:
+    """Run every member's schedule, one global round at a time.
+
+    Members whose current step shares ``(q, deg)`` are processed in
+    cache-sized tiles (:data:`_TILE_NODES`), each tile one grid
+    evaluation + collision count over the concatenated node/edge ranges;
+    members whose schedule is exhausted simply drop out of the round's
+    groups (per-instance termination masks).  Per member, the computed
+    colors match :func:`~repro.sim.vectorized.linial_vectorized` value
+    for value — same digits, same evaluations, same integer bincount
+    collisions, same first-occurrence ``argmin`` tie-break.
+    """
+    if not batch.k:
+        return colors
+    max_len = max(len(s) for s in scheds)
+    node_counts = [m.n for m in batch.members]
+    sub_memo: dict[tuple[int, ...], BatchCSRGraph] = {}
+    for r in range(max_len):
+        groups: dict[tuple[int, int], list[int]] = {}
+        for j, sched in enumerate(scheds):
+            if r < len(sched):
+                step = sched[r]
+                groups.setdefault((step.q, step.deg), []).append(j)
+        for (q, deg), js in sorted(groups.items()):
+            for tile in _node_tiles(js, node_counts):
+                if len(tile) == batch.k:
+                    evals = poly_eval_grid(poly_digits(colors, q, deg), q)
+                    hits = collision_counts(batch, evals)
+                    best_x = np.argmin(hits, axis=0)
+                    colors = best_x * q + evals[best_x, np.arange(batch.n)]
+                    continue
+                sub = sub_memo.get(tile)
+                if sub is None:
+                    sub = BatchCSRGraph.from_csrs(
+                        [batch.members[j] for j in tile]
+                    )
+                    sub_memo[tile] = sub
+                sub_colors = np.concatenate(
+                    [colors[batch.node_slice(j)] for j in tile]
+                )
+                evals = poly_eval_grid(poly_digits(sub_colors, q, deg), q)
+                hits = collision_counts(sub, evals)
+                best_x = np.argmin(hits, axis=0)
+                _write_back(
+                    batch,
+                    list(tile),
+                    colors,
+                    best_x * q + evals[best_x, np.arange(sub.n)],
+                )
+    return colors
+
+
+# ----------------------------------------------------------------------
+# batched Linial (faulty round loop)
+# ----------------------------------------------------------------------
+def _linial_faulty_rounds_batch(
+    sub: BatchCSRGraph,
+    scheds: list,
+    colors: np.ndarray,
+    bits_list: list[int],
+    plans: list,
+    metrics_list: list[RunMetrics],
+    recorders: list,
+) -> tuple[np.ndarray, list[BaseException | None]]:
+    """Batched twin of :func:`repro.sim.vectorized._linial_faulty_rounds`.
+
+    All instances share one global round clock (every single-instance run
+    starts at round 0, so global round == per-instance round for as long
+    as the instance is live).  Per round, fates/crashes/corruptions are
+    drawn per instance from that instance's plan over its own label
+    arrays — bit-identical to the single-instance queries — while the
+    delivery buffer, step-skew grouping, and color update run over the
+    whole batch at once.  An instance stops contributing rounds the
+    moment all its nodes finish; an instance that exhausts its plan's
+    round budget is halted with the identical
+    :class:`~repro.sim.node.HaltingError` (returned per instance, not
+    raised, so siblings keep running).
+    """
+    from ..faults.plan import (
+        FATE_CORRUPT,
+        FATE_DELAY,
+        FATE_DELIVER,
+        FATE_DROP,
+        FATE_DUPLICATE,
+        node_labels_u64,
+    )
+
+    k = sub.k
+    n_tot = sub.n
+    labels = np.concatenate([node_labels_u64(m.nodes) for m in sub.members])
+    src_lab = labels[sub.src]
+    dst_lab = labels[sub.indices]
+    colors = colors.copy()
+    steps = np.zeros(n_tot, dtype=np.int64)
+    totals = np.concatenate(
+        [
+            np.full(m.n, len(s), dtype=np.int64)
+            for m, s in zip(sub.members, scheds)
+        ]
+    )
+    sched_q = [np.array([st.q for st in s], dtype=np.int64) for s in scheds]
+    sched_deg = [np.array([st.deg for st in s], dtype=np.int64) for s in scheds]
+    budgets = [plans[j].round_budget(len(scheds[j])) for j in range(k)]
+    participating = np.ones(n_tot, dtype=bool)
+    halted = [False] * k
+    errors: list[BaseException | None] = [None] * k
+    pending: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+
+    rnd = 0
+    while True:
+        live = [
+            j
+            for j in range(k)
+            if not halted[j]
+            and bool((steps[sub.node_slice(j)] < totals[sub.node_slice(j)]).any())
+        ]
+        if not live:
+            break
+        for j in list(live):
+            if rnd >= budgets[j]:
+                sl = sub.node_slice(j)
+                unfinished = [
+                    sub.members[j].nodes[i]
+                    for i in np.nonzero(steps[sl] < totals[sl])[0]
+                ]
+                errors[j] = HaltingError(rounds=rnd, unfinished=unfinished)
+                halted[j] = True
+                participating[sl] = False
+                live.remove(j)
+        if not live:
+            break
+
+        alive = np.ones(n_tot, dtype=bool)
+        for j in live:
+            sl = sub.node_slice(j)
+            alive[sl] = ~plans[j].crashed_mask(rnd, labels[sl])
+        active = (steps < totals) & participating
+        transmit = (active & alive)[sub.src]
+
+        delivered = np.full(sub.num_directed_edges, -1, dtype=np.int64)
+        for edge_idx, values in pending.pop(rnd, ()):
+            delivered[edge_idx] = values
+        per_counts: dict[int, dict[str, int]] = {}
+        for j in live:
+            sl = sub.node_slice(j)
+            esl = sub.edge_slice(j)
+            counts = dict.fromkeys(
+                ("dropped", "corrupted", "delayed", "duplicated"), 0
+            )
+            counts["crashed"] = int(sub.members[j].n - alive[sl].sum())
+            tr = transmit[esl]
+            if tr.any():
+                codes, delays = plans[j].edge_fates(
+                    rnd, src_lab[esl], dst_lab[esl]
+                )
+                codes = np.where(tr, codes, -1)
+                payload = colors[sub.src[esl]]
+                counts["dropped"] = int((codes == FATE_DROP).sum())
+                counts["corrupted"] = int((codes == FATE_CORRUPT).sum())
+                counts["delayed"] = int((codes == FATE_DELAY).sum())
+                counts["duplicated"] = int((codes == FATE_DUPLICATE).sum())
+                for code in (FATE_DELAY, FATE_DUPLICATE):
+                    idx = np.nonzero(codes == code)[0]
+                    for d in np.unique(delays[idx]):
+                        sel = idx[delays[idx] == d]
+                        pending.setdefault(rnd + int(d), []).append(
+                            (sel + sub.edge_offsets[j], payload[sel].copy())
+                        )
+                dlv = delivered[esl]  # slice view: writes land in `delivered`
+                now = (codes == FATE_DELIVER) | (codes == FATE_DUPLICATE)
+                dlv[now] = payload[now]
+                corrupt = codes == FATE_CORRUPT
+                if corrupt.any():
+                    dlv[corrupt] = plans[j].corrupt_values(
+                        rnd,
+                        src_lab[esl][corrupt],
+                        dst_lab[esl][corrupt],
+                        payload[corrupt],
+                    )
+            per_counts[j] = counts
+        delivered[~alive[sub.indices]] = -1
+
+        receiving = active & alive
+        q_arr = np.zeros(n_tot, dtype=np.int64)
+        deg_arr = np.zeros(n_tot, dtype=np.int64)
+        for j in live:
+            sl = sub.node_slice(j)
+            ids = np.nonzero(receiving[sl])[0]
+            if ids.size:
+                gids = ids + sl.start
+                st = steps[gids]
+                q_arr[gids] = sched_q[j][st]
+                deg_arr[gids] = sched_deg[j][st]
+        new_colors = colors.copy()
+        recv_idx = np.nonzero(receiving)[0]
+        if recv_idx.size:
+            step_pairs = sorted(
+                set(zip(q_arr[recv_idx].tolist(), deg_arr[recv_idx].tolist()))
+            )
+            for q, deg in step_pairs:
+                group = receiving & (q_arr == q) & (deg_arr == deg)
+                members_idx = np.nonzero(group)[0]
+                g = members_idx.size
+                domain = q ** (deg + 1)
+                local = np.full(n_tot, -1, dtype=np.int64)
+                local[members_idx] = np.arange(g, dtype=np.int64)
+                own_evals = poly_eval_grid(
+                    poly_digits(colors[members_idx], q, deg), q
+                )  # (q, g)
+                edge_ok = (
+                    group[sub.indices] & (delivered >= 0) & (delivered < domain)
+                )
+                hits = np.zeros((q, g), dtype=np.int64)
+                if edge_ok.any():
+                    dst_l = local[sub.indices[edge_ok]]
+                    edge_evals = poly_eval_grid(
+                        poly_digits(delivered[edge_ok], q, deg), q
+                    )
+                    match = edge_evals == own_evals[:, dst_l]
+                    for x in range(q):
+                        hits[x] = np.bincount(dst_l[match[x]], minlength=g)
+                best_x = np.argmin(hits, axis=0)  # first occurrence
+                new_colors[members_idx] = (
+                    best_x * q + own_evals[best_x, np.arange(g)]
+                )
+        colors = new_colors
+        steps[receiving] += 1
+
+        for j in live:
+            sl = sub.node_slice(j)
+            esl = sub.edge_slice(j)
+            record_uniform_round(
+                metrics_list[j],
+                recorders[j],
+                int(transmit[esl].sum()),
+                bits_list[j],
+                active=int(active[sl].sum()),
+                faults=per_counts[j],
+            )
+        rnd += 1
+    return colors, errors
+
+
+# ----------------------------------------------------------------------
+# public batched kernels
+# ----------------------------------------------------------------------
+def linial_vectorized_batch(
+    graphs: Sequence[Any],
+    initial_colors: Sequence[dict[int, int] | None] | None = None,
+    defect: int | Sequence[int] = 0,
+    recorders: Sequence["RunRecorder | None"] | None = None,
+    faults: Sequence[Any] | None = None,
+    return_exceptions: bool = False,
+    _batch: BatchCSRGraph | None = None,
+    _finalize_recorders: bool = True,
+) -> list:
+    """Batched twin of :func:`repro.sim.vectorized.linial_vectorized`.
+
+    Returns one ``(ColoringResult, RunMetrics, palette)`` triple per
+    instance, identical to k independent single-instance runs (outputs,
+    palettes, metrics, and — with ``recorders`` — obs rows including
+    fault columns).  ``initial_colors``/``recorders``/``faults`` are
+    per-instance sequences (``None`` entries use the single-instance
+    defaults); ``defect`` broadcasts a scalar or takes one value per
+    instance.  With ``return_exceptions=True`` an instance that raises
+    (a crash-stop :class:`~repro.sim.node.HaltingError`) yields the
+    exception object in its slot instead of aborting the batch;
+    otherwise the first error is raised after all instances finish.
+    Identical ``(m0, delta, defect)`` parameters share one schedule
+    computation — a real batching win on homogeneous grids.
+    """
+    from ..algorithms.linial import defective_schedule, linial_schedule
+
+    k = _batch.k if _batch is not None else len(graphs)
+    recs = _seq_arg(recorders, k, "recorders")
+    plans = _seq_arg(faults, k, "faults")
+    inits = _seq_arg(initial_colors, k, "initial_colors")
+    defects = _int_list(defect, k, "defect")
+
+    with _phase_all(recs, "csr_build"):
+        batch = _batch if _batch is not None else BatchCSRGraph.from_graphs(graphs)
+
+    sched_memo: dict[tuple[int, int, int], Any] = {}
+    scheds: list = []
+    palettes: list[int] = []
+    bits_list: list[int] = []
+    colors_parts: list[np.ndarray] = []
+    with _phase_all(recs, "schedule"):
+        for j in range(k):
+            member = batch.members[j]
+            delta_j = int(member.degrees.max()) if member.n else 0
+            init = inits[j]
+            if init is None:
+                # Identity init: gather({v: i}) is arange by construction,
+                # so skip the dict build on the hot default path.
+                m0 = member.n if member.n else 1
+                colors_parts.append(np.arange(member.n, dtype=np.int64))
+            else:
+                m0 = max(init.values()) + 1 if init else 1
+                colors_parts.append(member.gather(init))
+            key = (m0, delta_j, defects[j])
+            sched = sched_memo.get(key)
+            if sched is None:
+                sched = (
+                    linial_schedule(m0, delta_j)
+                    if defects[j] == 0
+                    else defective_schedule(m0, delta_j, defects[j])
+                )
+                sched_memo[key] = sched
+            scheds.append(sched)
+            palettes.append(sched[-1].out_colors if sched else m0)
+            bits_list.append(int_bits(max(1, m0 - 1)))
+    colors = (
+        np.concatenate(colors_parts) if colors_parts else np.empty(0, np.int64)
+    )
+
+    metrics_list = [synthesized_metrics(batch.members[j].n) for j in range(k)]
+    errors: list[BaseException | None] = [None] * k
+
+    plain = [j for j in range(k) if plans[j] is None]
+    faulty = [j for j in range(k) if plans[j] is not None]
+
+    if plain:
+        with _phase_all([recs[j] for j in plain], "rounds"):
+            sub, sub_colors = _sub_batch(batch, plain, colors)
+            sub_colors = _linial_rounds_batch(
+                sub, [scheds[j] for j in plain], sub_colors
+            )
+            _write_back(batch, plain, colors, sub_colors)
+            for j in plain:
+                member = batch.members[j]
+                msgs = member.num_directed_edges
+                for _ in range(len(scheds[j])):
+                    record_uniform_round(
+                        metrics_list[j], recs[j], msgs, bits_list[j],
+                        active=member.n,
+                    )
+    if faulty:
+        with _phase_all([recs[j] for j in faulty], "rounds"):
+            sub, sub_colors = _sub_batch(batch, faulty, colors)
+            sub_colors, sub_errors = _linial_faulty_rounds_batch(
+                sub,
+                [scheds[j] for j in faulty],
+                sub_colors,
+                [bits_list[j] for j in faulty],
+                [plans[j] for j in faulty],
+                [metrics_list[j] for j in faulty],
+                [recs[j] for j in faulty],
+            )
+            _write_back(batch, faulty, colors, sub_colors)
+        for pos, j in enumerate(faulty):
+            errors[j] = sub_errors[pos]
+
+    results: list = [None] * k
+    for j in range(k):
+        member = batch.members[j]
+        if errors[j] is not None:
+            # flush the partial per-round record before surfacing the
+            # halt — the single-instance path's post-mortem contract
+            if recs[j] is not None:
+                recs[j].finalize(
+                    metrics_list[j],
+                    n=member.n,
+                    m=member.num_directed_edges // 2,
+                    palette=palettes[j],
+                    algorithm=recs[j].algorithm or "linial_vectorized",
+                )
+            results[j] = errors[j]
+            continue
+        res = ColoringResult(member.scatter(colors[batch.node_slice(j)]))
+        if recs[j] is not None and _finalize_recorders:
+            recs[j].finalize(
+                metrics_list[j],
+                n=member.n,
+                m=member.num_directed_edges // 2,
+                palette=palettes[j],
+                algorithm=recs[j].algorithm or "linial_vectorized",
+            )
+        results[j] = (res, metrics_list[j], palettes[j])
+    return _raise_or_return(results, return_exceptions)
+
+
+def _segments(
+    starts: np.ndarray, counts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten ragged per-segment ranges: (flat indices, segment id,
+    within-segment position)."""
+    total = int(counts.sum())
+    if not total:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    seg = np.repeat(np.arange(counts.shape[0], dtype=np.int64), counts)
+    offs = np.zeros(counts.shape[0], dtype=np.int64)
+    np.cumsum(counts[:-1], out=offs[1:])
+    within = np.arange(total, dtype=np.int64) - offs[seg]
+    return np.repeat(starts, counts) + within, seg, within
+
+
+def greedy_list_vectorized_batch(
+    instances: Sequence[Any],
+    return_exceptions: bool = False,
+) -> list:
+    """Batched twin of :func:`repro.sim.vectorized.greedy_list_vectorized`
+    (zero-defect list instances, default sorted-label order).
+
+    The sequential greedy is order-dependent *within* an instance but
+    independent *across* instances, so the batch runs in waves: wave
+    ``t`` colors the ``t``-th node (in sorted label order — dense index
+    ``t``, since CSR node labels are sorted) of every still-running
+    instance in one vectorized first-free-color scan.  Within an
+    instance the waves replay the exact sequential order, so outputs
+    match the single-instance path node for node.  A stuck instance
+    fails with the identical ``ValueError`` and stops; siblings keep
+    coloring.  Returns one :class:`~repro.core.coloring.ColoringResult`
+    per instance (or the exception, with ``return_exceptions=True``).
+    """
+    k = len(instances)
+    errors: list[BaseException | None] = [None] * k
+    for j, inst in enumerate(instances):
+        if inst.directed:
+            errors[j] = ValueError(
+                "greedy_list_vectorized expects an undirected instance"
+            )
+        elif any(d for dv in inst.defects.values() for d in dv.values()):
+            errors[j] = ValueError(
+                "greedy_list_vectorized handles zero-defect instances only; "
+                "use repro.algorithms.greedy.greedy_list_coloring for defects"
+            )
+    valid = [j for j in range(k) if errors[j] is None]
+    results: list = [None] * k
+
+    if valid:
+        batch = BatchCSRGraph.from_graphs([instances[j].graph for j in valid])
+        list_indptr = np.zeros(batch.n + 1, dtype=np.int64)
+        value_parts: list[np.ndarray] = []
+        offset = 0
+        for pos, j in enumerate(valid):
+            lp, lv = ragged_lists(batch.members[pos], instances[j].lists)
+            sl = batch.node_slice(pos)
+            list_indptr[sl.start + 1 : sl.stop + 1] = lp[1:] + offset
+            offset += int(lv.shape[0])
+            value_parts.append(lv)
+        list_values = (
+            np.concatenate(value_parts) if value_parts else np.empty(0, np.int64)
+        )
+        space = int(list_values.max()) + 1 if list_values.size else 1
+        final = np.full(batch.n, -1, dtype=np.int64)
+        failed = np.zeros(len(valid), dtype=bool)
+        max_n = max(m.n for m in batch.members) if batch.k else 0
+
+        for t in range(max_n):
+            wave = [
+                p
+                for p in range(len(valid))
+                if not failed[p] and t < batch.members[p].n
+            ]
+            if not wave:
+                continue
+            wave_nodes = np.array(
+                [batch.node_offsets[p] + t for p in wave], dtype=np.int64
+            )
+            nstarts = batch.indptr[wave_nodes]
+            ncounts = batch.indptr[wave_nodes + 1] - nstarts
+            npos, nseg, _ = _segments(nstarts, ncounts)
+            ncol = final[batch.indices[npos]]
+            seen = ncol >= 0
+            taken_keys = nseg[seen] * space + ncol[seen]
+
+            lstarts = list_indptr[wave_nodes]
+            lcounts = list_indptr[wave_nodes + 1] - lstarts
+            lpos, lseg, lwithin = _segments(lstarts, lcounts)
+            cand = list_values[lpos]
+            free = ~np.isin(lseg * space + cand, taken_keys)
+            pos_masked = np.where(free, lwithin, _NO_PICK)
+            loffs = np.zeros(len(wave), dtype=np.int64)
+            np.cumsum(lcounts[:-1], out=loffs[1:])
+            firsts = np.full(len(wave), _NO_PICK, dtype=np.int64)
+            nonempty = lcounts > 0
+            if pos_masked.size:
+                firsts[nonempty] = np.minimum.reduceat(
+                    pos_masked, loffs[nonempty]
+                )
+            good = firsts < _NO_PICK
+            if good.any():
+                gsel = np.nonzero(good)[0]
+                final[wave_nodes[gsel]] = list_values[
+                    lstarts[gsel] + firsts[gsel]
+                ]
+            for p_idx in np.nonzero(~good)[0]:
+                p = wave[p_idx]
+                errors[valid[p]] = ValueError(
+                    f"greedy stuck at node {batch.members[p].nodes[t]}"
+                )
+                failed[p] = True
+
+        for pos, j in enumerate(valid):
+            if errors[j] is None:
+                results[j] = ColoringResult(
+                    batch.members[pos].scatter(final[batch.node_slice(pos)])
+                )
+
+    for j in range(k):
+        if errors[j] is not None:
+            results[j] = errors[j]
+    return _raise_or_return(results, return_exceptions)
+
+
+def defective_split_vectorized_batch(
+    graphs: Sequence[Any],
+    defect: int | Sequence[int] = 1,
+    validate: bool = True,
+    recorders: Sequence["RunRecorder | None"] | None = None,
+    return_exceptions: bool = False,
+) -> list:
+    """Batched twin of :func:`repro.sim.vectorized.defective_split_vectorized`.
+
+    One block-diagonal Linial run followed by one batch-wide defect
+    validation (a single integer bincount across all instances, judged
+    per instance against that instance's budget).  Returns one
+    ``(classes, metrics, palette)`` triple per instance, identical to
+    the single-instance path; a member failing validation yields the
+    identical ``ValueError``.
+    """
+    k = len(graphs)
+    recs = _seq_arg(recorders, k, "recorders")
+    defects = _int_list(defect, k, "defect")
+    errors: list[BaseException | None] = [None] * k
+    for j, d in enumerate(defects):
+        if d < 0:
+            errors[j] = ValueError(f"defect must be >= 0, got {d}")
+    valid = [j for j in range(k) if errors[j] is None]
+    results: list = [None] * k
+
+    if valid:
+        valid_recs = [recs[j] for j in valid]
+        with _phase_all(valid_recs, "csr_build"):
+            batch = BatchCSRGraph.from_graphs([graphs[j] for j in valid])
+        inner = linial_vectorized_batch(
+            [graphs[j] for j in valid],
+            defect=[defects[j] for j in valid],
+            recorders=valid_recs,
+            return_exceptions=True,
+            _batch=batch,
+            _finalize_recorders=False,
+        )
+        if validate:
+            with _phase_all(valid_recs, "validate"):
+                colors = np.full(batch.n, -1, dtype=np.int64)
+                for pos, out in enumerate(inner):
+                    if isinstance(out, BaseException):
+                        continue
+                    colors[batch.node_slice(pos)] = batch.members[pos].gather(
+                        out[0].assignment
+                    )
+                same = equal_neighbor_counts(batch, colors)
+                for pos, j in enumerate(valid):
+                    if isinstance(inner[pos], BaseException):
+                        continue
+                    seg = same[batch.node_slice(pos)]
+                    if seg.size and int(seg.max()) > defects[j]:
+                        bad = batch.members[pos].nodes[int(np.argmax(seg))]
+                        errors[j] = ValueError(
+                            f"defective split invalid: node {bad} has "
+                            f"{int(seg.max())} same-class neighbors "
+                            f"(allowed {defects[j]})"
+                        )
+        for pos, j in enumerate(valid):
+            out = inner[pos]
+            if isinstance(out, BaseException):
+                errors[j] = out
+                continue
+            if errors[j] is not None:
+                continue  # validation failure: no finalize, like the single path
+            res, metrics, palette = out
+            member = batch.members[pos]
+            if recs[j] is not None:
+                recs[j].finalize(
+                    metrics,
+                    n=member.n,
+                    m=member.num_directed_edges // 2,
+                    palette=palette,
+                    algorithm=recs[j].algorithm or "defective_split_vectorized",
+                )
+            results[j] = (dict(res.assignment), metrics, palette)
+
+    for j in range(k):
+        if errors[j] is not None:
+            results[j] = errors[j]
+    return _raise_or_return(results, return_exceptions)
+
+
+def classic_delta_plus_one_vectorized_batch(
+    graphs: Sequence[Any],
+    recorders: Sequence["RunRecorder | None"] | None = None,
+    return_exceptions: bool = False,
+) -> list:
+    """Batched twin of
+    :func:`repro.sim.vectorized.classic_delta_plus_one_vectorized`.
+
+    The Linial stage runs block-diagonal; the per-class schedule
+    reduction runs per instance (its round structure is data-dependent);
+    metrics merge through :func:`merge_sequential_batch` with each
+    instance's **own** CONGEST budget stated explicitly as the budget of
+    record — never a silently unified scalar.  Returns one
+    ``(ColoringResult, RunMetrics)`` pair per instance.
+    """
+    from .vectorized import schedule_reduction_vectorized
+
+    k = len(graphs)
+    recs = _seq_arg(recorders, k, "recorders")
+    inner = linial_vectorized_batch(
+        graphs,
+        recorders=recs,
+        return_exceptions=True,
+        _finalize_recorders=False,
+    )
+    results: list = [None] * k
+    firsts: list[RunMetrics] = []
+    seconds: list[RunMetrics] = []
+    limits: list[int] = []
+    staged: list[tuple[int, ColoringResult, int]] = []
+    for j in range(k):
+        out = inner[j]
+        if isinstance(out, BaseException):
+            results[j] = out
+            continue
+        pre, m1, _palette = out
+        graph = graphs[j]
+        delta = max((d for _, d in graph.degree), default=0)
+        res, m2 = schedule_reduction_vectorized(
+            graph,
+            pre.assignment,
+            delta + 1,
+            recorder=recs[j],
+            _finalize_recorder=False,
+        )
+        firsts.append(m1)
+        seconds.append(m2)
+        limits.append(congest_bandwidth(graph.number_of_nodes()))
+        staged.append((j, res, delta))
+    merged_list = merge_sequential_batch(firsts, seconds, bandwidth_limits=limits)
+    for (j, res, delta), merged in zip(staged, merged_list):
+        graph = graphs[j]
+        if recs[j] is not None:
+            recs[j].finalize(
+                merged,
+                n=graph.number_of_nodes(),
+                m=graph.number_of_edges(),
+                palette=delta + 1,
+                algorithm=recs[j].algorithm or "classic_vectorized",
+            )
+        results[j] = (res, merged)
+    return _raise_or_return(results, return_exceptions)
+
+
+def merge_sequential_batch(
+    firsts: Sequence[RunMetrics],
+    seconds: Sequence[RunMetrics],
+    *,
+    bandwidth_limits: Sequence[int | None] | int | None,
+) -> list[RunMetrics]:
+    """Per-instance :meth:`~repro.sim.metrics.RunMetrics.merge_sequential`
+    with an **explicit budget of record per instance**.
+
+    ``bandwidth_limits`` is normally one limit per instance (each
+    instance's own CONGEST budget).  A scalar is accepted only when it
+    matches every instance's native limit — a batch mixing budgets (e.g.
+    cells of different ``n``) raises ``ValueError`` instead of silently
+    unifying the budgets under one number, which would misattribute
+    bandwidth violations across instances.
+    """
+    firsts = list(firsts)
+    seconds = list(seconds)
+    if len(firsts) != len(seconds):
+        raise ValueError(
+            f"merge_sequential_batch: {len(firsts)} first-phase vs "
+            f"{len(seconds)} second-phase metrics"
+        )
+    k = len(firsts)
+    if bandwidth_limits is None or isinstance(bandwidth_limits, int):
+        native = {
+            m.bandwidth_limit
+            for m in [*firsts, *seconds]
+            if m.bandwidth_limit is not None
+        }
+        if native - ({bandwidth_limits} if bandwidth_limits is not None else set()):
+            raise ValueError(
+                "merge_sequential_batch: mixed-budget batch — instances "
+                f"carry bandwidth limits {sorted(native)} but a single "
+                f"limit {bandwidth_limits!r} was given; pass one explicit "
+                "bandwidth limit per instance (the budget of record is "
+                "per-instance, never silently unified)"
+            )
+        limits: list[int | None] = [bandwidth_limits] * k
+    else:
+        limits = list(bandwidth_limits)
+        if len(limits) != k:
+            raise ValueError(
+                f"merge_sequential_batch: {len(limits)} bandwidth limits "
+                f"for {k} instances"
+            )
+    return [
+        first.merge_sequential(second, bandwidth_limit=limit)
+        for first, second, limit in zip(firsts, seconds, limits)
+    ]
