@@ -1,0 +1,193 @@
+"""Compiled vs vectorized Linial at large n (`BENCH_compiled.json`).
+
+The compiled backend's claim (:mod:`repro.sim.compiled`) is a large-n
+single-instance claim, complementary to the batching claim of
+``bench_batch.py``: on one big graph, the numba-jitted round kernel —
+per-node digit extraction, Horner evaluation, and neighbor-scan
+collision counting fused into one thread-parallel pass — must beat the
+vectorized engine's materialized ``(n, q)`` grid evaluation, while
+producing the *identical* coloring, metrics, palette, and per-round
+accounting rows.  This script measures exactly that — equivalence
+(including :func:`repro.obs.compare_round_accounting`) asserted before
+any timing is trusted — and records the result:
+
+    python benchmarks/bench_compiled.py --out BENCH_compiled.json
+
+The acceptance shape is the 100k-node Linial sweep cell (random
+8-regular, seed 0, 20-bit random IDs); the bar is >= 5x over the
+vectorized engine *when numba is available*.  Without numba the
+compiled backend runs its bit-identical numpy fallback — the record
+then carries ``numba_available: false`` plus the registry's
+``compiled: unavailable`` reason, and no speedup is demanded (graceful
+degradation is the contract; equivalence is still asserted).
+``--min-speedup`` turns the bar into an exit code for CI-style gating
+(default 0: record, don't gate — CI hardware varies, and numba may be
+absent).
+
+A small smoke version runs under ``pytest benchmarks/ --benchmark-only``
+like the other bench files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import graphs  # noqa: E402
+from repro.obs import (  # noqa: E402
+    ENGINE_COMPILED,
+    ENGINE_VECTORIZED,
+    RunRecorder,
+    compare_round_accounting,
+)
+from repro.sim.backends import get_backend  # noqa: E402
+from repro.sim.compiled import NUMBA_AVAILABLE, linial_compiled  # noqa: E402
+from repro.sim.vectorized import linial_vectorized  # noqa: E402
+
+
+def build_instance(n: int, degree: int, seed: int = 0, bits: int = 20):
+    """One random regular graph with random-ID initial colors.
+
+    IDs are sampled without replacement from ``range(2**bits)`` with the
+    space's maximum pinned in (the paper's model: Linial colors down
+    from an ID space, not an n-sized palette) — the same regime as the
+    sweep grids and ``bench_batch.py``.
+    """
+    if n > (1 << bits):
+        raise SystemExit(f"n={n} exceeds the {bits}-bit ID space")
+    g = graphs.random_regular(n, degree, seed=seed)
+    rng = random.Random(seed * 7919 + 1)
+    ids = rng.sample(range(1 << bits), n)
+    ids[0] = (1 << bits) - 1
+    init = dict(zip(sorted(g.nodes()), ids))
+    return g, init
+
+
+def run_vectorized(g, init):
+    return linial_vectorized(g, initial_colors=init)
+
+
+def run_compiled(g, init):
+    return linial_compiled(g, initial_colors=init)
+
+
+def measure(
+    n: int, degree: int, seed: int = 0, bits: int = 20, repeats: int = 3
+) -> dict:
+    """Time both engines on the same cell; best-of-``repeats``.
+
+    Bit-identity — outputs, metrics, palette, and per-round accounting
+    rows — is asserted before any timing is reported: a fast wrong
+    kernel is not a result.
+    """
+    g, init = build_instance(n, degree, seed, bits)
+
+    vec_rec = RunRecorder(engine=ENGINE_VECTORIZED)
+    cpl_rec = RunRecorder(engine=ENGINE_COMPILED)
+    vres, vm, vpal = linial_vectorized(g, initial_colors=init, recorder=vec_rec)
+    cres, cm, cpal = linial_compiled(g, initial_colors=init, recorder=cpl_rec)
+    assert cres.assignment == vres.assignment, "outputs differ"
+    assert cm.summary() == vm.summary(), "metrics differ"
+    assert cpal == vpal, "palettes differ"
+    cmp = compare_round_accounting(vec_rec.record, cpl_rec.record)
+    assert cmp["accounting_equal"], f"per-round accounting differs: {cmp}"
+
+    vectorized_s = min(_timed(run_vectorized, g, init) for _ in range(repeats))
+    compiled_s = min(_timed(run_compiled, g, init) for _ in range(repeats))
+    spec = get_backend("compiled")
+    return {
+        "bench": "linial compiled vs vectorized (single large instance)",
+        "n": n,
+        "degree": degree,
+        "id_bits": bits,
+        "seed": seed,
+        "repeats": repeats,
+        "rounds": vm.rounds,
+        "palette": vpal,
+        "numba_available": NUMBA_AVAILABLE,
+        "compiled_backend_status": (
+            "available"
+            if spec.available
+            else f"unavailable ({spec.unavailable_reason})"
+        ),
+        "vectorized_s": vectorized_s,
+        "compiled_s": compiled_s,
+        "speedup": vectorized_s / compiled_s if compiled_s else float("inf"),
+    }
+
+
+def _timed(fn, g, init) -> float:
+    t0 = time.perf_counter()
+    fn(g, init)
+    return time.perf_counter() - t0
+
+
+def test_bench_compiled_smoke(benchmark):
+    """pytest-benchmark entry: a small cell, equivalence still asserted."""
+    g, init = build_instance(2000, 8, seed=7)
+    vres, vm, vpal = run_vectorized(g, init)
+    cres, cm, cpal = benchmark.pedantic(
+        run_compiled, args=(g, init), rounds=1, iterations=1
+    )
+    assert cres.assignment == vres.assignment
+    assert (cm.summary(), cpal) == (vm.summary(), vpal)
+    benchmark.extra_info["experiment"] = "compiled vs vectorized Linial (smoke)"
+    benchmark.extra_info["numba_available"] = NUMBA_AVAILABLE
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=100_000,
+                        help="nodes (acceptance shape: 100k)")
+    parser.add_argument("--degree", type=int, default=8)
+    parser.add_argument("--bits", type=int, default=20,
+                        help="ID-space width; initial colors are random "
+                             "IDs from range(2**bits)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats; best-of is reported")
+    parser.add_argument("--out", default="BENCH_compiled.json",
+                        help="where to write the JSON record")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="exit nonzero below this speedup when numba "
+                             "is available (0 = no gate; never gates the "
+                             "numpy fallback)")
+    args = parser.parse_args(argv)
+
+    record = measure(
+        args.n, args.degree, seed=args.seed, bits=args.bits,
+        repeats=args.repeats,
+    )
+    Path(args.out).write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+    mode = "numba" if record["numba_available"] else "numpy fallback"
+    print(
+        f"n={record['n']} d={record['degree']} "
+        f"({record['id_bits']}-bit IDs, {record['rounds']} rounds): "
+        f"vectorized {record['vectorized_s']:.3f}s vs compiled[{mode}] "
+        f"{record['compiled_s']:.3f}s — {record['speedup']:.2f}x; "
+        f"wrote {args.out}"
+    )
+    if not record["numba_available"]:
+        print(
+            "note: compiled backend reports "
+            f"{record['compiled_backend_status']}; speedup bar waived, "
+            "bit-identical equivalence still asserted"
+        )
+        return 0
+    if args.min_speedup and record["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {record['speedup']:.2f}x below required "
+            f"{args.min_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

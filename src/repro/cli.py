@@ -9,6 +9,7 @@ Main subcommands::
     repro-cli faults     --mode drop --rates 0.0,0.1,0.3
     repro-cli report     --cache-dir C
     repro-cli fuzz       --seed 0 --iterations 50 --corpus tests/corpus
+    repro-cli backends
     repro-cli families
 
 ``color`` runs the Theorem 1.4 pipeline on a generated graph and prints
@@ -23,7 +24,12 @@ either writes the full experiment record or — with ``--cache-dir`` /
 the reference-vs-vectorized cross-engine comparisons; ``fuzz`` replays
 the pinned failure corpus and then runs the differential
 reference-vs-vectorized fuzz loop (see ``docs/FUZZING.md``);
-``families`` lists the available graph generators and their parameters.
+``fuzz --backend compiled`` runs the same loop against the compiled
+backend of :mod:`repro.sim.compiled` (fault cases skipped — the backend
+declares ``supports_faults=False``); ``backends`` prints the
+:mod:`repro.sim.backends` registry with capabilities/availability and
+the cross-module consistency check; ``families`` lists the available
+graph generators and their parameters.
 """
 
 from __future__ import annotations
@@ -245,17 +251,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     header = f"{'algorithm':<20} {'n':>8} {'seed':>5} {'colors':>7} {'rounds':>7} {'wall':>9}  cached"
     print(header)
     print("-" * len(header))
+    batched_cells = 0
     for r in summary.results:
         fp = r.data["family_params"]
         rounds = (r.data["metrics"] or {}).get("rounds", "-")
         colors = r.data["colors"] if r.data["colors"] is not None else "-"
         provenance = "yes" if r.cached else "no"
+        batched_with = int(r.data.get("batched_with", 1) or 1)
+        if batched_with > 1:
+            batched_cells += 1
+            provenance += f"  batched x{batched_with}"
         if r.failed:
             provenance += f"  FAILED ({r.data['error']['type']})"
         print(
             f"{r.data['algorithm']:<20} {fp.get('n', '-'):>8} "
             f"{fp.get('seed', '-'):>5} {colors:>7} {rounds:>7} "
             f"{r.data['wall_s']*1000:>7.0f}ms  {provenance}"
+        )
+    if batched_cells:
+        print(
+            "(batched xN cells share one engine invocation; their wall "
+            "column is the whole batch's wall time, ~wall/N per cell)"
         )
     extras = "".join(
         f", {count} {label}"
@@ -289,36 +305,63 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .fuzz import (
         fuzz_run,
         load_corpus,
-        pair_names,
-        replay_corpus,
+        pairs_for_backend,
+        run_case,
         run_cases_batched,
     )
+    from .sim.backends import BackendError, get_backend
 
-    known = pair_names()
+    try:
+        spec = get_backend(args.backend)
+        registry = pairs_for_backend(args.backend)
+    except BackendError as exc:
+        raise SystemExit(str(exc))
+    known = tuple(registry)
     selected = args.pairs.split(",") if args.pairs else list(known)
     unknown = [p for p in selected if p not in known]
     if unknown:
         raise SystemExit(
-            f"unknown engine pair(s) {', '.join(unknown)}; "
-            f"options: {', '.join(known)}"
+            f"unknown engine pair(s) {', '.join(unknown)} for backend "
+            f"{spec.name!r}; options: {', '.join(known)}"
         )
 
     replay_failures = 0
     if args.corpus:
+        entries = load_corpus(args.corpus)
+        runnable, skipped = [], 0
+        for path, case in entries:
+            # Pinned cases outside the backend's capabilities (pairs it
+            # does not implement, fault cases when supports_faults is
+            # off) replay on the default vectorized backend's CI run.
+            if case.pair not in registry or (
+                case.fault is not None and not spec.supports_faults
+            ):
+                skipped += 1
+                continue
+            runnable.append((path, case))
         if args.batch > 1:
-            entries = load_corpus(args.corpus)
-            outcomes = run_cases_batched([case for _, case in entries])
-            replayed = [(p, o) for (p, _), o in zip(entries, outcomes)]
+            outcomes = run_cases_batched(
+                [case for _, case in runnable], pairs=registry
+            )
+            replayed = [(p, o) for (p, _), o in zip(runnable, outcomes)]
         else:
-            replayed = replay_corpus(args.corpus)
+            replayed = [
+                (path, run_case(case, pairs=registry))
+                for path, case in runnable
+            ]
         for path, outcome in replayed:
             if not outcome.ok:
                 replay_failures += 1
                 print(f"CORPUS REGRESSION {path}:")
                 print("  " + outcome.describe().replace("\n", "\n  "))
+        skip_note = (
+            f", {skipped} outside backend {spec.name!r} capabilities skipped"
+            if skipped
+            else ""
+        )
         print(
             f"corpus replay: {len(replayed)} pinned case(s), "
-            f"{replay_failures} regression(s)"
+            f"{replay_failures} regression(s){skip_note}"
         )
 
     report = fuzz_run(
@@ -329,6 +372,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         max_failures=args.max_failures,
         batch_size=args.batch,
+        backend=args.backend,
     )
     print(report.describe())
     if report.failures:
@@ -452,6 +496,20 @@ def _cmd_families(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(_args: argparse.Namespace) -> int:
+    from .sim.backends import consistency_report, describe
+
+    print(describe())
+    report = consistency_report()
+    if report["ok"]:
+        print("registry consistency: OK")
+        return 0
+    print("registry consistency: PROBLEMS")
+    for problem in report["problems"]:
+        print(f"  - {problem}")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cli",
@@ -536,7 +594,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--iterations", type=int, default=50,
                         help="iterations (each runs one case per engine pair)")
     p_fuzz.add_argument("--pairs", default=None,
-                        help="comma-separated engine pairs (default: all)")
+                        help="comma-separated engine pairs (default: all "
+                             "the selected backend implements)")
+    p_fuzz.add_argument("--backend", default="vectorized",
+                        help="which repro.sim.backends backend supplies the "
+                             "fast side (vectorized, batched, compiled); "
+                             "fault cases are skipped for backends without "
+                             "supports_faults")
     p_fuzz.add_argument("--corpus", default="tests/corpus",
                         help="pinned-failure corpus to replay first "
                              "('' skips replay)")
@@ -583,6 +647,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fam = sub.add_parser("families", help="list graph generators")
     p_fam.set_defaults(func=_cmd_families)
+
+    p_bke = sub.add_parser(
+        "backends",
+        help="list execution backends, their capabilities, and the "
+             "registry consistency check",
+    )
+    p_bke.set_defaults(func=_cmd_backends)
 
     p_map = sub.add_parser("map", help="paper result -> implementation map")
     p_map.set_defaults(func=_cmd_map)

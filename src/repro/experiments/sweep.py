@@ -21,7 +21,7 @@ once, for every driver:
 
 Cached cell records are plain JSON::
 
-    {"key": "<hex16>", "schema": 3, "status": "ok",
+    {"key": "<hex16>", "schema": 4, "status": "ok",
      "family": "random_regular",
      "family_params": {"n": 1000, "degree": 8, "seed": 0},
      "algorithm": "linial_vectorized", "algo_params": {},
@@ -30,7 +30,7 @@ Cached cell records are plain JSON::
      "metrics": {"rounds": 4, "total_messages": ..., "total_bits": ...,
                  "max_message_bits": ..., "bandwidth_limit": ...,
                  "bandwidth_violations": 0},
-     "wall_s": 0.123,
+     "wall_s": 0.123, "batched_with": 1,
      "timings": {"csr_build": ..., "rounds": ...},
      "run_record": {... full repro.obs.RunRecord, per-round rows ...}}
 
@@ -65,20 +65,28 @@ Workers batch before they loop: pending cells that share a
 engine invocation for the whole group — with cached cells excluded from
 the packing and the per-cell loop as fallback.
 
-Algorithms are resolved by name: first against the vectorized fast paths
-built on :mod:`repro.sim.engine` (``linial_vectorized``,
-``classic_vectorized``, ``greedy_vectorized``, ``defective_split``,
-``linial_faulty_vectorized``), then against the recorder-aware reference
+Algorithms are resolved by name: first against the engine fast paths
+(``linial_vectorized``, ``classic_vectorized``, ``greedy_vectorized``,
+``defective_split``, ``linial_faulty_vectorized`` on the vectorized CSR
+engine; ``linial_compiled``, ``greedy_compiled``,
+``defective_split_compiled`` on the compiled backend of
+:mod:`repro.sim.compiled`), then against the recorder-aware reference
 paths (``linial``, ``classic``, ``greedy``, ``linial_faulty``,
 ``linial_resilient`` — the first three are equivalence twins of the fast
 paths, the fault paths inject a :class:`~repro.faults.FaultPlan` taken
 from ``algo_params["faults"]``), then against
 :mod:`repro.algorithms.registry` (the remaining reference
 implementations), so one sweep can mix engine runs at large n with
-reference runs at small n.  Fast-path and reference-path cells attach a
-full per-round :class:`~repro.obs.RunRecord` to their cache record;
-cross-engine pairs (see :data:`repro.analysis.report.ENGINE_PAIRS`) must
-agree row for row — including the per-round fault columns.
+reference runs at small n.  Which backend owns each sweep name — and
+which names batch — is declared once in :mod:`repro.sim.backends`
+(:func:`~repro.sim.backends.backend_of_sweep_algorithm`,
+:func:`~repro.sim.backends.batchable_sweep_algorithms`); this module's
+dispatch tables are checked against that registry by
+:func:`repro.sim.backends.consistency_report`.  Fast-path and
+reference-path cells attach a full per-round
+:class:`~repro.obs.RunRecord` to their cache record; cross-engine pairs
+(see :data:`repro.analysis.report.ENGINE_PAIRS`) must agree row for
+row — including the per-round fault columns.
 """
 
 from __future__ import annotations
@@ -97,7 +105,11 @@ from typing import Any, Callable, Mapping, Sequence
 #: cache miss, so stale layouts are recomputed instead of silently served.
 #: v3: records gained ``status`` ("ok" | "failed") and, on failure, a
 #: structured ``error`` — the poison-cell quarantine format.
-SWEEP_CACHE_SCHEMA = 3
+#: v4: records gained ``batched_with`` (how many cells shared the record's
+#: engine invocation) and ``wall_s`` of a batched cell changed meaning
+#: from "batch wall split evenly" to "actual wall time of the whole
+#: batch" — per-cell cost is ``wall_s / batched_with``.
+SWEEP_CACHE_SCHEMA = 4
 
 #: Attempts per batch before the parallel runner falls back to computing
 #: the batch inline (first try + retries of batches whose worker died).
@@ -352,25 +364,68 @@ def _run_linial_resilient(graph, params, recorder=None):
     return res, metrics, palette, info
 
 
+def _run_linial_compiled(graph, params, recorder=None):
+    from ..sim.compiled import linial_compiled
+
+    res, metrics, palette = linial_compiled(
+        graph, defect=int(params.get("defect", 0)), recorder=recorder
+    )
+    return res, metrics, palette
+
+
+def _run_greedy_compiled(graph, params, recorder=None):
+    from ..core.instance import delta_plus_one_instance
+    from ..sim.compiled import greedy_list_compiled
+
+    instance = delta_plus_one_instance(graph)
+    res = greedy_list_compiled(instance)
+    metrics = _announce_coloring_metrics(graph, instance.space.size, recorder)
+    if recorder is not None:
+        recorder.finalize(
+            metrics,
+            n=graph.number_of_nodes(),
+            m=graph.number_of_edges(),
+            palette=instance.space.size,
+        )
+    return res, metrics, instance.space.size
+
+
+def _run_defective_split_compiled(graph, params, recorder=None):
+    from ..core.coloring import ColoringResult
+    from ..sim.compiled import defective_split_compiled
+
+    classes, metrics, palette = defective_split_compiled(
+        graph, defect=int(params.get("defect", 1)), recorder=recorder
+    )
+    return ColoringResult(classes), metrics, palette
+
+
 FAST_PATHS: dict[str, Callable] = {
     "linial_vectorized": _run_linial_vectorized,
     "classic_vectorized": _run_classic_vectorized,
     "greedy_vectorized": _run_greedy_vectorized,
     "defective_split": _run_defective_split,
     "linial_faulty_vectorized": _run_linial_faulty_vectorized,
+    "linial_compiled": _run_linial_compiled,
+    "greedy_compiled": _run_greedy_compiled,
+    "defective_split_compiled": _run_defective_split_compiled,
 }
 
-#: Fast paths with a block-diagonal batched twin in :mod:`repro.sim.batch`.
-#: A worker batch whose pending cells share one of these algorithms runs
-#: them as a single :class:`~repro.sim.batch.BatchCSRGraph` execution (see
+
+def _batchable_algorithms() -> tuple[str, ...]:
+    from ..sim.backends import batchable_sweep_algorithms
+
+    return batchable_sweep_algorithms()
+
+
+#: Fast paths with a block-diagonal batched twin (:mod:`repro.sim.batch`
+#: / :func:`repro.sim.compiled.linial_compiled_batch`).  Derived from the
+#: backend registry (:func:`repro.sim.backends.batchable_sweep_algorithms`)
+#: so a backend declaring an algorithm ``batched`` is the single source of
+#: truth.  A worker batch whose pending cells share one of these
+#: algorithms runs them as a single block-diagonal execution (see
 #: :func:`compute_cells_batched`) instead of looping `compute_cell`.
-BATCHABLE_ALGORITHMS: tuple[str, ...] = (
-    "linial_vectorized",
-    "classic_vectorized",
-    "greedy_vectorized",
-    "defective_split",
-    "linial_faulty_vectorized",
-)
+BATCHABLE_ALGORITHMS: tuple[str, ...] = _batchable_algorithms()
 
 #: Recorder-aware reference twins of the fast paths.  ``classic`` shadows
 #: the registry entry of the same name so sweep cells get per-round
@@ -402,7 +457,7 @@ def _validate(graph, result, algorithm, params) -> bool:
     csr = CSRGraph.from_networkx(graph)
     colors = csr.gather(result.assignment)
     same = equal_neighbor_counts(csr, colors)
-    default = 1 if algorithm == "defective_split" else 0
+    default = 1 if algorithm.startswith("defective_split") else 0
     allowed = int(params.get("defect", default))
     return bool(same.size == 0 or int(same.max()) <= allowed)
 
@@ -420,7 +475,8 @@ def compute_cell(cell: SweepCell) -> dict[str, Any]:
     """
     from .. import graphs
     from ..algorithms import registry
-    from ..obs import ENGINE_REFERENCE, ENGINE_VECTORIZED, RunRecorder
+    from ..obs import RunRecorder
+    from ..sim.backends import backend_of_sweep_algorithm
 
     family_params = dict(cell.family_params)
     algo_params = dict(cell.spec()["algo_params"])
@@ -432,12 +488,14 @@ def compute_cell(cell: SweepCell) -> dict[str, Any]:
     recorder = None
     extra: dict[str, Any] = {}
     if cell.algorithm in FAST_PATHS:
-        recorder = RunRecorder(engine=ENGINE_VECTORIZED, algorithm=cell.algorithm)
+        engine = backend_of_sweep_algorithm(cell.algorithm).engine
+        recorder = RunRecorder(engine=engine, algorithm=cell.algorithm)
         result, metrics, palette = FAST_PATHS[cell.algorithm](
             graph, algo_params, recorder
         )
     elif cell.algorithm in REFERENCE_PATHS:
-        recorder = RunRecorder(engine=ENGINE_REFERENCE, algorithm=cell.algorithm)
+        engine = backend_of_sweep_algorithm(cell.algorithm).engine
+        recorder = RunRecorder(engine=engine, algorithm=cell.algorithm)
         out = REFERENCE_PATHS[cell.algorithm](graph, algo_params, recorder)
         if len(out) == 4:  # resilient path also returns restart info
             result, metrics, palette, info = out
@@ -462,6 +520,7 @@ def compute_cell(cell: SweepCell) -> dict[str, Any]:
         palette=palette,
         metrics=metrics.summary() if metrics is not None else None,
         wall_s=wall,
+        batched_with=1,
         timings=dict(run_record.timings) if run_record is not None else {},
         run_record=run_record.to_dict() if run_record is not None else None,
         **extra,
@@ -470,7 +529,10 @@ def compute_cell(cell: SweepCell) -> dict[str, Any]:
 
 
 def failed_record(
-    cell: SweepCell, exc: BaseException, wall_s: float = 0.0
+    cell: SweepCell,
+    exc: BaseException,
+    wall_s: float = 0.0,
+    batched_with: int = 1,
 ) -> dict[str, Any]:
     """The quarantine record of a cell whose computation raised.
 
@@ -493,6 +555,7 @@ def failed_record(
         palette=None,
         metrics=None,
         wall_s=wall_s,
+        batched_with=batched_with,
         timings={},
         run_record=None,
     )
@@ -517,6 +580,15 @@ def _run_batched(algorithm: str, built: list[tuple]) -> list[Any]:
     recs = [rec for _, _, _, rec in built]
     if algorithm == "linial_vectorized":
         return linial_vectorized_batch(
+            gs,
+            defect=[int(p.get("defect", 0)) for p in params_list],
+            recorders=recs,
+            return_exceptions=True,
+        )
+    if algorithm == "linial_compiled":
+        from ..sim.compiled import linial_compiled_batch
+
+        return linial_compiled_batch(
             gs,
             defect=[int(p.get("defect", 0)) for p in params_list],
             recorders=recs,
@@ -577,14 +649,19 @@ def compute_cells_batched(cells: Sequence[SweepCell]) -> list[dict[str, Any]]:
     The cells' graphs are packed into a single
     :class:`~repro.sim.batch.BatchCSRGraph` execution; per-cell records
     come back identical to :func:`compute_cell`'s except for the clock
-    fields (``wall_s`` is the batch wall time split evenly, ``timings``
-    are the shared batch phases).  Per-cell quarantine is preserved: a
-    cell whose graph build or in-batch run raises (e.g. a crash-stop
+    fields: ``wall_s`` is the *actual* wall time of the whole batched
+    engine invocation (not an even split — splitting fabricated per-cell
+    times that no clock ever measured), ``batched_with`` records how many
+    cells shared that invocation (so per-cell cost is
+    ``wall_s / batched_with``), and ``timings`` are the shared batch
+    phases.  Per-cell quarantine is preserved: a cell whose graph build
+    or in-batch run raises (e.g. a crash-stop
     :class:`~repro.sim.node.HaltingError`) yields its
     :func:`failed_record` while sibling cells still land ``ok``.
     """
     from .. import graphs
-    from ..obs import ENGINE_VECTORIZED, RunRecorder
+    from ..obs import RunRecorder
+    from ..sim.backends import backend_of_sweep_algorithm
 
     algorithms = {cell.algorithm for cell in cells}
     if len(algorithms) != 1:
@@ -607,18 +684,21 @@ def compute_cells_batched(cells: Sequence[SweepCell]) -> list[dict[str, Any]]:
             out[pos] = failed_record(cell, exc, wall_s=time.perf_counter() - t0)
             continue
         params = dict(cell.spec()["algo_params"])
-        rec = RunRecorder(engine=ENGINE_VECTORIZED, algorithm=algorithm)
+        engine = backend_of_sweep_algorithm(algorithm).engine
+        rec = RunRecorder(engine=engine, algorithm=algorithm)
         built.append((cell, graph, params, rec))
         positions.append(pos)
     if built:
         t0 = time.perf_counter()
         outcomes = _run_batched(algorithm, built)
-        wall = (time.perf_counter() - t0) / len(built)
+        wall = time.perf_counter() - t0
         for pos, (cell, graph, params, rec), outcome in zip(
             positions, built, outcomes
         ):
             if isinstance(outcome, BaseException):
-                out[pos] = failed_record(cell, outcome, wall_s=wall)
+                out[pos] = failed_record(
+                    cell, outcome, wall_s=wall, batched_with=len(built)
+                )
                 continue
             result, metrics, palette = outcome
             run_record = rec.record
@@ -635,6 +715,7 @@ def compute_cells_batched(cells: Sequence[SweepCell]) -> list[dict[str, Any]]:
                 palette=palette,
                 metrics=metrics.summary() if metrics is not None else None,
                 wall_s=wall,
+                batched_with=len(built),
                 timings=dict(run_record.timings)
                 if run_record is not None
                 else {},

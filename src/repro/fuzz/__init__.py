@@ -42,10 +42,12 @@ from .corpus import (
     save_case,
 )
 from .differential import (
+    COMPILED_PAIRS,
     ENGINE_PAIRS,
     CaseOutcome,
     EnginePair,
     pair_names,
+    pairs_for_backend,
     run_case,
     run_cases_batched,
 )
@@ -54,6 +56,7 @@ from .runner import FuzzFailure, FuzzReport, fuzz_run
 from .shrink import shrink_case
 
 __all__ = [
+    "COMPILED_PAIRS",
     "CORPUS_SCHEMA_VERSION",
     "ENGINE_PAIRS",
     "FAMILY_SPACE",
@@ -69,6 +72,7 @@ __all__ = [
     "load_case",
     "load_corpus",
     "pair_names",
+    "pairs_for_backend",
     "replay_corpus",
     "run_case",
     "run_cases_batched",

@@ -50,11 +50,17 @@ from ..core.validate import (
     validate_proper_coloring,
 )
 from ..obs import (
+    ENGINE_COMPILED,
     ENGINE_REFERENCE,
     ENGINE_VECTORIZED,
     RunRecord,
     RunRecorder,
     compare_round_accounting,
+)
+from ..sim.compiled import (
+    defective_split_compiled,
+    greedy_list_compiled,
+    linial_compiled,
 )
 from ..sim.metrics import RunMetrics
 from ..sim.referee import RefereedAlgorithm
@@ -253,6 +259,76 @@ ENGINE_PAIRS: dict[str, EnginePair] = {
 }
 
 
+# ----------------------------------------------------------------------
+# compiled-backend pairs
+# ----------------------------------------------------------------------
+def _cpl_linial(case: FuzzCase) -> EngineRun:
+    recorder = RunRecorder(engine=ENGINE_COMPILED)
+    result, metrics, palette = linial_compiled(
+        case.graph(),
+        initial_colors=case.initial_colors,
+        defect=case.defect,
+        recorder=recorder,
+        faults=_case_plan(case),
+    )
+    return EngineRun(dict(result.assignment), metrics, recorder.record, palette)
+
+
+def _cpl_greedy(case: FuzzCase) -> EngineRun:
+    result = greedy_list_compiled(case.instance())
+    return EngineRun(dict(result.assignment))
+
+
+def _cpl_defective_split(case: FuzzCase) -> EngineRun:
+    recorder = RunRecorder(engine=ENGINE_COMPILED)
+    classes, metrics, palette = defective_split_compiled(
+        case.graph(), case.defect, recorder=recorder
+    )
+    return EngineRun(dict(classes), metrics, recorder.record, palette)
+
+
+#: Reference-vs-**compiled** pairs: the same reference sides and oracles
+#: as :data:`ENGINE_PAIRS` with the compiled backend on the fast side.
+#: No ``classic`` entry — the compiled backend declares that algorithm
+#: unsupported (see :data:`repro.sim.backends.BACKENDS`) — and fault
+#: cases must be filtered by the caller (``supports_faults=False``).
+COMPILED_PAIRS: dict[str, EnginePair] = {
+    "linial": EnginePair("linial", _ref_linial, _cpl_linial, _oracle_linial),
+    "greedy": EnginePair("greedy", _ref_greedy, _cpl_greedy, _oracle_greedy),
+    "defective_split": EnginePair(
+        "defective_split",
+        _ref_defective_split,
+        _cpl_defective_split,
+        _oracle_defective_split,
+    ),
+}
+
+
+def pairs_for_backend(backend: str = "vectorized") -> dict[str, EnginePair]:
+    """The engine-pair registry whose fast side runs on ``backend``.
+
+    Resolves through :mod:`repro.sim.backends`, so unknown names raise
+    :class:`~repro.sim.backends.UnknownBackendError` and the reference
+    backend — the baseline side of every pair, with nothing to compare
+    itself against — raises
+    :class:`~repro.sim.backends.CapabilityError`.  The ``batched``
+    backend shares the vectorized registry (batching is the execution
+    strategy selected by ``batch_size``/:func:`run_cases_batched`, not a
+    different fast side).
+    """
+    from ..sim.backends import CapabilityError, get_backend
+
+    spec = get_backend(backend)
+    if spec.name in ("vectorized", "batched"):
+        return ENGINE_PAIRS
+    if spec.name == "compiled":
+        return COMPILED_PAIRS
+    raise CapabilityError(
+        f"backend {backend!r} has no differential pairs: it is the "
+        "baseline every pair compares against"
+    )
+
+
 def pair_names() -> tuple[str, ...]:
     """The registered engine-pair names, stable order."""
     return tuple(ENGINE_PAIRS)
@@ -447,8 +523,8 @@ def _vec_defective_split_batch(cases: list[FuzzCase]) -> list:
 
 
 #: Batched vectorized twins of the default pairs' ``run_vectorized``
-#: sides; a registry entry must *be* the default pair for its batched
-#: side to apply (injected/mutated pairs always run per-case).
+#: sides; a registry entry must *equal* the default pair for its batched
+#: side to apply (mutated pairs always run per-case).
 _VEC_BATCH: dict[str, Callable[[list[FuzzCase]], list]] = {
     "linial": _vec_linial_batch,
     "classic": _vec_classic_batch,
@@ -457,18 +533,66 @@ _VEC_BATCH: dict[str, Callable[[list[FuzzCase]], list]] = {
 }
 
 
+def _cpl_linial_batch(cases: list[FuzzCase]) -> list:
+    from ..obs import RunRecorder as _RR
+    from ..sim.compiled import linial_compiled_batch
+
+    recs = [_RR(engine=ENGINE_COMPILED) for _ in cases]
+    outs = linial_compiled_batch(
+        [c.graph() for c in cases],
+        initial_colors=[c.initial_colors for c in cases],
+        defect=[c.defect for c in cases],
+        recorders=recs,
+        faults=[_case_plan(c) for c in cases],
+        return_exceptions=True,
+    )
+    return [
+        out
+        if isinstance(out, BaseException)
+        else EngineRun(dict(out[0].assignment), out[1], rec.record, out[2])
+        for out, rec in zip(outs, recs)
+    ]
+
+
+#: Batched compiled twin of :data:`COMPILED_PAIRS`' fast sides (the
+#: compiled backend declares only ``linial`` batched).
+_CPL_BATCH: dict[str, Callable[[list[FuzzCase]], list]] = {
+    "linial": _cpl_linial_batch,
+}
+
+
+def _batched_runner(
+    name: str, pair: EnginePair
+) -> Callable[[list[FuzzCase]], list] | None:
+    """The batched fast side for ``pair``, or ``None`` to run per-case.
+
+    Dispatch is by *value* equality against the stock registries:
+    ``dataclasses.replace`` copies of a stock pair (e.g. a caller-built
+    ``pairs=`` dict) keep their batched path, while genuinely mutated
+    pairs — different callables or oracles — fall back to per-case
+    execution, where their overridden ``run_vectorized`` actually runs.
+    """
+    if pair == ENGINE_PAIRS.get(name):
+        return _VEC_BATCH.get(name)
+    if pair == COMPILED_PAIRS.get(name):
+        return _CPL_BATCH.get(name)
+    return None
+
+
 def run_cases_batched(
     cases: list[FuzzCase],
     pairs: dict[str, EnginePair] | None = None,
 ) -> list[CaseOutcome]:
     """Differential trials with the vectorized side batched per pair.
 
-    All cases of one (default-registry) pair run as a single
-    block-diagonal :mod:`repro.sim.batch` execution; the reference side,
-    the judge, and the oracles are per-case, so each
-    :class:`CaseOutcome` — messages, ordering, accounting — is identical
-    to :func:`run_case`'s.  Pairs overridden via ``pairs`` (the mutation
-    harness) and singleton groups fall back to :func:`run_case`.
+    All cases of one stock pair run as a single block-diagonal
+    :mod:`repro.sim.batch` execution; the reference side, the judge, and
+    the oracles are per-case, so each :class:`CaseOutcome` — messages,
+    ordering, accounting — is identical to :func:`run_case`'s.  Batching
+    is resolved by :func:`_batched_runner` *value* equality, so a
+    ``pairs=`` registry holding copies of stock pairs keeps the batched
+    path; genuinely mutated pairs and singleton groups fall back to
+    :func:`run_case`.
     """
     registry = pairs if pairs is not None else ENGINE_PAIRS
     outcomes: list[CaseOutcome | None] = [None] * len(cases)
@@ -483,7 +607,7 @@ def run_cases_batched(
         by_pair.setdefault(case.pair, []).append(i)
     for name, idxs in by_pair.items():
         pair = registry[name]
-        batch_fn = _VEC_BATCH.get(name) if pair is ENGINE_PAIRS.get(name) else None
+        batch_fn = _batched_runner(name, pair)
         if batch_fn is None or len(idxs) < 2:
             for i in idxs:
                 outcomes[i] = run_case(cases[i], pairs=registry)

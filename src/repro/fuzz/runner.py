@@ -19,6 +19,7 @@ from .differential import (
     ENGINE_PAIRS,
     CaseOutcome,
     EnginePair,
+    pairs_for_backend,
     run_case,
     run_cases_batched,
 )
@@ -56,7 +57,9 @@ class FuzzReport:
 
     seed: int
     iterations: int
+    backend: str = "vectorized"
     cases_run: int = 0
+    skipped: int = 0
     per_pair: dict[str, int] = field(default_factory=dict)
     failures: list[FuzzFailure] = field(default_factory=list)
 
@@ -67,10 +70,16 @@ class FuzzReport:
     def describe(self) -> str:
         pairs = ", ".join(f"{p}={k}" for p, k in sorted(self.per_pair.items()))
         head = (
-            f"fuzz seed={self.seed} iterations={self.iterations}: "
+            f"fuzz seed={self.seed} iterations={self.iterations} "
+            f"backend={self.backend}: "
             f"{self.cases_run} differential trials ({pairs}) — "
             f"{len(self.failures)} failure(s)"
         )
+        if self.skipped:
+            head += (
+                f" [{self.skipped} fault case(s) skipped: backend "
+                "does not support fault injection]"
+            )
         return "\n".join([head] + [f.describe() for f in self.failures])
 
 
@@ -84,6 +93,7 @@ def fuzz_run(
     pairs: dict[str, EnginePair] | None = None,
     max_shrink_attempts: int = 500,
     batch_size: int = 0,
+    backend: str = "vectorized",
 ) -> FuzzReport:
     """Run the differential fuzz loop (see module docstring).
 
@@ -98,14 +108,30 @@ def fuzz_run(
         systemic breakage only buries the signal.
     pairs:
         Registry override for mutation tests (injected broken engines).
+        Takes precedence over ``backend``.
     batch_size:
         When > 1, trials run in chunks of this size through
-        :func:`~repro.fuzz.run_cases_batched` (the vectorized side of
-        each chunk is one block-diagonal execution).  Trial generation
-        order, seeds, outcomes, shrinking, and pinning are unchanged —
-        only the execution strategy differs.  0/1 keep the per-case loop.
+        :func:`~repro.fuzz.run_cases_batched` (the fast side of each
+        chunk is one block-diagonal execution).  Trial generation order,
+        seeds, outcomes, shrinking, and pinning are unchanged — only the
+        execution strategy differs.  0/1 keep the per-case loop.
+    backend:
+        Which :mod:`repro.sim.backends` backend supplies the fast side
+        of each pair (default ``"vectorized"``).  Resolved through
+        :func:`~repro.fuzz.differential.pairs_for_backend`.  When the
+        backend declares ``supports_faults=False``, generated fault
+        cases are counted in :attr:`FuzzReport.skipped` and not run —
+        the generation stream itself is untouched, so seeds stay
+        comparable across backends.
     """
-    registry = pairs if pairs is not None else ENGINE_PAIRS
+    spec = None
+    if pairs is not None:
+        registry = pairs
+    else:
+        from ..sim.backends import get_backend
+
+        spec = get_backend(backend)
+        registry = pairs_for_backend(backend)
     names = list(pair_names) if pair_names is not None else list(registry)
     unknown = [p for p in names if p not in registry]
     if unknown:
@@ -113,7 +139,15 @@ def fuzz_run(
             f"unknown engine pair(s) {', '.join(unknown)}; "
             f"options: {', '.join(registry)}"
         )
-    report = FuzzReport(seed=seed, iterations=iterations)
+    report = FuzzReport(seed=seed, iterations=iterations, backend=backend)
+    skip_faults = spec is not None and not spec.supports_faults
+
+    def runnable(case: FuzzCase) -> bool:
+        """Account backend-capability skips; False drops the case."""
+        if skip_faults and case.fault is not None:
+            report.skipped += 1
+            return False
+        return True
 
     def handle(case: FuzzCase, outcome: CaseOutcome) -> bool:
         """Account one trial; True when the failure budget is exhausted."""
@@ -139,9 +173,12 @@ def fuzz_run(
 
     if batch_size > 1:
         queue = [
-            generate_case(derive_seed(seed, iteration, pair), pair=pair)
+            case
             for iteration in range(iterations)
             for pair in names
+            if runnable(
+                case := generate_case(derive_seed(seed, iteration, pair), pair=pair)
+            )
         ]
         for start in range(0, len(queue), batch_size):
             chunk = queue[start : start + batch_size]
@@ -155,6 +192,8 @@ def fuzz_run(
     for iteration in range(iterations):
         for pair in names:
             case = generate_case(derive_seed(seed, iteration, pair), pair=pair)
+            if not runnable(case):
+                continue
             if handle(case, run_case(case, pairs=registry)):
                 return report
     return report

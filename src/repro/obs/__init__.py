@@ -24,6 +24,7 @@ cross-engine comparisons.
 
 from .profiler import Profiler
 from .record import (
+    ENGINE_COMPILED,
     ENGINE_REFERENCE,
     ENGINE_VECTORIZED,
     OBS_SCHEMA_VERSION,
@@ -37,6 +38,7 @@ from .record import (
 )
 
 __all__ = [
+    "ENGINE_COMPILED",
     "ENGINE_REFERENCE",
     "ENGINE_VECTORIZED",
     "OBS_SCHEMA_VERSION",

@@ -44,9 +44,11 @@ from .profiler import Profiler
 #: counts under a :class:`~repro.faults.FaultPlan`; ``None`` = no plan).
 OBS_SCHEMA_VERSION = 2
 
-#: Engine labels (the only two execution paths in the repo).
+#: Engine labels (see :data:`repro.sim.backends.BACKENDS`; the batched
+#: backend is an execution strategy and records as ``vectorized``).
 ENGINE_REFERENCE = "reference"
 ENGINE_VECTORIZED = "vectorized"
+ENGINE_COMPILED = "compiled"
 
 
 @dataclass(frozen=True)

@@ -1,5 +1,20 @@
 """Synchronous LOCAL / CONGEST simulator."""
 
+from .backends import (
+    ALGORITHMS,
+    BACKENDS,
+    AlgorithmSupport,
+    BackendError,
+    BackendSpec,
+    CapabilityError,
+    UnknownBackendError,
+    backend_names,
+    backend_of_sweep_algorithm,
+    batchable_sweep_algorithms,
+    consistency_report,
+    get_backend,
+    require,
+)
 from .batch import (
     BatchCSRGraph,
     classic_delta_plus_one_vectorized_batch,
@@ -7,6 +22,13 @@ from .batch import (
     greedy_list_vectorized_batch,
     linial_vectorized_batch,
     merge_sequential_batch,
+)
+from .compiled import (
+    NUMBA_AVAILABLE,
+    defective_split_compiled,
+    greedy_list_compiled,
+    linial_compiled,
+    linial_compiled_batch,
 )
 from .engine import (
     CSRGraph,
@@ -34,10 +56,18 @@ from .vectorized import (
 )
 
 __all__ = [
+    "ALGORITHMS",
+    "BACKENDS",
+    "AlgorithmSupport",
+    "BackendError",
+    "BackendSpec",
     "BatchCSRGraph",
     "CSRGraph",
+    "CapabilityError",
     "DistributedAlgorithm",
     "HaltingError",
+    "NUMBA_AVAILABLE",
+    "UnknownBackendError",
     "Message",
     "NodeView",
     "PhaseEntry",
@@ -53,17 +83,27 @@ __all__ = [
     "estimate_bits",
     "index_bits",
     "int_bits",
+    "backend_names",
+    "backend_of_sweep_algorithm",
+    "batchable_sweep_algorithms",
     "classic_delta_plus_one_vectorized",
     "classic_delta_plus_one_vectorized_batch",
     "collision_counts",
+    "consistency_report",
+    "defective_split_compiled",
     "defective_split_vectorized",
     "defective_split_vectorized_batch",
     "equal_neighbor_counts",
+    "get_backend",
+    "greedy_list_compiled",
     "greedy_list_vectorized",
     "greedy_list_vectorized_batch",
+    "linial_compiled",
+    "linial_compiled_batch",
     "linial_vectorized",
     "linial_vectorized_batch",
     "merge_sequential_batch",
+    "require",
     "poly_digits",
     "poly_eval_grid",
     "ragged_lists",

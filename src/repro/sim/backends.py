@@ -1,0 +1,466 @@
+"""The explicit engine-backend registry.
+
+Engine selection used to be implicit: string matching in
+``repro.fuzz.differential.ENGINE_PAIRS``, a hand-maintained
+``BATCHABLE_ALGORITHMS`` tuple in ``repro.experiments.sweep``, and an
+identity check picking the batched fuzz path.  Each new backend widened
+that scattered dispatch surface.  This module replaces it with one
+declaration: every backend is a :class:`BackendSpec` naming its
+capabilities (``supports_faults``, ``supports_batch``,
+``bit_identical_to``) and, per canonical algorithm, an
+:class:`AlgorithmSupport` entry — supported or explicitly not, with the
+sweep algorithm names and batchability it provides.  Consumers resolve
+through the registry:
+
+* the sweep derives :data:`~repro.experiments.sweep.BATCHABLE_ALGORITHMS`
+  from :func:`batchable_sweep_algorithms` and picks each cell's recorder
+  engine label via :func:`backend_of_sweep_algorithm`;
+* the fuzz runner resolves its pair registry per backend through
+  :func:`repro.fuzz.differential.pairs_for_backend` and its batched
+  dispatch by name + value equality (never identity);
+* ``repro-cli backends`` renders the table, including the compiled
+  backend's availability (``compiled: unavailable`` when numba is
+  absent — the numpy fallback still runs, bit-identically).
+
+Errors are structured, never bare ``KeyError``:
+:class:`UnknownBackendError` for names outside the registry,
+:class:`CapabilityError` for requests a known backend cannot serve
+(faults on a backend without ``supports_faults``, an algorithm it
+declares unsupported).  :func:`consistency_report` cross-checks every
+name list the registry replaces and is pinned green by
+``tests/test_registry.py`` — a future backend that forgets to declare
+itself fails the suite, not a user's sweep.
+
+The four canonical algorithms are :data:`ALGORITHMS`; every backend
+must declare an entry for each (``supported=False`` with a ``note`` is
+a declaration too — silence is what the consistency check forbids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from .compiled import NUMBA_AVAILABLE, NUMBA_UNAVAILABLE_REASON
+
+#: The canonical algorithm families every backend must declare.
+ALGORITHMS: tuple[str, ...] = ("classic", "defective_split", "greedy", "linial")
+
+
+class BackendError(Exception):
+    """Base of every registry-resolution error (never a bare KeyError)."""
+
+
+class UnknownBackendError(BackendError):
+    """The requested backend name is not in the registry."""
+
+
+class CapabilityError(BackendError):
+    """A known backend cannot serve the requested capability."""
+
+
+@dataclass(frozen=True)
+class AlgorithmSupport:
+    """One backend's declaration for one canonical algorithm.
+
+    ``sweep_names`` are the :mod:`repro.experiments.sweep` algorithm
+    names this backend serves for the family; ``batched`` marks the
+    names as batchable (block-diagonal execution).  ``supported=False``
+    entries carry a ``note`` saying why — an explicit refusal, so the
+    consistency check can tell "declared unsupported" from "forgotten".
+    """
+
+    supported: bool = True
+    batched: bool = False
+    sweep_names: tuple[str, ...] = ()
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One execution backend and its capability surface.
+
+    ``engine`` is the :class:`~repro.obs.RunRecorder` engine label runs
+    on this backend carry; ``bit_identical_to`` names the backend whose
+    outputs, metrics, and per-round records this one must reproduce
+    exactly (the standing equivalence contract).  ``available`` is the
+    backend's *native* availability — the compiled backend stays usable
+    when numba is absent (its numpy fallback is part of the contract),
+    it just reports ``available=False`` with the reason.
+    """
+
+    name: str
+    description: str
+    engine: str
+    supports_faults: bool
+    supports_batch: bool
+    bit_identical_to: str | None
+    algorithms: Mapping[str, AlgorithmSupport] = field(default_factory=dict)
+    available: bool = True
+    unavailable_reason: str | None = None
+
+    def algorithm_support(self, algorithm: str) -> AlgorithmSupport:
+        """The declared entry for ``algorithm`` (structured errors)."""
+        entry = self.algorithms.get(algorithm)
+        if entry is None:
+            raise CapabilityError(
+                f"backend {self.name!r} declares no entry for algorithm "
+                f"{algorithm!r}; known algorithms: {', '.join(ALGORITHMS)}"
+            )
+        return entry
+
+
+def _spec(name, description, engine, *, faults, batch, identical_to,
+          algorithms, available=True, unavailable_reason=None) -> BackendSpec:
+    return BackendSpec(
+        name=name,
+        description=description,
+        engine=engine,
+        supports_faults=faults,
+        supports_batch=batch,
+        bit_identical_to=identical_to,
+        algorithms=MappingProxyType(dict(algorithms)),
+        available=available,
+        unavailable_reason=unavailable_reason,
+    )
+
+
+#: The registry.  Insertion order is the canonical display order.
+BACKENDS: dict[str, BackendSpec] = {
+    "reference": _spec(
+        "reference",
+        "per-message reference simulator (SyncNetwork); the baseline "
+        "every other backend must reproduce",
+        "reference",
+        faults=True,
+        batch=False,
+        identical_to=None,
+        algorithms={
+            "classic": AlgorithmSupport(sweep_names=("classic",)),
+            "defective_split": AlgorithmSupport(),
+            "greedy": AlgorithmSupport(sweep_names=("greedy",)),
+            "linial": AlgorithmSupport(
+                sweep_names=("linial", "linial_faulty", "linial_resilient"),
+            ),
+        },
+    ),
+    "vectorized": _spec(
+        "vectorized",
+        "numpy CSR fast paths (repro.sim.vectorized)",
+        "vectorized",
+        faults=True,
+        batch=True,
+        identical_to="reference",
+        algorithms={
+            "classic": AlgorithmSupport(
+                batched=True, sweep_names=("classic_vectorized",)
+            ),
+            "defective_split": AlgorithmSupport(
+                batched=True, sweep_names=("defective_split",)
+            ),
+            "greedy": AlgorithmSupport(
+                batched=True, sweep_names=("greedy_vectorized",)
+            ),
+            "linial": AlgorithmSupport(
+                batched=True,
+                sweep_names=("linial_vectorized", "linial_faulty_vectorized"),
+            ),
+        },
+    ),
+    "batched": _spec(
+        "batched",
+        "block-diagonal multi-instance execution (repro.sim.batch); an "
+        "execution strategy over the vectorized/compiled kernels, not a "
+        "separate sweep algorithm namespace",
+        "vectorized",
+        faults=True,
+        batch=True,
+        identical_to="vectorized",
+        algorithms={
+            "classic": AlgorithmSupport(batched=True),
+            "defective_split": AlgorithmSupport(batched=True),
+            "greedy": AlgorithmSupport(batched=True),
+            "linial": AlgorithmSupport(batched=True),
+        },
+    ),
+    "compiled": _spec(
+        "compiled",
+        "numba-jitted round kernels with a bit-identical numpy fallback "
+        "(repro.sim.compiled)",
+        "compiled",
+        faults=False,
+        batch=True,
+        identical_to="vectorized",
+        algorithms={
+            "classic": AlgorithmSupport(
+                supported=False,
+                note="the classic pipeline is dominated by the schedule "
+                "reduction, which has no compiled kernel; run it on the "
+                "vectorized backend",
+            ),
+            "defective_split": AlgorithmSupport(
+                sweep_names=("defective_split_compiled",)
+            ),
+            "greedy": AlgorithmSupport(sweep_names=("greedy_compiled",)),
+            "linial": AlgorithmSupport(
+                batched=True, sweep_names=("linial_compiled",)
+            ),
+        },
+        available=NUMBA_AVAILABLE,
+        unavailable_reason=NUMBA_UNAVAILABLE_REASON,
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# resolution
+# ----------------------------------------------------------------------
+def backend_names() -> tuple[str, ...]:
+    """The registered backend names, display order."""
+    return tuple(BACKENDS)
+
+
+def get_backend(name: str) -> BackendSpec:
+    """The spec of a registered backend (:class:`UnknownBackendError`
+    otherwise — never a bare ``KeyError``)."""
+    spec = BACKENDS.get(name)
+    if spec is None:
+        raise UnknownBackendError(
+            f"unknown backend {name!r}; options: {', '.join(BACKENDS)}"
+        )
+    return spec
+
+
+def require(
+    name: str,
+    algorithm: str | None = None,
+    faults: bool = False,
+    batch: bool = False,
+) -> BackendSpec:
+    """Resolve a backend and fail fast on capability mismatches.
+
+    Raises :class:`UnknownBackendError` for unregistered names and
+    :class:`CapabilityError` when the backend declares the requested
+    ``algorithm`` unsupported, lacks ``supports_faults`` for a faulty
+    request, or lacks ``supports_batch`` for a batched one.  An
+    ``available=False`` backend still resolves — graceful degradation
+    (the compiled backend's numpy fallback) is the contract, and the
+    flag plus ``unavailable_reason`` report the degradation.
+    """
+    spec = get_backend(name)
+    if algorithm is not None:
+        entry = spec.algorithm_support(algorithm)
+        if not entry.supported:
+            note = f": {entry.note}" if entry.note else ""
+            raise CapabilityError(
+                f"backend {name!r} does not support algorithm "
+                f"{algorithm!r}{note}"
+            )
+    if faults and not spec.supports_faults:
+        raise CapabilityError(
+            f"backend {name!r} does not support fault injection "
+            f"(supports_faults=False); fault-capable backends: "
+            f"{', '.join(b for b, s in BACKENDS.items() if s.supports_faults)}"
+        )
+    if batch and not spec.supports_batch:
+        raise CapabilityError(
+            f"backend {name!r} does not support batched execution "
+            f"(supports_batch=False); batch-capable backends: "
+            f"{', '.join(b for b, s in BACKENDS.items() if s.supports_batch)}"
+        )
+    return spec
+
+
+def batchable_sweep_algorithms() -> tuple[str, ...]:
+    """Every sweep algorithm name some backend declares batchable.
+
+    This is the registry-derived source of
+    :data:`repro.experiments.sweep.BATCHABLE_ALGORITHMS`; order follows
+    registry declaration order, deduplicated.
+    """
+    out: list[str] = []
+    for spec in BACKENDS.values():
+        for algorithm in ALGORITHMS:
+            entry = spec.algorithms.get(algorithm)
+            if entry is None or not entry.batched:
+                continue
+            for sweep_name in entry.sweep_names:
+                if sweep_name not in out:
+                    out.append(sweep_name)
+    return tuple(out)
+
+
+def backend_of_sweep_algorithm(sweep_name: str) -> BackendSpec:
+    """The unique backend declaring ``sweep_name`` as a sweep algorithm.
+
+    Raises :class:`UnknownBackendError` when no backend declares it (the
+    algorithm is registry-only or mistyped) — and fails loudly on a
+    duplicate declaration, which would make the engine label ambiguous.
+    """
+    owners = [
+        spec
+        for spec in BACKENDS.values()
+        if any(
+            sweep_name in entry.sweep_names
+            for entry in spec.algorithms.values()
+        )
+    ]
+    if not owners:
+        raise UnknownBackendError(
+            f"no backend declares sweep algorithm {sweep_name!r}"
+        )
+    if len(owners) > 1:
+        raise CapabilityError(
+            f"sweep algorithm {sweep_name!r} is declared by multiple "
+            f"backends ({', '.join(s.name for s in owners)}); the engine "
+            "label would be ambiguous"
+        )
+    return owners[0]
+
+
+def describe() -> str:
+    """Human-readable registry table (``repro-cli backends``)."""
+    lines = []
+    for spec in BACKENDS.values():
+        status = "available" if spec.available else "unavailable"
+        head = f"{spec.name}: {status}"
+        if not spec.available and spec.unavailable_reason:
+            head += f" ({spec.unavailable_reason})"
+        lines.append(head)
+        lines.append(f"  {spec.description}")
+        caps = [
+            f"engine={spec.engine}",
+            f"supports_faults={spec.supports_faults}",
+            f"supports_batch={spec.supports_batch}",
+            f"bit_identical_to={spec.bit_identical_to or '-'}",
+        ]
+        lines.append("  " + " ".join(caps))
+        for algorithm in ALGORITHMS:
+            entry = spec.algorithms.get(algorithm)
+            if entry is None:
+                lines.append(f"    {algorithm}: UNDECLARED")
+                continue
+            if not entry.supported:
+                lines.append(f"    {algorithm}: unsupported — {entry.note}")
+                continue
+            detail = ", ".join(entry.sweep_names) or "(no sweep name)"
+            if entry.batched:
+                detail += " [batched]"
+            lines.append(f"    {algorithm}: {detail}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# consistency audit
+# ----------------------------------------------------------------------
+def consistency_report() -> dict:
+    """Cross-check the registry against every consumer name list.
+
+    Audits the three lists the registry replaced — the fuzz pair
+    registries, the fuzz batched-dispatch tables, and the sweep's
+    batchable set — plus the sweep dispatch tables, the analysis
+    cross-engine pairs, and the generator's pair space.  Returns
+    ``{"ok": bool, "problems": [str, ...]}``; ``tests/test_registry.py``
+    pins ``problems == []``, so a backend (or algorithm) added to one
+    list but silently absent from another fails the suite.
+    """
+    from ..analysis.report import ENGINE_PAIRS as REPORT_PAIRS
+    from ..experiments.sweep import (
+        BATCHABLE_ALGORITHMS,
+        FAST_PATHS,
+        REFERENCE_PATHS,
+    )
+    from ..fuzz.differential import _CPL_BATCH, _VEC_BATCH, ENGINE_PAIRS
+    from ..fuzz.generator import GENERATABLE_PAIRS
+
+    problems: list[str] = []
+
+    for spec in BACKENDS.values():
+        missing = [a for a in ALGORITHMS if a not in spec.algorithms]
+        if missing:
+            problems.append(
+                f"backend {spec.name!r} declares no entry for: "
+                f"{', '.join(missing)}"
+            )
+
+    vec = BACKENDS["vectorized"]
+    vec_supported = {
+        a for a in ALGORITHMS
+        if a in vec.algorithms and vec.algorithms[a].supported
+    }
+    if set(ENGINE_PAIRS) != vec_supported:
+        problems.append(
+            f"fuzz ENGINE_PAIRS {sorted(ENGINE_PAIRS)} != vectorized-"
+            f"supported algorithms {sorted(vec_supported)}"
+        )
+    vec_batched = {
+        a for a in vec_supported if vec.algorithms[a].batched
+    }
+    if set(_VEC_BATCH) != vec_batched:
+        problems.append(
+            f"fuzz _VEC_BATCH {sorted(_VEC_BATCH)} != vectorized batched "
+            f"algorithms {sorted(vec_batched)}"
+        )
+    if set(GENERATABLE_PAIRS) != set(ENGINE_PAIRS):
+        problems.append(
+            f"generator GENERATABLE_PAIRS {sorted(GENERATABLE_PAIRS)} != "
+            f"fuzz ENGINE_PAIRS {sorted(ENGINE_PAIRS)}"
+        )
+
+    cpl = BACKENDS["compiled"]
+    cpl_batched = {
+        a for a in ALGORITHMS
+        if a in cpl.algorithms
+        and cpl.algorithms[a].supported
+        and cpl.algorithms[a].batched
+    }
+    if set(_CPL_BATCH) != cpl_batched:
+        problems.append(
+            f"fuzz _CPL_BATCH {sorted(_CPL_BATCH)} != compiled batched "
+            f"algorithms {sorted(cpl_batched)}"
+        )
+
+    derived = batchable_sweep_algorithms()
+    if set(BATCHABLE_ALGORITHMS) != set(derived):
+        problems.append(
+            f"sweep BATCHABLE_ALGORITHMS {sorted(BATCHABLE_ALGORITHMS)} != "
+            f"registry-derived {sorted(derived)}"
+        )
+
+    dispatchable = set(FAST_PATHS) | set(REFERENCE_PATHS)
+    declared: set[str] = set()
+    for spec in BACKENDS.values():
+        for entry in spec.algorithms.values():
+            declared.update(entry.sweep_names)
+    undispatched = declared - dispatchable
+    if undispatched:
+        problems.append(
+            f"declared sweep algorithms with no sweep dispatch entry: "
+            f"{sorted(undispatched)}"
+        )
+    fast_undeclared = set(FAST_PATHS) - declared
+    if fast_undeclared:
+        problems.append(
+            f"sweep FAST_PATHS entries no backend declares: "
+            f"{sorted(fast_undeclared)}"
+        )
+    for sweep_name in sorted(declared & dispatchable):
+        try:
+            backend_of_sweep_algorithm(sweep_name)
+        except BackendError as exc:
+            problems.append(str(exc))
+
+    for vec_name, ref_name in REPORT_PAIRS.items():
+        if vec_name not in declared:
+            problems.append(
+                f"analysis ENGINE_PAIRS key {vec_name!r} is not a declared "
+                "sweep algorithm"
+            )
+        if ref_name not in declared:
+            problems.append(
+                f"analysis ENGINE_PAIRS value {ref_name!r} is not a "
+                "declared sweep algorithm"
+            )
+
+    return {"ok": not problems, "problems": problems}

@@ -654,6 +654,7 @@ def linial_vectorized_batch(
     return_exceptions: bool = False,
     _batch: BatchCSRGraph | None = None,
     _finalize_recorders: bool = True,
+    _rounds=None,
 ) -> list:
     """Batched twin of :func:`repro.sim.vectorized.linial_vectorized`.
 
@@ -669,6 +670,10 @@ def linial_vectorized_batch(
     otherwise the first error is raised after all instances finish.
     Identical ``(m0, delta, defect)`` parameters share one schedule
     computation — a real batching win on homogeneous grids.
+    ``_rounds`` (internal) substitutes the fault-free round loop —
+    :func:`repro.sim.compiled.linial_compiled_batch` passes its compiled
+    rounds hook here so packing, termination masks, accounting, and
+    quarantine stay this function's single implementation.
     """
     from ..algorithms.linial import defective_schedule, linial_schedule
 
@@ -722,9 +727,10 @@ def linial_vectorized_batch(
     faulty = [j for j in range(k) if plans[j] is not None]
 
     if plain:
+        rounds_fn = _rounds if _rounds is not None else _linial_rounds_batch
         with _phase_all([recs[j] for j in plain], "rounds"):
             sub, sub_colors = _sub_batch(batch, plain, colors)
-            sub_colors = _linial_rounds_batch(
+            sub_colors = rounds_fn(
                 sub, [scheds[j] for j in plain], sub_colors
             )
             _write_back(batch, plain, colors, sub_colors)

@@ -1,0 +1,210 @@
+"""The compiled backend (:mod:`repro.sim.compiled`).
+
+The backend's contract is bit-identity with the vectorized engine —
+outputs, metrics, palettes, and per-round accounting rows must match
+exactly, numba-jitted or not (the numpy fallback is part of the
+contract, so CI without numba exercises the same assertions).  The
+suite checks:
+
+* driver equivalence on assorted graph shapes, including gappy unsorted
+  labels and explicit initial colorings;
+* the fuzz corpus replayed through :data:`repro.fuzz.COMPILED_PAIRS`
+  (fault cases excluded — ``supports_faults=False``);
+* batched execution (:func:`repro.sim.compiled.linial_compiled_batch`)
+  against the per-instance compiled runs;
+* capability enforcement: fault plans raise
+  :class:`~repro.sim.backends.CapabilityError`, never a silent wrong
+  answer;
+* the fuzz runner's ``backend="compiled"`` path, with skipped fault
+  cases accounted in :attr:`repro.fuzz.FuzzReport.skipped`.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.faults import FaultPlan
+from repro.fuzz import COMPILED_PAIRS, fuzz_run, load_corpus, run_case
+from repro.graphs import gnp, random_regular, ring, torus
+from repro.obs import (
+    ENGINE_COMPILED,
+    ENGINE_VECTORIZED,
+    RunRecorder,
+    compare_round_accounting,
+)
+from repro.sim.backends import CapabilityError
+from repro.sim.compiled import (
+    defective_split_compiled,
+    greedy_list_compiled,
+    linial_compiled,
+    linial_compiled_batch,
+)
+from repro.sim.vectorized import (
+    defective_split_vectorized,
+    greedy_list_vectorized,
+    linial_vectorized,
+)
+
+CORPUS = "tests/corpus"
+
+
+def gappy(base, seed):
+    """Relabel onto sparse unsorted integers (the labels fuzzing found)."""
+    rng = random.Random(seed)
+    labels = rng.sample(range(10**6), base.number_of_nodes())
+    return nx.relabel_nodes(base, dict(zip(sorted(base.nodes), labels)))
+
+
+GRAPHS = [
+    ring(14),
+    nx.complete_graph(9),
+    gnp(40, 0.2, seed=5),
+    random_regular(60, 6, seed=3),
+    torus(5, 7),
+    gappy(gnp(30, 0.25, seed=11), seed=11),
+    nx.empty_graph(4),
+]
+IDS = ["ring", "clique", "gnp", "regular", "grid", "gappy", "edgeless"]
+
+
+class TestLinialCompiledEquivalence:
+    @pytest.mark.parametrize("g", GRAPHS, ids=IDS)
+    @pytest.mark.parametrize("defect", [0, 1])
+    def test_bit_identical_to_vectorized(self, g, defect):
+        vec_rec = RunRecorder(engine=ENGINE_VECTORIZED)
+        cpl_rec = RunRecorder(engine=ENGINE_COMPILED)
+        vres, vm, vpal = linial_vectorized(g, defect=defect, recorder=vec_rec)
+        cres, cm, cpal = linial_compiled(g, defect=defect, recorder=cpl_rec)
+        assert cres.assignment == vres.assignment
+        assert cm.summary() == vm.summary()
+        assert cpal == vpal
+        cmp = compare_round_accounting(vec_rec.record, cpl_rec.record)
+        assert cmp["accounting_equal"], cmp
+
+    def test_explicit_initial_colors_match(self):
+        g = gnp(36, 0.3, seed=8)
+        initial = {v: (3 * i) % 50 for i, v in enumerate(sorted(g.nodes))}
+        vres, vm, vpal = linial_vectorized(g, initial_colors=initial)
+        cres, cm, cpal = linial_compiled(g, initial_colors=initial)
+        assert cres.assignment == vres.assignment
+        assert (cm.summary(), cpal) == (vm.summary(), vpal)
+
+    def test_recorder_engine_label(self):
+        rec = RunRecorder(engine=ENGINE_COMPILED)
+        linial_compiled(ring(8), recorder=rec)
+        assert rec.record.engine == ENGINE_COMPILED
+        assert rec.record.algorithm == "linial_compiled"
+
+
+class TestGreedyAndSplitCompiled:
+    @pytest.mark.parametrize("g", GRAPHS, ids=IDS)
+    def test_greedy_matches_vectorized(self, g):
+        from repro.core.instance import degree_plus_one_instance
+
+        inst = degree_plus_one_instance(g, rng=random.Random(7))
+        assert (
+            greedy_list_compiled(inst).assignment
+            == greedy_list_vectorized(inst).assignment
+        )
+
+    def test_greedy_rejects_nonzero_defects(self):
+        from repro.core.colorspace import ColorSpace
+        from repro.core.instance import uniform_instance
+
+        inst = uniform_instance(ring(10), ColorSpace(3), [0, 1, 2], defect=1)
+        with pytest.raises(ValueError, match="zero-defect"):
+            greedy_list_compiled(inst)
+
+    @pytest.mark.parametrize("defect", [1, 2])
+    def test_defective_split_matches_vectorized(self, defect):
+        g = random_regular(48, 6, seed=9)
+        vec_rec = RunRecorder(engine=ENGINE_VECTORIZED)
+        cpl_rec = RunRecorder(engine=ENGINE_COMPILED)
+        vcls, vm, vpal = defective_split_vectorized(
+            g, defect=defect, recorder=vec_rec
+        )
+        ccls, cm, cpal = defective_split_compiled(
+            g, defect=defect, recorder=cpl_rec
+        )
+        assert ccls == vcls
+        assert (cm.summary(), cpal) == (vm.summary(), vpal)
+        cmp = compare_round_accounting(vec_rec.record, cpl_rec.record)
+        assert cmp["accounting_equal"], cmp
+
+
+class TestCapabilityEnforcement:
+    def test_linial_compiled_rejects_faults(self):
+        plan = FaultPlan.from_dict({"seed": 1, "p_drop": 0.2})
+        with pytest.raises(CapabilityError, match="fault injection"):
+            linial_compiled(ring(10), faults=plan)
+
+    def test_batch_rejects_any_fault_plan(self):
+        plan = FaultPlan.from_dict({"seed": 1, "p_drop": 0.2})
+        with pytest.raises(CapabilityError, match="fault injection"):
+            linial_compiled_batch([ring(10), ring(12)], faults=[None, plan])
+
+
+class TestCompiledBatch:
+    def test_batch_matches_per_instance(self):
+        gs = [
+            ring(14),
+            gnp(40, 0.2, seed=5),
+            random_regular(60, 6, seed=3),
+            gappy(gnp(25, 0.3, seed=2), seed=2),
+            nx.empty_graph(3),
+        ]
+        recs = [RunRecorder(engine=ENGINE_COMPILED) for _ in gs]
+        outs = linial_compiled_batch(gs, defect=0, recorders=recs)
+        for g, rec, (res, metrics, palette) in zip(gs, recs, outs):
+            solo_rec = RunRecorder(engine=ENGINE_COMPILED)
+            sres, sm, spal = linial_compiled(g, recorder=solo_rec)
+            assert res.assignment == sres.assignment
+            assert (metrics.summary(), palette) == (sm.summary(), spal)
+            cmp = compare_round_accounting(solo_rec.record, rec.record)
+            assert cmp["accounting_equal"], cmp
+
+    def test_batch_spanning_multiple_tiles(self):
+        """A batch whose dense node count exceeds one 2048-node tile must
+        still match the per-instance runs — the tiling is invisible."""
+        gs = [random_regular(1500, 6, seed=s) for s in (1, 2, 3)]
+        outs = linial_compiled_batch(gs, defect=[0, 1, 0])
+        for g, d, (res, metrics, palette) in zip(gs, [0, 1, 0], outs):
+            sres, sm, spal = linial_compiled(g, defect=d)
+            assert res.assignment == sres.assignment
+            assert (metrics.summary(), palette) == (sm.summary(), spal)
+
+
+class TestCompiledFuzzIntegration:
+    def test_corpus_replays_clean_through_compiled_pairs(self):
+        replayed = 0
+        for path, case in load_corpus(CORPUS):
+            if case.pair not in COMPILED_PAIRS or case.fault is not None:
+                continue
+            outcome = run_case(case, pairs=COMPILED_PAIRS)
+            assert outcome.ok, f"{path}: {outcome.describe()}"
+            replayed += 1
+        assert replayed > 0, "corpus has no compiled-replayable entries"
+
+    @pytest.mark.parametrize("batch_size", [0, 8])
+    def test_fuzz_run_compiled_backend(self, batch_size):
+        report = fuzz_run(
+            seed=7,
+            iterations=6,
+            backend="compiled",
+            shrink=False,
+            batch_size=batch_size,
+        )
+        assert report.ok, report.describe()
+        assert report.backend == "compiled"
+        assert set(report.per_pair) <= set(COMPILED_PAIRS)
+        # every generated trial is either run or skipped-for-faults, and
+        # the linial stream does generate fault cases at these seeds
+        assert report.cases_run + report.skipped == 6 * len(COMPILED_PAIRS)
+        assert report.skipped > 0
+        assert "skipped" in report.describe()
+
+    def test_fuzz_run_vectorized_never_skips(self):
+        report = fuzz_run(seed=7, iterations=4, shrink=False)
+        assert report.skipped == 0
+        assert report.backend == "vectorized"

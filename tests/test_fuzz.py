@@ -302,6 +302,74 @@ class TestFuzzRun:
         assert len(report.failures) == 2
 
 
+class TestBatchedDispatchByValue:
+    """Regression: the batched fast side used to be selected by *identity*
+    (``pair is ENGINE_PAIRS.get(name)``), so an equal-but-not-identical
+    pair in a caller-built ``pairs=`` registry silently lost the batched
+    path — the run still passed, it just never executed the code under
+    test.  Dispatch is now by value equality (:func:`_batched_runner`)."""
+
+    def _cases(self, pair, count=4):
+        return [
+            generate_case(f"bd:{i}:{pair}", pair=pair) for i in range(count)
+        ]
+
+    def _spied_vec_batch(self, monkeypatch, name):
+        from repro.fuzz import differential
+
+        calls = []
+        real = differential._VEC_BATCH[name]
+
+        def spy(cases):
+            calls.append(len(cases))
+            return real(cases)
+
+        monkeypatch.setitem(differential._VEC_BATCH, name, spy)
+        return calls
+
+    @pytest.mark.parametrize("name", sorted(ENGINE_PAIRS))
+    def test_equal_copy_keeps_batched_path(self, monkeypatch, name):
+        from repro.fuzz import run_cases_batched
+
+        calls = self._spied_vec_batch(monkeypatch, name)
+        registry = {**ENGINE_PAIRS, name: dataclasses.replace(ENGINE_PAIRS[name])}
+        assert registry[name] is not ENGINE_PAIRS[name]
+        outcomes = run_cases_batched(self._cases(name), pairs=registry)
+        assert calls == [4]
+        assert all(o.ok for o in outcomes)
+
+    def test_mutated_pair_falls_back_to_per_case(self, monkeypatch):
+        from repro.fuzz import run_cases_batched
+
+        calls = self._spied_vec_batch(monkeypatch, "linial")
+        broken = _broken_registry("linial", _perturb_max_label)
+        outcomes = run_cases_batched(self._cases("linial"), pairs=broken)
+        assert calls == []  # per-case, so the mutated fast side actually ran
+        assert all(not o.ok for o in outcomes)
+
+    def test_compiled_registry_batches_linial(self, monkeypatch):
+        from repro.fuzz import COMPILED_PAIRS, run_cases_batched
+        from repro.fuzz import differential
+
+        calls = []
+        real = differential._CPL_BATCH["linial"]
+
+        def spy(cases):
+            calls.append(len(cases))
+            return real(cases)
+
+        monkeypatch.setitem(differential._CPL_BATCH, "linial", spy)
+        cases = [
+            c
+            for c in self._cases("linial", count=8)
+            if c.fault is None  # compiled backend skips fault cases
+        ]
+        assert len(cases) >= 2
+        outcomes = run_cases_batched(cases, pairs=COMPILED_PAIRS)
+        assert calls == [len(cases)]
+        assert all(o.ok for o in outcomes)
+
+
 class TestCaseValidation:
     def test_duplicate_nodes_rejected(self):
         with pytest.raises(ValueError, match="duplicate"):

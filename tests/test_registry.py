@@ -1,4 +1,5 @@
-"""Tests for the algorithm registry and its CLI integration."""
+"""Tests for the algorithm registry, the engine-backend registry
+(:mod:`repro.sim.backends`), and their CLI integration."""
 
 import pytest
 
@@ -41,6 +42,123 @@ class TestRegistry:
                 a = run(name, g)[0].assignment
                 b = run(name, g)[0].assignment
                 assert a == b, f"{name} flagged deterministic but differs"
+
+
+class TestBackendRegistry:
+    def test_unknown_backend_is_structured_error(self):
+        from repro.sim.backends import (
+            BackendError,
+            UnknownBackendError,
+            get_backend,
+        )
+
+        with pytest.raises(UnknownBackendError, match="unknown backend"):
+            get_backend("quantum")
+        # structured, never a bare KeyError
+        assert not issubclass(UnknownBackendError, KeyError)
+        assert issubclass(UnknownBackendError, BackendError)
+
+    def test_every_backend_declares_every_algorithm(self):
+        from repro.sim.backends import ALGORITHMS, BACKENDS
+
+        for spec in BACKENDS.values():
+            for algorithm in ALGORITHMS:
+                spec.algorithm_support(algorithm)  # must not raise
+
+    def test_require_rejects_unsupported_algorithm(self):
+        from repro.sim.backends import CapabilityError, require
+
+        with pytest.raises(CapabilityError, match="does not support algorithm"):
+            require("compiled", algorithm="classic")
+        assert require("compiled", algorithm="linial").name == "compiled"
+
+    def test_require_rejects_capability_mismatches(self):
+        from repro.sim.backends import CapabilityError, require
+
+        with pytest.raises(CapabilityError, match="fault injection"):
+            require("compiled", faults=True)
+        with pytest.raises(CapabilityError, match="batched execution"):
+            require("reference", batch=True)
+        assert require("vectorized", faults=True, batch=True).name == "vectorized"
+
+    def test_unavailable_backend_still_resolves(self):
+        """Graceful degradation: the compiled backend resolves whether or
+        not numba is importable — availability is reporting, not gating."""
+        from repro.sim.backends import get_backend, require
+        from repro.sim.compiled import NUMBA_AVAILABLE
+
+        spec = require("compiled", algorithm="linial", batch=True)
+        assert spec.available is NUMBA_AVAILABLE
+        if not spec.available:
+            assert "numpy fallback" in (spec.unavailable_reason or "")
+        assert get_backend("compiled") is spec
+
+    def test_describe_reports_availability(self):
+        from repro.sim.backends import describe
+        from repro.sim.compiled import NUMBA_AVAILABLE
+
+        text = describe()
+        for name in ("reference", "vectorized", "batched", "compiled"):
+            assert f"{name}: " in text
+        expected = "available" if NUMBA_AVAILABLE else "unavailable"
+        assert f"compiled: {expected}" in text
+
+    def test_sweep_algorithm_ownership(self):
+        from repro.sim.backends import (
+            UnknownBackendError,
+            backend_of_sweep_algorithm,
+        )
+
+        assert backend_of_sweep_algorithm("linial_vectorized").name == "vectorized"
+        assert backend_of_sweep_algorithm("linial_compiled").name == "compiled"
+        assert backend_of_sweep_algorithm("linial").name == "reference"
+        with pytest.raises(UnknownBackendError, match="no backend declares"):
+            backend_of_sweep_algorithm("linial_quantum")
+
+    def test_batchable_sweep_algorithms_drive_sweep(self):
+        from repro.experiments.sweep import BATCHABLE_ALGORITHMS
+        from repro.sim.backends import batchable_sweep_algorithms
+
+        derived = batchable_sweep_algorithms()
+        assert BATCHABLE_ALGORITHMS == derived
+        assert "linial_compiled" in derived
+
+    def test_consistency_report_is_green(self):
+        """The cross-module audit: every name list the registry replaced
+        (fuzz pairs, batched dispatch, sweep batchables/dispatch, analysis
+        pairs, generator space) agrees with the declarations."""
+        from repro.sim.backends import consistency_report
+
+        report = consistency_report()
+        assert report["problems"] == []
+        assert report["ok"] is True
+
+    def test_pairs_for_backend_resolution(self):
+        from repro.fuzz import COMPILED_PAIRS, ENGINE_PAIRS, pairs_for_backend
+        from repro.sim.backends import CapabilityError, UnknownBackendError
+
+        assert pairs_for_backend("vectorized") is ENGINE_PAIRS
+        assert pairs_for_backend("batched") is ENGINE_PAIRS
+        assert pairs_for_backend("compiled") is COMPILED_PAIRS
+        with pytest.raises(CapabilityError, match="baseline"):
+            pairs_for_backend("reference")
+        with pytest.raises(UnknownBackendError):
+            pairs_for_backend("quantum")
+
+    def test_cli_backends_subcommand(self, capsys):
+        from repro.cli import main
+
+        rc = main(["backends"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "registry consistency: OK" in out
+        assert "compiled" in out
+
+    def test_cli_fuzz_rejects_unknown_backend(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="unknown backend"):
+            main(["fuzz", "--backend", "quantum", "--iterations", "1"])
 
 
 class TestCLIAlgorithmFlag:

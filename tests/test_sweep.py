@@ -128,8 +128,13 @@ class TestRunSweep:
 
     def test_parallel_equals_inline(self, tmp_path):
         def strip_clock(data):
-            # wall-clock fields legitimately differ between runs
-            out = {k: v for k, v in data.items() if k not in ("wall_s", "timings")}
+            # wall-clock and batching-provenance fields legitimately
+            # differ between runs / worker counts
+            out = {
+                k: v
+                for k, v in data.items()
+                if k not in ("wall_s", "timings", "batched_with")
+            }
             if out.get("run_record") is not None:
                 out["run_record"] = {
                     k: v for k, v in out["run_record"].items() if k != "timings"

@@ -21,11 +21,19 @@ from repro.experiments.sweep import (
     run_sweep,
 )
 
-CLOCK_FIELDS = {"wall_s", "timings", "phase_s", "started_at", "finished_at"}
+CLOCK_FIELDS = {
+    "wall_s",
+    "timings",
+    "phase_s",
+    "started_at",
+    "finished_at",
+    "batched_with",
+}
 
 
 def strip_clock(record):
-    """Deep-copy a record with every timing-derived field removed."""
+    """Deep-copy a record with every timing/batching-provenance field
+    removed (those legitimately differ between execution strategies)."""
     if isinstance(record, dict):
         return {
             key: strip_clock(value)
@@ -81,6 +89,16 @@ class TestBatchedRecordsMatchPerCell:
         batched = compute_cells_batched(cells)
         for cell, record in zip(cells, batched):
             assert strip_clock(record) == strip_clock(compute_cell(cell))
+
+    def test_batched_wall_attribution(self):
+        """Batched cells report the *actual* batch wall time (shared by
+        every record of the group) plus the group size — not a fabricated
+        per-cell split; per-cell records carry ``batched_with == 1``."""
+        cells = cells_for("linial_vectorized")
+        records = compute_cells_batched(cells)
+        assert len({r["wall_s"] for r in records}) == 1
+        assert all(r["batched_with"] == len(cells) for r in records)
+        assert compute_cell(cells[0])["batched_with"] == 1
 
     def test_mixed_algorithms_rejected(self):
         cells = cells_for("linial_vectorized") + cells_for("greedy_vectorized")
