@@ -1,0 +1,246 @@
+"""Serving daemon under load: latency, RPS, equivalence (`BENCH_serve.json`).
+
+The serving claim behind :mod:`repro.serve` is three claims, and this
+script measures all of them in one record:
+
+* **equivalence** — every coloring the daemon serves is bit-identical
+  (assignment, palette, rounds, total bits) to what the offline batched
+  engine :func:`~repro.sim.batch.linial_vectorized_batch` produces for
+  the same pinned request set.  Asserted before any timing is reported;
+  a fast wrong server is not a result.
+* **throughput** — under ≥1000 concurrent synthetic clients the daemon
+  sustains its RPS with bounded tail latency; the record carries
+  client-observed p50/p90/p99 plus the scheduler's own queue/service
+  split and occupancy profile.
+* **resilience** — a burst mixing crash-stop
+  :class:`~repro.faults.FaultPlan` requests with clean ones must evict
+  every halted instance (``status="halted"``) while every clean sibling
+  still serves a valid coloring.
+
+Run it the way CI does::
+
+    python benchmarks/bench_serve.py --out BENCH_serve.json
+
+The committed ``BENCH_serve.json`` was produced at the default shape
+(1000 clients x 3 requests, max_batch 64).  A small smoke version runs
+under ``pytest benchmarks/ --benchmark-only`` like the other bench
+files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import quantile  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ColoringServer,
+    ServeConfig,
+    fire_traffic,
+    synth_requests,
+)
+from repro.sim import linial_vectorized_batch  # noqa: E402
+
+#: The crash-stop adversary the resilience run mixes in: every node
+#: crashes in round 0 and never recovers, so the instance must halt.
+CRASH_PLAN = {
+    "seed": 5,
+    "p_crash": 1.0,
+    "recovery_rounds": None,
+    "crash_horizon": 1,
+}
+
+
+async def _serve_set(requests, *, clients: int, max_batch: int):
+    """Start a daemon, fire ``requests`` from ``clients`` connections,
+    return ``(TrafficReport, scheduler stats)`` after a clean stop."""
+    server = ColoringServer(ServeConfig(max_batch=max_batch))
+    await server.start()
+    try:
+        report = await fire_traffic(
+            "127.0.0.1", server.port, requests, clients=clients
+        )
+        stats = server.batcher.stats()
+    finally:
+        await server.stop()
+    return report, stats
+
+
+def equivalence_run(seed: int, count: int, max_batch: int) -> dict:
+    """Serve a pinned request set and diff it against the offline engine.
+
+    Raises AssertionError on the first divergent request — the bench
+    record only ever contains a passing equivalence block.
+    """
+    requests = synth_requests(seed, count)
+    report, _ = asyncio.run(
+        _serve_set(requests, clients=min(32, count) or 1, max_batch=max_batch)
+    )
+    graphs = [r.build_graph() for r in requests]
+    offline = linial_vectorized_batch(
+        graphs, initial_colors=[r.initial_colors for r in requests]
+    )
+    for request, (result, metrics, palette) in zip(requests, offline):
+        served = report.responses[request.request_id]
+        assert served.status == "ok", (
+            f"{request.request_id}: served status {served.status}"
+        )
+        assert served.assignment() == result.assignment, (
+            f"{request.request_id}: served coloring differs from offline"
+        )
+        assert served.palette == palette, f"{request.request_id}: palette"
+        assert served.rounds == metrics.rounds, f"{request.request_id}: rounds"
+        assert served.total_bits == metrics.total_bits, (
+            f"{request.request_id}: total_bits"
+        )
+    return {"requests": count, "seed": seed, "bit_identical": True}
+
+
+def throughput_run(
+    seed: int, clients: int, requests_per_client: int, max_batch: int
+) -> dict:
+    """The headline load test: ``clients`` concurrent connections."""
+    requests = synth_requests(seed, clients * requests_per_client)
+    t0 = time.perf_counter()
+    report, stats = asyncio.run(
+        _serve_set(requests, clients=clients, max_batch=max_batch)
+    )
+    wall = time.perf_counter() - t0
+    counts = report.status_counts()
+    assert counts.get("ok") == len(requests), f"non-ok responses: {counts}"
+    invalid = [
+        r for r in report.responses.values() if r.valid is not True
+    ]
+    assert not invalid, f"{len(invalid)} served colorings failed validation"
+    lat = sorted(report.latencies)
+    return {
+        "clients": clients,
+        "requests": len(requests),
+        "burst_wall_s": report.wall_seconds,
+        "wall_s_incl_startup": wall,
+        "rps": report.rps,
+        "latency_ms": {
+            "p50": quantile(lat, 0.50) * 1000.0,
+            "p90": quantile(lat, 0.90) * 1000.0,
+            "p99": quantile(lat, 0.99) * 1000.0,
+            "max": lat[-1] * 1000.0,
+        },
+        "scheduler": {
+            "rounds": stats["round_index"],
+            "max_batch": stats["max_batch"],
+            "occupancy": stats["occupancy_stats"],
+            "queue_latency": stats["latency"]["queue"],
+            "service_latency": stats["latency"]["service"],
+        },
+    }
+
+
+def crash_run(seed: int, count: int, max_batch: int) -> dict:
+    """Crash-plan mix: halted instances evicted, siblings keep serving."""
+    requests = synth_requests(seed, count, fault_plans=(None, CRASH_PLAN))
+    report, stats = asyncio.run(
+        _serve_set(requests, clients=min(32, count) or 1, max_batch=max_batch)
+    )
+    counts = report.status_counts()
+    ok = [r for r in report.responses.values() if r.status == "ok"]
+    halted = [r for r in report.responses.values() if r.status == "halted"]
+    assert halted, "crash mix produced no halted instances"
+    assert ok, "crash mix starved every clean sibling"
+    assert all(r.valid for r in ok), "a sibling served an invalid coloring"
+    assert counts.get("error", 0) == 0, f"unexpected errors: {counts}"
+    return {
+        "requests": count,
+        "statuses": counts,
+        "halted_evicted": len(halted),
+        "siblings_served_valid": len(ok),
+        "rounds": stats["round_index"],
+    }
+
+
+def measure(
+    seed: int,
+    clients: int,
+    requests_per_client: int,
+    max_batch: int,
+    equivalence_requests: int,
+    crash_requests: int,
+) -> dict:
+    """All three serving claims, in contract order."""
+    return {
+        "bench": "repro.serve continuous-batching daemon",
+        "seed": seed,
+        "equivalence": equivalence_run(seed, equivalence_requests, max_batch),
+        "throughput": throughput_run(
+            seed + 1, clients, requests_per_client, max_batch
+        ),
+        "crash_tolerance": crash_run(seed + 2, crash_requests, max_batch),
+    }
+
+
+def test_bench_serve_smoke(benchmark):
+    """pytest-benchmark entry: a small burst, all assertions still on."""
+    record = benchmark.pedantic(
+        measure,
+        args=(7, 20, 2, 16, 12, 12),
+        rounds=1,
+        iterations=1,
+    )
+    assert record["equivalence"]["bit_identical"]
+    benchmark.extra_info["experiment"] = "serve daemon burst (smoke)"
+    benchmark.extra_info["rps"] = record["throughput"]["rps"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=1000,
+                        help="concurrent connections (acceptance: >= 1000)")
+    parser.add_argument("--requests-per-client", dest="requests_per_client",
+                        type=int, default=3)
+    parser.add_argument("--max-batch", dest="max_batch", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--equivalence-requests", dest="equivalence_requests",
+                        type=int, default=100,
+                        help="pinned set diffed against the offline engine")
+    parser.add_argument("--crash-requests", dest="crash_requests", type=int,
+                        default=60, help="crash-plan mix size")
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="where to write the JSON record")
+    args = parser.parse_args(argv)
+
+    record = measure(
+        args.seed,
+        args.clients,
+        args.requests_per_client,
+        args.max_batch,
+        args.equivalence_requests,
+        args.crash_requests,
+    )
+    Path(args.out).write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+    thr = record["throughput"]
+    crash = record["crash_tolerance"]
+    print(
+        f"equivalence: {record['equivalence']['requests']} served requests "
+        f"bit-identical to the offline batched engine"
+    )
+    print(
+        f"throughput: {thr['requests']} requests from {thr['clients']} "
+        f"clients in {thr['burst_wall_s']:.2f}s ({thr['rps']:.0f} rps), "
+        f"p50 {thr['latency_ms']['p50']:.1f}ms / "
+        f"p99 {thr['latency_ms']['p99']:.1f}ms"
+    )
+    print(
+        f"crash tolerance: {crash['halted_evicted']} halted+evicted, "
+        f"{crash['siblings_served_valid']} siblings served valid; "
+        f"wrote {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

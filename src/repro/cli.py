@@ -9,6 +9,7 @@ Main subcommands::
     repro-cli faults     --mode drop --rates 0.0,0.1,0.3
     repro-cli report     --cache-dir C
     repro-cli fuzz       --seed 0 --iterations 50 --corpus tests/corpus
+    repro-cli serve      --port 7341 --max-batch 64
     repro-cli backends
     repro-cli families
 
@@ -26,7 +27,11 @@ the pinned failure corpus and then runs the differential
 reference-vs-vectorized fuzz loop (see ``docs/FUZZING.md``);
 ``fuzz --backend compiled`` runs the same loop against the compiled
 backend of :mod:`repro.sim.compiled` (fault cases skipped — the backend
-declares ``supports_faults=False``); ``backends`` prints the
+declares ``supports_faults=False``); ``serve`` runs the
+:mod:`repro.serve` continuous-batching daemon on a local TCP port
+(``--smoke`` instead starts it, fires a pinned synthetic burst from
+concurrent clients, asserts every coloring validates, and shuts down —
+the CI serving check); ``backends`` prints the
 :mod:`repro.sim.backends` registry with capabilities/availability and
 the cross-module consistency check; ``families`` lists the available
 graph generators and their parameters.
@@ -489,6 +494,107 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 1 if mismatches else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as _json
+
+    from .serve import (
+        ColoringServer,
+        ServeConfig,
+        fire_traffic,
+        synth_requests,
+    )
+    from .sim.backends import BackendError, require
+
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        validate=not args.no_validate,
+        record_jsonl=args.record_jsonl,
+        backend=args.backend,
+    )
+    try:
+        require(config.backend, algorithm="linial", serve=True)
+    except BackendError as exc:
+        print(exc)
+        return 1
+
+    if args.smoke:
+        async def smoke() -> int:
+            server = ColoringServer(config, host=args.host, port=args.port)
+            await server.start()
+            print(f"serve smoke: daemon on {args.host}:{server.port}")
+            requests = synth_requests(args.seed, args.smoke_requests)
+            report = await fire_traffic(
+                args.host, server.port, requests, clients=args.smoke_clients
+            )
+            stats = server.batcher.stats()
+            await server.stop()
+            counts = report.status_counts()
+            not_ok = {k: v for k, v in counts.items() if k != "ok"}
+            invalid = [
+                r
+                for r in report.responses.values()
+                if r.status == "ok" and r.valid is not True
+            ]
+            print(
+                f"serve smoke: {report.requests} requests from "
+                f"{args.smoke_clients} clients in {report.wall_seconds:.2f}s "
+                f"({report.rps:.0f} rps), statuses={counts}, "
+                f"max_occupancy="
+                f"{stats['occupancy_stats'].get('max_occupancy', 0)}"
+            )
+            if args.output:
+                with open(args.output, "w") as fh:
+                    _json.dump(
+                        {
+                            "requests": report.requests,
+                            "clients": args.smoke_clients,
+                            "wall_s": report.wall_seconds,
+                            "rps": report.rps,
+                            "statuses": counts,
+                            "stats": stats,
+                        },
+                        fh,
+                        indent=1,
+                        sort_keys=True,
+                    )
+                print(f"saved smoke record to {args.output}")
+            if not_ok or invalid or len(report.responses) != len(requests):
+                print(
+                    f"SMOKE FAILURE: non-ok={not_ok} "
+                    f"invalid={len(invalid)} "
+                    f"responses={len(report.responses)}/{len(requests)}"
+                )
+                return 1
+            print("serve smoke: all colorings valid, clean shutdown")
+            return 0
+
+        return asyncio.run(smoke())
+
+    async def daemon() -> int:
+        server = ColoringServer(config, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"repro serve: listening on {args.host}:{server.port} "
+            f"(backend={config.backend}, max_batch={config.max_batch}); "
+            f"send {{\"op\": \"shutdown\"}} to stop"
+        )
+        await server.serve_forever()
+        stats = server.batcher.stats()
+        await server.stop()
+        print(
+            f"repro serve: shut down after {stats['served']} served, "
+            f"{stats['halted']} halted, {stats['errors']} errors"
+        )
+        return 0
+
+    try:
+        return asyncio.run(daemon())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted")
+        return 0
+
+
 def _cmd_families(_args: argparse.Namespace) -> int:
     for name in sorted(_FAMILY_FNS):
         sig = inspect.signature(_FAMILY_FNS[name])
@@ -644,6 +750,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_flt.add_argument("--output", default=None,
                        help="write the degradation record as JSON")
     p_flt.set_defaults(func=_cmd_faults)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the continuous-batching coloring daemon "
+             "(or --smoke for a self-contained serving check)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks a free one, printed at start)")
+    p_srv.add_argument("--max-batch", dest="max_batch", type=int, default=64,
+                       help="max instances packed into one round")
+    p_srv.add_argument("--backend", default="batched",
+                       help="serve-capable repro.sim.backends backend")
+    p_srv.add_argument("--no-validate", dest="no_validate",
+                       action="store_true",
+                       help="skip re-validating served colorings")
+    p_srv.add_argument("--record-jsonl", dest="record_jsonl", default=None,
+                       help="append one RunRecord per request to this JSONL")
+    p_srv.add_argument("--smoke", action="store_true",
+                       help="start the daemon, fire a pinned synthetic "
+                            "burst, assert valid colorings, shut down")
+    p_srv.add_argument("--seed", type=int, default=0,
+                       help="smoke-burst request-set seed")
+    p_srv.add_argument("--smoke-requests", dest="smoke_requests", type=int,
+                       default=200, help="smoke-burst request count")
+    p_srv.add_argument("--smoke-clients", dest="smoke_clients", type=int,
+                       default=50, help="smoke-burst concurrent connections")
+    p_srv.add_argument("--output", default=None,
+                       help="write the smoke record as JSON")
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_fam = sub.add_parser("families", help="list graph generators")
     p_fam.set_defaults(func=_cmd_families)

@@ -36,6 +36,7 @@ See ``docs/FUZZING.md`` for the workflow.
 from .case import CORPUS_SCHEMA_VERSION, FuzzCase
 from .corpus import (
     case_filename,
+    corrupt_corpus_files,
     load_case,
     load_corpus,
     replay_corpus,
@@ -67,6 +68,7 @@ __all__ = [
     "FuzzFailure",
     "FuzzReport",
     "case_filename",
+    "corrupt_corpus_files",
     "fuzz_run",
     "generate_case",
     "load_case",

@@ -6,12 +6,23 @@ same minimal case is idempotent).  The files under ``tests/corpus/`` are
 replayed by the test suite and by ``repro-cli fuzz`` / CI on every run:
 a corpus entry is a regression test that asserts the divergence it once
 witnessed stays fixed.
+
+Writes are crash-safe: :func:`save_case` lands each entry through a
+sibling temp file plus ``os.replace`` (the same pattern the sweep cache
+uses), so an interrupted write can never leave a truncated JSON behind.
+Reads are crash-*tolerant*: an entry that no longer parses — e.g. one
+written by a pre-fix version that died mid-``write_text`` — is
+quarantined in place as ``<name>.json.corrupt`` and skipped with a
+warning instead of poisoning the whole replay; :func:`corrupt_corpus_files`
+lists the quarantined files so CI and humans see what was set aside.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import warnings
 from pathlib import Path
 
 from .case import FuzzCase
@@ -29,11 +40,18 @@ def case_filename(case: FuzzCase) -> str:
 
 
 def save_case(case: FuzzCase, corpus_dir: Path | str) -> Path:
-    """Write ``case`` into the corpus; returns the file path."""
+    """Atomically write ``case`` into the corpus; returns the file path.
+
+    The payload lands through a sibling temp file plus ``os.replace``, so
+    a crash mid-write leaves either the previous entry or no entry —
+    never a truncated JSON that would fail the next replay.
+    """
     corpus_dir = Path(corpus_dir)
     corpus_dir.mkdir(parents=True, exist_ok=True)
     path = corpus_dir / case_filename(case)
-    path.write_text(json.dumps(case.to_dict(), indent=1, sort_keys=True) + "\n")
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(case.to_dict(), indent=1, sort_keys=True) + "\n")
+    os.replace(tmp, path)
     return path
 
 
@@ -42,12 +60,52 @@ def load_case(path: Path | str) -> FuzzCase:
     return FuzzCase.from_dict(json.loads(Path(path).read_text()))
 
 
-def load_corpus(corpus_dir: Path | str) -> list[tuple[Path, FuzzCase]]:
-    """Every corpus entry, sorted by filename for stable replay order."""
+def quarantine_corrupt_case(path: Path) -> Path:
+    """Rename an unreadable entry to ``<name>.json.corrupt`` (best effort).
+
+    The quarantined file keeps its bytes for post-mortems but no longer
+    matches the ``*.json`` replay glob, so one truncated entry cannot
+    fail every future corpus replay.
+    """
+    quarantined = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, quarantined)
+    except OSError:  # pragma: no cover - racing replay / read-only corpus
+        pass
+    return quarantined
+
+
+def corrupt_corpus_files(corpus_dir: Path | str) -> list[Path]:
+    """Quarantined ``.json.corrupt`` files under ``corpus_dir`` (sorted)."""
     corpus_dir = Path(corpus_dir)
     if not corpus_dir.is_dir():
         return []
-    return [(p, load_case(p)) for p in sorted(corpus_dir.glob("*.json"))]
+    return sorted(corpus_dir.glob("*.json.corrupt"))
+
+
+def load_corpus(corpus_dir: Path | str) -> list[tuple[Path, FuzzCase]]:
+    """Every readable corpus entry, sorted by filename for stable replay.
+
+    Entries that fail to parse or validate (a truncated write from a
+    crashed process, a hand-edit gone wrong) are quarantined as
+    ``<name>.json.corrupt`` and skipped with a warning — the rest of the
+    corpus still replays.
+    """
+    corpus_dir = Path(corpus_dir)
+    if not corpus_dir.is_dir():
+        return []
+    out: list[tuple[Path, FuzzCase]] = []
+    for path in sorted(corpus_dir.glob("*.json")):
+        try:
+            out.append((path, load_case(path)))
+        except (ValueError, KeyError, TypeError) as exc:
+            quarantined = quarantine_corrupt_case(path)
+            warnings.warn(
+                f"corpus entry {path.name} is unreadable ({exc}); "
+                f"quarantined as {quarantined.name}",
+                stacklevel=2,
+            )
+    return out
 
 
 def replay_corpus(
@@ -58,6 +116,8 @@ def replay_corpus(
 
     All entries are expected to pass (they encode *fixed* bugs); callers
     — the test suite, the CLI, CI — assert ``outcome.ok`` per entry.
+    Unreadable entries are quarantined by :func:`load_corpus`, not
+    replayed.
     """
     return [
         (path, run_case(case, pairs=pairs))

@@ -15,13 +15,18 @@ the *same* units.  This package provides that shared vocabulary:
   :func:`read_jsonl`);
 * :func:`compare_round_accounting` — the cross-engine equivalence check
   (reference vs vectorized on the same cell must produce identical
-  per-round message counts and bit totals).
+  per-round message counts and bit totals);
+* :class:`LatencyTracker` / :class:`OccupancyTracker` / :func:`quantile`
+  — the serving-side aggregators (:mod:`repro.serve` and
+  ``benchmarks/bench_serve.py`` report p50/p99 latency, RPS, and batch
+  occupancy through them).
 
 ``repro.experiments.sweep`` aggregates these records into its per-cell
 cache, and ``repro-cli report`` renders them as per-round tables and
 cross-engine comparisons.
 """
 
+from .latency import LatencyTracker, OccupancyTracker, quantile
 from .profiler import Profiler
 from .record import (
     ENGINE_COMPILED,
@@ -41,13 +46,16 @@ __all__ = [
     "ENGINE_COMPILED",
     "ENGINE_REFERENCE",
     "ENGINE_VECTORIZED",
+    "LatencyTracker",
     "OBS_SCHEMA_VERSION",
+    "OccupancyTracker",
     "Profiler",
     "RoundRow",
     "RunRecord",
     "RunRecorder",
     "append_jsonl",
     "compare_round_accounting",
+    "quantile",
     "read_jsonl",
     "write_jsonl",
 ]

@@ -1,0 +1,119 @@
+"""Serving-side observability: latency and occupancy aggregation.
+
+The serving daemon (:mod:`repro.serve`) turns the reproduction into a
+live system, and live systems are measured in different units than
+algorithm runs: request latency quantiles (p50/p99), sustained
+requests/sec, queue depth, and batch occupancy.  This module provides
+the two small aggregators those numbers come from —
+:class:`LatencyTracker` for per-request wall-clock samples and
+:class:`OccupancyTracker` for per-round queue/batch fill levels — plus
+the :func:`quantile` primitive both the trackers and
+``benchmarks/bench_serve.py`` share, so every p50/p99 the repo reports
+is computed the same way (linear interpolation on the sorted sample
+set, the numpy ``linear`` convention).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of ``samples`` by linear interpolation.
+
+    ``q`` is a fraction in ``[0, 1]`` (``0.5`` = median, ``0.99`` = p99).
+    Matches ``numpy.quantile``'s default ``linear`` method without
+    requiring the samples as an array; raises on an empty sample set —
+    a latency report over zero requests is a caller bug, not a zero.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
+    if not samples:
+        raise ValueError("quantile of an empty sample set")
+    ordered = sorted(samples)
+    pos = q * (len(ordered) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return float(ordered[lo])
+    frac = pos - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+class LatencyTracker:
+    """Accumulates per-request latency samples (seconds) and summarizes.
+
+    One tracker per latency dimension — the serving scheduler keeps
+    three (queue wait, service time, total) — with :meth:`summary`
+    rendering the standard serving quantiles in milliseconds.  Samples
+    are kept raw (one float per request); at serving-benchmark scales
+    (thousands of requests) this is a few hundred kilobytes, and raw
+    retention keeps the quantiles exact instead of sketched.
+    """
+
+    def __init__(self) -> None:
+        self.samples: list[float] = []
+
+    def add(self, seconds: float) -> None:
+        """Record one request's latency in seconds."""
+        self.samples.append(float(seconds))
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded so far."""
+        return len(self.samples)
+
+    def summary(self) -> dict[str, Any]:
+        """Quantile summary in milliseconds (``{"count": 0}`` when empty)."""
+        if not self.samples:
+            return {"count": 0}
+        ordered = sorted(self.samples)
+        ms = 1000.0
+        return {
+            "count": len(ordered),
+            "mean_ms": sum(ordered) / len(ordered) * ms,
+            "p50_ms": quantile(ordered, 0.50) * ms,
+            "p90_ms": quantile(ordered, 0.90) * ms,
+            "p99_ms": quantile(ordered, 0.99) * ms,
+            "max_ms": ordered[-1] * ms,
+        }
+
+
+class OccupancyTracker:
+    """Per-round queue-depth and batch-occupancy accounting.
+
+    The serving scheduler calls :meth:`on_round` once per global round
+    with the queue depth (admitted-but-waiting requests) and batch
+    occupancy (instances resident in the stepper) *after* that round's
+    admissions — the two numbers that tell whether the server is
+    saturated (deep queue, full batch), idle (both near zero), or
+    mis-sized (empty queue but full batch, or vice versa).
+    """
+
+    def __init__(self) -> None:
+        self.rounds = 0
+        self._queue_sum = 0
+        self._queue_max = 0
+        self._occupancy_sum = 0
+        self._occupancy_max = 0
+
+    def on_round(self, queue_depth: int, occupancy: int) -> None:
+        """Record one round's queue depth and batch occupancy."""
+        self.rounds += 1
+        self._queue_sum += queue_depth
+        self._queue_max = max(self._queue_max, queue_depth)
+        self._occupancy_sum += occupancy
+        self._occupancy_max = max(self._occupancy_max, occupancy)
+
+    def summary(self) -> dict[str, Any]:
+        """Mean/max queue depth and occupancy over the recorded rounds."""
+        if not self.rounds:
+            return {"rounds": 0}
+        return {
+            "rounds": self.rounds,
+            "mean_queue_depth": self._queue_sum / self.rounds,
+            "max_queue_depth": self._queue_max,
+            "mean_occupancy": self._occupancy_sum / self.rounds,
+            "max_occupancy": self._occupancy_max,
+        }

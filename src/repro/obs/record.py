@@ -31,6 +31,8 @@ carries natively.
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Sequence
@@ -260,21 +262,54 @@ def append_jsonl(record: RunRecord, path: Path | str) -> None:
 
 
 def write_jsonl(records: Iterable[RunRecord], path: Path | str) -> None:
-    """Write records as JSONL, replacing any existing file."""
+    """Atomically write records as JSONL, replacing any existing file.
+
+    The lines stream into a sibling temp file that ``os.replace``\\ s the
+    destination only once every record is on disk.  A crash mid-write —
+    e.g. the crash-stop flush path re-serializing a record set — leaves
+    the previous file intact instead of destroying already-flushed
+    records with a half-written replacement.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as fh:
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w") as fh:
         for record in records:
             fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+    os.replace(tmp, path)
 
 
 def read_jsonl(path: Path | str) -> list[RunRecord]:
-    """Load every record of a JSONL file (blank lines skipped)."""
+    """Load every record of a JSONL file (blank lines skipped).
+
+    A final line that is not valid JSON — the signature of an append
+    interrupted mid-line — is skipped with a warning rather than raised,
+    so one torn append cannot make every previously flushed record
+    unreadable.  Malformed JSON *before* the last line is still an
+    error: that is corruption, not a torn tail.
+    """
+    path = Path(path)
+    lines = [
+        (i, line.strip())
+        for i, line in enumerate(path.read_text().splitlines(), start=1)
+        if line.strip()
+    ]
     out = []
-    for line in Path(path).read_text().splitlines():
-        line = line.strip()
-        if line:
-            out.append(RunRecord.from_dict(json.loads(line)))
+    for pos, (lineno, line) in enumerate(lines):
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if pos == len(lines) - 1:
+                warnings.warn(
+                    f"{path}: skipping partial trailing line {lineno} "
+                    f"(interrupted append?): {exc}",
+                    stacklevel=2,
+                )
+                break
+            raise ValueError(
+                f"{path}: malformed JSONL at line {lineno}: {exc}"
+            ) from exc
+        out.append(RunRecord.from_dict(payload))
     return out
 
 

@@ -1,0 +1,68 @@
+"""Serving: a long-lived coloring daemon with continuous batching.
+
+The reproduction's execution stack ends here: below this package,
+:mod:`repro.sim.batch` can pack any set of Linial instances into
+block-diagonal rounds with bit-identical per-instance results; this
+package turns that capability into a *service*.  A
+:class:`ColoringServer` accepts newline-delimited JSON requests over a
+local TCP socket; its :class:`ContinuousBatcher` packs admitted requests
+into shared rounds, evicts each instance the round it finishes, and
+refills the freed slots from a FIFO queue between rounds — continuous
+batching, the same scheduling discipline modern inference servers use,
+applied to distributed graph coloring.
+
+The serving contract, pinned by ``tests/test_serve.py`` and re-measured
+by ``benchmarks/bench_serve.py``:
+
+* every served coloring is bit-identical to what the offline batched
+  engine (:func:`~repro.sim.batch.linial_vectorized_batch`) produces for
+  the same request, regardless of batch composition or admission round;
+* every ``ok`` response validates through :mod:`repro.core.validate`;
+* a request whose crash-stop :class:`~repro.faults.FaultPlan` halts is
+  evicted as ``status="halted"`` while its batch siblings keep serving.
+
+Quick start::
+
+    server = ColoringServer(ServeConfig(max_batch=32))
+    await server.start()
+    client = ServeClient("127.0.0.1", server.port)
+    response = await client.color(synth_requests(seed=0, count=1)[0])
+    await server.stop()
+
+Or from a shell: ``repro-cli serve --port 7341``.
+"""
+
+from .client import ServeClient, TrafficReport, fire_traffic, synth_requests
+from .daemon import MAX_LINE_BYTES, ColoringServer
+from .protocol import (
+    SERVE_PROTOCOL_VERSION,
+    STATUS_ERROR,
+    STATUS_HALTED,
+    STATUS_OK,
+    ServeRequest,
+    ServeResponse,
+    decode_line,
+    encode_line,
+    error_response,
+)
+from .scheduler import ContinuousBatcher, ServeConfig
+
+__all__ = [
+    "ColoringServer",
+    "ContinuousBatcher",
+    "MAX_LINE_BYTES",
+    "SERVE_PROTOCOL_VERSION",
+    "STATUS_ERROR",
+    "STATUS_HALTED",
+    "STATUS_OK",
+    "ServeClient",
+    "ServeConfig",
+    "ServeRequest",
+    "ServeResponse",
+    "TrafficReport",
+    "decode_line",
+    "encode_line",
+    "error_response",
+    "fire_traffic",
+    "synth_requests",
+]

@@ -1,0 +1,243 @@
+"""Client side: connections, pinned request sets, synthetic heavy traffic.
+
+Three layers, each used by the next:
+
+* :class:`ServeClient` — one connection speaking the line protocol
+  (``color``/``ping``/``stats``/``shutdown``);
+* :func:`synth_requests` — a *pinned* deterministic request set (pure
+  function of its seed), which is what makes served-vs-offline
+  equivalence checkable: tests and ``benchmarks/bench_serve.py`` replay
+  the same set through :func:`~repro.sim.batch.linial_vectorized_batch`
+  and demand bit-identical colorings;
+* :func:`fire_traffic` — the heavy-traffic generator: N concurrent
+  connections each issuing a slice of a pinned request set, yielding a
+  :class:`TrafficReport` with wall-clock, latency samples, and RPS.
+
+Requests use *spread* initial colors (node ``i`` starts at color
+``64 * i``) rather than the identity: identity colorings on small
+graphs make ``linial_schedule`` empty (nothing to serve), while the
+spread forces a large initial palette and multi-round schedules — the
+same trick the fuzz harness uses to keep instances non-trivial.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from .protocol import ServeRequest, ServeResponse, decode_line, encode_line
+
+
+class ServeClient:
+    """One client connection to a :class:`~repro.serve.daemon.ColoringServer`."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "ServeClient":
+        """Open the connection (idempotent; returns self for chaining)."""
+        if self._writer is None:
+            from .daemon import MAX_LINE_BYTES
+
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=MAX_LINE_BYTES
+            )
+        return self
+
+    async def close(self) -> None:
+        """Close the connection (safe to call twice)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one protocol line and read its one-line reply."""
+        await self.connect()
+        assert self._reader is not None and self._writer is not None
+        self._writer.write(encode_line(payload))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection mid-request")
+        return decode_line(line)
+
+    async def color(self, request: ServeRequest) -> ServeResponse:
+        """Submit one coloring request and wait for its outcome."""
+        reply = await self.request({"op": "color", "request": request.to_dict()})
+        return ServeResponse.from_dict(reply)
+
+    async def ping(self) -> bool:
+        """Liveness check."""
+        reply = await self.request({"op": "ping"})
+        return bool(reply.get("ok"))
+
+    async def stats(self) -> dict[str, Any]:
+        """The daemon's scheduler statistics snapshot."""
+        reply = await self.request({"op": "stats"})
+        return dict(reply.get("stats") or {})
+
+    async def shutdown(self) -> None:
+        """Ask the daemon to shut down (connection closes after the ack)."""
+        await self.request({"op": "shutdown"})
+        await self.close()
+
+
+# ----------------------------------------------------------------------
+# pinned synthetic request sets
+# ----------------------------------------------------------------------
+#: Families the synthetic generator draws from, with size-parameter names.
+_SYNTH_FAMILIES: tuple[tuple[str, dict[str, Any]], ...] = (
+    ("ring", {"n": (8, 48)}),
+    ("path", {"n": (8, 48)}),
+    ("random_regular", {"n": (8, 40), "degree": (3, 3), "seed": "seed"}),
+    ("gnp", {"n": (10, 40), "p": 0.15, "seed": "seed"}),
+    ("random_tree", {"n": (8, 48), "seed": "seed"}),
+    ("hypercube", {"dim": (3, 5)}),
+)
+
+
+def _spread_colors(n: int) -> dict[int, int]:
+    """Spread initial colors (node ``i`` -> ``64 * i``): forces a large
+    initial palette so the Linial schedule is non-empty even on small
+    graphs — identity colorings on tiny instances serve in zero rounds.
+    """
+    return {v: 64 * v for v in range(n)}
+
+
+def synth_requests(
+    seed: int,
+    count: int,
+    *,
+    defect_choices: Sequence[int] = (0,),
+    fault_plans: Sequence[dict[str, Any] | None] = (None,),
+) -> list[ServeRequest]:
+    """A pinned request set: a pure function of ``(seed, count, ...)``.
+
+    Draws graph families/sizes, defect budgets, and (optionally) fault
+    plans from a private :class:`random.Random` so the same arguments
+    always produce the same requests — the property the equivalence
+    battery and the benchmark lean on.  Generators that need their own
+    randomness get a per-request derived seed (the sentinel ``"seed"``
+    in the family table), and node counts for ``random_regular`` are
+    forced even to keep the family constructible.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    rng = random.Random(seed)
+    requests: list[ServeRequest] = []
+    for i in range(count):
+        family, spec = _SYNTH_FAMILIES[rng.randrange(len(_SYNTH_FAMILIES))]
+        params: dict[str, Any] = {}
+        for key, value in spec.items():
+            if value == "seed":
+                params[key] = rng.randrange(2**31)
+            elif isinstance(value, tuple):
+                params[key] = rng.randint(*value)
+            else:
+                params[key] = value
+        if family == "random_regular" and params["n"] % 2:
+            params["n"] += 1  # n*d must be even for a 3-regular graph
+        if family == "hypercube":
+            n = 2 ** params["dim"]
+        else:
+            n = params["n"]
+        requests.append(
+            ServeRequest(
+                family=family,
+                family_params=params,
+                defect=defect_choices[rng.randrange(len(defect_choices))],
+                initial_colors=_spread_colors(n),
+                faults=fault_plans[rng.randrange(len(fault_plans))],
+                request_id=f"synth-{seed}-{i}",
+            )
+        )
+    return requests
+
+
+# ----------------------------------------------------------------------
+# the heavy-traffic generator
+# ----------------------------------------------------------------------
+@dataclass
+class TrafficReport:
+    """What a :func:`fire_traffic` burst measured.
+
+    ``latencies`` holds one total-latency sample (seconds) per completed
+    request; ``responses`` maps request_id to its
+    :class:`~repro.serve.protocol.ServeResponse` so callers can check
+    every served coloring, not just the aggregates.
+    """
+
+    clients: int
+    requests: int
+    wall_seconds: float
+    responses: dict[str, ServeResponse] = field(default_factory=dict)
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def rps(self) -> float:
+        """Sustained requests/second over the burst's wall-clock."""
+        return self.requests / self.wall_seconds if self.wall_seconds else 0.0
+
+    def status_counts(self) -> dict[str, int]:
+        """How many responses landed in each status."""
+        counts: dict[str, int] = {}
+        for response in self.responses.values():
+            counts[response.status] = counts.get(response.status, 0) + 1
+        return counts
+
+
+async def fire_traffic(
+    host: str,
+    port: int,
+    requests: Sequence[ServeRequest],
+    *,
+    clients: int,
+) -> TrafficReport:
+    """Fire a pinned request set at a daemon from ``clients`` connections.
+
+    The request list is dealt round-robin across ``clients`` concurrent
+    connections; each connection issues its slice sequentially (so
+    in-flight concurrency == live connections, the standard serving-
+    benchmark shape).  Latency samples are whole-request wall-clock as
+    the *client* observes it — queue wait, batched service, and protocol
+    overhead included.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    report = TrafficReport(
+        clients=min(clients, len(requests)) or clients,
+        requests=len(requests),
+        wall_seconds=0.0,
+    )
+
+    async def run_client(slice_requests: list[ServeRequest]) -> None:
+        client = ServeClient(host, port)
+        try:
+            await client.connect()
+            for request in slice_requests:
+                t0 = time.perf_counter()
+                response = await client.color(request)
+                report.latencies.append(time.perf_counter() - t0)
+                key = request.request_id or f"anon-{id(request)}"
+                report.responses[key] = response
+        finally:
+            await client.close()
+
+    slices: list[list[ServeRequest]] = [[] for _ in range(clients)]
+    for i, request in enumerate(requests):
+        slices[i % clients].append(request)
+    t_start = time.perf_counter()
+    await asyncio.gather(*(run_client(s) for s in slices if s))
+    report.wall_seconds = time.perf_counter() - t_start
+    return report

@@ -1,0 +1,144 @@
+"""The serving daemon: asyncio TCP transport over the batcher.
+
+:class:`ColoringServer` is a long-lived ``asyncio.start_server`` loop on
+a local port.  Each connection speaks the newline-delimited JSON
+protocol of :mod:`repro.serve.protocol`: ``color`` ops are submitted to
+the shared :class:`~repro.serve.scheduler.ContinuousBatcher` and their
+futures awaited per-connection (so thousands of connections overlap
+freely while the batcher packs their instances into shared rounds), and
+``ping``/``stats``/``shutdown`` answer inline.  The server and the
+scheduler loop run as tasks on one event loop — no threads, no shared
+mutable state beyond the batcher's own queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from .protocol import (
+    ServeRequest,
+    decode_line,
+    encode_line,
+    error_response,
+)
+from .scheduler import ContinuousBatcher, ServeConfig
+
+#: Upper bound on one protocol line (requests are recipes, not payloads;
+#: responses carry full colorings, so reads get generous headroom).
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+
+class ColoringServer:
+    """A long-lived coloring service on a local TCP port.
+
+    Start with :meth:`start` (binds ``host:port``; port ``0`` picks a
+    free one — read it back from :attr:`port`), stop with :meth:`stop`
+    or a client ``shutdown`` op.  :meth:`serve_forever` is the blocking
+    convenience for a foreground daemon process
+    (``repro-cli serve``); tests instead start/stop around their
+    traffic.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.batcher = ContinuousBatcher(config)
+        self._server: asyncio.AbstractServer | None = None
+        self._scheduler_task: asyncio.Task | None = None
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and launch the scheduler loop."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._scheduler_task = asyncio.create_task(self.batcher.run())
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the scheduler task, release the port."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        self.batcher.stop()
+        if self._scheduler_task is not None:
+            await self._scheduler_task
+            self._scheduler_task = None
+        self._shutdown.set()
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and block until a shutdown is requested."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: request lines in, response lines out.
+
+        Requests on a single connection are answered in order (each
+        awaited before the next line is read) — concurrency comes from
+        many connections, matching how the traffic generator and the
+        benchmark drive the daemon.  A malformed line gets an ``error``
+        response rather than killing the connection.
+        """
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    payload = decode_line(line)
+                    reply = await self._dispatch(payload)
+                except Exception as exc:  # noqa: BLE001 — wire-level fault
+                    reply = error_response(exc).to_dict()
+                writer.write(encode_line(reply))
+                await writer.drain()
+                if payload_requests_shutdown(reply):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Route one decoded protocol op to its handler."""
+        op = payload.get("op")
+        if op == "color":
+            request = ServeRequest.from_dict(payload.get("request") or {})
+            response = await self.batcher.submit(request)
+            return response.to_dict()
+        if op == "ping":
+            return {"op": "ping", "ok": True}
+        if op == "stats":
+            return {"op": "stats", "stats": self.batcher.stats()}
+        if op == "shutdown":
+            self._shutdown.set()
+            return {"op": "shutdown", "ok": True}
+        raise ValueError(f"unknown protocol op {op!r}")
+
+
+def payload_requests_shutdown(reply: dict[str, Any]) -> bool:
+    """Whether a reply ends its connection (the shutdown acknowledgment)."""
+    return reply.get("op") == "shutdown"

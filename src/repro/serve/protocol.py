@@ -1,0 +1,231 @@
+"""The wire protocol of the coloring daemon: requests, responses, framing.
+
+One message per line, each line one JSON object (newline-delimited JSON
+— append-friendly, streamable, debuggable with ``nc``).  A client sends
+``{"op": "color", ...}`` envelopes carrying a :class:`ServeRequest` and
+reads back one :class:`ServeResponse` line per request; the auxiliary
+ops (``ping``, ``stats``, ``shutdown``) are single-line exchanges the
+daemon answers inline.
+
+A request names its instance *by construction recipe* — graph family +
+parameters + seed, optional initial colors, defect budget, optional
+:class:`~repro.faults.FaultPlan` dict — never by shipping an adjacency
+list.  That keeps request lines tiny under heavy traffic and makes the
+served-vs-offline equivalence check exact: anyone can rebuild the same
+graph from the recipe and replay the same request set through
+:func:`~repro.sim.batch.linial_vectorized_batch` (which is what
+``benchmarks/bench_serve.py`` and the test suite do).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Protocol version spoken by this daemon; responses echo it so clients
+#: can detect a mismatched server before misreading fields.
+SERVE_PROTOCOL_VERSION = 1
+
+#: Request states a response can report.
+STATUS_OK = "ok"
+STATUS_HALTED = "halted"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One coloring request: a graph recipe plus algorithm configuration.
+
+    ``family``/``family_params`` name a generator in
+    :mod:`repro.graphs.generators` (e.g. ``ring`` with ``{"n": 16}``);
+    ``initial_colors`` optionally overrides the identity initial
+    coloring (JSON object keys arrive as strings and are coerced back to
+    integer node labels); ``defect`` selects the defect-``d`` schedule;
+    ``faults`` is an optional :meth:`~repro.faults.FaultPlan.to_dict`
+    payload — crash-stop plans are how the serving tests prove a dead
+    instance cannot take its batch siblings down.  ``request_id`` is a
+    client-chosen tag echoed verbatim in the response.
+    """
+
+    family: str
+    family_params: dict[str, Any] = field(default_factory=dict)
+    defect: int = 0
+    initial_colors: dict[int, int] | None = None
+    faults: dict[str, Any] | None = None
+    request_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.family, str) or not self.family:
+            raise ValueError("request needs a non-empty graph family name")
+        if self.defect < 0:
+            raise ValueError(f"defect must be >= 0, got {self.defect}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict; inverse of :meth:`from_dict`."""
+        out: dict[str, Any] = {
+            "family": self.family,
+            "family_params": dict(self.family_params),
+            "defect": self.defect,
+        }
+        if self.initial_colors is not None:
+            out["initial_colors"] = {
+                str(k): int(v) for k, v in self.initial_colors.items()
+            }
+        if self.faults is not None:
+            out["faults"] = dict(self.faults)
+        if self.request_id is not None:
+            out["request_id"] = self.request_id
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ServeRequest":
+        """Parse a request payload (unknown keys rejected, keys coerced)."""
+        known = {
+            "family",
+            "family_params",
+            "defect",
+            "initial_colors",
+            "faults",
+            "request_id",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown request fields: {sorted(unknown)}")
+        init = data.get("initial_colors")
+        return cls(
+            family=data.get("family", ""),
+            family_params=dict(data.get("family_params") or {}),
+            defect=int(data.get("defect", 0)),
+            initial_colors=(
+                None
+                if init is None
+                else {int(k): int(v) for k, v in init.items()}
+            ),
+            faults=(
+                None if data.get("faults") is None else dict(data["faults"])
+            ),
+            request_id=data.get("request_id"),
+        )
+
+    # ------------------------------------------------------------------
+    def build_graph(self):
+        """Materialize the request's graph from its family recipe."""
+        from ..graphs.generators import family as build_family
+
+        return build_family(self.family, **self.family_params)
+
+    def fault_plan(self):
+        """The request's :class:`~repro.faults.FaultPlan`, or ``None``."""
+        if self.faults is None:
+            return None
+        from ..faults import FaultPlan
+
+        return FaultPlan.from_dict(self.faults)
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One request's outcome as the daemon reports it.
+
+    ``status`` is :data:`STATUS_OK` (colors attached, validated),
+    :data:`STATUS_HALTED` (the instance's crash-stop fault plan
+    exhausted its round budget — the per-instance
+    :class:`~repro.sim.node.HaltingError`, surfaced without disturbing
+    batch siblings), or :data:`STATUS_ERROR` (the request itself was
+    unservable).  ``timing`` carries ``queue_ms`` (admission wait),
+    ``service_ms`` (resident rounds wall), and ``total_ms``; ``batch``
+    carries the continuous-batching provenance (round admitted,
+    rounds resident, occupancy at admission).
+    """
+
+    status: str
+    request_id: str | None = None
+    colors: dict[str, int] | None = None
+    palette: int | None = None
+    rounds: int | None = None
+    total_bits: int | None = None
+    valid: bool | None = None
+    error: dict[str, str] | None = None
+    timing: dict[str, float] = field(default_factory=dict)
+    batch: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict; inverse of :meth:`from_dict`."""
+        out: dict[str, Any] = {
+            "protocol": SERVE_PROTOCOL_VERSION,
+            "status": self.status,
+            "request_id": self.request_id,
+            "timing": dict(self.timing),
+            "batch": dict(self.batch),
+        }
+        if self.colors is not None:
+            out["colors"] = dict(self.colors)
+            out["palette"] = self.palette
+        if self.rounds is not None:
+            out["rounds"] = self.rounds
+        if self.total_bits is not None:
+            out["total_bits"] = self.total_bits
+        if self.valid is not None:
+            out["valid"] = self.valid
+        if self.error is not None:
+            out["error"] = dict(self.error)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ServeResponse":
+        """Parse a response payload (foreign protocol versions rejected)."""
+        protocol = data.get("protocol")
+        if protocol != SERVE_PROTOCOL_VERSION:
+            raise ValueError(
+                f"response protocol {protocol!r} != supported "
+                f"{SERVE_PROTOCOL_VERSION}"
+            )
+        return cls(
+            status=str(data["status"]),
+            request_id=data.get("request_id"),
+            colors=(
+                None
+                if data.get("colors") is None
+                else {str(k): int(v) for k, v in data["colors"].items()}
+            ),
+            palette=data.get("palette"),
+            rounds=data.get("rounds"),
+            total_bits=data.get("total_bits"),
+            valid=data.get("valid"),
+            error=(
+                None if data.get("error") is None else dict(data["error"])
+            ),
+            timing={k: float(v) for k, v in (data.get("timing") or {}).items()},
+            batch={k: int(v) for k, v in (data.get("batch") or {}).items()},
+        )
+
+    def assignment(self) -> dict[int, int]:
+        """The coloring with node labels coerced back to integers."""
+        if self.colors is None:
+            raise ValueError(f"no colors on a {self.status!r} response")
+        return {int(k): int(v) for k, v in self.colors.items()}
+
+
+def error_response(
+    exc: BaseException, request_id: str | None = None
+) -> ServeResponse:
+    """The :data:`STATUS_ERROR` response for an unservable request."""
+    return ServeResponse(
+        status=STATUS_ERROR,
+        request_id=request_id,
+        error={"type": type(exc).__name__, "message": str(exc)},
+    )
+
+
+def encode_line(payload: dict[str, Any]) -> bytes:
+    """One protocol message as a newline-terminated JSON line."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode()
+
+
+def decode_line(line: bytes) -> dict[str, Any]:
+    """Parse one protocol line (must be a JSON object)."""
+    payload = json.loads(line.decode())
+    if not isinstance(payload, dict):
+        raise ValueError(f"protocol line must be a JSON object, got {payload!r}")
+    return payload

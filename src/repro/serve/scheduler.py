@@ -1,0 +1,311 @@
+"""Continuous-batching scheduler: FIFO admission, per-round eviction.
+
+This is the serving half of the tentpole: the transport
+(:mod:`repro.serve.daemon`) turns socket lines into
+:class:`~repro.serve.protocol.ServeRequest` objects and awaits futures;
+*this* module owns the round loop.  A :class:`ContinuousBatcher` keeps a
+FIFO queue of submitted requests and a
+:class:`~repro.sim.batch.LinialBatchStepper`; each :meth:`tick` admits
+queued requests into free batch slots, steps one synchronous round over
+the packed membership, and resolves the futures of every instance that
+finished that round — so slots free the moment an instance completes
+(eviction via the per-instance termination masks) and refill from the
+queue before the next round, never waiting for batch-mates to drain.
+
+Correctness is inherited, not re-argued: the stepper guarantees each
+instance's outcome is bit-identical to its standalone
+:func:`~repro.sim.vectorized.linial_vectorized` run under *any*
+admission/eviction interleaving, so the scheduler is free to pack purely
+for throughput.  A request whose crash-stop
+:class:`~repro.faults.FaultPlan` exhausts its round budget resolves as
+``status="halted"`` and is evicted like any other finish — its batch
+siblings keep serving, which ``tests/test_serve.py`` pins explicitly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..core.validate import validate_defective_coloring, validate_proper_coloring
+from ..obs import LatencyTracker, OccupancyTracker, RunRecorder
+from ..sim import HaltingError, LinialBatchStepper, make_batch_instance, require
+from ..sim.batch import BatchInstance
+from .protocol import (
+    STATUS_ERROR,
+    STATUS_HALTED,
+    STATUS_OK,
+    ServeRequest,
+    ServeResponse,
+    error_response,
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Scheduler knobs for a serving run.
+
+    ``max_batch`` caps the stepper's occupancy (how many instances pack
+    into one block-diagonal round); ``validate`` re-checks every served
+    coloring through :mod:`repro.core.validate` before responding (the
+    daemon's output contract — leave it on outside microbenchmarks);
+    ``record_jsonl`` appends one per-request
+    :class:`~repro.obs.RunRecord` row to that path as requests finish.
+    ``backend`` must name a registry backend with ``supports_serve``
+    (the batcher resolves it through :func:`repro.sim.backends.require`
+    at construction, so a non-servable backend fails fast, not mid-
+    traffic).
+    """
+
+    max_batch: int = 64
+    validate: bool = True
+    record_jsonl: str | Path | None = None
+    backend: str = "batched"
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+
+
+class _Ticket:
+    """One in-flight request: its future, clocks, and built instance."""
+
+    __slots__ = (
+        "request",
+        "future",
+        "graph",
+        "instance",
+        "t_submitted",
+        "t_admitted",
+        "admitted_round",
+    )
+
+    def __init__(
+        self,
+        request: ServeRequest,
+        future: "asyncio.Future[ServeResponse]",
+        graph: Any,
+        instance: BatchInstance,
+    ) -> None:
+        self.request = request
+        self.future = future
+        self.graph = graph
+        self.instance = instance
+        self.t_submitted = time.perf_counter()
+        self.t_admitted: float | None = None
+        self.admitted_round: int | None = None
+
+
+class ContinuousBatcher:
+    """FIFO queue + round-stepped batch: the continuous-batching loop.
+
+    :meth:`submit` is the only producer API (builds the instance, parks
+    a ticket, returns a future); :meth:`run` is the consumer loop the
+    daemon spawns as a task — it ticks while work exists and sleeps on
+    an event otherwise.  :meth:`stats` snapshots queue/batch occupancy
+    and the three latency dimensions (queue wait, service, total) for
+    the ``stats`` protocol op and the benchmark harness.
+    """
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.backend = require(
+            self.config.backend, algorithm="linial", serve=True
+        )
+        self.stepper = LinialBatchStepper()
+        self._queue: deque[_Ticket] = deque()
+        self._resident: dict[int, _Ticket] = {}
+        self._wakeup = asyncio.Event()
+        self._stopping = False
+        self.queue_latency = LatencyTracker()
+        self.service_latency = LatencyTracker()
+        self.total_latency = LatencyTracker()
+        self.occupancy_stats = OccupancyTracker()
+        self.served = 0
+        self.halted = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted to the queue but not yet packed."""
+        return len(self._queue)
+
+    @property
+    def has_work(self) -> bool:
+        """Whether a tick would do anything."""
+        return bool(self._queue) or not self.stepper.drained
+
+    # ------------------------------------------------------------------
+    def submit(self, request: ServeRequest) -> "asyncio.Future[ServeResponse]":
+        """Enqueue one request; the future resolves when it finishes.
+
+        The graph/schedule/fault-plan are materialized here so a
+        malformed request fails fast with ``status="error"`` instead of
+        occupying a queue slot; construction cost stays off the round
+        loop's critical path.
+        """
+        future: asyncio.Future[ServeResponse] = (
+            asyncio.get_running_loop().create_future()
+        )
+        try:
+            graph = request.build_graph()
+            recorder = None
+            if self.config.record_jsonl is not None:
+                recorder = RunRecorder(
+                    engine=self.backend.engine,
+                    algorithm="linial_vectorized",
+                    jsonl_path=self.config.record_jsonl,
+                )
+            instance = make_batch_instance(
+                graph,
+                initial_colors=request.initial_colors,
+                defect=request.defect,
+                faults=request.fault_plan(),
+                recorder=recorder,
+            )
+        except Exception as exc:  # noqa: BLE001 — becomes the error response
+            self.errors += 1
+            future.set_result(error_response(exc, request.request_id))
+            return future
+        self._queue.append(_Ticket(request, future, graph, instance))
+        self._wakeup.set()
+        return future
+
+    # ------------------------------------------------------------------
+    def _admit_waiting(self) -> None:
+        """Refill free batch slots from the queue head (FIFO)."""
+        while self._queue and self.stepper.occupancy < self.config.max_batch:
+            ticket = self._queue.popleft()
+            ticket.t_admitted = time.perf_counter()
+            ticket.admitted_round = self.stepper.round_index
+            self.stepper.admit(ticket.instance)
+            self._resident[ticket.instance.uid] = ticket
+
+    def _resolve(self, instance: BatchInstance) -> None:
+        """Build and deliver the response for one finished instance."""
+        ticket = self._resident.pop(instance.uid)
+        t_done = time.perf_counter()
+        t_admitted = ticket.t_admitted or t_done
+        queue_s = t_admitted - ticket.t_submitted
+        service_s = t_done - t_admitted
+        total_s = t_done - ticket.t_submitted
+        self.queue_latency.add(queue_s)
+        self.service_latency.add(service_s)
+        self.total_latency.add(total_s)
+        timing = {
+            "queue_ms": queue_s * 1000.0,
+            "service_ms": service_s * 1000.0,
+            "total_ms": total_s * 1000.0,
+        }
+        batch = {
+            "admitted_round": ticket.admitted_round or 0,
+            "rounds_resident": instance.rounds_resident,
+        }
+        outcome = instance.outcome()
+        if isinstance(outcome, HaltingError):
+            self.halted += 1
+            response = ServeResponse(
+                status=STATUS_HALTED,
+                request_id=ticket.request.request_id,
+                error={"type": "HaltingError", "message": str(outcome)},
+                timing=timing,
+                batch=batch,
+            )
+        elif isinstance(outcome, BaseException):
+            self.errors += 1
+            response = ServeResponse(
+                status=STATUS_ERROR,
+                request_id=ticket.request.request_id,
+                error={"type": type(outcome).__name__, "message": str(outcome)},
+                timing=timing,
+                batch=batch,
+            )
+        else:
+            result, metrics, palette = outcome
+            valid = None
+            if self.config.validate:
+                defect = ticket.request.defect
+                report = (
+                    validate_proper_coloring(ticket.graph, result)
+                    if defect == 0
+                    else validate_defective_coloring(ticket.graph, result, defect)
+                )
+                valid = bool(report.ok)
+            self.served += 1
+            response = ServeResponse(
+                status=STATUS_OK,
+                request_id=ticket.request.request_id,
+                colors={str(v): int(c) for v, c in result.assignment.items()},
+                palette=int(palette),
+                rounds=int(metrics.rounds),
+                total_bits=int(metrics.total_bits),
+                valid=valid,
+                timing=timing,
+                batch=batch,
+            )
+        if not ticket.future.done():
+            ticket.future.set_result(response)
+
+    # ------------------------------------------------------------------
+    def tick(self) -> bool:
+        """One scheduler beat: admit, step one round, resolve finishes.
+
+        Returns whether any work happened (so the run loop knows when to
+        park on the wakeup event instead of spinning).
+        """
+        self._admit_waiting()
+        if self.stepper.drained:
+            return False
+        report = self.stepper.step()
+        for instance in report.finished:
+            self._resolve(instance)
+        self.occupancy_stats.on_round(self.queue_depth, self.stepper.occupancy)
+        return True
+
+    async def run(self) -> None:
+        """The scheduler loop: tick while work exists, park otherwise.
+
+        The ``sleep(0)`` between ticks is what makes this *continuous*
+        batching under asyncio — it yields to the event loop so new
+        connections can submit between rounds, letting their requests
+        catch slots freed by that round's evictions.
+        """
+        while not self._stopping:
+            if self.has_work:
+                self.tick()
+                await asyncio.sleep(0)
+            else:
+                self._wakeup.clear()
+                if self._stopping:
+                    break
+                await self._wakeup.wait()
+
+    def stop(self) -> None:
+        """Ask :meth:`run` to exit after the current tick."""
+        self._stopping = True
+        self._wakeup.set()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Snapshot of counters, occupancy, and latency summaries."""
+        return {
+            "backend": self.backend.name,
+            "served": self.served,
+            "halted": self.halted,
+            "errors": self.errors,
+            "queue_depth": self.queue_depth,
+            "occupancy": self.stepper.occupancy,
+            "round_index": self.stepper.round_index,
+            "max_batch": self.config.max_batch,
+            "occupancy_stats": self.occupancy_stats.summary(),
+            "latency": {
+                "queue": self.queue_latency.summary(),
+                "service": self.service_latency.summary(),
+                "total": self.total_latency.summary(),
+            },
+        }

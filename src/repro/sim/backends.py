@@ -84,7 +84,11 @@ class BackendSpec:
     ``engine`` is the :class:`~repro.obs.RunRecorder` engine label runs
     on this backend carry; ``bit_identical_to`` names the backend whose
     outputs, metrics, and per-round records this one must reproduce
-    exactly (the standing equivalence contract).  ``available`` is the
+    exactly (the standing equivalence contract).  ``supports_serve``
+    marks a backend whose kernels the :mod:`repro.serve` continuous-
+    batching daemon can schedule on — it requires round-stepped
+    execution with mid-run membership changes, which drain-style
+    drivers (reference, compiled) do not expose.  ``available`` is the
     backend's *native* availability — the compiled backend stays usable
     when numba is absent (its numpy fallback is part of the contract),
     it just reports ``available=False`` with the reason.
@@ -95,6 +99,7 @@ class BackendSpec:
     engine: str
     supports_faults: bool
     supports_batch: bool
+    supports_serve: bool
     bit_identical_to: str | None
     algorithms: Mapping[str, AlgorithmSupport] = field(default_factory=dict)
     available: bool = True
@@ -111,14 +116,16 @@ class BackendSpec:
         return entry
 
 
-def _spec(name, description, engine, *, faults, batch, identical_to,
-          algorithms, available=True, unavailable_reason=None) -> BackendSpec:
+def _spec(name, description, engine, *, faults, batch, serve=False,
+          identical_to, algorithms, available=True,
+          unavailable_reason=None) -> BackendSpec:
     return BackendSpec(
         name=name,
         description=description,
         engine=engine,
         supports_faults=faults,
         supports_batch=batch,
+        supports_serve=serve,
         bit_identical_to=identical_to,
         algorithms=MappingProxyType(dict(algorithms)),
         available=available,
@@ -151,6 +158,7 @@ BACKENDS: dict[str, BackendSpec] = {
         "vectorized",
         faults=True,
         batch=True,
+        serve=True,
         identical_to="reference",
         algorithms={
             "classic": AlgorithmSupport(
@@ -176,6 +184,7 @@ BACKENDS: dict[str, BackendSpec] = {
         "vectorized",
         faults=True,
         batch=True,
+        serve=True,
         identical_to="vectorized",
         algorithms={
             "classic": AlgorithmSupport(batched=True),
@@ -237,13 +246,15 @@ def require(
     algorithm: str | None = None,
     faults: bool = False,
     batch: bool = False,
+    serve: bool = False,
 ) -> BackendSpec:
     """Resolve a backend and fail fast on capability mismatches.
 
     Raises :class:`UnknownBackendError` for unregistered names and
     :class:`CapabilityError` when the backend declares the requested
     ``algorithm`` unsupported, lacks ``supports_faults`` for a faulty
-    request, or lacks ``supports_batch`` for a batched one.  An
+    request, lacks ``supports_batch`` for a batched one, or lacks
+    ``supports_serve`` for the continuous-batching daemon.  An
     ``available=False`` backend still resolves — graceful degradation
     (the compiled backend's numpy fallback) is the contract, and the
     flag plus ``unavailable_reason`` report the degradation.
@@ -268,6 +279,12 @@ def require(
             f"backend {name!r} does not support batched execution "
             f"(supports_batch=False); batch-capable backends: "
             f"{', '.join(b for b, s in BACKENDS.items() if s.supports_batch)}"
+        )
+    if serve and not spec.supports_serve:
+        raise CapabilityError(
+            f"backend {name!r} cannot back the serving daemon "
+            f"(supports_serve=False); serve-capable backends: "
+            f"{', '.join(b for b, s in BACKENDS.items() if s.supports_serve)}"
         )
     return spec
 
@@ -333,6 +350,7 @@ def describe() -> str:
             f"engine={spec.engine}",
             f"supports_faults={spec.supports_faults}",
             f"supports_batch={spec.supports_batch}",
+            f"supports_serve={spec.supports_serve}",
             f"bit_identical_to={spec.bit_identical_to or '-'}",
         ]
         lines.append("  " + " ".join(caps))

@@ -1060,6 +1060,454 @@ def classic_delta_plus_one_vectorized_batch(
     return _raise_or_return(results, return_exceptions)
 
 
+# ----------------------------------------------------------------------
+# round-stepped driver (continuous batching substrate)
+# ----------------------------------------------------------------------
+class BatchInstance:
+    """One Linial instance's complete state inside a round-stepped run.
+
+    The batched kernels above are *drain* drivers: they take k instances,
+    loop rounds internally, and return k results.  A serving scheduler
+    needs the inverse control flow — *it* owns the round loop, so it can
+    evict finished instances and admit queued ones between rounds
+    (continuous batching).  A ``BatchInstance`` is therefore one
+    instance's progress made explicit and portable: its CSR, schedule,
+    current colors, per-node step counters, metrics, and (optionally) the
+    :class:`~repro.faults.FaultPlan` adversary with its local round
+    clock and pending-delivery buffer.  Because a Linial run is a pure
+    function of ``(colors, schedule[, plan])`` and the block-diagonal
+    packing never lets information cross instance boundaries, an
+    instance computes the *identical* result no matter which batch
+    composition — or admission round — each of its steps executed under.
+
+    Build instances with :func:`make_batch_instance`; drive them with
+    :class:`LinialBatchStepper`.
+    """
+
+    _next_uid = 0
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        sched: list,
+        colors: np.ndarray,
+        *,
+        palette: int,
+        bits: int,
+        plan=None,
+        recorder: "RunRecorder | None" = None,
+    ) -> None:
+        BatchInstance._next_uid += 1
+        #: Stable identity across repacks (assigned at construction).
+        self.uid = BatchInstance._next_uid
+        self.csr = csr
+        self.sched = sched
+        self.colors = colors
+        self.palette = palette
+        self.bits = bits
+        self.plan = plan
+        self.recorder = recorder
+        self.metrics = synthesized_metrics(csr.n)
+        self.step = 0
+        self.rounds_resident = 0
+        self.error: BaseException | None = None
+        self.result: tuple | None = None
+        if plan is not None:
+            from ..faults.plan import node_labels_u64
+
+            self._steps = np.zeros(csr.n, dtype=np.int64)
+            self._labels = node_labels_u64(csr.nodes)
+            self._src_labels = self._labels[csr.src]
+            self._dst_labels = self._labels[csr.indices]
+            self._budget = plan.round_budget(len(sched))
+            self._pending: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+            self._rnd = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        """True once the instance needs no further rounds (done or halted)."""
+        if self.error is not None:
+            return True
+        if self.plan is None:
+            return self.step >= len(self.sched)
+        return not bool((self._steps < len(self.sched)).any())
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finalize` sealed the instance's outcome."""
+        return self.result is not None or self.error is not None
+
+    def current_step(self):
+        """The schedule step this instance executes next (plain path)."""
+        return self.sched[self.step]
+
+    # ------------------------------------------------------------------
+    def finalize(self, algorithm: str = "linial_vectorized") -> None:
+        """Seal the outcome: build the result triple (or flush the halt).
+
+        Mirrors :func:`linial_vectorized_batch`'s finish path — a halted
+        instance flushes its partial per-round record before the error
+        is surfaced; a completed one produces the same ``(ColoringResult,
+        RunMetrics, palette)`` triple as its single-instance twin.
+        """
+        if self.finished:
+            return
+        if self.recorder is not None:
+            self.recorder.finalize(
+                self.metrics,
+                n=self.csr.n,
+                m=self.csr.num_directed_edges // 2,
+                palette=self.palette,
+                algorithm=self.recorder.algorithm or algorithm,
+            )
+        if self.error is None:
+            self.result = (
+                ColoringResult(self.csr.scatter(self.colors)),
+                self.metrics,
+                self.palette,
+            )
+
+    def outcome(self):
+        """The finished result triple, or the per-instance exception."""
+        if not self.finished:
+            raise RuntimeError("instance has not finished; step it first")
+        return self.error if self.error is not None else self.result
+
+    # ------------------------------------------------------------------
+    def _faulty_round(self) -> None:
+        """One faulty round on this instance's *local* clock.
+
+        A verbatim single-iteration transliteration of
+        :func:`repro.sim.vectorized._linial_faulty_rounds` — plan queries
+        use the instance's own round counter and label arrays, so an
+        instance admitted at any global round replays exactly the
+        adversary its standalone run would, and the per-round fault
+        columns stay the cross-engine invariant.
+        """
+        from ..faults.plan import (
+            FATE_CORRUPT,
+            FATE_DELAY,
+            FATE_DELIVER,
+            FATE_DROP,
+            FATE_DUPLICATE,
+        )
+
+        csr, plan = self.csr, self.plan
+        n = csr.n
+        total = len(self.sched)
+        rnd = self._rnd
+        if rnd >= self._budget:
+            unfinished = [
+                csr.nodes[i] for i in np.nonzero(self._steps < total)[0]
+            ]
+            self.error = HaltingError(rounds=rnd, unfinished=unfinished)
+            return
+        alive = ~plan.crashed_mask(rnd, self._labels)
+        active = self._steps < total
+        transmit = (active & alive)[csr.src]
+        counts = dict.fromkeys(
+            ("dropped", "corrupted", "delayed", "duplicated"), 0
+        )
+        counts["crashed"] = int(n - alive.sum())
+
+        delivered = np.full(csr.num_directed_edges, -1, dtype=np.int64)
+        for edge_idx, values in self._pending.pop(rnd, ()):
+            delivered[edge_idx] = values
+        if transmit.any():
+            codes, delays = plan.edge_fates(
+                rnd, self._src_labels, self._dst_labels
+            )
+            codes = np.where(transmit, codes, -1)
+            payload = self.colors[csr.src]
+            counts["dropped"] = int((codes == FATE_DROP).sum())
+            counts["corrupted"] = int((codes == FATE_CORRUPT).sum())
+            counts["delayed"] = int((codes == FATE_DELAY).sum())
+            counts["duplicated"] = int((codes == FATE_DUPLICATE).sum())
+            for code in (FATE_DELAY, FATE_DUPLICATE):
+                idx = np.nonzero(codes == code)[0]
+                for d in np.unique(delays[idx]):
+                    sel = idx[delays[idx] == d]
+                    self._pending.setdefault(rnd + int(d), []).append(
+                        (sel, payload[sel].copy())
+                    )
+            now = (codes == FATE_DELIVER) | (codes == FATE_DUPLICATE)
+            delivered[now] = payload[now]
+            corrupt = codes == FATE_CORRUPT
+            if corrupt.any():
+                delivered[corrupt] = plan.corrupt_values(
+                    rnd,
+                    self._src_labels[corrupt],
+                    self._dst_labels[corrupt],
+                    payload[corrupt],
+                )
+        delivered[~alive[csr.indices]] = -1
+
+        receiving = active & alive
+        new_colors = self.colors.copy()
+        for s in np.unique(self._steps[receiving]):
+            step = self.sched[s]
+            q, deg = step.q, step.deg
+            domain = q ** (deg + 1)
+            group = receiving & (self._steps == s)
+            own_evals = poly_eval_grid(poly_digits(self.colors, q, deg), q)
+            edge_ok = (
+                group[csr.indices] & (delivered >= 0) & (delivered < domain)
+            )
+            hits = np.zeros((q, n), dtype=np.int64)
+            if edge_ok.any():
+                edge_dst = csr.indices[edge_ok]
+                edge_evals = poly_eval_grid(
+                    poly_digits(delivered[edge_ok], q, deg), q
+                )
+                match = edge_evals == own_evals[:, edge_dst]
+                for x in range(q):
+                    hits[x] = np.bincount(edge_dst[match[x]], minlength=n)
+            members = np.nonzero(group)[0]
+            best_x = np.argmin(hits[:, members], axis=0)
+            new_colors[members] = best_x * q + own_evals[best_x, members]
+        self.colors = new_colors
+        self._steps[receiving] += 1
+
+        record_uniform_round(
+            self.metrics,
+            self.recorder,
+            int(transmit.sum()),
+            self.bits,
+            active=int(active.sum()),
+            faults=counts,
+        )
+        self._rnd += 1
+
+
+def make_batch_instance(
+    graph: Any = None,
+    *,
+    csr: CSRGraph | None = None,
+    initial_colors: dict[Any, int] | None = None,
+    defect: int = 0,
+    faults=None,
+    recorder: "RunRecorder | None" = None,
+) -> BatchInstance:
+    """Freeze one Linial request into a steppable :class:`BatchInstance`.
+
+    Mirrors :func:`~repro.sim.vectorized.linial_vectorized`'s setup
+    exactly — identity initial colors by default, the zero-defect
+    :func:`~repro.algorithms.linial.linial_schedule` or the
+    defect-``d`` :func:`~repro.algorithms.linial.defective_schedule`,
+    the same palette and per-message bit width — so stepping the
+    instance to completion (under any batch composition) reproduces the
+    single-instance triple bit for bit.  ``csr`` lets a caller that
+    already froze the topology skip the second freeze.
+    """
+    from ..algorithms.linial import defective_schedule, linial_schedule
+
+    if csr is None:
+        if graph is None:
+            raise ValueError("make_batch_instance needs a graph or a csr")
+        csr = CSRGraph.from_networkx(graph)
+    n = csr.n
+    delta = int(csr.degrees.max()) if n else 0
+    if initial_colors is None:
+        m0 = n if n else 1
+        colors = np.arange(n, dtype=np.int64)
+    else:
+        m0 = max(initial_colors.values()) + 1 if initial_colors else 1
+        colors = csr.gather(initial_colors)
+    sched = (
+        linial_schedule(m0, delta)
+        if defect == 0
+        else defective_schedule(m0, delta, defect)
+    )
+    palette = sched[-1].out_colors if sched else m0
+    return BatchInstance(
+        csr,
+        sched,
+        colors,
+        palette=palette,
+        bits=int_bits(max(1, m0 - 1)),
+        plan=faults,
+        recorder=recorder,
+    )
+
+
+class StepReport:
+    """What one :meth:`LinialBatchStepper.step` round did.
+
+    ``finished`` is the round's newly sealed instances (completed *or*
+    halted — check :attr:`BatchInstance.error`), already evicted from the
+    stepper's live set; ``live`` counts the instances that participated,
+    ``groups`` the distinct ``(q, deg)`` kernel groups the plain cohort
+    packed into, and ``round_index`` the stepper's global round clock.
+    """
+
+    __slots__ = ("round_index", "live", "groups", "finished")
+
+    def __init__(
+        self,
+        round_index: int,
+        live: int,
+        groups: int,
+        finished: tuple[BatchInstance, ...],
+    ) -> None:
+        self.round_index = round_index
+        self.live = live
+        self.groups = groups
+        self.finished = finished
+
+
+class LinialBatchStepper:
+    """Round-stepped block-diagonal execution with mid-run repacking.
+
+    The continuous-batching substrate :mod:`repro.serve` schedules on:
+    the caller owns the round loop — :meth:`admit` new instances between
+    rounds, :meth:`step` one synchronous round over the current
+    membership, and collect the step's ``finished`` instances (their
+    slots are free immediately; per-instance termination masks are
+    literal here, a finished instance simply leaves the membership).
+
+    Each round, live fault-free instances are grouped by their current
+    schedule step's ``(q, deg)`` and each group runs through the shared
+    grid-evaluation/collision kernels in cache-sized tiles
+    (:data:`_TILE_NODES`), exactly like :func:`_linial_rounds_batch`;
+    faulty instances run their own local-clock round via
+    :meth:`BatchInstance._faulty_round`.  Because no kernel ever reads
+    across an instance boundary, every instance's final triple is
+    bit-identical to its single-instance
+    :func:`~repro.sim.vectorized.linial_vectorized` run regardless of
+    when it was admitted or which siblings shared its rounds — the
+    property ``tests/test_serve.py`` pins and ``benchmarks/bench_serve.py``
+    re-asserts end to end against the offline batched engine.
+    """
+
+    def __init__(self, instances: Sequence[BatchInstance] = ()) -> None:
+        self._live: list[BatchInstance] = []
+        self._sealed_at_admit: list[BatchInstance] = []
+        self._round = 0
+        for inst in instances:
+            self.admit(inst)
+
+    # ------------------------------------------------------------------
+    @property
+    def round_index(self) -> int:
+        """Global rounds stepped so far."""
+        return self._round
+
+    @property
+    def occupancy(self) -> int:
+        """Live instances currently packed (the batch's fill level)."""
+        return len(self._live)
+
+    @property
+    def live(self) -> tuple[BatchInstance, ...]:
+        """The current membership, admission order (per-round view)."""
+        return tuple(self._live)
+
+    @property
+    def drained(self) -> bool:
+        """True when a :meth:`step` would have nothing to do or report.
+
+        Covers both live instances and instances sealed at admission
+        that still await delivery through a step's ``finished`` list.
+        """
+        return not self._live and not self._sealed_at_admit
+
+    # ------------------------------------------------------------------
+    def admit(self, inst: BatchInstance) -> BatchInstance:
+        """Add an instance to the membership, effective next round.
+
+        An instance that needs no rounds at all (empty schedule) is
+        sealed immediately and reported in the next step's ``finished``
+        — it never occupies a slot.
+        """
+        if inst.finished:
+            raise ValueError("cannot admit an already-finished instance")
+        if inst.complete:
+            inst.finalize()
+            self._sealed_at_admit.append(inst)
+        else:
+            self._live.append(inst)
+        return inst
+
+    def step(self) -> StepReport:
+        """Run one synchronous round over the current membership.
+
+        Finished instances (including any sealed at admission since the
+        last step) are evicted from the membership and returned in the
+        report; the freed slots are available to :meth:`admit` before
+        the next round — which is all continuous batching is.
+        """
+        finished: list[BatchInstance] = self._sealed_at_admit
+        self._sealed_at_admit = []
+        live = list(self._live)
+        plain = [i for i in live if i.plan is None]
+        faulty = [i for i in live if i.plan is not None]
+
+        groups: dict[tuple[int, int], list[BatchInstance]] = {}
+        for inst in plain:
+            step = inst.current_step()
+            groups.setdefault((step.q, step.deg), []).append(inst)
+        for (q, deg), members in sorted(groups.items()):
+            node_counts = [m.csr.n for m in members]
+            for tile in _node_tiles(list(range(len(members))), node_counts):
+                tile_members = [members[p] for p in tile]
+                if len(tile_members) == 1:
+                    m = tile_members[0]
+                    evals = poly_eval_grid(poly_digits(m.colors, q, deg), q)
+                    hits = collision_counts(m.csr, evals)
+                    best_x = np.argmin(hits, axis=0)
+                    m.colors = best_x * q + evals[best_x, np.arange(m.csr.n)]
+                    continue
+                sub = BatchCSRGraph.from_csrs([m.csr for m in tile_members])
+                colors = np.concatenate([m.colors for m in tile_members])
+                evals = poly_eval_grid(poly_digits(colors, q, deg), q)
+                hits = collision_counts(sub, evals)
+                best_x = np.argmin(hits, axis=0)
+                colors = best_x * q + evals[best_x, np.arange(sub.n)]
+                for j, m in enumerate(tile_members):
+                    m.colors = colors[sub.node_slice(j)].copy()
+        for inst in plain:
+            record_uniform_round(
+                inst.metrics,
+                inst.recorder,
+                inst.csr.num_directed_edges,
+                inst.bits,
+                active=inst.csr.n,
+            )
+            inst.step += 1
+
+        for inst in faulty:
+            inst._faulty_round()
+
+        still_live: list[BatchInstance] = []
+        for inst in live:
+            inst.rounds_resident += 1
+            if inst.complete:
+                inst.finalize()
+                finished.append(inst)
+            else:
+                still_live.append(inst)
+        self._live = still_live
+        self._round += 1
+        return StepReport(
+            round_index=self._round - 1,
+            live=len(live),
+            groups=len(groups) + len(faulty),
+            finished=tuple(finished),
+        )
+
+    def run_to_completion(self) -> list[BatchInstance]:
+        """Step until the membership drains (static batch-and-drain mode).
+
+        The offline counterpart of a serving loop — used by tests to pin
+        stepper-vs-:func:`linial_vectorized_batch` equivalence.
+        """
+        done: list[BatchInstance] = []
+        while self._live or self._sealed_at_admit:
+            done.extend(self.step().finished)
+        return done
+
+
 def merge_sequential_batch(
     firsts: Sequence[RunMetrics],
     seconds: Sequence[RunMetrics],

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.graphs",
     "repro.sim",
     "repro.obs",
+    "repro.serve",
     "repro.algorithms",
     "repro.analysis",
     "repro.scenarios",

@@ -1,0 +1,437 @@
+"""The serving stack: stepper equivalence, scheduler discipline, daemon.
+
+Three layers, tested bottom-up:
+
+* :class:`~repro.sim.batch.LinialBatchStepper` — the round-stepped
+  driver must produce per-instance triples bit-identical to
+  :func:`~repro.sim.vectorized.linial_vectorized` under *any* batch
+  composition: static drain, staggered admission, fault plans on their
+  local round clocks, and crash-stop halts that leave siblings intact;
+* :class:`~repro.serve.ContinuousBatcher` — the scheduling discipline:
+  FIFO admission, eviction the round an instance finishes, freed slots
+  refilled from the queue between rounds, crash-halted requests
+  resolved as ``halted`` without disturbing batch-mates;
+* :class:`~repro.serve.ColoringServer` — end to end over a real TCP
+  socket: heavy concurrent traffic serves valid colorings bit-identical
+  to the offline batched engine, stats/ping/shutdown work, malformed
+  requests answer as errors without killing the daemon.
+
+Everything async runs under ``asyncio.run`` inside ordinary sync tests
+(no pytest-asyncio in the environment).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.graphs import ring
+from repro.obs import LatencyTracker, OccupancyTracker, quantile
+from repro.serve import (
+    ColoringServer,
+    ContinuousBatcher,
+    ServeClient,
+    ServeConfig,
+    ServeRequest,
+    ServeResponse,
+    fire_traffic,
+    synth_requests,
+)
+from repro.sim import (
+    CapabilityError,
+    HaltingError,
+    LinialBatchStepper,
+    linial_vectorized,
+    make_batch_instance,
+)
+from repro.faults import FaultPlan
+
+#: Spread initial colors (node i -> 64*i): forces a non-empty Linial
+#: schedule on small graphs, so instances actually occupy rounds.
+def spread(g):
+    return {v: 64 * i for i, v in enumerate(sorted(g.nodes))}
+
+
+CRASH = FaultPlan(seed=5, p_crash=1.0, recovery_rounds=None, crash_horizon=1)
+DROPPY = FaultPlan(seed=9, p_drop=0.3)
+
+
+def triple_eq(a, b):
+    res_a, met_a, pal_a = a
+    res_b, met_b, pal_b = b
+    assert res_a.assignment == res_b.assignment
+    assert met_a.summary() == met_b.summary()
+    assert pal_a == pal_b
+
+
+# ----------------------------------------------------------------------
+# layer 1: the round-stepped driver
+# ----------------------------------------------------------------------
+class TestStepperEquivalence:
+    def graphs(self):
+        return [ring(n) for n in (8, 12, 16, 20)]
+
+    def test_static_drain_matches_single_instance(self):
+        gs = self.graphs()
+        singles = [linial_vectorized(g, initial_colors=spread(g)) for g in gs]
+        stepper = LinialBatchStepper(
+            [make_batch_instance(g, initial_colors=spread(g)) for g in gs]
+        )
+        done = stepper.run_to_completion()
+        assert len(done) == len(gs)
+        by_uid = sorted(done, key=lambda i: i.uid)
+        for inst, single in zip(by_uid, singles):
+            triple_eq(inst.outcome(), single)
+
+    def test_staggered_admission_is_bit_identical(self):
+        # admit one instance every round into a half-drained batch: the
+        # composition any instance sees changes every round, the result
+        # must not
+        gs = self.graphs()
+        singles = [linial_vectorized(g, initial_colors=spread(g)) for g in gs]
+        stepper = LinialBatchStepper()
+        pending = [make_batch_instance(g, initial_colors=spread(g)) for g in gs]
+        done = []
+        while pending or not stepper.drained:
+            if pending:
+                stepper.admit(pending.pop(0))
+            done.extend(stepper.step().finished)
+        for inst, single in zip(sorted(done, key=lambda i: i.uid), singles):
+            triple_eq(inst.outcome(), single)
+
+    def test_faulty_instance_uses_local_round_clock(self):
+        # a faulty instance admitted at global round 3 must replay the
+        # same adversary its standalone run sees at round 0
+        g = ring(12)
+        single = linial_vectorized(g, initial_colors=spread(g), faults=DROPPY)
+        stepper = LinialBatchStepper(
+            [make_batch_instance(h, initial_colors=spread(h)) for h in self.graphs()]
+        )
+        for _ in range(3):
+            stepper.step()
+        late = stepper.admit(
+            make_batch_instance(g, initial_colors=spread(g), faults=DROPPY)
+        )
+        while not late.finished:
+            stepper.step()
+        stepper.run_to_completion()
+        triple_eq(late.outcome(), single)
+
+    def test_crash_halts_instance_but_not_siblings(self):
+        g = ring(12)
+        with pytest.raises(HaltingError) as solo:
+            linial_vectorized(g, initial_colors=spread(g), faults=CRASH)
+        siblings = [
+            make_batch_instance(h, initial_colors=spread(h))
+            for h in self.graphs()
+        ]
+        doomed = make_batch_instance(g, initial_colors=spread(g), faults=CRASH)
+        stepper = LinialBatchStepper(siblings + [doomed])
+        done = stepper.run_to_completion()
+        assert doomed in done
+        # the halt is the same error the standalone run raises...
+        assert isinstance(doomed.outcome(), HaltingError)
+        assert str(doomed.outcome()) == str(solo.value)
+        # ...and every sibling still finished with its standalone triple
+        for sib, g_s in zip(siblings, self.graphs()):
+            triple_eq(
+                sib.outcome(), linial_vectorized(g_s, initial_colors=spread(g_s))
+            )
+
+    def test_empty_schedule_seals_at_admit(self):
+        # identity colors on a small ring: m0 = n makes the schedule
+        # empty, the instance must finish without occupying a slot
+        stepper = LinialBatchStepper()
+        inst = stepper.admit(make_batch_instance(ring(8)))
+        assert stepper.occupancy == 0
+        report = stepper.step()
+        assert inst in report.finished
+        triple_eq(inst.outcome(), linial_vectorized(ring(8)))
+
+    def test_admitting_finished_instance_rejected(self):
+        stepper = LinialBatchStepper()
+        inst = stepper.admit(make_batch_instance(ring(8)))
+        stepper.step()
+        with pytest.raises(ValueError, match="already-finished"):
+            stepper.admit(inst)
+
+
+# ----------------------------------------------------------------------
+# layer 2: the continuous-batching scheduler
+# ----------------------------------------------------------------------
+def request_for(n: int, *, rid: str, faults=None) -> ServeRequest:
+    return ServeRequest(
+        family="ring",
+        family_params={"n": n},
+        initial_colors={v: 64 * v for v in range(n)},
+        faults=faults,
+        request_id=rid,
+    )
+
+
+class TestContinuousBatcher:
+    def test_rejects_non_serve_backend(self):
+        with pytest.raises(CapabilityError, match="supports_serve"):
+            ContinuousBatcher(ServeConfig(backend="reference"))
+
+    def test_fifo_admission_order(self):
+        async def scenario():
+            batcher = ContinuousBatcher(ServeConfig(max_batch=2))
+            futures = [
+                batcher.submit(request_for(12, rid=f"r{i}")) for i in range(5)
+            ]
+            admitted = []
+            while batcher.has_work:
+                before = {t.request.request_id for t in batcher._resident.values()}
+                batcher.tick()
+                after = {t.request.request_id for t in batcher._resident.values()}
+                admitted.extend(sorted(after - before, key=lambda r: int(r[1:])))
+            await asyncio.sleep(0)
+            assert admitted == [f"r{i}" for i in range(5)]
+            assert all(f.done() for f in futures)
+
+        asyncio.run(scenario())
+
+    def test_eviction_refills_slot_from_queue(self):
+        async def scenario():
+            # max_batch=1: request 2 can only ever run after request 1's
+            # eviction freed the single slot
+            batcher = ContinuousBatcher(ServeConfig(max_batch=1))
+            f1 = batcher.submit(request_for(8, rid="first"))
+            f2 = batcher.submit(request_for(8, rid="second"))
+            occupancies = []
+            while batcher.has_work:
+                batcher.tick()
+                occupancies.append(batcher.stepper.occupancy)
+            await asyncio.sleep(0)
+            assert max(occupancies) <= 1
+            assert (await f1).status == "ok"
+            assert (await f2).status == "ok"
+            # the second request entered strictly after the first left
+            assert (await f2).batch["admitted_round"] >= (
+                (await f1).batch["admitted_round"]
+                + (await f1).batch["rounds_resident"]
+            )
+
+        asyncio.run(scenario())
+
+    def test_crash_request_halts_while_siblings_complete(self):
+        async def scenario():
+            batcher = ContinuousBatcher(ServeConfig(max_batch=8))
+            doomed = batcher.submit(
+                request_for(12, rid="doomed", faults=CRASH.to_dict())
+            )
+            healthy = [
+                batcher.submit(request_for(10 + 2 * i, rid=f"ok{i}"))
+                for i in range(4)
+            ]
+            while batcher.has_work:
+                batcher.tick()
+            await asyncio.sleep(0)
+            crashed = await doomed
+            assert crashed.status == "halted"
+            assert crashed.error["type"] == "HaltingError"
+            for f in healthy:
+                response = await f
+                assert response.status == "ok"
+                assert response.valid is True
+            assert batcher.halted == 1
+            assert batcher.served == len(healthy)
+
+        asyncio.run(scenario())
+
+    def test_malformed_request_fails_fast_without_queueing(self):
+        async def scenario():
+            batcher = ContinuousBatcher(ServeConfig(max_batch=4))
+            future = batcher.submit(
+                ServeRequest(family="no_such_family", family_params={})
+            )
+            assert future.done()
+            assert batcher.queue_depth == 0
+            response = await future
+            assert response.status == "error"
+            assert "no_such_family" in response.error["message"]
+
+        asyncio.run(scenario())
+
+    def test_stats_track_occupancy_and_latency(self):
+        async def scenario():
+            batcher = ContinuousBatcher(ServeConfig(max_batch=4))
+            futures = [
+                batcher.submit(request_for(12, rid=f"s{i}")) for i in range(6)
+            ]
+            while batcher.has_work:
+                batcher.tick()
+            await asyncio.gather(*futures)
+            stats = batcher.stats()
+            assert stats["backend"] == "batched"
+            assert stats["served"] == 6
+            assert stats["occupancy_stats"]["max_occupancy"] <= 4
+            assert stats["latency"]["total"]["count"] == 6
+            assert stats["latency"]["total"]["p50_ms"] >= 0
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# layer 3: the daemon over TCP
+# ----------------------------------------------------------------------
+class TestColoringServer:
+    def test_burst_serves_valid_and_bit_identical(self):
+        from repro.sim import linial_vectorized_batch
+
+        requests = synth_requests(seed=3, count=24)
+
+        async def scenario():
+            server = ColoringServer(ServeConfig(max_batch=8))
+            await server.start()
+            try:
+                return await fire_traffic(
+                    "127.0.0.1", server.port, requests, clients=12
+                )
+            finally:
+                await server.stop()
+
+        report = asyncio.run(scenario())
+        assert report.status_counts() == {"ok": len(requests)}
+        assert all(r.valid is True for r in report.responses.values())
+        offline = linial_vectorized_batch(
+            [r.build_graph() for r in requests],
+            initial_colors=[r.initial_colors for r in requests],
+        )
+        for request, (result, metrics, palette) in zip(requests, offline):
+            served = report.responses[request.request_id]
+            assert served.assignment() == result.assignment
+            assert served.palette == palette
+            assert served.rounds == metrics.rounds
+            assert served.total_bits == metrics.total_bits
+
+    def test_protocol_aux_ops_and_bad_lines(self):
+        async def scenario():
+            server = ColoringServer(ServeConfig(max_batch=4))
+            await server.start()
+            client = ServeClient("127.0.0.1", server.port)
+            try:
+                assert await client.ping() is True
+                # a malformed op answers as an error, connection survives
+                reply = await client.request({"op": "transmogrify"})
+                assert reply["status"] == "error"
+                response = await client.color(request_for(10, rid="after-error"))
+                assert response.status == "ok"
+                stats = await client.stats()
+                assert stats["served"] == 1
+            finally:
+                await client.close()
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_crash_request_over_tcp_keeps_daemon_serving(self):
+        async def scenario():
+            server = ColoringServer(ServeConfig(max_batch=4))
+            await server.start()
+            client = ServeClient("127.0.0.1", server.port)
+            try:
+                crashed = await client.color(
+                    request_for(12, rid="doomed", faults=CRASH.to_dict())
+                )
+                assert crashed.status == "halted"
+                healthy = await client.color(request_for(12, rid="healthy"))
+                assert healthy.status == "ok" and healthy.valid is True
+            finally:
+                await client.close()
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_shutdown_op_releases_serve_forever(self):
+        async def scenario():
+            server = ColoringServer(ServeConfig(max_batch=2))
+            await server.start()
+            waiter = asyncio.create_task(server.serve_forever())
+            client = ServeClient("127.0.0.1", server.port)
+            await client.shutdown()
+            await asyncio.wait_for(waiter, timeout=5)
+            await server.stop()
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# protocol + synthetic-traffic plumbing
+# ----------------------------------------------------------------------
+class TestProtocolRoundTrips:
+    def test_request_round_trip(self):
+        request = request_for(10, rid="rt", faults=CRASH.to_dict())
+        assert ServeRequest.from_dict(request.to_dict()) == request
+
+    def test_request_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown request fields"):
+            ServeRequest.from_dict({"family": "ring", "grpah": {}})
+
+    def test_response_round_trip(self):
+        response = ServeResponse(
+            status="ok",
+            request_id="x",
+            colors={"0": 1, "1": 0},
+            palette=4,
+            rounds=2,
+            total_bits=96,
+            valid=True,
+            timing={"total_ms": 1.5},
+            batch={"admitted_round": 3, "rounds_resident": 2},
+        )
+        again = ServeResponse.from_dict(response.to_dict())
+        assert again == response
+        assert again.assignment() == {0: 1, 1: 0}
+
+    def test_response_rejects_foreign_protocol(self):
+        with pytest.raises(ValueError, match="protocol"):
+            ServeResponse.from_dict({"protocol": 99, "status": "ok"})
+
+    def test_synth_requests_are_pinned(self):
+        a = synth_requests(seed=5, count=10)
+        b = synth_requests(seed=5, count=10)
+        assert a == b
+        assert a != synth_requests(seed=6, count=10)
+        # every request builds a real graph whose node set matches its
+        # spread initial coloring
+        for request in a:
+            g = request.build_graph()
+            assert set(request.initial_colors) == set(g.nodes)
+
+
+# ----------------------------------------------------------------------
+# the serving observability primitives
+# ----------------------------------------------------------------------
+class TestServingObs:
+    def test_quantile_interpolates(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert quantile(samples, 0.0) == 1.0
+        assert quantile(samples, 1.0) == 4.0
+        assert quantile(samples, 0.5) == 2.5
+
+    def test_quantile_rejects_bad_input(self):
+        with pytest.raises(ValueError, match="empty"):
+            quantile([], 0.5)
+        with pytest.raises(ValueError, match="fraction"):
+            quantile([1.0], 1.5)
+
+    def test_latency_tracker_summary(self):
+        tracker = LatencyTracker()
+        for s in (0.010, 0.020, 0.030):
+            tracker.add(s)
+        summary = tracker.summary()
+        assert summary["count"] == 3
+        assert summary["p50_ms"] == pytest.approx(20.0)
+        assert summary["max_ms"] == pytest.approx(30.0)
+        assert LatencyTracker().summary() == {"count": 0}
+
+    def test_occupancy_tracker_summary(self):
+        tracker = OccupancyTracker()
+        tracker.on_round(queue_depth=3, occupancy=2)
+        tracker.on_round(queue_depth=1, occupancy=4)
+        summary = tracker.summary()
+        assert summary["rounds"] == 2
+        assert summary["max_queue_depth"] == 3
+        assert summary["mean_occupancy"] == pytest.approx(3.0)
+        assert OccupancyTracker().summary() == {"rounds": 0}
