@@ -1,0 +1,245 @@
+"""Partitioned Linial at 10M nodes: RSS, cut, exchange (`BENCH_partition.json`).
+
+The claim behind :mod:`repro.sim.partition` is that sharding buys
+*memory*, not magic: on one box the shard workers time-slice the same
+cores, but each worker's peak resident set scales with its shard's
+``n_local``, so graphs whose single-CSR evaluation grid
+(``q x n`` int64, ~1.4 GB at 10M nodes and q=17) would crowd a small
+machine run comfortably in slices.  This script measures exactly that,
+with the equivalence contract asserted before any number is reported:
+
+* **bit-identity** — the final coloring at shards 2/4/8 equals the
+  shards=1 run element-for-element (``np.array_equal``), and the
+  coloring is proper within the schedule's final palette.  A fast wrong
+  shard driver is not a result.
+* **memory** — per-shard peak RSS (``ru_maxrss`` of each ``spawn``
+  worker — a fresh address space, so the number is honest) drops as the
+  shard count grows; the committed record shows the max-per-shard peak
+  at 2/4/8 shards below the single-shard baseline.
+* **communication** — cut-edge fraction, ghost fraction, and exchanged
+  bytes per round for the contiguous strategy on a 3-regular graph
+  (contiguous ranges on a ring-plus-matching topology keep most ring
+  edges internal; the random matching supplies the cut).
+
+The 10M-node graph is built numpy-natively (a cycle plus a seeded
+perfect matching, repaired so no matching edge duplicates a ring edge)
+— ``networkx`` object graphs at that scale cost tens of GB and hours.
+A small cell cross-checks the generator + partitioned driver against
+:func:`~repro.sim.vectorized.linial_vectorized` through the ordinary
+``networkx`` path before the big run.
+
+Run it the way the committed record was produced::
+
+    python benchmarks/bench_partition.py --out BENCH_partition.json
+
+A smoke version (4k nodes) runs under ``pytest benchmarks/
+--benchmark-only`` like the other bench files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algorithms.linial import linial_schedule  # noqa: E402
+from repro.sim.partition import (  # noqa: E402
+    partition_arrays,
+    run_partitioned_dense,
+    run_partitioned_linial,
+)
+from repro.sim.vectorized import linial_vectorized  # noqa: E402
+
+
+def ring_plus_matching_csr(n: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """CSR arrays of a 3-regular graph: cycle 0..n-1 plus a seeded
+    perfect matching, with no matching edge duplicating a ring edge.
+
+    ``n`` must be even.  Built entirely in numpy: neighbor rows are
+    ``[(i-1) % n, (i+1) % n, mate[i]]``, so ``indptr`` is the constant
+    stride 3.  The matching starts as a random permutation paired off
+    consecutively; pairs that landed on a ring edge are repaired by
+    cyclically rotating their partners together with one clean pair
+    (guaranteeing progress when a single bad pair remains).
+    """
+    if n % 2 or n < 6:
+        raise ValueError(f"n must be even and >= 6, got {n}")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n).astype(np.int64)
+    u, v = perm[0::2].copy(), perm[1::2].copy()
+    for _ in range(64):
+        gap = (u - v) % n
+        bad = (gap == 1) | (gap == n - 1)
+        k = int(bad.sum())
+        if k == 0:
+            break
+        rot = np.concatenate([np.nonzero(bad)[0], np.nonzero(~bad)[0][:1]])
+        v[rot] = np.roll(v[rot], 1)
+    else:  # pragma: no cover - the rotation converges in a step or two
+        raise RuntimeError("matching repair did not converge")
+    mate = np.empty(n, dtype=np.int64)
+    mate[u], mate[v] = v, u
+    ar = np.arange(n, dtype=np.int64)
+    nbr = np.empty((n, 3), dtype=np.int64)
+    nbr[:, 0] = (ar - 1) % n
+    nbr[:, 1] = (ar + 1) % n
+    nbr[:, 2] = mate
+    return 3 * np.arange(n + 1, dtype=np.int64), nbr.reshape(-1)
+
+
+def schedule_for(n: int, delta: int = 3) -> tuple[list[tuple[int, int]], int]:
+    """The identity-colors Linial schedule, as ``(q, deg)`` pairs + palette."""
+    steps = linial_schedule(n, delta)
+    return [(s.q, s.deg) for s in steps], (steps[-1].out_colors if steps else n)
+
+
+def crosscheck_generator_cell(n: int, seed: int) -> dict:
+    """The small trust anchor: the numpy generator's graph, run through
+    the ordinary networkx path, partitioned vs vectorized, bit-identical."""
+    indptr, indices = ring_plus_matching_csr(n, seed)
+    g_nx = __import__("networkx").Graph()
+    g_nx.add_nodes_from(range(n))
+    for i in range(n):
+        for j in indices[indptr[i] : indptr[i + 1]]:
+            g_nx.add_edge(i, int(j))
+    assert all(d == 3 for _, d in g_nx.degree), "generator is not 3-regular"
+    res_p, met_p, pal_p = run_partitioned_linial(
+        g_nx, shards=2, mp_context="spawn"
+    )
+    res_v, met_v, pal_v = linial_vectorized(g_nx)
+    assert res_p.assignment == res_v.assignment, "crosscheck diverged"
+    assert (pal_p, met_p.summary()) == (pal_v, met_v.summary())
+    return {"n": n, "bit_identical_to_vectorized": True, "palette": pal_p}
+
+
+def measure(
+    n: int, seed: int, shard_counts: list[int], barrier_timeout: float
+) -> dict:
+    indptr, indices = ring_plus_matching_csr(n, seed)
+    sched, palette = schedule_for(n)
+    initial = np.arange(n, dtype=np.int64)
+    baseline = None
+    runs = []
+    for shards in shard_counts:
+        part = partition_arrays(n, indptr, indices, shards)
+        t0 = time.perf_counter()
+        out, stats, _ = run_partitioned_dense(
+            n,
+            indptr,
+            indices,
+            initial.copy(),
+            sched,
+            shards=shards,
+            partition=part,
+            mp_context="spawn",
+            barrier_timeout=barrier_timeout,
+        )
+        wall = time.perf_counter() - t0
+        if baseline is None:
+            baseline = out
+            # single-shard output is the reference: proper within palette
+            assert int(out.max()) < palette, "colors exceed the palette"
+            src = np.repeat(np.arange(n, dtype=np.int64), 3)
+            assert not np.any(out[src] == out[indices]), "improper coloring"
+        else:
+            assert np.array_equal(out, baseline), (
+                f"{shards}-shard run diverged from the 1-shard baseline"
+            )
+        runs.append(
+            {
+                "shards": shards,
+                "wall_s": wall,
+                "rounds": stats.rounds,
+                "max_peak_rss_kb": stats.max_peak_rss_kb,
+                "peak_rss_kb_per_shard": [
+                    s.peak_rss_kb for s in stats.shard_stats
+                ],
+                "cut_edge_fraction": stats.cut_edge_fraction,
+                "ghost_fraction": stats.ghost_fraction,
+                "exchange_bytes_per_round": stats.exchange_bytes_per_round,
+            }
+        )
+        print(
+            f"shards={shards}: wall={wall:.1f}s "
+            f"max_peak_rss={stats.max_peak_rss_kb}kB "
+            f"cut={stats.cut_edge_fraction:.3f} "
+            f"exchange={stats.exchange_bytes_per_round}B/round"
+        )
+    single = runs[0]["max_peak_rss_kb"]
+    return {
+        "bench": "repro.sim.partition sharded Linial",
+        "n": n,
+        "m": 3 * n // 2,
+        "degree": 3,
+        "seed": seed,
+        "schedule": sched,
+        "palette": palette,
+        "valid": True,
+        "bit_identical_across_shard_counts": True,
+        "single_shard_peak_rss_kb": single,
+        "sharded_peak_below_baseline": all(
+            r["max_peak_rss_kb"] < single for r in runs[1:]
+        ),
+        "runs": runs,
+    }
+
+
+def test_bench_partition_smoke(benchmark):
+    """pytest-benchmark entry: 4k nodes, all assertions still on."""
+    crosscheck_generator_cell(600, seed=0)
+    record = benchmark.pedantic(
+        measure,
+        args=(4000, 0, [1, 2, 4], 60.0),
+        rounds=1,
+        iterations=1,
+    )
+    assert record["bit_identical_across_shard_counts"]
+    benchmark.extra_info["experiment"] = "partitioned Linial (smoke)"
+    benchmark.extra_info["cut_edge_fraction"] = record["runs"][1][
+        "cut_edge_fraction"
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=10_000_000,
+                        help="node count (even; default 10M)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--shards", default="1,2,4,8",
+                        help="comma-separated shard counts; the first is "
+                             "the baseline the rest must match bit-for-bit")
+    parser.add_argument("--barrier-timeout", dest="barrier_timeout",
+                        type=float, default=600.0,
+                        help="per-round worker barrier timeout (large "
+                             "graphs legitimately take minutes per round)")
+    parser.add_argument("--crosscheck-n", dest="crosscheck_n", type=int,
+                        default=2000,
+                        help="size of the networkx cross-check cell")
+    parser.add_argument("--out", default="BENCH_partition.json",
+                        help="where to write the JSON record")
+    args = parser.parse_args(argv)
+
+    shard_counts = [int(s) for s in args.shards.split(",") if s]
+    check = crosscheck_generator_cell(args.crosscheck_n, args.seed)
+    print(
+        f"crosscheck: n={check['n']} partitioned == vectorized "
+        f"(palette {check['palette']})"
+    )
+    record = measure(args.n, args.seed, shard_counts, args.barrier_timeout)
+    record["crosscheck"] = check
+    Path(args.out).write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+    print(
+        f"wrote {args.out}: n={record['n']} palette={record['palette']} "
+        f"sharded_peak_below_baseline={record['sharded_peak_below_baseline']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

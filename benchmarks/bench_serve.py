@@ -87,7 +87,7 @@ def equivalence_run(seed: int, count: int, max_batch: int) -> dict:
         graphs, initial_colors=[r.initial_colors for r in requests]
     )
     for request, (result, metrics, palette) in zip(requests, offline):
-        served = report.responses[request.request_id]
+        served = report.response_for(request.request_id)
         assert served.status == "ok", (
             f"{request.request_id}: served status {served.status}"
         )
@@ -114,9 +114,7 @@ def throughput_run(
     wall = time.perf_counter() - t0
     counts = report.status_counts()
     assert counts.get("ok") == len(requests), f"non-ok responses: {counts}"
-    invalid = [
-        r for r in report.responses.values() if r.valid is not True
-    ]
+    invalid = [r for r in report.responses if r.valid is not True]
     assert not invalid, f"{len(invalid)} served colorings failed validation"
     lat = sorted(report.latencies)
     return {
@@ -125,6 +123,7 @@ def throughput_run(
         "burst_wall_s": report.wall_seconds,
         "wall_s_incl_startup": wall,
         "rps": report.rps,
+        "ok_rps": report.ok_rps,
         "latency_ms": {
             "p50": quantile(lat, 0.50) * 1000.0,
             "p90": quantile(lat, 0.90) * 1000.0,
@@ -148,8 +147,8 @@ def crash_run(seed: int, count: int, max_batch: int) -> dict:
         _serve_set(requests, clients=min(32, count) or 1, max_batch=max_batch)
     )
     counts = report.status_counts()
-    ok = [r for r in report.responses.values() if r.status == "ok"]
-    halted = [r for r in report.responses.values() if r.status == "halted"]
+    ok = [r for r in report.responses if r.status == "ok"]
+    halted = [r for r in report.responses if r.status == "halted"]
     assert halted, "crash mix produced no halted instances"
     assert ok, "crash mix starved every clean sibling"
     assert all(r.valid for r in ok), "a sibling served an invalid coloring"

@@ -1,0 +1,103 @@
+"""Crash-safe file publication shared by every cache/corpus/JSONL writer.
+
+The repo's persistent artifacts (sweep cache cells, fuzz corpus cases,
+observability JSONL files) all publish through the same move: write the
+full payload to a sibling temp file, then ``os.replace`` it over the
+destination so readers only ever see an old-complete or new-complete
+file.  The subtlety this module centralizes is the *temp file name*:
+
+* a **fixed** sibling name (``cell.tmp``) is shared by every concurrent
+  writer of the same destination, so two workers publishing the same
+  sweep cell interleave their writes in one temp file and ``os.replace``
+  then publishes a torn hybrid — atomic against crashes, not against
+  concurrency.  :func:`atomic_write_text` instead derives a **unique**
+  sibling name from the writing process id plus a random nonce, so
+  concurrent publishers each stage their own complete payload and the
+  last rename wins whole;
+* a writer that crashes between staging and renaming leaves its temp
+  file behind.  :func:`atomic_write_text` cleans up on any in-process
+  failure, and :func:`sweep_stale_tmp` reaps the litter of *killed*
+  writers (age-gated so a live writer's in-flight staging file is never
+  reaped from under it).
+
+Loaders should ignore ``*.tmp`` siblings entirely — they are staging
+state, never published data.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from pathlib import Path
+
+#: Suffix every staged-but-unpublished sibling carries; loaders must
+#: treat files matching ``*.tmp`` as invisible.
+TMP_SUFFIX = ".tmp"
+
+#: Default age (seconds) past which a ``*.tmp`` sibling is presumed
+#: orphaned by a killed writer.  Generous: a live writer stages and
+#: renames within one payload serialization, not hours.
+STALE_TMP_AGE_S = 3600.0
+
+
+def _staging_path(path: Path) -> Path:
+    """A collision-free sibling staging name for ``path``.
+
+    Embeds the pid plus a random nonce so concurrent writers of the same
+    destination — including two *threads* of one process — never share a
+    staging file, and keeps the :data:`TMP_SUFFIX` last so stale-file
+    sweeps and loader ignore-globs need only one pattern.
+    """
+    return path.with_name(
+        f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}{TMP_SUFFIX}"
+    )
+
+
+def atomic_write_text(path: Path | str, text: str) -> Path:
+    """Publish ``text`` at ``path`` atomically (crash- and race-safe).
+
+    Stages through a unique sibling temp file (see :func:`_staging_path`)
+    and ``os.replace``\\ s it into place, creating parent directories as
+    needed.  On any failure the staging file is removed, so aborted
+    writes leave neither torn destinations nor litter.  Returns ``path``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _staging_path(path)
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass  # reaped later by sweep_stale_tmp
+        raise
+    return path
+
+
+def sweep_stale_tmp(
+    directory: Path | str, max_age_s: float = STALE_TMP_AGE_S
+) -> list[Path]:
+    """Remove orphaned ``*.tmp`` staging files under ``directory``.
+
+    Only files older than ``max_age_s`` are reaped, so a concurrent
+    writer's in-flight staging file survives; files that vanish or
+    resist deletion mid-sweep (a racing sweep, permissions) are skipped
+    silently.  Returns the paths actually removed (sorted).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    import time
+
+    cutoff = time.time() - max_age_s
+    removed: list[Path] = []
+    for tmp in sorted(directory.glob(f"*{TMP_SUFFIX}")):
+        try:
+            if tmp.stat().st_mtime <= cutoff:
+                tmp.unlink()
+                removed.append(tmp)
+        except OSError:
+            continue
+    return removed

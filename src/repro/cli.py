@@ -533,7 +533,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             not_ok = {k: v for k, v in counts.items() if k != "ok"}
             invalid = [
                 r
-                for r in report.responses.values()
+                for r in report.responses
                 if r.status == "ok" and r.valid is not True
             ]
             print(
@@ -551,6 +551,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                             "clients": args.smoke_clients,
                             "wall_s": report.wall_seconds,
                             "rps": report.rps,
+                            "ok_rps": report.ok_rps,
+                            "completed": report.completed,
                             "statuses": counts,
                             "stats": stats,
                         },
@@ -593,6 +595,121 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("repro serve: interrupted")
         return 0
+
+
+def _cmd_partition_run(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .obs import (
+        ENGINE_PARTITIONED,
+        ENGINE_VECTORIZED,
+        RunRecorder,
+        compare_round_accounting,
+    )
+    from .sim.engine import CSRGraph, equal_neighbor_counts
+    from .sim.partition import PartitionWorkerError, run_partitioned_linial
+
+    if args.smoke:
+        # pinned smoke cell: small, fixed-seed, always cross-checked;
+        # n=2048 keeps the schedule at >=2 rounds so the per-round ghost
+        # exchange (not just the initial snapshot) is exercised
+        args.family = "random_regular"
+        args.n = args.n or 2048
+        args.degree = args.degree or 3
+        args.check = True
+    g = _build_graph(args)
+    csr = CSRGraph.from_networkx(g)
+    rec = RunRecorder(engine=ENGINE_PARTITIONED)
+    stats_sink: list = []
+    try:
+        result, metrics, palette = run_partitioned_linial(
+            g,
+            defect=args.defect,
+            recorder=rec,
+            shards=args.shards,
+            strategy=args.strategy,
+            seed=args.partition_seed,
+            mp_context=args.mp_context,
+            stats_out=stats_sink,
+        )
+    except PartitionWorkerError as exc:
+        print(f"PARTITION FAILURE: {exc}")
+        return 1
+    stats = stats_sink[0]
+    colors = csr.gather(result.assignment)
+    same = equal_neighbor_counts(csr, colors)
+    max_same = int(same.max()) if same.size else 0
+    valid = max_same <= args.defect and (
+        int(colors.max()) < palette if csr.n else True
+    )
+    print(
+        f"partition-run: n={csr.n} m={csr.num_directed_edges // 2} "
+        f"shards={stats.shards} strategy={stats.strategy} "
+        f"rounds={metrics.rounds} palette={palette} "
+        f"wall={stats.wall_s:.2f}s"
+    )
+    print(
+        f"  cut_edge_fraction={stats.cut_edge_fraction:.3f} "
+        f"ghost_fraction={stats.ghost_fraction:.3f} "
+        f"exchange_bytes/round={stats.exchange_bytes_per_round} "
+        f"max_peak_rss={stats.max_peak_rss_kb}kB"
+    )
+    check = None
+    if args.check:
+        from .sim.vectorized import linial_vectorized
+
+        rec_v = RunRecorder(engine=ENGINE_VECTORIZED)
+        res_v, met_v, pal_v = linial_vectorized(
+            g, defect=args.defect, recorder=rec_v
+        )
+        accounting = compare_round_accounting(rec.record, rec_v.record)
+        check = {
+            "assignment_equal": result.assignment == res_v.assignment,
+            "palette_equal": palette == pal_v,
+            "metrics_equal": metrics.summary() == met_v.summary(),
+            "accounting": accounting,
+        }
+        check_ok = (
+            check["assignment_equal"]
+            and check["palette_equal"]
+            and check["metrics_equal"]
+            and accounting["accounting_equal"]
+            and accounting["rounds_equal"]
+        )
+        print(
+            "  vectorized cross-check: "
+            + ("bit-identical" if check_ok else f"MISMATCH {check}")
+        )
+    else:
+        check_ok = True
+    if args.output:
+        payload = {
+            "n": csr.n,
+            "m": csr.num_directed_edges // 2,
+            "defect": args.defect,
+            "palette": palette,
+            "rounds": metrics.rounds,
+            "valid": valid,
+            "max_same_color_neighbors": max_same,
+            "stats": stats.to_dict(),
+            "exchange": rec.record.rows[0].exchange if rec.record.rows else None,
+            "check": check,
+        }
+        with open(args.output, "w") as fh:
+            _json.dump(payload, fh, indent=1, sort_keys=True)
+        print(f"saved partition record to {args.output}")
+    if not valid:
+        print(
+            f"PARTITION FAILURE: invalid coloring "
+            f"(max same-color neighbors {max_same} > defect {args.defect})"
+        )
+        return 1
+    if not check_ok:
+        print("PARTITION FAILURE: diverged from the vectorized engine")
+        return 1
+    if args.check:
+        print("partition-run: valid coloring, bit-identical to vectorized")
+    return 0
 
 
 def _cmd_families(_args: argparse.Namespace) -> int:
@@ -780,6 +897,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--output", default=None,
                        help="write the smoke record as JSON")
     p_srv.set_defaults(func=_cmd_serve)
+
+    p_par = sub.add_parser(
+        "partition-run",
+        help="run Linial shard-parallel over an edge-cut partition with "
+             "ghost exchange (or --smoke for an equivalence-checked cell)",
+    )
+    graph_args(p_par)
+    from .sim.partition import PARTITION_STRATEGIES
+
+    p_par.add_argument("--shards", type=int, default=2,
+                       help="worker-process / shard count")
+    p_par.add_argument("--strategy", default="contiguous",
+                       choices=list(PARTITION_STRATEGIES),
+                       help="node->shard assignment strategy")
+    p_par.add_argument("--partition-seed", dest="partition_seed", type=int,
+                       default=0, help="hash-strategy partition seed")
+    p_par.add_argument("--defect", type=int, default=0,
+                       help="per-node defect bound d of the schedule")
+    p_par.add_argument("--mp-context", dest="mp_context", default="spawn",
+                       choices=["spawn", "fork", "forkserver"],
+                       help="multiprocessing start method (spawn gives "
+                            "honest per-shard RSS; fork starts faster)")
+    p_par.add_argument("--check", action="store_true",
+                       help="also run linial_vectorized and require "
+                            "bit-identical colors + round accounting")
+    p_par.add_argument("--smoke", action="store_true",
+                       help="pinned small graph, cross-check forced on")
+    p_par.add_argument("--output", default=None,
+                       help="write the partition-run record as JSON")
+    p_par.set_defaults(func=_cmd_partition_run)
 
     p_fam = sub.add_parser("families", help="list graph generators")
     p_fam.set_defaults(func=_cmd_families)

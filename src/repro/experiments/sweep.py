@@ -99,6 +99,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
+from ..atomic import atomic_write_text, sweep_stale_tmp
+
 #: Version of the cached cell-record layout.  Bump whenever the record
 #: gains, loses, or reinterprets fields; :func:`load_cached` treats any
 #: other version (including records from before this field existed) as a
@@ -785,14 +787,21 @@ def load_cached(cache_dir: Path | str, cell: SweepCell) -> dict[str, Any] | None
 
 
 def store_cached(cache_dir: Path | str, record: dict[str, Any]) -> Path:
-    """Atomically persist a cell record under its key."""
+    """Atomically persist a cell record under its key.
+
+    Delegates to :func:`repro.atomic.atomic_write_text`: the staging
+    file name embeds pid + a random token, so two processes racing to
+    publish the *same* cell (which under the old
+    ``path.with_suffix(".tmp")`` scheme shared one staging path and
+    could interleave writes before either ``os.replace``) each stage
+    privately and the cache only ever sees one complete record.  A
+    crash mid-write leaves a uniquely-named ``.tmp`` that
+    :func:`repro.atomic.sweep_stale_tmp` reclaims on the next cache
+    load instead of a torn cache entry.
+    """
     cache_dir = Path(cache_dir)
-    cache_dir.mkdir(parents=True, exist_ok=True)
     path = _cache_path(cache_dir, record["key"])
-    tmp = path.with_suffix(".tmp")
-    tmp.write_text(json.dumps(record, sort_keys=True, indent=1))
-    os.replace(tmp, path)
-    return path
+    return atomic_write_text(path, json.dumps(record, sort_keys=True, indent=1))
 
 
 def corrupt_cache_files(cache_dir: Path | str) -> list[Path]:
@@ -916,6 +925,10 @@ def run_sweep(
     ``status: "failed"`` record (see :func:`failed_record`), cached like
     any other result.
     """
+    if cache_dir is not None:
+        # reclaim staging litter from crashed publishers before reading;
+        # age-gated so a live writer's in-flight .tmp is left alone
+        sweep_stale_tmp(cache_dir)
     results: dict[str, CellResult] = {}
     statuses: dict[str, str] = {}
     missing: list[SweepCell] = []

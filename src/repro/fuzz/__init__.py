@@ -45,6 +45,7 @@ from .corpus import (
 from .differential import (
     COMPILED_PAIRS,
     ENGINE_PAIRS,
+    PARTITIONED_PAIRS,
     CaseOutcome,
     EnginePair,
     pair_names,
@@ -58,6 +59,7 @@ from .shrink import shrink_case
 
 __all__ = [
     "COMPILED_PAIRS",
+    "PARTITIONED_PAIRS",
     "CORPUS_SCHEMA_VERSION",
     "ENGINE_PAIRS",
     "FAMILY_SPACE",

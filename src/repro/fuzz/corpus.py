@@ -7,9 +7,13 @@ replayed by the test suite and by ``repro-cli fuzz`` / CI on every run:
 a corpus entry is a regression test that asserts the divergence it once
 witnessed stays fixed.
 
-Writes are crash-safe: :func:`save_case` lands each entry through a
-sibling temp file plus ``os.replace`` (the same pattern the sweep cache
-uses), so an interrupted write can never leave a truncated JSON behind.
+Writes are crash-safe: :func:`save_case` lands each entry through
+:func:`repro.atomic.atomic_write_text` — a uniquely-named sibling temp
+file (pid + random token) plus ``os.replace``, the same publisher the
+sweep cache uses — so an interrupted write can never leave a truncated
+JSON behind, and two processes pinning the same case concurrently can
+never interleave into each other's staging file.  :func:`load_corpus`
+also sweeps staging litter older than an hour.
 Reads are crash-*tolerant*: an entry that no longer parses — e.g. one
 written by a pre-fix version that died mid-``write_text`` — is
 quarantined in place as ``<name>.json.corrupt`` and skipped with a
@@ -25,6 +29,7 @@ import os
 import warnings
 from pathlib import Path
 
+from ..atomic import atomic_write_text, sweep_stale_tmp
 from .case import FuzzCase
 from .differential import CaseOutcome, EnginePair, run_case
 
@@ -42,17 +47,16 @@ def case_filename(case: FuzzCase) -> str:
 def save_case(case: FuzzCase, corpus_dir: Path | str) -> Path:
     """Atomically write ``case`` into the corpus; returns the file path.
 
-    The payload lands through a sibling temp file plus ``os.replace``, so
-    a crash mid-write leaves either the previous entry or no entry —
-    never a truncated JSON that would fail the next replay.
+    The payload lands through a uniquely-named sibling temp file plus
+    ``os.replace`` (:func:`repro.atomic.atomic_write_text`), so a crash
+    mid-write leaves either the previous entry or no entry — never a
+    truncated JSON that would fail the next replay — and concurrent
+    writers of the same case cannot tear each other's staging file.
     """
-    corpus_dir = Path(corpus_dir)
-    corpus_dir.mkdir(parents=True, exist_ok=True)
-    path = corpus_dir / case_filename(case)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(case.to_dict(), indent=1, sort_keys=True) + "\n")
-    os.replace(tmp, path)
-    return path
+    path = Path(corpus_dir) / case_filename(case)
+    return atomic_write_text(
+        path, json.dumps(case.to_dict(), indent=1, sort_keys=True) + "\n"
+    )
 
 
 def load_case(path: Path | str) -> FuzzCase:
@@ -94,6 +98,9 @@ def load_corpus(corpus_dir: Path | str) -> list[tuple[Path, FuzzCase]]:
     corpus_dir = Path(corpus_dir)
     if not corpus_dir.is_dir():
         return []
+    # staging litter from crashed writers; age-gated so a live
+    # save_case in another process keeps its in-flight .tmp
+    sweep_stale_tmp(corpus_dir)
     out: list[tuple[Path, FuzzCase]] = []
     for path in sorted(corpus_dir.glob("*.json")):
         try:

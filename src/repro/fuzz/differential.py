@@ -304,6 +304,37 @@ COMPILED_PAIRS: dict[str, EnginePair] = {
 }
 
 
+def _par_linial(case: FuzzCase) -> EngineRun:
+    from ..obs import ENGINE_PARTITIONED
+    from ..sim.partition import run_partitioned_linial
+
+    recorder = RunRecorder(engine=ENGINE_PARTITIONED)
+    # two shards, fork context: the cheapest configuration that still
+    # exercises a real boundary exchange per case (differential replay
+    # spawns many short runs; fork skips the per-case interpreter boot,
+    # while the RSS-honest spawn default stays for benchmarks)
+    result, metrics, palette = run_partitioned_linial(
+        case.graph(),
+        initial_colors=case.initial_colors,
+        defect=case.defect,
+        recorder=recorder,
+        shards=2,
+        mp_context="fork",
+    )
+    return EngineRun(dict(result.assignment), metrics, recorder.record, palette)
+
+
+#: Reference-vs-**partitioned** pairs: the same reference side and
+#: oracle as :data:`ENGINE_PAIRS`' ``linial`` entry with the shard-
+#: parallel driver on the fast side.  Linial only — the backend declares
+#: the other algorithms unsupported (see
+#: :data:`repro.sim.backends.BACKENDS`) — and fault cases must be
+#: filtered by the caller (``supports_faults=False``).
+PARTITIONED_PAIRS: dict[str, EnginePair] = {
+    "linial": EnginePair("linial", _ref_linial, _par_linial, _oracle_linial),
+}
+
+
 def pairs_for_backend(backend: str = "vectorized") -> dict[str, EnginePair]:
     """The engine-pair registry whose fast side runs on ``backend``.
 
@@ -323,6 +354,8 @@ def pairs_for_backend(backend: str = "vectorized") -> dict[str, EnginePair]:
         return ENGINE_PAIRS
     if spec.name == "compiled":
         return COMPILED_PAIRS
+    if spec.name == "partitioned":
+        return PARTITIONED_PAIRS
     raise CapabilityError(
         f"backend {backend!r} has no differential pairs: it is the "
         "baseline every pair compares against"

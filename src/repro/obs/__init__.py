@@ -30,6 +30,7 @@ from .latency import LatencyTracker, OccupancyTracker, quantile
 from .profiler import Profiler
 from .record import (
     ENGINE_COMPILED,
+    ENGINE_PARTITIONED,
     ENGINE_REFERENCE,
     ENGINE_VECTORIZED,
     OBS_SCHEMA_VERSION,
@@ -44,6 +45,7 @@ from .record import (
 
 __all__ = [
     "ENGINE_COMPILED",
+    "ENGINE_PARTITIONED",
     "ENGINE_REFERENCE",
     "ENGINE_VECTORIZED",
     "LatencyTracker",

@@ -31,7 +31,6 @@ carries natively.
 from __future__ import annotations
 
 import json
-import os
 import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -44,13 +43,17 @@ from .profiler import Profiler
 #: lose, or reinterpret columns; loaders treat other versions as foreign.
 #: v2: rows gained the ``faults`` column family (per-round injected fault
 #: counts under a :class:`~repro.faults.FaultPlan`; ``None`` = no plan).
-OBS_SCHEMA_VERSION = 2
+#: v3: rows gained the ``exchange`` column family (per-round ghost-color
+#: boundary-exchange accounting from :mod:`repro.sim.partition`;
+#: ``None`` = single-process execution).
+OBS_SCHEMA_VERSION = 3
 
 #: Engine labels (see :data:`repro.sim.backends.BACKENDS`; the batched
 #: backend is an execution strategy and records as ``vectorized``).
 ENGINE_REFERENCE = "reference"
 ENGINE_VECTORIZED = "vectorized"
 ENGINE_COMPILED = "compiled"
+ENGINE_PARTITIONED = "partitioned"
 
 
 @dataclass(frozen=True)
@@ -65,7 +68,12 @@ class RoundRow:
     :data:`repro.faults.FAULT_KINDS` when the run carried a
     :class:`~repro.faults.FaultPlan`, ``None`` otherwise; both engines
     must produce it identically (checked by
-    :func:`compare_round_accounting`).
+    :func:`compare_round_accounting`).  ``exchange`` is the
+    boundary-exchange column family of partitioned runs
+    (:meth:`repro.sim.partition.GraphPartition.exchange_row`: bytes of
+    ghost colors pulled per round, ghost-replica count, cut directed
+    edges); like the activity columns it is engine-optional and not part
+    of the cross-engine accounting comparison.
     """
 
     round: int
@@ -75,6 +83,7 @@ class RoundRow:
     active: int | None = None
     uncolored: int | None = None
     faults: dict[str, int] | None = None
+    exchange: dict[str, int] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Flat JSON-ready dict of this row."""
@@ -84,6 +93,7 @@ class RoundRow:
     def from_dict(cls, data: dict[str, Any]) -> "RoundRow":
         """Inverse of :meth:`to_dict` (ignores unknown keys)."""
         faults = data.get("faults")
+        exchange = data.get("exchange")
         return cls(
             round=int(data["round"]),
             messages=int(data["messages"]),
@@ -97,6 +107,11 @@ class RoundRow:
                 None
                 if faults is None
                 else {str(k): int(v) for k, v in faults.items()}
+            ),
+            exchange=(
+                None
+                if exchange is None
+                else {str(k): int(v) for k, v in exchange.items()}
             ),
         )
 
@@ -130,6 +145,7 @@ class RunRecord:
         active_per_round: Sequence[int] | None = None,
         uncolored_per_round: Sequence[int] | None = None,
         faults_per_round: Sequence[dict[str, int] | None] | None = None,
+        exchange_per_round: Sequence[dict[str, int] | None] | None = None,
         palette: int | None = None,
         timings: dict[str, float] | None = None,
     ) -> "RunRecord":
@@ -147,6 +163,7 @@ class RunRecord:
             active = list(active_per_round or [])
             uncolored = list(uncolored_per_round or [])
             faults = list(faults_per_round or [])
+            exchange = list(exchange_per_round or [])
             for r in range(metrics.rounds):
                 rows.append(
                     RoundRow(
@@ -157,6 +174,7 @@ class RunRecord:
                         active=active[r] if r < len(active) else None,
                         uncolored=uncolored[r] if r < len(uncolored) else None,
                         faults=faults[r] if r < len(faults) else None,
+                        exchange=exchange[r] if r < len(exchange) else None,
                     )
                 )
         record = cls(
@@ -264,19 +282,25 @@ def append_jsonl(record: RunRecord, path: Path | str) -> None:
 def write_jsonl(records: Iterable[RunRecord], path: Path | str) -> None:
     """Atomically write records as JSONL, replacing any existing file.
 
-    The lines stream into a sibling temp file that ``os.replace``\\ s the
-    destination only once every record is on disk.  A crash mid-write —
-    e.g. the crash-stop flush path re-serializing a record set — leaves
-    the previous file intact instead of destroying already-flushed
-    records with a half-written replacement.
+    The payload stages through a *uniquely named* sibling temp file that
+    ``os.replace``\\ s the destination only once every record is
+    serialized (:func:`repro.atomic.atomic_write_text`).  A crash
+    mid-write — e.g. the crash-stop flush path re-serializing a record
+    set — leaves the previous file intact instead of destroying
+    already-flushed records with a half-written replacement, and two
+    processes replacing the same file concurrently each publish a
+    complete payload (last rename wins whole) instead of interleaving
+    into one shared ``.tmp``.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
-    with tmp.open("w") as fh:
-        for record in records:
-            fh.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
-    os.replace(tmp, path)
+    from ..atomic import atomic_write_text
+
+    atomic_write_text(
+        path,
+        "".join(
+            json.dumps(record.to_dict(), sort_keys=True) + "\n"
+            for record in records
+        ),
+    )
 
 
 def read_jsonl(path: Path | str) -> list[RunRecord]:
@@ -339,6 +363,7 @@ class RunRecorder:
         self.active_per_round: list[int | None] = []
         self.uncolored_per_round: list[int | None] = []
         self.faults_per_round: list[dict[str, int] | None] = []
+        self.exchange_per_round: list[dict[str, int] | None] = []
         self.profiler = Profiler()
         self.record: RunRecord | None = None
 
@@ -347,15 +372,20 @@ class RunRecorder:
         active: int | None = None,
         uncolored: int | None = None,
         faults: dict[str, int] | None = None,
+        exchange: dict[str, int] | None = None,
     ) -> None:
         """Note one round's activity (any column may be unknown).
 
         ``faults`` is the round's injected-fault counts when the run
-        carried a :class:`~repro.faults.FaultPlan` (``None`` otherwise).
+        carried a :class:`~repro.faults.FaultPlan` (``None`` otherwise);
+        ``exchange`` is the round's ghost-color boundary-exchange
+        accounting when the run executed on the partitioned backend
+        (``None`` otherwise).
         """
         self.active_per_round.append(active)
         self.uncolored_per_round.append(uncolored)
         self.faults_per_round.append(faults)
+        self.exchange_per_round.append(exchange)
 
     def finalize(
         self,
@@ -376,6 +406,7 @@ class RunRecorder:
             active_per_round=[a for a in self.active_per_round],  # type: ignore[misc]
             uncolored_per_round=[u for u in self.uncolored_per_round],  # type: ignore[misc]
             faults_per_round=list(self.faults_per_round),
+            exchange_per_round=list(self.exchange_per_round),
             palette=palette,
             timings=self.profiler.timings,
         )
@@ -398,7 +429,8 @@ def compare_round_accounting(a: RunRecord, b: RunRecord) -> dict[str, Any]:
     of the plan — and reports the first mismatching round, if any.  A
     fault-column disagreement marks the round mismatched (the engines saw
     *different fault schedules*) and additionally clears ``faults_equal``.
-    Activity columns are engine-optional and deliberately not compared.
+    Activity columns and the partitioned backend's ``exchange`` column
+    are engine-optional and deliberately not compared.
     """
     mismatches: list[int] = []
     fault_mismatches: list[int] = []

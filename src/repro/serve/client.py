@@ -28,7 +28,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-from .protocol import ServeRequest, ServeResponse, decode_line, encode_line
+from .protocol import (
+    STATUS_OK,
+    ServeRequest,
+    ServeResponse,
+    decode_line,
+    encode_line,
+)
 
 
 class ServeClient:
@@ -173,26 +179,81 @@ class TrafficReport:
     """What a :func:`fire_traffic` burst measured.
 
     ``latencies`` holds one total-latency sample (seconds) per completed
-    request; ``responses`` maps request_id to its
-    :class:`~repro.serve.protocol.ServeResponse` so callers can check
-    every served coloring, not just the aggregates.
+    request; ``responses`` holds one
+    :class:`~repro.serve.protocol.ServeResponse` per *completed request*
+    (a list, in completion order) so callers can check every served
+    coloring, not just the aggregates.  Duplicate ``request_id``\\ s are
+    each kept — an earlier design keyed responses by id and silently
+    dropped all but the last duplicate, which made a daemon that answers
+    the same id twice look indistinguishable from a correct one.  Use
+    :meth:`response_for` for the unique-id lookup and :meth:`by_id` to
+    see duplication explicitly.
+
+    ``requests`` counts *issued* requests; ``len(report.responses)``
+    counts completed ones, and the two differ when connections die
+    mid-burst.
     """
 
     clients: int
     requests: int
     wall_seconds: float
-    responses: dict[str, ServeResponse] = field(default_factory=dict)
+    responses: list[ServeResponse] = field(default_factory=list)
     latencies: list[float] = field(default_factory=list)
 
     @property
+    def completed(self) -> int:
+        """Requests that round-tripped to a response, any status."""
+        return len(self.responses)
+
+    @property
+    def completed_ok(self) -> int:
+        """Responses with :data:`~repro.serve.protocol.STATUS_OK`."""
+        return sum(1 for r in self.responses if r.status == STATUS_OK)
+
+    @property
     def rps(self) -> float:
-        """Sustained requests/second over the burst's wall-clock."""
-        return self.requests / self.wall_seconds if self.wall_seconds else 0.0
+        """Completed requests/second over the burst's wall-clock.
+
+        Counts *completed* responses, not issued requests: dividing the
+        issue count by the wall-clock inflates throughput whenever some
+        requests error out or never complete.
+        """
+        return self.completed / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def ok_rps(self) -> float:
+        """Successfully served (``ok``-status) requests/second."""
+        return (
+            self.completed_ok / self.wall_seconds if self.wall_seconds else 0.0
+        )
+
+    def by_id(self) -> dict[str, list[ServeResponse]]:
+        """Responses grouped by request id (anonymous ones under ``""``)."""
+        groups: dict[str, list[ServeResponse]] = {}
+        for response in self.responses:
+            groups.setdefault(response.request_id or "", []).append(response)
+        return groups
+
+    def response_for(self, request_id: str) -> ServeResponse:
+        """The unique response for ``request_id``.
+
+        Raises ``KeyError`` if the id never completed and ``ValueError``
+        if the daemon answered it more than once — duplicate answers are
+        a protocol violation the caller must see, not a dict overwrite.
+        """
+        matches = [r for r in self.responses if r.request_id == request_id]
+        if not matches:
+            raise KeyError(request_id)
+        if len(matches) > 1:
+            raise ValueError(
+                f"{len(matches)} responses for request_id {request_id!r}"
+            )
+        return matches[0]
 
     def status_counts(self) -> dict[str, int]:
         """How many responses landed in each status."""
         counts: dict[str, int] = {}
-        for response in self.responses.values():
+        for response in self.responses:
             counts[response.status] = counts.get(response.status, 0) + 1
         return counts
 
@@ -215,8 +276,11 @@ async def fire_traffic(
     """
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients}")
+    # ``clients`` reports connections that actually open: an empty
+    # request set opens zero (the old ``min(...) or clients`` fallback
+    # claimed N clients for zero requests).
     report = TrafficReport(
-        clients=min(clients, len(requests)) or clients,
+        clients=min(clients, len(requests)),
         requests=len(requests),
         wall_seconds=0.0,
     )
@@ -229,8 +293,7 @@ async def fire_traffic(
                 t0 = time.perf_counter()
                 response = await client.color(request)
                 report.latencies.append(time.perf_counter() - t0)
-                key = request.request_id or f"anon-{id(request)}"
-                report.responses[key] = response
+                report.responses.append(response)
         finally:
             await client.close()
 

@@ -219,6 +219,39 @@ BACKENDS: dict[str, BackendSpec] = {
         available=NUMBA_AVAILABLE,
         unavailable_reason=NUMBA_UNAVAILABLE_REASON,
     ),
+    "partitioned": _spec(
+        "partitioned",
+        "edge-cut sharded multiprocess execution with per-round ghost-"
+        "color exchange over shared memory (repro.sim.partition)",
+        "partitioned",
+        faults=False,
+        batch=False,
+        identical_to="vectorized",
+        algorithms={
+            "classic": AlgorithmSupport(
+                supported=False,
+                note="the classic pipeline's schedule reduction finalizes "
+                "one color class per round — a global sequential order the "
+                "shard-parallel driver does not yet express; run it on the "
+                "vectorized backend",
+            ),
+            "defective_split": AlgorithmSupport(
+                supported=False,
+                note="the split's Linial core runs partitioned, but the "
+                "pipeline wrapper (validation + class relabeling) is not "
+                "yet sharded; run it on the vectorized backend",
+            ),
+            "greedy": AlgorithmSupport(
+                supported=False,
+                note="sequential greedy is an inherently global node order; "
+                "sharding it would change the algorithm",
+            ),
+            # no sweep names yet: the backend targets single huge
+            # instances (repro-cli partition-run / bench_partition),
+            # not the many-small-cells sweep grid
+            "linial": AlgorithmSupport(),
+        },
+    ),
 }
 
 
@@ -389,7 +422,12 @@ def consistency_report() -> dict:
         FAST_PATHS,
         REFERENCE_PATHS,
     )
-    from ..fuzz.differential import _CPL_BATCH, _VEC_BATCH, ENGINE_PAIRS
+    from ..fuzz.differential import (
+        _CPL_BATCH,
+        _VEC_BATCH,
+        ENGINE_PAIRS,
+        PARTITIONED_PAIRS,
+    )
     from ..fuzz.generator import GENERATABLE_PAIRS
 
     problems: list[str] = []
@@ -437,6 +475,17 @@ def consistency_report() -> dict:
         problems.append(
             f"fuzz _CPL_BATCH {sorted(_CPL_BATCH)} != compiled batched "
             f"algorithms {sorted(cpl_batched)}"
+        )
+
+    par = BACKENDS["partitioned"]
+    par_supported = {
+        a for a in ALGORITHMS
+        if a in par.algorithms and par.algorithms[a].supported
+    }
+    if set(PARTITIONED_PAIRS) != par_supported:
+        problems.append(
+            f"fuzz PARTITIONED_PAIRS {sorted(PARTITIONED_PAIRS)} != "
+            f"partitioned-supported algorithms {sorted(par_supported)}"
         )
 
     derived = batchable_sweep_algorithms()

@@ -168,6 +168,7 @@ def record_uniform_round(
     active: int | None = None,
     uncolored: int | None = None,
     faults: dict[str, int] | None = None,
+    exchange: dict[str, int] | None = None,
 ) -> None:
     """Observe one synthesized uniform round in metrics *and* recorder.
 
@@ -177,11 +178,15 @@ def record_uniform_round(
     lockstep, so a fast path cannot desynchronize the two.  ``recorder``
     is duck-typed (anything with ``on_round``) and may be ``None``;
     ``faults`` carries the round's injected-fault counts when the fast
-    path ran under a :class:`~repro.faults.FaultPlan`.
+    path ran under a :class:`~repro.faults.FaultPlan`; ``exchange``
+    carries the round's ghost-color boundary-exchange accounting when it
+    ran on the partitioned backend (:mod:`repro.sim.partition`).
     """
     metrics.observe_uniform_round(count, bits)
     if recorder is not None:
-        recorder.on_round(active=active, uncolored=uncolored, faults=faults)
+        recorder.on_round(
+            active=active, uncolored=uncolored, faults=faults, exchange=exchange
+        )
 
 
 # ----------------------------------------------------------------------

@@ -6,10 +6,15 @@ Three stores persist JSON artifacts — the fuzz corpus
 (:mod:`repro.experiments.sweep`) — and all three must survive a process
 dying mid-write.  The contract under test, per store:
 
-* **writes are atomic** — payloads land through a sibling temp file plus
-  ``os.replace``, so a crash leaves either the previous content or no
-  entry, never a truncated file (simulated here by failing the replace
-  and by planting orphaned ``.tmp`` files);
+* **writes are atomic** — payloads land through
+  :func:`repro.atomic.atomic_write_text`: a *uniquely named* sibling
+  temp file (pid + random token, so concurrent writers of the same
+  destination can never share a staging path) plus ``os.replace``, so a
+  crash leaves either the previous content or no entry, never a
+  truncated file (simulated here by failing the replace and by planting
+  orphaned ``.tmp`` files); a failed publish cleans up its own staging
+  file, and litter from writers that died *before* cleanup is swept —
+  age-gated — by :func:`repro.atomic.sweep_stale_tmp` on store loads;
 * **reads are crash-tolerant** — a truncated/corrupt entry is
   quarantined as ``*.corrupt`` (or, for an append-mode JSONL, a torn
   *trailing* line is skipped with a warning) while the rest of the
@@ -76,12 +81,13 @@ class TestCorpusAtomicWrites:
         def exploding_replace(src, dst):
             raise OSError("simulated crash at publish")
 
-        monkeypatch.setattr("repro.fuzz.corpus.os.replace", exploding_replace)
+        monkeypatch.setattr("repro.atomic.os.replace", exploding_replace)
         with pytest.raises(OSError):
             save_case(case, tmp_path)
-        # the destination is untouched; the torn payload stayed in the tmp
+        # the destination is untouched, and the failed publish cleaned
+        # up its own staging file instead of leaving litter
         assert path.read_text() == before
-        assert list(tmp_path.glob("*.tmp")) != []
+        assert list(tmp_path.glob("*.tmp")) == []
 
     def test_orphaned_tmp_is_invisible_to_replay(self, tmp_path):
         path = save_case(pinned_case(), tmp_path)
@@ -135,11 +141,12 @@ class TestJsonlAtomicWrites:
         def exploding_replace(src, dst):
             raise OSError("simulated crash at publish")
 
-        monkeypatch.setattr("repro.obs.record.os.replace", exploding_replace)
+        monkeypatch.setattr("repro.atomic.os.replace", exploding_replace)
         with pytest.raises(OSError):
             write_jsonl([make_record(), make_record()], path)
         assert path.read_text() == before
         assert len(read_jsonl(path)) == 1
+        assert list(tmp_path.glob("*.tmp")) == []
 
 
 class TestJsonlTornTail:
@@ -172,6 +179,106 @@ class TestJsonlTornTail:
         with open(path, "a") as fh:
             fh.write("\n\n")
         assert len(read_jsonl(path)) == 1
+
+
+class TestAtomicHelper:
+    """The shared publisher in :mod:`repro.atomic` directly."""
+
+    def test_staging_paths_are_unique_per_call(self, tmp_path):
+        from repro.atomic import _staging_path
+
+        dest = tmp_path / "cell.json"
+        staged = {_staging_path(dest).name for _ in range(32)}
+        # the old scheme (`path.with_suffix(".tmp")`) collapsed every
+        # writer of one destination onto a single staging file; unique
+        # names are what make concurrent same-destination publishes safe
+        assert len(staged) == 32
+        assert all(name.startswith("cell.json.") for name in staged)
+        assert all(name.endswith(".tmp") for name in staged)
+
+    def test_atomic_write_creates_parents_and_publishes(self, tmp_path):
+        from repro.atomic import atomic_write_text
+
+        dest = tmp_path / "nested" / "deep" / "out.json"
+        assert atomic_write_text(dest, '{"ok": true}') == dest
+        assert json.loads(dest.read_text()) == {"ok": True}
+        assert list(dest.parent.glob("*.tmp")) == []
+
+    def test_sweep_stale_tmp_is_age_gated(self, tmp_path):
+        import os
+
+        from repro.atomic import STALE_TMP_AGE_S, sweep_stale_tmp
+
+        fresh = tmp_path / "live.json.1234.abcd1234.tmp"
+        fresh.write_text("in flight")
+        stale = tmp_path / "dead.json.5678.deadbeef.tmp"
+        stale.write_text("orphaned")
+        old = stale.stat().st_mtime - (STALE_TMP_AGE_S + 60)
+        os.utime(stale, (old, old))
+        removed = sweep_stale_tmp(tmp_path)
+        # only the hour-old orphan goes; a live writer's staging file
+        # (fresh mtime) must survive the sweep
+        assert removed == [stale]
+        assert fresh.exists() and not stale.exists()
+
+    def test_sweep_missing_directory_is_a_noop(self, tmp_path):
+        from repro.atomic import sweep_stale_tmp
+
+        assert sweep_stale_tmp(tmp_path / "never_created") == []
+
+    def test_concurrent_same_destination_publishes_both_complete(self, tmp_path):
+        # the torn-publish regression: N threads all writing the same
+        # destination; under the shared-staging-path scheme these could
+        # interleave write/replace and publish a torn file
+        import threading
+
+        from repro.atomic import atomic_write_text
+
+        dest = tmp_path / "contended.json"
+        payloads = [json.dumps({"writer": i, "pad": "x" * 4096}) for i in range(8)]
+        threads = [
+            threading.Thread(target=atomic_write_text, args=(dest, p))
+            for p in payloads
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # whichever writer won, the published file is one *complete*
+        # payload, and no staging litter remains
+        assert dest.read_text() in payloads
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestStaleTmpSweepOnLoad:
+    def test_run_sweep_reclaims_stale_cache_staging(self, tmp_path):
+        import os
+
+        from repro.atomic import STALE_TMP_AGE_S
+        from repro.experiments.sweep import run_sweep
+
+        stale = tmp_path / "orphan.json.999.cafef00d.tmp"
+        stale.write_text('{"torn')
+        old = stale.stat().st_mtime - (STALE_TMP_AGE_S + 60)
+        os.utime(stale, (old, old))
+        cell = SweepCell.make("ring", {"n": 6}, "linial_vectorized", {})
+        run_sweep([cell], cache_dir=tmp_path, workers=1)
+        assert not stale.exists()
+        assert load_cached(tmp_path, cell) is not None
+
+    def test_load_corpus_reclaims_stale_staging(self, tmp_path):
+        import os
+
+        from repro.atomic import STALE_TMP_AGE_S
+
+        good = save_case(pinned_case(), tmp_path)
+        stale = tmp_path / (good.name + ".999.cafef00d.tmp")
+        stale.write_text('{"torn')
+        old = stale.stat().st_mtime - (STALE_TMP_AGE_S + 60)
+        os.utime(stale, (old, old))
+        entries = load_corpus(tmp_path)
+        assert [p for p, _ in entries] == [good]
+        assert not stale.exists()
 
 
 class TestSweepCacheCrashSafety:

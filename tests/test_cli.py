@@ -71,6 +71,54 @@ class TestCLI:
         assert rc == 0
 
 
+class TestPartitionRunCommand:
+    def test_smoke_is_equivalence_checked(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "partition.json"
+        rc = main(
+            [
+                "partition-run",
+                "--smoke",
+                "--n", "200",
+                "--mp-context", "fork",
+                "--output", str(out),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert rc == 0
+        assert "bit-identical" in captured
+        payload = json.loads(out.read_text())
+        assert payload["valid"] is True
+        assert payload["check"]["assignment_equal"] is True
+        assert payload["check"]["accounting"]["accounting_equal"] is True
+        assert payload["stats"]["shards"] == 2
+        assert set(payload["exchange"]) == {
+            "bytes",
+            "ghosts",
+            "cut_directed_edges",
+        }
+
+    def test_explicit_graph_and_shards(self, capsys):
+        rc = main(
+            [
+                "partition-run",
+                "--family", "ring",
+                "--n", "64",
+                "--shards", "4",
+                "--strategy", "hash",
+                "--mp-context", "fork",
+                "--check",
+            ]
+        )
+        assert rc == 0
+        assert "shards=4" in capsys.readouterr().out
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["partition-run", "--smoke", "--strategy", "metis"])
+
+
 class TestFuzzCommand:
     def test_fuzz_smoke(self, capsys):
         rc = main(

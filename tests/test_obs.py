@@ -101,6 +101,45 @@ class TestRunRecord:
         again = RunRecord.from_dict(rec.to_dict())
         assert again == rec
 
+    def test_exchange_column_roundtrips(self):
+        # schema v3: the partitioned backend's per-round exchange column
+        row = {"bytes": 1112, "ghosts": 139, "cut_directed_edges": 164}
+        rec = RunRecord.from_metrics(
+            make_metrics(),
+            engine=ENGINE_VECTORIZED,
+            algorithm="demo",
+            n=10,
+            m=20,
+            exchange_per_round=[row, row, None],
+        )
+        assert rec.rows[0].exchange == row
+        assert rec.rows[2].exchange is None
+        again = RunRecord.from_dict(rec.to_dict())
+        assert again == rec
+        assert again.rows[1].exchange == row
+
+    def test_compare_ignores_exchange_column(self):
+        # exchange is engine-optional (partitioned-only): two records
+        # that differ only there must still compare as equal accounting
+        row = {"bytes": 64, "ghosts": 8, "cut_directed_edges": 12}
+        with_exchange = RunRecord.from_metrics(
+            make_metrics(),
+            engine=ENGINE_VECTORIZED,
+            algorithm="demo",
+            n=4,
+            m=4,
+            exchange_per_round=[row, row, row],
+        )
+        without = RunRecord.from_metrics(
+            make_metrics(),
+            engine=ENGINE_REFERENCE,
+            algorithm="demo",
+            n=4,
+            m=4,
+        )
+        verdict = compare_round_accounting(with_exchange, without)
+        assert verdict["accounting_equal"] and verdict["rounds_equal"]
+
     def test_foreign_schema_rejected(self):
         data = RunRecord.from_metrics(
             make_metrics(), engine=ENGINE_VECTORIZED, algorithm="demo", n=4, m=4

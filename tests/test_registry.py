@@ -134,16 +134,35 @@ class TestBackendRegistry:
         assert report["ok"] is True
 
     def test_pairs_for_backend_resolution(self):
-        from repro.fuzz import COMPILED_PAIRS, ENGINE_PAIRS, pairs_for_backend
+        from repro.fuzz import (
+            COMPILED_PAIRS,
+            ENGINE_PAIRS,
+            PARTITIONED_PAIRS,
+            pairs_for_backend,
+        )
         from repro.sim.backends import CapabilityError, UnknownBackendError
 
         assert pairs_for_backend("vectorized") is ENGINE_PAIRS
         assert pairs_for_backend("batched") is ENGINE_PAIRS
         assert pairs_for_backend("compiled") is COMPILED_PAIRS
+        assert pairs_for_backend("partitioned") is PARTITIONED_PAIRS
         with pytest.raises(CapabilityError, match="baseline"):
             pairs_for_backend("reference")
         with pytest.raises(UnknownBackendError):
             pairs_for_backend("quantum")
+
+    def test_partitioned_backend_capabilities(self):
+        from repro.sim.backends import CapabilityError, get_backend, require
+
+        spec = get_backend("partitioned")
+        assert spec.bit_identical_to == "vectorized"
+        assert require("partitioned", algorithm="linial") is spec
+        with pytest.raises(CapabilityError, match="does not support algorithm"):
+            require("partitioned", algorithm="classic")
+        with pytest.raises(CapabilityError, match="fault injection"):
+            require("partitioned", faults=True)
+        with pytest.raises(CapabilityError, match="batched execution"):
+            require("partitioned", batch=True)
 
     def test_cli_backends_subcommand(self, capsys):
         from repro.cli import main

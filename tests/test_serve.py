@@ -293,13 +293,13 @@ class TestColoringServer:
 
         report = asyncio.run(scenario())
         assert report.status_counts() == {"ok": len(requests)}
-        assert all(r.valid is True for r in report.responses.values())
+        assert all(r.valid is True for r in report.responses)
         offline = linial_vectorized_batch(
             [r.build_graph() for r in requests],
             initial_colors=[r.initial_colors for r in requests],
         )
         for request, (result, metrics, palette) in zip(requests, offline):
-            served = report.responses[request.request_id]
+            served = report.response_for(request.request_id)
             assert served.assignment() == result.assignment
             assert served.palette == palette
             assert served.rounds == metrics.rounds
@@ -354,6 +354,113 @@ class TestColoringServer:
             await server.stop()
 
         asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# TrafficReport accounting (regressions for the silent-overwrite /
+# inflated-rps / phantom-clients bugs)
+# ----------------------------------------------------------------------
+class TestTrafficReportAccounting:
+    def make_response(self, rid, status="ok"):
+        return ServeResponse(status=status, request_id=rid)
+
+    def test_duplicate_request_ids_are_both_kept(self):
+        # a daemon answering one id twice used to overwrite the first
+        # response in a dict and look indistinguishable from correct
+        from repro.serve import TrafficReport
+
+        report = TrafficReport(clients=1, requests=2, wall_seconds=1.0)
+        report.responses.extend(
+            [self.make_response("dup"), self.make_response("dup", "error")]
+        )
+        assert report.completed == 2
+        assert report.status_counts() == {"ok": 1, "error": 1}
+        assert report.by_id() == {"dup": report.responses}
+        with pytest.raises(ValueError, match="2 responses"):
+            report.response_for("dup")
+        with pytest.raises(KeyError):
+            report.response_for("never-issued")
+
+    def test_rps_counts_completed_not_issued(self):
+        # 10 issued, 4 completed (1 errored): rps must not claim 5/s
+        from repro.serve import TrafficReport
+
+        report = TrafficReport(clients=2, requests=10, wall_seconds=2.0)
+        report.responses.extend(
+            [self.make_response(f"r{i}") for i in range(3)]
+            + [self.make_response("r3", "error")]
+        )
+        assert report.completed == 4
+        assert report.completed_ok == 3
+        assert report.rps == pytest.approx(2.0)
+        assert report.ok_rps == pytest.approx(1.5)
+
+    def test_zero_wall_reports_zero_rates(self):
+        from repro.serve import TrafficReport
+
+        report = TrafficReport(clients=0, requests=0, wall_seconds=0.0)
+        assert report.rps == 0.0 and report.ok_rps == 0.0
+
+    def test_empty_burst_reports_zero_clients(self):
+        # no server needed: an empty request set opens no connections,
+        # and the report must say 0 clients, not echo the requested N
+        report = asyncio.run(
+            fire_traffic("127.0.0.1", 1, [], clients=50)
+        )
+        assert report.clients == 0
+        assert report.requests == 0
+        assert report.completed == 0
+        assert report.status_counts() == {}
+
+    def test_duplicate_ids_surface_through_fire_traffic(self):
+        # end to end: the same request_id issued twice produces two
+        # retained responses, and the unique lookup refuses to guess
+        requests = [request_for(8, rid="twin"), request_for(8, rid="twin")]
+
+        async def scenario():
+            server = ColoringServer(ServeConfig(max_batch=4))
+            await server.start()
+            try:
+                return await fire_traffic(
+                    "127.0.0.1", server.port, requests, clients=2
+                )
+            finally:
+                await server.stop()
+
+        report = asyncio.run(scenario())
+        assert report.completed == 2
+        assert report.status_counts() == {"ok": 2}
+        assert len(report.by_id()["twin"]) == 2
+        with pytest.raises(ValueError, match="twin"):
+            report.response_for("twin")
+
+
+class TestFreshDaemonStats:
+    def test_stats_is_clean_as_first_op(self):
+        # a fresh daemon has empty latency/occupancy trackers; their
+        # summaries must serialize through JSON and render without
+        # KeyErrors before any request has been served
+        async def scenario():
+            server = ColoringServer(ServeConfig(max_batch=4))
+            await server.start()
+            client = ServeClient("127.0.0.1", server.port)
+            try:
+                return await client.stats()
+            finally:
+                await client.close()
+                await server.stop()
+
+        stats = asyncio.run(scenario())
+        assert stats["served"] == 0
+        assert stats["errors"] == 0
+        assert stats["round_index"] == 0
+        assert stats["queue_depth"] == 0
+        # empty trackers summarize as bare counts — no percentile keys
+        for kind in ("queue", "service", "total"):
+            assert stats["latency"][kind] == {"count": 0}
+        assert stats["occupancy_stats"] == {"rounds": 0}
+        # the CLI smoke renderer's access pattern on the fresh tracker
+        assert stats["occupancy_stats"].get("max_occupancy", 0) == 0
 
 
 # ----------------------------------------------------------------------
