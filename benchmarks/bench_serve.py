@@ -1,6 +1,6 @@
 """Serving daemon under load: latency, RPS, equivalence (`BENCH_serve.json`).
 
-The serving claim behind :mod:`repro.serve` is three claims, and this
+The serving claim behind :mod:`repro.serve` is five claims, and this
 script measures all of them in one record:
 
 * **equivalence** — every coloring the daemon serves is bit-identical
@@ -16,6 +16,17 @@ script measures all of them in one record:
   :class:`~repro.faults.FaultPlan` requests with clean ones must evict
   every halted instance (``status="halted"``) while every clean sibling
   still serves a valid coloring.
+* **overload** — offered load far beyond capacity: the unbounded-queue
+  baseline converts the excess into latency collapse for everyone,
+  while the bounded-queue admission controller (``max_queue``) holds
+  admitted-request p99 inside the configured SLO and reports the honest
+  shed rate — every response lands in an overload-legal status, every
+  admitted coloring stays bit-identical to the offline engine.
+* **chaos** — mid-burst disconnects, slow readers, and oversized lines
+  run *concurrently* with a clean cohort: the daemon must answer every
+  clean request with a valid, offline-identical coloring, answer
+  oversized lines with an ``error`` naming the limit, survive every
+  disconnect, and still shut down cleanly (zero hangs).
 
 Run it the way CI does::
 
@@ -31,17 +42,25 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
 import json
+import os
+import re
+import subprocess
 import sys
 import time
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+_SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(_SRC))
 
 from repro.obs import quantile  # noqa: E402
 from repro.serve import (  # noqa: E402
+    OVERLOAD_STATUSES,
     ColoringServer,
+    ServeClient,
     ServeConfig,
+    encode_line,
     fire_traffic,
     synth_requests,
 )
@@ -162,6 +181,346 @@ def crash_run(seed: int, count: int, max_batch: int) -> dict:
     }
 
 
+def _assert_ok_bit_identical(report, requests) -> int:
+    """Every ``ok`` response must equal its offline batched-engine twin.
+
+    The overload/chaos cells' correctness floor: shedding, timeouts, and
+    chaos clients must never perturb an *admitted* sibling's coloring.
+    Returns how many responses were checked.
+    """
+    by_id = {r.request_id: r for r in requests}
+    ok = [r for r in report.responses if r.status == "ok"]
+    if not ok:
+        return 0
+    admitted = [by_id[r.request_id] for r in ok]
+    offline = linial_vectorized_batch(
+        [r.build_graph() for r in admitted],
+        initial_colors=[r.initial_colors for r in admitted],
+    )
+    for served, request, (result, metrics, palette) in zip(
+        ok, admitted, offline
+    ):
+        assert served.assignment() == result.assignment, (
+            f"{request.request_id}: admitted coloring differs from offline"
+        )
+        assert served.palette == palette, f"{request.request_id}: palette"
+        assert served.rounds == metrics.rounds, f"{request.request_id}: rounds"
+    return len(ok)
+
+
+@contextlib.contextmanager
+def _daemon_process(*, max_batch: int, max_queue: int | None):
+    """A daemon in its *own* process, yielding its bound port.
+
+    The overload cells measure latency, and latency measured against an
+    in-process daemon is a lie: hundreds of bench client coroutines
+    share the event loop (and the GIL) with the scheduler and starve
+    it, so both cells drown in bench-side noise.  A dedicated process
+    gives the admission controller its own loop — exactly how
+    ``repro-cli serve`` deploys it.
+    """
+    cmd = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--port", "0", "--max-batch", str(max_batch),
+    ]
+    if max_queue is not None:
+        cmd += ["--max-queue", str(max_queue)]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        cmd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"listening on [\d.]+:(\d+)", banner)
+        if not match:
+            raise RuntimeError(f"daemon failed to start: {banner!r}")
+        yield int(match.group(1))
+        proc.wait(timeout=30)  # cell sends the shutdown op before exiting
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+            proc.wait(timeout=30)
+
+
+def _heavy_requests(count: int, graph_n: int) -> list:
+    """``count`` deliberately expensive requests (large rings).
+
+    The overload cells need the *server* to be the bottleneck — tens of
+    milliseconds of graph build plus vectorized kernel work per request,
+    against a few hundred bytes of request line — so the numbers measure
+    the admission controller, not the bench client's own event loop or
+    the wire.  The identity initial coloring is already a large palette
+    at this size, and rings keep the offline replay deterministic.
+    """
+    from repro.serve import ServeRequest
+
+    return [
+        ServeRequest(
+            family="ring",
+            family_params={"n": graph_n},
+            request_id=f"overload-{i:04d}",
+        )
+        for i in range(count)
+    ]
+
+
+def overload_run(
+    seed: int,
+    *,
+    count: int,
+    offered_rps: float,
+    graph_n: int,
+    max_batch: int,
+    max_queue: int,
+    slo_ms: float,
+) -> dict:
+    """Offered load >> capacity: bounded queue vs the unbounded baseline.
+
+    Both cells offer the identical heavy-request stream — one request
+    per client, arrivals staggered at ``offered_rps`` — to a daemon in
+    its own process whose capacity (``max_batch`` instances of
+    ``graph_n``-node work) is far below the offered rate.  The unbounded
+    baseline admits everything, so the queue grows for the whole burst
+    and late arrivals pay the entire backlog.  The bounded cell sheds at
+    ``max_queue`` and must hold admitted-request p99 inside ``slo_ms``
+    while reporting the shed rate honestly.  Admitted colorings are
+    diffed against the offline engine before any number is reported.
+    """
+    requests = _heavy_requests(count, graph_n)
+
+    def cell(max_queue_cfg):
+        async def offered(port):
+            responses = [None] * len(requests)
+            latencies = [None] * len(requests)
+
+            async def one(i, req):
+                await asyncio.sleep(i / offered_rps)
+                client = ServeClient("127.0.0.1", port, timeout=120.0)
+                t0 = time.perf_counter()
+                responses[i] = await client.color(req)
+                latencies[i] = time.perf_counter() - t0
+                await client.close()
+
+            t0 = time.perf_counter()
+            await asyncio.gather(
+                *(one(i, r) for i, r in enumerate(requests))
+            )
+            wall = time.perf_counter() - t0
+            probe = ServeClient("127.0.0.1", port, timeout=30.0)
+            stats = await probe.stats()
+            await probe.shutdown()
+            await probe.close()
+            return responses, latencies, stats, wall
+
+        with _daemon_process(
+            max_batch=max_batch, max_queue=max_queue_cfg
+        ) as port:
+            responses, latencies, stats, wall = asyncio.run(offered(port))
+        counts: dict[str, int] = {}
+        for r in responses:
+            counts[r.status] = counts.get(r.status, 0) + 1
+        illegal = {k: v for k, v in counts.items() if k not in OVERLOAD_STATUSES}
+        assert not illegal, f"overload produced illegal statuses: {illegal}"
+        assert counts.get("error", 0) == 0, f"unexpected errors: {counts}"
+        by_id = {r.request_id: r for r in requests}
+        ok_pairs = [
+            (lat, resp)
+            for lat, resp in zip(latencies, responses)
+            if resp.status == "ok"
+        ]
+        if ok_pairs:
+            admitted = [by_id[resp.request_id] for _, resp in ok_pairs]
+            offline = linial_vectorized_batch(
+                [r.build_graph() for r in admitted],
+                initial_colors=[r.initial_colors for r in admitted],
+            )
+            for (_, served), request, (result, _, palette) in zip(
+                ok_pairs, admitted, offline
+            ):
+                assert served.assignment() == result.assignment, (
+                    f"{request.request_id}: admitted coloring differs "
+                    "from offline"
+                )
+                assert served.palette == palette, request.request_id
+        ok_lat = sorted(lat for lat, _ in ok_pairs)
+        return {
+            "max_queue": max_queue_cfg,
+            "requests": len(requests),
+            "statuses": counts,
+            "shed_rate": counts.get("rejected", 0) / len(responses),
+            "timeout_rate": counts.get("timeout", 0) / len(responses),
+            "admitted": len(ok_lat),
+            "admitted_latency_ms": {
+                "p50": quantile(ok_lat, 0.50) * 1000.0 if ok_lat else None,
+                "p99": quantile(ok_lat, 0.99) * 1000.0 if ok_lat else None,
+                "max": ok_lat[-1] * 1000.0 if ok_lat else None,
+            },
+            "burst_wall_s": wall,
+            "bit_identical_admitted": len(ok_lat),
+            "scheduler": {
+                "queue_latency": stats["latency"]["queue"],
+                "service_latency": stats["latency"]["service"],
+                "rejected": stats["rejected"],
+                "timed_out": stats["timed_out"],
+                "retry_after_ms": stats["retry_after_ms"],
+                "outcomes": stats["outcomes"],
+            },
+        }
+
+    baseline = cell(None)
+    bounded = cell(max_queue)
+    assert bounded["shed_rate"] > 0, (
+        "overload cell did not shed: offered load never hit the queue bound"
+    )
+    assert baseline["statuses"].get("ok") == len(requests), (
+        "unbounded baseline should admit everything"
+    )
+    slo_met = (
+        bounded["admitted_latency_ms"]["p99"] is not None
+        and bounded["admitted_latency_ms"]["p99"] <= slo_ms
+    )
+    return {
+        "offered_requests": count,
+        "offered_rps": offered_rps,
+        "graph_n": graph_n,
+        "capacity_max_batch": max_batch,
+        "slo_ms": slo_ms,
+        "unbounded_baseline": baseline,
+        "bounded": bounded,
+        "slo_met": slo_met,
+        "collapse_factor": (
+            baseline["admitted_latency_ms"]["p99"]
+            / bounded["admitted_latency_ms"]["p99"]
+            if bounded["admitted_latency_ms"]["p99"]
+            else None
+        ),
+    }
+
+
+#: Line limit for the chaos cell's daemon: small enough that an
+#: oversized-line attack is cheap to mount, large enough for every
+#: legitimate request/response in the cohort.
+_CHAOS_LINE_LIMIT = 64 * 1024
+
+
+def chaos_run(seed: int, *, count: int, max_batch: int) -> dict:
+    """Mid-burst disconnects, slow readers, oversized lines — concurrently.
+
+    A clean cohort fires through ``fire_traffic`` while three chaos
+    cohorts abuse the same daemon: *disconnectors* submit a request and
+    slam the connection without reading, *slow readers* drain their
+    response a few bytes at a time, and *oversized senders* ship lines
+    past the daemon's limit.  The daemon must keep every clean promise
+    (all ``ok``, valid, bit-identical to offline), answer each oversized
+    line with an ``error`` naming the limit, and stop cleanly — zero
+    hangs, enforced by hard client timeouts on everything.
+    """
+    requests = synth_requests(seed, count)
+
+    async def scenario():
+        server = ColoringServer(
+            ServeConfig(max_batch=max_batch),
+            max_line_bytes=_CHAOS_LINE_LIMIT,
+        )
+        await server.start()
+        chaos_log = {"disconnects": 0, "slow_reads": 0, "oversized_errors": 0}
+
+        async def disconnector(i: int) -> None:
+            victim = synth_requests(seed + 100 + i, 1)[0]
+            _, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(
+                encode_line({"op": "color", "request": victim.to_dict()})
+            )
+            await writer.drain()
+            # vanish without reading the reply: the daemon eats the
+            # reset when it tries to respond, nobody else notices
+            writer.close()
+            chaos_log["disconnects"] += 1
+
+        async def slow_reader(i: int) -> None:
+            victim = synth_requests(seed + 200 + i, 1)[0]
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(
+                encode_line({"op": "color", "request": victim.to_dict()})
+            )
+            await writer.drain()
+            line = b""
+            while not line.endswith(b"\n"):
+                chunk = await asyncio.wait_for(reader.read(7), timeout=30)
+                if not chunk:
+                    break
+                line += chunk
+                await asyncio.sleep(0.001)
+            assert line.endswith(b"\n"), "slow reader starved of its reply"
+            chaos_log["slow_reads"] += 1
+            writer.close()
+            await writer.wait_closed()
+
+        async def oversized(i: int) -> None:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b'{"op": "x", "pad": "' + b"x" * (2 * _CHAOS_LINE_LIMIT) + b'"}\n')
+            await writer.drain()
+            reply = await asyncio.wait_for(reader.readline(), timeout=30)
+            assert str(_CHAOS_LINE_LIMIT) in reply.decode(), (
+                f"oversized reply does not name the limit: {reply!r}"
+            )
+            chaos_log["oversized_errors"] += 1
+            writer.close()
+
+        clean_task = asyncio.create_task(
+            fire_traffic(
+                "127.0.0.1",
+                server.port,
+                requests,
+                clients=min(16, count) or 1,
+                timeout=60.0,
+            )
+        )
+        chaos = [disconnector(i) for i in range(8)]
+        chaos += [slow_reader(i) for i in range(4)]
+        chaos += [oversized(i) for i in range(4)]
+        await asyncio.gather(*chaos)
+        report = await asyncio.wait_for(clean_task, timeout=120)
+        # the daemon must still be fully alive after the abuse
+        post = synth_requests(seed + 300, 1)
+        post_report = await fire_traffic(
+            "127.0.0.1", server.port, post, clients=1, timeout=30
+        )
+        stats = server.batcher.stats()
+        await asyncio.wait_for(server.stop(), timeout=30)
+        return report, post_report, stats, chaos_log
+
+    report, post_report, stats, chaos_log = asyncio.run(scenario())
+    counts = report.status_counts()
+    assert counts.get("ok") == len(requests), (
+        f"chaos perturbed the clean cohort: {counts}, errors={report.errors}"
+    )
+    assert all(r.valid is True for r in report.responses)
+    assert not report.errors, f"clean clients died: {report.errors}"
+    checked = _assert_ok_bit_identical(report, requests)
+    assert post_report.status_counts() == {"ok": 1}, (
+        "daemon unhealthy after chaos"
+    )
+    return {
+        "clean_requests": count,
+        "clean_statuses": counts,
+        "bit_identical": checked,
+        "chaos": chaos_log,
+        "post_chaos_probe": "ok",
+        "server_errors_counted": stats["errors"],
+        "zero_hangs": True,
+    }
+
+
 def measure(
     seed: int,
     clients: int,
@@ -169,8 +528,15 @@ def measure(
     max_batch: int,
     equivalence_requests: int,
     crash_requests: int,
+    overload_count: int = 160,
+    overload_rps: float = 100.0,
+    overload_graph_n: int = 8000,
+    overload_max_batch: int = 1,
+    overload_max_queue: int = 2,
+    slo_ms: float = 1000.0,
+    chaos_requests: int = 48,
 ) -> dict:
-    """All three serving claims, in contract order."""
+    """All five serving claims, in contract order."""
     return {
         "bench": "repro.serve continuous-batching daemon",
         "seed": seed,
@@ -179,6 +545,16 @@ def measure(
             seed + 1, clients, requests_per_client, max_batch
         ),
         "crash_tolerance": crash_run(seed + 2, crash_requests, max_batch),
+        "overload": overload_run(
+            seed + 3,
+            count=overload_count,
+            offered_rps=overload_rps,
+            graph_n=overload_graph_n,
+            max_batch=overload_max_batch,
+            max_queue=overload_max_queue,
+            slo_ms=slo_ms,
+        ),
+        "chaos": chaos_run(seed + 4, count=chaos_requests, max_batch=max_batch),
     }
 
 
@@ -187,10 +563,21 @@ def test_bench_serve_smoke(benchmark):
     record = benchmark.pedantic(
         measure,
         args=(7, 20, 2, 16, 12, 12),
+        kwargs={
+            "overload_count": 40,
+            "overload_rps": 100.0,
+            "overload_graph_n": 4000,
+            "overload_max_batch": 1,
+            "overload_max_queue": 4,
+            "slo_ms": 2000.0,
+            "chaos_requests": 12,
+        },
         rounds=1,
         iterations=1,
     )
     assert record["equivalence"]["bit_identical"]
+    assert record["overload"]["bounded"]["shed_rate"] > 0
+    assert record["chaos"]["zero_hangs"]
     benchmark.extra_info["experiment"] = "serve daemon burst (smoke)"
     benchmark.extra_info["rps"] = record["throughput"]["rps"]
 
@@ -208,6 +595,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="pinned set diffed against the offline engine")
     parser.add_argument("--crash-requests", dest="crash_requests", type=int,
                         default=60, help="crash-plan mix size")
+    parser.add_argument("--overload-count", dest="overload_count",
+                        type=int, default=160,
+                        help="requests offered to the undersized overload cell")
+    parser.add_argument("--overload-rps", dest="overload_rps",
+                        type=float, default=100.0,
+                        help="staggered arrival rate for the overload cell")
+    parser.add_argument("--overload-graph-n", dest="overload_graph_n",
+                        type=int, default=8000,
+                        help="ring size per overload request (server-heavy)")
+    parser.add_argument("--overload-max-batch", dest="overload_max_batch",
+                        type=int, default=1,
+                        help="deliberately tiny capacity for the overload cell")
+    parser.add_argument("--overload-max-queue", dest="overload_max_queue",
+                        type=int, default=2,
+                        help="admission bound for the bounded overload cell")
+    parser.add_argument("--slo-ms", dest="slo_ms", type=float, default=1000.0,
+                        help="admitted-request p99 budget for the bounded cell")
+    parser.add_argument("--chaos-requests", dest="chaos_requests", type=int,
+                        default=48, help="clean cohort size for the chaos cell")
     parser.add_argument("--out", default="BENCH_serve.json",
                         help="where to write the JSON record")
     args = parser.parse_args(argv)
@@ -219,6 +625,13 @@ def main(argv: list[str] | None = None) -> int:
         args.max_batch,
         args.equivalence_requests,
         args.crash_requests,
+        overload_count=args.overload_count,
+        overload_rps=args.overload_rps,
+        overload_graph_n=args.overload_graph_n,
+        overload_max_batch=args.overload_max_batch,
+        overload_max_queue=args.overload_max_queue,
+        slo_ms=args.slo_ms,
+        chaos_requests=args.chaos_requests,
     )
     Path(args.out).write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
     thr = record["throughput"]
@@ -235,7 +648,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(
         f"crash tolerance: {crash['halted_evicted']} halted+evicted, "
-        f"{crash['siblings_served_valid']} siblings served valid; "
+        f"{crash['siblings_served_valid']} siblings served valid"
+    )
+    over = record["overload"]
+    base_p99 = over["unbounded_baseline"]["admitted_latency_ms"]["p99"]
+    bnd = over["bounded"]
+    print(
+        f"overload: unbounded baseline p99 {base_p99:.0f}ms vs bounded "
+        f"p99 {bnd['admitted_latency_ms']['p99']:.0f}ms at "
+        f"shed rate {bnd['shed_rate']:.0%} "
+        f"(SLO {over['slo_ms']:.0f}ms met: {over['slo_met']})"
+    )
+    chaos = record["chaos"]
+    print(
+        f"chaos: {chaos['clean_requests']} clean requests all ok under "
+        f"{chaos['chaos']['disconnects']} disconnects / "
+        f"{chaos['chaos']['slow_reads']} slow readers / "
+        f"{chaos['chaos']['oversized_errors']} oversized lines; "
         f"wrote {args.out}"
     )
     return 0

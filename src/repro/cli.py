@@ -499,7 +499,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import json as _json
 
     from .serve import (
+        OVERLOAD_STATUSES,
         ColoringServer,
+        RetryPolicy,
         ServeConfig,
         fire_traffic,
         synth_requests,
@@ -511,6 +513,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         validate=not args.no_validate,
         record_jsonl=args.record_jsonl,
         backend=args.backend,
+        max_queue=args.max_queue,
+        shed_policy=args.shed_policy,
+        drain_timeout_s=args.drain_s,
     )
     try:
         require(config.backend, algorithm="linial", serve=True)
@@ -524,13 +529,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             await server.start()
             print(f"serve smoke: daemon on {args.host}:{server.port}")
             requests = synth_requests(args.seed, args.smoke_requests)
+            policy = (
+                RetryPolicy(attempts=args.smoke_retries + 1, seed=args.seed)
+                if args.smoke_retries > 0
+                else None
+            )
             report = await fire_traffic(
-                args.host, server.port, requests, clients=args.smoke_clients
+                args.host,
+                server.port,
+                requests,
+                clients=args.smoke_clients,
+                timeout=args.timeout,
+                retry_policy=policy,
             )
             stats = server.batcher.stats()
             await server.stop()
             counts = report.status_counts()
-            not_ok = {k: v for k, v in counts.items() if k != "ok"}
+            # under admission control every response must land in an
+            # overload-legal status; anything else (or a client-side
+            # failure, or a lost response) is a smoke failure
+            illegal = {
+                k: v for k, v in counts.items() if k not in OVERLOAD_STATUSES
+            }
+            hard_fail = {
+                k: v for k, v in counts.items() if k in ("error", "halted")
+            }
             invalid = [
                 r
                 for r in report.responses
@@ -540,6 +563,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"serve smoke: {report.requests} requests from "
                 f"{args.smoke_clients} clients in {report.wall_seconds:.2f}s "
                 f"({report.rps:.0f} rps), statuses={counts}, "
+                f"retries={report.retries}, "
+                f"client_errors={report.failed_clients}, "
                 f"max_occupancy="
                 f"{stats['occupancy_stats'].get('max_occupancy', 0)}"
             )
@@ -554,6 +579,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                             "ok_rps": report.ok_rps,
                             "completed": report.completed,
                             "statuses": counts,
+                            "retries": report.retries,
+                            "client_errors": report.errors,
                             "stats": stats,
                         },
                         fh,
@@ -561,14 +588,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         sort_keys=True,
                     )
                 print(f"saved smoke record to {args.output}")
-            if not_ok or invalid or len(report.responses) != len(requests):
+            if (
+                illegal
+                or hard_fail
+                or invalid
+                or report.errors
+                or len(report.responses) != len(requests)
+            ):
                 print(
-                    f"SMOKE FAILURE: non-ok={not_ok} "
+                    f"SMOKE FAILURE: illegal={illegal} hard_fail={hard_fail} "
                     f"invalid={len(invalid)} "
+                    f"client_errors={report.failed_clients} "
                     f"responses={len(report.responses)}/{len(requests)}"
                 )
                 return 1
-            print("serve smoke: all colorings valid, clean shutdown")
+            shed = counts.get("rejected", 0) + counts.get("timeout", 0)
+            print(
+                "serve smoke: all admitted colorings valid "
+                f"({shed} shed/timed out under queue bound "
+                f"{config.max_queue}), clean shutdown"
+            )
             return 0
 
         return asyncio.run(smoke())
@@ -878,6 +917,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="TCP port (0 picks a free one, printed at start)")
     p_srv.add_argument("--max-batch", dest="max_batch", type=int, default=64,
                        help="max instances packed into one round")
+    p_srv.add_argument("--max-queue", dest="max_queue", type=int, default=None,
+                       help="admission-queue bound; beyond it requests are "
+                            "shed as status=rejected with a retry_after_ms "
+                            "hint (default: unbounded)")
+    from .serve import SHED_POLICIES
+
+    p_srv.add_argument("--shed-policy", dest="shed_policy",
+                       choices=list(SHED_POLICIES), default="newest",
+                       help="which request a full queue sheds: the arriving "
+                            "one (newest) or the queue head (oldest)")
+    p_srv.add_argument("--drain-s", dest="drain_s", type=float, default=5.0,
+                       help="graceful-drain bound at shutdown; still-pending "
+                            "work fails with a structured error after it")
+    p_srv.add_argument("--timeout", type=float, default=None,
+                       help="smoke-client per-op wall-clock timeout (s); a "
+                            "hung daemon fails the smoke instead of "
+                            "blocking it forever")
+    p_srv.add_argument("--smoke-retries", dest="smoke_retries", type=int,
+                       default=0,
+                       help="retry budget for shed smoke requests "
+                            "(seeded-jitter exponential backoff)")
     p_srv.add_argument("--backend", default="batched",
                        help="serve-capable repro.sim.backends backend")
     p_srv.add_argument("--no-validate", dest="no_validate",

@@ -16,7 +16,8 @@ the *same* units.  This package provides that shared vocabulary:
 * :func:`compare_round_accounting` — the cross-engine equivalence check
   (reference vs vectorized on the same cell must produce identical
   per-round message counts and bit totals);
-* :class:`LatencyTracker` / :class:`OccupancyTracker` / :func:`quantile`
+* :class:`LatencyTracker` / :class:`OccupancyTracker` /
+  :class:`OutcomeTracker` / :func:`quantile`
   — the serving-side aggregators (:mod:`repro.serve` and
   ``benchmarks/bench_serve.py`` report p50/p99 latency, RPS, and batch
   occupancy through them).
@@ -26,7 +27,7 @@ cache, and ``repro-cli report`` renders them as per-round tables and
 cross-engine comparisons.
 """
 
-from .latency import LatencyTracker, OccupancyTracker, quantile
+from .latency import LatencyTracker, OccupancyTracker, OutcomeTracker, quantile
 from .profiler import Profiler
 from .record import (
     ENGINE_COMPILED,
@@ -51,6 +52,7 @@ __all__ = [
     "LatencyTracker",
     "OBS_SCHEMA_VERSION",
     "OccupancyTracker",
+    "OutcomeTracker",
     "Profiler",
     "RoundRow",
     "RunRecord",

@@ -80,6 +80,49 @@ class LatencyTracker:
         }
 
 
+class OutcomeTracker:
+    """Terminal-status accounting for an overload-protected server.
+
+    Under admission control a request ends in exactly one of the
+    protocol's terminal statuses (``ok``/``halted``/``error``/
+    ``rejected``/``timeout``), and the honest overload story is the
+    *distribution* over them: a daemon that holds p99 by shedding 40%
+    of offered load must say so.  :meth:`record` counts one terminal
+    status; :meth:`summary` reports the counts plus ``shed_rate`` and
+    ``timeout_rate`` as fractions of everything recorded — the two
+    numbers ``benchmarks/bench_serve.py``'s overload cell and the
+    ``stats`` protocol op surface.
+    """
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+
+    def record(self, status: str) -> None:
+        """Count one request's terminal status."""
+        self.counts[status] = self.counts.get(status, 0) + 1
+
+    @property
+    def total(self) -> int:
+        """All terminal outcomes recorded so far."""
+        return sum(self.counts.values())
+
+    def rate(self, status: str) -> float:
+        """Fraction of recorded outcomes that landed in ``status``."""
+        total = self.total
+        return self.counts.get(status, 0) / total if total else 0.0
+
+    def summary(self) -> dict[str, Any]:
+        """Status counts plus shed/timeout fractions (``{"total": 0}`` empty)."""
+        if not self.total:
+            return {"total": 0}
+        return {
+            "total": self.total,
+            "counts": dict(sorted(self.counts.items())),
+            "shed_rate": self.rate("rejected"),
+            "timeout_rate": self.rate("timeout"),
+        }
+
+
 class OccupancyTracker:
     """Per-round queue-depth and batch-occupancy accounting.
 

@@ -19,7 +19,15 @@ by ``benchmarks/bench_serve.py``:
   the same request, regardless of batch composition or admission round;
 * every ``ok`` response validates through :mod:`repro.core.validate`;
 * a request whose crash-stop :class:`~repro.faults.FaultPlan` halts is
-  evicted as ``status="halted"`` while its batch siblings keep serving.
+  evicted as ``status="halted"`` while its batch siblings keep serving;
+* under overload the daemon degrades gracefully instead of collapsing:
+  a bounded queue (``max_queue``) sheds excess load as
+  ``status="rejected"`` with a ``retry_after_ms`` hint, an expired
+  per-request ``deadline_ms`` resolves as ``status="timeout"`` with the
+  doomed instance evicted mid-run, shedding never perturbs an admitted
+  sibling's coloring, and shutdown drains — in-flight work finishes or
+  times out, and anything still pending fails with a structured error
+  rather than hanging its awaiter.
 
 Quick start::
 
@@ -32,29 +40,45 @@ Quick start::
 Or from a shell: ``repro-cli serve --port 7341``.
 """
 
-from .client import ServeClient, TrafficReport, fire_traffic, synth_requests
+from .client import (
+    RetryPolicy,
+    ServeClient,
+    TrafficReport,
+    fire_traffic,
+    synth_requests,
+)
 from .daemon import MAX_LINE_BYTES, ColoringServer
 from .protocol import (
+    OVERLOAD_STATUSES,
     SERVE_PROTOCOL_VERSION,
     STATUS_ERROR,
     STATUS_HALTED,
     STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
     ServeRequest,
     ServeResponse,
     decode_line,
     encode_line,
     error_response,
+    rejected_response,
+    timeout_response,
 )
-from .scheduler import ContinuousBatcher, ServeConfig
+from .scheduler import SHED_POLICIES, ContinuousBatcher, ServeConfig
 
 __all__ = [
     "ColoringServer",
     "ContinuousBatcher",
     "MAX_LINE_BYTES",
+    "OVERLOAD_STATUSES",
+    "RetryPolicy",
     "SERVE_PROTOCOL_VERSION",
+    "SHED_POLICIES",
     "STATUS_ERROR",
     "STATUS_HALTED",
     "STATUS_OK",
+    "STATUS_REJECTED",
+    "STATUS_TIMEOUT",
     "ServeClient",
     "ServeConfig",
     "ServeRequest",
@@ -64,5 +88,7 @@ __all__ = [
     "encode_line",
     "error_response",
     "fire_traffic",
+    "rejected_response",
     "synth_requests",
+    "timeout_response",
 ]

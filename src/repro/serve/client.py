@@ -30,6 +30,7 @@ from typing import Any, Sequence
 
 from .protocol import (
     STATUS_OK,
+    STATUS_REJECTED,
     ServeRequest,
     ServeResponse,
     decode_line,
@@ -37,14 +38,88 @@ from .protocol import (
 )
 
 
-class ServeClient:
-    """One client connection to a :class:`~repro.serve.daemon.ColoringServer`."""
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seeded-jitter exponential backoff for resubmitting shed requests.
 
-    def __init__(self, host: str, port: int) -> None:
+    ``attempts`` is the *total* number of tries (first submission
+    included).  The delay before retry ``k`` (0-based) is
+    ``base_ms * multiplier**k``, capped at ``max_ms``, jittered by a
+    uniform factor in ``[1 - jitter, 1 + jitter]`` drawn from a
+    :class:`random.Random` seeded with ``seed`` — the whole delay
+    sequence is a pure function of the policy, so traffic runs that
+    retry are as replayable as ones that don't.  A server-provided
+    ``retry_after_ms`` hint (attached to every ``rejected`` response)
+    acts as a *floor*: the client never comes back sooner than the
+    server asked.
+
+    The policy retries only what is safe to retry: ``rejected``
+    responses (the server did no work, by contract) and connection-level
+    failures of idempotent ops — a coloring request is a pure function
+    of its recipe, so re-running one cannot produce a different answer,
+    only spend more compute.
+    """
+
+    attempts: int = 3
+    base_ms: float = 25.0
+    multiplier: float = 2.0
+    max_ms: float = 2000.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_ms <= 0 or self.max_ms <= 0:
+            raise ValueError("base_ms and max_ms must be > 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def rng(self) -> random.Random:
+        """A fresh seeded jitter source (one per retried request)."""
+        return random.Random(self.seed)
+
+    def delay_ms(
+        self,
+        retry_index: int,
+        rng: random.Random,
+        retry_after_ms: float | None = None,
+    ) -> float:
+        """The backoff before retry ``retry_index`` (0-based), in ms."""
+        if retry_index < 0:
+            raise ValueError(f"retry_index must be >= 0, got {retry_index}")
+        backoff = min(self.max_ms, self.base_ms * self.multiplier**retry_index)
+        backoff *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        if retry_after_ms is not None:
+            backoff = max(backoff, float(retry_after_ms))
+        return backoff
+
+
+class ServeClient:
+    """One client connection to a :class:`~repro.serve.daemon.ColoringServer`.
+
+    ``timeout`` is a per-op wall-clock bound (seconds) applied to every
+    :meth:`request` round-trip via :func:`asyncio.wait_for` — with it
+    set, a hung daemon costs a ``TimeoutError``, never a client that
+    blocks forever.  ``None`` (the default) keeps the historical
+    unbounded behavior.
+    """
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float | None = None
+    ) -> None:
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0 or None, got {timeout}")
         self.host = host
         self.port = port
+        self.timeout = timeout
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
+        #: Retries performed by :meth:`color_retrying` over this
+        #: client's lifetime (resubmissions, not first attempts).
+        self.retries = 0
 
     async def connect(self) -> "ServeClient":
         """Open the connection (idempotent; returns self for chaining)."""
@@ -68,7 +143,24 @@ class ServeClient:
             self._writer = None
 
     async def request(self, payload: dict[str, Any]) -> dict[str, Any]:
-        """Send one protocol line and read its one-line reply."""
+        """Send one protocol line and read its one-line reply.
+
+        Bounded by ``self.timeout`` when set; on timeout the connection
+        is closed (its framing is now unknown — a late reply would be
+        misread as the answer to the *next* request) and the
+        ``asyncio.TimeoutError`` propagates.
+        """
+        if self.timeout is None:
+            return await self._request(payload)
+        try:
+            return await asyncio.wait_for(
+                self._request(payload), timeout=self.timeout
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            await self.close()
+            raise
+
+    async def _request(self, payload: dict[str, Any]) -> dict[str, Any]:
         await self.connect()
         assert self._reader is not None and self._writer is not None
         self._writer.write(encode_line(payload))
@@ -82,6 +174,47 @@ class ServeClient:
         """Submit one coloring request and wait for its outcome."""
         reply = await self.request({"op": "color", "request": request.to_dict()})
         return ServeResponse.from_dict(reply)
+
+    async def color_retrying(
+        self, request: ServeRequest, policy: RetryPolicy
+    ) -> ServeResponse:
+        """Submit one coloring request, resubmitting per ``policy``.
+
+        Retries ``rejected`` responses (honoring the server's
+        ``retry_after_ms`` hint) and connection-level failures
+        (``ConnectionError``/timeout — safe because a coloring request
+        is a pure function of its recipe).  Returns the first
+        non-rejected response, or the last ``rejected`` one once the
+        attempt budget is spent; re-raises the last connection failure
+        likewise.  Any other status (``ok``/``halted``/``timeout``/
+        ``error``) is terminal — the server *did* the work or made a
+        definitive call, so retrying would be load amplification.
+        """
+        rng = policy.rng()
+        last_exc: Exception | None = None
+        response: ServeResponse | None = None
+        for attempt in range(policy.attempts):
+            if attempt > 0:
+                hint = (
+                    response.retry_after_ms if response is not None else None
+                )
+                delay = policy.delay_ms(attempt - 1, rng, hint)
+                await asyncio.sleep(delay / 1000.0)
+                self.retries += 1
+            try:
+                response = await self.color(request)
+                last_exc = None
+            except (ConnectionError, asyncio.TimeoutError, TimeoutError) as exc:
+                last_exc = exc
+                response = None
+                await self.close()
+                continue
+            if response.status != STATUS_REJECTED:
+                return response
+        if last_exc is not None:
+            raise last_exc
+        assert response is not None
+        return response
 
     async def ping(self) -> bool:
         """Liveness check."""
@@ -192,6 +325,15 @@ class TrafficReport:
     ``requests`` counts *issued* requests; ``len(report.responses)``
     counts completed ones, and the two differ when connections die
     mid-burst.
+
+    ``errors`` records per-client failures: one entry per client whose
+    connection died mid-slice (``{"client": index, "type": ...,
+    "message": ..., "completed": how many of its requests had already
+    round-tripped}``).  A dying client used to raise through
+    ``asyncio.gather`` and abort every *other* client too, losing the
+    whole report — now survivors finish and the casualty list is data.
+    ``retries`` counts resubmissions performed under a
+    :class:`RetryPolicy` (0 without one).
     """
 
     clients: int
@@ -199,11 +341,18 @@ class TrafficReport:
     wall_seconds: float
     responses: list[ServeResponse] = field(default_factory=list)
     latencies: list[float] = field(default_factory=list)
+    errors: list[dict[str, Any]] = field(default_factory=list)
+    retries: int = 0
 
     @property
     def completed(self) -> int:
         """Requests that round-tripped to a response, any status."""
         return len(self.responses)
+
+    @property
+    def failed_clients(self) -> int:
+        """Clients whose connection died before finishing their slice."""
+        return len(self.errors)
 
     @property
     def completed_ok(self) -> int:
@@ -264,6 +413,8 @@ async def fire_traffic(
     requests: Sequence[ServeRequest],
     *,
     clients: int,
+    timeout: float | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> TrafficReport:
     """Fire a pinned request set at a daemon from ``clients`` connections.
 
@@ -272,7 +423,14 @@ async def fire_traffic(
     in-flight concurrency == live connections, the standard serving-
     benchmark shape).  Latency samples are whole-request wall-clock as
     the *client* observes it — queue wait, batched service, and protocol
-    overhead included.
+    overhead included; for retried requests the sample spans *all*
+    attempts and backoff waits, which is what the end user experiences.
+
+    ``timeout`` bounds each op's round-trip (see :class:`ServeClient`);
+    ``retry_policy`` resubmits shed/disconnected requests with seeded-
+    jitter backoff.  A client whose connection dies for good no longer
+    aborts the burst: its failure is appended to ``report.errors`` and
+    the surviving clients finish their slices.
     """
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients}")
@@ -285,22 +443,41 @@ async def fire_traffic(
         wall_seconds=0.0,
     )
 
-    async def run_client(slice_requests: list[ServeRequest]) -> None:
-        client = ServeClient(host, port)
+    async def run_client(index: int, slice_requests: list[ServeRequest]) -> None:
+        client = ServeClient(host, port, timeout=timeout)
+        completed = 0
         try:
             await client.connect()
             for request in slice_requests:
                 t0 = time.perf_counter()
-                response = await client.color(request)
+                if retry_policy is None:
+                    response = await client.color(request)
+                else:
+                    response = await client.color_retrying(
+                        request, retry_policy
+                    )
                 report.latencies.append(time.perf_counter() - t0)
                 report.responses.append(response)
+                completed += 1
+        except Exception as exc:  # noqa: BLE001 — becomes report data
+            report.errors.append(
+                {
+                    "client": index,
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "completed": completed,
+                }
+            )
         finally:
+            report.retries += client.retries
             await client.close()
 
     slices: list[list[ServeRequest]] = [[] for _ in range(clients)]
     for i, request in enumerate(requests):
         slices[i % clients].append(request)
     t_start = time.perf_counter()
-    await asyncio.gather(*(run_client(s) for s in slices if s))
+    await asyncio.gather(
+        *(run_client(i, s) for i, s in enumerate(slices) if s)
+    )
     report.wall_seconds = time.perf_counter() - t_start
     return report

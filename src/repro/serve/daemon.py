@@ -46,13 +46,22 @@ class ColoringServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        max_line_bytes: int = MAX_LINE_BYTES,
     ) -> None:
         self.host = host
         self.port = port
+        self.max_line_bytes = max_line_bytes
         self.batcher = ContinuousBatcher(config)
         self._server: asyncio.AbstractServer | None = None
         self._scheduler_task: asyncio.Task | None = None
         self._shutdown = asyncio.Event()
+        #: Set when the scheduler loop died with an exception (every
+        #: pending future was failed first); the daemon keeps answering
+        #: protocol lines, with ``color`` ops erroring fast.
+        self.scheduler_error: BaseException | None = None
+        #: The :meth:`~repro.serve.scheduler.ContinuousBatcher.drain`
+        #: accounting from the last :meth:`stop`.
+        self.drain_report: dict[str, int] | None = None
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -63,21 +72,39 @@ class ColoringServer:
             self._handle_connection,
             host=self.host,
             port=self.port,
-            limit=MAX_LINE_BYTES,
+            limit=self.max_line_bytes,
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._scheduler_task = asyncio.create_task(self.batcher.run())
 
-    async def stop(self) -> None:
-        """Stop accepting, drain the scheduler task, release the port."""
+    async def stop(self, *, drain_s: float | None = None) -> None:
+        """Graceful shutdown: stop accepting, drain, release the port.
+
+        The ordered teardown the overload layer promises: close the
+        listener (no new connections), drain the batcher (in-flight work
+        finishes or times out inside ``drain_s`` — default
+        ``config.drain_timeout_s`` — and anything still pending fails
+        with a structured error, so no awaiter hangs), then reap the
+        scheduler task.  A scheduler that died mid-traffic is *reaped*,
+        not re-raised: its exception lands in :attr:`scheduler_error`
+        and its pending futures were already failed by the loop itself.
+        """
         if self._server is None:
             return
         self._server.close()
         await self._server.wait_closed()
         self._server = None
+        if self._scheduler_task is not None and not self._scheduler_task.done():
+            self.drain_report = await self.batcher.drain(drain_s)
         self.batcher.stop()
         if self._scheduler_task is not None:
-            await self._scheduler_task
+            results = await asyncio.gather(
+                self._scheduler_task, return_exceptions=True
+            )
+            if isinstance(results[0], BaseException) and not isinstance(
+                results[0], asyncio.CancelledError
+            ):
+                self.scheduler_error = results[0]
             self._scheduler_task = None
         self._shutdown.set()
 
@@ -97,11 +124,33 @@ class ColoringServer:
         awaited before the next line is read) — concurrency comes from
         many connections, matching how the traffic generator and the
         benchmark drive the daemon.  A malformed line gets an ``error``
-        response rather than killing the connection.
+        response rather than killing the connection.  A line exceeding
+        ``max_line_bytes`` *also* gets an ``error`` response naming the
+        limit, then the connection is closed deliberately: the
+        unconsumed remainder of the oversized line would otherwise be
+        misparsed as new requests, so framing cannot be trusted past
+        this point.  (Historically the overrun raised out of
+        ``readline`` and silently dropped the connection — the client
+        hung with no explanation.)
         """
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except (
+                    ValueError,  # StreamReader wraps LimitOverrunError
+                    asyncio.LimitOverrunError,
+                    asyncio.IncompleteReadError,
+                ):
+                    reply = error_response(
+                        ValueError(
+                            "request line exceeds the protocol limit of "
+                            f"{self.max_line_bytes} bytes; closing connection"
+                        )
+                    ).to_dict()
+                    writer.write(encode_line(reply))
+                    await writer.drain()
+                    break
                 if not line:
                     break
                 try:

@@ -24,13 +24,30 @@ from dataclasses import dataclass, field
 from typing import Any
 
 #: Protocol version spoken by this daemon; responses echo it so clients
-#: can detect a mismatched server before misreading fields.
-SERVE_PROTOCOL_VERSION = 1
+#: can detect a mismatched server before misreading fields.  Version 2
+#: added overload protection: the ``rejected``/``timeout`` statuses, the
+#: per-request ``deadline_ms`` field, and the ``retry_after_ms`` hint.
+SERVE_PROTOCOL_VERSION = 2
 
 #: Request states a response can report.
 STATUS_OK = "ok"
 STATUS_HALTED = "halted"
 STATUS_ERROR = "error"
+#: The admission controller shed the request (queue at ``max_queue``, or
+#: the daemon is draining).  The server did *no* work on a rejected
+#: request, so resubmitting it is always safe; the response's
+#: ``retry_after_ms`` hints when.
+STATUS_REJECTED = "rejected"
+#: The request's ``deadline_ms`` expired before a result was produced —
+#: in the queue, at packing, or mid-run (the instance is evicted rather
+#: than left burning batch slots).  No coloring is attached.
+STATUS_TIMEOUT = "timeout"
+
+#: Statuses the admission/deadline machinery can legally produce; a
+#: response outside this set under overload is a server bug.
+OVERLOAD_STATUSES = frozenset(
+    {STATUS_OK, STATUS_HALTED, STATUS_ERROR, STATUS_REJECTED, STATUS_TIMEOUT}
+)
 
 
 @dataclass(frozen=True)
@@ -45,7 +62,12 @@ class ServeRequest:
     ``faults`` is an optional :meth:`~repro.faults.FaultPlan.to_dict`
     payload — crash-stop plans are how the serving tests prove a dead
     instance cannot take its batch siblings down.  ``request_id`` is a
-    client-chosen tag echoed verbatim in the response.
+    client-chosen tag echoed verbatim in the response.  ``deadline_ms``
+    is an optional per-request latency budget measured from the moment
+    the daemon accepts the request: one it cannot honor resolves as
+    :data:`STATUS_TIMEOUT` — enforced at admission, at packing, and
+    between rounds, so a doomed instance is evicted instead of burning
+    batch slots.
     """
 
     family: str
@@ -54,12 +76,17 @@ class ServeRequest:
     initial_colors: dict[int, int] | None = None
     faults: dict[str, Any] | None = None
     request_id: str | None = None
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.family, str) or not self.family:
             raise ValueError("request needs a non-empty graph family name")
         if self.defect < 0:
             raise ValueError(f"defect must be >= 0, got {self.defect}")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be > 0, got {self.deadline_ms}"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready dict; inverse of :meth:`from_dict`."""
@@ -76,6 +103,8 @@ class ServeRequest:
             out["faults"] = dict(self.faults)
         if self.request_id is not None:
             out["request_id"] = self.request_id
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = float(self.deadline_ms)
         return out
 
     @classmethod
@@ -88,6 +117,7 @@ class ServeRequest:
             "initial_colors",
             "faults",
             "request_id",
+            "deadline_ms",
         }
         unknown = set(data) - known
         if unknown:
@@ -106,6 +136,11 @@ class ServeRequest:
                 None if data.get("faults") is None else dict(data["faults"])
             ),
             request_id=data.get("request_id"),
+            deadline_ms=(
+                None
+                if data.get("deadline_ms") is None
+                else float(data["deadline_ms"])
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -132,8 +167,12 @@ class ServeResponse:
     :data:`STATUS_HALTED` (the instance's crash-stop fault plan
     exhausted its round budget — the per-instance
     :class:`~repro.sim.node.HaltingError`, surfaced without disturbing
-    batch siblings), or :data:`STATUS_ERROR` (the request itself was
-    unservable).  ``timing`` carries ``queue_ms`` (admission wait),
+    batch siblings), :data:`STATUS_ERROR` (the request itself was
+    unservable), :data:`STATUS_REJECTED` (shed by the admission
+    controller before any work — ``retry_after_ms`` hints when a
+    resubmission is likely to be admitted, derived from observed queue
+    latency), or :data:`STATUS_TIMEOUT` (the request's ``deadline_ms``
+    expired first).  ``timing`` carries ``queue_ms`` (admission wait),
     ``service_ms`` (resident rounds wall), and ``total_ms``; ``batch``
     carries the continuous-batching provenance (round admitted,
     rounds resident, occupancy at admission).
@@ -147,6 +186,7 @@ class ServeResponse:
     total_bits: int | None = None
     valid: bool | None = None
     error: dict[str, str] | None = None
+    retry_after_ms: float | None = None
     timing: dict[str, float] = field(default_factory=dict)
     batch: dict[str, int] = field(default_factory=dict)
 
@@ -170,6 +210,8 @@ class ServeResponse:
             out["valid"] = self.valid
         if self.error is not None:
             out["error"] = dict(self.error)
+        if self.retry_after_ms is not None:
+            out["retry_after_ms"] = float(self.retry_after_ms)
         return out
 
     @classmethod
@@ -196,6 +238,11 @@ class ServeResponse:
             error=(
                 None if data.get("error") is None else dict(data["error"])
             ),
+            retry_after_ms=(
+                None
+                if data.get("retry_after_ms") is None
+                else float(data["retry_after_ms"])
+            ),
             timing={k: float(v) for k, v in (data.get("timing") or {}).items()},
             batch={k: int(v) for k, v in (data.get("batch") or {}).items()},
         )
@@ -215,6 +262,54 @@ def error_response(
         status=STATUS_ERROR,
         request_id=request_id,
         error={"type": type(exc).__name__, "message": str(exc)},
+    )
+
+
+def rejected_response(
+    request_id: str | None,
+    *,
+    retry_after_ms: float,
+    reason: str,
+) -> ServeResponse:
+    """The :data:`STATUS_REJECTED` response the admission controller sheds.
+
+    The server did no work on the request, so resubmitting after
+    ``retry_after_ms`` is always safe — :class:`~repro.serve.client.RetryPolicy`
+    honors the hint.
+    """
+    return ServeResponse(
+        status=STATUS_REJECTED,
+        request_id=request_id,
+        error={"type": "Rejected", "message": reason},
+        retry_after_ms=float(retry_after_ms),
+    )
+
+
+def timeout_response(
+    request_id: str | None,
+    *,
+    deadline_ms: float,
+    where: str,
+    timing: dict[str, float] | None = None,
+    batch: dict[str, int] | None = None,
+) -> ServeResponse:
+    """The :data:`STATUS_TIMEOUT` response for an expired deadline.
+
+    ``where`` names the enforcement point (``"queue"``, ``"admission"``,
+    or ``"running"``) so clients and the bench can see whether deadlines
+    die waiting or mid-run.
+    """
+    return ServeResponse(
+        status=STATUS_TIMEOUT,
+        request_id=request_id,
+        error={
+            "type": "DeadlineExceeded",
+            "message": (
+                f"deadline_ms={deadline_ms:g} expired in {where}"
+            ),
+        },
+        timing=dict(timing or {}),
+        batch=dict(batch or {}),
     )
 
 

@@ -1429,6 +1429,27 @@ class LinialBatchStepper:
             self._live.append(inst)
         return inst
 
+    def evict(self, inst: BatchInstance) -> bool:
+        """Remove an instance from the membership without finishing it.
+
+        The deadline-enforcement hook for serving schedulers: an
+        instance whose request can no longer meet its latency budget
+        leaves the batch immediately — its slot refills next admission
+        — instead of burning rounds on an answer nobody is waiting for.
+        Its partial state is abandoned (no :meth:`BatchInstance.finalize`),
+        so it never appears in a later step's ``finished`` list.  Because
+        the block-diagonal kernels never read across instance
+        boundaries, removing a member mid-run cannot perturb any
+        sibling's colors.  Returns whether the instance was resident.
+        """
+        for members in (self._live, self._sealed_at_admit):
+            try:
+                members.remove(inst)
+                return True
+            except ValueError:
+                continue
+        return False
+
     def step(self) -> StepReport:
         """Run one synchronous round over the current membership.
 
