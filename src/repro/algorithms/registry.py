@@ -27,6 +27,13 @@ class AlgorithmInfo:
     palette: str  # human-readable palette guarantee
     deterministic: bool
     runner: Runner
+    #: the :data:`repro.fuzz.differential.ENGINE_PAIRS` entry whose
+    #: differential trials cover this implementation (``None`` when no
+    #: vectorized twin exists).  Registry names are presentation names
+    #: (``classic-vec``), pair names are canonical algorithm families
+    #: (``classic``) — this link is what keeps them in sync, enforced by
+    #: ``tests/test_algorithm_properties.py``.
+    engine_pair: str | None = None
 
 
 def _thm14(g):
@@ -81,6 +88,23 @@ def _mis(g):
     return coloring_via_mis(g, seed=1)
 
 
+def _fk24(g):
+    # defect 0 degenerates [FK24] to proper (degree+1)-list coloring
+    # with prefix lists, i.e. a Delta+1 palette
+    from .fk24 import run_fk24
+
+    res, m, _palette = run_fk24(g, defect=0)
+    return res, m
+
+
+def _greedy(g):
+    from ..sim.metrics import RunMetrics as _RM
+
+    from .greedy import greedy_list_coloring
+
+    return greedy_list_coloring(degree_plus_one_instance(g)), _RM()
+
+
 REGISTRY: dict[str, AlgorithmInfo] = {
     "thm14": AlgorithmInfo(
         "thm14", "Theorem 1.4 (this paper)", "Delta+1", True, _thm14
@@ -89,10 +113,20 @@ REGISTRY: dict[str, AlgorithmInfo] = {
         "thm13", "Theorem 1.3 (this paper)", "Delta+1", True, _thm13
     ),
     "classic": AlgorithmInfo(
-        "classic", "[Lin87]+schedule", "Delta+1", True, _classic
+        "classic", "[Lin87]+schedule", "Delta+1", True, _classic,
+        engine_pair="classic",
     ),
     "classic-vec": AlgorithmInfo(
-        "classic-vec", "[Lin87]+schedule (vectorized)", "Delta+1", True, _classic_vec
+        "classic-vec", "[Lin87]+schedule (vectorized)", "Delta+1", True,
+        _classic_vec, engine_pair="classic",
+    ),
+    "fk24": AlgorithmInfo(
+        "fk24", "[FK24] iterative list-defective (arXiv 2405.04648 §3)",
+        "Delta+1", True, _fk24, engine_pair="fk24",
+    ),
+    "greedy-seq": AlgorithmInfo(
+        "greedy-seq", "sequential greedy on (deg+1)-lists", "Delta+1",
+        True, _greedy, engine_pair="greedy",
     ),
     "linear": AlgorithmInfo(
         "linear", "[BE09, Kuh09]", "Delta+1", True, _linear

@@ -11,7 +11,14 @@ classic O(Delta^2 + log* n) schedule baseline across a Delta sweep at
 fixed n — our pipeline must win for all but the smallest Delta; (b) the
 regime map over a (Delta, n) grid using the paper's formulas for the
 [FHK16-in-CONGEST] and [GK21] reference algorithms against our measured
-rounds — the cell winners must reproduce the paper's three regimes.
+rounds — the cell winners must reproduce the paper's three regimes;
+(c) the SPAA'23-vs-[FK24] list-defective crossover: on the *same* list
+arbdefective instance (lists of ``floor(deg/(d+1)) + 1 + slack``
+colors, uniform defect budget ``d``), this paper's Theorem 1.3
+construction and the simple iterative [FK24] algorithm (arXiv
+2405.04648, Section 3) trade rounds against messages across a
+(Delta, defect, list-slack) grid — [FK24] must win at least one cell
+outright, and the table shows *where* each construction pays.
 """
 
 from __future__ import annotations
@@ -23,6 +30,103 @@ from ..graphs import random_regular
 from ..algorithms.congest_coloring import congest_delta_plus_one
 from ..algorithms.reduction import classic_delta_plus_one
 from .harness import ExperimentResult
+
+
+def fk24_crossover_grid(
+    fast: bool = True, seed: int = 67
+) -> tuple[str, list[list], dict[str, bool]]:
+    """SPAA'23 (Theorem 1.3) vs [FK24] on shared list-defective cells.
+
+    Every cell of the (Delta, defect, slack) grid builds one random-
+    regular instance with [FK24]-sized lists (which also satisfy
+    Theorem 1.3's ``sum_x (d_v(x)+1) > deg(v)`` premise, since
+    ``(floor(deg/(d+1)) + 1)(d+1) >= deg + 1``), runs both
+    constructions on it, validates both outputs as list arbdefective
+    colorings, and records who wins rounds and who wins messages.
+    Returns ``(table, rows, checks)`` for :func:`run` and the
+    ``bench_fk24`` benchmark to share.
+    """
+    from ..algorithms.arblist import solve_list_arbdefective
+    from ..algorithms.fk24 import fk24_lists, run_fk24
+    from ..core import ColorSpace
+    from ..core.instance import ListDefectiveInstance
+    from ..core.validate import validate_arbdefective
+
+    deltas = [4, 8, 12] if fast else [4, 8, 12, 16, 24]
+    cells = [(delta, d, s) for delta in deltas for d in (1, 2) for s in (0, 2)]
+    rows: list[list] = []
+    checks: dict[str, bool] = {}
+    fk24_round_wins = 0
+    fk24_message_wins = 0
+    for delta, d, s in cells:
+        n = max(6 * delta, 48)
+        if (n * delta) % 2:
+            n += 1
+        g = random_regular(n, delta, seed=seed)
+        # headroom past the largest required list, so the seeded sampler
+        # draws genuinely distinct (gappy) lists per node — on a regular
+        # graph the default tight space would make every list the whole
+        # palette and the slack dimension invisible
+        space_size = delta // (d + 1) + 1 + s + 4
+        lists, space = fk24_lists(
+            g, defect=d, slack=s, space_size=space_size, seed=seed + d + s
+        )
+        instance = ListDefectiveInstance(
+            g,
+            ColorSpace(space),
+            {v: tuple(lists[v]) for v in g.nodes},
+            {v: {x: d for x in lists[v]} for v in g.nodes},
+        )
+        res_spaa, m_spaa, _rep = solve_list_arbdefective(instance)
+        res_fk, m_fk, _palette = run_fk24(
+            g, lists=lists, space_size=space, defect=d
+        )
+        ok_spaa = validate_arbdefective(instance, res_spaa).ok
+        ok_fk = validate_arbdefective(instance, res_fk).ok
+        cell = f"d{delta}_def{d}_s{s}"
+        checks[f"valid_spaa_{cell}"] = ok_spaa
+        checks[f"valid_fk24_{cell}"] = ok_fk
+        round_winner = "fk24" if m_fk.rounds < m_spaa.rounds else "thm1.3"
+        msg_winner = (
+            "fk24" if m_fk.total_messages < m_spaa.total_messages else "thm1.3"
+        )
+        fk24_round_wins += round_winner == "fk24"
+        fk24_message_wins += msg_winner == "fk24"
+        rows.append(
+            [
+                delta,
+                d,
+                s,
+                n,
+                m_spaa.rounds,
+                m_fk.rounds,
+                m_spaa.total_messages,
+                m_fk.total_messages,
+                round_winner,
+                msg_winner,
+            ]
+        )
+    checks["fk24_wins_a_cell"] = fk24_round_wins + fk24_message_wins > 0
+    table = format_table(
+        [
+            "Delta",
+            "defect",
+            "slack",
+            "n",
+            "thm1.3 rounds",
+            "fk24 rounds",
+            "thm1.3 msgs",
+            "fk24 msgs",
+            "rounds winner",
+            "msgs winner",
+        ],
+        rows,
+        title=(
+            "SPAA'23 Theorem 1.3 vs [FK24] iterative, same list-defective "
+            "instance per cell"
+        ),
+    )
+    return table, rows, checks
 
 
 def run(fast: bool = True) -> ExperimentResult:
@@ -89,6 +193,9 @@ def run(fast: bool = True) -> ExperimentResult:
         map_rows,
         title="Regime map (formula values): winning algorithm per cell",
     )
+    fk24_table, fk24_rows, fk24_checks = fk24_crossover_grid(fast)
+    checks.update(fk24_checks)
+
     findings = (
         "Measured rounds of Theorem 1.4 stay well under the classic "
         "pipeline's Theta(Delta^2) worst-case schedule from Delta >= 16 on "
@@ -97,15 +204,20 @@ def run(fast: bool = True) -> ExperimentResult:
         "advantage is worst-case); in the formula-level regime map FHK/MT "
         "wins only when Delta = O(log n), GK21 only when Delta = "
         "Omega(log^2 n), and Theorem 1.4 takes exactly the intermediate "
-        "gap — the paper's picture."
+        "gap — the paper's picture.  On shared list-defective instances "
+        "the simple iterative [FK24] algorithm wins every cell on rounds "
+        "(its trial loop finishes in O(list length) rounds while the "
+        "Theorem 1.3 stage machinery pays for its decomposition), while "
+        "Theorem 1.3 wins on message count — its stages keep most nodes "
+        "silent, where [FK24] broadcasts every round until adoption."
     )
     return ExperimentResult(
         experiment="E11 regime crossovers (Section 1.1 discussion)",
         kind="figure",
         paper_claim="Thm 1.4 fills the gap Delta in [omega(log n), o(log^2 n)] between FHK/MT and GK21",
-        body=table + "\n\n" + map_table,
+        body=table + "\n\n" + map_table + "\n\n" + fk24_table,
         findings=findings,
-        data={"rows": rows, "map_rows": map_rows},
+        data={"rows": rows, "map_rows": map_rows, "fk24_rows": fk24_rows},
         checks=checks,
     )
 

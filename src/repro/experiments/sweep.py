@@ -402,12 +402,51 @@ def _run_defective_split_compiled(graph, params, recorder=None):
     return ColoringResult(classes), metrics, palette
 
 
+def _fk24_cell_config(graph, params):
+    """The cell's (lists, space, defect) — shared by the fast path, the
+    reference path, and the batched twin so all three run the identical
+    instance.  ``slack`` widens every list; ``list_seed`` switches from
+    palette-prefix lists to per-node sampled (gappy) ones."""
+    from ..algorithms.fk24 import fk24_lists
+
+    defect = int(params.get("defect", 1))
+    seed = params.get("list_seed")
+    lists, space = fk24_lists(
+        graph,
+        defect,
+        slack=int(params.get("slack", 0)),
+        seed=None if seed is None else int(seed),
+    )
+    return lists, space, defect
+
+
+def _run_fk24_vectorized(graph, params, recorder=None):
+    from ..sim.vectorized import fk24_vectorized
+
+    lists, space, defect = _fk24_cell_config(graph, params)
+    res, metrics, palette = fk24_vectorized(
+        graph, lists=lists, space_size=space, defect=defect, recorder=recorder
+    )
+    return res, metrics, palette
+
+
+def _run_fk24_reference(graph, params, recorder=None):
+    from ..algorithms.fk24 import run_fk24
+
+    lists, space, defect = _fk24_cell_config(graph, params)
+    res, metrics, palette = run_fk24(
+        graph, lists=lists, space_size=space, defect=defect, recorder=recorder
+    )
+    return res, metrics, palette
+
+
 FAST_PATHS: dict[str, Callable] = {
     "linial_vectorized": _run_linial_vectorized,
     "classic_vectorized": _run_classic_vectorized,
     "greedy_vectorized": _run_greedy_vectorized,
     "defective_split": _run_defective_split,
     "linial_faulty_vectorized": _run_linial_faulty_vectorized,
+    "fk24_vectorized": _run_fk24_vectorized,
     "linial_compiled": _run_linial_compiled,
     "greedy_compiled": _run_greedy_compiled,
     "defective_split_compiled": _run_defective_split_compiled,
@@ -440,6 +479,7 @@ REFERENCE_PATHS: dict[str, Callable] = {
     "greedy": _run_greedy_reference,
     "linial_faulty": _run_linial_faulty_reference,
     "linial_resilient": _run_linial_resilient,
+    "fk24": _run_fk24_reference,
 }
 
 
@@ -455,6 +495,17 @@ def algorithm_names() -> list[str]:
 def _validate(graph, result, algorithm, params) -> bool:
     """Vectorized validity check appropriate to the algorithm's contract."""
     from ..sim.engine import CSRGraph, equal_neighbor_counts
+
+    if algorithm.startswith("fk24"):
+        # arbdefective contract: the defect budget counts same-colored
+        # *out*-neighbors under the result's adoption orientation
+        from ..core.validate import validate_arbdefective_plain
+
+        return bool(
+            validate_arbdefective_plain(
+                graph, result, int(params.get("defect", 1))
+            ).ok
+        )
 
     csr = CSRGraph.from_networkx(graph)
     colors = csr.gather(result.assignment)
@@ -642,6 +693,20 @@ def _run_batched(algorithm: str, built: list[tuple]) -> list[Any]:
             else (ColoringResult(o[0]), o[1], o[2])
             for o in outs
         ]
+    if algorithm == "fk24_vectorized":
+        from ..sim.batch import fk24_vectorized_batch
+
+        configs = [
+            _fk24_cell_config(g, p) for g, p in zip(gs, params_list)
+        ]
+        return fk24_vectorized_batch(
+            gs,
+            lists=[c[0] for c in configs],
+            space_size=[c[1] for c in configs],
+            defect=[c[2] for c in configs],
+            recorders=recs,
+            return_exceptions=True,
+        )
     raise ValueError(f"algorithm {algorithm!r} has no batched path")
 
 

@@ -32,7 +32,11 @@ from ..core.instance import ListDefectiveInstance
 #: gains, loses, or reinterprets fields; loaders reject foreign versions.
 #: v2: cases gained the ``fault`` axis (an optional
 #: :meth:`repro.faults.FaultPlan.to_dict` spec for the ``linial`` pair).
-CORPUS_SCHEMA_VERSION = 2
+#: v3: the list-size validity rule became pair-dependent — the ``fk24``
+#: pair needs only ``floor(deg/(defect+1)) + 1`` colors per list (its
+#: defect budget revives colors the zero-defect greedy rule would
+#: forbid), and ``defect``/``fault`` now also apply to ``fk24``.
+CORPUS_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -54,11 +58,14 @@ class FuzzCase:
         (distinct values, so the input coloring is proper); ``None`` uses
         both engines' shared default (rank in sorted label order).
     lists / space_size:
-        The ``greedy`` pair's per-node color lists (each of size at least
-        ``deg(v) + 1``) and the size of the common color space.
+        Per-node color lists and the size of the common color space.
+        The ``greedy`` pair needs ``deg(v) + 1`` colors per list; the
+        ``fk24`` pair only ``floor(deg(v)/(defect+1)) + 1`` — its defect
+        budget lets up to ``defect`` same-colored out-neighbors share
+        each color.
     fault:
         Optional :meth:`repro.faults.FaultPlan.to_dict` spec for the
-        ``linial`` pair.  When set, both engines run under the identical
+        ``linial`` / ``fk24`` pairs.  When set, both engines run under the identical
         seeded fault schedule and the trial's contract becomes pure
         engine equality (outputs, metrics, per-round accounting *and*
         fault counts); the semantic oracle is skipped, since a dropped
@@ -121,10 +128,12 @@ class FuzzCase:
             for v, lst in self.lists.items():
                 if len(set(lst)) != len(lst):
                     raise ValueError(f"node {v}: duplicate list colors")
-                if len(lst) < degree[v] + 1:
+                min_len = self.min_list_size(degree[v])
+                if len(lst) < min_len:
                     raise ValueError(
-                        f"node {v}: list size {len(lst)} < degree+1 "
-                        f"{degree[v] + 1}"
+                        f"node {v}: list size {len(lst)} < required "
+                        f"{min_len} for pair {self.pair!r} at degree "
+                        f"{degree[v]}"
                     )
                 if any(x < 0 or x >= self.space_size for x in lst):
                     raise ValueError(f"node {v}: list color outside space")
@@ -135,6 +144,18 @@ class FuzzCase:
             # rates/windows, so a shrunk or hand-edited fault spec can
             # never silently degenerate into a different adversary
             FaultPlan.from_dict(self.fault)
+
+    def min_list_size(self, degree: int) -> int:
+        """The pair-dependent validity floor for a list at ``degree``.
+
+        ``fk24`` tolerates ``defect`` same-colored out-neighbors per
+        color, so only ``floor(deg/(defect+1)) + 1`` colors are needed
+        for a viable candidate to always exist; every other list-
+        carrying pair keeps the zero-defect ``deg + 1`` rule.
+        """
+        if self.pair == "fk24":
+            return degree // (self.defect + 1) + 1
+        return degree + 1
 
     # ------------------------------------------------------------------
     # materialization
@@ -155,6 +176,20 @@ class FuzzCase:
             ColorSpace(self.space_size),
             {v: tuple(lst) for v, lst in self.lists.items()},
             {v: {x: 0 for x in lst} for v, lst in self.lists.items()},
+        )
+
+    def fk24_instance(self) -> ListDefectiveInstance:
+        """The ``fk24`` pair's list instance with uniform defects."""
+        if self.lists is None or self.space_size is None:
+            raise ValueError(f"case for pair {self.pair!r} carries no lists")
+        return ListDefectiveInstance(
+            self.graph(),
+            ColorSpace(self.space_size),
+            {v: tuple(lst) for v, lst in self.lists.items()},
+            {
+                v: {x: self.defect for x in lst}
+                for v, lst in self.lists.items()
+            },
         )
 
     @property

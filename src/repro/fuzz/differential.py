@@ -27,11 +27,16 @@ Checked per trial:
 The oracles matter because output equality alone would bless two engines
 that share a bug; an independent validator cannot.
 
-Cases carrying a fault plan (``case.fault``) run both Linial engines
-under the identical seeded adversary.  There the semantic oracle is
-skipped — a dropped or corrupted color message can legitimately break
-properness — and the trial's contract tightens to pure engine equality,
-including the injected fault schedule itself (checks 2-4).
+Cases carrying a fault plan (``case.fault``) run both engines of the
+fault-capable pairs (``linial``, ``fk24``) under the identical seeded
+adversary.  There the semantic oracle is skipped — a dropped or
+corrupted color message can legitimately break properness — and the
+trial's contract tightens to pure engine equality, including the
+injected fault schedule itself (checks 2-4).  The ``fk24`` pair adds one
+wrinkle: corruption can poison its taker knowledge into a legitimate
+livelock, so a :class:`~repro.sim.node.HaltingError` on *both* sides
+with the same shape is agreement (encoded via ``EngineRun.extra``),
+while a halt on one side only is a divergence.
 """
 
 from __future__ import annotations
@@ -75,12 +80,22 @@ from .case import FuzzCase
 
 @dataclass
 class EngineRun:
-    """One engine's view of a trial: assignment + optional accounting."""
+    """One engine's view of a trial: assignment + optional accounting.
+
+    ``extra`` carries pair-specific payload the judge must also see
+    equal across engines — the ``fk24`` pair stores each node's
+    adoption round (the priority its orientation derives from) there,
+    or a ``halted`` marker when the run ended in a
+    :class:`~repro.sim.node.HaltingError` (an adversary can legitimately
+    livelock fk24; *identical* halts on both sides are agreement, a halt
+    on one side only is a divergence).
+    """
 
     assignment: dict[int, int]
     metrics: RunMetrics | None = None
     record: RunRecord | None = None
     palette: int | None = None
+    extra: dict[str, Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -244,6 +259,114 @@ def _oracle_defective_split(case: FuzzCase, run: EngineRun) -> list[str]:
     return list(report.violations)
 
 
+def _halted_fk24(exc, recorder: RunRecorder) -> EngineRun:
+    """Encode a legitimate fk24 livelock as a comparable run.
+
+    Corruption can poison a node's taker knowledge so no list color ever
+    looks viable again; both engines then idle to the same round budget.
+    The halt's shape (round count + unfinished set) and the full
+    per-round record stay under differential comparison via ``extra``.
+    """
+    return EngineRun(
+        {},
+        None,
+        recorder.record,
+        None,
+        extra={
+            "halted": {
+                "rounds": int(exc.rounds),
+                "unfinished": tuple(sorted(exc.unfinished)),
+            }
+        },
+    )
+
+
+def _ref_fk24(case: FuzzCase) -> EngineRun:
+    from ..algorithms.fk24 import run_fk24
+    from ..sim.node import HaltingError
+
+    recorder = RunRecorder(engine=ENGINE_REFERENCE)
+    adoption: dict[int, int] = {}
+    try:
+        result, metrics, palette = run_fk24(
+            case.graph(),
+            lists=case.lists,
+            space_size=case.space_size,
+            defect=case.defect,
+            recorder=recorder,
+            wrap=RefereedAlgorithm,
+            faults=_case_plan(case),
+            adoption_out=adoption,
+        )
+    except HaltingError as exc:
+        return _halted_fk24(exc, recorder)
+    return EngineRun(
+        dict(result.assignment),
+        metrics,
+        recorder.record,
+        palette,
+        extra={"adoption": adoption},
+    )
+
+
+def _vec_fk24(case: FuzzCase) -> EngineRun:
+    from ..sim.node import HaltingError
+    from ..sim.vectorized import fk24_vectorized
+
+    recorder = RunRecorder(engine=ENGINE_VECTORIZED)
+    adoption: dict[int, int] = {}
+    try:
+        result, metrics, palette = fk24_vectorized(
+            case.graph(),
+            lists=case.lists,
+            space_size=case.space_size,
+            defect=case.defect,
+            recorder=recorder,
+            faults=_case_plan(case),
+            adoption_out=adoption,
+        )
+    except HaltingError as exc:
+        return _halted_fk24(exc, recorder)
+    return EngineRun(
+        dict(result.assignment),
+        metrics,
+        recorder.record,
+        palette,
+        extra={"adoption": adoption},
+    )
+
+
+def _oracle_fk24(case: FuzzCase, run: EngineRun) -> list[str]:
+    from ..core.coloring import ColoringResult, orientation_from_priority
+    from ..core.validate import validate_arbdefective
+
+    if case.fault is not None:
+        # engine equality only — the adversary voids validity promises
+        return []
+    if run.extra is not None and "halted" in run.extra:
+        return [
+            "fk24 halted without faults: "
+            f"{run.extra['halted']['rounds']} round(s), unfinished "
+            f"{list(run.extra['halted']['unfinished'])[:5]}"
+        ]
+    adoption = (run.extra or {}).get("adoption")
+    if adoption is None:
+        return ["fk24 run carries no adoption rounds to orient by"]
+    g = case.graph()
+    result = ColoringResult(
+        dict(run.assignment), orientation_from_priority(g, adoption)
+    )
+    report = validate_arbdefective(case.fk24_instance(), result)
+    problems = list(report.violations)
+    if run.palette is not None:
+        over = [v for v, c in run.assignment.items() if c >= run.palette or c < 0]
+        if over:
+            problems.append(
+                f"colors outside palette {run.palette} at nodes {sorted(over)[:5]}"
+            )
+    return problems
+
+
 #: The engine pairs under differential test — every vectorized fast path
 #: in :mod:`repro.sim.vectorized` paired with its reference twin.
 ENGINE_PAIRS: dict[str, EnginePair] = {
@@ -256,6 +379,7 @@ ENGINE_PAIRS: dict[str, EnginePair] = {
         _vec_defective_split,
         _oracle_defective_split,
     ),
+    "fk24": EnginePair("fk24", _ref_fk24, _vec_fk24, _oracle_fk24),
 }
 
 
@@ -417,6 +541,12 @@ def _judge_case(
             if sa != sb:
                 keys = [k for k in sa if sa[k] != sb.get(k)]
                 failures.append(f"metrics summaries differ on {keys}: {sa} vs {sb}")
+        if ref.extra is not None or vec.extra is not None:
+            if ref.extra != vec.extra:
+                failures.append(
+                    f"engine extras differ: reference {ref.extra} vs "
+                    f"vectorized {vec.extra}"
+                )
         if ref.record is not None and vec.record is not None:
             accounting = compare_round_accounting(ref.record, vec.record)
             if not (
@@ -555,6 +685,43 @@ def _vec_defective_split_batch(cases: list[FuzzCase]) -> list:
     ]
 
 
+def _vec_fk24_batch(cases: list[FuzzCase]) -> list:
+    from ..obs import RunRecorder as _RR
+    from ..sim.batch import fk24_vectorized_batch
+    from ..sim.node import HaltingError
+
+    recs = [_RR(engine=ENGINE_VECTORIZED) for _ in cases]
+    outs_adoption: list[dict[int, int]] = [{} for _ in cases]
+    outs = fk24_vectorized_batch(
+        [c.graph() for c in cases],
+        lists=[c.lists for c in cases],
+        space_size=[c.space_size for c in cases],
+        defect=[c.defect for c in cases],
+        recorders=recs,
+        faults=[_case_plan(c) for c in cases],
+        return_exceptions=True,
+        adoption_outs=outs_adoption,
+    )
+    sides = []
+    for out, rec, adoption in zip(outs, recs, outs_adoption):
+        if isinstance(out, HaltingError):
+            # identical-halt agreement, as in the per-case runners
+            sides.append(_halted_fk24(out, rec))
+        elif isinstance(out, BaseException):
+            sides.append(out)
+        else:
+            sides.append(
+                EngineRun(
+                    dict(out[0].assignment),
+                    out[1],
+                    rec.record,
+                    out[2],
+                    extra={"adoption": adoption},
+                )
+            )
+    return sides
+
+
 #: Batched vectorized twins of the default pairs' ``run_vectorized``
 #: sides; a registry entry must *equal* the default pair for its batched
 #: side to apply (mutated pairs always run per-case).
@@ -563,6 +730,7 @@ _VEC_BATCH: dict[str, Callable[[list[FuzzCase]], list]] = {
     "classic": _vec_classic_batch,
     "greedy": _vec_greedy_batch,
     "defective_split": _vec_defective_split_batch,
+    "fk24": _vec_fk24_batch,
 }
 
 

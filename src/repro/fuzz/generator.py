@@ -15,10 +15,11 @@ The sampled space follows what the engine pairs are *sensitive to*:
   and label order is the tie-breaker both engines must agree on;
 * **configuration** — defect budgets for the defective pairs, explicit
   (gappy, unsorted) initial colorings for Linial, random
-  ``(degree+1)``-and-larger color lists for the greedy pair, and seeded
-  fault plans (drop/corrupt/delay/duplicate/crash) for a fraction of
-  Linial cases, exercising the fault kernels of both engines against
-  each other.
+  ``(degree+1)``-and-larger color lists for the greedy pair, shorter
+  defect-scaled lists for the fk24 pair, and seeded fault plans
+  (drop/corrupt/delay/duplicate/crash) for a fraction of the
+  fault-capable pairs' cases (``linial``, ``fk24``), exercising the
+  fault kernels of both engines against each other.
 
 Sizes stay small (n <= ~24): the reference engine is the bottleneck, and
 small instances shrink and replay fast.  Scale testing is the sweep
@@ -36,7 +37,7 @@ from .case import FuzzCase
 
 #: Engine-pair names the generator can target (kept in sync with
 #: :data:`repro.fuzz.differential.ENGINE_PAIRS` by a test).
-GENERATABLE_PAIRS = ("linial", "classic", "greedy", "defective_split")
+GENERATABLE_PAIRS = ("linial", "classic", "greedy", "defective_split", "fk24")
 
 #: Label-regime names (documentation + test introspection).
 LABEL_SCHEMES = ("identity", "shifted", "strided", "shuffled")
@@ -198,6 +199,19 @@ def generate_case(
         for v in nodes:
             size = min(space_size, degrees[v] + 1 + rng.randint(0, 2))
             lists[v] = sorted(rng.sample(range(space_size), size))
+    elif pair == "fk24":
+        # the defect budget shrinks the lists: floor(deg/(d+1)) + 1
+        # colors suffice, plus a little slack so tie-breaking at the
+        # viability boundary gets exercised from both sides
+        defect = rng.choice([0, 0, 1, 1, 2, 3])
+        space_size = max_degree + 1 + rng.randint(0, 4)
+        lists = {}
+        for v in nodes:
+            need = degrees[v] // (defect + 1) + 1
+            size = min(space_size, need + rng.randint(0, 2))
+            lists[v] = sorted(rng.sample(range(space_size), size))
+        if rng.random() < 0.4:
+            fault = _draw_fault(rng)
     # pair == "classic": the graph is the whole configuration
 
     case = FuzzCase(

@@ -9,8 +9,9 @@ by construction — and accepts an edit iff the failure still reproduces:
    nodes (with their incident edges, colors, and lists);
 2. **single edges** — remove one edge at a time (surviving lists only
    grow slack, so validity is preserved);
-3. **list colors** — for the greedy pair, drop trailing list colors
-   while each list stays above ``degree + 1``;
+3. **list colors** — for the list-carrying pairs, drop list colors
+   while each list stays above the pair's validity floor
+   (:meth:`FuzzCase.min_list_size`);
 4. **configuration** — try the default initial coloring instead of an
    explicit one, and smaller defect budgets;
 5. **fault plan** — drop the fault plan entirely, then individual fault
@@ -122,7 +123,7 @@ def shrink_case(
             else:
                 i += 1
 
-        # -- pass 3: shrink greedy lists ---------------------------------
+        # -- pass 3: shrink color lists ----------------------------------
         if current.lists is not None and budget[0] > 0:
             degree = {v: 0 for v in current.nodes}
             for u, v in current.edges:
@@ -130,8 +131,9 @@ def shrink_case(
                 degree[v] += 1
             for v in list(current.lists):
                 lst = current.lists[v]
+                floor = current.min_list_size(degree[v])
                 j = len(lst) - 1
-                while len(lst) > degree[v] + 1 and j >= 0 and budget[0] > 0:
+                while len(lst) > floor and j >= 0 and budget[0] > 0:
                     shrunk = lst[:j] + lst[j + 1 :]
                     candidate = current.replace(
                         lists={**current.lists, v: shrunk}

@@ -31,7 +31,7 @@ name list the registry replaces and is pinned green by
 ``tests/test_registry.py`` — a future backend that forgets to declare
 itself fails the suite, not a user's sweep.
 
-The four canonical algorithms are :data:`ALGORITHMS`; every backend
+The five canonical algorithms are :data:`ALGORITHMS`; every backend
 must declare an entry for each (``supported=False`` with a ``note`` is
 a declaration too — silence is what the consistency check forbids).
 """
@@ -45,7 +45,13 @@ from typing import Mapping
 from .compiled import NUMBA_AVAILABLE, NUMBA_UNAVAILABLE_REASON
 
 #: The canonical algorithm families every backend must declare.
-ALGORITHMS: tuple[str, ...] = ("classic", "defective_split", "greedy", "linial")
+ALGORITHMS: tuple[str, ...] = (
+    "classic",
+    "defective_split",
+    "fk24",
+    "greedy",
+    "linial",
+)
 
 
 class BackendError(Exception):
@@ -146,6 +152,7 @@ BACKENDS: dict[str, BackendSpec] = {
         algorithms={
             "classic": AlgorithmSupport(sweep_names=("classic",)),
             "defective_split": AlgorithmSupport(),
+            "fk24": AlgorithmSupport(sweep_names=("fk24",)),
             "greedy": AlgorithmSupport(sweep_names=("greedy",)),
             "linial": AlgorithmSupport(
                 sweep_names=("linial", "linial_faulty", "linial_resilient"),
@@ -166,6 +173,9 @@ BACKENDS: dict[str, BackendSpec] = {
             ),
             "defective_split": AlgorithmSupport(
                 batched=True, sweep_names=("defective_split",)
+            ),
+            "fk24": AlgorithmSupport(
+                batched=True, sweep_names=("fk24_vectorized",)
             ),
             "greedy": AlgorithmSupport(
                 batched=True, sweep_names=("greedy_vectorized",)
@@ -189,6 +199,7 @@ BACKENDS: dict[str, BackendSpec] = {
         algorithms={
             "classic": AlgorithmSupport(batched=True),
             "defective_split": AlgorithmSupport(batched=True),
+            "fk24": AlgorithmSupport(batched=True),
             "greedy": AlgorithmSupport(batched=True),
             "linial": AlgorithmSupport(batched=True),
         },
@@ -210,6 +221,13 @@ BACKENDS: dict[str, BackendSpec] = {
             ),
             "defective_split": AlgorithmSupport(
                 sweep_names=("defective_split_compiled",)
+            ),
+            "fk24": AlgorithmSupport(
+                supported=False,
+                note="the try/announce rounds are data-dependent (per-round "
+                "candidate scans over ragged lists), which the static "
+                "compiled kernels do not yet express; run it on the "
+                "vectorized backend",
             ),
             "greedy": AlgorithmSupport(sweep_names=("greedy_compiled",)),
             "linial": AlgorithmSupport(
@@ -240,6 +258,12 @@ BACKENDS: dict[str, BackendSpec] = {
                 note="the split's Linial core runs partitioned, but the "
                 "pipeline wrapper (validation + class relabeling) is not "
                 "yet sharded; run it on the vectorized backend",
+            ),
+            "fk24": AlgorithmSupport(
+                supported=False,
+                note="adoption depends on same-round cross-shard tries, so "
+                "the ghost exchange would need a second sub-round per "
+                "round; run it on the vectorized backend",
             ),
             "greedy": AlgorithmSupport(
                 supported=False,

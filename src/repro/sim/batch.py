@@ -803,6 +803,474 @@ def _segments(
     return np.repeat(starts, counts) + within, seg, within
 
 
+# ----------------------------------------------------------------------
+# batched FK24 simple iterative list-defective coloring
+# ----------------------------------------------------------------------
+def _fk24_rounds_batch(
+    sub: BatchCSRGraph,
+    list_indptr: np.ndarray,
+    list_values: np.ndarray,
+    space_arr: np.ndarray,
+    defect_arr: np.ndarray,
+    budgets: list[int],
+    bits_list: list[int],
+    metrics_list: list[RunMetrics],
+    recorders: list,
+) -> tuple[np.ndarray, np.ndarray, list[BaseException | None]]:
+    """Batched twin of :func:`repro.sim.vectorized._fk24_rounds`.
+
+    All instances share one global round clock (every single-instance
+    run starts at round 0), and the block-diagonal adjacency keeps the
+    try/took exchanges instance-local by construction.  FK24's per-round
+    message and active counts *vary* as nodes adopt and halt, so — unlike
+    the schedule-driven Linial batch — accounting is demultiplexed per
+    live instance inside the loop, not replayed afterwards.  An instance
+    whose (invalid) instance idles past its round budget is halted with
+    the identical :class:`~repro.sim.node.HaltingError`, returned per
+    instance so siblings keep running.
+    """
+    from .vectorized import _fk24_candidates
+
+    k = sub.k
+    n_tot = sub.n
+    degrees = np.diff(sub.indptr)
+    status = np.zeros(n_tot, dtype=np.int64)
+    colors = np.full(n_tot, -1, dtype=np.int64)
+    adopted = np.full(n_tot, -1, dtype=np.int64)
+    counts = np.zeros(
+        (n_tot, max(1, int(space_arr.max()) if n_tot else 1)), dtype=np.int64
+    )
+    owner = np.repeat(np.arange(n_tot, dtype=np.int64), np.diff(list_indptr))
+    idx = np.arange(n_tot, dtype=np.int64)
+    participating = np.ones(n_tot, dtype=bool)
+    halted = [False] * k
+    errors: list[BaseException | None] = [None] * k
+
+    rnd = 0
+    while True:
+        live = [
+            j
+            for j in range(k)
+            if not halted[j] and bool((status[sub.node_slice(j)] < 2).any())
+        ]
+        if not live:
+            break
+        for j in list(live):
+            if rnd >= budgets[j]:
+                sl = sub.node_slice(j)
+                unfinished = [
+                    sub.members[j].nodes[i]
+                    for i in np.nonzero(status[sl] < 2)[0]
+                ]
+                errors[j] = HaltingError(rounds=rnd, unfinished=unfinished)
+                halted[j] = True
+                participating[sl] = False
+                live.remove(j)
+        if not live:
+            break
+        trying = (status == 0) & participating
+        announcing = (status == 1) & participating
+        active = (status < 2) & participating
+        has_cand, cand_color = _fk24_candidates(
+            counts, owner, list_indptr, list_values, defect_arr, trying
+        )
+        sending = has_cand | announcing
+        took_edge = announcing[sub.src]
+        if took_edge.any():
+            np.add.at(
+                counts,
+                (sub.indices[took_edge], colors[sub.src[took_edge]]),
+                1,
+            )
+        taken = np.zeros(n_tot, dtype=np.int64)
+        taken[has_cand] = counts[idx[has_cand], cand_color[has_cand]]
+        conflict = (
+            has_cand[sub.src]
+            & has_cand[sub.indices]
+            & (sub.src < sub.indices)
+            & (cand_color[sub.src] == cand_color[sub.indices])
+        )
+        stronger = np.bincount(sub.indices[conflict], minlength=n_tot)
+        adopt = has_cand & (taken + stronger <= defect_arr)
+        status[announcing] = 2
+        status[adopt] = 1
+        colors[adopt] = cand_color[adopt]
+        adopted[adopt] = rnd
+        for j in live:
+            sl = sub.node_slice(j)
+            record_uniform_round(
+                metrics_list[j],
+                recorders[j],
+                int(degrees[sl][sending[sl]].sum()),
+                bits_list[j],
+                active=int(active[sl].sum()),
+            )
+        rnd += 1
+    return colors, adopted, errors
+
+
+def _fk24_faulty_rounds_batch(
+    sub: BatchCSRGraph,
+    list_indptr: np.ndarray,
+    list_values: np.ndarray,
+    space_arr: np.ndarray,
+    defect_arr: np.ndarray,
+    budgets: list[int],
+    bits_list: list[int],
+    plans: list,
+    metrics_list: list[RunMetrics],
+    recorders: list,
+) -> tuple[np.ndarray, np.ndarray, list[BaseException | None]]:
+    """Batched twin of :func:`repro.sim.vectorized._fk24_faulty_rounds`.
+
+    Per round, fates/crashes/corruptions are drawn per instance from
+    that instance's plan over its own label and edge slices —
+    bit-identical to the single-instance queries — while candidate
+    selection, delivery decoding, and the adoption rule run over the
+    whole batch at once.  ``space`` varies per instance, so payload
+    encoding and the ``[0, 2 * space)`` decode window use per-node /
+    per-edge space arrays.
+    """
+    from ..faults.plan import (
+        FATE_CORRUPT,
+        FATE_DELAY,
+        FATE_DELIVER,
+        FATE_DROP,
+        FATE_DUPLICATE,
+        node_labels_u64,
+    )
+    from .vectorized import _fk24_candidates
+
+    k = sub.k
+    n_tot = sub.n
+    num_edges = sub.num_directed_edges
+    labels = np.concatenate(
+        [node_labels_u64(m.nodes) for m in sub.members]
+    ) if k else np.empty(0, dtype=np.uint64)
+    src_lab = labels[sub.src]
+    dst_lab = labels[sub.indices]
+    space_dst = space_arr[sub.indices]
+    degrees = np.diff(sub.indptr)
+    status = np.zeros(n_tot, dtype=np.int64)
+    colors = np.full(n_tot, -1, dtype=np.int64)
+    adopted = np.full(n_tot, -1, dtype=np.int64)
+    counts2d = np.zeros(
+        (n_tot, max(1, int(space_arr.max()) if n_tot else 1)), dtype=np.int64
+    )
+    know = np.full(num_edges, -1, dtype=np.int64)
+    owner = np.repeat(np.arange(n_tot, dtype=np.int64), np.diff(list_indptr))
+    idx = np.arange(n_tot, dtype=np.int64)
+    participating = np.ones(n_tot, dtype=bool)
+    halted = [False] * k
+    errors: list[BaseException | None] = [None] * k
+    pending: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+
+    rnd = 0
+    while True:
+        live = [
+            j
+            for j in range(k)
+            if not halted[j] and bool((status[sub.node_slice(j)] < 2).any())
+        ]
+        if not live:
+            break
+        for j in list(live):
+            if rnd >= budgets[j]:
+                sl = sub.node_slice(j)
+                unfinished = [
+                    sub.members[j].nodes[i]
+                    for i in np.nonzero(status[sl] < 2)[0]
+                ]
+                errors[j] = HaltingError(rounds=rnd, unfinished=unfinished)
+                halted[j] = True
+                participating[sl] = False
+                live.remove(j)
+        if not live:
+            break
+
+        alive = np.ones(n_tot, dtype=bool)
+        for j in live:
+            sl = sub.node_slice(j)
+            alive[sl] = ~plans[j].crashed_mask(rnd, labels[sl])
+        trying = (status == 0) & participating
+        announcing = (status == 1) & participating
+        active = (status < 2) & participating
+        has_cand, cand_color = _fk24_candidates(
+            counts2d, owner, list_indptr, list_values, defect_arr, trying
+        )
+        sending = (has_cand | announcing) & alive
+        transmit = sending[sub.src]
+
+        delivered = np.full(num_edges, -1, dtype=np.int64)
+        for edge_idx, values in pending.pop(rnd, ()):
+            delivered[edge_idx] = values
+        per_counts: dict[int, dict[str, int]] = {}
+        for j in live:
+            sl = sub.node_slice(j)
+            esl = sub.edge_slice(j)
+            fcounts = dict.fromkeys(
+                ("dropped", "corrupted", "delayed", "duplicated"), 0
+            )
+            fcounts["crashed"] = int(sub.members[j].n - alive[sl].sum())
+            tr = transmit[esl]
+            if tr.any():
+                codes, delays = plans[j].edge_fates(
+                    rnd, src_lab[esl], dst_lab[esl]
+                )
+                codes = np.where(tr, codes, -1)
+                payload = np.where(
+                    announcing[sub.src[esl]],
+                    space_arr[sub.src[esl]] + colors[sub.src[esl]],
+                    cand_color[sub.src[esl]],
+                )
+                fcounts["dropped"] = int((codes == FATE_DROP).sum())
+                fcounts["corrupted"] = int((codes == FATE_CORRUPT).sum())
+                fcounts["delayed"] = int((codes == FATE_DELAY).sum())
+                fcounts["duplicated"] = int((codes == FATE_DUPLICATE).sum())
+                for code in (FATE_DELAY, FATE_DUPLICATE):
+                    eidx = np.nonzero(codes == code)[0]
+                    for d in np.unique(delays[eidx]):
+                        sel = eidx[delays[eidx] == d]
+                        pending.setdefault(rnd + int(d), []).append(
+                            (sel + sub.edge_offsets[j], payload[sel].copy())
+                        )
+                dlv = delivered[esl]  # slice view: writes land in `delivered`
+                now = (codes == FATE_DELIVER) | (codes == FATE_DUPLICATE)
+                dlv[now] = payload[now]
+                corrupt = codes == FATE_CORRUPT
+                if corrupt.any():
+                    dlv[corrupt] = plans[j].corrupt_values(
+                        rnd,
+                        src_lab[esl][corrupt],
+                        dst_lab[esl][corrupt],
+                        payload[corrupt],
+                    )
+            per_counts[j] = fcounts
+        delivered[~alive[sub.indices]] = -1
+
+        took = (delivered >= space_dst) & (delivered < 2 * space_dst)
+        tk = np.nonzero(took)[0]
+        if tk.size:
+            newv = delivered[tk] - space_dst[tk]
+            oldv = know[tk]
+            chg = oldv != newv
+            tk, newv, oldv = tk[chg], newv[chg], oldv[chg]
+            dec = oldv >= 0
+            if dec.any():
+                np.add.at(counts2d, (sub.indices[tk[dec]], oldv[dec]), -1)
+            if tk.size:
+                np.add.at(counts2d, (sub.indices[tk], newv), 1)
+                know[tk] = newv
+        is_try = (delivered >= 0) & (delivered < space_dst)
+        taken = np.zeros(n_tot, dtype=np.int64)
+        receiver_cand = has_cand & alive
+        taken[receiver_cand] = counts2d[
+            idx[receiver_cand], cand_color[receiver_cand]
+        ]
+        conflict = (
+            is_try
+            & receiver_cand[sub.indices]
+            & (sub.src < sub.indices)
+            & (delivered == cand_color[sub.indices])
+        )
+        stronger = np.bincount(sub.indices[conflict], minlength=n_tot)
+        adopt = receiver_cand & (taken + stronger <= defect_arr)
+        status[announcing & alive] = 2
+        status[adopt] = 1
+        colors[adopt] = cand_color[adopt]
+        adopted[adopt] = rnd
+        for j in live:
+            sl = sub.node_slice(j)
+            esl = sub.edge_slice(j)
+            record_uniform_round(
+                metrics_list[j],
+                recorders[j],
+                int(transmit[esl].sum()),
+                bits_list[j],
+                active=int(active[sl].sum()),
+                faults=per_counts[j],
+            )
+        rnd += 1
+    return colors, adopted, errors
+
+
+def fk24_vectorized_batch(
+    graphs: Sequence[Any],
+    lists: Sequence[Mapping[Any, Any] | None] | None = None,
+    space_size: int | Sequence[int | None] | None = None,
+    defect: int | Sequence[int] = 1,
+    recorders: Sequence["RunRecorder | None"] | None = None,
+    faults: Sequence[Any] | None = None,
+    return_exceptions: bool = False,
+    _finalize_recorders: bool = True,
+    adoption_outs: Sequence[dict | None] | None = None,
+) -> list:
+    """Batched twin of :func:`repro.sim.vectorized.fk24_vectorized`.
+
+    Returns one ``(ColoringResult, RunMetrics, palette)`` triple per
+    instance — including the later-to-earlier adoption orientation on
+    each result — identical to k independent single-instance runs
+    (outputs, palettes, metrics, obs rows incl. fault columns).
+    ``lists``/``recorders``/``faults``/``adoption_outs`` are per-instance
+    sequences (``None`` entries use single-instance defaults);
+    ``space_size``/``defect`` broadcast scalars or take one value per
+    instance.  With ``return_exceptions=True`` an instance that halts
+    (round-budget exhaustion under an adversarial plan) yields its
+    :class:`~repro.sim.node.HaltingError` in place, siblings unaffected.
+    """
+    from ..algorithms.fk24 import fk24_lists, fk24_round_budget
+    from ..core.coloring import orientation_from_priority
+
+    gs = list(graphs)
+    k = len(gs)
+    recs = _seq_arg(recorders, k, "recorders")
+    plans = _seq_arg(faults, k, "faults")
+    lists_seq = _seq_arg(lists, k, "lists")
+    outs_seq = _seq_arg(adoption_outs, k, "adoption_outs")
+    defects = _int_list(defect, k, "defect")
+    if isinstance(space_size, (list, tuple)):
+        if len(space_size) != k:
+            raise ValueError(
+                f"space_size must have one entry per instance ({k}), "
+                f"got {len(space_size)}"
+            )
+        spaces: list[int | None] = [
+            None if s is None else int(s) for s in space_size
+        ]
+    else:
+        spaces = [None if space_size is None else int(space_size)] * k
+
+    with _phase_all(recs, "csr_build"):
+        batch = BatchCSRGraph.from_graphs(gs)
+
+    ragged: list[tuple[np.ndarray, np.ndarray]] = []
+    budgets: list[int] = []
+    bits_list: list[int] = []
+    with _phase_all(recs, "schedule"):
+        for j in range(k):
+            member = batch.members[j]
+            lst = lists_seq[j]
+            if lst is None:
+                lst, built_space = fk24_lists(gs[j], defects[j])
+                if spaces[j] is None:
+                    spaces[j] = built_space
+            lst = {v: tuple(lst[v]) for v in member.nodes}
+            if spaces[j] is None:
+                spaces[j] = (
+                    max((max(t) for t in lst.values() if t), default=0) + 1
+                )
+            ragged.append(ragged_lists(member, lst))
+            base = fk24_round_budget(lst.values(), member.n)
+            budgets.append(
+                base if plans[j] is None else plans[j].round_budget(base)
+            )
+            bits_list.append(int_bits(max(1, 2 * spaces[j] - 1)))
+
+    def _assemble(js: list[int]) -> tuple[
+        BatchCSRGraph, np.ndarray, np.ndarray, np.ndarray, np.ndarray
+    ]:
+        """Sub-batch over members ``js`` plus its ragged/space/defect
+        arrays (concatenated in ``js`` order, matching the sub CSR)."""
+        if len(js) == k:
+            sub = batch
+        else:
+            sub = BatchCSRGraph.from_csrs([batch.members[j] for j in js])
+        indptr_parts = [np.zeros(1, dtype=np.int64)]
+        value_parts: list[np.ndarray] = []
+        off = 0
+        for j in js:
+            ip, vals = ragged[j]
+            indptr_parts.append(ip[1:] + off)
+            value_parts.append(vals)
+            off += int(vals.shape[0])
+        list_indptr = np.concatenate(indptr_parts)
+        list_values = (
+            np.concatenate(value_parts)
+            if value_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        space_arr = np.concatenate(
+            [np.full(batch.members[j].n, spaces[j], dtype=np.int64) for j in js]
+        ) if js else np.empty(0, dtype=np.int64)
+        defect_arr = np.concatenate(
+            [np.full(batch.members[j].n, defects[j], dtype=np.int64) for j in js]
+        ) if js else np.empty(0, dtype=np.int64)
+        return sub, list_indptr, list_values, space_arr, defect_arr
+
+    metrics_list = [synthesized_metrics(batch.members[j].n) for j in range(k)]
+    colors = np.full(batch.n, -1, dtype=np.int64)
+    adopted = np.full(batch.n, -1, dtype=np.int64)
+    errors: list[BaseException | None] = [None] * k
+
+    plain = [j for j in range(k) if plans[j] is None]
+    faulty = [j for j in range(k) if plans[j] is not None]
+
+    if plain:
+        with _phase_all([recs[j] for j in plain], "rounds"):
+            sub, li, lv, sa, da = _assemble(plain)
+            sub_colors, sub_adopted, sub_errors = _fk24_rounds_batch(
+                sub, li, lv, sa, da,
+                [budgets[j] for j in plain],
+                [bits_list[j] for j in plain],
+                [metrics_list[j] for j in plain],
+                [recs[j] for j in plain],
+            )
+            _write_back(batch, plain, colors, sub_colors)
+            _write_back(batch, plain, adopted, sub_adopted)
+        for pos, j in enumerate(plain):
+            errors[j] = sub_errors[pos]
+    if faulty:
+        with _phase_all([recs[j] for j in faulty], "rounds"):
+            sub, li, lv, sa, da = _assemble(faulty)
+            sub_colors, sub_adopted, sub_errors = _fk24_faulty_rounds_batch(
+                sub, li, lv, sa, da,
+                [budgets[j] for j in faulty],
+                [bits_list[j] for j in faulty],
+                [plans[j] for j in faulty],
+                [metrics_list[j] for j in faulty],
+                [recs[j] for j in faulty],
+            )
+            _write_back(batch, faulty, colors, sub_colors)
+            _write_back(batch, faulty, adopted, sub_adopted)
+        for pos, j in enumerate(faulty):
+            errors[j] = sub_errors[pos]
+
+    results: list = [None] * k
+    for j in range(k):
+        member = batch.members[j]
+        if errors[j] is not None:
+            # flush the partial per-round record before surfacing the
+            # halt — the single-instance path's post-mortem contract
+            if recs[j] is not None:
+                recs[j].finalize(
+                    metrics_list[j],
+                    n=member.n,
+                    m=member.num_directed_edges // 2,
+                    palette=spaces[j],
+                    algorithm=recs[j].algorithm or "fk24_vectorized",
+                )
+            results[j] = errors[j]
+            continue
+        sl = batch.node_slice(j)
+        adoption = member.scatter(adopted[sl])
+        if outs_seq[j] is not None:
+            outs_seq[j].update(adoption)
+        res = ColoringResult(
+            member.scatter(colors[sl]),
+            orientation_from_priority(gs[j], adoption),
+        )
+        if recs[j] is not None and _finalize_recorders:
+            recs[j].finalize(
+                metrics_list[j],
+                n=member.n,
+                m=member.num_directed_edges // 2,
+                palette=spaces[j],
+                algorithm=recs[j].algorithm or "fk24_vectorized",
+            )
+        results[j] = (res, metrics_list[j], spaces[j])
+    return _raise_or_return(results, return_exceptions)
+
+
 def greedy_list_vectorized_batch(
     instances: Sequence[Any],
     return_exceptions: bool = False,

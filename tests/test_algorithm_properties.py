@@ -167,3 +167,57 @@ class TestDefectAccountingRandomized:
         assert metrics.rounds == 2
         for v in dg.nodes:
             assert res.assignment[v] in lists[v]
+
+
+class TestRegistryEnumeration:
+    """The algorithm universe is *derived*, never hand-listed.
+
+    Three sources must agree: the presentation registry
+    (:mod:`repro.algorithms.registry`), the differential engine pairs
+    (:mod:`repro.fuzz.differential`), and the canonical algorithm set of
+    the backend registry (:mod:`repro.sim.backends`).  A family added to
+    one but forgotten in another fails here, not in a user's run.
+    """
+
+    def test_names_enumerate_the_registry(self):
+        from repro.algorithms.registry import REGISTRY, algorithm_names
+
+        assert algorithm_names() == sorted(REGISTRY)
+        assert len(set(REGISTRY)) == len(REGISTRY)
+
+    def test_engine_pairs_match_canonical_backend_algorithms(self):
+        from repro.fuzz.differential import ENGINE_PAIRS
+        from repro.sim.backends import ALGORITHMS
+
+        assert set(ENGINE_PAIRS) == set(ALGORITHMS)
+
+    def test_claimed_engine_pairs_are_registered(self):
+        from repro.algorithms.registry import REGISTRY
+        from repro.fuzz.differential import ENGINE_PAIRS
+
+        for name, info in REGISTRY.items():
+            if info.engine_pair is not None:
+                assert info.engine_pair in ENGINE_PAIRS, (
+                    f"registry entry {name!r} claims engine pair "
+                    f"{info.engine_pair!r}, which the differential "
+                    "harness does not register"
+                )
+
+    def test_core_families_have_registry_presence(self):
+        from repro.algorithms.registry import REGISTRY
+
+        claimed = {
+            info.engine_pair
+            for info in REGISTRY.values()
+            if info.engine_pair is not None
+        }
+        assert {"classic", "fk24", "greedy"} <= claimed
+
+    def test_every_registry_entry_declares_complete_metadata(self):
+        from repro.algorithms.registry import REGISTRY
+
+        for name, info in REGISTRY.items():
+            assert info.name == name
+            assert info.reference
+            assert info.palette
+            assert callable(info.runner)

@@ -1,9 +1,19 @@
-"""Conformance grid: every (Delta+1)-capable algorithm x every graph family.
+"""Conformance grids: algorithms x graph families, backends x algorithms.
 
-One table of truth: each algorithm must produce a valid proper coloring
-within its advertised palette on each family.  Failures localize instantly
-to an (algorithm, family) cell.
+Two tables of truth.  The first is the classic (Delta+1) grid: each
+registered algorithm must produce a valid proper coloring within its
+advertised palette on each family; failures localize instantly to an
+(algorithm, family) cell.  The second is *generated from the
+engine-backend registry* (:mod:`repro.sim.backends`): every declared
+backend x canonical-algorithm pair is exercised on ring, random-regular,
+and gappy-label fixtures — a supported pair must run and satisfy its
+semantic oracle, an unsupported pair must say why, and a pair the
+backend forgot to declare fails loudly.  Adding a backend or algorithm
+to the registry grows this grid automatically; forgetting to register
+one shrinks it visibly (and trips the undeclared check).
 """
+
+import random
 
 import pytest
 
@@ -112,4 +122,155 @@ def test_grid(algorithm, family):
     delta = max(d for _, d in g.degree)
     assert res.num_colors() <= delta + 1, (
         f"{algorithm} on {family}: {res.num_colors()} colors > Delta+1"
+    )
+
+
+# ----------------------------------------------------------------------
+# backend-conformance grid, generated from repro.sim.backends
+# ----------------------------------------------------------------------
+# The cell space is the registry itself — BACKENDS x ALGORITHMS — so a
+# new backend (or a new canonical algorithm) is pulled into the grid the
+# moment it is declared, and a missing declaration is a test failure,
+# not a silent gap.
+from repro.sim.backends import ALGORITHMS as CANONICAL_ALGORITHMS
+from repro.sim.backends import BACKENDS
+
+
+def _gappy_ring(n: int, seed: int = 5):
+    """A ring whose labels are non-contiguous and unsorted."""
+    import networkx as nx
+
+    rng = random.Random(seed)
+    labels = rng.sample(range(3, 60 * n, 7), n)
+    return nx.relabel_nodes(ring(n), dict(enumerate(labels)))
+
+
+BACKEND_FIXTURES = {
+    "ring": lambda: ring(14),
+    "regular": lambda: random_regular(20, 4, seed=17),
+    "gappy": lambda: _gappy_ring(12),
+}
+
+
+def _backend_case(algorithm, g, seed):
+    """A differential-harness case for one grid cell.
+
+    List construction mirrors :mod:`repro.fuzz.generator`: ``greedy``
+    gets ``deg(v)+1`` colors per list, ``fk24`` only
+    ``floor(deg(v)/(defect+1)) + 1`` (its defect budget covers the
+    rest), the other pairs use each engine's built-in default input.
+    """
+    from repro.fuzz.case import FuzzCase
+
+    nodes = sorted(g.nodes())
+    edges = [tuple(e) for e in g.edges()]
+    degrees = dict(g.degree)
+    rng = random.Random(seed)
+    defect = 0
+    lists = None
+    space = None
+    if algorithm in ("defective_split", "fk24"):
+        defect = 1
+    if algorithm in ("greedy", "fk24"):
+        space = max(degrees.values(), default=0) + 2
+        lists = {}
+        for v in nodes:
+            if algorithm == "fk24":
+                need = degrees[v] // (defect + 1) + 1
+            else:
+                need = degrees[v] + 1
+            lists[v] = sorted(rng.sample(range(space), min(space, need)))
+    case = FuzzCase(
+        pair=algorithm,
+        nodes=nodes,
+        edges=edges,
+        defect=defect,
+        lists=lists,
+        space_size=space,
+        seed=f"backend-grid:{algorithm}:{seed}",
+        note="backend-conformance grid fixture",
+    )
+    case.check_valid()
+    return case
+
+
+def _cell_pair(backend, algorithm):
+    """The :class:`EnginePair` serving one (backend, algorithm) cell."""
+    from repro.fuzz import differential as diff
+
+    if backend in ("reference", "vectorized", "batched"):
+        return diff.ENGINE_PAIRS[algorithm]
+    return diff.pairs_for_backend(backend)[algorithm]
+
+
+@pytest.mark.parametrize("algorithm", CANONICAL_ALGORITHMS)
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_backend_grid_declares_every_cell(backend, algorithm):
+    """Every backend must declare every canonical algorithm.
+
+    ``supported=False`` with a reason is a declaration; *absence* is the
+    forgotten-registration failure mode this grid exists to catch.
+    """
+    spec = BACKENDS[backend]
+    entry = spec.algorithms.get(algorithm)
+    if entry is None:
+        pytest.fail(
+            f"backend {backend!r} declares no entry for {algorithm!r} — "
+            "register it in repro.sim.backends (supported=False with a "
+            "note is fine)"
+        )
+    if not entry.supported:
+        assert entry.note, (
+            f"backend {backend!r} marks {algorithm!r} unsupported without "
+            "saying why"
+        )
+
+
+def _supported_cells():
+    cells = []
+    for backend in sorted(BACKENDS):
+        for algorithm in CANONICAL_ALGORITHMS:
+            entry = BACKENDS[backend].algorithms.get(algorithm)
+            if entry is not None and entry.supported:
+                cells.append((backend, algorithm))
+    return cells
+
+
+@pytest.mark.parametrize("fixture", sorted(BACKEND_FIXTURES))
+@pytest.mark.parametrize(
+    "backend,algorithm",
+    _supported_cells(),
+    ids=[f"{b}-{a}" for b, a in _supported_cells()],
+)
+def test_backend_grid_cell_runs_green(backend, algorithm, fixture):
+    """Each supported cell runs on each fixture and passes its oracle.
+
+    The engine side under test is the backend's own (reference runner on
+    the reference backend, fast runner elsewhere); the semantic contract
+    is the pair's differential oracle — proper coloring for classic /
+    greedy / linial, defective validity for the split, arbdefective
+    validity plus palette bounds for fk24.
+    """
+    g = BACKEND_FIXTURES[fixture]()
+    case = _backend_case(algorithm, g, seed=29)
+    if backend == "batched":
+        # the batched backend is an execution strategy over the
+        # vectorized kernels: drive it through the public batched
+        # differential path with a genuine multi-case group
+        from repro.fuzz.differential import run_cases_batched
+
+        other = _backend_case(algorithm, BACKEND_FIXTURES["ring"](), seed=31)
+        outcomes = run_cases_batched([case, other])
+        for out in outcomes:
+            assert out.ok, (
+                f"batched {algorithm} on {fixture}: {out.failures}"
+            )
+        return
+    pair = _cell_pair(backend, algorithm)
+    side = pair.run_reference if backend == "reference" else pair.run_vectorized
+    run = side(case)
+    assert run.assignment, f"{backend}/{algorithm} on {fixture}: empty output"
+    violations = pair.oracle(case, run)
+    assert not violations, (
+        f"{backend}/{algorithm} on {fixture}: {violations}"
     )
